@@ -1,0 +1,95 @@
+// IXAND ablation: single-index vs two-index intersection plans across
+// predicate selectivities. The crossover demonstrates why DB2's optimizer
+// (and ours) keeps both plan shapes: with one selective predicate a single
+// probe wins; with two, intersecting RID sets avoids fetching and
+// re-checking the larger candidate set.
+
+#include <cstdio>
+#include <iostream>
+#include <memory>
+
+#include "common/string_util.h"
+#include "exec/executor.h"
+#include "index/index_builder.h"
+#include "optimizer/optimizer.h"
+#include "query/parser.h"
+#include "xmldata/xmark_gen.h"
+#include "xpath/parser.h"
+
+using namespace xia;
+
+int main() {
+  std::cout << "== IXAND ablation: one probe vs intersected probes ==\n\n";
+
+  Database db;
+  XMarkParams params;
+  if (!PopulateXMark(&db, "xmark", 60, params, 42).ok()) return 1;
+
+  Catalog catalog;
+  CostModel cost_model;
+  for (const auto& [name, pattern] :
+       std::vector<std::pair<std::string, std::string>>{
+           {"q_idx", "/site/regions/africa/item/quantity"},
+           {"p_idx", "/site/regions/africa/item/price"}}) {
+    IndexDefinition def;
+    def.name = name;
+    def.collection = "xmark";
+    Result<PathPattern> p = ParsePathPattern(pattern);
+    if (!p.ok()) return 1;
+    def.pattern = *p;
+    def.type = ValueType::kDouble;
+    Result<PathIndex> built = BuildIndex(db, def);
+    if (!built.ok()) return 1;
+    if (!catalog
+             .AddPhysical(std::make_shared<PathIndex>(std::move(*built)),
+                          cost_model.storage)
+             .ok()) {
+      return 1;
+    }
+  }
+
+  ContainmentCache cache;
+  Optimizer with_anding(&db, cost_model, OptimizerOptions{true});
+  Optimizer without_anding(&db, cost_model, OptimizerOptions{false});
+  Executor executor(&db, &catalog, cost_model);
+
+  std::printf("%-28s %12s %12s %8s %10s %10s\n",
+              "predicates (quantity,price)", "single-cost", "ixand-cost",
+              "chosen", "single-us", "ixand-us");
+  // Sweep quantity threshold (selectivity of predicate 1) against a fixed
+  // moderately selective price predicate.
+  for (int q_threshold : {1, 3, 5, 7, 9}) {
+    std::string text =
+        "for $i in doc(\"xmark\")/site/regions/africa/item where "
+        "$i/quantity > " +
+        std::to_string(q_threshold) + " and $i/price < 100 return $i/name";
+    Result<Query> query = ParseQuery(text);
+    if (!query.ok()) return 1;
+    query->id = "q>" + std::to_string(q_threshold);
+
+    Result<QueryPlan> single =
+        without_anding.Optimize(*query, catalog, &cache);
+    Result<QueryPlan> anded = with_anding.Optimize(*query, catalog, &cache);
+    if (!single.ok() || !anded.ok()) return 1;
+
+    Result<ExecResult> single_run = executor.Execute(*single);
+    Result<ExecResult> anded_run = executor.Execute(*anded);
+    if (!single_run.ok() || !anded_run.ok()) return 1;
+    if (single_run->nodes != anded_run->nodes) {
+      std::cerr << "RESULT MISMATCH at q>" << q_threshold << "\n";
+      return 1;
+    }
+
+    std::printf("%-28s %12.2f %12.2f %8s %10.1f %10.1f\n",
+                ("quantity>" + std::to_string(q_threshold) + ", price<100")
+                    .c_str(),
+                single->total_cost, anded->total_cost,
+                anded->access.has_secondary ? "IXAND" : "single",
+                single_run->wall_micros, anded_run->wall_micros);
+  }
+  std::cout << "\nExpected shape: the anding-enabled optimizer never costs "
+               "worse than the\nsingle-probe one, switches to IXAND when "
+               "both predicates prune, and both\nplans return identical "
+               "results.\n";
+  return 0;
+}

@@ -1,0 +1,86 @@
+// Buffer-pool behaviour: physical page reads for scan vs index plans,
+// cold and warm, across pool sizes. Shows why the advisor's I/O-heavy
+// cost model is the right *ordering* signal even when re-execution is
+// cache-warm: indexes keep their advantage at every pool size, and warm
+// hit ratios favor the small touched sets of index plans.
+
+#include <cstdio>
+#include <iostream>
+#include <memory>
+
+#include "common/string_util.h"
+#include "exec/executor.h"
+#include "index/index_builder.h"
+#include "optimizer/optimizer.h"
+#include "query/parser.h"
+#include "xmldata/xmark_gen.h"
+#include "xpath/parser.h"
+
+using namespace xia;
+
+int main() {
+  std::cout << "== Buffer pool: cold/warm physical reads by plan ==\n\n";
+
+  Database db;
+  XMarkParams params;
+  if (!PopulateXMark(&db, "xmark", 30, params, 42).ok()) return 1;
+
+  Catalog catalog;
+  CostModel cost_model;
+  IndexDefinition def;
+  def.name = "p_idx";
+  def.collection = "xmark";
+  Result<PathPattern> pattern =
+      ParsePathPattern("/site/regions/africa/item/price");
+  if (!pattern.ok()) return 1;
+  def.pattern = *pattern;
+  def.type = ValueType::kDouble;
+  Result<PathIndex> built = BuildIndex(db, def);
+  if (!built.ok()) return 1;
+  if (!catalog
+           .AddPhysical(std::make_shared<PathIndex>(std::move(*built)),
+                        cost_model.storage)
+           .ok()) {
+    return 1;
+  }
+
+  Result<Query> query = ParseQuery(
+      "for $i in doc(\"xmark\")/site/regions/africa/item "
+      "where $i/price > 480 return $i/name");
+  if (!query.ok()) return 1;
+  ContainmentCache cache;
+  Optimizer optimizer(&db, cost_model);
+  Catalog empty;
+  Result<QueryPlan> scan_plan = optimizer.Optimize(*query, empty, &cache);
+  Result<QueryPlan> idx_plan = optimizer.Optimize(*query, catalog, &cache);
+  if (!scan_plan.ok() || !idx_plan.ok()) return 1;
+
+  std::printf("%-12s %-8s %12s %12s %12s %10s\n", "pool(pages)", "plan",
+              "cold-misses", "warm-misses", "warm-hits", "hit-ratio");
+  for (size_t pool_pages : {64, 512, 4096, 100000}) {
+    for (bool use_index : {false, true}) {
+      const QueryPlan& plan = use_index ? *idx_plan : *scan_plan;
+      BufferPool pool(pool_pages);
+      Executor executor(&db, &catalog, cost_model, &pool);
+      Result<ExecResult> cold = executor.Execute(plan);
+      Result<ExecResult> warm = executor.Execute(plan);
+      if (!cold.ok() || !warm.ok()) return 1;
+      double total_warm = static_cast<double>(warm->buffer_hits +
+                                              warm->buffer_misses);
+      std::printf("%-12zu %-8s %12lu %12lu %12lu %9.0f%%\n", pool_pages,
+                  use_index ? "index" : "scan",
+                  static_cast<unsigned long>(cold->buffer_misses),
+                  static_cast<unsigned long>(warm->buffer_misses),
+                  static_cast<unsigned long>(warm->buffer_hits),
+                  total_warm == 0
+                      ? 0.0
+                      : 100.0 * static_cast<double>(warm->buffer_hits) /
+                            total_warm);
+    }
+  }
+  std::cout << "\nExpected shape: index plans touch far fewer cold pages; "
+               "large pools make\nre-execution fully warm; tiny pools "
+               "thrash under scans but still hold the\nindex plan's small "
+               "working set.\n";
+  return 0;
+}

@@ -1,0 +1,171 @@
+// Ablation B: candidate generalization and update-cost accounting.
+//  (1) Generalization ON vs OFF. Training sees only three regions; the
+//      unseen workload draws from all six, so exact (basic) candidate
+//      indexes cannot cover it while generalized ones
+//      (/site/regions/*/item/...) can — the paper's Top Down motivation.
+//  (2) Update-cost accounting ON vs OFF across update rates — with
+//      accounting on, heavy update load debits wide indexes and shrinks
+//      the recommended configuration.
+
+#include <cstdio>
+#include <iostream>
+
+#include "advisor/advisor.h"
+#include "advisor/analysis.h"
+#include "common/logging.h"
+#include "common/string_util.h"
+#include "workload/variation.h"
+#include "workload/xmark_queries.h"
+#include "xmldata/docgen.h"
+#include "xmldata/xmark_gen.h"
+
+using namespace xia;
+
+namespace {
+
+/// Training workload confined to three regions (namerica, africa,
+/// samerica) — the paper's running example, with the other three regions
+/// held out for the unseen evaluation.
+Workload MakeHeldOutTrainingWorkload() {
+  Workload w;
+  auto add = [&w](const std::string& text, double weight) {
+    Status status = w.AddQueryText(text, weight);
+    XIA_CHECK(status.ok());
+  };
+  add("for $i in doc(\"xmark\")/site/regions/namerica/item "
+      "where $i/quantity > 5 return $i/name",
+      3.0);
+  add("for $i in doc(\"xmark\")/site/regions/africa/item "
+      "where $i/quantity > 2 return $i/name",
+      2.0);
+  add("for $i in doc(\"xmark\")/site/regions/samerica/item "
+      "where $i/price < 50 return $i/name",
+      2.0);
+  add("for $i in doc(\"xmark\")/site/regions/namerica/item "
+      "where $i/payment = \"Creditcard\" return $i/name",
+      1.0);
+  add("for $p in doc(\"xmark\")/site/people/person "
+      "where $p/profile/@income >= 80000 return $p/name",
+      1.0);
+  return w;
+}
+
+/// Unseen workload drawn exclusively from the held-out regions, so basic
+/// (exact) candidates from training cannot serve any of it.
+Workload MakeHeldOutUnseenWorkload(Random* rng, int count) {
+  Workload w;
+  const std::vector<std::string> held_out = {"asia", "australia", "europe"};
+  for (int i = 0; i < count; ++i) {
+    const std::string& region = held_out[static_cast<size_t>(
+        rng->Uniform(0, static_cast<int64_t>(held_out.size()) - 1))];
+    std::string text;
+    switch (rng->Uniform(0, 2)) {
+      case 0:
+        text = "for $i in doc(\"xmark\")/site/regions/" + region +
+               "/item where $i/quantity > " +
+               std::to_string(rng->Uniform(1, 9)) + " return $i/name";
+        break;
+      case 1:
+        text = "for $i in doc(\"xmark\")/site/regions/" + region +
+               "/item where $i/price < " +
+               std::to_string(rng->Uniform(20, 400)) + " return $i/name";
+        break;
+      default:
+        text = "for $i in doc(\"xmark\")/site/regions/" + region +
+               "/item where $i/payment = \"" +
+               rng->Choice(docgen::PaymentKinds()) + "\" return $i/name";
+        break;
+    }
+    Status status = w.AddQueryText(text, 1.0, "U" + std::to_string(i + 1));
+    XIA_CHECK(status.ok());
+  }
+  return w;
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "== Ablation B: generalization and update cost ==\n\n";
+
+  Database db;
+  XMarkParams params;
+  if (!PopulateXMark(&db, "xmark", 12, params, 42).ok()) return 1;
+  Workload training = MakeHeldOutTrainingWorkload();
+  Random rng(99);
+  Workload unseen = MakeHeldOutUnseenWorkload(&rng, 18);
+  Catalog catalog;
+
+  std::cout << "---- (1) generalization on/off; training sees 3 regions, "
+               "unseen uses the other 3 ----\n";
+  std::printf("%-16s %-18s %8s %12s %14s %14s\n", "generalization",
+              "algorithm", "indexes", "train-cost", "unseen-cost",
+              "unseen-gain%");
+  double unseen_baseline = 0;
+  {
+    AdvisorOptions options;
+    Advisor probe(&db, &catalog, options);
+    Result<EvaluateIndexesResult> none = EvaluateConfigurationOnWorkload(
+        db, catalog, {}, unseen, options.cost_model, probe.cache());
+    if (!none.ok()) return 1;
+    unseen_baseline = none->total_weighted_cost;
+  }
+  for (SearchAlgorithm algo :
+       {SearchAlgorithm::kGreedyHeuristic, SearchAlgorithm::kTopDown}) {
+    for (bool generalize : {false, true}) {
+      AdvisorOptions options;
+      options.space_budget_bytes = 192.0 * 1024;
+      options.algorithm = algo;
+      options.enable_generalization = generalize;
+      Advisor advisor(&db, &catalog, options);
+      Result<Recommendation> rec = advisor.Recommend(training);
+      if (!rec.ok()) {
+        std::cerr << rec.status().ToString() << "\n";
+        return 1;
+      }
+      Result<EvaluateIndexesResult> on_unseen =
+          EvaluateConfigurationOnWorkload(db, catalog, rec->indexes, unseen,
+                                          options.cost_model,
+                                          advisor.cache());
+      if (!on_unseen.ok()) return 1;
+      double gain = 100.0 *
+                    (unseen_baseline - on_unseen->total_weighted_cost) /
+                    unseen_baseline;
+      std::printf("%-16s %-18s %8zu %12.0f %14.0f %13.1f%%\n",
+                  generalize ? "on" : "off", SearchAlgorithmName(algo),
+                  rec->indexes.size(), rec->recommended_cost,
+                  on_unseen->total_weighted_cost, gain);
+    }
+  }
+
+  std::cout << "\n---- (2) update-rate sweep, greedy+heuristics, 256 KB "
+               "budget ----\n";
+  std::printf("%-12s %-12s %8s %10s %12s %12s\n", "update-rate",
+              "accounting", "indexes", "size", "query-gain", "update-cost");
+  for (double rate : {0.0, 1000.0, 10000.0, 100000.0}) {
+    for (bool account : {false, true}) {
+      Workload w = MakeXMarkWorkload("xmark");
+      AddXMarkUpdates(&w, "xmark", rate);
+      AdvisorOptions options;
+      options.space_budget_bytes = 256.0 * 1024;
+      options.algorithm = SearchAlgorithm::kGreedyHeuristic;
+      options.account_update_cost = account;
+      Advisor advisor(&db, &catalog, options);
+      Result<Recommendation> rec = advisor.Recommend(w);
+      if (!rec.ok()) {
+        std::cerr << rec.status().ToString() << "\n";
+        return 1;
+      }
+      std::printf("%-12s %-12s %8zu %10s %12.0f %12.1f\n",
+                  FormatDouble(rate).c_str(), account ? "on" : "off",
+                  rec->indexes.size(),
+                  FormatBytes(rec->total_size_bytes).c_str(),
+                  rec->baseline_cost - rec->recommended_cost,
+                  rec->update_cost);
+    }
+  }
+  std::cout << "\nExpected shape: with generalization ON the configuration "
+               "keeps helping the\nsix-region unseen workload (OFF only "
+               "covers the trained regions); with\naccounting ON, rising "
+               "update rates shrink or cheapen the configuration.\n";
+  return 0;
+}

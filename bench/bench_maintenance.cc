@@ -1,0 +1,137 @@
+// Maintenance validation: the advisor debits configurations by an
+// *estimated* per-update index-maintenance cost. This harness performs the
+// updates for real — inserting generated documents and deleting old ones
+// against physical indexes — and compares the estimated entries-touched
+// per operation with the measured ones.
+
+#include <cstdio>
+#include <iostream>
+#include <memory>
+
+#include "common/string_util.h"
+#include "index/index_builder.h"
+#include "index/maintenance.h"
+#include "workload/xmark_queries.h"
+#include "xmldata/xmark_gen.h"
+#include "xpath/parser.h"
+
+using namespace xia;
+
+int main() {
+  std::cout << "== Update-cost model vs actual index maintenance ==\n\n";
+
+  Database db;
+  XMarkParams params;
+  if (!PopulateXMark(&db, "xmark", 10, params, 42).ok()) return 1;
+  const PathSynopsis* synopsis = db.synopsis("xmark");
+  StorageConstants constants;
+  Catalog catalog;
+
+  struct Spec {
+    const char* pattern;
+    ValueType type;
+  };
+  const Spec specs[] = {
+      {"/site/regions/*/item/quantity", ValueType::kDouble},
+      {"/site/regions/*/item", ValueType::kVarchar},
+      {"/site/open_auctions/open_auction/bidder/increase",
+       ValueType::kDouble},
+      {"/site/people/person/profile/@income", ValueType::kDouble},
+      {"//date", ValueType::kVarchar},
+  };
+  for (const Spec& spec : specs) {
+    IndexDefinition def;
+    def.collection = "xmark";
+    Result<PathPattern> pattern = ParsePathPattern(spec.pattern);
+    if (!pattern.ok()) return 1;
+    def.pattern = std::move(*pattern);
+    def.type = spec.type;
+    def.name = catalog.UniqueName(def.pattern);
+    Result<PathIndex> built = BuildIndex(db, def);
+    if (!built.ok()) return 1;
+    if (!catalog
+             .AddPhysical(std::make_shared<PathIndex>(std::move(*built)),
+                          constants)
+             .ok()) {
+      return 1;
+    }
+  }
+
+  // The update op under study: inserting whole documents (the coarsest
+  // "insert one subtree instance" — target = the document root pattern).
+  Result<PathPattern> doc_target = ParsePathPattern("/site");
+  if (!doc_target.ok()) return 1;
+
+  std::printf("%-46s %-8s %14s %14s\n", "index pattern", "type",
+              "est/insert", "actual/insert");
+  // Estimated entries touched per inserted /site subtree.
+  double target_count = synopsis->EstimateCount(*doc_target);
+  for (const CatalogEntry* entry : catalog.AllIndexes()) {
+    double overlap = synopsis->EstimateSubtreeOverlap(*doc_target,
+                                                      entry->def.pattern);
+    double est_per_insert =
+        target_count > 0 ? overlap / target_count : overlap;
+    // Note: DOUBLE indexes reject non-numeric values, which the overlap
+    // estimate (node counts) does not know about; compare to VARCHAR
+    // semantics where they coincide.
+    std::printf("%-46s %-8s %14.1f %14s\n",
+                entry->def.pattern.ToString().c_str(),
+                ValueTypeName(entry->def.type), est_per_insert, "...");
+  }
+
+  // Now do it: insert 5 documents, measure per-index growth.
+  std::printf("\nperforming 5 real document inserts + maintenance...\n");
+  std::map<std::string, size_t> before;
+  for (const CatalogEntry* entry : catalog.AllIndexes()) {
+    before[entry->def.name] = entry->physical->num_entries();
+  }
+  Random rng(123);
+  Collection* coll = db.GetCollection("xmark");
+  size_t total_inserted = 0;
+  for (int i = 0; i < 5; ++i) {
+    DocId doc =
+        coll->Add(GenerateXMarkDocument(db.mutable_names(), params, &rng));
+    Result<MaintenanceStats> stats =
+        ApplyDocumentInsert(db, "xmark", doc, &catalog);
+    if (!stats.ok()) {
+      std::cerr << stats.status().ToString() << "\n";
+      return 1;
+    }
+    total_inserted += stats->entries_inserted;
+  }
+  std::printf("%-46s %-8s %14s %14s\n", "index pattern", "type",
+              "est/insert", "actual/insert");
+  for (const CatalogEntry* entry : catalog.AllIndexes()) {
+    double overlap = synopsis->EstimateSubtreeOverlap(*doc_target,
+                                                      entry->def.pattern);
+    double est_per_insert =
+        target_count > 0 ? overlap / target_count : overlap;
+    double actual_per_insert =
+        static_cast<double>(entry->physical->num_entries() -
+                            before[entry->def.name]) /
+        5.0;
+    std::printf("%-46s %-8s %14.1f %14.1f\n",
+                entry->def.pattern.ToString().c_str(),
+                ValueTypeName(entry->def.type), est_per_insert,
+                actual_per_insert);
+  }
+  std::printf("\ntotal entries inserted by maintenance: %zu\n",
+              total_inserted);
+
+  // And deletion: purge the 5 new documents again.
+  size_t total_removed = 0;
+  for (DocId doc = 10; doc < 15; ++doc) {
+    Result<MaintenanceStats> stats =
+        ApplyDocumentDelete(db, "xmark", doc, &catalog);
+    if (!stats.ok()) return 1;
+    total_removed += stats->entries_removed;
+  }
+  std::printf("total entries removed by delete maintenance: %zu\n",
+              total_removed);
+  std::printf("insert/delete symmetry: %s\n",
+              total_inserted == total_removed ? "exact" : "MISMATCH");
+  std::cout << "\nExpected shape: estimated entries/insert match actual for "
+               "VARCHAR indexes\nexactly and overestimate DOUBLE indexes "
+               "only by their non-numeric share.\n";
+  return 0;
+}

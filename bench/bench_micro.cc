@@ -1,0 +1,172 @@
+// Microbenchmarks (google-benchmark): the substrate operations the
+// advisor leans on — path parsing, containment, synopsis matching, index
+// probes, optimization, and DAG construction.
+
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "advisor/dag.h"
+#include "common/logging.h"
+#include "advisor/enumeration.h"
+#include "advisor/generalize.h"
+#include "index/index_builder.h"
+#include "optimizer/explain.h"
+#include "query/parser.h"
+#include "workload/xmark_queries.h"
+#include "xmldata/xmark_gen.h"
+#include "xpath/containment.h"
+#include "xpath/parser.h"
+
+namespace xia {
+namespace {
+
+/// Shared database fixture, built once.
+Database* SharedDb() {
+  static Database* db = [] {
+    auto* d = new Database();
+    XMarkParams params;
+    XIA_CHECK(PopulateXMark(d, "xmark", 10, params, 42).ok());
+    return d;
+  }();
+  return db;
+}
+
+void BM_ParsePathPattern(benchmark::State& state) {
+  for (auto _ : state) {
+    auto p = ParsePathPattern("/site/regions/*/item//mailbox/mail/@date");
+    benchmark::DoNotOptimize(p);
+  }
+}
+BENCHMARK(BM_ParsePathPattern);
+
+void BM_ParseXQuery(benchmark::State& state) {
+  const std::string text =
+      "for $i in doc(\"xmark\")/site/regions/africa/item[quantity > 3] "
+      "where $i/price < 100 and $i/payment = \"Cash\" return $i/name";
+  for (auto _ : state) {
+    auto q = ParseQuery(text);
+    benchmark::DoNotOptimize(q);
+  }
+}
+BENCHMARK(BM_ParseXQuery);
+
+void BM_ContainmentFastPath(benchmark::State& state) {
+  PathPattern g = *ParsePathPattern("/site/regions/*/item/*");
+  PathPattern s = *ParsePathPattern("/site/regions/africa/item/quantity");
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(PatternContains(g, s));
+  }
+}
+BENCHMARK(BM_ContainmentFastPath);
+
+void BM_ContainmentAutomaton(benchmark::State& state) {
+  PathPattern g = *ParsePathPattern("//regions//item/*");
+  PathPattern s = *ParsePathPattern("/site/regions/africa/item//quantity");
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(PatternContains(g, s));
+  }
+}
+BENCHMARK(BM_ContainmentAutomaton);
+
+void BM_ContainmentCached(benchmark::State& state) {
+  ContainmentCache cache;
+  PathPattern g = *ParsePathPattern("//regions//item/*");
+  PathPattern s = *ParsePathPattern("/site/regions/africa/item//quantity");
+  cache.Contains(g, s);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(cache.Contains(g, s));
+  }
+}
+BENCHMARK(BM_ContainmentCached);
+
+void BM_SynopsisMatch(benchmark::State& state) {
+  const PathSynopsis* synopsis = SharedDb()->synopsis("xmark");
+  PathPattern p = *ParsePathPattern("/site/regions/*/item/quantity");
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(synopsis->EstimateCount(p));
+  }
+}
+BENCHMARK(BM_SynopsisMatch);
+
+void BM_IndexBuild(benchmark::State& state) {
+  IndexDefinition def;
+  def.name = "bm";
+  def.collection = "xmark";
+  def.pattern = *ParsePathPattern("/site/regions/*/item/quantity");
+  def.type = ValueType::kDouble;
+  for (auto _ : state) {
+    auto index = BuildIndex(*SharedDb(), def);
+    benchmark::DoNotOptimize(index);
+  }
+}
+BENCHMARK(BM_IndexBuild);
+
+void BM_IndexProbe(benchmark::State& state) {
+  IndexDefinition def;
+  def.name = "bm";
+  def.collection = "xmark";
+  def.pattern = *ParsePathPattern("/site/regions/*/item/quantity");
+  def.type = ValueType::kDouble;
+  Result<PathIndex> index = BuildIndex(*SharedDb(), def);
+  XIA_CHECK(index.ok());
+  auto key = TypedValue::Make(ValueType::kDouble, "5");
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(index->LookupEq(*key));
+  }
+}
+BENCHMARK(BM_IndexProbe);
+
+void BM_OptimizeQuery(benchmark::State& state) {
+  CostModel cost_model;
+  Optimizer optimizer(SharedDb(), cost_model);
+  ContainmentCache cache;
+  Catalog catalog;
+  IndexDefinition def;
+  def.name = "bm";
+  def.collection = "xmark";
+  def.pattern = *ParsePathPattern("/site/regions/*/item/quantity");
+  def.type = ValueType::kDouble;
+  VirtualIndexStats stats = EstimateVirtualIndex(
+      *SharedDb()->synopsis("xmark"), def, cost_model.storage);
+  XIA_CHECK(catalog.AddVirtual(def, stats).ok());
+  Query query = *ParseQuery(
+      "for $i in doc(\"xmark\")/site/regions/africa/item "
+      "where $i/quantity > 5 return $i/name");
+  for (auto _ : state) {
+    auto plan = optimizer.Optimize(query, catalog, &cache);
+    benchmark::DoNotOptimize(plan);
+  }
+}
+BENCHMARK(BM_OptimizeQuery);
+
+void BM_EnumerateIndexesMode(benchmark::State& state) {
+  ContainmentCache cache;
+  Query query = *ParseQuery(
+      "for $i in doc(\"xmark\")/site/regions/africa/item "
+      "where $i/quantity > 5 and $i/payment = \"Cash\" return $i/name");
+  for (auto _ : state) {
+    auto result = EnumerateIndexesMode(*SharedDb(), query, &cache);
+    benchmark::DoNotOptimize(result);
+  }
+}
+BENCHMARK(BM_EnumerateIndexesMode);
+
+void BM_GeneralizeAndBuildDag(benchmark::State& state) {
+  ContainmentCache enum_cache;
+  Workload workload = MakeXMarkWorkload("xmark");
+  Result<EnumerationResult> enumerated =
+      EnumerateBasicCandidates(*SharedDb(), workload, &enum_cache);
+  XIA_CHECK(enumerated.ok());
+  for (auto _ : state) {
+    std::vector<CandidateIndex> expanded = GeneralizeCandidates(
+        enumerated->candidates, *SharedDb(), GeneralizeOptions());
+    ContainmentCache cache;
+    GeneralizationDag dag = GeneralizationDag::Build(expanded, &cache);
+    benchmark::DoNotOptimize(dag);
+  }
+}
+BENCHMARK(BM_GeneralizeAndBuildDag);
+
+}  // namespace
+}  // namespace xia

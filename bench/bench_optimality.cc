@@ -1,0 +1,147 @@
+// Optimality gap: on a workload small enough to enumerate every index
+// configuration that fits the budget, compare each search strategy's
+// recommendation against the true optimum. Quantifies how much the greedy
+// approximation of the 0/1 knapsack (Section 2.3) actually gives up.
+
+#include <cstdio>
+#include <iostream>
+#include <algorithm>
+#include <memory>
+
+#include "advisor/advisor.h"
+#include "advisor/benefit.h"
+#include "common/logging.h"
+#include "common/string_util.h"
+#include "xmldata/xmark_gen.h"
+
+using namespace xia;
+
+namespace {
+
+/// Small training workload so the candidate set stays enumerable.
+Workload SmallWorkload() {
+  Workload w;
+  auto add = [&w](const std::string& text, double weight) {
+    Status status = w.AddQueryText(text, weight);
+    XIA_CHECK(status.ok());
+  };
+  add("for $i in doc(\"xmark\")/site/regions/namerica/item "
+      "where $i/quantity > 5 return $i/name",
+      3.0);
+  add("for $i in doc(\"xmark\")/site/regions/africa/item "
+      "where $i/quantity > 2 return $i/name",
+      2.0);
+  add("for $i in doc(\"xmark\")/site/regions/samerica/item "
+      "where $i/price < 50 return $i/name",
+      2.0);
+  add("for $p in doc(\"xmark\")/site/people/person "
+      "where $p/profile/@income >= 80000 return $p/name",
+      1.0);
+  return w;
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "== Optimality gap vs exhaustive configuration search ==\n\n";
+
+  Database db;
+  XMarkParams params;
+  if (!PopulateXMark(&db, "xmark", 8, params, 42).ok()) return 1;
+  Workload workload = SmallWorkload();
+  Catalog catalog;
+  CostModel cost_model;
+
+  // Build the advisor's own candidate set (basics + generalized).
+  ContainmentCache cache;
+  Result<EnumerationResult> enumerated =
+      EnumerateBasicCandidates(db, workload, &cache);
+  if (!enumerated.ok()) return 1;
+  std::vector<CandidateIndex> all_candidates = GeneralizeCandidates(
+      enumerated->candidates, db, GeneralizeOptions());
+
+  // Keep the exhaustive sweep tractable: drop candidates with no
+  // stand-alone benefit (with no updates in the workload, adding an index
+  // never increases cost, so they cannot be part of an optimum), then cap
+  // at 16 by solo benefit.
+  Optimizer optimizer(&db, cost_model);
+  std::vector<CandidateIndex> candidates;
+  {
+    ConfigurationEvaluator prune_eval(&optimizer, &workload, &catalog,
+                                      &all_candidates, &cache,
+                                      /*account_update_cost=*/true);
+    Result<double> base = prune_eval.BaselineCost();
+    if (!base.ok()) return 1;
+    std::vector<std::pair<double, size_t>> ranked;
+    for (size_t i = 0; i < all_candidates.size(); ++i) {
+      Result<ConfigurationEvaluator::Evaluation> eval =
+          prune_eval.Evaluate({static_cast<int>(i)});
+      if (!eval.ok()) return 1;
+      double benefit = *base - eval->TotalCost();
+      if (benefit > 0) ranked.push_back({benefit, i});
+    }
+    std::sort(ranked.rbegin(), ranked.rend());
+    if (ranked.size() > 16) ranked.resize(16);
+    for (const auto& [benefit, i] : ranked) {
+      candidates.push_back(all_candidates[i]);
+    }
+  }
+  size_t n = candidates.size();
+  std::cout << all_candidates.size() << " candidates, " << n
+            << " with stand-alone benefit -> " << (1u << n)
+            << " configurations enumerated per budget\n\n";
+
+  ConfigurationEvaluator evaluator(&optimizer, &workload, &catalog,
+                                   &candidates, &cache,
+                                   /*account_update_cost=*/true);
+  Result<double> baseline = evaluator.BaselineCost();
+  if (!baseline.ok()) return 1;
+
+  std::printf("%-10s %12s | %10s %10s %10s\n", "budget", "optimal",
+              "greedy%", "heuristic%", "topdown%");
+  for (double budget_kb : {2.0, 4.0, 8.0, 16.0, 32.0}) {
+    double budget = budget_kb * 1024;
+    // Exhaustive sweep over all subsets that fit.
+    double best_benefit = 0;
+    for (uint32_t mask = 0; mask < (1u << n); ++mask) {
+      std::vector<int> config;
+      double size = 0;
+      for (size_t i = 0; i < n; ++i) {
+        if (mask & (1u << i)) {
+          config.push_back(static_cast<int>(i));
+          size += candidates[i].size_bytes();
+        }
+      }
+      if (size > budget) continue;
+      Result<ConfigurationEvaluator::Evaluation> eval =
+          evaluator.Evaluate(config);
+      if (!eval.ok()) return 1;
+      best_benefit = std::max(best_benefit, *baseline - eval->TotalCost());
+    }
+
+    // Each strategy's achieved fraction of the optimum.
+    double achieved[3] = {0, 0, 0};
+    int slot = 0;
+    for (SearchAlgorithm algo :
+         {SearchAlgorithm::kGreedy, SearchAlgorithm::kGreedyHeuristic,
+          SearchAlgorithm::kTopDown}) {
+      AdvisorOptions options;
+      options.space_budget_bytes = budget;
+      options.algorithm = algo;
+      options.cost_model = cost_model;
+      Advisor advisor(&db, &catalog, options);
+      Result<Recommendation> rec = advisor.Recommend(workload);
+      if (!rec.ok()) return 1;
+      achieved[slot++] =
+          best_benefit > 0 ? 100.0 * rec->benefit / best_benefit : 100.0;
+    }
+    std::printf("%-10s %12.0f | %9.1f%% %9.1f%% %9.1f%%\n",
+                FormatBytes(budget).c_str(), best_benefit, achieved[0],
+                achieved[1], achieved[2]);
+  }
+  std::cout << "\nExpected shape: greedy+heuristics tracks the optimum "
+               "closely at every\nbudget; plain greedy dips where "
+               "redundant picks crowd out useful ones;\ntop-down pays a "
+               "bounded generality premium.\n";
+  return 0;
+}

@@ -1,0 +1,86 @@
+// Scaling: advisor runtime and candidate counts vs. workload size and
+// database size — the practicality check a demo audience asks about.
+
+#include <chrono>
+#include <cstdio>
+#include <iostream>
+
+#include "advisor/advisor.h"
+#include "common/string_util.h"
+#include "workload/variation.h"
+#include "workload/xmark_queries.h"
+#include "xmldata/xmark_gen.h"
+
+using namespace xia;
+using Clock = std::chrono::steady_clock;
+
+namespace {
+double MsSince(Clock::time_point start) {
+  return std::chrono::duration<double, std::milli>(Clock::now() - start)
+      .count();
+}
+}  // namespace
+
+int main() {
+  std::cout << "== Scaling: advisor cost vs workload and database size ==\n\n";
+
+  // --- Sweep 1: workload size (fixed 10-doc database). ---
+  Database db;
+  XMarkParams params;
+  if (!PopulateXMark(&db, "xmark", 10, params, 42).ok()) return 1;
+  Catalog catalog;
+
+  std::cout << "---- workload-size sweep (10 docs, greedy+heuristics, "
+               "256 KB) ----\n";
+  std::printf("%8s %10s %10s %8s %8s %10s\n", "queries", "basic",
+              "expanded", "chosen", "evals", "time(ms)");
+  for (int extra : {0, 10, 20, 40, 65}) {
+    Workload workload = MakeXMarkWorkload("xmark");
+    Random rng(5);
+    Workload synth = MakeXMarkUnseenWorkload("xmark", &rng, extra);
+    for (const Query& q : synth.queries()) workload.AddQuery(q);
+
+    AdvisorOptions options;
+    options.space_budget_bytes = 256.0 * 1024;
+    Advisor advisor(&db, &catalog, options);
+    auto t0 = Clock::now();
+    Result<Recommendation> rec = advisor.Recommend(workload);
+    double ms = MsSince(t0);
+    if (!rec.ok()) {
+      std::cerr << rec.status().ToString() << "\n";
+      return 1;
+    }
+    std::printf("%8zu %10zu %10zu %8zu %8d %10.1f\n", workload.size(),
+                rec->enumeration.candidates.size(), rec->candidates.size(),
+                rec->indexes.size(), rec->search.evaluations, ms);
+  }
+
+  // --- Sweep 2: database size (fixed workload). ---
+  std::cout << "\n---- database-size sweep (15-query workload) ----\n";
+  std::printf("%8s %10s %12s %12s %10s\n", "docs", "nodes", "baseline",
+              "recommended", "time(ms)");
+  for (int docs : {5, 10, 20, 40, 80}) {
+    Database scaled;
+    if (!PopulateXMark(&scaled, "xmark", docs, params, 42).ok()) return 1;
+    Workload workload = MakeXMarkWorkload("xmark");
+    Catalog scaled_catalog;
+    AdvisorOptions options;
+    options.space_budget_bytes = 1024.0 * 1024;
+    Advisor advisor(&scaled, &scaled_catalog, options);
+    auto t0 = Clock::now();
+    Result<Recommendation> rec = advisor.Recommend(workload);
+    double ms = MsSince(t0);
+    if (!rec.ok()) {
+      std::cerr << rec.status().ToString() << "\n";
+      return 1;
+    }
+    std::printf("%8d %10zu %12.0f %12.1f %10.1f\n", docs,
+                scaled.GetCollection("xmark")->num_nodes(),
+                rec->baseline_cost, rec->recommended_cost, ms);
+  }
+  std::cout << "\nExpected shape: advisor time grows roughly linearly with "
+               "workload size;\nbaseline (scan) cost grows linearly with "
+               "database size while recommended\ncost stays near-flat — "
+               "the index-benefit gap widens with data volume.\n";
+  return 0;
+}

@@ -1,0 +1,73 @@
+// Ablation A: search-strategy comparison. Benefit vs. disk budget for
+// plain greedy (the relational-advisor baseline), greedy with redundancy
+// heuristics, and top-down DAG search, plus redundant-index counts — the
+// quantitative case for the paper's two strategies.
+
+#include <cstdio>
+#include <iostream>
+#include <memory>
+
+#include "advisor/advisor.h"
+#include "advisor/benefit.h"
+#include "common/string_util.h"
+#include "workload/xmark_queries.h"
+#include "xmldata/xmark_gen.h"
+
+using namespace xia;
+
+int main() {
+  std::cout << "== Ablation A: search strategies across disk budgets ==\n\n";
+
+  Database db;
+  XMarkParams params;
+  if (!PopulateXMark(&db, "xmark", 12, params, 42).ok()) return 1;
+  Workload workload = MakeXMarkWorkload("xmark");
+  Catalog catalog;
+
+  std::printf("%-10s %-18s %8s %10s %10s %8s %7s %6s\n", "budget",
+              "algorithm", "indexes", "size", "benefit", "benef%", "unused",
+              "evals");
+
+  for (double budget_kb : {8.0, 16.0, 32.0, 64.0, 128.0, 256.0, 1024.0}) {
+    for (SearchAlgorithm algo :
+         {SearchAlgorithm::kGreedy, SearchAlgorithm::kGreedyHeuristic,
+          SearchAlgorithm::kTopDown}) {
+      AdvisorOptions options;
+      options.space_budget_bytes = budget_kb * 1024;
+      options.algorithm = algo;
+      Advisor advisor(&db, &catalog, options);
+      Result<Recommendation> rec = advisor.Recommend(workload);
+      if (!rec.ok()) {
+        std::cerr << rec.status().ToString() << "\n";
+        return 1;
+      }
+      // Count recommended indexes the optimizer never uses (the paper's
+      // redundancy problem; the heuristic search should drive this to 0).
+      Optimizer optimizer(&db, options.cost_model);
+      ConfigurationEvaluator evaluator(&optimizer, &workload, &catalog,
+                                       &rec->candidates, advisor.cache(),
+                                       options.account_update_cost);
+      Result<ConfigurationEvaluator::Evaluation> eval =
+          evaluator.Evaluate(rec->search.chosen);
+      int unused = 0;
+      if (eval.ok()) {
+        for (int c : rec->search.chosen) {
+          if (eval->used_candidates.count(c) == 0) ++unused;
+        }
+      }
+      double pct = rec->baseline_cost > 0
+                       ? 100.0 * rec->benefit / rec->baseline_cost
+                       : 0.0;
+      std::printf("%-10s %-18s %8zu %10s %10.0f %7.1f%% %7d %6d\n",
+                  FormatBytes(budget_kb * 1024).c_str(),
+                  SearchAlgorithmName(algo), rec->indexes.size(),
+                  FormatBytes(rec->total_size_bytes).c_str(), rec->benefit,
+                  pct, unused, rec->search.evaluations);
+    }
+  }
+  std::cout << "\nExpected shape: all algorithms converge at large budgets; "
+               "plain greedy\nmay recommend never-used indexes at mid "
+               "budgets; top-down trades a little\ntraining benefit for "
+               "more general configurations.\n";
+  return 0;
+}

@@ -1,0 +1,61 @@
+// Sizing: virtual-index size estimation accuracy. The advisor packs a
+// knapsack using *estimated* sizes; this harness builds every candidate
+// physically and compares estimated vs actual size and entry counts.
+
+#include <cstdio>
+#include <iostream>
+
+#include "advisor/enumeration.h"
+#include "advisor/generalize.h"
+#include "common/string_util.h"
+#include "index/index_builder.h"
+#include "workload/xmark_queries.h"
+#include "xmldata/xmark_gen.h"
+
+using namespace xia;
+
+int main() {
+  std::cout << "== Virtual-index size estimation vs actual builds ==\n\n";
+
+  Database db;
+  XMarkParams params;
+  if (!PopulateXMark(&db, "xmark", 10, params, 42).ok()) return 1;
+  Workload workload = MakeXMarkWorkload("xmark");
+  ContainmentCache cache;
+
+  Result<EnumerationResult> enumerated =
+      EnumerateBasicCandidates(db, workload, &cache);
+  if (!enumerated.ok()) {
+    std::cerr << enumerated.status().ToString() << "\n";
+    return 1;
+  }
+  std::vector<CandidateIndex> candidates = GeneralizeCandidates(
+      enumerated->candidates, db, GeneralizeOptions());
+
+  StorageConstants constants;
+  std::printf("%-44s %-8s %9s %9s %10s %10s %7s\n", "pattern", "type",
+              "est-rows", "act-rows", "est-size", "act-size", "ratio");
+  double worst_ratio = 1.0;
+  for (const CandidateIndex& cand : candidates) {
+    IndexDefinition def = cand.def;
+    def.name = "probe";
+    Result<PathIndex> built = BuildIndex(db, def);
+    if (!built.ok()) continue;
+    double actual_size = built->ByteSize(constants);
+    double ratio = actual_size > 0 ? cand.stats.size_bytes / actual_size
+                                   : 1.0;
+    worst_ratio = std::max(worst_ratio,
+                           std::max(ratio, ratio > 0 ? 1.0 / ratio : 1.0));
+    std::printf("%-44s %-8s %9.0f %9zu %10s %10s %6.2fx\n",
+                def.pattern.ToString().c_str(), ValueTypeName(def.type),
+                cand.stats.entries, built->num_entries(),
+                FormatBytes(cand.stats.size_bytes).c_str(),
+                FormatBytes(actual_size).c_str(), ratio);
+  }
+  std::printf("\nworst estimate/actual ratio: %.2fx over %zu candidates\n",
+              worst_ratio, candidates.size());
+  std::cout << "Expected shape: entry counts match exactly (the synopsis "
+               "is lossless for\nlinear patterns); byte sizes agree within "
+               "tens of percent.\n";
+  return 0;
+}

@@ -1,0 +1,409 @@
+// Interactive advisor shell: the demo's "visual client" as a REPL. Works
+// from a terminal or a piped script; try:
+//
+//   ./build/examples/advisor_shell < docs/demo_script.txt
+//
+// Commands (see `help`):
+//   gen xmark <docs> | gen tpox <customers> <orders> <securities>
+//   load <collection> <file.xml>         add a document from disk
+//   analyze <collection>                 rebuild statistics (RUNSTATS)
+//   workload xmark|tpox                  load the built-in workload
+//   workload file <path>                 load a workload file
+//   query <weight> <text...>             add one query
+//   update <insert|delete> <coll> <w> <pattern>
+//   show workload|catalog|candidates|dag
+//   enumerate <query...>                 EXPLAIN: Enumerate Indexes mode
+//   advise <budget_kb> [greedy|heuristic|topdown]
+//   ddl                                  print the recommendation as DDL
+//   materialize                          build the recommended indexes
+//   run <query...>                       optimize + execute a query
+//   quit
+
+#include <fstream>
+#include <iostream>
+#include <optional>
+#include <sstream>
+#include <string>
+
+#include "advisor/advisor.h"
+#include "advisor/analysis.h"
+#include "advisor/whatif.h"
+#include "common/string_util.h"
+#include "exec/executor.h"
+#include "optimizer/explain.h"
+#include "query/parser.h"
+#include "storage/collection_io.h"
+#include "xpath/parser.h"
+#include "workload/tpox_queries.h"
+#include "workload/workload_io.h"
+#include "workload/xmark_queries.h"
+#include "xmldata/tpox_gen.h"
+#include "xmldata/xmark_gen.h"
+
+using namespace xia;
+
+namespace {
+
+/// All shell state in one place.
+struct Session {
+  Database db;
+  Catalog catalog;
+  Workload workload;
+  std::optional<Recommendation> recommendation;
+  std::optional<WhatIfSession> whatif;
+  AdvisorOptions options;
+  ContainmentCache cache;
+};
+
+void PrintHelp() {
+  std::cout <<
+      "commands:\n"
+      "  gen xmark <docs> | gen tpox <cust> <orders> <secs>\n"
+      "  load <collection> <file.xml>\n"
+      "  savecoll <collection> <dir> | loadcoll <collection> <dir>\n"
+      "  analyze <collection>\n"
+      "  workload xmark|tpox | workload file <path>\n"
+      "  query <weight> <text...>\n"
+      "  update <insert|delete> <collection> <weight> <pattern>\n"
+      "  show workload|catalog|candidates|dag\n"
+      "  enumerate <query...>\n"
+      "  advise <budget_kb> [greedy|heuristic|topdown]\n"
+      "  whatif start|add <coll> <pattern> <double|varchar>|drop <name>|eval\n"
+      "  ddl | materialize | run <query...> | help | quit\n";
+}
+
+void CmdGen(Session* s, std::istringstream* args) {
+  std::string kind;
+  *args >> kind;
+  if (kind == "xmark") {
+    int docs = 10;
+    *args >> docs;
+    Status status = PopulateXMark(&s->db, "xmark", docs, XMarkParams(), 42);
+    std::cout << (status.ok()
+                      ? "generated xmark: " +
+                            std::to_string(
+                                s->db.GetCollection("xmark")->num_nodes()) +
+                            " nodes\n"
+                      : status.ToString() + "\n");
+  } else if (kind == "tpox") {
+    int customers = 50;
+    int orders = 100;
+    int securities = 20;
+    *args >> customers >> orders >> securities;
+    Status status = PopulateTpox(&s->db, customers, orders, securities,
+                                 TpoxParams(), 11);
+    std::cout << (status.ok() ? "generated tpox collections\n"
+                              : status.ToString() + "\n");
+  } else {
+    std::cout << "usage: gen xmark <docs> | gen tpox <c> <o> <s>\n";
+  }
+}
+
+void CmdLoad(Session* s, std::istringstream* args) {
+  std::string collection;
+  std::string path;
+  *args >> collection >> path;
+  std::ifstream in(path);
+  if (!in) {
+    std::cout << "cannot open " << path << "\n";
+    return;
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  if (s->db.GetCollection(collection) == nullptr) {
+    Result<Collection*> created = s->db.CreateCollection(collection);
+    if (!created.ok()) {
+      std::cout << created.status().ToString() << "\n";
+      return;
+    }
+  }
+  Status status = s->db.LoadXml(collection, buffer.str());
+  std::cout << (status.ok() ? "loaded 1 document (run 'analyze " +
+                                  collection + "' to refresh stats)\n"
+                            : status.ToString() + "\n");
+}
+
+void CmdWorkload(Session* s, std::istringstream* args) {
+  std::string kind;
+  *args >> kind;
+  if (kind == "xmark") {
+    s->workload = MakeXMarkWorkload("xmark");
+    std::cout << "loaded built-in xmark workload ("
+              << s->workload.size() << " queries)\n";
+  } else if (kind == "tpox") {
+    s->workload = MakeTpoxWorkload();
+    std::cout << "loaded built-in tpox workload (" << s->workload.size()
+              << " queries)\n";
+  } else if (kind == "file") {
+    std::string path;
+    *args >> path;
+    Result<Workload> loaded = LoadWorkloadFile(path);
+    if (!loaded.ok()) {
+      std::cout << loaded.status().ToString() << "\n";
+      return;
+    }
+    s->workload = std::move(*loaded);
+    std::cout << "loaded " << s->workload.size() << " queries from "
+              << path << "\n";
+  } else {
+    std::cout << "usage: workload xmark|tpox | workload file <path>\n";
+  }
+}
+
+void CmdAdvise(Session* s, std::istringstream* args) {
+  double budget_kb = 128;
+  std::string algo = "heuristic";
+  *args >> budget_kb >> algo;
+  s->options.space_budget_bytes = budget_kb * 1024;
+  if (algo == "greedy") {
+    s->options.algorithm = SearchAlgorithm::kGreedy;
+  } else if (algo == "topdown") {
+    s->options.algorithm = SearchAlgorithm::kTopDown;
+  } else {
+    s->options.algorithm = SearchAlgorithm::kGreedyHeuristic;
+  }
+  Advisor advisor(&s->db, &s->catalog, s->options);
+  Result<Recommendation> rec = advisor.Recommend(s->workload);
+  if (!rec.ok()) {
+    std::cout << rec.status().ToString() << "\n";
+    return;
+  }
+  s->recommendation = std::move(*rec);
+  std::cout << s->recommendation->Report();
+  Result<RecommendationAnalysis> analysis = AnalyzeRecommendation(
+      s->db, s->catalog, s->workload, *s->recommendation,
+      s->options.cost_model, &s->cache);
+  if (analysis.ok()) std::cout << analysis->ToTable();
+}
+
+void CmdShow(Session* s, std::istringstream* args) {
+  std::string what;
+  *args >> what;
+  if (what == "workload") {
+    std::cout << s->workload.Describe();
+  } else if (what == "stats") {
+    std::string collection;
+    *args >> collection;
+    const PathSynopsis* synopsis = s->db.synopsis(collection);
+    if (synopsis == nullptr) {
+      std::cout << "no statistics for '" << collection
+                << "' (run 'analyze')\n";
+    } else {
+      std::cout << synopsis->Describe(/*max_paths=*/60);
+    }
+  } else if (what == "catalog") {
+    for (const CatalogEntry* entry : s->catalog.AllIndexes()) {
+      std::cout << "  " << entry->def.DdlString()
+                << (entry->is_virtual ? "  [virtual]\n" : "\n");
+    }
+    if (s->catalog.size() == 0) std::cout << "  (empty)\n";
+  } else if (what == "candidates" || what == "dag") {
+    if (!s->recommendation.has_value()) {
+      std::cout << "run 'advise' first\n";
+      return;
+    }
+    if (what == "candidates") {
+      std::cout << s->recommendation->enumeration.ToString();
+    } else {
+      std::cout << s->recommendation->dag.ToText(
+          s->recommendation->candidates);
+    }
+  } else {
+    std::cout << "usage: show workload|catalog|candidates|dag|stats <coll>\n";
+  }
+}
+
+void CmdWhatIf(Session* s, std::istringstream* args) {
+  std::string sub;
+  *args >> sub;
+  if (sub == "start") {
+    // Seed the overlay with the current recommendation, if any.
+    s->whatif.emplace(&s->db, s->catalog, s->options.cost_model);
+    size_t seeded = 0;
+    if (s->recommendation.has_value()) {
+      for (const IndexDefinition& def : s->recommendation->indexes) {
+        if (s->whatif->AddIndex(def).ok()) ++seeded;
+      }
+    }
+    std::cout << "what-if session started (" << seeded
+              << " indexes seeded from the recommendation)\n";
+    return;
+  }
+  if (!s->whatif.has_value()) {
+    std::cout << "run 'whatif start' first\n";
+    return;
+  }
+  if (sub == "add") {
+    IndexDefinition def;
+    std::string pattern_text;
+    std::string type_text;
+    *args >> def.collection >> pattern_text >> type_text;
+    Result<PathPattern> pattern = ParsePathPattern(pattern_text);
+    if (!pattern.ok()) {
+      std::cout << pattern.status().ToString() << "\n";
+      return;
+    }
+    def.pattern = std::move(*pattern);
+    def.type = ToLower(type_text) == "double" ? ValueType::kDouble
+                                              : ValueType::kVarchar;
+    Result<std::string> name = s->whatif->AddIndex(std::move(def));
+    std::cout << (name.ok() ? "added virtual index " + *name + "\n"
+                            : name.status().ToString() + "\n");
+  } else if (sub == "drop") {
+    std::string name;
+    *args >> name;
+    Status status = s->whatif->DropIndex(name);
+    std::cout << (status.ok() ? "dropped\n" : status.ToString() + "\n");
+  } else if (sub == "eval") {
+    Result<EvaluateIndexesResult> result =
+        s->whatif->EvaluateWorkload(s->workload);
+    std::cout << (result.ok() ? result->ToString()
+                              : result.status().ToString() + "\n");
+  } else {
+    std::cout << "usage: whatif start|add <coll> <pattern> "
+                 "<double|varchar>|drop <name>|eval\n";
+  }
+}
+
+void CmdEnumerate(Session* s, const std::string& rest) {
+  Result<Query> query = ParseQuery(rest);
+  if (!query.ok()) {
+    std::cout << query.status().ToString() << "\n";
+    return;
+  }
+  query->id = "shell";
+  Result<EnumerateIndexesResult> result =
+      EnumerateIndexesMode(s->db, *query, &s->cache);
+  std::cout << (result.ok() ? result->ToString()
+                            : result.status().ToString() + "\n");
+}
+
+void CmdRun(Session* s, const std::string& rest) {
+  Result<Query> query = ParseQuery(rest);
+  if (!query.ok()) {
+    std::cout << query.status().ToString() << "\n";
+    return;
+  }
+  query->id = "shell";
+  Optimizer optimizer(&s->db, s->options.cost_model);
+  Result<QueryPlan> plan =
+      optimizer.Optimize(*query, s->catalog, &s->cache);
+  if (!plan.ok()) {
+    std::cout << plan.status().ToString() << "\n";
+    return;
+  }
+  std::cout << plan->Explain();
+  Executor executor(&s->db, &s->catalog, s->options.cost_model);
+  Result<ExecResult> run = executor.Execute(*plan);
+  if (!run.ok()) {
+    std::cout << run.status().ToString() << "\n";
+    return;
+  }
+  std::cout << "-> " << run->nodes.size() << " result nodes from "
+            << run->docs_matched << " docs in "
+            << FormatDouble(run->wall_micros) << "us ("
+            << FormatDouble(run->simulated_page_reads) << " pages)\n";
+  std::string rendered =
+      RenderResults(s->db, query->normalized.collection, *run, 5);
+  if (!rendered.empty()) std::cout << rendered;
+}
+
+}  // namespace
+
+int main() {
+  Session session;
+  std::cout << "xia advisor shell — type 'help' for commands\n";
+  std::string line;
+  while (std::cout << "xia> " << std::flush, std::getline(std::cin, line)) {
+    std::istringstream args(line);
+    std::string command;
+    args >> command;
+    std::string rest;
+    std::getline(args, rest);
+    std::istringstream params(rest);
+    if (command.empty()) continue;
+    if (command == "quit" || command == "exit") break;
+    if (command == "help") {
+      PrintHelp();
+    } else if (command == "gen") {
+      CmdGen(&session, &params);
+    } else if (command == "load") {
+      CmdLoad(&session, &params);
+    } else if (command == "savecoll" || command == "loadcoll") {
+      std::string collection;
+      std::string dir;
+      params >> collection >> dir;
+      if (command == "savecoll") {
+        Status status =
+            SaveCollectionToDirectory(session.db, collection, dir);
+        std::cout << (status.ok() ? "saved to " + dir + "\n"
+                                  : status.ToString() + "\n");
+      } else {
+        Result<size_t> loaded =
+            LoadCollectionFromDirectory(&session.db, collection, dir);
+        std::cout << (loaded.ok() ? "loaded " + std::to_string(*loaded) +
+                                        " documents (analyzed)\n"
+                                  : loaded.status().ToString() + "\n");
+      }
+    } else if (command == "analyze") {
+      std::string collection;
+      params >> collection;
+      Status status = session.db.Analyze(collection);
+      std::cout << (status.ok() ? "statistics rebuilt\n"
+                                : status.ToString() + "\n");
+    } else if (command == "workload") {
+      CmdWorkload(&session, &params);
+    } else if (command == "query") {
+      double weight = 1.0;
+      params >> weight;
+      std::string text;
+      std::getline(params, text);
+      Status status =
+          session.workload.AddQueryText(std::string(Trim(text)), weight);
+      std::cout << (status.ok() ? "added\n" : status.ToString() + "\n");
+    } else if (command == "update") {
+      Result<Workload> parsed = ParseWorkloadText("update " + rest);
+      if (!parsed.ok()) {
+        std::cout << parsed.status().ToString() << "\n";
+      } else {
+        session.workload.AddUpdate(parsed->updates()[0]);
+        std::cout << "added\n";
+      }
+    } else if (command == "show") {
+      CmdShow(&session, &params);
+    } else if (command == "enumerate") {
+      CmdEnumerate(&session, std::string(Trim(rest)));
+    } else if (command == "advise") {
+      CmdAdvise(&session, &params);
+    } else if (command == "whatif") {
+      CmdWhatIf(&session, &params);
+    } else if (command == "ddl") {
+      if (session.recommendation.has_value()) {
+        std::cout << ConfigurationDdlScript(
+            session.recommendation->indexes);
+      } else {
+        std::cout << "run 'advise' first\n";
+      }
+    } else if (command == "materialize") {
+      if (!session.recommendation.has_value()) {
+        std::cout << "run 'advise' first\n";
+      } else {
+        Result<double> built = MaterializeConfiguration(
+            session.db, session.recommendation->indexes, &session.catalog,
+            session.options.cost_model.storage);
+        std::cout << (built.ok()
+                          ? "materialized " +
+                                std::to_string(
+                                    session.recommendation->indexes.size()) +
+                                " indexes (" + FormatBytes(*built) + ")\n"
+                          : built.status().ToString() + "\n");
+      }
+    } else if (command == "run") {
+      CmdRun(&session, std::string(Trim(rest)));
+    } else {
+      std::cout << "unknown command '" << command
+                << "' — type 'help'\n";
+    }
+  }
+  return 0;
+}

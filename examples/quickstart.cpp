@@ -1,0 +1,75 @@
+// Quickstart: load a small XML database, define a workload, run the XML
+// Index Advisor, and inspect the recommendation.
+//
+// Build and run:
+//   cmake -B build -G Ninja && cmake --build build
+//   ./build/examples/quickstart
+
+#include <iostream>
+
+#include "xia.h"  // Umbrella header: the whole public API.
+
+int main() {
+  using namespace xia;
+
+  // 1. Create a database and fill it with XMark-like auction documents.
+  Database db;
+  XMarkParams params;
+  Status status = PopulateXMark(&db, "xmark", /*num_docs=*/20, params,
+                                /*seed=*/42);
+  if (!status.ok()) {
+    std::cerr << status.ToString() << "\n";
+    return 1;
+  }
+  std::cout << "Loaded " << db.GetCollection("xmark")->num_docs()
+            << " documents, " << db.GetCollection("xmark")->num_nodes()
+            << " nodes\n\n";
+
+  // 2. Define the query workload (XQuery and SQL/XML both work).
+  Workload workload;
+  (void)workload.AddQueryText(
+      "for $i in doc(\"xmark\")/site/regions/namerica/item "
+      "where $i/quantity > 5 return $i/name",
+      3.0);
+  (void)workload.AddQueryText(
+      "for $i in doc(\"xmark\")/site/regions/africa/item "
+      "where $i/quantity > 2 return $i/name",
+      2.0);
+  (void)workload.AddQueryText(
+      "for $i in doc(\"xmark\")/site/regions/samerica/item "
+      "where $i/price < 50 return $i/name",
+      2.0);
+  (void)workload.AddQueryText(
+      "select * from xmark where "
+      "xmlexists('$d/site/people/person[address/country = \"Germany\"]')",
+      1.0);
+  std::cout << workload.Describe() << "\n";
+
+  // 3. Run the advisor with a 256 KB disk budget.
+  Catalog catalog;
+  AdvisorOptions options;
+  options.space_budget_bytes = 256.0 * 1024;
+  options.algorithm = SearchAlgorithm::kGreedyHeuristic;
+  Advisor advisor(&db, &catalog, options);
+  Result<Recommendation> rec = advisor.Recommend(workload);
+  if (!rec.ok()) {
+    std::cerr << rec.status().ToString() << "\n";
+    return 1;
+  }
+
+  // 4. Inspect the intermediate artifacts and the recommendation.
+  std::cout << rec->enumeration.ToString() << "\n";
+  std::cout << "Generalization DAG:\n"
+            << rec->dag.ToText(rec->candidates) << "\n";
+  std::cout << "Search trace:\n" << rec->search.TraceString() << "\n";
+  std::cout << rec->Report() << "\n";
+
+  // 5. Per-query analysis: no-index vs recommended vs overtrained.
+  Result<RecommendationAnalysis> analysis =
+      AnalyzeRecommendation(db, catalog, workload, *rec,
+                            options.cost_model, advisor.cache());
+  if (analysis.ok()) {
+    std::cout << "Recommendation analysis:\n" << analysis->ToTable();
+  }
+  return 0;
+}

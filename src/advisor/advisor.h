@@ -1,0 +1,82 @@
+#ifndef XIA_ADVISOR_ADVISOR_H_
+#define XIA_ADVISOR_ADVISOR_H_
+
+#include <string>
+#include <vector>
+
+#include "advisor/dag.h"
+#include "advisor/enumeration.h"
+#include "advisor/generalize.h"
+#include "advisor/search_greedy.h"
+#include "common/status.h"
+#include "index/catalog.h"
+#include "optimizer/cost_model.h"
+#include "storage/database.h"
+#include "workload/workload.h"
+
+namespace xia {
+
+/// Which configuration-search strategy the advisor runs (Section 2.3
+/// offers the user the same choice).
+enum class SearchAlgorithm { kGreedy, kGreedyHeuristic, kTopDown };
+
+const char* SearchAlgorithmName(SearchAlgorithm algorithm);
+
+/// Advisor inputs beyond the workload itself (paper Figure 1's "Input"
+/// box: database, system information, disk space constraint).
+struct AdvisorOptions {
+  double space_budget_bytes = 8.0 * 1024 * 1024;
+  SearchAlgorithm algorithm = SearchAlgorithm::kGreedyHeuristic;
+  bool enable_generalization = true;   // Ablation B switch.
+  bool account_update_cost = true;     // Ablation B switch.
+  GeneralizeOptions generalize;
+  CostModel cost_model;
+};
+
+/// The advisor's output (paper Figure 1's "Output" box), retaining every
+/// intermediate artifact the demo displays: the basic candidates, the
+/// expanded set, the generalization DAG, and the search trace.
+struct Recommendation {
+  std::vector<IndexDefinition> indexes;  // Final named definitions.
+  double total_size_bytes = 0;
+  double baseline_cost = 0;
+  double recommended_cost = 0;  // Weighted workload cost under the config.
+  double update_cost = 0;
+  double benefit = 0;
+
+  EnumerationResult enumeration;          // Basic candidate set.
+  std::vector<CandidateIndex> candidates;  // Expanded (generalized) set.
+  GeneralizationDag dag;
+  SearchResult search;
+
+  /// Human-readable report: recommended DDL + cost summary.
+  std::string Report() const;
+};
+
+/// The XML Index Advisor: ties candidate enumeration, generalization, and
+/// configuration search together against one database + catalog. This is
+/// the client-side application of Figure 1; the "server side" it drives is
+/// the optimizer's two EXPLAIN modes.
+class Advisor {
+ public:
+  /// `db` and `base_catalog` must outlive the advisor. Collections
+  /// referenced by workloads must be Analyze()d.
+  Advisor(const Database* db, const Catalog* base_catalog,
+          AdvisorOptions options);
+
+  /// Runs the full recommendation pipeline for `workload`.
+  Result<Recommendation> Recommend(const Workload& workload);
+
+  const AdvisorOptions& options() const { return options_; }
+  ContainmentCache* cache() { return &cache_; }
+
+ private:
+  const Database* db_;
+  const Catalog* base_catalog_;
+  AdvisorOptions options_;
+  ContainmentCache cache_;
+};
+
+}  // namespace xia
+
+#endif  // XIA_ADVISOR_ADVISOR_H_

@@ -1,0 +1,110 @@
+#include "advisor/analysis.h"
+
+#include <cstdio>
+
+#include "common/string_util.h"
+#include "index/index_builder.h"
+
+namespace xia {
+
+std::string RecommendationAnalysis::ToTable() const {
+  std::string out;
+  char buf[160];
+  std::snprintf(buf, sizeof(buf), "%-8s %14s %14s %14s\n", "query",
+                "no-index", "recommended", "overtrained");
+  out += buf;
+  for (const QueryCostRow& row : rows) {
+    std::snprintf(buf, sizeof(buf), "%-8s %14.1f %14.1f %14.1f\n",
+                  row.query_id.c_str(), row.cost_no_index,
+                  row.cost_recommended, row.cost_overtrained);
+    out += buf;
+  }
+  std::snprintf(buf, sizeof(buf), "%-8s %14.1f %14.1f %14.1f\n", "TOTAL",
+                total_no_index, total_recommended, total_overtrained);
+  out += buf;
+  out += "recommended size: " + FormatBytes(recommended_size_bytes) +
+         ", overtrained size: " + FormatBytes(overtrained_size_bytes) + "\n";
+  return out;
+}
+
+Result<RecommendationAnalysis> AnalyzeRecommendation(
+    const Database& db, const Catalog& base_catalog, const Workload& workload,
+    const Recommendation& rec, const CostModel& cost_model,
+    ContainmentCache* cache) {
+  Optimizer optimizer(&db, cost_model);
+
+  // Overtrained configuration: every basic candidate.
+  std::vector<IndexDefinition> overtrained;
+  double overtrained_size = 0;
+  for (const CandidateIndex& cand : rec.enumeration.candidates) {
+    overtrained.push_back(cand.def);
+    overtrained_size += cand.size_bytes();
+  }
+
+  XIA_ASSIGN_OR_RETURN(
+      EvaluateIndexesResult none,
+      EvaluateIndexesMode(optimizer, workload.queries(), {}, base_catalog,
+                          cache));
+  XIA_ASSIGN_OR_RETURN(
+      EvaluateIndexesResult recommended,
+      EvaluateIndexesMode(optimizer, workload.queries(), rec.indexes,
+                          base_catalog, cache));
+  XIA_ASSIGN_OR_RETURN(
+      EvaluateIndexesResult full,
+      EvaluateIndexesMode(optimizer, workload.queries(), overtrained,
+                          base_catalog, cache));
+
+  RecommendationAnalysis analysis;
+  for (size_t i = 0; i < workload.queries().size(); ++i) {
+    QueryCostRow row;
+    row.query_id = workload.queries()[i].id;
+    row.cost_no_index = none.plans[i].total_cost;
+    row.cost_recommended = recommended.plans[i].total_cost;
+    row.cost_overtrained = full.plans[i].total_cost;
+    analysis.rows.push_back(std::move(row));
+  }
+  analysis.total_no_index = none.total_weighted_cost;
+  analysis.total_recommended = recommended.total_weighted_cost;
+  analysis.total_overtrained = full.total_weighted_cost;
+  analysis.recommended_size_bytes = rec.total_size_bytes;
+  analysis.overtrained_size_bytes = overtrained_size;
+  return analysis;
+}
+
+Result<EvaluateIndexesResult> EvaluateConfigurationOnWorkload(
+    const Database& db, const Catalog& base_catalog,
+    const std::vector<IndexDefinition>& config, const Workload& workload,
+    const CostModel& cost_model, ContainmentCache* cache) {
+  Optimizer optimizer(&db, cost_model);
+  return EvaluateIndexesMode(optimizer, workload.queries(), config,
+                             base_catalog, cache);
+}
+
+std::string ConfigurationDdlScript(
+    const std::vector<IndexDefinition>& config) {
+  std::string out = "-- xia recommended configuration (" +
+                    std::to_string(config.size()) + " indexes)\n";
+  for (const IndexDefinition& def : config) {
+    out += def.DdlString() + ";\n";
+  }
+  return out;
+}
+
+Result<double> MaterializeConfiguration(
+    const Database& db, const std::vector<IndexDefinition>& config,
+    Catalog* catalog, const StorageConstants& constants) {
+  double total_bytes = 0;
+  for (const IndexDefinition& def : config) {
+    IndexDefinition copy = def;
+    if (copy.name.empty() || catalog->Find(copy.name) != nullptr) {
+      copy.name = catalog->UniqueName(copy.pattern);
+    }
+    XIA_ASSIGN_OR_RETURN(PathIndex index, BuildIndex(db, copy));
+    total_bytes += index.ByteSize(constants);
+    XIA_RETURN_IF_ERROR(catalog->AddPhysical(
+        std::make_shared<PathIndex>(std::move(index)), constants));
+  }
+  return total_bytes;
+}
+
+}  // namespace xia

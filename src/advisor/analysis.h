@@ -1,0 +1,65 @@
+#ifndef XIA_ADVISOR_ANALYSIS_H_
+#define XIA_ADVISOR_ANALYSIS_H_
+
+#include <string>
+#include <vector>
+
+#include "advisor/advisor.h"
+#include "common/status.h"
+#include "optimizer/explain.h"
+
+namespace xia {
+
+/// One row of the recommendation-analysis view (paper Figure 5): the three
+/// estimated costs the demo lets the user compare per query.
+struct QueryCostRow {
+  std::string query_id;
+  double cost_no_index = 0;
+  double cost_recommended = 0;
+  double cost_overtrained = 0;
+};
+
+/// The full analysis: per-query rows plus configuration totals. The
+/// "overtrained" configuration is every basic candidate the advisor
+/// enumerated — usually over budget, but an upper bound on achievable
+/// benefit for the training workload.
+struct RecommendationAnalysis {
+  std::vector<QueryCostRow> rows;
+  double total_no_index = 0;
+  double total_recommended = 0;
+  double total_overtrained = 0;
+  double recommended_size_bytes = 0;
+  double overtrained_size_bytes = 0;
+
+  /// Fixed-width table rendering.
+  std::string ToTable() const;
+};
+
+/// Computes the three-way cost comparison of Figure 5 for `workload`.
+Result<RecommendationAnalysis> AnalyzeRecommendation(
+    const Database& db, const Catalog& base_catalog, const Workload& workload,
+    const Recommendation& rec, const CostModel& cost_model,
+    ContainmentCache* cache);
+
+/// Evaluates an index configuration against an arbitrary (e.g. unseen)
+/// workload — the demo's "add more queries beyond the input workload"
+/// feature that shows off generalized configurations.
+Result<EvaluateIndexesResult> EvaluateConfigurationOnWorkload(
+    const Database& db, const Catalog& base_catalog,
+    const std::vector<IndexDefinition>& config, const Workload& workload,
+    const CostModel& cost_model, ContainmentCache* cache);
+
+/// Physically creates the configuration's indexes and registers them in
+/// `catalog` — the demo's final "create it" step. Returns the built sizes.
+Result<double> MaterializeConfiguration(
+    const Database& db, const std::vector<IndexDefinition>& config,
+    Catalog* catalog, const StorageConstants& constants);
+
+/// Renders the configuration as a DB2-style DDL script the user can review
+/// before creating anything.
+std::string ConfigurationDdlScript(
+    const std::vector<IndexDefinition>& config);
+
+}  // namespace xia
+
+#endif  // XIA_ADVISOR_ANALYSIS_H_

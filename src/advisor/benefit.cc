@@ -1,0 +1,151 @@
+#include "advisor/benefit.h"
+
+#include <algorithm>
+
+#include "common/string_util.h"
+
+namespace xia {
+
+std::string CandidateOverlayName(int candidate) {
+  return "cand" + std::to_string(candidate);
+}
+
+ConfigurationEvaluator::ConfigurationEvaluator(
+    const Optimizer* optimizer, const Workload* workload,
+    const Catalog* base_catalog, const std::vector<CandidateIndex>* candidates,
+    ContainmentCache* cache, bool account_update_cost)
+    : optimizer_(optimizer),
+      workload_(workload),
+      base_catalog_(base_catalog),
+      candidates_(candidates),
+      cache_(cache),
+      account_update_cost_(account_update_cost) {
+  // Build the workload expression table: driving paths + predicates.
+  for (size_t qi = 0; qi < workload_->queries().size(); ++qi) {
+    const NormalizedQuery& nq = workload_->queries()[qi].normalized;
+    WorkloadExpr for_expr;
+    for_expr.query = static_cast<int>(qi);
+    for_expr.pattern = nq.for_path;
+    for_expr.implied_type = ValueType::kVarchar;
+    for_expr.sargable_op = false;
+    exprs_.push_back(std::move(for_expr));
+    for (const QueryPredicate& pred : nq.predicates) {
+      WorkloadExpr expr;
+      expr.query = static_cast<int>(qi);
+      expr.pattern = pred.pattern;
+      expr.implied_type = pred.ImpliedType();
+      expr.sargable_op =
+          pred.op == CompareOp::kEq || pred.op == CompareOp::kLt ||
+          pred.op == CompareOp::kLe || pred.op == CompareOp::kGt ||
+          pred.op == CompareOp::kGe;
+      exprs_.push_back(std::move(expr));
+    }
+  }
+}
+
+bool ConfigurationEvaluator::Covers(int candidate, size_t expr_index) {
+  const CandidateIndex& cand =
+      (*candidates_)[static_cast<size_t>(candidate)];
+  const WorkloadExpr& expr = exprs_[expr_index];
+  const NormalizedQuery& nq =
+      workload_->queries()[static_cast<size_t>(expr.query)].normalized;
+  if (cand.def.collection != nq.collection) return false;
+  // Type gate: a sargable expression counts as covered only by an index
+  // that can serve it sargably (matching key type); non-sargable
+  // expressions need a lossless (VARCHAR) index for structural service.
+  // Structural coverage of a sargable expression deliberately does NOT
+  // count — otherwise a cheap VARCHAR index would make the better DOUBLE
+  // candidate look redundant to the heuristic.
+  bool type_ok = expr.sargable_op
+                     ? cand.def.type == expr.implied_type
+                     : cand.def.type == ValueType::kVarchar;
+  if (!type_ok) return false;
+  return cache_->Contains(cand.def.pattern, expr.pattern);
+}
+
+Bitmap ConfigurationEvaluator::CoverageOf(const std::vector<int>& config) {
+  Bitmap covered(exprs_.size());
+  for (size_t e = 0; e < exprs_.size(); ++e) {
+    for (int c : config) {
+      if (Covers(c, e)) {
+        covered.Set(e);
+        break;
+      }
+    }
+  }
+  return covered;
+}
+
+double ConfigurationEvaluator::EstimateUpdateCost(
+    const std::vector<int>& config) const {
+  if (!account_update_cost_) return 0.0;
+  double total = 0;
+  const CostModel& cm = optimizer_->cost_model();
+  for (const UpdateOp& op : workload_->updates()) {
+    const PathSynopsis* synopsis = optimizer_->db().synopsis(op.collection);
+    if (synopsis == nullptr) continue;
+    double target_count = synopsis->EstimateCount(op.target);
+    for (int ci : config) {
+      const CandidateIndex& cand = (*candidates_)[static_cast<size_t>(ci)];
+      if (cand.def.collection != op.collection) continue;
+      double overlap =
+          synopsis->EstimateSubtreeOverlap(op.target, cand.def.pattern);
+      // Entries touched per executed update: the overlap amortized over
+      // target instances (inserting one subtree touches its share of keys).
+      double per_instance =
+          target_count > 0 ? overlap / target_count : overlap;
+      total += op.weight * cm.UpdateMaintenanceCost(per_instance);
+    }
+  }
+  return total;
+}
+
+Result<ConfigurationEvaluator::Evaluation> ConfigurationEvaluator::Evaluate(
+    const std::vector<int>& config) {
+  std::vector<int> sorted = config;
+  std::sort(sorted.begin(), sorted.end());
+  sorted.erase(std::unique(sorted.begin(), sorted.end()), sorted.end());
+  std::string key;
+  for (int c : sorted) key += std::to_string(c) + ",";
+  auto it = memo_.find(key);
+  if (it != memo_.end()) return it->second;
+
+  // Build the overlay: base catalog + the configuration as virtual
+  // indexes, reusing the candidates' precomputed statistics.
+  Catalog overlay = *base_catalog_;
+  for (int ci : sorted) {
+    const CandidateIndex& cand = (*candidates_)[static_cast<size_t>(ci)];
+    IndexDefinition def = cand.def;
+    def.name = CandidateOverlayName(ci);
+    XIA_RETURN_IF_ERROR(overlay.AddVirtual(std::move(def), cand.stats));
+  }
+
+  Evaluation eval;
+  for (const Query& query : workload_->queries()) {
+    XIA_ASSIGN_OR_RETURN(QueryPlan plan,
+                         optimizer_->Optimize(query, overlay, cache_));
+    eval.per_query_cost.push_back(plan.total_cost);
+    eval.workload_cost += query.weight * plan.total_cost;
+    if (plan.access.use_index &&
+        StartsWith(plan.access.index_def.name, "cand")) {
+      eval.used_candidates.insert(
+          std::stoi(plan.access.index_def.name.substr(4)));
+    }
+    if (plan.access.use_index && plan.access.has_secondary &&
+        StartsWith(plan.access.secondary.index_def.name, "cand")) {
+      eval.used_candidates.insert(
+          std::stoi(plan.access.secondary.index_def.name.substr(4)));
+    }
+  }
+  eval.update_cost = EstimateUpdateCost(sorted);
+  ++num_evaluations_;
+  memo_.emplace(std::move(key), eval);
+  return eval;
+}
+
+Result<double> ConfigurationEvaluator::BaselineCost() {
+  XIA_ASSIGN_OR_RETURN(Evaluation eval, Evaluate({}));
+  return eval.workload_cost;
+}
+
+}  // namespace xia

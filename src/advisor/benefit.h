@@ -1,0 +1,98 @@
+#ifndef XIA_ADVISOR_BENEFIT_H_
+#define XIA_ADVISOR_BENEFIT_H_
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "advisor/candidate.h"
+#include "common/bitmap.h"
+#include "common/status.h"
+#include "optimizer/optimizer.h"
+#include "workload/workload.h"
+#include "xpath/containment.h"
+
+namespace xia {
+
+/// Evaluates candidate index configurations for the search algorithms.
+///
+/// Every evaluation re-optimizes the *whole* workload under the *whole*
+/// configuration (the Evaluate Indexes mode contract), so index
+/// interaction — an index's benefit changing depending on which other
+/// indexes exist — is captured by construction, as Section 2.3 requires.
+/// Evaluations are memoized by configuration, since greedy and top-down
+/// searches revisit configurations.
+class ConfigurationEvaluator {
+ public:
+  /// One workload XPath expression (driving path or predicate pattern) —
+  /// the unit of the greedy-heuristic search's redundancy bitmap.
+  struct WorkloadExpr {
+    int query = 0;
+    PathPattern pattern;
+    ValueType implied_type = ValueType::kVarchar;
+    bool sargable_op = false;
+  };
+
+  /// Outcome of evaluating one configuration.
+  struct Evaluation {
+    double workload_cost = 0;  // Weighted estimated query cost.
+    double update_cost = 0;    // Estimated index-maintenance debit.
+    std::vector<double> per_query_cost;
+    std::set<int> used_candidates;  // Candidates some best plan uses.
+
+    double TotalCost() const { return workload_cost + update_cost; }
+  };
+
+  /// All pointers must outlive the evaluator. `account_update_cost`
+  /// toggles the maintenance debit (ablation B).
+  ConfigurationEvaluator(const Optimizer* optimizer, const Workload* workload,
+                         const Catalog* base_catalog,
+                         const std::vector<CandidateIndex>* candidates,
+                         ContainmentCache* cache, bool account_update_cost);
+
+  /// Evaluates the configuration given as candidate indices.
+  Result<Evaluation> Evaluate(const std::vector<int>& config);
+
+  /// Cost of the empty configuration (collection scans everywhere).
+  Result<double> BaselineCost();
+
+  /// The workload expression table (stable order).
+  const std::vector<WorkloadExpr>& exprs() const { return exprs_; }
+
+  /// Bitmap over exprs(): which workload expressions some candidate in
+  /// `config` covers (containment + type compatibility). This is the
+  /// paper's "bitmap of XPath patterns in the workload queries that have
+  /// indexes on them".
+  Bitmap CoverageOf(const std::vector<int>& config);
+
+  /// True when candidate `candidate` covers expression `expr_index`.
+  bool Covers(int candidate, size_t expr_index);
+
+  /// Number of distinct configurations actually optimized (cache misses).
+  int num_evaluations() const { return num_evaluations_; }
+
+  const std::vector<CandidateIndex>& candidates() const {
+    return *candidates_;
+  }
+
+ private:
+  const Optimizer* optimizer_;
+  const Workload* workload_;
+  const Catalog* base_catalog_;
+  const std::vector<CandidateIndex>* candidates_;
+  ContainmentCache* cache_;
+  bool account_update_cost_;
+  std::vector<WorkloadExpr> exprs_;
+  std::map<std::string, Evaluation> memo_;
+  int num_evaluations_ = 0;
+
+  double EstimateUpdateCost(const std::vector<int>& config) const;
+};
+
+/// Internal name given to candidate `i` in evaluation overlays.
+std::string CandidateOverlayName(int candidate);
+
+}  // namespace xia
+
+#endif  // XIA_ADVISOR_BENEFIT_H_

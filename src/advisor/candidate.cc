@@ -1,0 +1,31 @@
+#include "advisor/candidate.h"
+
+#include <algorithm>
+
+#include "common/string_util.h"
+
+namespace xia {
+
+std::string CandidateIndex::ToString() const {
+  std::string out = def.pattern.ToString();
+  out += " AS ";
+  out += ValueTypeName(def.type);
+  out += " (~" + FormatBytes(stats.size_bytes);
+  out += ", " + FormatDouble(stats.entries) + " entries";
+  if (from_generalization) out += ", generalized";
+  out += ")";
+  return out;
+}
+
+void MergeCandidate(CandidateIndex* into, const CandidateIndex& from) {
+  into->sargable = into->sargable || from.sargable;
+  for (int q : from.source_queries) {
+    if (std::find(into->source_queries.begin(), into->source_queries.end(),
+                  q) == into->source_queries.end()) {
+      into->source_queries.push_back(q);
+    }
+  }
+  std::sort(into->source_queries.begin(), into->source_queries.end());
+}
+
+}  // namespace xia

@@ -1,0 +1,38 @@
+#ifndef XIA_ADVISOR_CANDIDATE_H_
+#define XIA_ADVISOR_CANDIDATE_H_
+
+#include <string>
+#include <vector>
+
+#include "index/index_def.h"
+#include "index/virtual_index.h"
+
+namespace xia {
+
+/// A candidate index under consideration by the advisor: a definition,
+/// its estimated (virtual) shape, and provenance — which workload queries
+/// enumerated it, and whether it came from the generalization step rather
+/// than directly from the optimizer.
+struct CandidateIndex {
+  IndexDefinition def;
+  VirtualIndexStats stats;
+  bool from_generalization = false;
+  bool sargable = false;          // Some query can probe it sargably.
+  std::vector<int> source_queries;  // Workload query indices.
+
+  double size_bytes() const { return stats.size_bytes; }
+
+  /// "(pattern AS TYPE, ~N KB)" rendering for demo/trace output.
+  std::string ToString() const;
+
+  /// Identity used for dedup: collection + pattern + type.
+  std::string Key() const { return def.Key(); }
+};
+
+/// Merges provenance of a duplicate enumeration into an existing
+/// candidate (source queries union, sargability OR).
+void MergeCandidate(CandidateIndex* into, const CandidateIndex& from);
+
+}  // namespace xia
+
+#endif  // XIA_ADVISOR_CANDIDATE_H_

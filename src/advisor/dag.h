@@ -1,0 +1,51 @@
+#ifndef XIA_ADVISOR_DAG_H_
+#define XIA_ADVISOR_DAG_H_
+
+#include <string>
+#include <vector>
+
+#include "advisor/candidate.h"
+#include "xpath/containment.h"
+
+namespace xia {
+
+/// The generalization DAG of Section 2.2: one node per candidate, with an
+/// edge from a more general candidate (parent) to a more specific one
+/// (child) when the containment is strict and immediate (no third
+/// candidate strictly between them). Roots are the most general
+/// candidates; the top-down search walks root-to-leaf.
+class GeneralizationDag {
+ public:
+  struct Node {
+    std::vector<int> parents;   // More general candidates.
+    std::vector<int> children;  // More specific candidates.
+  };
+
+  GeneralizationDag() = default;
+
+  /// Builds the DAG over `candidates`. Containment is only meaningful
+  /// between candidates of the same collection and key type.
+  static GeneralizationDag Build(const std::vector<CandidateIndex>& candidates,
+                                 ContainmentCache* cache);
+
+  const std::vector<Node>& nodes() const { return nodes_; }
+  size_t size() const { return nodes_.size(); }
+
+  /// Candidates with no parents (most general).
+  std::vector<int> Roots() const;
+  /// Candidates with no children (most specific).
+  std::vector<int> Leaves() const;
+
+  /// Graphviz DOT rendering (demo Figure 4's DAG view).
+  std::string ToDot(const std::vector<CandidateIndex>& candidates) const;
+
+  /// Indented text rendering.
+  std::string ToText(const std::vector<CandidateIndex>& candidates) const;
+
+ private:
+  std::vector<Node> nodes_;
+};
+
+}  // namespace xia
+
+#endif  // XIA_ADVISOR_DAG_H_

@@ -1,0 +1,60 @@
+#include "advisor/enumeration.h"
+
+#include <algorithm>
+#include <map>
+
+#include "optimizer/explain.h"
+
+namespace xia {
+
+std::string EnumerationResult::ToString() const {
+  std::string out = "Basic candidate set (" +
+                    std::to_string(candidates.size()) + " candidates):\n";
+  for (size_t i = 0; i < candidates.size(); ++i) {
+    out += "  C" + std::to_string(i) + ": " + candidates[i].ToString() + "\n";
+  }
+  return out;
+}
+
+Result<EnumerationResult> EnumerateBasicCandidates(const Database& db,
+                                                   const Workload& workload,
+                                                   ContainmentCache* cache) {
+  EnumerationResult result;
+  result.per_query.resize(workload.size());
+  std::map<std::string, int> by_key;
+  StorageConstants constants;
+
+  for (size_t qi = 0; qi < workload.queries().size(); ++qi) {
+    const Query& query = workload.queries()[qi];
+    XIA_ASSIGN_OR_RETURN(EnumerateIndexesResult enumerated,
+                         EnumerateIndexesMode(db, query, cache));
+    const PathSynopsis* synopsis = db.synopsis(query.normalized.collection);
+    for (const CandidatePattern& cp : enumerated.candidates) {
+      CandidateIndex cand;
+      cand.def.collection = query.normalized.collection;
+      cand.def.pattern = cp.pattern;
+      cand.def.type = cp.type;
+      cand.sargable = cp.sargable;
+      cand.source_queries = {static_cast<int>(qi)};
+      cand.stats = EstimateVirtualIndex(*synopsis, cand.def, constants);
+
+      auto [it, inserted] =
+          by_key.emplace(cand.Key(),
+                         static_cast<int>(result.candidates.size()));
+      if (inserted) {
+        result.candidates.push_back(std::move(cand));
+      } else {
+        MergeCandidate(&result.candidates[static_cast<size_t>(it->second)],
+                       cand);
+      }
+      int ci = it->second;
+      std::vector<int>& pq = result.per_query[qi];
+      if (std::find(pq.begin(), pq.end(), ci) == pq.end()) {
+        pq.push_back(ci);
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace xia

@@ -1,0 +1,34 @@
+#ifndef XIA_ADVISOR_ENUMERATION_H_
+#define XIA_ADVISOR_ENUMERATION_H_
+
+#include <vector>
+
+#include "advisor/candidate.h"
+#include "common/status.h"
+#include "storage/database.h"
+#include "workload/workload.h"
+#include "xpath/containment.h"
+
+namespace xia {
+
+/// Result of the basic candidate enumeration step (Section 2.1): the
+/// deduplicated candidate set and, per workload query, the indices of the
+/// candidates the optimizer enumerated for it.
+struct EnumerationResult {
+  std::vector<CandidateIndex> candidates;
+  std::vector<std::vector<int>> per_query;  // candidate indices per query.
+
+  std::string ToString() const;
+};
+
+/// Runs every workload query through the optimizer's Enumerate Indexes
+/// mode (virtual `//*` index + index matching) and collects the
+/// deduplicated basic candidate set, with sizes estimated from the path
+/// synopsis.
+Result<EnumerationResult> EnumerateBasicCandidates(const Database& db,
+                                                   const Workload& workload,
+                                                   ContainmentCache* cache);
+
+}  // namespace xia
+
+#endif  // XIA_ADVISOR_ENUMERATION_H_

@@ -1,0 +1,79 @@
+#include "advisor/search_greedy.h"
+
+#include <algorithm>
+
+#include "common/string_util.h"
+
+namespace xia {
+
+std::string SearchResult::TraceString() const {
+  std::string out;
+  for (const std::string& line : trace) out += line + "\n";
+  return out;
+}
+
+double ConfigSizeBytes(const std::vector<CandidateIndex>& candidates,
+                       const std::vector<int>& config) {
+  double total = 0;
+  for (int c : config) {
+    total += candidates[static_cast<size_t>(c)].size_bytes();
+  }
+  return total;
+}
+
+Result<SearchResult> GreedySearch(ConfigurationEvaluator* evaluator,
+                                  const SearchOptions& options) {
+  const std::vector<CandidateIndex>& candidates = evaluator->candidates();
+  SearchResult result;
+  XIA_ASSIGN_OR_RETURN(result.baseline_cost, evaluator->BaselineCost());
+
+  // Stand-alone benefit of each candidate.
+  struct Ranked {
+    int candidate;
+    double benefit;
+    double ratio;
+  };
+  std::vector<Ranked> ranked;
+  for (size_t i = 0; i < candidates.size(); ++i) {
+    XIA_ASSIGN_OR_RETURN(
+        ConfigurationEvaluator::Evaluation eval,
+        evaluator->Evaluate({static_cast<int>(i)}));
+    double benefit = result.baseline_cost - eval.TotalCost();
+    if (benefit <= 0) continue;
+    double size = candidates[i].size_bytes();
+    ranked.push_back(
+        {static_cast<int>(i), benefit, benefit / std::max(size, 1.0)});
+  }
+  std::sort(ranked.begin(), ranked.end(),
+            [](const Ranked& a, const Ranked& b) { return a.ratio > b.ratio; });
+
+  double used = 0;
+  for (const Ranked& r : ranked) {
+    double size = candidates[static_cast<size_t>(r.candidate)].size_bytes();
+    if (used + size > options.space_budget_bytes) {
+      result.trace.push_back("skip " +
+                             candidates[static_cast<size_t>(r.candidate)]
+                                 .def.pattern.ToString() +
+                             " (does not fit: " + FormatBytes(size) + ")");
+      continue;
+    }
+    used += size;
+    result.chosen.push_back(r.candidate);
+    result.trace.push_back(
+        "add  " +
+        candidates[static_cast<size_t>(r.candidate)].def.pattern.ToString() +
+        " benefit=" + FormatDouble(r.benefit) + " size=" +
+        FormatBytes(size) + " used=" + FormatBytes(used));
+  }
+
+  XIA_ASSIGN_OR_RETURN(ConfigurationEvaluator::Evaluation final_eval,
+                       evaluator->Evaluate(result.chosen));
+  result.total_size_bytes = used;
+  result.workload_cost = final_eval.workload_cost;
+  result.update_cost = final_eval.update_cost;
+  result.benefit = result.baseline_cost - final_eval.TotalCost();
+  result.evaluations = evaluator->num_evaluations();
+  return result;
+}
+
+}  // namespace xia

@@ -1,0 +1,47 @@
+#ifndef XIA_ADVISOR_SEARCH_GREEDY_H_
+#define XIA_ADVISOR_SEARCH_GREEDY_H_
+
+#include <string>
+#include <vector>
+
+#include "advisor/benefit.h"
+#include "common/status.h"
+
+namespace xia {
+
+/// Search knobs shared by all three strategies.
+struct SearchOptions {
+  double space_budget_bytes = 8.0 * 1024 * 1024;
+};
+
+/// Outcome of a configuration search, including a step-by-step trace so
+/// the demo (Figure 4) can show how each algorithm walked the space.
+struct SearchResult {
+  std::vector<int> chosen;  // Candidate indices of the recommendation.
+  double total_size_bytes = 0;
+  double workload_cost = 0;
+  double update_cost = 0;
+  double baseline_cost = 0;
+  double benefit = 0;  // baseline - (workload + update).
+  std::vector<std::string> trace;
+  int evaluations = 0;
+
+  std::string TraceString() const;
+};
+
+/// Plain greedy 0/1-knapsack approximation, after the relational DB2
+/// Design Advisor [Valentin et al., ICDE 2000]: rank candidates by
+/// stand-alone benefit per byte and add them while they fit. Serves as the
+/// baseline the paper's two strategies improve on — it happily picks
+/// general indexes whose patterns are already covered, so some chosen
+/// indexes may never be used by the optimizer.
+Result<SearchResult> GreedySearch(ConfigurationEvaluator* evaluator,
+                                  const SearchOptions& options);
+
+/// Shared helper: total estimated size of a configuration.
+double ConfigSizeBytes(const std::vector<CandidateIndex>& candidates,
+                       const std::vector<int>& config);
+
+}  // namespace xia
+
+#endif  // XIA_ADVISOR_SEARCH_GREEDY_H_

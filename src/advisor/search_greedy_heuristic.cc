@@ -1,0 +1,98 @@
+#include "advisor/search_greedy_heuristic.h"
+
+#include <algorithm>
+
+#include "common/string_util.h"
+
+namespace xia {
+
+Result<SearchResult> GreedyHeuristicSearch(ConfigurationEvaluator* evaluator,
+                                           const SearchOptions& options) {
+  const std::vector<CandidateIndex>& candidates = evaluator->candidates();
+  SearchResult result;
+  XIA_ASSIGN_OR_RETURN(result.baseline_cost, evaluator->BaselineCost());
+
+  struct Ranked {
+    int candidate;
+    double benefit;
+    double ratio;
+  };
+  std::vector<Ranked> ranked;
+  for (size_t i = 0; i < candidates.size(); ++i) {
+    XIA_ASSIGN_OR_RETURN(ConfigurationEvaluator::Evaluation eval,
+                         evaluator->Evaluate({static_cast<int>(i)}));
+    double benefit = result.baseline_cost - eval.TotalCost();
+    if (benefit <= 0) continue;
+    double size = candidates[i].size_bytes();
+    ranked.push_back(
+        {static_cast<int>(i), benefit, benefit / std::max(size, 1.0)});
+  }
+  std::sort(ranked.begin(), ranked.end(),
+            [](const Ranked& a, const Ranked& b) { return a.ratio > b.ratio; });
+
+  std::vector<int> chosen;
+  Bitmap covered(evaluator->exprs().size());
+  double used = 0;
+
+  for (const Ranked& r : ranked) {
+    const CandidateIndex& cand =
+        candidates[static_cast<size_t>(r.candidate)];
+    double size = cand.size_bytes();
+    if (used + size > options.space_budget_bytes) {
+      result.trace.push_back("skip " + cand.def.pattern.ToString() +
+                             " (does not fit)");
+      continue;
+    }
+    // Redundancy heuristic: does this candidate cover any expression not
+    // already covered by the chosen configuration?
+    bool adds_coverage = false;
+    for (size_t e = 0; e < evaluator->exprs().size(); ++e) {
+      if (!covered.Test(e) && evaluator->Covers(r.candidate, e)) {
+        adds_coverage = true;
+        break;
+      }
+    }
+    if (!adds_coverage) {
+      result.trace.push_back("skip " + cand.def.pattern.ToString() +
+                             " (redundant: all its expressions covered)");
+      continue;
+    }
+    chosen.push_back(r.candidate);
+    used += size;
+    result.trace.push_back("add  " + cand.def.pattern.ToString() +
+                           " benefit=" + FormatDouble(r.benefit) +
+                           " size=" + FormatBytes(size) +
+                           " used=" + FormatBytes(used));
+
+    // Eager reclamation: drop chosen indexes the optimizer no longer uses.
+    XIA_ASSIGN_OR_RETURN(ConfigurationEvaluator::Evaluation eval,
+                         evaluator->Evaluate(chosen));
+    std::vector<int> still_used;
+    for (int c : chosen) {
+      if (eval.used_candidates.count(c) > 0) {
+        still_used.push_back(c);
+      } else {
+        used -= candidates[static_cast<size_t>(c)].size_bytes();
+        result.trace.push_back(
+            "drop " +
+            candidates[static_cast<size_t>(c)].def.pattern.ToString() +
+            " (no longer used; space reclaimed)");
+      }
+    }
+    chosen = std::move(still_used);
+    // Recompute coverage from the surviving configuration.
+    covered = evaluator->CoverageOf(chosen);
+  }
+
+  XIA_ASSIGN_OR_RETURN(ConfigurationEvaluator::Evaluation final_eval,
+                       evaluator->Evaluate(chosen));
+  result.chosen = std::move(chosen);
+  result.total_size_bytes = ConfigSizeBytes(candidates, result.chosen);
+  result.workload_cost = final_eval.workload_cost;
+  result.update_cost = final_eval.update_cost;
+  result.benefit = result.baseline_cost - final_eval.TotalCost();
+  result.evaluations = evaluator->num_evaluations();
+  return result;
+}
+
+}  // namespace xia

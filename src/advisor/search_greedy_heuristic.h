@@ -1,0 +1,26 @@
+#ifndef XIA_ADVISOR_SEARCH_GREEDY_HEURISTIC_H_
+#define XIA_ADVISOR_SEARCH_GREEDY_HEURISTIC_H_
+
+#include "advisor/search_greedy.h"
+
+namespace xia {
+
+/// The paper's first search strategy: greedy augmented with redundancy
+/// heuristics (Section 2.3, "Greedy Search with Heuristics").
+///
+/// Two additions over plain greedy:
+///   1. A bitmap of workload XPath expressions already covered by chosen
+///      indexes. A candidate that covers no *new* expression would be a
+///      replication of indexes already chosen, and is skipped — this adds
+///      the secondary objective of maximizing the number of workload
+///      expressions served, and guarantees every recommended index is
+///      useful to at least one query.
+///   2. Eager reclamation: after each addition the configuration is
+///      re-evaluated; previously chosen indexes no longer used by any best
+///      plan are dropped and their space reclaimed for further candidates.
+Result<SearchResult> GreedyHeuristicSearch(ConfigurationEvaluator* evaluator,
+                                           const SearchOptions& options);
+
+}  // namespace xia
+
+#endif  // XIA_ADVISOR_SEARCH_GREEDY_HEURISTIC_H_

@@ -1,0 +1,120 @@
+#include "advisor/search_topdown.h"
+
+#include <algorithm>
+#include <set>
+
+#include "common/string_util.h"
+
+namespace xia {
+
+namespace {
+
+std::vector<int> WithReplacement(const std::vector<int>& config, int victim,
+                                 const std::vector<int>& replacement) {
+  std::set<int> next(config.begin(), config.end());
+  next.erase(victim);
+  for (int r : replacement) next.insert(r);
+  return std::vector<int>(next.begin(), next.end());
+}
+
+}  // namespace
+
+Result<SearchResult> TopDownSearch(const GeneralizationDag& dag,
+                                   ConfigurationEvaluator* evaluator,
+                                   const SearchOptions& options) {
+  const std::vector<CandidateIndex>& candidates = evaluator->candidates();
+  SearchResult result;
+  XIA_ASSIGN_OR_RETURN(result.baseline_cost, evaluator->BaselineCost());
+
+  std::vector<int> config = dag.Roots();
+  result.trace.push_back("start with " + std::to_string(config.size()) +
+                         " DAG roots, size " +
+                         FormatBytes(ConfigSizeBytes(candidates, config)));
+
+  while (ConfigSizeBytes(candidates, config) >
+             options.space_budget_bytes &&
+         !config.empty()) {
+    XIA_ASSIGN_OR_RETURN(ConfigurationEvaluator::Evaluation current_eval,
+                         evaluator->Evaluate(config));
+    double current_cost = current_eval.TotalCost();
+
+    struct Action {
+      int victim = -1;
+      std::vector<int> replacement;
+      double cost_increase = 0;
+      double space_saved = 0;
+      double score = 0;  // cost increase per byte saved (lower = better).
+    };
+    std::optional<Action> best;
+
+    for (int member : config) {
+      const auto& node = dag.nodes()[static_cast<size_t>(member)];
+      // Two possible moves per member: replace by its DAG children, or
+      // drop it entirely.
+      std::vector<std::vector<int>> replacements;
+      if (!node.children.empty()) replacements.push_back(node.children);
+      replacements.push_back({});  // Drop.
+      for (const std::vector<int>& replacement : replacements) {
+        std::vector<int> next = WithReplacement(config, member, replacement);
+        double space_saved = ConfigSizeBytes(candidates, config) -
+                             ConfigSizeBytes(candidates, next);
+        if (space_saved <= 0) continue;  // Children larger: not a shrink.
+        XIA_ASSIGN_OR_RETURN(ConfigurationEvaluator::Evaluation eval,
+                             evaluator->Evaluate(next));
+        Action action;
+        action.victim = member;
+        action.replacement = replacement;
+        action.cost_increase = eval.TotalCost() - current_cost;
+        action.space_saved = space_saved;
+        action.score = action.cost_increase / space_saved;
+        if (!best.has_value() || action.score < best->score) {
+          best = std::move(action);
+        }
+      }
+    }
+
+    if (!best.has_value()) {
+      // No shrinking move exists (degenerate); drop the largest member.
+      auto largest = std::max_element(
+          config.begin(), config.end(), [&](int a, int b) {
+            return candidates[static_cast<size_t>(a)].size_bytes() <
+                   candidates[static_cast<size_t>(b)].size_bytes();
+          });
+      result.trace.push_back(
+          "drop " +
+          candidates[static_cast<size_t>(*largest)].def.pattern.ToString() +
+          " (no replacement shrinks the configuration)");
+      config.erase(largest);
+      continue;
+    }
+
+    std::string line =
+        "replace " +
+        candidates[static_cast<size_t>(best->victim)].def.pattern.ToString() +
+        " -> {";
+    for (size_t i = 0; i < best->replacement.size(); ++i) {
+      if (i > 0) line += ", ";
+      line += candidates[static_cast<size_t>(best->replacement[i])]
+                  .def.pattern.ToString();
+    }
+    line += "} saves " + FormatBytes(best->space_saved) +
+            ", cost delta " + FormatDouble(best->cost_increase);
+    result.trace.push_back(std::move(line));
+    config = WithReplacement(config, best->victim, best->replacement);
+  }
+
+  XIA_ASSIGN_OR_RETURN(ConfigurationEvaluator::Evaluation final_eval,
+                       evaluator->Evaluate(config));
+  result.chosen = std::move(config);
+  result.total_size_bytes = ConfigSizeBytes(candidates, result.chosen);
+  result.workload_cost = final_eval.workload_cost;
+  result.update_cost = final_eval.update_cost;
+  result.benefit = result.baseline_cost - final_eval.TotalCost();
+  result.evaluations = evaluator->num_evaluations();
+  result.trace.push_back("final size " +
+                         FormatBytes(result.total_size_bytes) + ", benefit " +
+                         FormatDouble(result.benefit));
+  return result;
+}
+
+}  // namespace xia

@@ -1,0 +1,26 @@
+#ifndef XIA_ADVISOR_SEARCH_TOPDOWN_H_
+#define XIA_ADVISOR_SEARCH_TOPDOWN_H_
+
+#include "advisor/dag.h"
+#include "advisor/search_greedy.h"
+
+namespace xia {
+
+/// The paper's second search strategy: top-down (root-to-leaf) traversal
+/// of the generalization DAG (Section 2.3, "Top Down Search").
+///
+/// Starts from the DAG roots — the most general candidates, likely over
+/// budget but with maximal (and future-proof) benefit — and progressively
+/// replaces a general index with its more specific (smaller) DAG children
+/// until the configuration fits the disk budget. The replacement chosen at
+/// each step minimizes estimated benefit lost per byte saved; a member
+/// with no children (or whose children don't save space) can instead be
+/// dropped outright. The result is the most general configuration that
+/// fits, which is what a DBA training on a representative workload wants.
+Result<SearchResult> TopDownSearch(const GeneralizationDag& dag,
+                                   ConfigurationEvaluator* evaluator,
+                                   const SearchOptions& options);
+
+}  // namespace xia
+
+#endif  // XIA_ADVISOR_SEARCH_TOPDOWN_H_

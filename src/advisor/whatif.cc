@@ -1,0 +1,50 @@
+#include "advisor/whatif.h"
+
+#include <algorithm>
+
+namespace xia {
+
+WhatIfSession::WhatIfSession(const Database* db, Catalog base,
+                             CostModel cost_model)
+    : db_(db),
+      catalog_(std::move(base)),
+      cost_model_(cost_model),
+      optimizer_(db, cost_model) {}
+
+Result<std::string> WhatIfSession::AddIndex(IndexDefinition def) {
+  const PathSynopsis* synopsis = db_->synopsis(def.collection);
+  if (synopsis == nullptr) {
+    return Status::InvalidArgument("collection " + def.collection +
+                                   " has no statistics; run Analyze first");
+  }
+  if (def.name.empty()) {
+    def.name = catalog_.UniqueName(def.pattern);
+  }
+  VirtualIndexStats stats =
+      EstimateVirtualIndex(*synopsis, def, cost_model_.storage);
+  std::string name = def.name;
+  XIA_RETURN_IF_ERROR(catalog_.AddVirtual(std::move(def), stats));
+  session_indexes_.push_back(name);
+  return name;
+}
+
+Status WhatIfSession::DropIndex(const std::string& name) {
+  XIA_RETURN_IF_ERROR(catalog_.Drop(name));
+  session_indexes_.erase(
+      std::remove(session_indexes_.begin(), session_indexes_.end(), name),
+      session_indexes_.end());
+  return Status::Ok();
+}
+
+Result<EvaluateIndexesResult> WhatIfSession::EvaluateWorkload(
+    const Workload& workload) {
+  // The overlay IS the configuration: evaluate with no extra indexes.
+  return EvaluateIndexesMode(optimizer_, workload.queries(), {}, catalog_,
+                             &cache_);
+}
+
+Result<QueryPlan> WhatIfSession::ExplainQuery(const Query& query) {
+  return optimizer_.Optimize(query, catalog_, &cache_);
+}
+
+}  // namespace xia

@@ -1,0 +1,72 @@
+#include "common/bitmap.h"
+
+#include <bit>
+
+#include "common/logging.h"
+
+namespace xia {
+
+Bitmap::Bitmap(size_t num_bits)
+    : num_bits_(num_bits), words_((num_bits + 63) / 64, 0) {}
+
+void Bitmap::Set(size_t i) {
+  XIA_CHECK(i < num_bits_);
+  words_[i / 64] |= (uint64_t{1} << (i % 64));
+}
+
+void Bitmap::Clear(size_t i) {
+  XIA_CHECK(i < num_bits_);
+  words_[i / 64] &= ~(uint64_t{1} << (i % 64));
+}
+
+bool Bitmap::Test(size_t i) const {
+  XIA_CHECK(i < num_bits_);
+  return (words_[i / 64] >> (i % 64)) & 1;
+}
+
+size_t Bitmap::Count() const {
+  size_t total = 0;
+  for (uint64_t w : words_) total += static_cast<size_t>(std::popcount(w));
+  return total;
+}
+
+Bitmap& Bitmap::operator|=(const Bitmap& other) {
+  XIA_CHECK(num_bits_ == other.num_bits_);
+  for (size_t i = 0; i < words_.size(); ++i) words_[i] |= other.words_[i];
+  return *this;
+}
+
+Bitmap& Bitmap::operator&=(const Bitmap& other) {
+  XIA_CHECK(num_bits_ == other.num_bits_);
+  for (size_t i = 0; i < words_.size(); ++i) words_[i] &= other.words_[i];
+  return *this;
+}
+
+bool Bitmap::IsSubsetOf(const Bitmap& other) const {
+  XIA_CHECK(num_bits_ == other.num_bits_);
+  for (size_t i = 0; i < words_.size(); ++i) {
+    if ((words_[i] & ~other.words_[i]) != 0) return false;
+  }
+  return true;
+}
+
+bool Bitmap::Intersects(const Bitmap& other) const {
+  XIA_CHECK(num_bits_ == other.num_bits_);
+  for (size_t i = 0; i < words_.size(); ++i) {
+    if ((words_[i] & other.words_[i]) != 0) return true;
+  }
+  return false;
+}
+
+bool Bitmap::operator==(const Bitmap& other) const {
+  return num_bits_ == other.num_bits_ && words_ == other.words_;
+}
+
+std::string Bitmap::ToString() const {
+  std::string out;
+  out.reserve(num_bits_);
+  for (size_t i = 0; i < num_bits_; ++i) out.push_back(Test(i) ? '1' : '0');
+  return out;
+}
+
+}  // namespace xia

@@ -1,0 +1,52 @@
+#ifndef XIA_COMMON_BITMAP_H_
+#define XIA_COMMON_BITMAP_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace xia {
+
+/// Fixed-size dynamic bitset. The greedy-with-heuristics search uses one bit
+/// per workload XPath expression to track which expressions are already
+/// served by a chosen index (the paper's redundancy bitmap).
+class Bitmap {
+ public:
+  Bitmap() = default;
+  explicit Bitmap(size_t num_bits);
+
+  size_t size() const { return num_bits_; }
+
+  void Set(size_t i);
+  void Clear(size_t i);
+  bool Test(size_t i) const;
+
+  /// Number of set bits.
+  size_t Count() const;
+  bool All() const { return Count() == num_bits_; }
+  bool None() const { return Count() == 0; }
+
+  /// In-place union / intersection. Requires equal sizes.
+  Bitmap& operator|=(const Bitmap& other);
+  Bitmap& operator&=(const Bitmap& other);
+
+  /// True if every set bit of this bitmap is also set in `other`.
+  bool IsSubsetOf(const Bitmap& other) const;
+
+  /// True if this and `other` share at least one set bit.
+  bool Intersects(const Bitmap& other) const;
+
+  bool operator==(const Bitmap& other) const;
+
+  /// "0101..." rendering for debugging / demo output.
+  std::string ToString() const;
+
+ private:
+  size_t num_bits_ = 0;
+  std::vector<uint64_t> words_;
+};
+
+}  // namespace xia
+
+#endif  // XIA_COMMON_BITMAP_H_

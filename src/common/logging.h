@@ -1,0 +1,54 @@
+#ifndef XIA_COMMON_LOGGING_H_
+#define XIA_COMMON_LOGGING_H_
+
+#include <sstream>
+#include <string>
+
+namespace xia {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
+
+/// Sets the global minimum level below which log statements are dropped.
+/// Defaults to kInfo.
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+namespace internal_logging {
+
+/// Stream-style log sink; emits its accumulated message to stderr on
+/// destruction when `level` passes the global threshold.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  std::ostream& stream() { return stream_; }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal_logging
+
+#define XIA_LOG(level)                                                     \
+  ::xia::internal_logging::LogMessage(::xia::LogLevel::k##level, __FILE__, \
+                                      __LINE__)                            \
+      .stream()
+
+/// Fatal assertion macro for internal invariants; aborts on failure.
+void CheckFailed(const char* expr, const char* file, int line);
+
+#define XIA_CHECK(expr)                             \
+  do {                                              \
+    if (!(expr)) {                                  \
+      ::xia::CheckFailed(#expr, __FILE__, __LINE__); \
+    }                                               \
+  } while (0)
+
+}  // namespace xia
+
+#endif  // XIA_COMMON_LOGGING_H_

@@ -1,0 +1,58 @@
+#include "common/random.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace xia {
+
+int64_t Random::Uniform(int64_t lo, int64_t hi) {
+  XIA_CHECK(lo <= hi);
+  std::uniform_int_distribution<int64_t> dist(lo, hi);
+  return dist(engine_);
+}
+
+double Random::UniformReal(double lo, double hi) {
+  std::uniform_real_distribution<double> dist(lo, hi);
+  return dist(engine_);
+}
+
+bool Random::Bernoulli(double p) {
+  std::bernoulli_distribution dist(p);
+  return dist(engine_);
+}
+
+size_t Random::Zipf(size_t n, double theta) {
+  XIA_CHECK(n > 0);
+  if (theta <= 0.0) {
+    return static_cast<size_t>(Uniform(0, static_cast<int64_t>(n) - 1));
+  }
+  if (zipf_n_ != n || zipf_theta_ != theta) {
+    zipf_cdf_.resize(n);
+    double sum = 0.0;
+    for (size_t i = 0; i < n; ++i) {
+      sum += 1.0 / std::pow(static_cast<double>(i + 1), theta);
+      zipf_cdf_[i] = sum;
+    }
+    for (size_t i = 0; i < n; ++i) zipf_cdf_[i] /= sum;
+    zipf_n_ = n;
+    zipf_theta_ = theta;
+  }
+  double u = UniformReal(0.0, 1.0);
+  auto it = std::lower_bound(zipf_cdf_.begin(), zipf_cdf_.end(), u);
+  if (it == zipf_cdf_.end()) return n - 1;
+  return static_cast<size_t>(it - zipf_cdf_.begin());
+}
+
+std::string Random::Word(int min_len, int max_len) {
+  int len = static_cast<int>(Uniform(min_len, max_len));
+  std::string out;
+  out.reserve(static_cast<size_t>(len));
+  for (int i = 0; i < len; ++i) {
+    out.push_back(static_cast<char>('a' + Uniform(0, 25)));
+  }
+  return out;
+}
+
+}  // namespace xia

@@ -1,0 +1,52 @@
+#ifndef XIA_COMMON_RANDOM_H_
+#define XIA_COMMON_RANDOM_H_
+
+#include <cstdint>
+#include <random>
+#include <string>
+#include <vector>
+
+namespace xia {
+
+/// Seeded pseudo-random generator used by data/workload generators so that
+/// every experiment in the repo is reproducible from a seed.
+class Random {
+ public:
+  explicit Random(uint64_t seed = 42) : engine_(seed) {}
+
+  /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  int64_t Uniform(int64_t lo, int64_t hi);
+
+  /// Uniform double in [lo, hi).
+  double UniformReal(double lo, double hi);
+
+  /// Bernoulli draw with probability `p` of true.
+  bool Bernoulli(double p);
+
+  /// Zipf-distributed rank in [0, n) with skew parameter `theta` (0 =
+  /// uniform; 1 ~ classic Zipf). Used for skewed value and query-template
+  /// selection, mirroring benchmark workload skew.
+  size_t Zipf(size_t n, double theta);
+
+  /// Picks a uniformly random element of `items`. Requires non-empty.
+  template <typename T>
+  const T& Choice(const std::vector<T>& items) {
+    return items[static_cast<size_t>(Uniform(0, static_cast<int64_t>(items.size()) - 1))];
+  }
+
+  /// Random lowercase ASCII word of length in [min_len, max_len].
+  std::string Word(int min_len, int max_len);
+
+  std::mt19937_64& engine() { return engine_; }
+
+ private:
+  std::mt19937_64 engine_;
+  // Cached Zipf normalization constants keyed by (n, theta).
+  size_t zipf_n_ = 0;
+  double zipf_theta_ = -1.0;
+  std::vector<double> zipf_cdf_;
+};
+
+}  // namespace xia
+
+#endif  // XIA_COMMON_RANDOM_H_

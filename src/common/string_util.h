@@ -1,0 +1,38 @@
+#ifndef XIA_COMMON_STRING_UTIL_H_
+#define XIA_COMMON_STRING_UTIL_H_
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace xia {
+
+/// Splits `input` on `sep`, keeping empty pieces.
+std::vector<std::string> Split(std::string_view input, char sep);
+
+/// Joins `pieces` with `sep` between consecutive elements.
+std::string Join(const std::vector<std::string>& pieces,
+                 std::string_view sep);
+
+/// Strips ASCII whitespace from both ends.
+std::string_view Trim(std::string_view input);
+
+bool StartsWith(std::string_view s, std::string_view prefix);
+bool EndsWith(std::string_view s, std::string_view suffix);
+
+/// ASCII lower-casing (locale independent).
+std::string ToLower(std::string_view s);
+
+/// Parses a double; returns nullopt unless the whole string is consumed.
+std::optional<double> ParseDouble(std::string_view s);
+
+/// Formats a double compactly: integers without trailing ".000000".
+std::string FormatDouble(double v);
+
+/// Renders `bytes` with binary unit suffix, e.g. "4.2 MB".
+std::string FormatBytes(double bytes);
+
+}  // namespace xia
+
+#endif  // XIA_COMMON_STRING_UTIL_H_

@@ -1,0 +1,101 @@
+#include "index/catalog.h"
+
+#include <cctype>
+
+namespace xia {
+
+Status Catalog::AddPhysical(std::shared_ptr<PathIndex> index,
+                            const StorageConstants& constants) {
+  const IndexDefinition& def = index->def();
+  if (entries_.count(def.name) > 0) {
+    return Status::AlreadyExists("index " + def.name + " already exists");
+  }
+  CatalogEntry entry;
+  entry.def = def;
+  entry.is_virtual = false;
+  entry.stats = StatsFromPhysical(*index, constants);
+  entry.physical = std::move(index);
+  entries_.emplace(def.name, std::move(entry));
+  return Status::Ok();
+}
+
+Status Catalog::AddVirtual(IndexDefinition def, VirtualIndexStats stats) {
+  if (entries_.count(def.name) > 0) {
+    return Status::AlreadyExists("index " + def.name + " already exists");
+  }
+  CatalogEntry entry;
+  entry.def = std::move(def);
+  entry.is_virtual = true;
+  entry.stats = stats;
+  std::string name = entry.def.name;
+  entries_.emplace(std::move(name), std::move(entry));
+  return Status::Ok();
+}
+
+Status Catalog::Drop(const std::string& name) {
+  if (entries_.erase(name) == 0) {
+    return Status::NotFound("index " + name + " does not exist");
+  }
+  return Status::Ok();
+}
+
+const CatalogEntry* Catalog::Find(const std::string& name) const {
+  auto it = entries_.find(name);
+  return it == entries_.end() ? nullptr : &it->second;
+}
+
+CatalogEntry* Catalog::FindMutable(const std::string& name) {
+  auto it = entries_.find(name);
+  return it == entries_.end() ? nullptr : &it->second;
+}
+
+Status Catalog::RefreshStats(const std::string& name,
+                             const StorageConstants& constants) {
+  CatalogEntry* entry = FindMutable(name);
+  if (entry == nullptr) {
+    return Status::NotFound("index " + name + " does not exist");
+  }
+  if (entry->is_virtual || entry->physical == nullptr) {
+    return Status::InvalidArgument("index " + name + " is not physical");
+  }
+  entry->stats = StatsFromPhysical(*entry->physical, constants);
+  return Status::Ok();
+}
+
+std::vector<const CatalogEntry*> Catalog::IndexesFor(
+    const std::string& collection) const {
+  std::vector<const CatalogEntry*> out;
+  for (const auto& [name, entry] : entries_) {
+    if (entry.def.collection == collection) out.push_back(&entry);
+  }
+  return out;
+}
+
+std::vector<const CatalogEntry*> Catalog::AllIndexes() const {
+  std::vector<const CatalogEntry*> out;
+  for (const auto& [name, entry] : entries_) out.push_back(&entry);
+  return out;
+}
+
+std::string Catalog::UniqueName(const PathPattern& pattern) const {
+  std::string base = "idx";
+  for (const Step& s : pattern.steps()) {
+    base += "_";
+    if (s.axis == Axis::kDescendant) base += "d_";
+    if (s.is_attribute) base += "at_";
+    if (s.wildcard) {
+      base += "any";
+    } else {
+      for (char c : s.name) {
+        base += std::isalnum(static_cast<unsigned char>(c)) ? c : '_';
+      }
+    }
+  }
+  if (entries_.count(base) == 0) return base;
+  for (int i = 2;; ++i) {
+    std::string candidate = base + "_" + std::to_string(i);
+    if (entries_.count(candidate) == 0) return candidate;
+  }
+}
+
+}  // namespace xia

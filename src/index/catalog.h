@@ -1,0 +1,74 @@
+#ifndef XIA_INDEX_CATALOG_H_
+#define XIA_INDEX_CATALOG_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "index/index_def.h"
+#include "index/path_index.h"
+#include "index/virtual_index.h"
+
+namespace xia {
+
+/// One catalog row: an index definition plus either a materialized index
+/// (physical) or statistics-only shape (virtual). Virtual entries are how
+/// the two EXPLAIN modes simulate hypothetical configurations.
+struct CatalogEntry {
+  IndexDefinition def;
+  bool is_virtual = true;
+  VirtualIndexStats stats;
+  /// Null when virtual. Non-const so index maintenance can apply document
+  /// inserts/deletes in place (see index/maintenance.h).
+  std::shared_ptr<PathIndex> physical;
+};
+
+/// The index catalog. Deliberately *copyable*: the Enumerate/Evaluate
+/// Indexes optimizer modes work on throwaway catalog overlays (copy +
+/// inject virtual indexes) without touching the session catalog, which is
+/// how DB2's EXPLAIN modes keep virtual indexes invisible to other work.
+class Catalog {
+ public:
+  Catalog() = default;
+  Catalog(const Catalog&) = default;
+  Catalog& operator=(const Catalog&) = default;
+
+  /// Registers a materialized index. Fails on duplicate name.
+  Status AddPhysical(std::shared_ptr<PathIndex> index,
+                     const StorageConstants& constants);
+
+  /// Mutable lookup for maintenance; nullptr when absent.
+  CatalogEntry* FindMutable(const std::string& name);
+
+  /// Refreshes the cached statistics of a physical entry after
+  /// maintenance changed the underlying index.
+  Status RefreshStats(const std::string& name,
+                      const StorageConstants& constants);
+
+  /// Registers a hypothetical index with estimated statistics.
+  Status AddVirtual(IndexDefinition def, VirtualIndexStats stats);
+
+  Status Drop(const std::string& name);
+
+  const CatalogEntry* Find(const std::string& name) const;
+
+  /// All entries for a collection, in name order.
+  std::vector<const CatalogEntry*> IndexesFor(
+      const std::string& collection) const;
+
+  std::vector<const CatalogEntry*> AllIndexes() const;
+
+  size_t size() const { return entries_.size(); }
+
+  /// Unique auto-generated index name derived from a pattern.
+  std::string UniqueName(const PathPattern& pattern) const;
+
+ private:
+  std::map<std::string, CatalogEntry> entries_;
+};
+
+}  // namespace xia
+
+#endif  // XIA_INDEX_CATALOG_H_

@@ -1,0 +1,155 @@
+#include "index/ddl.h"
+
+#include <cctype>
+
+#include "common/string_util.h"
+#include "xpath/parser.h"
+
+namespace xia {
+
+namespace {
+
+/// Case-insensitive token scanner over a DDL statement.
+class DdlScanner {
+ public:
+  explicit DdlScanner(std::string_view text) : text_(text) {}
+
+  Status Error(const std::string& what) const {
+    return Status::ParseError("DDL parse error at offset " +
+                              std::to_string(pos_) + ": " + what);
+  }
+
+  void SkipWs() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  bool AtEnd() {
+    SkipWs();
+    return pos_ >= text_.size();
+  }
+
+  /// Consumes `keyword` case-insensitively if it is next.
+  bool MatchKeyword(std::string_view keyword) {
+    SkipWs();
+    if (pos_ + keyword.size() > text_.size()) return false;
+    for (size_t i = 0; i < keyword.size(); ++i) {
+      if (std::toupper(static_cast<unsigned char>(text_[pos_ + i])) !=
+          std::toupper(static_cast<unsigned char>(keyword[i]))) {
+        return false;
+      }
+    }
+    size_t after = pos_ + keyword.size();
+    if (after < text_.size() &&
+        (std::isalnum(static_cast<unsigned char>(text_[after])) ||
+         text_[after] == '_')) {
+      return false;  // Prefix of a longer identifier.
+    }
+    pos_ = after;
+    return true;
+  }
+
+  Result<std::string> ReadIdent() {
+    SkipWs();
+    size_t start = pos_;
+    while (pos_ < text_.size() &&
+           (std::isalnum(static_cast<unsigned char>(text_[pos_])) ||
+            text_[pos_] == '_')) {
+      ++pos_;
+    }
+    if (pos_ == start) return Error("expected identifier");
+    return std::string(text_.substr(start, pos_ - start));
+  }
+
+  bool MatchChar(char c) {
+    SkipWs();
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  Result<std::string> ReadQuoted() {
+    SkipWs();
+    if (pos_ >= text_.size() || text_[pos_] != '\'') {
+      return Error("expected quoted pattern");
+    }
+    ++pos_;
+    size_t start = pos_;
+    while (pos_ < text_.size() && text_[pos_] != '\'') ++pos_;
+    if (pos_ >= text_.size()) return Error("unterminated pattern literal");
+    std::string out(text_.substr(start, pos_ - start));
+    ++pos_;
+    return out;
+  }
+
+ private:
+  std::string_view text_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+Result<IndexDefinition> ParseIndexDdl(std::string_view statement) {
+  DdlScanner scan(statement);
+  IndexDefinition def;
+  if (!scan.MatchKeyword("CREATE") || !scan.MatchKeyword("INDEX")) {
+    return scan.Error("expected CREATE INDEX");
+  }
+  XIA_ASSIGN_OR_RETURN(def.name, scan.ReadIdent());
+  if (!scan.MatchKeyword("ON")) return scan.Error("expected ON");
+  XIA_ASSIGN_OR_RETURN(def.collection, scan.ReadIdent());
+  // Optional "(doc)" column list.
+  if (scan.MatchChar('(')) {
+    XIA_ASSIGN_OR_RETURN(std::string column, scan.ReadIdent());
+    (void)column;  // Column name is cosmetic in this store.
+    if (!scan.MatchChar(')')) return scan.Error("expected ')'");
+  }
+  if (!scan.MatchKeyword("GENERATE") || !scan.MatchKeyword("KEY") ||
+      !scan.MatchKeyword("USING") || !scan.MatchKeyword("XMLPATTERN")) {
+    return scan.Error("expected GENERATE KEY USING XMLPATTERN");
+  }
+  XIA_ASSIGN_OR_RETURN(std::string pattern_text, scan.ReadQuoted());
+  XIA_ASSIGN_OR_RETURN(def.pattern, ParsePathPattern(pattern_text));
+  if (!scan.MatchKeyword("AS") || !scan.MatchKeyword("SQL")) {
+    return scan.Error("expected AS SQL <type>");
+  }
+  if (scan.MatchKeyword("DOUBLE")) {
+    def.type = ValueType::kDouble;
+  } else if (scan.MatchKeyword("VARCHAR")) {
+    def.type = ValueType::kVarchar;
+    if (scan.MatchChar('(')) {
+      XIA_ASSIGN_OR_RETURN(std::string length, scan.ReadIdent());
+      (void)length;  // Declared VARCHAR length is not enforced.
+      if (!scan.MatchChar(')')) return scan.Error("expected ')'");
+    }
+  } else {
+    return scan.Error("expected DOUBLE or VARCHAR");
+  }
+  scan.MatchChar(';');
+  if (!scan.AtEnd()) return scan.Error("unexpected trailing text");
+  return def;
+}
+
+Result<std::vector<IndexDefinition>> ParseDdlScript(
+    std::string_view script) {
+  std::vector<IndexDefinition> out;
+  size_t line_no = 0;
+  for (const std::string& raw : Split(script, '\n')) {
+    ++line_no;
+    std::string_view line = Trim(raw);
+    if (line.empty() || StartsWith(line, "--")) continue;
+    Result<IndexDefinition> def = ParseIndexDdl(line);
+    if (!def.ok()) {
+      return Status::ParseError("line " + std::to_string(line_no) + ": " +
+                                def.status().message());
+    }
+    out.push_back(std::move(*def));
+  }
+  return out;
+}
+
+}  // namespace xia

@@ -1,0 +1,29 @@
+#ifndef XIA_INDEX_DDL_H_
+#define XIA_INDEX_DDL_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+#include "index/index_def.h"
+
+namespace xia {
+
+/// Parses one DB2-style index DDL statement (the form DdlString emits):
+///
+///   CREATE INDEX <name> ON <collection>(doc)
+///     GENERATE KEY USING XMLPATTERN '<pattern>' AS SQL DOUBLE|VARCHAR(n)
+///
+/// Case-insensitive keywords; an optional trailing ';' is accepted.
+Result<IndexDefinition> ParseIndexDdl(std::string_view statement);
+
+/// Parses a whole script: one statement per line; blank lines and lines
+/// starting with `--` are skipped. This makes advisor recommendations
+/// round-trippable: Report/DdlString output can be re-loaded and
+/// materialized in a later session.
+Result<std::vector<IndexDefinition>> ParseDdlScript(std::string_view script);
+
+}  // namespace xia
+
+#endif  // XIA_INDEX_DDL_H_

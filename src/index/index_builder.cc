@@ -1,0 +1,26 @@
+#include "index/index_builder.h"
+
+#include "xpath/evaluator.h"
+
+namespace xia {
+
+Result<PathIndex> BuildIndex(const Database& db, const IndexDefinition& def) {
+  const Collection* coll = db.GetCollection(def.collection);
+  if (coll == nullptr) {
+    return Status::NotFound("collection " + def.collection +
+                            " does not exist");
+  }
+  std::vector<PathIndex::Entry> entries;
+  for (const Document& doc : coll->docs()) {
+    for (NodeIndex n : EvaluatePattern(doc, db.names(), def.pattern)) {
+      std::string value = doc.TextValue(n);
+      std::optional<TypedValue> key = TypedValue::Make(def.type, value);
+      if (!key.has_value()) continue;  // Non-castable for DOUBLE: rejected.
+      entries.push_back(PathIndex::Entry{std::move(*key),
+                                         NodeRef{doc.id(), n}});
+    }
+  }
+  return PathIndex(def, std::move(entries));
+}
+
+}  // namespace xia

@@ -1,0 +1,20 @@
+#ifndef XIA_INDEX_INDEX_BUILDER_H_
+#define XIA_INDEX_INDEX_BUILDER_H_
+
+#include "common/status.h"
+#include "index/path_index.h"
+#include "storage/database.h"
+
+namespace xia {
+
+/// Materializes the index `def` by evaluating its XMLPATTERN over the
+/// collection and keying each reached node by its text value. For DOUBLE
+/// indexes, nodes whose value does not cast to a number are skipped (DB2's
+/// REJECT INVALID VALUES behaviour); for VARCHAR indexes every reached node
+/// is present, including empty-valued ones, so the index is also usable
+/// for purely structural (existence) access.
+Result<PathIndex> BuildIndex(const Database& db, const IndexDefinition& def);
+
+}  // namespace xia
+
+#endif  // XIA_INDEX_INDEX_BUILDER_H_

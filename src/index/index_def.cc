@@ -1,0 +1,17 @@
+#include "index/index_def.h"
+
+namespace xia {
+
+std::string IndexDefinition::DdlString() const {
+  std::string out = "CREATE INDEX " + name + " ON " + collection +
+                    "(doc) GENERATE KEY USING XMLPATTERN '" +
+                    pattern.ToString() + "' AS SQL ";
+  out += (type == ValueType::kDouble) ? "DOUBLE" : "VARCHAR(64)";
+  return out;
+}
+
+std::string IndexDefinition::Key() const {
+  return collection + "|" + pattern.ToString() + "|" + ValueTypeName(type);
+}
+
+}  // namespace xia

@@ -1,0 +1,37 @@
+#ifndef XIA_INDEX_INDEX_DEF_H_
+#define XIA_INDEX_INDEX_DEF_H_
+
+#include <string>
+
+#include "query/value.h"
+#include "xpath/path.h"
+
+namespace xia {
+
+/// Definition of an XML path-value index — the analogue of DB2's
+///   CREATE INDEX <name> ON <collection>(doc)
+///     GENERATE KEY USING XMLPATTERN '<pattern>' AS SQL <type>
+/// A definition is independent of whether the index is materialized
+/// (physical) or hypothetical (virtual); the catalog tracks that.
+struct IndexDefinition {
+  std::string name;
+  std::string collection;
+  PathPattern pattern;
+  ValueType type = ValueType::kVarchar;
+
+  /// Renders the DB2-style DDL for display in EXPLAIN and demo output.
+  std::string DdlString() const;
+
+  /// Stable identity for configuration bookkeeping: collection + pattern +
+  /// type (names are cosmetic).
+  std::string Key() const;
+
+  bool operator==(const IndexDefinition& other) const {
+    return collection == other.collection && pattern == other.pattern &&
+           type == other.type;
+  }
+};
+
+}  // namespace xia
+
+#endif  // XIA_INDEX_INDEX_DEF_H_

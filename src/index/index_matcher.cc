@@ -1,0 +1,83 @@
+#include "index/index_matcher.h"
+
+namespace xia {
+
+const char* MatchUseName(MatchUse use) {
+  switch (use) {
+    case MatchUse::kSargableEq:
+      return "eq-probe";
+    case MatchUse::kSargableRange:
+      return "range-scan";
+    case MatchUse::kStructural:
+      return "structural";
+  }
+  return "?";
+}
+
+std::string IndexMatch::ToString() const {
+  std::string out = entry->def.name + " [" + MatchUseName(use);
+  out += exact ? ", exact" : ", verify";
+  out += "] -> ";
+  out += (predicate_index < 0) ? "FOR path"
+                               : "predicate #" +
+                                     std::to_string(predicate_index);
+  return out;
+}
+
+std::vector<IndexMatch> IndexMatcher::Match(
+    const NormalizedQuery& query,
+    const std::vector<const CatalogEntry*>& indexes) {
+  std::vector<IndexMatch> out;
+  for (const CatalogEntry* entry : indexes) {
+    if (entry->def.collection != query.collection) continue;
+    const PathPattern& ipat = entry->def.pattern;
+    // Match against each value/existence predicate.
+    for (size_t i = 0; i < query.predicates.size(); ++i) {
+      const QueryPredicate& pred = query.predicates[i];
+      if (!cache_->Contains(ipat, pred.pattern)) continue;
+      IndexMatch match;
+      match.entry = entry;
+      match.predicate_index = static_cast<int>(i);
+      match.exact = cache_->Contains(pred.pattern, ipat);
+      bool type_ok = entry->def.type == pred.ImpliedType();
+      switch (pred.op) {
+        case CompareOp::kEq:
+          match.use = type_ok ? MatchUse::kSargableEq : MatchUse::kStructural;
+          break;
+        case CompareOp::kLt:
+        case CompareOp::kLe:
+        case CompareOp::kGt:
+        case CompareOp::kGe:
+          match.use =
+              type_ok ? MatchUse::kSargableRange : MatchUse::kStructural;
+          break;
+        case CompareOp::kNe:
+        case CompareOp::kContains:
+        case CompareOp::kExists:
+          match.use = MatchUse::kStructural;
+          break;
+      }
+      // Structural use must see every node under the pattern; DOUBLE
+      // indexes are lossy (non-castable values rejected), so they only
+      // support sargable use.
+      if (match.use == MatchUse::kStructural &&
+          entry->def.type != ValueType::kVarchar) {
+        continue;
+      }
+      out.push_back(match);
+    }
+    // Match against the driving FOR path (structural access).
+    if (entry->def.type == ValueType::kVarchar &&
+        cache_->Contains(ipat, query.for_path)) {
+      IndexMatch match;
+      match.entry = entry;
+      match.predicate_index = -1;
+      match.use = MatchUse::kStructural;
+      match.exact = cache_->Contains(query.for_path, ipat);
+      out.push_back(match);
+    }
+  }
+  return out;
+}
+
+}  // namespace xia

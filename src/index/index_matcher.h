@@ -1,0 +1,63 @@
+#ifndef XIA_INDEX_INDEX_MATCHER_H_
+#define XIA_INDEX_INDEX_MATCHER_H_
+
+#include <string>
+#include <vector>
+
+#include "index/catalog.h"
+#include "query/query.h"
+#include "xpath/containment.h"
+
+namespace xia {
+
+/// How a matched index can be used for a query pattern.
+enum class MatchUse {
+  kSargableEq,     // Equality probe on the key.
+  kSargableRange,  // Range scan on the key.
+  kStructural,     // Fetch all indexed nodes; value predicate re-checked.
+};
+
+const char* MatchUseName(MatchUse use);
+
+/// One (index, query pattern) match produced by index matching.
+struct IndexMatch {
+  const CatalogEntry* entry = nullptr;
+  /// Which normalized-query predicate this match serves; -1 means it serves
+  /// the driving FOR path structurally.
+  int predicate_index = -1;
+  MatchUse use = MatchUse::kStructural;
+  /// True when the index pattern is *equivalent* to the query pattern, so
+  /// fetched nodes need no structural re-verification. A strictly more
+  /// general index (e.g. //quantity answering /site/.../quantity) requires
+  /// verifying each fetched node's root path.
+  bool exact = false;
+
+  std::string ToString() const;
+};
+
+/// Index matching: decides which catalog indexes can serve which patterns
+/// of a normalized query. The core rule is containment — an index whose
+/// pattern contains the query pattern reaches a superset of the needed
+/// nodes. Type compatibility gates sargable use; VARCHAR completeness
+/// gates structural use (DOUBLE indexes silently drop non-numeric values,
+/// so they can never prove existence).
+///
+/// The paper's Enumerate Indexes mode is this matcher run against a
+/// catalog overlay holding only the universal virtual indexes //* and
+/// //@* — whatever patterns match are the query's basic candidates.
+class IndexMatcher {
+ public:
+  /// `cache` may be shared across queries; must outlive the matcher.
+  explicit IndexMatcher(ContainmentCache* cache) : cache_(cache) {}
+
+  std::vector<IndexMatch> Match(
+      const NormalizedQuery& query,
+      const std::vector<const CatalogEntry*>& indexes);
+
+ private:
+  ContainmentCache* cache_;
+};
+
+}  // namespace xia
+
+#endif  // XIA_INDEX_INDEX_MATCHER_H_

@@ -1,0 +1,41 @@
+#ifndef XIA_INDEX_MAINTENANCE_H_
+#define XIA_INDEX_MAINTENANCE_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "index/catalog.h"
+#include "storage/database.h"
+
+namespace xia {
+
+/// Work performed by one maintenance operation — also the ground truth the
+/// advisor's update-cost *estimates* are validated against (see
+/// bench_maintenance).
+struct MaintenanceStats {
+  size_t indexes_touched = 0;
+  size_t entries_inserted = 0;
+  size_t entries_removed = 0;
+};
+
+/// Propagates a newly added document into every physical index of its
+/// collection: evaluates each index's XMLPATTERN over the document and
+/// inserts the resulting keys. Call after Collection::Add. Index
+/// statistics in the catalog are refreshed; the collection's path synopsis
+/// is NOT — re-run Database::Analyze when estimates should see the new
+/// data (DB2's RUNSTATS discipline).
+Result<MaintenanceStats> ApplyDocumentInsert(const Database& db,
+                                             const std::string& collection,
+                                             DocId doc, Catalog* catalog);
+
+/// Removes a (logically deleted) document's entries from every physical
+/// index of its collection. The document itself stays in the collection
+/// (our store is append-only); this maintains the indexes as if it were
+/// gone, which is all the update-cost experiments need.
+Result<MaintenanceStats> ApplyDocumentDelete(const Database& db,
+                                             const std::string& collection,
+                                             DocId doc, Catalog* catalog);
+
+}  // namespace xia
+
+#endif  // XIA_INDEX_MAINTENANCE_H_

@@ -1,0 +1,121 @@
+#include "index/path_index.h"
+
+#include <algorithm>
+#include <cmath>
+#include <iterator>
+
+namespace xia {
+
+namespace {
+
+bool EntryLess(const PathIndex::Entry& a, const PathIndex::Entry& b) {
+  if (a.key == b.key) return a.node < b.node;
+  return a.key < b.key;
+}
+
+double KeyBytes(const TypedValue& v) {
+  return v.type == ValueType::kDouble ? 8.0
+                                      : static_cast<double>(v.str.size());
+}
+
+}  // namespace
+
+PathIndex::PathIndex(IndexDefinition def, std::vector<Entry> sorted_entries)
+    : def_(std::move(def)), entries_(std::move(sorted_entries)) {
+  std::sort(entries_.begin(), entries_.end(), EntryLess);
+  for (const Entry& e : entries_) key_bytes_total_ += KeyBytes(e.key);
+}
+
+double PathIndex::ByteSize(const StorageConstants& constants) const {
+  double raw = key_bytes_total_ +
+               static_cast<double>(entries_.size()) *
+                   (constants.rid_bytes + constants.entry_overhead_bytes);
+  return raw / constants.leaf_fill_factor;
+}
+
+double PathIndex::LeafPages(const StorageConstants& constants) const {
+  return std::max(1.0, ByteSize(constants) / constants.page_size_bytes);
+}
+
+int PathIndex::Height(const StorageConstants& constants) const {
+  double leaves = LeafPages(constants);
+  int height = 1;
+  while (leaves > 1.0) {
+    leaves /= constants.btree_fanout;
+    ++height;
+  }
+  return height;
+}
+
+std::vector<NodeRef> PathIndex::LookupEq(const TypedValue& key) const {
+  std::vector<NodeRef> out;
+  Entry probe{key, NodeRef{}};
+  auto lo = std::lower_bound(
+      entries_.begin(), entries_.end(), probe,
+      [](const Entry& a, const Entry& b) { return a.key < b.key; });
+  for (auto it = lo; it != entries_.end() && it->key == key; ++it) {
+    out.push_back(it->node);
+  }
+  return out;
+}
+
+std::vector<NodeRef> PathIndex::LookupRange(
+    const std::optional<TypedValue>& lo, bool lo_inclusive,
+    const std::optional<TypedValue>& hi, bool hi_inclusive) const {
+  std::vector<NodeRef> out;
+  auto it = entries_.begin();
+  if (lo.has_value()) {
+    it = std::lower_bound(
+        entries_.begin(), entries_.end(), Entry{*lo, NodeRef{}},
+        [](const Entry& a, const Entry& b) { return a.key < b.key; });
+    if (!lo_inclusive) {
+      while (it != entries_.end() && it->key == *lo) ++it;
+    }
+  }
+  for (; it != entries_.end(); ++it) {
+    if (hi.has_value()) {
+      if (hi_inclusive) {
+        if (*hi < it->key) break;
+      } else {
+        if (!(it->key < *hi)) break;
+      }
+    }
+    out.push_back(it->node);
+  }
+  return out;
+}
+
+size_t PathIndex::InsertEntries(std::vector<Entry> entries) {
+  for (const Entry& e : entries) key_bytes_total_ += KeyBytes(e.key);
+  size_t added = entries.size();
+  std::sort(entries.begin(), entries.end(), EntryLess);
+  std::vector<Entry> merged;
+  merged.reserve(entries_.size() + entries.size());
+  std::merge(entries_.begin(), entries_.end(), entries.begin(),
+             entries.end(), std::back_inserter(merged), EntryLess);
+  entries_ = std::move(merged);
+  return added;
+}
+
+size_t PathIndex::RemoveDocument(DocId doc) {
+  size_t before = entries_.size();
+  auto it = std::remove_if(entries_.begin(), entries_.end(),
+                           [&](const Entry& e) {
+                             if (e.node.doc != doc) return false;
+                             key_bytes_total_ -= KeyBytes(e.key);
+                             return true;
+                           });
+  entries_.erase(it, entries_.end());
+  return before - entries_.size();
+}
+
+std::vector<NodeRef> PathIndex::AllNodes() const {
+  std::vector<NodeRef> out;
+  out.reserve(entries_.size());
+  for (const Entry& e : entries_) out.push_back(e.node);
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+}  // namespace xia

@@ -1,0 +1,32 @@
+#include "optimizer/cardinality.h"
+
+#include <algorithm>
+
+#include "storage/statistics.h"
+
+namespace xia {
+
+double CardinalityEstimator::PatternCount(const PathPattern& pattern) const {
+  return synopsis_->EstimateCount(pattern);
+}
+
+double CardinalityEstimator::PredicateSelectivity(
+    const QueryPredicate& pred) const {
+  if (pred.op == CompareOp::kExists) {
+    // Existence of a sub-path under the driving node: approximate by the
+    // ratio of sub-path instances to driving instances, capped at 1.
+    return 1.0;
+  }
+  return synopsis_->SelectivityFor(pred.pattern, pred.op, pred.literal);
+}
+
+double CardinalityEstimator::QueryCardinality(
+    const NormalizedQuery& query) const {
+  double card = PatternCount(query.for_path);
+  for (const QueryPredicate& pred : query.predicates) {
+    card *= PredicateSelectivity(pred);
+  }
+  return std::max(card, 0.0);
+}
+
+}  // namespace xia

@@ -1,0 +1,36 @@
+#ifndef XIA_OPTIMIZER_CARDINALITY_H_
+#define XIA_OPTIMIZER_CARDINALITY_H_
+
+#include "query/query.h"
+#include "storage/path_synopsis.h"
+
+namespace xia {
+
+/// Cardinality and selectivity estimation from the path synopsis — the
+/// DB2-statistics analogue the paper's cost estimation relies on.
+/// Predicates are assumed independent (classic System-R style).
+class CardinalityEstimator {
+ public:
+  explicit CardinalityEstimator(const PathSynopsis* synopsis)
+      : synopsis_(synopsis) {}
+
+  /// Estimated node count reached by a structural pattern.
+  double PatternCount(const PathPattern& pattern) const;
+
+  /// Estimated fraction of a predicate's pattern population satisfying the
+  /// predicate's comparison.
+  double PredicateSelectivity(const QueryPredicate& pred) const;
+
+  /// Estimated result cardinality of a normalized query: driving-path
+  /// count times the product of predicate selectivities.
+  double QueryCardinality(const NormalizedQuery& query) const;
+
+  const PathSynopsis* synopsis() const { return synopsis_; }
+
+ private:
+  const PathSynopsis* synopsis_;
+};
+
+}  // namespace xia
+
+#endif  // XIA_OPTIMIZER_CARDINALITY_H_

@@ -1,0 +1,64 @@
+#include "optimizer/cost_model.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace xia {
+
+double CostModel::Pages(double bytes) const {
+  return std::max(1.0, std::ceil(bytes / storage.page_size_bytes));
+}
+
+double CostModel::CollectionScanCost(size_t collection_bytes,
+                                     size_t collection_nodes) const {
+  return Pages(static_cast<double>(collection_bytes)) * io_cost_per_page +
+         static_cast<double>(collection_nodes) * cpu_cost_per_node;
+}
+
+double CostModel::IndexScanCost(const VirtualIndexStats& stats,
+                                double leaf_fraction, double fetched_entries,
+                                bool needs_verify) const {
+  leaf_fraction = std::clamp(leaf_fraction, 0.0, 1.0);
+  double descend = static_cast<double>(stats.height) * io_cost_per_page *
+                   random_io_multiplier;
+  double leaves =
+      std::max(1.0, stats.leaf_pages * leaf_fraction) * io_cost_per_page;
+  double fetch = fetched_entries * fetch_cost_per_node;
+  double verify = needs_verify ? fetched_entries * cpu_cost_per_verify : 0.0;
+  return descend + leaves + fetch + verify;
+}
+
+double CostModel::IndexRidProbeCost(const VirtualIndexStats& stats,
+                                    double leaf_fraction,
+                                    double scanned_entries,
+                                    bool needs_verify) const {
+  leaf_fraction = std::clamp(leaf_fraction, 0.0, 1.0);
+  double descend = static_cast<double>(stats.height) * io_cost_per_page *
+                   random_io_multiplier;
+  double leaves =
+      std::max(1.0, stats.leaf_pages * leaf_fraction) * io_cost_per_page;
+  double cpu = scanned_entries * cpu_cost_per_node;
+  double verify =
+      needs_verify ? scanned_entries * cpu_cost_per_verify : 0.0;
+  return descend + leaves + cpu + verify;
+}
+
+double CostModel::ResidualPredicateCost(double rows,
+                                        size_t num_predicates) const {
+  // Each residual predicate navigates within the candidate's stored
+  // document: price a partial random access plus CPU per row.
+  return rows * static_cast<double>(num_predicates) *
+         (cpu_cost_per_predicate + fetch_cost_per_node);
+}
+
+double CostModel::UpdateMaintenanceCost(double affected_entries) const {
+  return affected_entries * update_cost_per_entry;
+}
+
+double CostModel::SortCost(double rows) const {
+  if (rows <= 1.0) return 0.0;
+  // n log n comparisons; 4x the per-node CPU weight per comparison.
+  return rows * std::log2(rows) * cpu_cost_per_node * 4.0;
+}
+
+}  // namespace xia

@@ -1,0 +1,61 @@
+#ifndef XIA_OPTIMIZER_COST_MODEL_H_
+#define XIA_OPTIMIZER_COST_MODEL_H_
+
+#include <cstddef>
+
+#include "index/virtual_index.h"
+
+namespace xia {
+
+/// Cost model in "timeron"-style abstract units: sequential page I/O,
+/// random fetches, and per-node CPU. The same constants price physical and
+/// virtual indexes, which is what makes Evaluate-Indexes estimates
+/// comparable to real execution shapes.
+struct CostModel {
+  StorageConstants storage;
+
+  double io_cost_per_page = 1.0;        // Sequential page read.
+  double random_io_multiplier = 1.5;    // Random page read penalty.
+  double cpu_cost_per_node = 0.005;     // Examining one stored node.
+  double cpu_cost_per_predicate = 0.01; // Evaluating a residual predicate.
+  double cpu_cost_per_verify = 0.01;    // Structural verification per entry.
+  double fetch_cost_per_node = 0.05;    // Fetching a node by NodeRef.
+  double update_cost_per_entry = 0.1;   // Index maintenance per touched key.
+
+  /// Full collection scan: read every page, examine every node.
+  double CollectionScanCost(size_t collection_bytes,
+                            size_t collection_nodes) const;
+
+  /// Index access: descend the B-tree, read the touched fraction of leaf
+  /// pages, fetch `fetched_entries` nodes, optionally structurally verify
+  /// each fetched node.
+  double IndexScanCost(const VirtualIndexStats& stats,
+                       double leaf_fraction, double fetched_entries,
+                       bool needs_verify) const;
+
+  /// RID-only index probe for IXAND legs: descend + leaf pages + per-RID
+  /// CPU (+ verification CPU), but NO node fetches — those happen once,
+  /// after the RID sets are intersected.
+  double IndexRidProbeCost(const VirtualIndexStats& stats,
+                           double leaf_fraction, double scanned_entries,
+                           bool needs_verify) const;
+
+  /// Residual predicate evaluation over `rows` candidate nodes.
+  double ResidualPredicateCost(double rows, size_t num_predicates) const;
+
+  /// Maintenance cost of one update operation that touches
+  /// `affected_entries` keys of an index.
+  double UpdateMaintenanceCost(double affected_entries) const;
+
+  /// Sorting `rows` results for an ORDER BY the access path does not
+  /// already satisfy (an exact sargable probe on the order key returns
+  /// rows in key order for free).
+  double SortCost(double rows) const;
+
+  /// Pages occupied by `bytes` of storage.
+  double Pages(double bytes) const;
+};
+
+}  // namespace xia
+
+#endif  // XIA_OPTIMIZER_COST_MODEL_H_

@@ -1,0 +1,53 @@
+#ifndef XIA_OPTIMIZER_OPTIMIZER_H_
+#define XIA_OPTIMIZER_OPTIMIZER_H_
+
+#include <vector>
+
+#include "common/status.h"
+#include "index/catalog.h"
+#include "index/index_matcher.h"
+#include "optimizer/cardinality.h"
+#include "optimizer/cost_model.h"
+#include "optimizer/plan.h"
+#include "query/query.h"
+#include "storage/database.h"
+
+namespace xia {
+
+/// Optimizer feature toggles.
+struct OptimizerOptions {
+  /// Consider DB2-style IXAND plans: two sargable probes on different
+  /// predicates intersected before residual evaluation.
+  bool enable_index_anding = true;
+};
+
+/// Cost-based access-path selection for normalized queries: enumerates the
+/// collection scan, one plan per applicable index match (from
+/// IndexMatcher), and optionally ANDed two-index plans, keeping the
+/// cheapest. Virtual and physical indexes are costed identically — the
+/// property the paper's what-if modes depend on.
+class Optimizer {
+ public:
+  /// `db` must outlive the optimizer. Collections must be Analyze()d
+  /// before their queries can be optimized.
+  Optimizer(const Database* db, CostModel cost_model,
+            OptimizerOptions options = {})
+      : db_(db), cost_model_(cost_model), options_(options) {}
+
+  /// Optimizes `query` against `catalog` (often a throwaway overlay).
+  Result<QueryPlan> Optimize(const Query& query, const Catalog& catalog,
+                             ContainmentCache* cache) const;
+
+  const Database& db() const { return *db_; }
+  const CostModel& cost_model() const { return cost_model_; }
+  const OptimizerOptions& options() const { return options_; }
+
+ private:
+  const Database* db_;
+  CostModel cost_model_;
+  OptimizerOptions options_;
+};
+
+}  // namespace xia
+
+#endif  // XIA_OPTIMIZER_OPTIMIZER_H_

@@ -1,0 +1,428 @@
+#include "query/parser.h"
+
+#include <cctype>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/string_util.h"
+#include "xpath/parser.h"
+
+namespace xia {
+
+namespace {
+
+/// Cursor over query text with keyword / variable / quoted-string / path
+/// extraction helpers. Paths are extracted lexically (bracket-depth aware)
+/// and handed to the XPath parser.
+class QueryScanner {
+ public:
+  explicit QueryScanner(std::string_view text) : text_(text) {}
+
+  void SkipWs() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  bool AtEnd() {
+    SkipWs();
+    return pos_ >= text_.size();
+  }
+
+  Status Error(const std::string& what) const {
+    return Status::ParseError("query parse error at offset " +
+                              std::to_string(pos_) + ": " + what);
+  }
+
+  /// Case-insensitively consumes `word` if it is the next token.
+  bool MatchWord(std::string_view word) {
+    SkipWs();
+    size_t end = pos_;
+    while (end < text_.size() &&
+           (std::isalnum(static_cast<unsigned char>(text_[end])) ||
+            text_[end] == '_')) {
+      ++end;
+    }
+    if (end - pos_ != word.size()) return false;
+    for (size_t i = 0; i < word.size(); ++i) {
+      if (std::tolower(static_cast<unsigned char>(text_[pos_ + i])) !=
+          std::tolower(static_cast<unsigned char>(word[i]))) {
+        return false;
+      }
+    }
+    pos_ = end;
+    return true;
+  }
+
+  /// Peeks whether the next token equals `word` without consuming.
+  bool PeekWord(std::string_view word) {
+    size_t save = pos_;
+    bool ok = MatchWord(word);
+    pos_ = save;
+    return ok;
+  }
+
+  Result<std::string> ReadIdent() {
+    SkipWs();
+    size_t start = pos_;
+    while (pos_ < text_.size() &&
+           (std::isalnum(static_cast<unsigned char>(text_[pos_])) ||
+            text_[pos_] == '_')) {
+      ++pos_;
+    }
+    if (pos_ == start) return Error("expected identifier");
+    return std::string(text_.substr(start, pos_ - start));
+  }
+
+  /// Reads `$name`.
+  Result<std::string> ReadVar() {
+    SkipWs();
+    if (pos_ >= text_.size() || text_[pos_] != '$') {
+      return Error("expected variable reference");
+    }
+    ++pos_;
+    return ReadIdent();
+  }
+
+  bool MatchChar(char c) {
+    SkipWs();
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  Result<std::string> ReadQuoted() {
+    SkipWs();
+    if (pos_ >= text_.size() || (text_[pos_] != '"' && text_[pos_] != '\'')) {
+      return Error("expected quoted string");
+    }
+    char quote = text_[pos_++];
+    size_t start = pos_;
+    while (pos_ < text_.size() && text_[pos_] != quote) ++pos_;
+    if (pos_ >= text_.size()) return Error("unterminated string");
+    std::string out(text_.substr(start, pos_ - start));
+    ++pos_;
+    return out;
+  }
+
+  /// Extracts a path fragment: runs until whitespace / comma / comparison
+  /// operator at bracket depth 0 (whitespace inside predicates is fine).
+  /// Paths always start with '/'; anything else (e.g. a following keyword
+  /// after a bare `$var`) is left unconsumed and yields "".
+  std::string ExtractPath(bool stop_at_op) {
+    SkipWs();
+    if (pos_ >= text_.size() || text_[pos_] != '/') return "";
+    size_t start = pos_;
+    int depth = 0;
+    while (pos_ < text_.size()) {
+      char c = text_[pos_];
+      if (c == '[') ++depth;
+      if (c == ']') --depth;
+      if (depth == 0) {
+        if (std::isspace(static_cast<unsigned char>(c)) || c == ',') break;
+        if (stop_at_op && (c == '=' || c == '!' || c == '<' || c == '>')) {
+          break;
+        }
+      }
+      ++pos_;
+    }
+    return std::string(text_.substr(start, pos_ - start));
+  }
+
+  /// Reads a comparison operator if present.
+  Result<CompareOp> ReadOp() {
+    SkipWs();
+    auto two = text_.substr(pos_, 2);
+    if (two == "!=") {
+      pos_ += 2;
+      return CompareOp::kNe;
+    }
+    if (two == "<=") {
+      pos_ += 2;
+      return CompareOp::kLe;
+    }
+    if (two == ">=") {
+      pos_ += 2;
+      return CompareOp::kGe;
+    }
+    char c = pos_ < text_.size() ? text_[pos_] : '\0';
+    if (c == '=') {
+      ++pos_;
+      return CompareOp::kEq;
+    }
+    if (c == '<') {
+      ++pos_;
+      return CompareOp::kLt;
+    }
+    if (c == '>') {
+      ++pos_;
+      return CompareOp::kGt;
+    }
+    return Error("expected comparison operator");
+  }
+
+  bool PeekOp() {
+    SkipWs();
+    char c = pos_ < text_.size() ? text_[pos_] : '\0';
+    return c == '=' || c == '!' || c == '<' || c == '>';
+  }
+
+  /// Reads a literal: quoted string or bare number.
+  Result<std::string> ReadLiteral() {
+    SkipWs();
+    if (pos_ < text_.size() && (text_[pos_] == '"' || text_[pos_] == '\'')) {
+      return ReadQuoted();
+    }
+    size_t start = pos_;
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+            text_[pos_] == '.' || text_[pos_] == '-' || text_[pos_] == '+')) {
+      ++pos_;
+    }
+    if (pos_ == start) return Error("expected literal");
+    return std::string(text_.substr(start, pos_ - start));
+  }
+
+ private:
+  std::string_view text_;
+  size_t pos_ = 0;
+};
+
+/// Converts the inline predicates of a parsed path rooted at `base` into
+/// absolute QueryPredicates appended to `out`.
+void AbsolutizePredicates(const ParsedPath& parsed, const PathPattern& base,
+                          std::vector<QueryPredicate>* out) {
+  for (const PathPredicate& pred : parsed.predicates) {
+    QueryPredicate qp;
+    qp.pattern = base.Concat(pred.AbsolutePattern(parsed.pattern));
+    qp.op = pred.op;
+    qp.literal = pred.literal;
+    out->push_back(std::move(qp));
+  }
+}
+
+}  // namespace
+
+Result<Query> ParseXQuery(std::string_view text) {
+  Query query;
+  query.text = std::string(text);
+  query.language = QueryLanguage::kXQuery;
+  NormalizedQuery& nq = query.normalized;
+
+  QueryScanner scan(text);
+  if (!scan.MatchWord("for")) return scan.Error("XQuery must start with for");
+  XIA_ASSIGN_OR_RETURN(std::string var, scan.ReadVar());
+  if (!scan.MatchWord("in")) return scan.Error("expected 'in'");
+  bool has_doc = scan.MatchWord("doc") || scan.MatchWord("collection");
+  if (!has_doc) return scan.Error("expected doc(...) or collection(...)");
+  if (!scan.MatchChar('(')) return scan.Error("expected '('");
+  XIA_ASSIGN_OR_RETURN(nq.collection, scan.ReadQuoted());
+  if (!scan.MatchChar(')')) return scan.Error("expected ')'");
+
+  std::string for_path_text = scan.ExtractPath(/*stop_at_op=*/false);
+  if (for_path_text.empty()) return scan.Error("expected path after doc()");
+  XIA_ASSIGN_OR_RETURN(ParsedPath for_parsed, ParsePathExpr(for_path_text));
+  nq.for_path = for_parsed.pattern;
+  AbsolutizePredicates(for_parsed, PathPattern(), &nq.predicates);
+
+  // Variable environment: the FOR binding plus any LET bindings, each
+  // resolved to an absolute pattern.
+  std::map<std::string, PathPattern> vars;
+  vars.emplace(var, nq.for_path);
+  while (scan.MatchWord("let")) {
+    XIA_ASSIGN_OR_RETURN(std::string let_var, scan.ReadVar());
+    if (!scan.MatchChar(':') || !scan.MatchChar('=')) {
+      return scan.Error("expected ':=' in let clause");
+    }
+    XIA_ASSIGN_OR_RETURN(std::string base_var, scan.ReadVar());
+    auto base_it = vars.find(base_var);
+    if (base_it == vars.end()) {
+      return scan.Error("unknown variable $" + base_var + " in let");
+    }
+    std::string rel_text = scan.ExtractPath(/*stop_at_op=*/false);
+    PathPattern bound = base_it->second;
+    if (!rel_text.empty()) {
+      XIA_ASSIGN_OR_RETURN(ParsedPath rel, ParsePathExpr(rel_text));
+      AbsolutizePredicates(rel, base_it->second, &nq.predicates);
+      bound = base_it->second.Concat(rel.pattern);
+    }
+    vars[let_var] = std::move(bound);
+  }
+
+  if (scan.MatchWord("where")) {
+    while (true) {
+      XIA_ASSIGN_OR_RETURN(std::string cond_var, scan.ReadVar());
+      auto var_it = vars.find(cond_var);
+      if (var_it == vars.end()) {
+        return scan.Error("unknown variable $" + cond_var);
+      }
+      const PathPattern& cond_base = var_it->second;
+      std::string rel_text = scan.ExtractPath(/*stop_at_op=*/true);
+      // `$x/text()` (or bare `$x`) compares the bound node's own value:
+      // strip the trailing text() step; an empty remainder means the
+      // predicate applies to the FOR path itself.
+      if (EndsWith(rel_text, "/text()")) {
+        rel_text = rel_text.substr(0, rel_text.size() - 7);
+      }
+      QueryPredicate qp;
+      if (!rel_text.empty()) {
+        XIA_ASSIGN_OR_RETURN(ParsedPath rel, ParsePathExpr(rel_text));
+        AbsolutizePredicates(rel, cond_base, &nq.predicates);
+        qp.pattern = cond_base.Concat(rel.pattern);
+      } else {
+        qp.pattern = cond_base;
+      }
+      if (scan.PeekOp()) {
+        XIA_ASSIGN_OR_RETURN(qp.op, scan.ReadOp());
+        XIA_ASSIGN_OR_RETURN(qp.literal, scan.ReadLiteral());
+      } else {
+        qp.op = CompareOp::kExists;
+      }
+      nq.predicates.push_back(std::move(qp));
+      if (!scan.MatchWord("and")) break;
+    }
+  }
+
+  if (scan.MatchWord("order")) {
+    if (!scan.MatchWord("by")) return scan.Error("expected 'order by'");
+    while (true) {
+      XIA_ASSIGN_OR_RETURN(std::string key_var, scan.ReadVar());
+      auto var_it = vars.find(key_var);
+      if (var_it == vars.end()) {
+        return scan.Error("unknown variable $" + key_var);
+      }
+      std::string rel_text = scan.ExtractPath(/*stop_at_op=*/false);
+      PathPattern key = var_it->second;
+      if (!rel_text.empty()) {
+        XIA_ASSIGN_OR_RETURN(ParsedPath rel, ParsePathExpr(rel_text));
+        key = var_it->second.Concat(rel.pattern);
+      }
+      nq.order_by.push_back(std::move(key));
+      // Sort direction is parsed but does not affect costing.
+      if (!scan.MatchWord("ascending")) (void)scan.MatchWord("descending");
+      if (!scan.MatchChar(',')) break;
+    }
+  }
+
+  if (scan.MatchWord("return")) {
+    while (true) {
+      XIA_ASSIGN_OR_RETURN(std::string ret_var, scan.ReadVar());
+      auto var_it = vars.find(ret_var);
+      if (var_it == vars.end()) {
+        return scan.Error("unknown variable $" + ret_var);
+      }
+      std::string rel_text = scan.ExtractPath(/*stop_at_op=*/false);
+      if (rel_text.empty()) {
+        nq.returns.push_back(var_it->second);
+      } else {
+        XIA_ASSIGN_OR_RETURN(ParsedPath rel, ParsePathExpr(rel_text));
+        nq.returns.push_back(var_it->second.Concat(rel.pattern));
+      }
+      if (!scan.MatchChar(',')) break;
+    }
+  }
+
+  if (!scan.AtEnd()) return scan.Error("unexpected trailing text");
+  return query;
+}
+
+namespace {
+
+/// Parses the quoted path argument of xmlexists/xmlquery: strips the
+/// leading `$var` and returns the parsed path expression.
+Result<ParsedPath> ParseSqlXmlPathArg(const std::string& arg) {
+  std::string_view body = Trim(arg);
+  if (!body.empty() && body[0] == '$') {
+    size_t i = 1;
+    while (i < body.size() &&
+           (std::isalnum(static_cast<unsigned char>(body[i])) ||
+            body[i] == '_')) {
+      ++i;
+    }
+    body = body.substr(i);
+  }
+  return ParsePathExpr(body);
+}
+
+}  // namespace
+
+Result<Query> ParseSqlXml(std::string_view text) {
+  Query query;
+  query.text = std::string(text);
+  query.language = QueryLanguage::kSqlXml;
+  NormalizedQuery& nq = query.normalized;
+
+  QueryScanner scan(text);
+  if (!scan.MatchWord("select")) {
+    return scan.Error("SQL/XML must start with select");
+  }
+  // Select list: '*' or xmlquery('...') [, xmlquery('...')]*.
+  std::vector<std::string> xmlquery_args;
+  if (!scan.MatchChar('*')) {
+    while (true) {
+      if (!scan.MatchWord("xmlquery")) {
+        return scan.Error("expected '*' or xmlquery(...) in select list");
+      }
+      if (!scan.MatchChar('(')) return scan.Error("expected '('");
+      XIA_ASSIGN_OR_RETURN(std::string arg, scan.ReadQuoted());
+      xmlquery_args.push_back(arg);
+      if (!scan.MatchChar(')')) return scan.Error("expected ')'");
+      if (!scan.MatchChar(',')) break;
+    }
+  }
+  if (!scan.MatchWord("from")) return scan.Error("expected 'from'");
+  XIA_ASSIGN_OR_RETURN(nq.collection, scan.ReadIdent());
+
+  bool first_exists = true;
+  if (scan.MatchWord("where")) {
+    while (true) {
+      if (!scan.MatchWord("xmlexists")) {
+        return scan.Error("expected xmlexists(...)");
+      }
+      if (!scan.MatchChar('(')) return scan.Error("expected '('");
+      XIA_ASSIGN_OR_RETURN(std::string arg, scan.ReadQuoted());
+      if (!scan.MatchChar(')')) return scan.Error("expected ')'");
+      XIA_ASSIGN_OR_RETURN(ParsedPath parsed, ParseSqlXmlPathArg(arg));
+      if (first_exists) {
+        nq.for_path = parsed.pattern;
+        first_exists = false;
+      } else {
+        QueryPredicate qp;
+        qp.pattern = parsed.pattern;
+        qp.op = CompareOp::kExists;
+        nq.predicates.push_back(std::move(qp));
+      }
+      AbsolutizePredicates(parsed, PathPattern(), &nq.predicates);
+      if (!scan.MatchWord("and")) break;
+    }
+  }
+
+  for (const std::string& arg : xmlquery_args) {
+    XIA_ASSIGN_OR_RETURN(ParsedPath parsed, ParseSqlXmlPathArg(arg));
+    nq.returns.push_back(parsed.pattern);
+    if (first_exists) {
+      // A query with no WHERE drives off its first extraction path.
+      nq.for_path = parsed.pattern;
+      first_exists = false;
+    }
+  }
+  if (first_exists) {
+    return scan.Error("query has neither xmlexists nor xmlquery paths");
+  }
+  if (!scan.AtEnd()) return scan.Error("unexpected trailing text");
+  return query;
+}
+
+Result<Query> ParseQuery(std::string_view text) {
+  QueryScanner probe(text);
+  if (probe.PeekWord("for")) return ParseXQuery(text);
+  if (probe.PeekWord("select")) return ParseSqlXml(text);
+  return Status::ParseError(
+      "query must start with 'for' (XQuery) or 'select' (SQL/XML)");
+}
+
+}  // namespace xia

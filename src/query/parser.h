@@ -1,0 +1,32 @@
+#ifndef XIA_QUERY_PARSER_H_
+#define XIA_QUERY_PARSER_H_
+
+#include <string_view>
+
+#include "common/status.h"
+#include "query/query.h"
+
+namespace xia {
+
+/// Parses a workload query in either surface language, auto-detected from
+/// the leading keyword (`for` => XQuery FLWOR subset, `select` => SQL/XML).
+///
+/// XQuery subset:
+///   for $x in doc("collection")/path[pred]...
+///   [where $x/rel op literal (and ...)*]
+///   [return $x/rel (, $x/rel)*]
+///
+/// SQL/XML subset:
+///   select [xmlquery('$d/path') ,...| *]
+///   from collection
+///   [where xmlexists('$d/path[pred]') (and xmlexists(...))*]
+///
+/// Both normalize to the same NormalizedQuery logical form.
+Result<Query> ParseQuery(std::string_view text);
+
+Result<Query> ParseXQuery(std::string_view text);
+Result<Query> ParseSqlXml(std::string_view text);
+
+}  // namespace xia
+
+#endif  // XIA_QUERY_PARSER_H_

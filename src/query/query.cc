@@ -1,0 +1,52 @@
+#include "query/query.h"
+
+#include "common/string_util.h"
+
+namespace xia {
+
+const char* QueryLanguageName(QueryLanguage lang) {
+  switch (lang) {
+    case QueryLanguage::kXQuery:
+      return "XQuery";
+    case QueryLanguage::kSqlXml:
+      return "SQL/XML";
+  }
+  return "?";
+}
+
+ValueType QueryPredicate::ImpliedType() const {
+  if (op == CompareOp::kExists || op == CompareOp::kContains) {
+    return ValueType::kVarchar;
+  }
+  return ParseDouble(literal).has_value() ? ValueType::kDouble
+                                          : ValueType::kVarchar;
+}
+
+std::string QueryPredicate::ToString() const {
+  if (op == CompareOp::kExists) {
+    return "exists(" + pattern.ToString() + ")";
+  }
+  std::string value = literal;
+  if (!ParseDouble(value).has_value()) value = "\"" + value + "\"";
+  if (op == CompareOp::kContains) {
+    return "contains(" + pattern.ToString() + ", " + value + ")";
+  }
+  return pattern.ToString() + " " + CompareOpName(op) + " " + value;
+}
+
+std::string NormalizedQuery::ToString() const {
+  std::string out = "collection=" + collection;
+  out += " for=" + for_path.ToString();
+  for (const QueryPredicate& p : predicates) {
+    out += " where " + p.ToString();
+  }
+  for (const PathPattern& o : order_by) {
+    out += " order-by " + o.ToString();
+  }
+  for (const PathPattern& r : returns) {
+    out += " return " + r.ToString();
+  }
+  return out;
+}
+
+}  // namespace xia

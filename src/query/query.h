@@ -1,0 +1,60 @@
+#ifndef XIA_QUERY_QUERY_H_
+#define XIA_QUERY_QUERY_H_
+
+#include <string>
+#include <vector>
+
+#include "query/value.h"
+#include "xpath/path.h"
+
+namespace xia {
+
+/// Surface language a query was written in. Both normalize to the same
+/// logical form, which is all the optimizer and advisor ever see — exactly
+/// the tight coupling the paper relies on: the advisor supports every
+/// language the optimizer supports for free.
+enum class QueryLanguage { kXQuery, kSqlXml };
+
+const char* QueryLanguageName(QueryLanguage lang);
+
+/// One conjunctive condition of a normalized query: the value reached by
+/// `pattern` must satisfy `op literal` (or merely exist, for kExists).
+/// These are the query's index-eligible XPath patterns.
+struct QueryPredicate {
+  PathPattern pattern;
+  CompareOp op = CompareOp::kExists;
+  std::string literal;
+
+  /// Index key type implied by the comparison: numeric literals with an
+  /// ordering comparison want a DOUBLE index; everything else VARCHAR.
+  ValueType ImpliedType() const;
+
+  std::string ToString() const;
+};
+
+/// Logical normal form of a query: one driving path (the FOR binding or the
+/// first XMLEXISTS), a conjunction of value/existence predicates with
+/// absolute patterns, and extraction paths from the RETURN clause.
+struct NormalizedQuery {
+  std::string collection;
+  PathPattern for_path;
+  std::vector<QueryPredicate> predicates;
+  std::vector<PathPattern> returns;   // Absolute patterns; not filtering.
+  std::vector<PathPattern> order_by;  // Absolute sort-key patterns.
+
+  std::string ToString() const;
+};
+
+/// A workload query: raw text, surface language, normalized logical form,
+/// and its weight (relative frequency) in the workload.
+struct Query {
+  std::string id;
+  std::string text;
+  QueryLanguage language = QueryLanguage::kXQuery;
+  double weight = 1.0;
+  NormalizedQuery normalized;
+};
+
+}  // namespace xia
+
+#endif  // XIA_QUERY_QUERY_H_

@@ -1,0 +1,33 @@
+#include "storage/buffer_pool.h"
+
+namespace xia {
+
+bool BufferPool::Touch(uint64_t page_id) {
+  if (capacity_ == 0) {
+    ++misses_;
+    return false;
+  }
+  auto it = map_.find(page_id);
+  if (it != map_.end()) {
+    ++hits_;
+    lru_.splice(lru_.begin(), lru_, it->second);
+    return true;
+  }
+  ++misses_;
+  if (map_.size() >= capacity_) {
+    map_.erase(lru_.back());
+    lru_.pop_back();
+  }
+  lru_.push_front(page_id);
+  map_[page_id] = lru_.begin();
+  return false;
+}
+
+void BufferPool::Reset() {
+  lru_.clear();
+  map_.clear();
+  hits_ = 0;
+  misses_ = 0;
+}
+
+}  // namespace xia

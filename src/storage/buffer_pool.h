@@ -1,0 +1,69 @@
+#ifndef XIA_STORAGE_BUFFER_POOL_H_
+#define XIA_STORAGE_BUFFER_POOL_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <list>
+#include <unordered_map>
+
+namespace xia {
+
+/// LRU page cache. The executor can run against one to account buffer
+/// hits vs. physical reads, which is how repeated queries get realistic
+/// warm-cache behaviour (DB2's buffer pool analogue). Page ids are opaque
+/// 64-bit values; callers partition the id space (collection pages,
+/// per-index leaf pages).
+class BufferPool {
+ public:
+  /// `capacity_pages` of zero disables caching (every touch is a miss).
+  explicit BufferPool(size_t capacity_pages)
+      : capacity_(capacity_pages) {}
+
+  BufferPool(const BufferPool&) = delete;
+  BufferPool& operator=(const BufferPool&) = delete;
+
+  /// Touches a page: returns true on a hit; on a miss the page is
+  /// admitted, evicting the least recently used page if full.
+  bool Touch(uint64_t page_id);
+
+  size_t capacity() const { return capacity_; }
+  size_t size() const { return map_.size(); }
+  uint64_t hits() const { return hits_; }
+  uint64_t misses() const { return misses_; }
+
+  double HitRatio() const {
+    uint64_t total = hits_ + misses_;
+    return total == 0 ? 0.0
+                      : static_cast<double>(hits_) /
+                            static_cast<double>(total);
+  }
+
+  /// Drops all cached pages and zeroes the counters.
+  void Reset();
+
+ private:
+  size_t capacity_;
+  std::list<uint64_t> lru_;  // Front = most recently used.
+  std::unordered_map<uint64_t, std::list<uint64_t>::iterator> map_;
+  uint64_t hits_ = 0;
+  uint64_t misses_ = 0;
+};
+
+/// Page-id helpers partitioning the 64-bit space.
+/// Collection data page `page` of document `doc`.
+inline uint64_t DocPageId(int32_t doc, uint32_t page) {
+  return (uint64_t{1} << 62) | (static_cast<uint64_t>(
+                                    static_cast<uint32_t>(doc))
+                                << 24) |
+         (page & 0xFFFFFF);
+}
+
+/// Leaf page `page` of the index with stable hash `index_hash`.
+inline uint64_t IndexPageId(uint64_t index_hash, uint32_t page) {
+  return (uint64_t{2} << 62) | ((index_hash & 0x3FFFFFFFF) << 24) |
+         (page & 0xFFFFFF);
+}
+
+}  // namespace xia
+
+#endif  // XIA_STORAGE_BUFFER_POOL_H_

@@ -1,0 +1,14 @@
+#include "storage/collection.h"
+
+namespace xia {
+
+DocId Collection::Add(Document doc) {
+  DocId id = static_cast<DocId>(docs_.size());
+  doc.set_id(id);
+  num_nodes_ += doc.num_nodes();
+  byte_size_ += doc.ByteSize();
+  docs_.push_back(std::move(doc));
+  return id;
+}
+
+}  // namespace xia

@@ -1,0 +1,50 @@
+#ifndef XIA_STORAGE_COLLECTION_H_
+#define XIA_STORAGE_COLLECTION_H_
+
+#include <string>
+#include <vector>
+
+#include "xml/document.h"
+
+namespace xia {
+
+/// A named collection of XML documents — the analogue of a DB2 table with
+/// an XML column. Documents are immutable once added; updates in workloads
+/// are modeled by the cost layer (the advisor never needs physical updates,
+/// only their estimated index-maintenance cost).
+class Collection {
+ public:
+  explicit Collection(std::string name) : name_(std::move(name)) {}
+
+  Collection(Collection&&) = default;
+  Collection& operator=(Collection&&) = default;
+  Collection(const Collection&) = delete;
+  Collection& operator=(const Collection&) = delete;
+
+  const std::string& name() const { return name_; }
+
+  /// Adds a document, assigning its DocId. Returns the id.
+  DocId Add(Document doc);
+
+  size_t num_docs() const { return docs_.size(); }
+  const Document& doc(DocId id) const {
+    return docs_[static_cast<size_t>(id)];
+  }
+  const std::vector<Document>& docs() const { return docs_; }
+
+  /// Total node count across all documents.
+  size_t num_nodes() const { return num_nodes_; }
+
+  /// Approximate storage footprint, input to the cost model's page counts.
+  size_t ByteSize() const { return byte_size_; }
+
+ private:
+  std::string name_;
+  std::vector<Document> docs_;
+  size_t num_nodes_ = 0;
+  size_t byte_size_ = 0;
+};
+
+}  // namespace xia
+
+#endif  // XIA_STORAGE_COLLECTION_H_

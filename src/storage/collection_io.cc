@@ -1,0 +1,79 @@
+#include "storage/collection_io.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <vector>
+
+#include "xml/serializer.h"
+
+namespace xia {
+
+namespace fs = std::filesystem;
+
+Status SaveCollectionToDirectory(const Database& db,
+                                 const std::string& collection,
+                                 const std::string& dir) {
+  const Collection* coll = db.GetCollection(collection);
+  if (coll == nullptr) {
+    return Status::NotFound("collection " + collection + " does not exist");
+  }
+  std::error_code ec;
+  fs::create_directories(dir, ec);
+  if (ec) {
+    return Status::Internal("cannot create directory " + dir + ": " +
+                            ec.message());
+  }
+  for (const Document& doc : coll->docs()) {
+    char name[32];
+    std::snprintf(name, sizeof(name), "doc_%05d.xml", doc.id());
+    std::ofstream out(fs::path(dir) / name);
+    if (!out) {
+      return Status::Internal(std::string("cannot write ") + name);
+    }
+    out << SerializeDocument(doc, db.names());
+    if (!out.good()) {
+      return Status::Internal(std::string("write failed for ") + name);
+    }
+  }
+  return Status::Ok();
+}
+
+Result<size_t> LoadCollectionFromDirectory(Database* db,
+                                           const std::string& collection,
+                                           const std::string& dir) {
+  std::error_code ec;
+  if (!fs::is_directory(dir, ec)) {
+    return Status::NotFound(dir + " is not a directory");
+  }
+  std::vector<fs::path> files;
+  for (const auto& entry : fs::directory_iterator(dir, ec)) {
+    if (entry.is_regular_file() && entry.path().extension() == ".xml") {
+      files.push_back(entry.path());
+    }
+  }
+  if (ec) {
+    return Status::Internal("cannot list " + dir + ": " + ec.message());
+  }
+  std::sort(files.begin(), files.end());
+
+  XIA_RETURN_IF_ERROR(db->CreateCollection(collection).status());
+  for (const fs::path& path : files) {
+    std::ifstream in(path);
+    if (!in) {
+      return Status::Internal("cannot open " + path.string());
+    }
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    Status status = db->LoadXml(collection, buffer.str());
+    if (!status.ok()) {
+      return Status::ParseError(path.string() + ": " + status.message());
+    }
+  }
+  XIA_RETURN_IF_ERROR(db->Analyze(collection));
+  return files.size();
+}
+
+}  // namespace xia

@@ -1,0 +1,27 @@
+#ifndef XIA_STORAGE_COLLECTION_IO_H_
+#define XIA_STORAGE_COLLECTION_IO_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "storage/database.h"
+
+namespace xia {
+
+/// Serializes every document of `collection` into `dir` as
+/// doc_<n>.xml files (directory is created if needed). Lets generated
+/// databases be inspected with ordinary XML tooling and reloaded later.
+Status SaveCollectionToDirectory(const Database& db,
+                                 const std::string& collection,
+                                 const std::string& dir);
+
+/// Creates `collection` (must not exist), parses every *.xml file in
+/// `dir` (lexicographic order) into it, and runs Analyze. Returns the
+/// number of documents loaded.
+Result<size_t> LoadCollectionFromDirectory(Database* db,
+                                           const std::string& collection,
+                                           const std::string& dir);
+
+}  // namespace xia
+
+#endif  // XIA_STORAGE_COLLECTION_IO_H_

@@ -1,0 +1,61 @@
+#include "storage/database.h"
+
+#include "xml/parser.h"
+
+namespace xia {
+
+Result<Collection*> Database::CreateCollection(const std::string& name) {
+  if (collections_.count(name) > 0) {
+    return Status::AlreadyExists("collection " + name + " already exists");
+  }
+  auto coll = std::make_unique<Collection>(name);
+  Collection* ptr = coll.get();
+  collections_.emplace(name, std::move(coll));
+  return ptr;
+}
+
+Collection* Database::GetCollection(const std::string& name) {
+  auto it = collections_.find(name);
+  return it == collections_.end() ? nullptr : it->second.get();
+}
+
+const Collection* Database::GetCollection(const std::string& name) const {
+  auto it = collections_.find(name);
+  return it == collections_.end() ? nullptr : it->second.get();
+}
+
+Status Database::LoadXml(const std::string& collection,
+                         const std::string& xml) {
+  Collection* coll = GetCollection(collection);
+  if (coll == nullptr) {
+    return Status::NotFound("collection " + collection + " does not exist");
+  }
+  XmlParser parser(&names_);
+  XIA_ASSIGN_OR_RETURN(Document doc, parser.Parse(xml));
+  coll->Add(std::move(doc));
+  return Status::Ok();
+}
+
+Status Database::Analyze(const std::string& collection) {
+  const Collection* coll = GetCollection(collection);
+  if (coll == nullptr) {
+    return Status::NotFound("collection " + collection + " does not exist");
+  }
+  auto synopsis = std::make_unique<PathSynopsis>(&names_);
+  synopsis->AddCollection(*coll);
+  synopses_[collection] = std::move(synopsis);
+  return Status::Ok();
+}
+
+const PathSynopsis* Database::synopsis(const std::string& collection) const {
+  auto it = synopses_.find(collection);
+  return it == synopses_.end() ? nullptr : it->second.get();
+}
+
+std::vector<std::string> Database::CollectionNames() const {
+  std::vector<std::string> out;
+  for (const auto& [name, coll] : collections_) out.push_back(name);
+  return out;
+}
+
+}  // namespace xia

@@ -1,0 +1,31 @@
+#include "storage/node_store.h"
+
+#include "xpath/evaluator.h"
+
+namespace xia {
+
+std::vector<NodeRef> EvaluatePatternOverCollection(
+    const Collection& coll, const NameTable& names,
+    const PathPattern& pattern) {
+  std::vector<NodeRef> out;
+  for (const Document& doc : coll.docs()) {
+    for (NodeIndex n : EvaluatePattern(doc, names, pattern)) {
+      out.push_back(NodeRef{doc.id(), n});
+    }
+  }
+  return out;
+}
+
+std::vector<NodeRef> EvaluateParsedPathOverCollection(const Collection& coll,
+                                                      const NameTable& names,
+                                                      const ParsedPath& path) {
+  std::vector<NodeRef> out;
+  for (const Document& doc : coll.docs()) {
+    for (NodeIndex n : EvaluateParsedPath(doc, names, path)) {
+      out.push_back(NodeRef{doc.id(), n});
+    }
+  }
+  return out;
+}
+
+}  // namespace xia

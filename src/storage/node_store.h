@@ -1,0 +1,41 @@
+#ifndef XIA_STORAGE_NODE_STORE_H_
+#define XIA_STORAGE_NODE_STORE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "storage/collection.h"
+#include "xml/name_table.h"
+#include "xpath/path.h"
+
+namespace xia {
+
+/// Global reference to a node: (document, node index). Index entries and
+/// executor intermediate results are NodeRefs.
+struct NodeRef {
+  DocId doc = -1;
+  NodeIndex node = kNullNode;
+
+  bool operator==(const NodeRef& other) const {
+    return doc == other.doc && node == other.node;
+  }
+  bool operator<(const NodeRef& other) const {
+    return doc != other.doc ? doc < other.doc : node < other.node;
+  }
+};
+
+/// Evaluates a structural pattern over every document of a collection.
+/// This is the "scan" building block used by index builders and by
+/// full-scan execution.
+std::vector<NodeRef> EvaluatePatternOverCollection(const Collection& coll,
+                                                   const NameTable& names,
+                                                   const PathPattern& pattern);
+
+/// Evaluates a path expression with predicates over every document.
+std::vector<NodeRef> EvaluateParsedPathOverCollection(const Collection& coll,
+                                                      const NameTable& names,
+                                                      const ParsedPath& path);
+
+}  // namespace xia
+
+#endif  // XIA_STORAGE_NODE_STORE_H_

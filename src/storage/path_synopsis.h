@@ -1,0 +1,127 @@
+#ifndef XIA_STORAGE_PATH_SYNOPSIS_H_
+#define XIA_STORAGE_PATH_SYNOPSIS_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/random.h"
+#include "storage/collection.h"
+#include "storage/statistics.h"
+#include "xml/name_table.h"
+#include "xpath/path.h"
+
+namespace xia {
+
+/// One distinct root-to-node label path of the data (a DataGuide node),
+/// with instance counts and value statistics.
+struct SynopsisNode {
+  NameId name = kNoName;
+  bool is_attr = false;
+  uint16_t depth = 0;
+  uint64_t count = 0;             // Instances of this path.
+  uint64_t value_count = 0;       // Instances carrying a (text) value.
+  uint64_t numeric_count = 0;
+  double min_num = 0.0;
+  double max_num = 0.0;
+  double total_value_bytes = 0.0;
+  std::vector<std::string> sample;  // Reservoir sample of values.
+  uint64_t sample_seen = 0;
+  std::vector<std::string> distinct_probe;  // Capped distinct tracker.
+  SynopsisNode* parent = nullptr;
+  std::vector<std::unique_ptr<SynopsisNode>> children;
+
+  /// The path string of this synopsis node, e.g. "/site/regions/africa".
+  std::string PathString(const NameTable& names) const;
+};
+
+/// DataGuide-style path synopsis: a trie of every distinct root-to-node
+/// path in a collection, annotated with counts and value statistics.
+///
+/// This is the statistics backbone of the whole stack. Running a pattern's
+/// NFA down the trie yields (a) the pattern's cardinality — the node count
+/// of a virtual index, hence its size estimate — and (b) aggregated value
+/// statistics for predicate selectivity. The paper's advisor gets both
+/// from DB2's statistics; we get them here.
+class PathSynopsis {
+ public:
+  explicit PathSynopsis(const NameTable* names);
+
+  PathSynopsis(PathSynopsis&&) = default;
+  PathSynopsis& operator=(PathSynopsis&&) = default;
+
+  /// Folds one document into the synopsis.
+  void AddDocument(const Document& doc);
+
+  /// Folds a whole collection.
+  void AddCollection(const Collection& coll);
+
+  /// All synopsis nodes whose path is matched by `pattern`.
+  std::vector<const SynopsisNode*> Match(const PathPattern& pattern) const;
+
+  /// Total instance count over matched synopsis nodes — the estimated
+  /// number of nodes the pattern reaches.
+  double EstimateCount(const PathPattern& pattern) const;
+
+  /// Instance count over synopsis nodes matched by BOTH patterns — the
+  /// estimated overlap of the two node sets.
+  double EstimateIntersectionCount(const PathPattern& a,
+                                   const PathPattern& b) const;
+
+  /// Instance count of `pattern`-matched nodes lying inside subtrees
+  /// rooted at `target`-matched nodes (ancestor-or-self). This is the
+  /// index-maintenance overlap: inserting/deleting one `target` subtree
+  /// touches the index entries of all its descendants reached by
+  /// `pattern`.
+  double EstimateSubtreeOverlap(const PathPattern& target,
+                                const PathPattern& pattern) const;
+
+  /// Aggregated value statistics over the pattern's matched nodes.
+  /// Memoized per pattern: the synopsis is immutable once built (Analyze
+  /// creates a fresh one), and the optimizer asks for the same index
+  /// patterns thousands of times during configuration search.
+  const AggValueStats& AggregateValues(const PathPattern& pattern) const;
+
+  /// Memoized EstimateSelectivity over the pattern's aggregated values —
+  /// the optimizer's hottest statistics call.
+  double SelectivityFor(const PathPattern& pattern, CompareOp op,
+                        const std::string& literal) const;
+
+  /// Number of distinct paths (synopsis nodes).
+  size_t NumPaths() const;
+
+  /// Total node instances recorded.
+  uint64_t TotalNodes() const { return total_nodes_; }
+
+  /// All (path string, count) pairs in preorder — demo / debug output.
+  std::vector<std::pair<std::string, uint64_t>> EnumeratePaths() const;
+
+  /// Human-readable statistics report: each distinct path with its
+  /// instance count, plus value statistics (numeric range + equi-depth
+  /// histogram) where values were observed. `max_paths` truncates long
+  /// reports (0 = unlimited).
+  std::string Describe(size_t max_paths = 0) const;
+
+  const SynopsisNode& root() const { return *root_; }
+
+ private:
+  const NameTable* names_;
+  std::unique_ptr<SynopsisNode> root_;  // Virtual document node.
+  uint64_t total_nodes_ = 0;
+  Random rng_;  // Deterministic reservoir sampling.
+  mutable std::unordered_map<std::string, AggValueStats> agg_cache_;
+  mutable std::unordered_map<std::string, double> sel_cache_;
+
+  static constexpr size_t kSampleCap = 128;
+  static constexpr size_t kDistinctCap = 256;
+
+  SynopsisNode* ChildFor(SynopsisNode* parent, NameId name, bool is_attr);
+  void AddNode(const Document& doc, NodeIndex idx, SynopsisNode* parent);
+  void ObserveValue(SynopsisNode* sn, const std::string& value);
+};
+
+}  // namespace xia
+
+#endif  // XIA_STORAGE_PATH_SYNOPSIS_H_

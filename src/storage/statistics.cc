@@ -1,0 +1,61 @@
+#include "storage/statistics.h"
+
+#include <algorithm>
+
+#include "common/string_util.h"
+
+namespace xia {
+
+double EstimateSelectivity(const AggValueStats& stats, CompareOp op,
+                           const std::string& literal) {
+  if (op == CompareOp::kExists) return 1.0;
+  if (stats.sample.empty()) return 0.1;  // No statistics: default guess.
+  size_t matches = 0;
+  for (const std::string& v : stats.sample) {
+    if (CompareValues(op, v, literal)) ++matches;
+  }
+  // Laplace smoothing keeps estimates strictly inside (0, 1) so the cost
+  // model never sees an impossible zero-cardinality index scan.
+  return (static_cast<double>(matches) + 0.5) /
+         (static_cast<double>(stats.sample.size()) + 1.0);
+}
+
+Histogram BuildEquiDepthHistogram(const AggValueStats& stats,
+                                  int max_buckets) {
+  Histogram hist;
+  std::vector<double> nums;
+  for (const std::string& v : stats.sample) {
+    if (auto d = ParseDouble(v); d.has_value()) nums.push_back(*d);
+  }
+  if (nums.empty() || max_buckets <= 0) return hist;
+  std::sort(nums.begin(), nums.end());
+  size_t buckets = std::min(static_cast<size_t>(max_buckets), nums.size());
+  double scale = static_cast<double>(stats.value_count) /
+                 static_cast<double>(nums.size());
+  size_t per = nums.size() / buckets;
+  size_t extra = nums.size() % buckets;
+  size_t pos = 0;
+  for (size_t b = 0; b < buckets; ++b) {
+    size_t take = per + (b < extra ? 1 : 0);
+    if (take == 0) break;
+    HistogramBucket bucket;
+    bucket.lo = nums[pos];
+    bucket.hi = nums[pos + take - 1];
+    bucket.count = static_cast<uint64_t>(static_cast<double>(take) * scale);
+    hist.buckets.push_back(bucket);
+    pos += take;
+  }
+  return hist;
+}
+
+std::string Histogram::ToString() const {
+  std::string out;
+  for (const HistogramBucket& b : buckets) {
+    out += "[" + FormatDouble(b.lo) + ", " + FormatDouble(b.hi) + "] x" +
+           std::to_string(b.count) + " ";
+  }
+  if (!out.empty()) out.pop_back();
+  return out;
+}
+
+}  // namespace xia

@@ -1,0 +1,60 @@
+#ifndef XIA_STORAGE_STATISTICS_H_
+#define XIA_STORAGE_STATISTICS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "xpath/path.h"
+
+namespace xia {
+
+/// Value statistics aggregated over all synopsis nodes matched by a
+/// pattern. The optimizer's cardinality estimator and the virtual-index
+/// size estimator both consume this.
+struct AggValueStats {
+  uint64_t node_count = 0;     // Nodes reachable by the pattern.
+  uint64_t value_count = 0;    // Of those, nodes carrying a value.
+  uint64_t numeric_count = 0;  // Values parseable as numbers.
+  double min_num = 0.0;
+  double max_num = 0.0;
+  double total_value_bytes = 0.0;
+  double distinct_estimate = 0.0;
+  std::vector<std::string> sample;  // Reservoir sample of raw values.
+
+  double AvgValueBytes() const {
+    return value_count == 0 ? 0.0
+                            : total_value_bytes /
+                                  static_cast<double>(value_count);
+  }
+};
+
+/// Estimated fraction of a pattern's nodes whose value satisfies
+/// `op literal`, from the reservoir sample with Laplace smoothing (so an
+/// empty or miss-only sample never yields exactly 0). kExists returns 1.
+double EstimateSelectivity(const AggValueStats& stats, CompareOp op,
+                           const std::string& literal);
+
+/// One bucket of an equi-depth histogram over numeric values.
+struct HistogramBucket {
+  double lo = 0.0;
+  double hi = 0.0;
+  uint64_t count = 0;
+};
+
+/// Equi-depth histogram built from a stats sample, scaled to the full value
+/// count. Used for EXPLAIN output and recommendation-analysis displays.
+struct Histogram {
+  std::vector<HistogramBucket> buckets;
+
+  std::string ToString() const;
+};
+
+/// Builds an equi-depth histogram with up to `max_buckets` buckets from the
+/// numeric values in `stats.sample`, scaling counts to stats.value_count.
+Histogram BuildEquiDepthHistogram(const AggValueStats& stats,
+                                  int max_buckets);
+
+}  // namespace xia
+
+#endif  // XIA_STORAGE_STATISTICS_H_

@@ -1,0 +1,102 @@
+#include "workload/tpox_queries.h"
+
+#include "common/logging.h"
+#include "xpath/parser.h"
+
+namespace xia {
+
+namespace {
+
+void MustAdd(Workload* w, const std::string& text, double weight) {
+  Status status = w->AddQueryText(text, weight);
+  if (!status.ok()) {
+    XIA_LOG(Error) << "bad built-in query: " << text << " -> "
+                   << status.ToString();
+  }
+  XIA_CHECK(status.ok());
+}
+
+PathPattern MustPattern(const std::string& text) {
+  Result<PathPattern> p = ParsePathPattern(text);
+  XIA_CHECK(p.ok());
+  return std::move(*p);
+}
+
+}  // namespace
+
+Workload MakeTpoxWorkload() {
+  Workload w;
+  // Customer / account queries.
+  MustAdd(&w,
+          "for $c in doc(\"custacc\")/Customer "
+          "where $c/Profile/Income > 100000 return $c/Name/LastName",
+          3.0);
+  MustAdd(&w,
+          "for $a in doc(\"custacc\")/Customer/Accounts/Account "
+          "where $a/Balance/OnlineActualBal > 200000 return $a/Currency",
+          2.0);
+  MustAdd(&w,
+          "select * from custacc where "
+          "xmlexists('$d/Customer[Nationality = \"Japan\"]')",
+          1.0);
+  MustAdd(&w,
+          "for $p in doc(\"custacc\")/Customer/Accounts/Account/Holdings/Position "
+          "where $p/Symbol = \"ACME\" return $p/Quantity",
+          1.0);
+  MustAdd(&w,
+          "for $c in doc(\"custacc\")/Customer "
+          "where $c/CountryOfResidence = \"Canada\" return $c/Name",
+          1.0);
+  // Order queries.
+  MustAdd(&w,
+          "for $o in doc(\"order\")/FIXML/Order "
+          "where $o/OrderQty >= 1000 return $o/Price",
+          3.0);
+  MustAdd(&w,
+          "for $o in doc(\"order\")/FIXML/Order "
+          "where $o/Instrument/Symbol = \"IBMX\" return $o/Total",
+          2.0);
+  MustAdd(&w,
+          "select * from order where "
+          "xmlexists('$d/FIXML/Order[Header/Status = \"Pending\"]')",
+          1.0);
+  MustAdd(&w,
+          "select * from order where "
+          "xmlexists('$d/FIXML/Order[@Side = \"BUY\"]') and "
+          "xmlexists('$d/FIXML/Order[Price > 500]')",
+          1.0);
+  // Security screens.
+  MustAdd(&w,
+          "for $s in doc(\"security\")/Security "
+          "where $s/Price/PE < 15 return $s/Symbol",
+          2.0);
+  MustAdd(&w,
+          "for $s in doc(\"security\")/Security "
+          "where $s/Sector = \"Technology\" return $s/Name",
+          1.0);
+  MustAdd(&w,
+          "for $s in doc(\"security\")/Security "
+          "where $s/Price/Yield >= 5 return $s/Symbol",
+          1.0);
+  return w;
+}
+
+void AddTpoxUpdates(Workload* workload, double rate) {
+  if (rate <= 0) return;
+  UpdateOp orders;
+  orders.kind = UpdateOp::Kind::kInsert;
+  orders.collection = "order";
+  orders.target = MustPattern("/FIXML/Order");
+  orders.weight = 10.0 * rate;
+  workload->AddUpdate(orders);
+
+  UpdateOp positions;
+  positions.kind = UpdateOp::Kind::kInsert;
+  positions.collection = "custacc";
+  positions.target =
+      MustPattern("/Customer/Accounts/Account/Holdings/Position");
+  positions.weight = 4.0 * rate;
+  workload->AddUpdate(positions);
+}
+
+}  // namespace xia

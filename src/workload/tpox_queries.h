@@ -1,0 +1,19 @@
+#ifndef XIA_WORKLOAD_TPOX_QUERIES_H_
+#define XIA_WORKLOAD_TPOX_QUERIES_H_
+
+#include "workload/workload.h"
+
+namespace xia {
+
+/// TPoX-derived workload over the `custacc`, `order`, and `security`
+/// collections (see PopulateTpox): customer wealth/locale filters, order
+/// routing lookups, and security screens, in both XQuery and SQL/XML.
+Workload MakeTpoxWorkload();
+
+/// Adds TPoX update operations (new orders, account rebalancing) at the
+/// given rate multiplier.
+void AddTpoxUpdates(Workload* workload, double rate);
+
+}  // namespace xia
+
+#endif  // XIA_WORKLOAD_TPOX_QUERIES_H_

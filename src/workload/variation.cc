@@ -1,0 +1,150 @@
+#include "workload/variation.h"
+
+#include <string>
+#include <vector>
+
+#include "common/logging.h"
+#include "xmldata/docgen.h"
+
+namespace xia {
+
+namespace {
+
+void MustAdd(Workload* w, const std::string& text, double weight,
+             const std::string& id) {
+  Status status = w->AddQueryText(text, weight, id);
+  if (!status.ok()) {
+    XIA_LOG(Error) << "bad variation query: " << text << " -> "
+                   << status.ToString();
+  }
+  XIA_CHECK(status.ok());
+}
+
+}  // namespace
+
+Workload MakeXMarkUnseenWorkload(const std::string& collection, Random* rng,
+                                 int count) {
+  Workload w;
+  const std::string& c = collection;
+  for (int i = 0; i < count; ++i) {
+    std::string id = "U" + std::to_string(i + 1);
+    const std::string region = rng->Choice(docgen::Regions());
+    switch (rng->Uniform(0, 7)) {
+      case 0:
+        MustAdd(&w,
+                "for $i in doc(\"" + c + "\")/site/regions/" + region +
+                    "/item where $i/quantity > " +
+                    std::to_string(rng->Uniform(1, 9)) + " return $i/name",
+                1.0, id);
+        break;
+      case 1:
+        MustAdd(&w,
+                "for $i in doc(\"" + c + "\")/site/regions/" + region +
+                    "/item where $i/price < " +
+                    std::to_string(rng->Uniform(20, 400)) +
+                    " return $i/name",
+                1.0, id);
+        break;
+      case 2:
+        MustAdd(&w,
+                "for $i in doc(\"" + c + "\")/site/regions/" + region +
+                    "/item where $i/payment = \"" +
+                    rng->Choice(docgen::PaymentKinds()) +
+                    "\" return $i/name",
+                1.0, id);
+        break;
+      case 3:
+        MustAdd(&w,
+                "for $p in doc(\"" + c +
+                    "\")/site/people/person where $p/profile/@income >= " +
+                    std::to_string(rng->Uniform(20000, 110000)) +
+                    " return $p/name",
+                1.0, id);
+        break;
+      case 4:
+        MustAdd(&w,
+                "for $a in doc(\"" + c +
+                    "\")/site/closed_auctions/closed_auction where $a/price "
+                    "> " +
+                    std::to_string(rng->Uniform(50, 500)) +
+                    " return $a/date",
+                1.0, id);
+        break;
+      case 5:
+        // ORDER BY variation: exercises sort-aware plans.
+        MustAdd(&w,
+                "for $i in doc(\"" + c + "\")/site/regions/" + region +
+                    "/item where $i/price > " +
+                    std::to_string(rng->Uniform(50, 300)) +
+                    " order by $i/price return $i/name",
+                1.0, id);
+        break;
+      case 6:
+        // LET-binding variation.
+        MustAdd(&w,
+                "for $p in doc(\"" + c +
+                    "\")/site/people/person let $a := $p/profile/age "
+                    "where $a >= " +
+                    std::to_string(rng->Uniform(20, 70)) +
+                    " return $p/name",
+                1.0, id);
+        break;
+      default:
+        MustAdd(&w,
+                "select * from " + c + " where xmlexists('$d/site/regions/" +
+                    region + "/item[location = \"" +
+                    rng->Choice(docgen::Countries()) + "\"]')",
+                1.0, id);
+        break;
+    }
+  }
+  return w;
+}
+
+Workload MakeTpoxUnseenWorkload(Random* rng, int count) {
+  Workload w;
+  for (int i = 0; i < count; ++i) {
+    std::string id = "U" + std::to_string(i + 1);
+    switch (rng->Uniform(0, 4)) {
+      case 0:
+        MustAdd(&w,
+                "for $c in doc(\"custacc\")/Customer where "
+                "$c/Profile/Income > " +
+                    std::to_string(rng->Uniform(30000, 200000)) +
+                    " return $c/Name/LastName",
+                1.0, id);
+        break;
+      case 1:
+        MustAdd(&w,
+                "for $o in doc(\"order\")/FIXML/Order where "
+                "$o/Instrument/Symbol = \"" +
+                    rng->Choice(docgen::Symbols()) + "\" return $o/Total",
+                1.0, id);
+        break;
+      case 2:
+        MustAdd(&w,
+                "for $s in doc(\"security\")/Security where $s/Sector = \"" +
+                    rng->Choice(docgen::Sectors()) + "\" return $s/Name",
+                1.0, id);
+        break;
+      case 3:
+        MustAdd(&w,
+                "for $a in doc(\"custacc\")/Customer/Accounts/Account "
+                "let $b := $a/Balance/OnlineActualBal where $b > " +
+                    std::to_string(rng->Uniform(1000, 400000)) +
+                    " order by $b return $a/Currency",
+                1.0, id);
+        break;
+      default:
+        MustAdd(&w,
+                "for $o in doc(\"order\")/FIXML/Order where $o/Price > " +
+                    std::to_string(rng->Uniform(100, 800)) +
+                    " return $o/OrderQty",
+                1.0, id);
+        break;
+    }
+  }
+  return w;
+}
+
+}  // namespace xia

@@ -1,0 +1,23 @@
+#ifndef XIA_WORKLOAD_VARIATION_H_
+#define XIA_WORKLOAD_VARIATION_H_
+
+#include <string>
+
+#include "common/random.h"
+#include "workload/workload.h"
+
+namespace xia {
+
+/// Synthetic "future, yet-unseen" workloads (Section 2.3, Top Down
+/// Search): queries drawn from the same templates as the training
+/// workload but with different regions, paths, and literals — the
+/// scenario in which generalized index configurations pay off.
+Workload MakeXMarkUnseenWorkload(const std::string& collection, Random* rng,
+                                 int count);
+
+/// Unseen TPoX-style variations.
+Workload MakeTpoxUnseenWorkload(Random* rng, int count);
+
+}  // namespace xia
+
+#endif  // XIA_WORKLOAD_VARIATION_H_

@@ -1,0 +1,47 @@
+#include "workload/workload.h"
+
+#include "common/string_util.h"
+#include "query/parser.h"
+
+namespace xia {
+
+std::string UpdateOp::ToString() const {
+  std::string out = kind == Kind::kInsert ? "INSERT" : "DELETE";
+  out += " " + collection + " " + target.ToString() + " x" +
+         FormatDouble(weight);
+  return out;
+}
+
+Status Workload::AddQueryText(const std::string& text, double weight,
+                              const std::string& id) {
+  XIA_ASSIGN_OR_RETURN(Query query, ParseQuery(text));
+  query.weight = weight;
+  query.id = id.empty() ? "Q" + std::to_string(queries_.size() + 1) : id;
+  queries_.push_back(std::move(query));
+  return Status::Ok();
+}
+
+double Workload::TotalQueryWeight() const {
+  double total = 0;
+  for (const Query& q : queries_) total += q.weight;
+  return total;
+}
+
+std::string Workload::Describe() const {
+  std::string out = std::to_string(queries_.size()) + " queries";
+  if (!updates_.empty()) {
+    out += ", " + std::to_string(updates_.size()) + " updates";
+  }
+  out += ":\n";
+  for (const Query& q : queries_) {
+    out += "  [" + q.id + " w=" + FormatDouble(q.weight) + " " +
+           QueryLanguageName(q.language) + "] " + q.normalized.ToString() +
+           "\n";
+  }
+  for (const UpdateOp& u : updates_) {
+    out += "  [update] " + u.ToString() + "\n";
+  }
+  return out;
+}
+
+}  // namespace xia

@@ -1,0 +1,59 @@
+#ifndef XIA_WORKLOAD_WORKLOAD_H_
+#define XIA_WORKLOAD_WORKLOAD_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "query/query.h"
+#include "xpath/path.h"
+
+namespace xia {
+
+/// A data-modification operation in the workload, modeled at the pattern
+/// level: `weight` executions that each insert or delete one subtree
+/// instance under `target`. The advisor debits candidate-index benefit by
+/// the estimated maintenance these cause (Section 1: "taking into account
+/// the cost of updating the index on data modification").
+struct UpdateOp {
+  enum class Kind { kInsert, kDelete };
+
+  Kind kind = Kind::kInsert;
+  std::string collection;
+  PathPattern target;
+  double weight = 1.0;
+
+  std::string ToString() const;
+};
+
+/// A workload: weighted queries plus update operations.
+class Workload {
+ public:
+  Workload() = default;
+
+  /// Parses `text` and appends it with the given weight; ids default to
+  /// "Q<n>" when empty.
+  Status AddQueryText(const std::string& text, double weight = 1.0,
+                      const std::string& id = "");
+
+  void AddQuery(Query query) { queries_.push_back(std::move(query)); }
+  void AddUpdate(UpdateOp op) { updates_.push_back(std::move(op)); }
+
+  const std::vector<Query>& queries() const { return queries_; }
+  const std::vector<UpdateOp>& updates() const { return updates_; }
+  std::vector<Query>& mutable_queries() { return queries_; }
+
+  size_t size() const { return queries_.size(); }
+  double TotalQueryWeight() const;
+
+  /// Renders a short listing for demo output.
+  std::string Describe() const;
+
+ private:
+  std::vector<Query> queries_;
+  std::vector<UpdateOp> updates_;
+};
+
+}  // namespace xia
+
+#endif  // XIA_WORKLOAD_WORKLOAD_H_

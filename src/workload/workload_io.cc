@@ -1,0 +1,114 @@
+#include "workload/workload_io.h"
+
+#include <cctype>
+#include <fstream>
+#include <sstream>
+
+#include "common/string_util.h"
+#include "xpath/parser.h"
+
+namespace xia {
+
+namespace {
+
+/// Splits off the first whitespace-delimited token of `line`.
+std::string_view TakeToken(std::string_view* line) {
+  *line = Trim(*line);
+  size_t end = 0;
+  while (end < line->size() &&
+         !std::isspace(static_cast<unsigned char>((*line)[end]))) {
+    ++end;
+  }
+  std::string_view token = line->substr(0, end);
+  *line = Trim(line->substr(end));
+  return token;
+}
+
+}  // namespace
+
+Result<Workload> ParseWorkloadText(std::string_view text) {
+  Workload workload;
+  size_t line_no = 0;
+  for (const std::string& raw : Split(text, '\n')) {
+    ++line_no;
+    std::string_view line = Trim(raw);
+    if (line.empty() || line[0] == '#') continue;
+    auto error = [&](const std::string& what) {
+      return Status::ParseError("workload line " + std::to_string(line_no) +
+                                ": " + what);
+    };
+    std::string_view directive = TakeToken(&line);
+    if (directive == "query") {
+      std::string id(TakeToken(&line));
+      std::string weight_text(TakeToken(&line));
+      std::optional<double> weight = ParseDouble(weight_text);
+      if (id.empty() || !weight.has_value() || *weight <= 0) {
+        return error("expected 'query <id> <weight> <text>'");
+      }
+      if (line.empty()) return error("missing query text");
+      Status status = workload.AddQueryText(std::string(line), *weight, id);
+      if (!status.ok()) return error(status.message());
+    } else if (directive == "update") {
+      std::string_view kind_text = TakeToken(&line);
+      UpdateOp op;
+      if (kind_text == "insert") {
+        op.kind = UpdateOp::Kind::kInsert;
+      } else if (kind_text == "delete") {
+        op.kind = UpdateOp::Kind::kDelete;
+      } else {
+        return error("update kind must be 'insert' or 'delete'");
+      }
+      op.collection = std::string(TakeToken(&line));
+      std::string weight_text(TakeToken(&line));
+      std::optional<double> weight = ParseDouble(weight_text);
+      if (op.collection.empty() || !weight.has_value() || *weight <= 0) {
+        return error(
+            "expected 'update <kind> <collection> <weight> <pattern>'");
+      }
+      op.weight = *weight;
+      Result<PathPattern> pattern = ParsePathPattern(line);
+      if (!pattern.ok()) return error(pattern.status().message());
+      op.target = std::move(*pattern);
+      workload.AddUpdate(std::move(op));
+    } else {
+      return error("unknown directive '" + std::string(directive) + "'");
+    }
+  }
+  return workload;
+}
+
+Result<Workload> LoadWorkloadFile(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Status::NotFound("cannot open workload file " + path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return ParseWorkloadText(buffer.str());
+}
+
+std::string SerializeWorkload(const Workload& workload) {
+  std::string out = "# xia workload: " +
+                    std::to_string(workload.size()) + " queries, " +
+                    std::to_string(workload.updates().size()) +
+                    " updates\n";
+  for (const Query& q : workload.queries()) {
+    out += "query " + q.id + " " + FormatDouble(q.weight) + " " + q.text +
+           "\n";
+  }
+  for (const UpdateOp& u : workload.updates()) {
+    out += "update ";
+    out += (u.kind == UpdateOp::Kind::kInsert) ? "insert " : "delete ";
+    out += u.collection + " " + FormatDouble(u.weight) + " " +
+           u.target.ToString() + "\n";
+  }
+  return out;
+}
+
+Status SaveWorkloadFile(const Workload& workload, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return Status::Internal("cannot write workload file " + path);
+  out << SerializeWorkload(workload);
+  return out.good() ? Status::Ok()
+                    : Status::Internal("write failed for " + path);
+}
+
+}  // namespace xia

@@ -1,0 +1,37 @@
+#ifndef XIA_WORKLOAD_WORKLOAD_IO_H_
+#define XIA_WORKLOAD_WORKLOAD_IO_H_
+
+#include <string>
+#include <string_view>
+
+#include "common/status.h"
+#include "workload/workload.h"
+
+namespace xia {
+
+/// Line-oriented workload file format, so DBAs can assemble training
+/// workloads in a text editor (the demo's "users can also specify
+/// additional queries"):
+///
+///   # comment
+///   query <id> <weight> <query text to end of line>
+///   update <insert|delete> <collection> <weight> <pattern>
+///
+/// Example:
+///   query Q1 3 for $i in doc("xmark")/site/regions/africa/item where
+///              $i/quantity > 5 return $i/name        (single line)
+///   update insert xmark 10 /site/open_auctions/open_auction/bidder
+Result<Workload> ParseWorkloadText(std::string_view text);
+
+/// Reads and parses a workload file.
+Result<Workload> LoadWorkloadFile(const std::string& path);
+
+/// Renders a workload back into the file format; parseable round trip.
+std::string SerializeWorkload(const Workload& workload);
+
+/// Writes SerializeWorkload(workload) to `path`.
+Status SaveWorkloadFile(const Workload& workload, const std::string& path);
+
+}  // namespace xia
+
+#endif  // XIA_WORKLOAD_WORKLOAD_IO_H_

@@ -1,0 +1,125 @@
+#include "workload/xmark_queries.h"
+
+#include "common/logging.h"
+#include "xpath/parser.h"
+
+namespace xia {
+
+namespace {
+
+void MustAdd(Workload* w, const std::string& text, double weight) {
+  Status status = w->AddQueryText(text, weight);
+  if (!status.ok()) {
+    XIA_LOG(Error) << "bad built-in query: " << text << " -> "
+                   << status.ToString();
+  }
+  XIA_CHECK(status.ok());
+}
+
+PathPattern MustPattern(const std::string& text) {
+  Result<PathPattern> p = ParsePathPattern(text);
+  XIA_CHECK(p.ok());
+  return std::move(*p);
+}
+
+}  // namespace
+
+Workload MakeXMarkWorkload(const std::string& collection) {
+  Workload w;
+  const std::string& c = collection;
+  // The paper's running example: quantities and prices of items in
+  // different regions (Section 2.2).
+  MustAdd(&w,
+          "for $i in doc(\"" + c + "\")/site/regions/namerica/item "
+          "where $i/quantity > 5 return $i/name",
+          3.0);
+  MustAdd(&w,
+          "for $i in doc(\"" + c + "\")/site/regions/africa/item "
+          "where $i/quantity > 2 return $i/name",
+          2.0);
+  MustAdd(&w,
+          "for $i in doc(\"" + c + "\")/site/regions/samerica/item "
+          "where $i/price < 50 return $i/name",
+          2.0);
+  MustAdd(&w,
+          "for $i in doc(\"" + c + "\")/site/regions/europe/item "
+          "where $i/payment = \"Creditcard\" return $i/name",
+          1.0);
+  MustAdd(&w,
+          "for $i in doc(\"" + c + "\")/site/regions/asia/item[quantity > 3] "
+          "return $i/price",
+          1.0);
+  // People.
+  MustAdd(&w,
+          "for $p in doc(\"" + c + "\")/site/people/person "
+          "where $p/profile/@income >= 80000 return $p/name",
+          2.0);
+  MustAdd(&w,
+          "for $p in doc(\"" + c + "\")/site/people/person "
+          "where $p/profile/age < 30 return $p/name",
+          1.0);
+  MustAdd(&w,
+          "select * from " + c + " where "
+          "xmlexists('$d/site/people/person[address/country = \"Germany\"]')",
+          1.0);
+  // Auctions.
+  MustAdd(&w,
+          "for $a in doc(\"" + c + "\")/site/closed_auctions/closed_auction "
+          "where $a/price > 100 return $a/date",
+          2.0);
+  MustAdd(&w,
+          "for $a in doc(\"" + c + "\")/site/open_auctions/open_auction "
+          "where $a/current > 200 return $a/quantity",
+          1.0);
+  MustAdd(&w,
+          "for $a in doc(\"" + c + "\")/site/open_auctions/open_auction "
+          "where $a/reserve >= 50 return $a/type",
+          1.0);
+  MustAdd(&w,
+          "select xmlquery('$d/site/open_auctions/open_auction/bidder/increase') "
+          "from " + c + " where "
+          "xmlexists('$d/site/open_auctions/open_auction[quantity = 1]')",
+          1.0);
+  // Mixed / SQL-XML conjunctions.
+  MustAdd(&w,
+          "select * from " + c + " where "
+          "xmlexists('$d/site/regions/australia/item[price > 100]') and "
+          "xmlexists('$d/site/regions/australia/item[payment = \"Cash\"]')",
+          1.0);
+  MustAdd(&w,
+          "for $m in doc(\"" + c + "\")/site/regions/africa/item/mailbox/mail "
+          "where $m/date >= \"2003-01-01\" return $m/from",
+          1.0);
+  MustAdd(&w,
+          "for $x in doc(\"" + c + "\")/site/categories/category "
+          "where $x/@id = \"category3\" return $x/name",
+          1.0);
+  return w;
+}
+
+void AddXMarkUpdates(Workload* workload, const std::string& collection,
+                     double rate) {
+  if (rate <= 0) return;
+  UpdateOp bids;
+  bids.kind = UpdateOp::Kind::kInsert;
+  bids.collection = collection;
+  bids.target = MustPattern("/site/open_auctions/open_auction/bidder");
+  bids.weight = 10.0 * rate;
+  workload->AddUpdate(bids);
+
+  UpdateOp items;
+  items.kind = UpdateOp::Kind::kInsert;
+  items.collection = collection;
+  items.target = MustPattern("/site/regions/*/item");
+  items.weight = 2.0 * rate;
+  workload->AddUpdate(items);
+
+  UpdateOp purges;
+  purges.kind = UpdateOp::Kind::kDelete;
+  purges.collection = collection;
+  purges.target = MustPattern("/site/closed_auctions/closed_auction");
+  purges.weight = 1.0 * rate;
+  workload->AddUpdate(purges);
+}
+
+}  // namespace xia

@@ -1,0 +1,23 @@
+#ifndef XIA_WORKLOAD_XMARK_QUERIES_H_
+#define XIA_WORKLOAD_XMARK_QUERIES_H_
+
+#include <string>
+
+#include "workload/workload.h"
+
+namespace xia {
+
+/// The XMark-derived training workload of the demo: benchmark-flavored
+/// XQuery and SQL/XML queries over the auction schema, including the
+/// paper's running example (item quantities/prices in several regions,
+/// which generalize to /site/regions/*/item/*).
+Workload MakeXMarkWorkload(const std::string& collection = "xmark");
+
+/// Adds XMark update operations at the given rate multiplier: new bids
+/// (bidder insert), new items, and closed-auction purges.
+void AddXMarkUpdates(Workload* workload, const std::string& collection,
+                     double rate);
+
+}  // namespace xia
+
+#endif  // XIA_WORKLOAD_XMARK_QUERIES_H_

@@ -1,0 +1,42 @@
+#ifndef XIA_XIA_H_
+#define XIA_XIA_H_
+
+/// Umbrella header: the public API of the XML Index Advisor library.
+/// Downstream users can `#include "xia.h"` and link target `xia`.
+///
+/// Layering (each header is also individually includable):
+///   common/   -> Status/Result, Random, Bitmap
+///   xml/      -> documents, parsing, serialization
+///   xpath/    -> patterns, containment, evaluation
+///   query/    -> XQuery + SQL/XML parsing, normalized queries
+///   storage/  -> Database, collections, statistics, buffer pool
+///   index/    -> index definitions, physical/virtual indexes, catalog
+///   optimizer/-> plans, cost model, Enumerate/Evaluate Indexes modes
+///   exec/     -> executor (actual runs)
+///   workload/ -> workloads, benchmark factories, file format
+///   advisor/  -> the index advisor itself + analysis + what-if
+
+#include "advisor/advisor.h"
+#include "advisor/analysis.h"
+#include "advisor/whatif.h"
+#include "common/status.h"
+#include "exec/executor.h"
+#include "index/catalog.h"
+#include "index/ddl.h"
+#include "index/index_builder.h"
+#include "index/maintenance.h"
+#include "optimizer/explain.h"
+#include "optimizer/optimizer.h"
+#include "query/parser.h"
+#include "storage/buffer_pool.h"
+#include "storage/collection_io.h"
+#include "storage/database.h"
+#include "workload/tpox_queries.h"
+#include "workload/variation.h"
+#include "workload/workload_io.h"
+#include "workload/xmark_queries.h"
+#include "xmldata/tpox_gen.h"
+#include "xmldata/xmark_gen.h"
+#include "xpath/parser.h"
+
+#endif  // XIA_XIA_H_

@@ -1,0 +1,24 @@
+#include "xml/document.h"
+
+namespace xia {
+
+std::string Document::TextValue(NodeIndex i) const {
+  const XmlNode& n = node(i);
+  if (n.kind != NodeKind::kElement) return n.value;
+  std::string out;
+  for (NodeIndex c = n.first_child; c != kNullNode;
+       c = node(c).next_sibling) {
+    if (node(c).kind == NodeKind::kText) out += node(c).value;
+  }
+  return out;
+}
+
+size_t Document::ByteSize() const {
+  size_t total = 0;
+  for (const XmlNode& n : nodes_) {
+    total += sizeof(XmlNode) + n.value.size();
+  }
+  return total;
+}
+
+}  // namespace xia

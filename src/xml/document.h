@@ -1,0 +1,63 @@
+#ifndef XIA_XML_DOCUMENT_H_
+#define XIA_XML_DOCUMENT_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "xml/node.h"
+
+namespace xia {
+
+/// Identifier of a document within a collection.
+using DocId = int32_t;
+
+/// One XML document stored as a flat, document-ordered node array.
+/// Documents are built by DocumentBuilder (programmatic) or XmlParser
+/// (from text); both assign region encodings at construction time.
+class Document {
+ public:
+  Document() = default;
+
+  Document(Document&&) = default;
+  Document& operator=(Document&&) = default;
+  Document(const Document&) = delete;
+  Document& operator=(const Document&) = delete;
+
+  /// Document id within its collection; set when added to a Collection.
+  DocId id() const { return id_; }
+  void set_id(DocId id) { id_ = id; }
+
+  bool empty() const { return nodes_.empty(); }
+  size_t num_nodes() const { return nodes_.size(); }
+
+  const XmlNode& node(NodeIndex i) const { return nodes_[static_cast<size_t>(i)]; }
+  XmlNode& mutable_node(NodeIndex i) { return nodes_[static_cast<size_t>(i)]; }
+  const std::vector<XmlNode>& nodes() const { return nodes_; }
+
+  /// Root element index (0 for non-empty documents).
+  NodeIndex root() const { return nodes_.empty() ? kNullNode : 0; }
+
+  /// Concatenated text of the direct text children of `i` (the node's
+  /// "typed value" for indexing); for attributes and text nodes, the stored
+  /// value itself.
+  std::string TextValue(NodeIndex i) const;
+
+  /// Returns the child elements/attributes iteration start.
+  NodeIndex FirstChild(NodeIndex i) const { return node(i).first_child; }
+  NodeIndex NextSibling(NodeIndex i) const { return node(i).next_sibling; }
+
+  /// Approximate in-memory/storage footprint in bytes, used by the cost
+  /// model to derive page counts.
+  size_t ByteSize() const;
+
+ private:
+  friend class DocumentBuilder;
+
+  DocId id_ = -1;
+  std::vector<XmlNode> nodes_;
+};
+
+}  // namespace xia
+
+#endif  // XIA_XML_DOCUMENT_H_

@@ -1,0 +1,45 @@
+#ifndef XIA_XML_NAME_TABLE_H_
+#define XIA_XML_NAME_TABLE_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+namespace xia {
+
+/// Interned element/attribute name identifier. Valid ids are >= 0.
+using NameId = int32_t;
+
+/// Sentinel for "no name" (text nodes).
+inline constexpr NameId kNoName = -1;
+
+/// Interns element and attribute names so that nodes, path steps, and the
+/// path synopsis compare names by integer id. One NameTable is shared by all
+/// collections of a Database.
+class NameTable {
+ public:
+  NameTable() = default;
+  NameTable(const NameTable&) = delete;
+  NameTable& operator=(const NameTable&) = delete;
+
+  /// Returns the id for `name`, interning it on first use.
+  NameId Intern(std::string_view name);
+
+  /// Returns the id for `name` or kNoName if never interned.
+  NameId Lookup(std::string_view name) const;
+
+  /// Returns the spelling of an interned id. Requires a valid id.
+  const std::string& NameOf(NameId id) const;
+
+  size_t size() const { return names_.size(); }
+
+ private:
+  std::vector<std::string> names_;
+  std::unordered_map<std::string, NameId> ids_;
+};
+
+}  // namespace xia
+
+#endif  // XIA_XML_NAME_TABLE_H_

@@ -1,0 +1,106 @@
+#include "xml/serializer.h"
+
+namespace xia {
+
+namespace {
+
+void AppendIndent(std::string* out, int depth) {
+  for (int i = 0; i < depth; ++i) out->append("  ");
+}
+
+void SerializeNode(const Document& doc, const NameTable& names, NodeIndex idx,
+                   const SerializeOptions& options, int depth,
+                   std::string* out) {
+  const XmlNode& n = doc.node(idx);
+  switch (n.kind) {
+    case NodeKind::kText:
+      if (options.pretty) AppendIndent(out, depth);
+      out->append(EscapeXml(n.value));
+      if (options.pretty) out->push_back('\n');
+      return;
+    case NodeKind::kAttribute:
+      // Attributes are emitted by their parent element.
+      return;
+    case NodeKind::kElement:
+      break;
+  }
+  if (options.pretty) AppendIndent(out, depth);
+  out->push_back('<');
+  out->append(names.NameOf(n.name));
+  bool has_content = false;
+  for (NodeIndex c = n.first_child; c != kNullNode;
+       c = doc.node(c).next_sibling) {
+    const XmlNode& child = doc.node(c);
+    if (child.kind == NodeKind::kAttribute) {
+      out->push_back(' ');
+      out->append(names.NameOf(child.name));
+      out->append("=\"");
+      out->append(EscapeXml(child.value));
+      out->push_back('"');
+    } else {
+      has_content = true;
+    }
+  }
+  if (!has_content) {
+    out->append("/>");
+    if (options.pretty) out->push_back('\n');
+    return;
+  }
+  out->push_back('>');
+  if (options.pretty) out->push_back('\n');
+  for (NodeIndex c = n.first_child; c != kNullNode;
+       c = doc.node(c).next_sibling) {
+    if (doc.node(c).kind != NodeKind::kAttribute) {
+      SerializeNode(doc, names, c, options, depth + 1, out);
+    }
+  }
+  if (options.pretty) AppendIndent(out, depth);
+  out->append("</");
+  out->append(names.NameOf(n.name));
+  out->push_back('>');
+  if (options.pretty) out->push_back('\n');
+}
+
+}  // namespace
+
+std::string EscapeXml(const std::string& text) {
+  std::string out;
+  out.reserve(text.size());
+  for (char c : text) {
+    switch (c) {
+      case '&':
+        out.append("&amp;");
+        break;
+      case '<':
+        out.append("&lt;");
+        break;
+      case '>':
+        out.append("&gt;");
+        break;
+      case '"':
+        out.append("&quot;");
+        break;
+      case '\'':
+        out.append("&apos;");
+        break;
+      default:
+        out.push_back(c);
+    }
+  }
+  return out;
+}
+
+std::string SerializeDocument(const Document& doc, const NameTable& names,
+                              const SerializeOptions& options) {
+  if (doc.empty()) return "";
+  return SerializeSubtree(doc, names, doc.root(), options);
+}
+
+std::string SerializeSubtree(const Document& doc, const NameTable& names,
+                             NodeIndex node, const SerializeOptions& options) {
+  std::string out;
+  SerializeNode(doc, names, node, options, 0, &out);
+  return out;
+}
+
+}  // namespace xia

@@ -1,0 +1,31 @@
+#ifndef XIA_XML_SERIALIZER_H_
+#define XIA_XML_SERIALIZER_H_
+
+#include <string>
+
+#include "xml/document.h"
+#include "xml/name_table.h"
+
+namespace xia {
+
+/// Serialization options.
+struct SerializeOptions {
+  bool pretty = false;   // Indent nested elements with two spaces.
+};
+
+/// Renders `doc` back to XML text. Entities in text and attribute values are
+/// re-escaped, so Parse(Serialize(doc)) round-trips.
+std::string SerializeDocument(const Document& doc, const NameTable& names,
+                              const SerializeOptions& options = {});
+
+/// Renders the subtree rooted at `node`.
+std::string SerializeSubtree(const Document& doc, const NameTable& names,
+                             NodeIndex node,
+                             const SerializeOptions& options = {});
+
+/// Escapes &, <, >, " and ' for embedding into XML text.
+std::string EscapeXml(const std::string& text);
+
+}  // namespace xia
+
+#endif  // XIA_XML_SERIALIZER_H_

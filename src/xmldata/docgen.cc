@@ -1,0 +1,93 @@
+#include "xmldata/docgen.h"
+
+#include <cstdio>
+
+namespace xia {
+namespace docgen {
+
+const std::vector<std::string>& Regions() {
+  static const std::vector<std::string>* kRegions = new std::vector<std::string>{
+      "africa", "asia", "australia", "europe", "namerica", "samerica"};
+  return *kRegions;
+}
+
+const std::vector<std::string>& Countries() {
+  static const std::vector<std::string>* kCountries =
+      new std::vector<std::string>{"United States", "Germany",   "Japan",
+                                   "Brazil",        "Egypt",     "Australia",
+                                   "Canada",        "India",     "France",
+                                   "South Africa",  "Argentina", "China"};
+  return *kCountries;
+}
+
+const std::vector<std::string>& FirstNames() {
+  static const std::vector<std::string>* kNames = new std::vector<std::string>{
+      "Iman",  "Ashraf", "Daniel", "Fei",    "Andrey", "Kevin",
+      "Calisto", "Grace", "Miguel", "Yuki",  "Amara",  "Lukas",
+      "Sofia", "Omar",   "Priya",  "Hannah", "Diego",  "Mei"};
+  return *kNames;
+}
+
+const std::vector<std::string>& LastNames() {
+  static const std::vector<std::string>* kNames = new std::vector<std::string>{
+      "Smith", "Mueller", "Tanaka", "Silva",  "Hassan",  "Brown",
+      "Patel", "Dubois",  "Nkosi",  "Garcia", "Ivanov",  "Chen",
+      "Olsen", "Rossi",   "Kim",    "Novak",  "Almeida", "Haddad"};
+  return *kNames;
+}
+
+const std::vector<std::string>& PaymentKinds() {
+  static const std::vector<std::string>* kKinds = new std::vector<std::string>{
+      "Creditcard", "Cash", "Money order", "Personal Check"};
+  return *kKinds;
+}
+
+const std::vector<std::string>& Symbols() {
+  static const std::vector<std::string>* kSymbols =
+      new std::vector<std::string>{"IBMX", "ACME", "GLOB", "NOVA", "ZENQ",
+                                   "KORP", "VAST", "MIRA", "HALO", "PYRE",
+                                   "QUIL", "TERA", "ONYX", "RUNE", "SAGE"};
+  return *kSymbols;
+}
+
+const std::vector<std::string>& Sectors() {
+  static const std::vector<std::string>* kSectors =
+      new std::vector<std::string>{"Technology", "Energy",    "Finance",
+                                   "Healthcare", "Materials", "Utilities",
+                                   "Consumer",   "Transport"};
+  return *kSectors;
+}
+
+std::string Sentence(Random* rng, int words) {
+  // A small fixed lexicon keeps text compressible and value distributions
+  // realistic (repeated words, skewed frequencies).
+  static const std::vector<std::string>* kWords = new std::vector<std::string>{
+      "gold",    "silver",  "vintage", "rare",   "antique", "mint",
+      "shiny",   "carved",  "woven",   "signed", "royal",   "painted",
+      "ancient", "modern",  "large",   "small",  "heavy",   "delicate",
+      "ornate",  "classic", "bronze",  "ivory",  "amber",   "crystal"};
+  std::string out;
+  for (int i = 0; i < words; ++i) {
+    if (i > 0) out.push_back(' ');
+    out += (*kWords)[rng->Zipf(kWords->size(), 0.8)];
+  }
+  return out;
+}
+
+std::string Date(Random* rng) {
+  char buf[16];
+  std::snprintf(buf, sizeof(buf), "%04d-%02d-%02d",
+                static_cast<int>(rng->Uniform(1998, 2008)),
+                static_cast<int>(rng->Uniform(1, 12)),
+                static_cast<int>(rng->Uniform(1, 28)));
+  return buf;
+}
+
+std::string Price(Random* rng, double lo, double hi) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.2f", rng->UniformReal(lo, hi));
+  return buf;
+}
+
+}  // namespace docgen
+}  // namespace xia

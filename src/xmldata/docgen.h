@@ -1,0 +1,46 @@
+#ifndef XIA_XMLDATA_DOCGEN_H_
+#define XIA_XMLDATA_DOCGEN_H_
+
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+
+namespace xia {
+
+/// Shared vocabulary and helpers for the benchmark-like data generators.
+namespace docgen {
+
+/// The six XMark regions, in the benchmark's spelling.
+const std::vector<std::string>& Regions();
+
+/// Country names used in addresses and item locations.
+const std::vector<std::string>& Countries();
+
+/// Given names for people / customers.
+const std::vector<std::string>& FirstNames();
+const std::vector<std::string>& LastNames();
+
+/// Payment methods (XMark item/payment).
+const std::vector<std::string>& PaymentKinds();
+
+/// Stock-ticker-like symbols for TPoX securities.
+const std::vector<std::string>& Symbols();
+
+/// Industry sectors for TPoX securities.
+const std::vector<std::string>& Sectors();
+
+/// Random "shakespearean" sentence of `words` words.
+std::string Sentence(Random* rng, int words);
+
+/// Random ISO-like date string in [1998, 2008].
+std::string Date(Random* rng);
+
+/// Price with two decimals in [lo, hi].
+std::string Price(Random* rng, double lo, double hi);
+
+}  // namespace docgen
+
+}  // namespace xia
+
+#endif  // XIA_XMLDATA_DOCGEN_H_

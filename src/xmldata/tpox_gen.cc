@@ -1,0 +1,139 @@
+#include "xmldata/tpox_gen.h"
+
+#include "common/logging.h"
+#include "xml/builder.h"
+#include "xmldata/docgen.h"
+
+namespace xia {
+
+namespace {
+
+void TextElem(DocumentBuilder* b, const std::string& name,
+              const std::string& text) {
+  b->StartElement(name);
+  b->AddText(text);
+  b->EndElement();
+}
+
+Document MustFinish(DocumentBuilder* b) {
+  Result<Document> doc = b->Finish();
+  XIA_CHECK(doc.ok());
+  return std::move(*doc);
+}
+
+}  // namespace
+
+Document GenerateTpoxCustomer(NameTable* names, const TpoxParams& params,
+                              Random* rng, int customer_id) {
+  DocumentBuilder b(names);
+  b.StartElement("Customer");
+  b.AddAttribute("id", "C" + std::to_string(customer_id));
+  b.StartElement("Name");
+  TextElem(&b, "FirstName", rng->Choice(docgen::FirstNames()));
+  TextElem(&b, "LastName", rng->Choice(docgen::LastNames()));
+  b.EndElement();
+  TextElem(&b, "Nationality", rng->Choice(docgen::Countries()));
+  TextElem(&b, "CountryOfResidence", rng->Choice(docgen::Countries()));
+  b.StartElement("Profile");
+  TextElem(&b, "Income", docgen::Price(rng, 15000.0, 250000.0));
+  TextElem(&b, "PremiumBanking", rng->Bernoulli(0.2) ? "true" : "false");
+  b.EndElement();
+  b.StartElement("Accounts");
+  for (int a = 0; a < params.accounts_per_customer; ++a) {
+    b.StartElement("Account");
+    b.AddAttribute("id",
+                   "A" + std::to_string(customer_id) + "-" + std::to_string(a));
+    b.StartElement("Balance");
+    TextElem(&b, "OnlineActualBal", docgen::Price(rng, 100.0, 500000.0));
+    b.EndElement();
+    TextElem(&b, "Currency", rng->Bernoulli(0.6) ? "USD" : "EUR");
+    TextElem(&b, "AccountType",
+             rng->Bernoulli(0.5) ? "Trading" : "Savings");
+    b.StartElement("Holdings");
+    for (int h = 0; h < params.holdings_per_account; ++h) {
+      b.StartElement("Position");
+      TextElem(&b, "Symbol", rng->Choice(docgen::Symbols()));
+      TextElem(&b, "Quantity", std::to_string(rng->Uniform(1, 2000)));
+      b.EndElement();
+    }
+    b.EndElement();
+    b.EndElement();
+  }
+  b.EndElement();
+  b.EndElement();
+  return MustFinish(&b);
+}
+
+Document GenerateTpoxOrder(NameTable* names, const TpoxParams& params,
+                           Random* rng, int order_id) {
+  DocumentBuilder b(names);
+  b.StartElement("FIXML");
+  b.StartElement("Order");
+  b.AddAttribute("ID", "O" + std::to_string(order_id));
+  b.AddAttribute("Side", rng->Bernoulli(0.5) ? "BUY" : "SELL");
+  b.StartElement("Header");
+  TextElem(&b, "Date", docgen::Date(rng));
+  TextElem(&b, "Status",
+           rng->Bernoulli(0.8) ? "Filled" : "Pending");
+  b.EndElement();
+  b.StartElement("Customer");
+  b.AddAttribute("id", "C" + std::to_string(rng->Uniform(0, 500)));
+  b.EndElement();
+  b.StartElement("Instrument");
+  TextElem(&b, "Symbol", rng->Choice(docgen::Symbols()));
+  TextElem(&b, "SecurityType",
+           rng->Bernoulli(0.7) ? "CS" : "MF");  // Common stock / mutual fund.
+  b.EndElement();
+  TextElem(&b, "OrderQty", std::to_string(rng->Uniform(1, 5000)));
+  TextElem(&b, "Price", docgen::Price(rng, 1.0, 900.0));
+  TextElem(&b, "Total", docgen::Price(rng, 10.0, 100000.0));
+  (void)params;
+  b.EndElement();
+  b.EndElement();
+  return MustFinish(&b);
+}
+
+Document GenerateTpoxSecurity(NameTable* names, const TpoxParams& params,
+                              Random* rng, int security_id) {
+  DocumentBuilder b(names);
+  b.StartElement("Security");
+  b.AddAttribute("id", "S" + std::to_string(security_id));
+  TextElem(&b, "Symbol",
+           docgen::Symbols()[static_cast<size_t>(security_id) %
+                             docgen::Symbols().size()]);
+  TextElem(&b, "Name", docgen::Sentence(rng, 2));
+  TextElem(&b, "SecurityType", rng->Bernoulli(0.7) ? "CS" : "MF");
+  TextElem(&b, "Sector", rng->Choice(docgen::Sectors()));
+  b.StartElement("Price");
+  TextElem(&b, "LastTrade", docgen::Price(rng, 1.0, 900.0));
+  TextElem(&b, "PE", docgen::Price(rng, 2.0, 80.0));
+  TextElem(&b, "Yield", docgen::Price(rng, 0.0, 9.0));
+  b.EndElement();
+  (void)params;
+  b.EndElement();
+  return MustFinish(&b);
+}
+
+Status PopulateTpox(Database* db, int customers, int orders, int securities,
+                    const TpoxParams& params, uint64_t seed) {
+  Random rng(seed);
+  XIA_ASSIGN_OR_RETURN(Collection * custacc,
+                       db->CreateCollection("custacc"));
+  for (int i = 0; i < customers; ++i) {
+    custacc->Add(GenerateTpoxCustomer(db->mutable_names(), params, &rng, i));
+  }
+  XIA_ASSIGN_OR_RETURN(Collection * order, db->CreateCollection("order"));
+  for (int i = 0; i < orders; ++i) {
+    order->Add(GenerateTpoxOrder(db->mutable_names(), params, &rng, i));
+  }
+  XIA_ASSIGN_OR_RETURN(Collection * security,
+                       db->CreateCollection("security"));
+  for (int i = 0; i < securities; ++i) {
+    security->Add(GenerateTpoxSecurity(db->mutable_names(), params, &rng, i));
+  }
+  XIA_RETURN_IF_ERROR(db->Analyze("custacc"));
+  XIA_RETURN_IF_ERROR(db->Analyze("order"));
+  return db->Analyze("security");
+}
+
+}  // namespace xia

@@ -1,0 +1,44 @@
+#ifndef XIA_XMLDATA_TPOX_GEN_H_
+#define XIA_XMLDATA_TPOX_GEN_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/random.h"
+#include "common/status.h"
+#include "storage/database.h"
+#include "xml/document.h"
+#include "xml/name_table.h"
+
+namespace xia {
+
+/// Size knobs for the TPoX-like financial document generators. TPoX
+/// [Nicola et al., SIGMOD 2007] models a brokerage: customer/account
+/// documents, FIXML-style orders, and security descriptions — one small
+/// document per business object, unlike XMark's single large document.
+struct TpoxParams {
+  int accounts_per_customer = 3;
+  int holdings_per_account = 4;
+  int num_securities = 40;  // Symbol universe referenced by orders.
+};
+
+/// One CustAcc document: /Customer/Accounts/Account/...
+Document GenerateTpoxCustomer(NameTable* names, const TpoxParams& params,
+                              Random* rng, int customer_id);
+
+/// One Order document: /FIXML/Order/...
+Document GenerateTpoxOrder(NameTable* names, const TpoxParams& params,
+                           Random* rng, int order_id);
+
+/// One Security document: /Security/...
+Document GenerateTpoxSecurity(NameTable* names, const TpoxParams& params,
+                              Random* rng, int security_id);
+
+/// Creates and analyzes collections `custacc`, `order`, and `security`
+/// with the given document counts.
+Status PopulateTpox(Database* db, int customers, int orders, int securities,
+                    const TpoxParams& params, uint64_t seed);
+
+}  // namespace xia
+
+#endif  // XIA_XMLDATA_TPOX_GEN_H_

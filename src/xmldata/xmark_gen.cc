@@ -1,0 +1,219 @@
+#include "xmldata/xmark_gen.h"
+
+#include <string>
+
+#include "common/logging.h"
+#include "xml/builder.h"
+#include "xmldata/docgen.h"
+
+namespace xia {
+
+namespace {
+
+void TextElem(DocumentBuilder* b, const std::string& name,
+              const std::string& text) {
+  b->StartElement(name);
+  b->AddText(text);
+  b->EndElement();
+}
+
+void GenItem(DocumentBuilder* b, Random* rng, int item_id) {
+  b->StartElement("item");
+  b->AddAttribute("id", "item" + std::to_string(item_id));
+  TextElem(b, "name", docgen::Sentence(rng, 2));
+  TextElem(b, "quantity", std::to_string(rng->Uniform(1, 10)));
+  TextElem(b, "price", docgen::Price(rng, 1.0, 500.0));
+  TextElem(b, "payment", rng->Choice(docgen::PaymentKinds()));
+  b->StartElement("description");
+  TextElem(b, "text", docgen::Sentence(rng, 8));
+  b->EndElement();
+  TextElem(b, "shipping", rng->Bernoulli(0.5)
+                              ? "Will ship internationally"
+                              : "Buyer pays fixed shipping charges");
+  TextElem(b, "location", rng->Choice(docgen::Countries()));
+  b->StartElement("incategory");
+  b->AddAttribute("category",
+                  "category" + std::to_string(rng->Uniform(0, 20)));
+  b->EndElement();
+  if (rng->Bernoulli(0.6)) {
+    b->StartElement("mailbox");
+    int mails = static_cast<int>(rng->Uniform(1, 3));
+    for (int m = 0; m < mails; ++m) {
+      b->StartElement("mail");
+      TextElem(b, "from", rng->Choice(docgen::FirstNames()));
+      TextElem(b, "to", rng->Choice(docgen::FirstNames()));
+      TextElem(b, "date", docgen::Date(rng));
+      TextElem(b, "text", docgen::Sentence(rng, 6));
+      b->EndElement();
+    }
+    b->EndElement();
+  }
+  b->EndElement();
+}
+
+void GenPerson(DocumentBuilder* b, Random* rng, int person_id) {
+  b->StartElement("person");
+  b->AddAttribute("id", "person" + std::to_string(person_id));
+  TextElem(b, "name", rng->Choice(docgen::FirstNames()) + " " +
+                          rng->Choice(docgen::LastNames()));
+  TextElem(b, "emailaddress",
+           "mailto:user" + std::to_string(person_id) + "@example.com");
+  if (rng->Bernoulli(0.7)) {
+    TextElem(b, "phone", "+1 (" + std::to_string(rng->Uniform(100, 999)) +
+                             ") " + std::to_string(rng->Uniform(1000000, 9999999)));
+  }
+  b->StartElement("address");
+  TextElem(b, "street", std::to_string(rng->Uniform(1, 99)) + " " +
+                            rng->Choice(docgen::LastNames()) + " St");
+  TextElem(b, "city", rng->Choice(docgen::LastNames()) + "ville");
+  TextElem(b, "country", rng->Choice(docgen::Countries()));
+  TextElem(b, "zipcode", std::to_string(rng->Uniform(10000, 99999)));
+  b->EndElement();
+  if (rng->Bernoulli(0.6)) {
+    TextElem(b, "creditcard",
+             std::to_string(rng->Uniform(1000, 9999)) + " " +
+                 std::to_string(rng->Uniform(1000, 9999)));
+  }
+  b->StartElement("profile");
+  b->AddAttribute("income", docgen::Price(rng, 9000.0, 120000.0));
+  b->StartElement("interest");
+  b->AddAttribute("category",
+                  "category" + std::to_string(rng->Uniform(0, 20)));
+  b->EndElement();
+  TextElem(b, "education",
+           rng->Bernoulli(0.5) ? "Graduate School" : "College");
+  TextElem(b, "gender", rng->Bernoulli(0.5) ? "male" : "female");
+  TextElem(b, "age", std::to_string(rng->Uniform(18, 80)));
+  b->EndElement();
+  b->EndElement();
+}
+
+void GenOpenAuction(DocumentBuilder* b, Random* rng, int auction_id,
+                    const XMarkParams& params) {
+  b->StartElement("open_auction");
+  b->AddAttribute("id", "open_auction" + std::to_string(auction_id));
+  TextElem(b, "initial", docgen::Price(rng, 1.0, 100.0));
+  int bidders = static_cast<int>(rng->Uniform(0, 4));
+  for (int i = 0; i < bidders; ++i) {
+    b->StartElement("bidder");
+    TextElem(b, "date", docgen::Date(rng));
+    b->StartElement("personref");
+    b->AddAttribute("person",
+                    "person" + std::to_string(rng->Uniform(
+                                   0, params.people - 1)));
+    b->EndElement();
+    TextElem(b, "increase", docgen::Price(rng, 1.0, 20.0));
+    b->EndElement();
+  }
+  TextElem(b, "current", docgen::Price(rng, 1.0, 600.0));
+  if (rng->Bernoulli(0.4)) {
+    TextElem(b, "reserve", docgen::Price(rng, 10.0, 200.0));
+  }
+  b->StartElement("itemref");
+  b->AddAttribute(
+      "item", "item" + std::to_string(rng->Uniform(
+                           0, params.items_per_region * 6 - 1)));
+  b->EndElement();
+  b->StartElement("seller");
+  b->AddAttribute("person", "person" + std::to_string(rng->Uniform(
+                                            0, params.people - 1)));
+  b->EndElement();
+  TextElem(b, "quantity", std::to_string(rng->Uniform(1, 5)));
+  TextElem(b, "type", rng->Bernoulli(0.7) ? "Regular" : "Featured");
+  b->StartElement("interval");
+  TextElem(b, "start", docgen::Date(rng));
+  TextElem(b, "end", docgen::Date(rng));
+  b->EndElement();
+  b->EndElement();
+}
+
+void GenClosedAuction(DocumentBuilder* b, Random* rng, int auction_id,
+                      const XMarkParams& params) {
+  b->StartElement("closed_auction");
+  b->AddAttribute("id", "closed_auction" + std::to_string(auction_id));
+  b->StartElement("seller");
+  b->AddAttribute("person", "person" + std::to_string(rng->Uniform(
+                                            0, params.people - 1)));
+  b->EndElement();
+  b->StartElement("buyer");
+  b->AddAttribute("person", "person" + std::to_string(rng->Uniform(
+                                            0, params.people - 1)));
+  b->EndElement();
+  b->StartElement("itemref");
+  b->AddAttribute(
+      "item", "item" + std::to_string(rng->Uniform(
+                           0, params.items_per_region * 6 - 1)));
+  b->EndElement();
+  TextElem(b, "price", docgen::Price(rng, 1.0, 600.0));
+  TextElem(b, "date", docgen::Date(rng));
+  TextElem(b, "quantity", std::to_string(rng->Uniform(1, 5)));
+  TextElem(b, "type", rng->Bernoulli(0.7) ? "Regular" : "Featured");
+  b->StartElement("annotation");
+  TextElem(b, "description", docgen::Sentence(rng, 5));
+  b->EndElement();
+  b->EndElement();
+}
+
+}  // namespace
+
+Document GenerateXMarkDocument(NameTable* names, const XMarkParams& params,
+                               Random* rng) {
+  DocumentBuilder b(names);
+  b.StartElement("site");
+
+  b.StartElement("regions");
+  int item_id = 0;
+  for (const std::string& region : docgen::Regions()) {
+    b.StartElement(region);
+    for (int i = 0; i < params.items_per_region; ++i) {
+      GenItem(&b, rng, item_id++);
+    }
+    b.EndElement();
+  }
+  b.EndElement();
+
+  b.StartElement("categories");
+  for (int i = 0; i < params.categories; ++i) {
+    b.StartElement("category");
+    b.AddAttribute("id", "category" + std::to_string(i));
+    TextElem(&b, "name", docgen::Sentence(rng, 1));
+    b.StartElement("description");
+    TextElem(&b, "text", docgen::Sentence(rng, 6));
+    b.EndElement();
+    b.EndElement();
+  }
+  b.EndElement();
+
+  b.StartElement("people");
+  for (int i = 0; i < params.people; ++i) GenPerson(&b, rng, i);
+  b.EndElement();
+
+  b.StartElement("open_auctions");
+  for (int i = 0; i < params.open_auctions; ++i) {
+    GenOpenAuction(&b, rng, i, params);
+  }
+  b.EndElement();
+
+  b.StartElement("closed_auctions");
+  for (int i = 0; i < params.closed_auctions; ++i) {
+    GenClosedAuction(&b, rng, i, params);
+  }
+  b.EndElement();
+
+  b.EndElement();  // site
+  Result<Document> doc = b.Finish();
+  XIA_CHECK(doc.ok());
+  return std::move(doc).value();
+}
+
+Status PopulateXMark(Database* db, const std::string& collection,
+                     int num_docs, const XMarkParams& params, uint64_t seed) {
+  XIA_ASSIGN_OR_RETURN(Collection * coll, db->CreateCollection(collection));
+  Random rng(seed);
+  for (int i = 0; i < num_docs; ++i) {
+    coll->Add(GenerateXMarkDocument(db->mutable_names(), params, &rng));
+  }
+  return db->Analyze(collection);
+}
+
+}  // namespace xia

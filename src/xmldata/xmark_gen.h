@@ -1,0 +1,40 @@
+#ifndef XIA_XMLDATA_XMARK_GEN_H_
+#define XIA_XMLDATA_XMARK_GEN_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/random.h"
+#include "common/status.h"
+#include "storage/database.h"
+#include "xml/document.h"
+#include "xml/name_table.h"
+
+namespace xia {
+
+/// Size knobs of one XMark-like auction-site document. The generated
+/// schema follows the XMark benchmark [Schmidt et al., CWI 2001]:
+/// /site/{regions/<region>/item, categories, people/person,
+/// open_auctions/open_auction, closed_auctions/closed_auction}. Items are
+/// spread over the six regions, which is what gives the advisor its
+/// signature generalization opportunity (/site/regions/*/item/...).
+struct XMarkParams {
+  int items_per_region = 6;
+  int categories = 8;
+  int people = 15;
+  int open_auctions = 10;
+  int closed_auctions = 8;
+};
+
+/// Generates one auction-site document.
+Document GenerateXMarkDocument(NameTable* names, const XMarkParams& params,
+                               Random* rng);
+
+/// Creates collection `collection` (must not exist), fills it with
+/// `num_docs` documents, and analyzes it.
+Status PopulateXMark(Database* db, const std::string& collection,
+                     int num_docs, const XMarkParams& params, uint64_t seed);
+
+}  // namespace xia
+
+#endif  // XIA_XMLDATA_XMARK_GEN_H_

@@ -1,0 +1,55 @@
+#ifndef XIA_XPATH_CONTAINMENT_H_
+#define XIA_XPATH_CONTAINMENT_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <utility>
+
+#include "xpath/path.h"
+
+namespace xia {
+
+/// Exact language containment for linear path patterns: true iff every
+/// root-to-node path matched by `specific` is also matched by `general`
+/// (L(specific) ⊆ L(general)), over all possible documents.
+///
+/// This single predicate drives index matching ("can index I answer query
+/// pattern Q?" — I's pattern must contain Q), redundancy detection in the
+/// greedy-heuristic search, and parent/child edges of the generalization
+/// DAG. Decided by subset-constructing `general`'s NFA over the joint
+/// finite alphabet and checking emptiness of L(specific) ∩ ¬L(general).
+bool PatternContains(const PathPattern& general, const PathPattern& specific);
+
+/// True iff the two patterns match a common root-to-node path in some
+/// document (L(a) ∩ L(b) ≠ ∅). Used for update-cost overlap tests: an
+/// update under pattern U can only touch index I if the patterns intersect.
+bool PatternsIntersect(const PathPattern& a, const PathPattern& b);
+
+/// Mutual containment.
+bool PatternsEquivalent(const PathPattern& a, const PathPattern& b);
+
+/// Memoizing wrapper around PatternContains. The advisor performs O(C²)
+/// containment tests over the candidate set; this cache makes repeated
+/// tests O(1).
+class ContainmentCache {
+ public:
+  bool Contains(const PathPattern& general, const PathPattern& specific);
+
+  size_t size() const { return cache_.size(); }
+
+ private:
+  struct KeyHash {
+    size_t operator()(const std::pair<size_t, size_t>& k) const {
+      return k.first * 1000003 + k.second;
+    }
+  };
+  // Keyed by the two patterns' hashes; collisions re-verified by string.
+  std::unordered_map<std::pair<size_t, size_t>,
+                     std::pair<std::pair<std::string, std::string>, bool>,
+                     KeyHash>
+      cache_;
+};
+
+}  // namespace xia
+
+#endif  // XIA_XPATH_CONTAINMENT_H_

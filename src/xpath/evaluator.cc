@@ -1,0 +1,130 @@
+#include "xpath/evaluator.h"
+
+#include <algorithm>
+
+namespace xia {
+
+namespace {
+
+bool StepAccepts(const Step& step, const XmlNode& node,
+                 const NameTable& names) {
+  if (node.kind == NodeKind::kText) return false;
+  bool is_attr = node.kind == NodeKind::kAttribute;
+  if (step.is_attribute != is_attr) return false;
+  if (step.wildcard) return true;
+  return node.name >= 0 && names.NameOf(node.name) == step.name;
+}
+
+void CollectChildren(const Document& doc, const NameTable& names,
+                     NodeIndex parent, const Step& step,
+                     std::vector<NodeIndex>* out) {
+  for (NodeIndex c = doc.node(parent).first_child; c != kNullNode;
+       c = doc.node(c).next_sibling) {
+    if (StepAccepts(step, doc.node(c), names)) out->push_back(c);
+  }
+}
+
+void CollectDescendants(const Document& doc, const NameTable& names,
+                        NodeIndex parent, const Step& step,
+                        std::vector<NodeIndex>* out) {
+  for (NodeIndex c = doc.node(parent).first_child; c != kNullNode;
+       c = doc.node(c).next_sibling) {
+    if (StepAccepts(step, doc.node(c), names)) out->push_back(c);
+    if (doc.node(c).kind == NodeKind::kElement) {
+      CollectDescendants(doc, names, c, step, out);
+    }
+  }
+}
+
+void SortUnique(std::vector<NodeIndex>* nodes) {
+  std::sort(nodes->begin(), nodes->end());
+  nodes->erase(std::unique(nodes->begin(), nodes->end()), nodes->end());
+}
+
+/// Applies one step to a node set. `from_document_node` distinguishes the
+/// first step (whose context is the virtual document node above the root).
+std::vector<NodeIndex> ApplyStep(const Document& doc, const NameTable& names,
+                                 const std::vector<NodeIndex>& context,
+                                 const Step& step, bool from_document_node) {
+  std::vector<NodeIndex> out;
+  if (from_document_node) {
+    if (doc.empty()) return out;
+    NodeIndex root = doc.root();
+    if (step.axis == Axis::kChild) {
+      if (StepAccepts(step, doc.node(root), names)) out.push_back(root);
+    } else {
+      if (StepAccepts(step, doc.node(root), names)) out.push_back(root);
+      CollectDescendants(doc, names, root, step, &out);
+    }
+    SortUnique(&out);
+    return out;
+  }
+  for (NodeIndex n : context) {
+    if (doc.node(n).kind != NodeKind::kElement) continue;
+    if (step.axis == Axis::kChild) {
+      CollectChildren(doc, names, n, step, &out);
+    } else {
+      CollectDescendants(doc, names, n, step, &out);
+    }
+  }
+  SortUnique(&out);
+  return out;
+}
+
+}  // namespace
+
+std::vector<NodeIndex> EvaluatePattern(const Document& doc,
+                                       const NameTable& names,
+                                       const PathPattern& pattern) {
+  ParsedPath path;
+  path.pattern = pattern;
+  return EvaluateParsedPath(doc, names, path);
+}
+
+std::vector<NodeIndex> EvaluateParsedPath(const Document& doc,
+                                          const NameTable& names,
+                                          const ParsedPath& path) {
+  std::vector<NodeIndex> context;
+  for (size_t i = 0; i < path.pattern.steps().size(); ++i) {
+    context = ApplyStep(doc, names, context, path.pattern.steps()[i],
+                        /*from_document_node=*/i == 0);
+    if (context.empty()) return context;
+    for (const PathPredicate& pred : path.predicates) {
+      if (pred.step_index != i) continue;
+      std::vector<NodeIndex> filtered;
+      for (NodeIndex n : context) {
+        if (NodeSatisfiesPredicate(doc, names, n, pred)) {
+          filtered.push_back(n);
+        }
+      }
+      context = std::move(filtered);
+      if (context.empty()) return context;
+    }
+  }
+  return context;
+}
+
+std::vector<NodeIndex> EvaluateRelative(const Document& doc,
+                                        const NameTable& names,
+                                        NodeIndex context,
+                                        const PathPattern& rel) {
+  std::vector<NodeIndex> nodes = {context};
+  for (const Step& step : rel.steps()) {
+    nodes = ApplyStep(doc, names, nodes, step, /*from_document_node=*/false);
+    if (nodes.empty()) break;
+  }
+  return nodes;
+}
+
+bool NodeSatisfiesPredicate(const Document& doc, const NameTable& names,
+                            NodeIndex node, const PathPredicate& pred) {
+  std::vector<NodeIndex> targets =
+      EvaluateRelative(doc, names, node, pred.rel);
+  if (pred.op == CompareOp::kExists) return !targets.empty();
+  for (NodeIndex t : targets) {
+    if (CompareValues(pred.op, doc.TextValue(t), pred.literal)) return true;
+  }
+  return false;
+}
+
+}  // namespace xia

@@ -1,0 +1,42 @@
+#ifndef XIA_XPATH_EVALUATOR_H_
+#define XIA_XPATH_EVALUATOR_H_
+
+#include <vector>
+
+#include "xml/document.h"
+#include "xml/name_table.h"
+#include "xpath/path.h"
+
+namespace xia {
+
+/// Evaluates a structural pattern against one document, returning matched
+/// node indexes in document order. Used by the physical index builder
+/// (which keys exactly the nodes an XMLPATTERN reaches) and by the
+/// collection-scan executor operator.
+std::vector<NodeIndex> EvaluatePattern(const Document& doc,
+                                       const NameTable& names,
+                                       const PathPattern& pattern);
+
+/// Evaluates a path expression with value predicates, step by step:
+/// predicates attached to step i filter the node set produced by the first
+/// i+1 steps. Returns matched nodes of the full path in document order.
+std::vector<NodeIndex> EvaluateParsedPath(const Document& doc,
+                                          const NameTable& names,
+                                          const ParsedPath& path);
+
+/// True if `node` satisfies `pred` (its rel-path, evaluated from `node`,
+/// yields some value v with `v op literal`; kExists requires a non-empty
+/// result only).
+bool NodeSatisfiesPredicate(const Document& doc, const NameTable& names,
+                            NodeIndex node, const PathPredicate& pred);
+
+/// Evaluates a relative pattern (child-axis rooted at `context`).
+/// An empty pattern yields {context} (the `.` / text() case).
+std::vector<NodeIndex> EvaluateRelative(const Document& doc,
+                                        const NameTable& names,
+                                        NodeIndex context,
+                                        const PathPattern& rel);
+
+}  // namespace xia
+
+#endif  // XIA_XPATH_EVALUATOR_H_

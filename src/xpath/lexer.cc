@@ -1,0 +1,160 @@
+#include "xpath/lexer.h"
+
+#include <cctype>
+
+namespace xia {
+
+namespace {
+
+bool IsNameStart(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+
+bool IsNameChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_' ||
+         c == '-' || c == '.' || c == ':';
+}
+
+}  // namespace
+
+Result<std::vector<PathToken>> TokenizePath(std::string_view input) {
+  std::vector<PathToken> tokens;
+  size_t pos = 0;
+  auto error = [&](const std::string& what) {
+    return Status::ParseError("path lex error at offset " +
+                              std::to_string(pos) + ": " + what);
+  };
+  while (pos < input.size()) {
+    char c = input[pos];
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++pos;
+      continue;
+    }
+    PathToken token;
+    token.offset = pos;
+    switch (c) {
+      case '/':
+        if (pos + 1 < input.size() && input[pos + 1] == '/') {
+          token.kind = PathTokenKind::kDoubleSlash;
+          token.text = "//";
+          pos += 2;
+        } else {
+          token.kind = PathTokenKind::kSlash;
+          token.text = "/";
+          ++pos;
+        }
+        break;
+      case '*':
+        token.kind = PathTokenKind::kStar;
+        token.text = "*";
+        ++pos;
+        break;
+      case '@':
+        token.kind = PathTokenKind::kAt;
+        token.text = "@";
+        ++pos;
+        break;
+      case '[':
+        token.kind = PathTokenKind::kLBracket;
+        ++pos;
+        break;
+      case ']':
+        token.kind = PathTokenKind::kRBracket;
+        ++pos;
+        break;
+      case '(':
+        token.kind = PathTokenKind::kLParen;
+        ++pos;
+        break;
+      case ')':
+        token.kind = PathTokenKind::kRParen;
+        ++pos;
+        break;
+      case ',':
+        token.kind = PathTokenKind::kComma;
+        ++pos;
+        break;
+      case '=':
+        token.kind = PathTokenKind::kOp;
+        token.text = "=";
+        ++pos;
+        break;
+      case '!':
+        if (pos + 1 < input.size() && input[pos + 1] == '=') {
+          token.kind = PathTokenKind::kOp;
+          token.text = "!=";
+          pos += 2;
+        } else {
+          return error("expected '=' after '!'");
+        }
+        break;
+      case '<':
+      case '>': {
+        token.kind = PathTokenKind::kOp;
+        token.text = std::string(1, c);
+        ++pos;
+        if (pos < input.size() && input[pos] == '=') {
+          token.text.push_back('=');
+          ++pos;
+        }
+        break;
+      }
+      case '"':
+      case '\'': {
+        char quote = c;
+        ++pos;
+        size_t start = pos;
+        while (pos < input.size() && input[pos] != quote) ++pos;
+        if (pos >= input.size()) return error("unterminated string literal");
+        token.kind = PathTokenKind::kString;
+        token.text = std::string(input.substr(start, pos - start));
+        ++pos;
+        break;
+      }
+      default: {
+        if (c == '.' &&
+            !(pos + 1 < input.size() &&
+              std::isdigit(static_cast<unsigned char>(input[pos + 1])))) {
+          token.kind = PathTokenKind::kDot;
+          token.text = ".";
+          ++pos;
+          break;
+        }
+        if (std::isdigit(static_cast<unsigned char>(c)) || c == '-' ||
+            c == '.') {
+          size_t start = pos;
+          if (c == '-') ++pos;
+          bool seen_dot = false;
+          while (pos < input.size() &&
+                 (std::isdigit(static_cast<unsigned char>(input[pos])) ||
+                  (!seen_dot && input[pos] == '.'))) {
+            if (input[pos] == '.') seen_dot = true;
+            ++pos;
+          }
+          if (pos == start + (c == '-' ? 1u : 0u)) {
+            return error("malformed number");
+          }
+          token.kind = PathTokenKind::kNumber;
+          token.text = std::string(input.substr(start, pos - start));
+          break;
+        }
+        if (IsNameStart(c)) {
+          size_t start = pos;
+          while (pos < input.size() && IsNameChar(input[pos])) ++pos;
+          token.kind = PathTokenKind::kName;
+          token.text = std::string(input.substr(start, pos - start));
+          break;
+        }
+        return error(std::string("unexpected character '") + c + "'");
+      }
+    }
+    tokens.push_back(std::move(token));
+  }
+  PathToken end;
+  end.kind = PathTokenKind::kEnd;
+  end.offset = input.size();
+  tokens.push_back(std::move(end));
+  return tokens;
+}
+
+}  // namespace xia

@@ -1,0 +1,42 @@
+#ifndef XIA_XPATH_LEXER_H_
+#define XIA_XPATH_LEXER_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+
+namespace xia {
+
+/// Token kinds of the path expression language.
+enum class PathTokenKind {
+  kSlash,        // /
+  kDoubleSlash,  // //
+  kStar,         // *
+  kAt,           // @
+  kName,         // element/attribute/function name
+  kLBracket,     // [
+  kRBracket,     // ]
+  kLParen,       // (
+  kRParen,       // )
+  kComma,        // ,
+  kDot,          // .
+  kOp,           // = != < <= > >=
+  kString,       // quoted literal
+  kNumber,       // numeric literal
+  kEnd,
+};
+
+struct PathToken {
+  PathTokenKind kind;
+  std::string text;   // Name spelling, operator, or literal value.
+  size_t offset = 0;  // Byte offset for error reporting.
+};
+
+/// Tokenizes a path expression (optionally with predicates).
+Result<std::vector<PathToken>> TokenizePath(std::string_view input);
+
+}  // namespace xia
+
+#endif  // XIA_XPATH_LEXER_H_

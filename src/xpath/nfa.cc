@@ -1,0 +1,67 @@
+#include "xpath/nfa.h"
+
+#include <set>
+
+#include "common/logging.h"
+
+namespace xia {
+
+PatternNfa::PatternNfa(const PathPattern& pattern)
+    : steps_(pattern.steps()),
+      num_states_(static_cast<int>(pattern.length()) + 1) {
+  XIA_CHECK(num_states_ <= 64);
+}
+
+uint64_t PatternNfa::Advance(uint64_t states, const PatternSymbol& sym) const {
+  uint64_t next = 0;
+  for (int s = 0; s < num_states_; ++s) {
+    if (((states >> s) & 1) == 0) continue;
+    // Self-loop before a descendant step: any element label keeps us here.
+    if (s < static_cast<int>(steps_.size()) &&
+        steps_[static_cast<size_t>(s)].axis == Axis::kDescendant &&
+        !sym.is_attr) {
+      next |= (uint64_t{1} << s);
+    }
+    // Step transition s -> s+1 when the label passes the name test.
+    if (s < static_cast<int>(steps_.size())) {
+      const Step& step = steps_[static_cast<size_t>(s)];
+      if (step.is_attribute == sym.is_attr &&
+          (step.wildcard || step.name == sym.name)) {
+        next |= (uint64_t{1} << (s + 1));
+      }
+    }
+  }
+  return next;
+}
+
+bool PatternNfa::MatchesWord(const std::vector<PatternSymbol>& word) const {
+  uint64_t states = StartSet();
+  for (const PatternSymbol& sym : word) {
+    states = Advance(states, sym);
+    if (states == 0) return false;
+  }
+  return Accepts(states);
+}
+
+std::vector<PatternSymbol> ContainmentAlphabet(const PathPattern& a,
+                                               const PathPattern& b) {
+  std::set<std::string> names;
+  bool has_attr = false;
+  for (const PathPattern* p : {&a, &b}) {
+    for (const Step& s : p->steps()) {
+      if (!s.wildcard) names.insert(s.name);
+      if (s.is_attribute) has_attr = true;
+    }
+  }
+  // "\x01other" stands for every name mentioned in neither pattern; patterns
+  // cannot distinguish among such names, so one representative suffices.
+  names.insert("\x01other");
+  std::vector<PatternSymbol> alphabet;
+  for (const std::string& n : names) {
+    alphabet.push_back(PatternSymbol{/*is_attr=*/false, n});
+    if (has_attr) alphabet.push_back(PatternSymbol{/*is_attr=*/true, n});
+  }
+  return alphabet;
+}
+
+}  // namespace xia

@@ -1,0 +1,72 @@
+#ifndef XIA_XPATH_NFA_H_
+#define XIA_XPATH_NFA_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "xpath/path.h"
+
+namespace xia {
+
+/// Alphabet symbol of the path language: a node label on a root-to-node
+/// path. All non-final labels are elements; attribute labels only occur in
+/// final position (attributes are leaves).
+struct PatternSymbol {
+  bool is_attr = false;
+  std::string name;
+
+  bool operator==(const PatternSymbol& other) const {
+    return is_attr == other.is_attr && name == other.name;
+  }
+};
+
+/// Nondeterministic finite automaton for a linear path pattern over
+/// `/`, `//`, `*`, `@`. State i means "the first i steps have been matched";
+/// descendant steps add a self-loop accepting any element label. State sets
+/// are represented as 64-bit masks, which bounds patterns to 63 steps —
+/// far beyond any real index pattern.
+///
+/// The NFA is the single shared formalism behind (a) pattern containment
+/// (index matching + generalization-DAG edges), (b) pattern intersection
+/// (update-cost overlap tests), and (c) matching patterns against the path
+/// synopsis for cardinality/size estimation.
+class PatternNfa {
+ public:
+  /// Builds the NFA for `pattern`. Patterns longer than 63 steps abort.
+  explicit PatternNfa(const PathPattern& pattern);
+
+  int num_states() const { return num_states_; }
+  int accept_state() const { return num_states_ - 1; }
+
+  /// Initial state set (just state 0).
+  uint64_t StartSet() const { return 1; }
+
+  /// Successor state set after reading `sym` from every state in `states`.
+  uint64_t Advance(uint64_t states, const PatternSymbol& sym) const;
+
+  /// True if the accept state is in `states`.
+  bool Accepts(uint64_t states) const {
+    return (states >> accept_state()) & 1;
+  }
+
+  /// True if the pattern accepts the whole label word.
+  bool MatchesWord(const std::vector<PatternSymbol>& word) const;
+
+  /// The steps the NFA was built from (for introspection).
+  const std::vector<Step>& steps() const { return steps_; }
+
+ private:
+  std::vector<Step> steps_;
+  int num_states_;
+};
+
+/// Collects the alphabet needed to decide containment / intersection of two
+/// patterns: every concrete name in either pattern, plus a fresh "other"
+/// name, each in element and (if attributes occur) attribute flavors.
+std::vector<PatternSymbol> ContainmentAlphabet(const PathPattern& a,
+                                               const PathPattern& b);
+
+}  // namespace xia
+
+#endif  // XIA_XPATH_NFA_H_

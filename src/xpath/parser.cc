@@ -1,0 +1,203 @@
+#include "xpath/parser.h"
+
+#include <vector>
+
+#include "xpath/lexer.h"
+
+namespace xia {
+
+namespace {
+
+/// Recursive-descent parser over the token stream.
+class PathParser {
+ public:
+  explicit PathParser(std::vector<PathToken> tokens)
+      : tokens_(std::move(tokens)) {}
+
+  Result<ParsedPath> ParsePath(bool allow_predicates) {
+    ParsedPath out;
+    if (Peek().kind != PathTokenKind::kSlash &&
+        Peek().kind != PathTokenKind::kDoubleSlash) {
+      return Error("path must start with '/' or '//'");
+    }
+    while (Peek().kind == PathTokenKind::kSlash ||
+           Peek().kind == PathTokenKind::kDoubleSlash) {
+      Step step;
+      step.axis = (Peek().kind == PathTokenKind::kDoubleSlash)
+                      ? Axis::kDescendant
+                      : Axis::kChild;
+      Advance();
+      XIA_RETURN_IF_ERROR(ParseNodeTest(&step));
+      out.pattern.Add(step);
+      while (Peek().kind == PathTokenKind::kLBracket) {
+        if (!allow_predicates) {
+          return Error("predicates are not allowed in index patterns");
+        }
+        XIA_ASSIGN_OR_RETURN(PathPredicate pred, ParsePredicate());
+        pred.step_index = out.pattern.length() - 1;
+        out.predicates.push_back(std::move(pred));
+      }
+    }
+    if (Peek().kind != PathTokenKind::kEnd) {
+      return Error("unexpected trailing tokens");
+    }
+    // Attribute steps are only legal in final position of the main path.
+    for (size_t i = 0; i + 1 < out.pattern.steps().size(); ++i) {
+      if (out.pattern.steps()[i].is_attribute) {
+        return Error("attribute step must be the last step");
+      }
+    }
+    return out;
+  }
+
+ private:
+  std::vector<PathToken> tokens_;
+  size_t pos_ = 0;
+
+  const PathToken& Peek() const { return tokens_[pos_]; }
+  void Advance() {
+    if (pos_ + 1 < tokens_.size()) ++pos_;
+  }
+
+  Status Error(const std::string& what) const {
+    return Status::ParseError("path parse error at offset " +
+                              std::to_string(Peek().offset) + ": " + what);
+  }
+
+  Status ParseNodeTest(Step* step) {
+    if (Peek().kind == PathTokenKind::kAt) {
+      step->is_attribute = true;
+      Advance();
+    }
+    if (Peek().kind == PathTokenKind::kStar) {
+      step->wildcard = true;
+      Advance();
+      return Status::Ok();
+    }
+    if (Peek().kind == PathTokenKind::kName) {
+      step->name = Peek().text;
+      Advance();
+      return Status::Ok();
+    }
+    return Error("expected name or '*'");
+  }
+
+  /// Parses the relative path on a predicate's left-hand side. Returns an
+  /// empty pattern for `.` / `text()` (the context node's own value).
+  Result<PathPattern> ParsePredicateLhs() {
+    PathPattern rel;
+    if (Peek().kind == PathTokenKind::kDot) {
+      Advance();
+      return rel;
+    }
+    while (true) {
+      Step step;
+      step.axis = Axis::kChild;
+      if (Peek().kind == PathTokenKind::kDoubleSlash) {
+        step.axis = Axis::kDescendant;
+        Advance();
+      } else if (Peek().kind == PathTokenKind::kSlash) {
+        Advance();
+      } else if (!rel.empty()) {
+        break;
+      }
+      if (Peek().kind == PathTokenKind::kName && Peek().text == "text" &&
+          tokens_[pos_ + 1].kind == PathTokenKind::kLParen) {
+        Advance();  // text
+        Advance();  // (
+        if (Peek().kind != PathTokenKind::kRParen) {
+          return Error("expected ')' after text(");
+        }
+        Advance();
+        // text() selects the node's own text value; it adds no step.
+        break;
+      }
+      XIA_RETURN_IF_ERROR(ParseNodeTest(&step));
+      rel.Add(step);
+      if (Peek().kind != PathTokenKind::kSlash &&
+          Peek().kind != PathTokenKind::kDoubleSlash) {
+        break;
+      }
+    }
+    return rel;
+  }
+
+  Result<PathPredicate> ParsePredicate() {
+    Advance();  // '['
+    PathPredicate pred;
+    // contains(lhs, literal)
+    if (Peek().kind == PathTokenKind::kName && Peek().text == "contains" &&
+        tokens_[pos_ + 1].kind == PathTokenKind::kLParen) {
+      Advance();  // contains
+      Advance();  // (
+      XIA_ASSIGN_OR_RETURN(pred.rel, ParsePredicateLhs());
+      if (Peek().kind != PathTokenKind::kComma) {
+        return Error("expected ',' in contains()");
+      }
+      Advance();
+      if (Peek().kind != PathTokenKind::kString &&
+          Peek().kind != PathTokenKind::kNumber) {
+        return Error("expected literal in contains()");
+      }
+      pred.op = CompareOp::kContains;
+      pred.literal = Peek().text;
+      Advance();
+      if (Peek().kind != PathTokenKind::kRParen) {
+        return Error("expected ')' to close contains()");
+      }
+      Advance();
+    } else {
+      XIA_ASSIGN_OR_RETURN(pred.rel, ParsePredicateLhs());
+      if (Peek().kind == PathTokenKind::kOp) {
+        std::string op = Peek().text;
+        Advance();
+        if (op == "=") {
+          pred.op = CompareOp::kEq;
+        } else if (op == "!=") {
+          pred.op = CompareOp::kNe;
+        } else if (op == "<") {
+          pred.op = CompareOp::kLt;
+        } else if (op == "<=") {
+          pred.op = CompareOp::kLe;
+        } else if (op == ">") {
+          pred.op = CompareOp::kGt;
+        } else if (op == ">=") {
+          pred.op = CompareOp::kGe;
+        } else {
+          return Error("unknown operator " + op);
+        }
+        if (Peek().kind != PathTokenKind::kString &&
+            Peek().kind != PathTokenKind::kNumber) {
+          return Error("expected literal after operator");
+        }
+        pred.literal = Peek().text;
+        Advance();
+      } else {
+        pred.op = CompareOp::kExists;
+      }
+    }
+    if (Peek().kind != PathTokenKind::kRBracket) {
+      return Error("expected ']' to close predicate");
+    }
+    Advance();
+    return pred;
+  }
+};
+
+}  // namespace
+
+Result<PathPattern> ParsePathPattern(std::string_view input) {
+  XIA_ASSIGN_OR_RETURN(std::vector<PathToken> tokens, TokenizePath(input));
+  PathParser parser(std::move(tokens));
+  XIA_ASSIGN_OR_RETURN(ParsedPath path,
+                       parser.ParsePath(/*allow_predicates=*/false));
+  return std::move(path.pattern);
+}
+
+Result<ParsedPath> ParsePathExpr(std::string_view input) {
+  XIA_ASSIGN_OR_RETURN(std::vector<PathToken> tokens, TokenizePath(input));
+  PathParser parser(std::move(tokens));
+  return parser.ParsePath(/*allow_predicates=*/true);
+}
+
+}  // namespace xia

@@ -1,0 +1,25 @@
+#ifndef XIA_XPATH_PARSER_H_
+#define XIA_XPATH_PARSER_H_
+
+#include <string_view>
+
+#include "common/status.h"
+#include "xpath/path.h"
+
+namespace xia {
+
+/// Parses a pure structural pattern (no predicates), e.g.
+/// `/site/regions/*/item//keyword`, `//@id`, `//*`. This is the XMLPATTERN
+/// language used for index definitions.
+Result<PathPattern> ParsePathPattern(std::string_view input);
+
+/// Parses a path expression that may carry value predicates, e.g.
+/// `/site/regions/africa/item[quantity > 5]/name`,
+/// `//person[profile/@income >= 50000]`,
+/// `//item[contains(description, "gold")]`. Predicate left-hand sides may be
+/// `.`, `text()`, a relative child path, or an attribute.
+Result<ParsedPath> ParsePathExpr(std::string_view input);
+
+}  // namespace xia
+
+#endif  // XIA_XPATH_PARSER_H_

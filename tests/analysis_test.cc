@@ -1,0 +1,118 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "advisor/advisor.h"
+#include "advisor/analysis.h"
+#include "workload/variation.h"
+#include "workload/xmark_queries.h"
+#include "xmldata/xmark_gen.h"
+#include "xpath/parser.h"
+
+namespace xia {
+namespace {
+
+class AnalysisTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    XMarkParams params;
+    ASSERT_TRUE(PopulateXMark(&db_, "xmark", 5, params, 42).ok());
+    workload_ = MakeXMarkWorkload("xmark");
+    AdvisorOptions options;
+    options.space_budget_bytes = 64.0 * 1024;
+    advisor_ = std::make_unique<Advisor>(&db_, &catalog_, options);
+    Result<Recommendation> rec = advisor_->Recommend(workload_);
+    ASSERT_TRUE(rec.ok());
+    rec_ = std::move(*rec);
+  }
+
+  Database db_;
+  Catalog catalog_;
+  Workload workload_;
+  std::unique_ptr<Advisor> advisor_;
+  Recommendation rec_;
+};
+
+TEST_F(AnalysisTest, TableHasOneRowPerQueryPlusTotals) {
+  Result<RecommendationAnalysis> analysis = AnalyzeRecommendation(
+      db_, catalog_, workload_, rec_, advisor_->options().cost_model,
+      advisor_->cache());
+  ASSERT_TRUE(analysis.ok());
+  EXPECT_EQ(analysis->rows.size(), workload_.size());
+  std::string table = analysis->ToTable();
+  for (const Query& q : workload_.queries()) {
+    EXPECT_NE(table.find(q.id), std::string::npos) << q.id;
+  }
+  // Totals are consistent with the rows (weighted sums).
+  double recomputed = 0;
+  for (size_t i = 0; i < analysis->rows.size(); ++i) {
+    recomputed +=
+        workload_.queries()[i].weight * analysis->rows[i].cost_no_index;
+  }
+  EXPECT_NEAR(recomputed, analysis->total_no_index, 1e-6);
+}
+
+TEST_F(AnalysisTest, EvaluateOnArbitraryWorkload) {
+  Random rng(5);
+  Workload unseen = MakeXMarkUnseenWorkload("xmark", &rng, 6);
+  Result<EvaluateIndexesResult> result = EvaluateConfigurationOnWorkload(
+      db_, catalog_, rec_.indexes, unseen, advisor_->options().cost_model,
+      advisor_->cache());
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->plans.size(), unseen.size());
+}
+
+TEST_F(AnalysisTest, MaterializeRegistersAllIndexes) {
+  Catalog target;
+  Result<double> built = MaterializeConfiguration(
+      db_, rec_.indexes, &target, advisor_->options().cost_model.storage);
+  ASSERT_TRUE(built.ok());
+  EXPECT_GT(*built, 0.0);
+  EXPECT_EQ(target.size(), rec_.indexes.size());
+  for (const IndexDefinition& def : rec_.indexes) {
+    const CatalogEntry* entry = target.Find(def.name);
+    ASSERT_NE(entry, nullptr) << def.name;
+    EXPECT_FALSE(entry->is_virtual);
+    ASSERT_NE(entry->physical, nullptr);
+    EXPECT_GT(entry->physical->num_entries(), 0u);
+  }
+}
+
+TEST_F(AnalysisTest, MaterializeRenamesOnCollision) {
+  Catalog target;
+  ASSERT_TRUE(
+      MaterializeConfiguration(db_, rec_.indexes, &target,
+                               advisor_->options().cost_model.storage)
+          .ok());
+  // Materializing the same configuration again must not clash: names are
+  // regenerated.
+  Result<double> again = MaterializeConfiguration(
+      db_, rec_.indexes, &target, advisor_->options().cost_model.storage);
+  ASSERT_TRUE(again.ok());
+  EXPECT_EQ(target.size(), 2 * rec_.indexes.size());
+}
+
+TEST_F(AnalysisTest, DdlScriptListsEveryIndex) {
+  std::string script = ConfigurationDdlScript(rec_.indexes);
+  for (const IndexDefinition& def : rec_.indexes) {
+    EXPECT_NE(script.find(def.DdlString() + ";"), std::string::npos);
+  }
+  EXPECT_NE(script.find("-- xia recommended configuration"),
+            std::string::npos);
+}
+
+TEST_F(AnalysisTest, SynopsisDescribeMentionsPathsAndHistograms) {
+  const PathSynopsis* synopsis = db_.synopsis("xmark");
+  ASSERT_NE(synopsis, nullptr);
+  std::string report = synopsis->Describe();
+  EXPECT_NE(report.find("/site/regions/africa/item/quantity"),
+            std::string::npos);
+  EXPECT_NE(report.find("range=["), std::string::npos);
+  EXPECT_NE(report.find("hist="), std::string::npos);
+  // Truncation kicks in with a cap.
+  std::string truncated = synopsis->Describe(/*max_paths=*/3);
+  EXPECT_NE(truncated.find("(truncated)"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace xia

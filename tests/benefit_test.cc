@@ -1,0 +1,205 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "advisor/benefit.h"
+#include "workload/xmark_queries.h"
+#include "xmldata/xmark_gen.h"
+#include "xpath/parser.h"
+
+namespace xia {
+namespace {
+
+PathPattern P(const std::string& text) {
+  Result<PathPattern> p = ParsePathPattern(text);
+  EXPECT_TRUE(p.ok()) << text;
+  return std::move(*p);
+}
+
+class BenefitTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    XMarkParams params;
+    ASSERT_TRUE(PopulateXMark(&db_, "xmark", 6, params, 42).ok());
+    workload_ = MakeXMarkWorkload("xmark");
+    optimizer_ = std::make_unique<Optimizer>(&db_, cost_model_);
+
+    // Candidate set: exact quantity index, generalized variants, and an
+    // unrelated index no query can use.
+    candidates_.push_back(
+        Cand("/site/regions/namerica/item/quantity", ValueType::kDouble));
+    candidates_.push_back(
+        Cand("/site/regions/*/item/quantity", ValueType::kDouble));
+    candidates_.push_back(
+        Cand("/site/regions/*/item/*", ValueType::kDouble));
+    candidates_.push_back(
+        Cand("/site/categories/category/description/text",
+             ValueType::kVarchar));
+    evaluator_ = std::make_unique<ConfigurationEvaluator>(
+        optimizer_.get(), &workload_, &base_catalog_, &candidates_, &cache_,
+        /*account_update_cost=*/true);
+  }
+
+  CandidateIndex Cand(const std::string& pattern, ValueType type) {
+    CandidateIndex c;
+    c.def.collection = "xmark";
+    c.def.pattern = P(pattern);
+    c.def.type = type;
+    c.stats = EstimateVirtualIndex(*db_.synopsis("xmark"), c.def,
+                                   cost_model_.storage);
+    return c;
+  }
+
+  Database db_;
+  Workload workload_;
+  Catalog base_catalog_;
+  CostModel cost_model_;
+  ContainmentCache cache_;
+  std::vector<CandidateIndex> candidates_;
+  std::unique_ptr<Optimizer> optimizer_;
+  std::unique_ptr<ConfigurationEvaluator> evaluator_;
+};
+
+TEST_F(BenefitTest, EmptyConfigIsBaseline) {
+  Result<double> baseline = evaluator_->BaselineCost();
+  ASSERT_TRUE(baseline.ok());
+  EXPECT_GT(*baseline, 0.0);
+  Result<ConfigurationEvaluator::Evaluation> eval = evaluator_->Evaluate({});
+  ASSERT_TRUE(eval.ok());
+  EXPECT_EQ(eval->workload_cost, *baseline);
+  EXPECT_TRUE(eval->used_candidates.empty());
+  EXPECT_EQ(eval->per_query_cost.size(), workload_.size());
+}
+
+TEST_F(BenefitTest, UsefulIndexReducesCost) {
+  Result<double> baseline = evaluator_->BaselineCost();
+  ASSERT_TRUE(baseline.ok());
+  Result<ConfigurationEvaluator::Evaluation> eval =
+      evaluator_->Evaluate({0});
+  ASSERT_TRUE(eval.ok());
+  EXPECT_LT(eval->workload_cost, *baseline);
+  EXPECT_TRUE(eval->used_candidates.count(0));
+}
+
+TEST_F(BenefitTest, UselessIndexIsNotUsed) {
+  Result<ConfigurationEvaluator::Evaluation> eval =
+      evaluator_->Evaluate({3});
+  ASSERT_TRUE(eval.ok());
+  EXPECT_FALSE(eval->used_candidates.count(3));
+}
+
+TEST_F(BenefitTest, IndexInteractionShadowsGeneralIndex) {
+  // Alone, the general index is used.
+  Result<ConfigurationEvaluator::Evaluation> alone =
+      evaluator_->Evaluate({1});
+  ASSERT_TRUE(alone.ok());
+  EXPECT_TRUE(alone->used_candidates.count(1));
+  // Together with the exact index, queries on namerica prefer the exact
+  // one; the general one survives only for other regions' queries.
+  Result<ConfigurationEvaluator::Evaluation> both =
+      evaluator_->Evaluate({0, 1});
+  ASSERT_TRUE(both.ok());
+  EXPECT_TRUE(both->used_candidates.count(0));
+  // Interaction: combined cost <= each alone.
+  Result<ConfigurationEvaluator::Evaluation> exact_alone =
+      evaluator_->Evaluate({0});
+  ASSERT_TRUE(exact_alone.ok());
+  EXPECT_LE(both->workload_cost, alone->workload_cost + 1e-9);
+  EXPECT_LE(both->workload_cost, exact_alone->workload_cost + 1e-9);
+}
+
+TEST_F(BenefitTest, MonotoneImprovementWithMoreIndexes) {
+  Result<ConfigurationEvaluator::Evaluation> small =
+      evaluator_->Evaluate({0});
+  Result<ConfigurationEvaluator::Evaluation> large =
+      evaluator_->Evaluate({0, 1, 2});
+  ASSERT_TRUE(small.ok());
+  ASSERT_TRUE(large.ok());
+  EXPECT_LE(large->workload_cost, small->workload_cost + 1e-9);
+}
+
+TEST_F(BenefitTest, MemoizationAvoidsRecomputation) {
+  ASSERT_TRUE(evaluator_->Evaluate({0, 1}).ok());
+  int evals = evaluator_->num_evaluations();
+  // Same config, any order / duplicates: served from cache.
+  ASSERT_TRUE(evaluator_->Evaluate({1, 0}).ok());
+  ASSERT_TRUE(evaluator_->Evaluate({0, 1, 1}).ok());
+  EXPECT_EQ(evaluator_->num_evaluations(), evals);
+}
+
+TEST_F(BenefitTest, UpdateCostDebitsConfigurations) {
+  AddXMarkUpdates(&workload_, "xmark", 1.0);
+  ConfigurationEvaluator with_updates(optimizer_.get(), &workload_,
+                                      &base_catalog_, &candidates_, &cache_,
+                                      /*account_update_cost=*/true);
+  ConfigurationEvaluator without_updates(optimizer_.get(), &workload_,
+                                         &base_catalog_, &candidates_,
+                                         &cache_,
+                                         /*account_update_cost=*/false);
+  // The /site/regions/*/item/* index overlaps the item-insert update.
+  Result<ConfigurationEvaluator::Evaluation> with =
+      with_updates.Evaluate({2});
+  Result<ConfigurationEvaluator::Evaluation> without =
+      without_updates.Evaluate({2});
+  ASSERT_TRUE(with.ok());
+  ASSERT_TRUE(without.ok());
+  EXPECT_GT(with->update_cost, 0.0);
+  EXPECT_EQ(without->update_cost, 0.0);
+  EXPECT_EQ(with->workload_cost, without->workload_cost);
+}
+
+TEST_F(BenefitTest, UpdateCostZeroForNonOverlappingIndex) {
+  AddXMarkUpdates(&workload_, "xmark", 1.0);
+  ConfigurationEvaluator evaluator(optimizer_.get(), &workload_,
+                                   &base_catalog_, &candidates_, &cache_,
+                                   /*account_update_cost=*/true);
+  // The categories/description index overlaps no update target.
+  Result<ConfigurationEvaluator::Evaluation> eval = evaluator.Evaluate({3});
+  ASSERT_TRUE(eval.ok());
+  EXPECT_EQ(eval->update_cost, 0.0);
+}
+
+TEST_F(BenefitTest, ExprTableCoversForPathsAndPredicates) {
+  size_t expected = 0;
+  for (const Query& q : workload_.queries()) {
+    expected += 1 + q.normalized.predicates.size();
+  }
+  EXPECT_EQ(evaluator_->exprs().size(), expected);
+}
+
+TEST_F(BenefitTest, CoverageBitmapMatchesContainment) {
+  Bitmap cover = evaluator_->CoverageOf({1});  // /site/regions/*/item/qty.
+  size_t covered = 0;
+  for (size_t e = 0; e < evaluator_->exprs().size(); ++e) {
+    if (cover.Test(e)) {
+      ++covered;
+      EXPECT_TRUE(evaluator_->Covers(1, e));
+      EXPECT_TRUE(
+          cache_.Contains(candidates_[1].def.pattern,
+                          evaluator_->exprs()[e].pattern));
+    }
+  }
+  // It covers the two region quantity predicates (namerica, africa).
+  EXPECT_GE(covered, 2u);
+  // The empty config covers nothing.
+  EXPECT_TRUE(evaluator_->CoverageOf({}).None());
+}
+
+TEST_F(BenefitTest, SargableExprNotCoveredByWrongType) {
+  // A VARCHAR index on quantity cannot cover the numeric-range expr.
+  candidates_.push_back(
+      Cand("/site/regions/namerica/item/quantity", ValueType::kVarchar));
+  ConfigurationEvaluator evaluator(optimizer_.get(), &workload_,
+                                   &base_catalog_, &candidates_, &cache_,
+                                   true);
+  int vc = static_cast<int>(candidates_.size()) - 1;
+  for (size_t e = 0; e < evaluator.exprs().size(); ++e) {
+    const auto& expr = evaluator.exprs()[e];
+    if (expr.sargable_op && expr.implied_type == ValueType::kDouble) {
+      EXPECT_FALSE(evaluator.Covers(vc, e));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace xia

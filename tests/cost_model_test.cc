@@ -1,0 +1,178 @@
+#include <gtest/gtest.h>
+
+#include "optimizer/cost_model.h"
+#include "optimizer/plan.h"
+#include "query/value.h"
+#include "xpath/parser.h"
+
+namespace xia {
+namespace {
+
+// -------------------------------------------------------------- CostModel.
+
+TEST(CostModelUnitTest, RidProbeCheaperThanFetchingScan) {
+  CostModel cm;
+  VirtualIndexStats stats;
+  stats.entries = 10000;
+  stats.leaf_pages = 50;
+  stats.height = 2;
+  // Same probe, RID-only vs full (fetching) scan.
+  double rid = cm.IndexRidProbeCost(stats, 0.1, 1000, false);
+  double full = cm.IndexScanCost(stats, 0.1, 1000, false);
+  EXPECT_LT(rid, full);
+  // The difference is exactly the fetches.
+  EXPECT_NEAR(full - rid,
+              1000 * cm.fetch_cost_per_node - 1000 * cm.cpu_cost_per_node,
+              1e-9);
+}
+
+TEST(CostModelUnitTest, VerificationChargesCpu) {
+  CostModel cm;
+  VirtualIndexStats stats;
+  stats.entries = 1000;
+  stats.leaf_pages = 10;
+  stats.height = 2;
+  EXPECT_NEAR(cm.IndexRidProbeCost(stats, 1.0, 1000, true) -
+                  cm.IndexRidProbeCost(stats, 1.0, 1000, false),
+              1000 * cm.cpu_cost_per_verify, 1e-9);
+}
+
+TEST(CostModelUnitTest, LeafFractionClamped) {
+  CostModel cm;
+  VirtualIndexStats stats;
+  stats.entries = 100;
+  stats.leaf_pages = 10;
+  stats.height = 1;
+  EXPECT_EQ(cm.IndexScanCost(stats, 5.0, 0, false),
+            cm.IndexScanCost(stats, 1.0, 0, false));
+  EXPECT_EQ(cm.IndexScanCost(stats, -1.0, 0, false),
+            cm.IndexScanCost(stats, 0.0, 0, false));
+}
+
+TEST(CostModelUnitTest, ResidualScalesWithRowsAndPredicates) {
+  CostModel cm;
+  EXPECT_EQ(cm.ResidualPredicateCost(0, 5), 0.0);
+  EXPECT_EQ(cm.ResidualPredicateCost(100, 0), 0.0);
+  EXPECT_NEAR(cm.ResidualPredicateCost(100, 2),
+              2 * cm.ResidualPredicateCost(100, 1), 1e-9);
+  EXPECT_NEAR(cm.ResidualPredicateCost(200, 1),
+              2 * cm.ResidualPredicateCost(100, 1), 1e-9);
+}
+
+TEST(CostModelUnitTest, UpdateMaintenanceLinear) {
+  CostModel cm;
+  EXPECT_EQ(cm.UpdateMaintenanceCost(0), 0.0);
+  EXPECT_NEAR(cm.UpdateMaintenanceCost(10), 10 * cm.update_cost_per_entry,
+              1e-9);
+}
+
+// ------------------------------------------------------------ Plan output.
+
+IndexDefinition Def(const std::string& name, const std::string& pattern,
+                    ValueType type) {
+  IndexDefinition def;
+  def.name = name;
+  def.collection = "c";
+  Result<PathPattern> p = ParsePathPattern(pattern);
+  EXPECT_TRUE(p.ok());
+  def.pattern = *p;
+  def.type = type;
+  return def;
+}
+
+TEST(PlanRenderTest, CollectionScan) {
+  AccessPath access;
+  access.use_index = false;
+  EXPECT_EQ(access.ToString(), "COLLECTION SCAN");
+}
+
+TEST(PlanRenderTest, SingleProbeVariants) {
+  AccessPath access;
+  access.use_index = true;
+  access.index_def = Def("i", "/a/b", ValueType::kDouble);
+  access.use = MatchUse::kSargableEq;
+  access.index_is_virtual = false;
+  EXPECT_EQ(access.ToString(), "INDEX EQ-PROBE i ('/a/b' AS DOUBLE)");
+  access.use = MatchUse::kSargableRange;
+  access.index_is_virtual = true;
+  access.needs_verify = true;
+  EXPECT_EQ(access.ToString(),
+            "INDEX RANGE-SCAN i ('/a/b' AS DOUBLE) [virtual] +verify");
+  access.use = MatchUse::kStructural;
+  access.index_is_virtual = false;
+  access.needs_verify = false;
+  EXPECT_EQ(access.ToString(), "INDEX SCAN i ('/a/b' AS DOUBLE)");
+}
+
+TEST(PlanRenderTest, IxandShowsBothProbes) {
+  AccessPath access;
+  access.use_index = true;
+  access.index_def = Def("one", "/a/b", ValueType::kDouble);
+  access.use = MatchUse::kSargableRange;
+  access.index_is_virtual = false;
+  access.has_secondary = true;
+  access.secondary.index_def = Def("two", "/a/c", ValueType::kVarchar);
+  access.secondary.use = MatchUse::kSargableEq;
+  access.secondary.index_is_virtual = false;
+  std::string s = access.ToString();
+  EXPECT_NE(s.find("one"), std::string::npos);
+  EXPECT_NE(s.find("IXAND"), std::string::npos);
+  EXPECT_NE(s.find("two"), std::string::npos);
+}
+
+TEST(PlanRenderTest, ExplainListsResiduals) {
+  QueryPlan plan;
+  plan.query_id = "Q9";
+  plan.query.collection = "c";
+  Result<PathPattern> fp = ParsePathPattern("/a");
+  ASSERT_TRUE(fp.ok());
+  plan.query.for_path = *fp;
+  QueryPredicate pred;
+  Result<PathPattern> pp = ParsePathPattern("/a/b");
+  ASSERT_TRUE(pp.ok());
+  pred.pattern = *pp;
+  pred.op = CompareOp::kGt;
+  pred.literal = "5";
+  plan.query.predicates.push_back(pred);
+  plan.residual_predicates.push_back(0);
+  plan.total_cost = 12.5;
+  std::string explain = plan.Explain();
+  EXPECT_NE(explain.find("Q9"), std::string::npos);
+  EXPECT_NE(explain.find("Residual predicates"), std::string::npos);
+  EXPECT_NE(explain.find("/a/b > 5"), std::string::npos);
+}
+
+// ------------------------------------------------------------ TypedValue.
+
+TEST(TypedValueTest, DoubleOrderingIsNumeric) {
+  auto a = TypedValue::Make(ValueType::kDouble, "9");
+  auto b = TypedValue::Make(ValueType::kDouble, "10");
+  ASSERT_TRUE(a.has_value());
+  ASSERT_TRUE(b.has_value());
+  EXPECT_TRUE(*a < *b);  // Lexicographically "10" < "9"; numerically not.
+  EXPECT_FALSE(*b < *a);
+}
+
+TEST(TypedValueTest, VarcharOrderingIsLexicographic) {
+  auto a = TypedValue::Make(ValueType::kVarchar, "10");
+  auto b = TypedValue::Make(ValueType::kVarchar, "9");
+  ASSERT_TRUE(a.has_value());
+  ASSERT_TRUE(b.has_value());
+  EXPECT_TRUE(*a < *b);
+}
+
+TEST(TypedValueTest, DoubleRejectsNonNumeric) {
+  EXPECT_FALSE(TypedValue::Make(ValueType::kDouble, "abc").has_value());
+  EXPECT_FALSE(TypedValue::Make(ValueType::kDouble, "").has_value());
+  EXPECT_TRUE(TypedValue::Make(ValueType::kVarchar, "abc").has_value());
+  EXPECT_TRUE(TypedValue::Make(ValueType::kVarchar, "").has_value());
+}
+
+TEST(TypedValueTest, ToStringRendersByType) {
+  EXPECT_EQ(TypedValue::Make(ValueType::kDouble, "42")->ToString(), "42");
+  EXPECT_EQ(TypedValue::Make(ValueType::kVarchar, "x y")->ToString(),
+            "x y");
+}
+
+}  // namespace
+}  // namespace xia

@@ -1,0 +1,163 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "advisor/dag.h"
+#include "advisor/generalize.h"
+#include "xmldata/xmark_gen.h"
+#include "xpath/parser.h"
+
+namespace xia {
+namespace {
+
+PathPattern P(const std::string& text) {
+  Result<PathPattern> p = ParsePathPattern(text);
+  EXPECT_TRUE(p.ok()) << text;
+  return std::move(*p);
+}
+
+class DagTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    XMarkParams params;
+    ASSERT_TRUE(PopulateXMark(&db_, "xmark", 3, params, 42).ok());
+  }
+
+  CandidateIndex Cand(const std::string& pattern,
+                      ValueType type = ValueType::kDouble) {
+    CandidateIndex c;
+    c.def.collection = "xmark";
+    c.def.pattern = P(pattern);
+    c.def.type = type;
+    c.stats = EstimateVirtualIndex(*db_.synopsis("xmark"), c.def,
+                                   StorageConstants());
+    return c;
+  }
+
+  int IndexOf(const std::vector<CandidateIndex>& candidates,
+              const std::string& pattern) {
+    for (size_t i = 0; i < candidates.size(); ++i) {
+      if (candidates[i].def.pattern.ToString() == pattern) {
+        return static_cast<int>(i);
+      }
+    }
+    return -1;
+  }
+
+  Database db_;
+  ContainmentCache cache_;
+};
+
+TEST_F(DagTest, PaperExampleDagShape) {
+  // Build the paper's example DAG: two specific quantity patterns, a
+  // price pattern, their generalizations.
+  std::vector<CandidateIndex> candidates = {
+      Cand("/site/regions/namerica/item/quantity"),
+      Cand("/site/regions/africa/item/quantity"),
+      Cand("/site/regions/samerica/item/price"),
+      Cand("/site/regions/*/item/quantity"),
+      Cand("/site/regions/*/item/*"),
+  };
+  GeneralizationDag dag = GeneralizationDag::Build(candidates, &cache_);
+
+  int namerica = IndexOf(candidates, "/site/regions/namerica/item/quantity");
+  int africa = IndexOf(candidates, "/site/regions/africa/item/quantity");
+  int price = IndexOf(candidates, "/site/regions/samerica/item/price");
+  int star_q = IndexOf(candidates, "/site/regions/*/item/quantity");
+  int star_star = IndexOf(candidates, "/site/regions/*/item/*");
+
+  // Single root: the most general pattern.
+  EXPECT_EQ(dag.Roots(), (std::vector<int>{star_star}));
+  // Leaves: the three basic patterns.
+  std::vector<int> leaf_list = dag.Leaves();
+  std::set<int> leaves(leaf_list.begin(), leaf_list.end());
+  EXPECT_EQ(leaves, (std::set<int>{namerica, africa, price}));
+  // star_star's children: star_q and price (immediate), NOT the two
+  // quantity leaves (star_q is between).
+  std::set<int> root_children(
+      dag.nodes()[static_cast<size_t>(star_star)].children.begin(),
+      dag.nodes()[static_cast<size_t>(star_star)].children.end());
+  EXPECT_EQ(root_children, (std::set<int>{star_q, price}));
+  // star_q's children are the two quantity leaves.
+  std::set<int> q_children(
+      dag.nodes()[static_cast<size_t>(star_q)].children.begin(),
+      dag.nodes()[static_cast<size_t>(star_q)].children.end());
+  EXPECT_EQ(q_children, (std::set<int>{namerica, africa}));
+  // Parent links are the mirror image.
+  EXPECT_EQ(dag.nodes()[static_cast<size_t>(star_q)].parents,
+            (std::vector<int>{star_star}));
+}
+
+TEST_F(DagTest, IncomparableCandidatesAreBothRoots) {
+  std::vector<CandidateIndex> candidates = {
+      Cand("/site/regions/africa/item/quantity"),
+      Cand("/site/people/person/profile/@income"),
+  };
+  GeneralizationDag dag = GeneralizationDag::Build(candidates, &cache_);
+  EXPECT_EQ(dag.Roots().size(), 2u);
+  EXPECT_EQ(dag.Leaves().size(), 2u);
+  EXPECT_TRUE(dag.nodes()[0].children.empty());
+  EXPECT_TRUE(dag.nodes()[1].children.empty());
+}
+
+TEST_F(DagTest, TypeSeparatesComponents) {
+  std::vector<CandidateIndex> candidates = {
+      Cand("/site/regions/*/item/quantity", ValueType::kDouble),
+      Cand("/site/regions/africa/item/quantity", ValueType::kVarchar),
+  };
+  GeneralizationDag dag = GeneralizationDag::Build(candidates, &cache_);
+  // Despite pattern containment, differing types mean no edge.
+  EXPECT_TRUE(dag.nodes()[0].children.empty());
+  EXPECT_TRUE(dag.nodes()[1].parents.empty());
+}
+
+TEST_F(DagTest, EndToEndWithGeneralization) {
+  std::vector<CandidateIndex> basics = {
+      Cand("/site/regions/namerica/item/quantity"),
+      Cand("/site/regions/africa/item/quantity"),
+      Cand("/site/regions/samerica/item/price"),
+  };
+  std::vector<CandidateIndex> expanded =
+      GeneralizeCandidates(basics, db_, GeneralizeOptions());
+  GeneralizationDag dag = GeneralizationDag::Build(expanded, &cache_);
+  // Roots are generalized candidates; every basic is reachable from a root.
+  for (int root : dag.Roots()) {
+    EXPECT_TRUE(expanded[static_cast<size_t>(root)].from_generalization);
+  }
+  // Each node's parents strictly contain it.
+  for (size_t i = 0; i < dag.size(); ++i) {
+    for (int parent : dag.nodes()[i].parents) {
+      EXPECT_TRUE(
+          cache_.Contains(expanded[static_cast<size_t>(parent)].def.pattern,
+                          expanded[i].def.pattern));
+    }
+  }
+}
+
+TEST_F(DagTest, DotAndTextRenderings) {
+  std::vector<CandidateIndex> candidates = {
+      Cand("/site/regions/africa/item/quantity"),
+      Cand("/site/regions/*/item/quantity"),
+  };
+  candidates[1].from_generalization = true;
+  GeneralizationDag dag = GeneralizationDag::Build(candidates, &cache_);
+  std::string dot = dag.ToDot(candidates);
+  EXPECT_NE(dot.find("digraph"), std::string::npos);
+  EXPECT_NE(dot.find("n1 -> n0"), std::string::npos);
+  EXPECT_NE(dot.find("style=dashed"), std::string::npos);
+  std::string text = dag.ToText(candidates);
+  EXPECT_NE(text.find("/site/regions/*/item/quantity"), std::string::npos);
+  // The leaf is indented under the root.
+  EXPECT_NE(text.find("  /site/regions/africa/item/quantity"),
+            std::string::npos);
+}
+
+TEST_F(DagTest, EmptyDag) {
+  GeneralizationDag dag = GeneralizationDag::Build({}, &cache_);
+  EXPECT_EQ(dag.size(), 0u);
+  EXPECT_TRUE(dag.Roots().empty());
+  EXPECT_TRUE(dag.Leaves().empty());
+}
+
+}  // namespace
+}  // namespace xia

@@ -1,0 +1,167 @@
+#include <gtest/gtest.h>
+
+#include "common/string_util.h"
+#include "storage/database.h"
+#include "xmldata/tpox_gen.h"
+#include "xmldata/xmark_gen.h"
+#include "xpath/evaluator.h"
+#include "xpath/parser.h"
+
+namespace xia {
+namespace {
+
+PathPattern P(const std::string& text) {
+  Result<PathPattern> p = ParsePathPattern(text);
+  EXPECT_TRUE(p.ok()) << text;
+  return std::move(*p);
+}
+
+// ------------------------------------------------------------------ XMark.
+
+TEST(XMarkGenTest, SchemaShapeIsXMarkLike) {
+  NameTable names;
+  Random rng(42);
+  XMarkParams params;
+  params.items_per_region = 3;
+  Document doc = GenerateXMarkDocument(&names, params, &rng);
+  ASSERT_FALSE(doc.empty());
+  EXPECT_EQ(names.NameOf(doc.node(0).name), "site");
+
+  // All six regions present with the configured item count.
+  for (const std::string region :
+       {"africa", "asia", "australia", "europe", "namerica", "samerica"}) {
+    std::vector<NodeIndex> items = EvaluatePattern(
+        doc, names, P("/site/regions/" + region + "/item"));
+    EXPECT_EQ(items.size(), 3u) << region;
+  }
+  // The paper's signature wildcard pattern covers all of them.
+  EXPECT_EQ(EvaluatePattern(doc, names, P("/site/regions/*/item")).size(),
+            18u);
+  // Items carry the indexed sub-elements.
+  EXPECT_EQ(
+      EvaluatePattern(doc, names, P("/site/regions/*/item/quantity")).size(),
+      18u);
+  EXPECT_EQ(
+      EvaluatePattern(doc, names, P("/site/regions/*/item/price")).size(),
+      18u);
+}
+
+TEST(XMarkGenTest, PeopleAndAuctionsPopulated) {
+  NameTable names;
+  Random rng(1);
+  XMarkParams params;
+  Document doc = GenerateXMarkDocument(&names, params, &rng);
+  EXPECT_EQ(EvaluatePattern(doc, names, P("/site/people/person")).size(),
+            static_cast<size_t>(params.people));
+  EXPECT_EQ(EvaluatePattern(doc, names,
+                            P("/site/open_auctions/open_auction"))
+                .size(),
+            static_cast<size_t>(params.open_auctions));
+  EXPECT_EQ(EvaluatePattern(doc, names,
+                            P("/site/closed_auctions/closed_auction"))
+                .size(),
+            static_cast<size_t>(params.closed_auctions));
+  // Attributes exist where the workload queries look for them.
+  EXPECT_EQ(EvaluatePattern(doc, names,
+                            P("/site/people/person/profile/@income"))
+                .size(),
+            static_cast<size_t>(params.people));
+}
+
+TEST(XMarkGenTest, ValuesAreWellFormed) {
+  NameTable names;
+  Random rng(9);
+  XMarkParams params;
+  Document doc = GenerateXMarkDocument(&names, params, &rng);
+  for (NodeIndex n :
+       EvaluatePattern(doc, names, P("/site/regions/*/item/quantity"))) {
+    auto q = ParseDouble(doc.TextValue(n));
+    ASSERT_TRUE(q.has_value());
+    EXPECT_GE(*q, 1.0);
+    EXPECT_LE(*q, 10.0);
+  }
+  for (NodeIndex n :
+       EvaluatePattern(doc, names, P("/site/regions/*/item/price"))) {
+    auto p = ParseDouble(doc.TextValue(n));
+    ASSERT_TRUE(p.has_value());
+    EXPECT_GT(*p, 0.0);
+  }
+}
+
+TEST(XMarkGenTest, DeterministicForSeed) {
+  NameTable names1, names2;
+  Random rng1(5), rng2(5);
+  XMarkParams params;
+  Document a = GenerateXMarkDocument(&names1, params, &rng1);
+  Document b = GenerateXMarkDocument(&names2, params, &rng2);
+  EXPECT_EQ(a.num_nodes(), b.num_nodes());
+}
+
+TEST(XMarkGenTest, PopulateCreatesAndAnalyzes) {
+  Database db;
+  XMarkParams params;
+  ASSERT_TRUE(PopulateXMark(&db, "xmark", 3, params, 42).ok());
+  EXPECT_EQ(db.GetCollection("xmark")->num_docs(), 3u);
+  EXPECT_NE(db.synopsis("xmark"), nullptr);
+  // Populating again under the same name fails.
+  EXPECT_FALSE(PopulateXMark(&db, "xmark", 1, params, 42).ok());
+}
+
+// ------------------------------------------------------------------- TPoX.
+
+TEST(TpoxGenTest, CustomerShape) {
+  NameTable names;
+  Random rng(2);
+  TpoxParams params;
+  Document doc = GenerateTpoxCustomer(&names, params, &rng, 7);
+  EXPECT_EQ(names.NameOf(doc.node(0).name), "Customer");
+  EXPECT_EQ(
+      EvaluatePattern(doc, names, P("/Customer/Accounts/Account")).size(),
+      static_cast<size_t>(params.accounts_per_customer));
+  EXPECT_EQ(EvaluatePattern(
+                doc, names,
+                P("/Customer/Accounts/Account/Balance/OnlineActualBal"))
+                .size(),
+            static_cast<size_t>(params.accounts_per_customer));
+  EXPECT_EQ(
+      EvaluatePattern(doc, names,
+                      P("/Customer/Accounts/Account/Holdings/Position"))
+          .size(),
+      static_cast<size_t>(params.accounts_per_customer *
+                          params.holdings_per_account));
+}
+
+TEST(TpoxGenTest, OrderAndSecurityShapes) {
+  NameTable names;
+  Random rng(3);
+  TpoxParams params;
+  Document order = GenerateTpoxOrder(&names, params, &rng, 1);
+  EXPECT_EQ(EvaluatePattern(order, names, P("/FIXML/Order")).size(), 1u);
+  EXPECT_EQ(
+      EvaluatePattern(order, names, P("/FIXML/Order/Instrument/Symbol"))
+          .size(),
+      1u);
+  EXPECT_EQ(EvaluatePattern(order, names, P("/FIXML/Order/@Side")).size(),
+            1u);
+
+  Document sec = GenerateTpoxSecurity(&names, params, &rng, 4);
+  EXPECT_EQ(EvaluatePattern(sec, names, P("/Security/Price/PE")).size(), 1u);
+  EXPECT_EQ(EvaluatePattern(sec, names, P("/Security/Sector")).size(), 1u);
+}
+
+TEST(TpoxGenTest, PopulateCreatesThreeCollections) {
+  Database db;
+  TpoxParams params;
+  ASSERT_TRUE(PopulateTpox(&db, 5, 10, 4, params, 42).ok());
+  EXPECT_EQ(db.CollectionNames(),
+            (std::vector<std::string>{"custacc", "order", "security"}));
+  EXPECT_EQ(db.GetCollection("custacc")->num_docs(), 5u);
+  EXPECT_EQ(db.GetCollection("order")->num_docs(), 10u);
+  EXPECT_EQ(db.GetCollection("security")->num_docs(), 4u);
+  EXPECT_NE(db.synopsis("custacc"), nullptr);
+  EXPECT_NE(db.synopsis("order"), nullptr);
+  EXPECT_NE(db.synopsis("security"), nullptr);
+}
+
+}  // namespace
+}  // namespace xia

@@ -1,0 +1,122 @@
+#include <gtest/gtest.h>
+
+#include "advisor/analysis.h"
+#include "index/ddl.h"
+#include "xpath/parser.h"
+
+namespace xia {
+namespace {
+
+TEST(DdlTest, ParsesCanonicalStatement) {
+  Result<IndexDefinition> def = ParseIndexDdl(
+      "CREATE INDEX idx_q ON xmark(doc) GENERATE KEY USING XMLPATTERN "
+      "'/site/regions/africa/item/quantity' AS SQL DOUBLE");
+  ASSERT_TRUE(def.ok()) << def.status().ToString();
+  EXPECT_EQ(def->name, "idx_q");
+  EXPECT_EQ(def->collection, "xmark");
+  EXPECT_EQ(def->pattern.ToString(), "/site/regions/africa/item/quantity");
+  EXPECT_EQ(def->type, ValueType::kDouble);
+}
+
+TEST(DdlTest, ParsesVarcharWithLengthAndSemicolon) {
+  Result<IndexDefinition> def = ParseIndexDdl(
+      "CREATE INDEX i1 ON orders(doc) GENERATE KEY USING XMLPATTERN "
+      "'//Order/@Side' AS SQL VARCHAR(64);");
+  ASSERT_TRUE(def.ok()) << def.status().ToString();
+  EXPECT_EQ(def->type, ValueType::kVarchar);
+  EXPECT_EQ(def->pattern.ToString(), "//Order/@Side");
+}
+
+TEST(DdlTest, CaseInsensitiveKeywordsOptionalColumn) {
+  Result<IndexDefinition> def = ParseIndexDdl(
+      "create index I on C generate key using xmlpattern '//*' as sql "
+      "varchar");
+  ASSERT_TRUE(def.ok()) << def.status().ToString();
+  EXPECT_EQ(def->pattern.ToString(), "//*");
+  EXPECT_EQ(def->type, ValueType::kVarchar);
+}
+
+TEST(DdlTest, RoundTripsDdlString) {
+  IndexDefinition original;
+  original.name = "rt";
+  original.collection = "c";
+  for (const std::string pattern :
+       {"/a/b/c", "//item/*", "/site/regions/*/item/@id"}) {
+    for (ValueType type : {ValueType::kVarchar, ValueType::kDouble}) {
+      Result<PathPattern> p = ParsePathPattern(pattern);
+      ASSERT_TRUE(p.ok());
+      original.pattern = *p;
+      original.type = type;
+      Result<IndexDefinition> reparsed = ParseIndexDdl(original.DdlString());
+      ASSERT_TRUE(reparsed.ok()) << original.DdlString();
+      EXPECT_TRUE(*reparsed == original);
+      EXPECT_EQ(reparsed->name, original.name);
+    }
+  }
+}
+
+TEST(DdlTest, Rejections) {
+  EXPECT_FALSE(ParseIndexDdl("DROP INDEX i").ok());
+  EXPECT_FALSE(ParseIndexDdl("CREATE INDEX ON c ...").ok());
+  EXPECT_FALSE(
+      ParseIndexDdl("CREATE INDEX i ON c GENERATE KEY USING XMLPATTERN "
+                    "'/a' AS SQL INTEGER")
+          .ok());
+  EXPECT_FALSE(
+      ParseIndexDdl("CREATE INDEX i ON c GENERATE KEY USING XMLPATTERN "
+                    "'not-a-path' AS SQL DOUBLE")
+          .ok());
+  EXPECT_FALSE(
+      ParseIndexDdl("CREATE INDEX i ON c GENERATE KEY USING XMLPATTERN "
+                    "'/a' AS SQL DOUBLE trailing")
+          .ok());
+  EXPECT_FALSE(
+      ParseIndexDdl("CREATE INDEXES i ON c GENERATE KEY USING XMLPATTERN "
+                    "'/a' AS SQL DOUBLE")
+          .ok());
+}
+
+TEST(DdlTest, ScriptParsesCommentsAndBlanks) {
+  Result<std::vector<IndexDefinition>> defs = ParseDdlScript(R"(
+-- recommended configuration
+CREATE INDEX a ON c(doc) GENERATE KEY USING XMLPATTERN '/x/y' AS SQL DOUBLE;
+
+CREATE INDEX b ON c(doc) GENERATE KEY USING XMLPATTERN '//z' AS SQL VARCHAR(64);
+)");
+  ASSERT_TRUE(defs.ok()) << defs.status().ToString();
+  ASSERT_EQ(defs->size(), 2u);
+  EXPECT_EQ((*defs)[0].name, "a");
+  EXPECT_EQ((*defs)[1].name, "b");
+}
+
+TEST(DdlTest, ScriptErrorCarriesLineNumber) {
+  Result<std::vector<IndexDefinition>> defs = ParseDdlScript(
+      "CREATE INDEX a ON c(doc) GENERATE KEY USING XMLPATTERN '/x' AS SQL "
+      "DOUBLE;\nbogus line\n");
+  ASSERT_FALSE(defs.ok());
+  EXPECT_NE(defs.status().message().find("line 2"), std::string::npos);
+}
+
+TEST(DdlTest, ConfigurationScriptRoundTrips) {
+  std::vector<IndexDefinition> config;
+  for (const std::string pattern : {"/a/b", "//k", "/a/*/@id"}) {
+    IndexDefinition def;
+    def.name = "idx_" + std::to_string(config.size());
+    def.collection = "coll";
+    Result<PathPattern> p = ParsePathPattern(pattern);
+    ASSERT_TRUE(p.ok());
+    def.pattern = *p;
+    def.type = ValueType::kVarchar;
+    config.push_back(std::move(def));
+  }
+  std::string script = ConfigurationDdlScript(config);
+  Result<std::vector<IndexDefinition>> reparsed = ParseDdlScript(script);
+  ASSERT_TRUE(reparsed.ok()) << script;
+  ASSERT_EQ(reparsed->size(), config.size());
+  for (size_t i = 0; i < config.size(); ++i) {
+    EXPECT_TRUE((*reparsed)[i] == config[i]);
+  }
+}
+
+}  // namespace
+}  // namespace xia

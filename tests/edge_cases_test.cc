@@ -1,0 +1,178 @@
+// Cross-module edge cases that the per-module suites do not reach.
+
+#include <gtest/gtest.h>
+
+#include "advisor/advisor.h"
+#include "advisor/candidate.h"
+#include "common/logging.h"
+#include "common/string_util.h"
+#include "optimizer/cardinality.h"
+#include "workload/xmark_queries.h"
+#include "xml/parser.h"
+#include "xpath/evaluator.h"
+#include "xmldata/xmark_gen.h"
+#include "xpath/parser.h"
+
+namespace xia {
+namespace {
+
+// --------------------------------------------------------- XML entities.
+
+TEST(XmlEdgeTest, NumericCharRefBoundaries) {
+  NameTable names;
+  XmlParser parser(&names);
+  // Max code point is fine; beyond it and zero are rejected.
+  EXPECT_TRUE(parser.Parse("<t>&#x10FFFF;</t>").ok());
+  EXPECT_FALSE(parser.Parse("<t>&#x110000;</t>").ok());
+  EXPECT_FALSE(parser.Parse("<t>&#0;</t>").ok());
+  EXPECT_FALSE(parser.Parse("<t>&#xZZ;</t>").ok());
+  // Multi-byte encodings round-trip.
+  Result<Document> doc = parser.Parse("<t>&#228;&#x4E2D;</t>");
+  ASSERT_TRUE(doc.ok());
+  EXPECT_EQ(doc->TextValue(0), "\xC3\xA4\xE4\xB8\xAD");
+}
+
+TEST(XmlEdgeTest, DeeplyNestedDocument) {
+  NameTable names;
+  XmlParser parser(&names);
+  std::string xml;
+  const int kDepth = 200;
+  for (int i = 0; i < kDepth; ++i) xml += "<d>";
+  xml += "x";
+  for (int i = 0; i < kDepth; ++i) xml += "</d>";
+  Result<Document> doc = parser.Parse(xml);
+  ASSERT_TRUE(doc.ok());
+  EXPECT_EQ(doc->num_nodes(), static_cast<size_t>(kDepth) + 1);
+  EXPECT_EQ(doc->node(kDepth - 1).level, kDepth - 1);
+  // Deep descendant patterns still evaluate.
+  Result<PathPattern> p = ParsePathPattern("//d");
+  ASSERT_TRUE(p.ok());
+  EXPECT_EQ(EvaluatePattern(*doc, names, *p).size(),
+            static_cast<size_t>(kDepth));
+}
+
+// ---------------------------------------------------------- Candidates.
+
+TEST(CandidateEdgeTest, ToStringMarksGeneralized) {
+  CandidateIndex cand;
+  cand.def.collection = "c";
+  Result<PathPattern> p = ParsePathPattern("/a/*");
+  ASSERT_TRUE(p.ok());
+  cand.def.pattern = *p;
+  cand.def.type = ValueType::kDouble;
+  cand.stats.size_bytes = 2048;
+  cand.stats.entries = 10;
+  cand.from_generalization = true;
+  std::string s = cand.ToString();
+  EXPECT_NE(s.find("generalized"), std::string::npos);
+  EXPECT_NE(s.find("DOUBLE"), std::string::npos);
+  EXPECT_NE(s.find("2.0 KB"), std::string::npos);
+}
+
+TEST(CandidateEdgeTest, MergeUnionsSourcesSorted) {
+  CandidateIndex a;
+  a.source_queries = {3, 1};
+  a.sargable = false;
+  CandidateIndex b;
+  b.source_queries = {2, 1};
+  b.sargable = true;
+  MergeCandidate(&a, b);
+  EXPECT_EQ(a.source_queries, (std::vector<int>{1, 2, 3}));
+  EXPECT_TRUE(a.sargable);
+  // Merging again is idempotent.
+  MergeCandidate(&a, b);
+  EXPECT_EQ(a.source_queries, (std::vector<int>{1, 2, 3}));
+}
+
+// --------------------------------------------------------- Cardinality.
+
+TEST(CardinalityEdgeTest, ExistsSelectivityIsOne) {
+  Database db;
+  ASSERT_TRUE(db.CreateCollection("c").ok());
+  ASSERT_TRUE(db.LoadXml("c", "<a><b>1</b></a>").ok());
+  ASSERT_TRUE(db.Analyze("c").ok());
+  CardinalityEstimator card(db.synopsis("c"));
+  QueryPredicate exists;
+  Result<PathPattern> p = ParsePathPattern("/a/b");
+  ASSERT_TRUE(p.ok());
+  exists.pattern = *p;
+  exists.op = CompareOp::kExists;
+  EXPECT_EQ(card.PredicateSelectivity(exists), 1.0);
+}
+
+TEST(CardinalityEdgeTest, UnknownPatternCountsZero) {
+  Database db;
+  ASSERT_TRUE(db.CreateCollection("c").ok());
+  ASSERT_TRUE(db.LoadXml("c", "<a/>").ok());
+  ASSERT_TRUE(db.Analyze("c").ok());
+  CardinalityEstimator card(db.synopsis("c"));
+  Result<PathPattern> p = ParsePathPattern("//nothing/here");
+  ASSERT_TRUE(p.ok());
+  EXPECT_EQ(card.PatternCount(*p), 0.0);
+}
+
+// ----------------------------------------------------------- Formatting.
+
+TEST(FormatEdgeTest, LargeAndTinyDoubles) {
+  EXPECT_EQ(FormatDouble(0.0), "0");
+  EXPECT_EQ(FormatDouble(-0.5), "-0.5");
+  // Very large integers fall back to compact scientific form.
+  EXPECT_NE(FormatDouble(1e20).find("e+"), std::string::npos);
+}
+
+// --------------------------------------------------------- Determinism.
+
+TEST(DeterminismTest, AdvisorIsDeterministic) {
+  auto run_once = [] {
+    Database db;
+    XMarkParams params;
+    XIA_CHECK(PopulateXMark(&db, "xmark", 4, params, 42).ok());
+    Workload workload = MakeXMarkWorkload("xmark");
+    Catalog catalog;
+    AdvisorOptions options;
+    options.space_budget_bytes = 64.0 * 1024;
+    Advisor advisor(&db, &catalog, options);
+    Result<Recommendation> rec = advisor.Recommend(workload);
+    XIA_CHECK(rec.ok());
+    std::string fingerprint;
+    for (const IndexDefinition& def : rec->indexes) {
+      fingerprint += def.DdlString() + "\n";
+    }
+    fingerprint += FormatDouble(rec->benefit);
+    return fingerprint;
+  };
+  EXPECT_EQ(run_once(), run_once());
+}
+
+// --------------------------------------------------------- Empty inputs.
+
+TEST(EmptyInputTest, AdvisorOnEmptyCollection) {
+  Database db;
+  ASSERT_TRUE(db.CreateCollection("empty").ok());
+  ASSERT_TRUE(db.Analyze("empty").ok());
+  Workload workload;
+  ASSERT_TRUE(
+      workload.AddQueryText("for $x in doc(\"empty\")/a/b return $x").ok());
+  Catalog catalog;
+  Advisor advisor(&db, &catalog, AdvisorOptions());
+  Result<Recommendation> rec = advisor.Recommend(workload);
+  ASSERT_TRUE(rec.ok());
+  // Nothing to index: no benefit, possibly no recommendation.
+  EXPECT_EQ(rec->benefit, 0.0);
+}
+
+TEST(EmptyInputTest, SynopsisOfEmptyCollection) {
+  Database db;
+  ASSERT_TRUE(db.CreateCollection("empty").ok());
+  ASSERT_TRUE(db.Analyze("empty").ok());
+  const PathSynopsis* synopsis = db.synopsis("empty");
+  ASSERT_NE(synopsis, nullptr);
+  EXPECT_EQ(synopsis->NumPaths(), 0u);
+  Result<PathPattern> p = ParsePathPattern("//*");
+  ASSERT_TRUE(p.ok());
+  EXPECT_EQ(synopsis->EstimateCount(*p), 0.0);
+  EXPECT_TRUE(synopsis->Match(*p).empty());
+}
+
+}  // namespace
+}  // namespace xia

@@ -1,0 +1,126 @@
+#include <gtest/gtest.h>
+
+#include "advisor/enumeration.h"
+#include "workload/xmark_queries.h"
+#include "xmldata/xmark_gen.h"
+
+namespace xia {
+namespace {
+
+class EnumerationTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    XMarkParams params;
+    ASSERT_TRUE(PopulateXMark(&db_, "xmark", 6, params, 42).ok());
+  }
+
+  static int FindCandidate(const EnumerationResult& result,
+                           const std::string& pattern, ValueType type) {
+    for (size_t i = 0; i < result.candidates.size(); ++i) {
+      if (result.candidates[i].def.pattern.ToString() == pattern &&
+          result.candidates[i].def.type == type) {
+        return static_cast<int>(i);
+      }
+    }
+    return -1;
+  }
+
+  Database db_;
+  ContainmentCache cache_;
+};
+
+TEST_F(EnumerationTest, DeduplicatesAcrossQueries) {
+  Workload w;
+  // Two queries over the same pattern yield ONE candidate with both
+  // queries recorded as sources.
+  ASSERT_TRUE(w.AddQueryText(
+                   "for $i in doc(\"xmark\")/site/regions/africa/item "
+                   "where $i/quantity > 5 return $i")
+                  .ok());
+  ASSERT_TRUE(w.AddQueryText(
+                   "for $i in doc(\"xmark\")/site/regions/africa/item "
+                   "where $i/quantity > 2 return $i")
+                  .ok());
+  Result<EnumerationResult> result =
+      EnumerateBasicCandidates(db_, w, &cache_);
+  ASSERT_TRUE(result.ok());
+  int ci = FindCandidate(*result, "/site/regions/africa/item/quantity",
+                         ValueType::kDouble);
+  ASSERT_GE(ci, 0);
+  EXPECT_EQ(result->candidates[static_cast<size_t>(ci)].source_queries,
+            (std::vector<int>{0, 1}));
+}
+
+TEST_F(EnumerationTest, PerQueryListsAreComplete) {
+  Workload w = MakeXMarkWorkload("xmark");
+  Result<EnumerationResult> result =
+      EnumerateBasicCandidates(db_, w, &cache_);
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result->per_query.size(), w.size());
+  for (size_t qi = 0; qi < w.size(); ++qi) {
+    // Every query contributed at least one candidate (its FOR path).
+    EXPECT_FALSE(result->per_query[qi].empty()) << "query " << qi;
+    for (int ci : result->per_query[qi]) {
+      const CandidateIndex& cand =
+          result->candidates[static_cast<size_t>(ci)];
+      // Back-pointer consistency.
+      EXPECT_NE(std::find(cand.source_queries.begin(),
+                          cand.source_queries.end(), static_cast<int>(qi)),
+                cand.source_queries.end());
+    }
+  }
+}
+
+TEST_F(EnumerationTest, CandidatesHaveEstimatedSizes) {
+  Workload w = MakeXMarkWorkload("xmark");
+  Result<EnumerationResult> result =
+      EnumerateBasicCandidates(db_, w, &cache_);
+  ASSERT_TRUE(result.ok());
+  EXPECT_GT(result->candidates.size(), 10u);
+  for (const CandidateIndex& cand : result->candidates) {
+    EXPECT_FALSE(cand.from_generalization);
+    EXPECT_GT(cand.stats.entries, 0.0) << cand.def.pattern.ToString();
+    EXPECT_GT(cand.stats.size_bytes, 0.0);
+  }
+}
+
+TEST_F(EnumerationTest, SargabilityRecorded) {
+  Workload w;
+  ASSERT_TRUE(w.AddQueryText(
+                   "for $i in doc(\"xmark\")/site/regions/africa/item "
+                   "where $i/quantity > 5 return $i")
+                  .ok());
+  Result<EnumerationResult> result =
+      EnumerateBasicCandidates(db_, w, &cache_);
+  ASSERT_TRUE(result.ok());
+  int sarg = FindCandidate(*result, "/site/regions/africa/item/quantity",
+                           ValueType::kDouble);
+  ASSERT_GE(sarg, 0);
+  EXPECT_TRUE(result->candidates[static_cast<size_t>(sarg)].sargable);
+  int structural =
+      FindCandidate(*result, "/site/regions/africa/item",
+                    ValueType::kVarchar);
+  ASSERT_GE(structural, 0);
+  EXPECT_FALSE(
+      result->candidates[static_cast<size_t>(structural)].sargable);
+}
+
+TEST_F(EnumerationTest, MissingStatisticsFails) {
+  ASSERT_TRUE(db_.CreateCollection("raw").ok());
+  Workload w;
+  ASSERT_TRUE(w.AddQueryText("for $x in doc(\"raw\")/a return $x").ok());
+  EXPECT_FALSE(EnumerateBasicCandidates(db_, w, &cache_).ok());
+}
+
+TEST_F(EnumerationTest, OutputReadable) {
+  Workload w = MakeXMarkWorkload("xmark");
+  Result<EnumerationResult> result =
+      EnumerateBasicCandidates(db_, w, &cache_);
+  ASSERT_TRUE(result.ok());
+  std::string text = result->ToString();
+  EXPECT_NE(text.find("Basic candidate set"), std::string::npos);
+  EXPECT_NE(text.find("quantity"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace xia

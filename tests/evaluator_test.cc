@@ -1,0 +1,173 @@
+#include <gtest/gtest.h>
+
+#include "xml/parser.h"
+#include "xpath/evaluator.h"
+#include "xpath/parser.h"
+
+namespace xia {
+namespace {
+
+class EvaluatorTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    XmlParser parser(&names_);
+    Result<Document> doc = parser.Parse(R"(
+      <site>
+        <regions>
+          <africa>
+            <item id="i1"><quantity>5</quantity><price>10.5</price></item>
+            <item id="i2"><quantity>2</quantity><price>99</price></item>
+          </africa>
+          <europe>
+            <item id="i3"><quantity>7</quantity><price>3</price></item>
+          </europe>
+        </regions>
+        <people>
+          <person id="p1"><age>25</age><name>Ann</name></person>
+          <person id="p2"><age>60</age><name>Bob</name></person>
+        </people>
+      </site>)");
+    ASSERT_TRUE(doc.ok()) << doc.status().ToString();
+    doc_ = std::move(*doc);
+  }
+
+  std::vector<NodeIndex> Eval(const std::string& path_text) {
+    Result<ParsedPath> path = ParsePathExpr(path_text);
+    EXPECT_TRUE(path.ok()) << path.status().ToString();
+    return EvaluateParsedPath(doc_, names_, *path);
+  }
+
+  std::string NameOf(NodeIndex i) {
+    return names_.NameOf(doc_.node(i).name);
+  }
+
+  NameTable names_;
+  Document doc_;
+};
+
+TEST_F(EvaluatorTest, AbsoluteChildPath) {
+  EXPECT_EQ(Eval("/site/regions/africa/item").size(), 2u);
+  EXPECT_EQ(Eval("/site/regions/europe/item").size(), 1u);
+  EXPECT_EQ(Eval("/site/regions/asia/item").size(), 0u);
+}
+
+TEST_F(EvaluatorTest, RootMustMatchFirstStep) {
+  EXPECT_EQ(Eval("/site").size(), 1u);
+  EXPECT_EQ(Eval("/wrong").size(), 0u);
+}
+
+TEST_F(EvaluatorTest, DescendantAxis) {
+  EXPECT_EQ(Eval("//item").size(), 3u);
+  EXPECT_EQ(Eval("//quantity").size(), 3u);
+  EXPECT_EQ(Eval("/site//item").size(), 3u);
+  EXPECT_EQ(Eval("//regions//quantity").size(), 3u);
+}
+
+TEST_F(EvaluatorTest, DescendantIncludesSelfContext) {
+  // First step with // can match the root itself.
+  EXPECT_EQ(Eval("//site").size(), 1u);
+}
+
+TEST_F(EvaluatorTest, WildcardStep) {
+  EXPECT_EQ(Eval("/site/regions/*/item").size(), 3u);
+  EXPECT_EQ(Eval("/site/*").size(), 2u);  // regions, people.
+}
+
+TEST_F(EvaluatorTest, AttributeStep) {
+  EXPECT_EQ(Eval("//item/@id").size(), 3u);
+  EXPECT_EQ(Eval("//@id").size(), 5u);  // 3 items + 2 persons.
+  std::vector<NodeIndex> attrs = Eval("/site/people/person/@id");
+  ASSERT_EQ(attrs.size(), 2u);
+  EXPECT_EQ(doc_.node(attrs[0]).kind, NodeKind::kAttribute);
+}
+
+TEST_F(EvaluatorTest, WildcardDoesNotMatchAttributes) {
+  // /site/people/person/* must not return the @id attribute.
+  std::vector<NodeIndex> kids = Eval("/site/people/person/*");
+  for (NodeIndex n : kids) {
+    EXPECT_EQ(doc_.node(n).kind, NodeKind::kElement);
+  }
+  EXPECT_EQ(kids.size(), 4u);  // age+name per person.
+}
+
+TEST_F(EvaluatorTest, NumericValuePredicate) {
+  EXPECT_EQ(Eval("/site/regions/africa/item[quantity > 3]").size(), 1u);
+  EXPECT_EQ(Eval("//item[quantity >= 2]").size(), 3u);
+  EXPECT_EQ(Eval("//item[price < 10]").size(), 1u);
+  EXPECT_EQ(Eval("//item[quantity = 7]").size(), 1u);
+}
+
+TEST_F(EvaluatorTest, StringValuePredicate) {
+  EXPECT_EQ(Eval("//person[name = \"Ann\"]").size(), 1u);
+  EXPECT_EQ(Eval("//person[name = \"Zoe\"]").size(), 0u);
+}
+
+TEST_F(EvaluatorTest, AttributeValuePredicate) {
+  EXPECT_EQ(Eval("//item[@id = \"i2\"]").size(), 1u);
+  EXPECT_EQ(Eval("//person[@id = \"p1\"]/name").size(), 1u);
+}
+
+TEST_F(EvaluatorTest, ExistencePredicate) {
+  EXPECT_EQ(Eval("//item[price]").size(), 3u);
+  EXPECT_EQ(Eval("//item[discount]").size(), 0u);
+  EXPECT_EQ(Eval("//person[age]").size(), 2u);
+}
+
+TEST_F(EvaluatorTest, IntermediatePredicateFiltersPath) {
+  // Items under africa only, then their price.
+  EXPECT_EQ(Eval("/site/regions/africa/item[quantity > 3]/price").size(),
+            1u);
+  EXPECT_EQ(Eval("//item[@id = \"i3\"]/quantity").size(), 1u);
+}
+
+TEST_F(EvaluatorTest, DotPredicate) {
+  EXPECT_EQ(Eval("//quantity[. = 5]").size(), 1u);
+  EXPECT_EQ(Eval("//name[. = \"Bob\"]").size(), 1u);
+}
+
+TEST_F(EvaluatorTest, ResultsInDocumentOrderAndUnique) {
+  std::vector<NodeIndex> items = Eval("//item");
+  for (size_t i = 1; i < items.size(); ++i) {
+    EXPECT_LT(items[i - 1], items[i]);
+  }
+  // A pattern that could reach nodes through multiple ancestors still
+  // yields unique results.
+  std::vector<NodeIndex> q = Eval("//regions//item//quantity");
+  EXPECT_EQ(q.size(), 3u);
+}
+
+TEST_F(EvaluatorTest, EvaluateRelative) {
+  std::vector<NodeIndex> items = Eval("/site/regions/africa/item");
+  ASSERT_EQ(items.size(), 2u);
+  Result<PathPattern> rel = ParsePathPattern("/quantity");
+  ASSERT_TRUE(rel.ok());
+  std::vector<NodeIndex> q =
+      EvaluateRelative(doc_, names_, items[0], *rel);
+  ASSERT_EQ(q.size(), 1u);
+  EXPECT_EQ(doc_.TextValue(q[0]), "5");
+  // Empty relative pattern yields the context node itself.
+  std::vector<NodeIndex> self =
+      EvaluateRelative(doc_, names_, items[0], PathPattern());
+  ASSERT_EQ(self.size(), 1u);
+  EXPECT_EQ(self[0], items[0]);
+}
+
+TEST_F(EvaluatorTest, NodeSatisfiesPredicateDirect) {
+  std::vector<NodeIndex> items = Eval("/site/regions/africa/item");
+  ASSERT_EQ(items.size(), 2u);
+  Result<ParsedPath> with_pred = ParsePathExpr("/x[quantity > 3]");
+  ASSERT_TRUE(with_pred.ok());
+  const PathPredicate& pred = with_pred->predicates[0];
+  EXPECT_TRUE(NodeSatisfiesPredicate(doc_, names_, items[0], pred));
+  EXPECT_FALSE(NodeSatisfiesPredicate(doc_, names_, items[1], pred));
+}
+
+TEST_F(EvaluatorTest, EmptyDocumentYieldsNothing) {
+  Document empty;
+  Result<PathPattern> p = ParsePathPattern("//a");
+  ASSERT_TRUE(p.ok());
+  EXPECT_TRUE(EvaluatePattern(empty, names_, *p).empty());
+}
+
+}  // namespace
+}  // namespace xia

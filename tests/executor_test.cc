@@ -1,0 +1,309 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "exec/executor.h"
+#include "exec/operators.h"
+#include "index/index_builder.h"
+#include "optimizer/optimizer.h"
+#include "query/parser.h"
+#include "xmldata/xmark_gen.h"
+#include "xpath/evaluator.h"
+#include "xpath/parser.h"
+
+namespace xia {
+namespace {
+
+PathPattern P(const std::string& text) {
+  Result<PathPattern> p = ParsePathPattern(text);
+  EXPECT_TRUE(p.ok()) << text;
+  return std::move(*p);
+}
+
+class ExecutorTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    XMarkParams params;
+    ASSERT_TRUE(PopulateXMark(&db_, "xmark", 8, params, 42).ok());
+  }
+
+  Query Parse(const std::string& text) {
+    Result<Query> q = ParseQuery(text);
+    EXPECT_TRUE(q.ok()) << q.status().ToString();
+    return std::move(*q);
+  }
+
+  /// Builds and registers a physical index.
+  void Materialize(const std::string& name, const std::string& pattern,
+                   ValueType type) {
+    IndexDefinition def;
+    def.name = name;
+    def.collection = "xmark";
+    def.pattern = P(pattern);
+    def.type = type;
+    Result<PathIndex> built = BuildIndex(db_, def);
+    ASSERT_TRUE(built.ok());
+    ASSERT_TRUE(catalog_
+                    .AddPhysical(
+                        std::make_shared<PathIndex>(std::move(*built)),
+                        cost_model_.storage)
+                    .ok());
+  }
+
+  ExecResult MustRun(const QueryPlan& plan) {
+    Executor executor(&db_, &catalog_, cost_model_);
+    Result<ExecResult> result = executor.Execute(plan);
+    EXPECT_TRUE(result.ok()) << result.status().ToString();
+    return std::move(*result);
+  }
+
+  Database db_;
+  Catalog catalog_;
+  CostModel cost_model_;
+  ContainmentCache cache_;
+};
+
+constexpr const char* kQuery =
+    "for $i in doc(\"xmark\")/site/regions/africa/item "
+    "where $i/quantity > 5 return $i/name";
+
+// ------------------------------------------------------------- Operators.
+
+TEST_F(ExecutorTest, VerifyNodePathChecksRootPath) {
+  const Document& doc = db_.GetCollection("xmark")->doc(0);
+  // Find an africa item node and verify it against several patterns.
+  Result<ParsedPath> path = ParsePathExpr("/site/regions/africa/item");
+  ASSERT_TRUE(path.ok());
+  std::vector<NodeIndex> nodes =
+      EvaluateParsedPath(doc, db_.names(), *path);
+  ASSERT_FALSE(nodes.empty());
+  EXPECT_TRUE(VerifyNodePath(doc, db_.names(), nodes[0],
+                             P("/site/regions/africa/item")));
+  EXPECT_TRUE(VerifyNodePath(doc, db_.names(), nodes[0],
+                             P("/site/regions/*/item")));
+  EXPECT_TRUE(VerifyNodePath(doc, db_.names(), nodes[0], P("//item")));
+  EXPECT_FALSE(VerifyNodePath(doc, db_.names(), nodes[0],
+                              P("/site/regions/europe/item")));
+}
+
+TEST_F(ExecutorTest, DocSatisfiesPredicateAgreesWithEvaluator) {
+  Query q = Parse(kQuery);
+  const QueryPredicate& pred = q.normalized.predicates[0];
+  const Collection& coll = *db_.GetCollection("xmark");
+  for (const Document& doc : coll.docs()) {
+    bool expected = false;
+    for (NodeIndex n : EvaluatePattern(doc, db_.names(), pred.pattern)) {
+      if (CompareValues(pred.op, doc.TextValue(n), pred.literal)) {
+        expected = true;
+        break;
+      }
+    }
+    EXPECT_EQ(DocSatisfiesPredicate(doc, db_.names(), pred), expected);
+  }
+}
+
+// ------------------------------------------------- Scan vs index parity.
+
+TEST_F(ExecutorTest, IndexPlanReturnsSameResultsAsScan) {
+  Optimizer opt(&db_, cost_model_);
+  Catalog empty;
+  Query q = Parse(kQuery);
+
+  Result<QueryPlan> scan_plan = opt.Optimize(q, empty, &cache_);
+  ASSERT_TRUE(scan_plan.ok());
+  ASSERT_FALSE(scan_plan->access.use_index);
+  ExecResult scan = MustRun(*scan_plan);
+
+  Materialize("q_idx", "/site/regions/africa/item/quantity",
+              ValueType::kDouble);
+  Result<QueryPlan> idx_plan = opt.Optimize(q, catalog_, &cache_);
+  ASSERT_TRUE(idx_plan.ok());
+  ASSERT_TRUE(idx_plan->access.use_index);
+  ExecResult indexed = MustRun(*idx_plan);
+
+  EXPECT_EQ(scan.nodes, indexed.nodes);
+  EXPECT_EQ(scan.docs_matched, indexed.docs_matched);
+  EXPECT_GT(scan.nodes.size(), 0u);
+}
+
+TEST_F(ExecutorTest, GeneralIndexWithVerifyGivesSameResults) {
+  Optimizer opt(&db_, cost_model_);
+  Catalog empty;
+  Query q = Parse(kQuery);
+  Result<QueryPlan> scan_plan = opt.Optimize(q, empty, &cache_);
+  ASSERT_TRUE(scan_plan.ok());
+  ExecResult scan = MustRun(*scan_plan);
+
+  Materialize("gen_idx", "/site/regions/*/item/*", ValueType::kDouble);
+  Result<QueryPlan> idx_plan = opt.Optimize(q, catalog_, &cache_);
+  ASSERT_TRUE(idx_plan.ok());
+  ASSERT_TRUE(idx_plan->access.use_index);
+  EXPECT_TRUE(idx_plan->access.needs_verify);
+  ExecResult indexed = MustRun(*idx_plan);
+  EXPECT_EQ(scan.nodes, indexed.nodes);
+}
+
+TEST_F(ExecutorTest, EqProbeParity) {
+  Optimizer opt(&db_, cost_model_);
+  Catalog empty;
+  Query q = Parse(
+      "for $i in doc(\"xmark\")/site/regions/europe/item "
+      "where $i/payment = \"Creditcard\" return $i");
+  Result<QueryPlan> scan_plan = opt.Optimize(q, empty, &cache_);
+  ASSERT_TRUE(scan_plan.ok());
+  ExecResult scan = MustRun(*scan_plan);
+
+  Materialize("pay_idx", "/site/regions/europe/item/payment",
+              ValueType::kVarchar);
+  Result<QueryPlan> idx_plan = opt.Optimize(q, catalog_, &cache_);
+  ASSERT_TRUE(idx_plan.ok());
+  ASSERT_TRUE(idx_plan->access.use_index);
+  EXPECT_EQ(idx_plan->access.use, MatchUse::kSargableEq);
+  ExecResult indexed = MustRun(*idx_plan);
+  EXPECT_EQ(scan.nodes, indexed.nodes);
+}
+
+TEST_F(ExecutorTest, MultiPredicateParity) {
+  Optimizer opt(&db_, cost_model_);
+  Catalog empty;
+  Query q = Parse(
+      "for $i in doc(\"xmark\")/site/regions/africa/item "
+      "where $i/quantity > 3 and $i/payment = \"Cash\" return $i");
+  Result<QueryPlan> scan_plan = opt.Optimize(q, empty, &cache_);
+  ASSERT_TRUE(scan_plan.ok());
+  ExecResult scan = MustRun(*scan_plan);
+
+  Materialize("q_idx", "/site/regions/africa/item/quantity",
+              ValueType::kDouble);
+  Result<QueryPlan> idx_plan = opt.Optimize(q, catalog_, &cache_);
+  ASSERT_TRUE(idx_plan.ok());
+  ASSERT_TRUE(idx_plan->access.use_index);
+  ExecResult indexed = MustRun(*idx_plan);
+  EXPECT_EQ(scan.nodes, indexed.nodes);
+}
+
+TEST_F(ExecutorTest, SqlXmlParity) {
+  Optimizer opt(&db_, cost_model_);
+  Catalog empty;
+  Query q = Parse(
+      "select * from xmark where "
+      "xmlexists('$d/site/people/person[profile/@income >= 80000]')");
+  Result<QueryPlan> scan_plan = opt.Optimize(q, empty, &cache_);
+  ASSERT_TRUE(scan_plan.ok());
+  ExecResult scan = MustRun(*scan_plan);
+
+  Materialize("inc_idx", "/site/people/person/profile/@income",
+              ValueType::kDouble);
+  Result<QueryPlan> idx_plan = opt.Optimize(q, catalog_, &cache_);
+  ASSERT_TRUE(idx_plan.ok());
+  ASSERT_TRUE(idx_plan->access.use_index);
+  ExecResult indexed = MustRun(*idx_plan);
+  EXPECT_EQ(scan.nodes, indexed.nodes);
+}
+
+// -------------------------------------------------------- Accounting.
+
+TEST_F(ExecutorTest, IndexReadsFewerSimulatedPages) {
+  Optimizer opt(&db_, cost_model_);
+  Catalog empty;
+  Query q = Parse(kQuery);
+  Result<QueryPlan> scan_plan = opt.Optimize(q, empty, &cache_);
+  ASSERT_TRUE(scan_plan.ok());
+  ExecResult scan = MustRun(*scan_plan);
+
+  Materialize("q_idx", "/site/regions/africa/item/quantity",
+              ValueType::kDouble);
+  Result<QueryPlan> idx_plan = opt.Optimize(q, catalog_, &cache_);
+  ASSERT_TRUE(idx_plan.ok());
+  ExecResult indexed = MustRun(*idx_plan);
+  EXPECT_LT(indexed.simulated_page_reads, scan.simulated_page_reads);
+  EXPECT_LT(indexed.nodes_examined, scan.nodes_examined);
+}
+
+TEST_F(ExecutorTest, VirtualIndexPlanCannotExecute) {
+  IndexDefinition def;
+  def.name = "virt";
+  def.collection = "xmark";
+  def.pattern = P("/site/regions/africa/item/quantity");
+  def.type = ValueType::kDouble;
+  VirtualIndexStats stats = EstimateVirtualIndex(
+      *db_.synopsis("xmark"), def, cost_model_.storage);
+  Catalog with_virtual;
+  ASSERT_TRUE(with_virtual.AddVirtual(def, stats).ok());
+  Optimizer opt(&db_, cost_model_);
+  Result<QueryPlan> plan = opt.Optimize(Parse(kQuery), with_virtual, &cache_);
+  ASSERT_TRUE(plan.ok());
+  ASSERT_TRUE(plan->access.use_index);
+  Executor executor(&db_, &catalog_, cost_model_);
+  Result<ExecResult> run = executor.Execute(*plan);
+  EXPECT_FALSE(run.ok());  // "virt" is not in catalog_ as physical.
+}
+
+TEST_F(ExecutorTest, ReturnProjectionCollectsReturnNodes) {
+  Optimizer opt(&db_, cost_model_);
+  Catalog empty;
+  Query q = Parse(kQuery);  // return $i/name
+  Result<QueryPlan> plan = opt.Optimize(q, empty, &cache_);
+  ASSERT_TRUE(plan.ok());
+  ExecResult run = MustRun(*plan);
+  ASSERT_FALSE(run.returned.empty());
+  // Projected nodes are <name> elements inside qualifying documents.
+  for (const NodeRef& ref : run.returned) {
+    const Document& doc = db_.GetCollection("xmark")->doc(ref.doc);
+    EXPECT_EQ(db_.names().NameOf(doc.node(ref.node).name), "name");
+  }
+  // Same projection whether executed via scan or index.
+  Materialize("q_idx", "/site/regions/africa/item/quantity",
+              ValueType::kDouble);
+  Result<QueryPlan> idx_plan = opt.Optimize(q, catalog_, &cache_);
+  ASSERT_TRUE(idx_plan.ok());
+  ASSERT_TRUE(idx_plan->access.use_index);
+  ExecResult idx_run = MustRun(*idx_plan);
+  EXPECT_EQ(run.returned, idx_run.returned);
+}
+
+TEST_F(ExecutorTest, RenderResultsEmitsXmlFragments) {
+  Optimizer opt(&db_, cost_model_);
+  Catalog empty;
+  Query q = Parse(kQuery);
+  Result<QueryPlan> plan = opt.Optimize(q, empty, &cache_);
+  ASSERT_TRUE(plan.ok());
+  ExecResult run = MustRun(*plan);
+  std::string rendered = RenderResults(db_, "xmark", run, 5);
+  EXPECT_NE(rendered.find("<name>"), std::string::npos);
+  // Truncation notice appears when there are more results than shown.
+  if (run.returned.size() > 5) {
+    EXPECT_NE(rendered.find("more)"), std::string::npos);
+  }
+  EXPECT_EQ(RenderResults(db_, "ghost", run, 5), "");
+}
+
+TEST_F(ExecutorTest, NoReturnsMeansEmptyProjection) {
+  Optimizer opt(&db_, cost_model_);
+  Catalog empty;
+  Query q = Parse(
+      "select * from xmark where "
+      "xmlexists('$d/site/regions/africa/item[quantity > 5]')");
+  Result<QueryPlan> plan = opt.Optimize(q, empty, &cache_);
+  ASSERT_TRUE(plan.ok());
+  ExecResult run = MustRun(*plan);
+  EXPECT_TRUE(run.returned.empty());
+  EXPECT_FALSE(run.nodes.empty());
+  // RenderResults falls back to the driving nodes.
+  EXPECT_NE(RenderResults(db_, "xmark", run, 2).find("<item"),
+            std::string::npos);
+}
+
+TEST_F(ExecutorTest, ScanCountsAllNodes) {
+  Optimizer opt(&db_, cost_model_);
+  Catalog empty;
+  Result<QueryPlan> plan = opt.Optimize(Parse(kQuery), empty, &cache_);
+  ASSERT_TRUE(plan.ok());
+  ExecResult result = MustRun(*plan);
+  EXPECT_EQ(result.nodes_examined,
+            db_.GetCollection("xmark")->num_nodes());
+  EXPECT_GT(result.wall_micros, 0.0);
+}
+
+}  // namespace
+}  // namespace xia

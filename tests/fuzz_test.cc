@@ -1,0 +1,163 @@
+// Robustness "mini-fuzz": the parsers must return clean errors — never
+// crash, hang, or corrupt state — on mutated and truncated inputs, and
+// randomly *built* documents must round-trip through serialize/parse.
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "common/random.h"
+#include "query/parser.h"
+#include "workload/workload_io.h"
+#include "xml/builder.h"
+#include "xml/parser.h"
+#include "xml/serializer.h"
+#include "xpath/parser.h"
+
+namespace xia {
+namespace {
+
+/// Random printable mutation of one character.
+std::string Mutate(const std::string& input, Random* rng) {
+  if (input.empty()) return input;
+  std::string out = input;
+  size_t pos = static_cast<size_t>(
+      rng->Uniform(0, static_cast<int64_t>(input.size()) - 1));
+  switch (rng->Uniform(0, 2)) {
+    case 0:  // Replace with a random printable char.
+      out[pos] = static_cast<char>(rng->Uniform(32, 126));
+      break;
+    case 1:  // Delete.
+      out.erase(pos, 1);
+      break;
+    default:  // Duplicate.
+      out.insert(pos, 1, out[pos]);
+      break;
+  }
+  return out;
+}
+
+constexpr const char* kSeedQueries[] = {
+    "for $i in doc(\"xmark\")/site/regions/africa/item "
+    "where $i/quantity > 5 and $i/payment = \"Cash\" return $i/name",
+    "select xmlquery('$d/a/b') from t where xmlexists('$d/a[x = 1]')",
+    "for $x in doc(\"c\")/a let $p := $x/b order by $p return $p",
+};
+
+TEST(FuzzTest, QueryParserSurvivesMutations) {
+  Random rng(31337);
+  for (const char* seed : kSeedQueries) {
+    std::string current = seed;
+    for (int round = 0; round < 400; ++round) {
+      current = Mutate(current, &rng);
+      // Must not crash; result is either ok or a clean error.
+      Result<Query> q = ParseQuery(current);
+      if (!q.ok()) {
+        EXPECT_FALSE(q.status().message().empty());
+      }
+      if (round % 40 == 0) current = seed;  // Re-seed to stay near-valid.
+    }
+  }
+}
+
+TEST(FuzzTest, QueryParserSurvivesTruncations) {
+  for (const char* seed : kSeedQueries) {
+    std::string text = seed;
+    for (size_t len = 0; len <= text.size(); ++len) {
+      Result<Query> q = ParseQuery(text.substr(0, len));
+      (void)q;  // Any outcome is fine; crashing is not.
+    }
+  }
+}
+
+TEST(FuzzTest, PathParserSurvivesMutations) {
+  Random rng(99);
+  std::string seed = "/site/regions/*/item[quantity > 5]/@id";
+  std::string current = seed;
+  for (int round = 0; round < 600; ++round) {
+    current = Mutate(current, &rng);
+    (void)ParsePathExpr(current);
+    (void)ParsePathPattern(current);
+    if (round % 50 == 0) current = seed;
+  }
+}
+
+TEST(FuzzTest, XmlParserSurvivesMutations) {
+  Random rng(7);
+  NameTable names;
+  XmlParser parser(&names);
+  std::string seed =
+      "<site><item id=\"i&amp;1\"><price>42</price>"
+      "<!-- c --><![CDATA[x<y]]></item></site>";
+  std::string current = seed;
+  for (int round = 0; round < 600; ++round) {
+    current = Mutate(current, &rng);
+    (void)parser.Parse(current);
+    if (round % 50 == 0) current = seed;
+  }
+}
+
+TEST(FuzzTest, WorkloadParserSurvivesMutations) {
+  Random rng(5);
+  std::string seed =
+      "query Q1 2 for $i in doc(\"x\")/a where $i/b > 1 return $i\n"
+      "update insert x 3 /a/b\n";
+  std::string current = seed;
+  for (int round = 0; round < 400; ++round) {
+    current = Mutate(current, &rng);
+    (void)ParseWorkloadText(current);
+    if (round % 40 == 0) current = seed;
+  }
+}
+
+/// Builds a random tree of bounded size via DocumentBuilder.
+Document RandomDocument(NameTable* names, Random* rng) {
+  DocumentBuilder b(names);
+  const std::vector<std::string> tags = {"a", "b", "c", "d"};
+  int open = 0;
+  int emitted = 0;
+  b.StartElement("root");
+  ++open;
+  int target = static_cast<int>(rng->Uniform(5, 60));
+  while (emitted < target || open > 1) {
+    if (emitted < target &&
+        (open < 2 || rng->Bernoulli(0.55))) {
+      b.StartElement(rng->Choice(tags));
+      ++open;
+      ++emitted;
+      if (rng->Bernoulli(0.3)) {
+        b.AddAttribute("k" + std::to_string(rng->Uniform(0, 2)),
+                       std::to_string(rng->Uniform(0, 999)));
+      }
+      if (rng->Bernoulli(0.4)) {
+        b.AddText("v " + std::to_string(rng->Uniform(0, 99)) + " <&>");
+      }
+    }
+    if (open > 1 && (emitted >= target || rng->Bernoulli(0.5))) {
+      b.EndElement();
+      --open;
+    }
+  }
+  b.EndElement();
+  Result<Document> doc = b.Finish();
+  EXPECT_TRUE(doc.ok());
+  return std::move(*doc);
+}
+
+TEST(FuzzTest, RandomDocumentsRoundTripThroughSerializer) {
+  Random rng(2718);
+  NameTable names;
+  XmlParser parser(&names);
+  for (int trial = 0; trial < 50; ++trial) {
+    Document original = RandomDocument(&names, &rng);
+    std::string xml = SerializeDocument(original, names);
+    Result<Document> reparsed = parser.Parse(xml);
+    ASSERT_TRUE(reparsed.ok()) << xml;
+    EXPECT_EQ(reparsed->num_nodes(), original.num_nodes()) << xml;
+    // Second round trip is a fixpoint.
+    EXPECT_EQ(SerializeDocument(*reparsed, names), xml);
+  }
+}
+
+}  // namespace
+}  // namespace xia

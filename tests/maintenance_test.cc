@@ -1,0 +1,181 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "exec/executor.h"
+#include "index/index_builder.h"
+#include "index/maintenance.h"
+#include "optimizer/optimizer.h"
+#include "query/parser.h"
+#include "xmldata/xmark_gen.h"
+#include "xpath/parser.h"
+
+namespace xia {
+namespace {
+
+PathPattern P(const std::string& text) {
+  Result<PathPattern> p = ParsePathPattern(text);
+  EXPECT_TRUE(p.ok()) << text;
+  return std::move(*p);
+}
+
+class MaintenanceTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    XMarkParams params;
+    params.items_per_region = 3;
+    ASSERT_TRUE(PopulateXMark(&db_, "xmark", 4, params, 42).ok());
+    Materialize("quantity", "/site/regions/*/item/quantity",
+                ValueType::kDouble);
+    Materialize("items", "/site/regions/*/item", ValueType::kVarchar);
+    Materialize("income", "/site/people/person/profile/@income",
+                ValueType::kDouble);
+  }
+
+  void Materialize(const std::string& name, const std::string& pattern,
+                   ValueType type) {
+    IndexDefinition def;
+    def.name = name;
+    def.collection = "xmark";
+    def.pattern = P(pattern);
+    def.type = type;
+    Result<PathIndex> built = BuildIndex(db_, def);
+    ASSERT_TRUE(built.ok());
+    ASSERT_TRUE(catalog_
+                    .AddPhysical(
+                        std::make_shared<PathIndex>(std::move(*built)),
+                        constants_)
+                    .ok());
+  }
+
+  size_t Entries(const std::string& name) {
+    return catalog_.Find(name)->physical->num_entries();
+  }
+
+  Database db_;
+  Catalog catalog_;
+  StorageConstants constants_;
+};
+
+TEST_F(MaintenanceTest, InsertAddsMatchingEntries) {
+  size_t quantity_before = Entries("quantity");
+  size_t items_before = Entries("items");
+  size_t income_before = Entries("income");
+
+  // Add one more document and maintain.
+  Random rng(77);
+  XMarkParams params;
+  params.items_per_region = 3;
+  Collection* coll = db_.GetCollection("xmark");
+  DocId doc = coll->Add(
+      GenerateXMarkDocument(db_.mutable_names(), params, &rng));
+  Result<MaintenanceStats> stats =
+      ApplyDocumentInsert(db_, "xmark", doc, &catalog_);
+  ASSERT_TRUE(stats.ok()) << stats.status().ToString();
+
+  EXPECT_EQ(stats->indexes_touched, 3u);
+  // 6 regions x 3 items: 18 new quantities and items.
+  EXPECT_EQ(Entries("quantity"), quantity_before + 18);
+  EXPECT_EQ(Entries("items"), items_before + 18);
+  EXPECT_EQ(Entries("income"), income_before + 15);  // params.people.
+  EXPECT_EQ(stats->entries_inserted, 18u + 18u + 15u);
+}
+
+TEST_F(MaintenanceTest, InsertKeepsIndexUsableAndCorrect) {
+  Random rng(77);
+  XMarkParams params;
+  params.items_per_region = 3;
+  Collection* coll = db_.GetCollection("xmark");
+  DocId doc = coll->Add(
+      GenerateXMarkDocument(db_.mutable_names(), params, &rng));
+  ASSERT_TRUE(ApplyDocumentInsert(db_, "xmark", doc, &catalog_).ok());
+  ASSERT_TRUE(db_.Analyze("xmark").ok());  // Refresh synopsis too.
+
+  // Index execution agrees with a collection scan on the grown data.
+  ContainmentCache cache;
+  CostModel cost_model;
+  Optimizer optimizer(&db_, cost_model);
+  Result<Query> query = ParseQuery(
+      "for $i in doc(\"xmark\")/site/regions/africa/item "
+      "where $i/quantity > 5 return $i/name");
+  ASSERT_TRUE(query.ok());
+  Catalog empty;
+  Result<QueryPlan> scan_plan = optimizer.Optimize(*query, empty, &cache);
+  Result<QueryPlan> idx_plan = optimizer.Optimize(*query, catalog_, &cache);
+  ASSERT_TRUE(scan_plan.ok());
+  ASSERT_TRUE(idx_plan.ok());
+  ASSERT_TRUE(idx_plan->access.use_index);
+  Executor executor(&db_, &catalog_, cost_model);
+  Result<ExecResult> scan_run = executor.Execute(*scan_plan);
+  Result<ExecResult> idx_run = executor.Execute(*idx_plan);
+  ASSERT_TRUE(scan_run.ok());
+  ASSERT_TRUE(idx_run.ok());
+  EXPECT_EQ(scan_run->nodes, idx_run->nodes);
+  // The new document participates in results.
+  bool saw_new_doc = false;
+  for (const NodeRef& ref : idx_run->nodes) {
+    if (ref.doc == doc) saw_new_doc = true;
+  }
+  EXPECT_TRUE(saw_new_doc);
+}
+
+TEST_F(MaintenanceTest, DeleteRemovesDocumentEntries) {
+  size_t quantity_before = Entries("quantity");
+  Result<MaintenanceStats> stats =
+      ApplyDocumentDelete(db_, "xmark", /*doc=*/1, &catalog_);
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(stats->indexes_touched, 3u);
+  EXPECT_EQ(Entries("quantity"), quantity_before - 18);
+  // No index entry references doc 1 anymore.
+  for (const auto& entry : catalog_.Find("quantity")->physical->entries()) {
+    EXPECT_NE(entry.node.doc, 1);
+  }
+  // Deleting again is a no-op.
+  Result<MaintenanceStats> again =
+      ApplyDocumentDelete(db_, "xmark", 1, &catalog_);
+  ASSERT_TRUE(again.ok());
+  EXPECT_EQ(again->entries_removed, 0u);
+}
+
+TEST_F(MaintenanceTest, StatsRefreshedAfterMaintenance) {
+  double size_before = catalog_.Find("quantity")->stats.size_bytes;
+  ASSERT_TRUE(ApplyDocumentDelete(db_, "xmark", 0, &catalog_).ok());
+  double size_after = catalog_.Find("quantity")->stats.size_bytes;
+  EXPECT_LT(size_after, size_before);
+}
+
+TEST_F(MaintenanceTest, VirtualIndexesUntouched) {
+  IndexDefinition def;
+  def.name = "virt";
+  def.collection = "xmark";
+  def.pattern = P("//price");
+  def.type = ValueType::kDouble;
+  ASSERT_TRUE(catalog_.AddVirtual(def, VirtualIndexStats{}).ok());
+  Result<MaintenanceStats> stats =
+      ApplyDocumentDelete(db_, "xmark", 0, &catalog_);
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(stats->indexes_touched, 3u);  // Only the physical ones.
+}
+
+TEST_F(MaintenanceTest, ErrorsOnBadInput) {
+  EXPECT_FALSE(ApplyDocumentInsert(db_, "ghost", 0, &catalog_).ok());
+  EXPECT_FALSE(ApplyDocumentInsert(db_, "xmark", 999, &catalog_).ok());
+  EXPECT_FALSE(ApplyDocumentDelete(db_, "xmark", -1, &catalog_).ok());
+}
+
+TEST_F(MaintenanceTest, InsertedEntriesStaySorted) {
+  Random rng(77);
+  XMarkParams params;
+  params.items_per_region = 3;
+  Collection* coll = db_.GetCollection("xmark");
+  DocId doc = coll->Add(
+      GenerateXMarkDocument(db_.mutable_names(), params, &rng));
+  ASSERT_TRUE(ApplyDocumentInsert(db_, "xmark", doc, &catalog_).ok());
+  const auto& entries = catalog_.Find("quantity")->physical->entries();
+  for (size_t i = 1; i < entries.size(); ++i) {
+    EXPECT_FALSE(entries[i].key < entries[i - 1].key);
+  }
+}
+
+}  // namespace
+}  // namespace xia

@@ -1,0 +1,256 @@
+#include <gtest/gtest.h>
+
+#include "index/index_builder.h"
+#include "optimizer/cardinality.h"
+#include "optimizer/cost_model.h"
+#include "optimizer/optimizer.h"
+#include "query/parser.h"
+#include "xmldata/xmark_gen.h"
+#include "xpath/parser.h"
+
+namespace xia {
+namespace {
+
+PathPattern P(const std::string& text) {
+  Result<PathPattern> p = ParsePathPattern(text);
+  EXPECT_TRUE(p.ok()) << text;
+  return std::move(*p);
+}
+
+class OptimizerTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    XMarkParams params;
+    ASSERT_TRUE(PopulateXMark(&db_, "xmark", 10, params, 42).ok());
+    synopsis_ = db_.synopsis("xmark");
+    ASSERT_NE(synopsis_, nullptr);
+  }
+
+  Query Parse(const std::string& text) {
+    Result<Query> q = ParseQuery(text);
+    EXPECT_TRUE(q.ok()) << q.status().ToString();
+    return std::move(*q);
+  }
+
+  void AddVirtual(const std::string& name, const std::string& pattern,
+                  ValueType type) {
+    IndexDefinition def;
+    def.name = name;
+    def.collection = "xmark";
+    def.pattern = P(pattern);
+    def.type = type;
+    VirtualIndexStats stats =
+        EstimateVirtualIndex(*synopsis_, def, cost_model_.storage);
+    ASSERT_TRUE(catalog_.AddVirtual(std::move(def), stats).ok());
+  }
+
+  Database db_;
+  const PathSynopsis* synopsis_ = nullptr;
+  Catalog catalog_;
+  CostModel cost_model_;
+  ContainmentCache cache_;
+};
+
+constexpr const char* kQuantityQuery =
+    "for $i in doc(\"xmark\")/site/regions/africa/item "
+    "where $i/quantity > 5 return $i/name";
+
+// -------------------------------------------------------------- CostModel.
+
+TEST(CostModelTest, ScanScalesWithSize) {
+  CostModel cm;
+  EXPECT_LT(cm.CollectionScanCost(10000, 100),
+            cm.CollectionScanCost(1000000, 10000));
+}
+
+TEST(CostModelTest, IndexScanCheaperForSelectiveProbe) {
+  CostModel cm;
+  VirtualIndexStats stats;
+  stats.entries = 10000;
+  stats.leaf_pages = 50;
+  stats.height = 2;
+  double selective = cm.IndexScanCost(stats, 0.01, 100, false);
+  double full = cm.IndexScanCost(stats, 1.0, 10000, false);
+  EXPECT_LT(selective, full);
+  // Verification adds CPU cost.
+  EXPECT_LT(cm.IndexScanCost(stats, 0.01, 100, false),
+            cm.IndexScanCost(stats, 0.01, 100, true));
+}
+
+TEST(CostModelTest, PagesRoundUp) {
+  CostModel cm;
+  EXPECT_EQ(cm.Pages(1.0), 1.0);
+  EXPECT_EQ(cm.Pages(4096.0), 1.0);
+  EXPECT_EQ(cm.Pages(4097.0), 2.0);
+}
+
+// ------------------------------------------------------------ Cardinality.
+
+TEST_F(OptimizerTest, CardinalityMatchesSynopsis) {
+  CardinalityEstimator card(synopsis_);
+  // 10 docs x 6 items in africa per doc.
+  EXPECT_EQ(card.PatternCount(P("/site/regions/africa/item")), 60.0);
+  EXPECT_EQ(card.PatternCount(P("/site/regions/*/item")), 360.0);
+}
+
+TEST_F(OptimizerTest, SelectivityBetweenZeroAndOne) {
+  CardinalityEstimator card(synopsis_);
+  Query q = Parse(kQuantityQuery);
+  double sel = card.PredicateSelectivity(q.normalized.predicates[0]);
+  EXPECT_GT(sel, 0.0);
+  EXPECT_LT(sel, 1.0);
+  // quantity in [1,10]: > 5 should be roughly half.
+  EXPECT_NEAR(sel, 0.5, 0.25);
+  double query_card = card.QueryCardinality(q.normalized);
+  EXPECT_GT(query_card, 0.0);
+  EXPECT_LT(query_card, 60.0);
+}
+
+// -------------------------------------------------------------- Optimizer.
+
+TEST_F(OptimizerTest, EmptyCatalogMeansCollectionScan) {
+  Optimizer opt(&db_, cost_model_);
+  Result<QueryPlan> plan =
+      opt.Optimize(Parse(kQuantityQuery), catalog_, &cache_);
+  ASSERT_TRUE(plan.ok());
+  EXPECT_FALSE(plan->access.use_index);
+  EXPECT_GT(plan->total_cost, 0.0);
+  EXPECT_EQ(plan->residual_predicates.size(), 1u);
+}
+
+TEST_F(OptimizerTest, PicksMatchingIndexWhenCheaper) {
+  AddVirtual("q_idx", "/site/regions/africa/item/quantity",
+             ValueType::kDouble);
+  Optimizer opt(&db_, cost_model_);
+  Result<QueryPlan> plan =
+      opt.Optimize(Parse(kQuantityQuery), catalog_, &cache_);
+  ASSERT_TRUE(plan.ok());
+  ASSERT_TRUE(plan->access.use_index);
+  EXPECT_EQ(plan->access.index_def.name, "q_idx");
+  EXPECT_EQ(plan->access.use, MatchUse::kSargableRange);
+  EXPECT_FALSE(plan->access.needs_verify);  // Exact pattern.
+  EXPECT_TRUE(plan->residual_predicates.empty());
+}
+
+TEST_F(OptimizerTest, IndexPlanIsCheaperThanScanPlan) {
+  Optimizer opt(&db_, cost_model_);
+  Result<QueryPlan> scan =
+      opt.Optimize(Parse(kQuantityQuery), catalog_, &cache_);
+  AddVirtual("q_idx", "/site/regions/africa/item/quantity",
+             ValueType::kDouble);
+  Result<QueryPlan> indexed =
+      opt.Optimize(Parse(kQuantityQuery), catalog_, &cache_);
+  ASSERT_TRUE(scan.ok());
+  ASSERT_TRUE(indexed.ok());
+  EXPECT_LT(indexed->total_cost, scan->total_cost);
+  // Orders of magnitude, as the paper promises for selective predicates.
+  EXPECT_GT(scan->total_cost / indexed->total_cost, 10.0);
+}
+
+TEST_F(OptimizerTest, ExactIndexBeatsGeneralIndex) {
+  AddVirtual("exact", "/site/regions/africa/item/quantity",
+             ValueType::kDouble);
+  AddVirtual("general", "/site/regions/*/item/*", ValueType::kDouble);
+  Optimizer opt(&db_, cost_model_);
+  Result<QueryPlan> plan =
+      opt.Optimize(Parse(kQuantityQuery), catalog_, &cache_);
+  ASSERT_TRUE(plan.ok());
+  ASSERT_TRUE(plan->access.use_index);
+  EXPECT_EQ(plan->access.index_def.name, "exact");
+}
+
+TEST_F(OptimizerTest, GeneralIndexStillBeatsScan) {
+  AddVirtual("general", "/site/regions/*/item/quantity",
+             ValueType::kDouble);
+  Optimizer opt(&db_, cost_model_);
+  Result<QueryPlan> plan =
+      opt.Optimize(Parse(kQuantityQuery), catalog_, &cache_);
+  ASSERT_TRUE(plan.ok());
+  ASSERT_TRUE(plan->access.use_index);
+  EXPECT_TRUE(plan->access.needs_verify);  // More general than the query.
+}
+
+TEST_F(OptimizerTest, UnservedPredicatesStayResidual) {
+  AddVirtual("q_idx", "/site/regions/africa/item/quantity",
+             ValueType::kDouble);
+  Optimizer opt(&db_, cost_model_);
+  Result<QueryPlan> plan = opt.Optimize(
+      Parse("for $i in doc(\"xmark\")/site/regions/africa/item "
+            "where $i/quantity > 5 and $i/payment = \"Cash\" return $i"),
+      catalog_, &cache_);
+  ASSERT_TRUE(plan.ok());
+  ASSERT_TRUE(plan->access.use_index);
+  EXPECT_EQ(plan->access.served_predicate, 0);
+  ASSERT_EQ(plan->residual_predicates.size(), 1u);
+  EXPECT_EQ(plan->residual_predicates[0], 1);
+}
+
+TEST_F(OptimizerTest, MissingCollectionFails) {
+  Optimizer opt(&db_, cost_model_);
+  Result<QueryPlan> plan = opt.Optimize(
+      Parse("for $x in doc(\"ghost\")/a return $x"), catalog_, &cache_);
+  EXPECT_FALSE(plan.ok());
+  EXPECT_EQ(plan.status().code(), StatusCode::kNotFound);
+}
+
+TEST_F(OptimizerTest, UnanalyzedCollectionFails) {
+  ASSERT_TRUE(db_.CreateCollection("raw").ok());
+  ASSERT_TRUE(db_.LoadXml("raw", "<a><b>1</b></a>").ok());
+  Optimizer opt(&db_, cost_model_);
+  Result<QueryPlan> plan = opt.Optimize(
+      Parse("for $x in doc(\"raw\")/a return $x"), catalog_, &cache_);
+  EXPECT_FALSE(plan.ok());
+  EXPECT_EQ(plan.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST_F(OptimizerTest, PhysicalAndVirtualIndexesCostIdentically) {
+  // The what-if contract: a virtual index must be costed like the real one.
+  IndexDefinition def;
+  def.name = "virt";
+  def.collection = "xmark";
+  def.pattern = P("/site/regions/africa/item/quantity");
+  def.type = ValueType::kDouble;
+  VirtualIndexStats stats =
+      EstimateVirtualIndex(*synopsis_, def, cost_model_.storage);
+  Catalog with_virtual;
+  ASSERT_TRUE(with_virtual.AddVirtual(def, stats).ok());
+
+  IndexDefinition def2 = def;
+  def2.name = "phys";
+  Result<PathIndex> built = BuildIndex(db_, def2);
+  ASSERT_TRUE(built.ok());
+  Catalog with_physical;
+  ASSERT_TRUE(with_physical
+                  .AddPhysical(std::make_shared<PathIndex>(std::move(*built)),
+                               cost_model_.storage)
+                  .ok());
+
+  Optimizer opt(&db_, cost_model_);
+  Result<QueryPlan> virt_plan =
+      opt.Optimize(Parse(kQuantityQuery), with_virtual, &cache_);
+  Result<QueryPlan> phys_plan =
+      opt.Optimize(Parse(kQuantityQuery), with_physical, &cache_);
+  ASSERT_TRUE(virt_plan.ok());
+  ASSERT_TRUE(phys_plan.ok());
+  ASSERT_TRUE(virt_plan->access.use_index);
+  ASSERT_TRUE(phys_plan->access.use_index);
+  // Estimated entries agree exactly, costs within a few percent (the
+  // virtual size estimate vs the actual build).
+  EXPECT_NEAR(virt_plan->total_cost / phys_plan->total_cost, 1.0, 0.10);
+}
+
+TEST_F(OptimizerTest, ExplainMentionsAccessAndCost) {
+  AddVirtual("q_idx", "/site/regions/africa/item/quantity",
+             ValueType::kDouble);
+  Optimizer opt(&db_, cost_model_);
+  Result<QueryPlan> plan =
+      opt.Optimize(Parse(kQuantityQuery), catalog_, &cache_);
+  ASSERT_TRUE(plan.ok());
+  std::string explain = plan->Explain();
+  EXPECT_NE(explain.find("INDEX"), std::string::npos);
+  EXPECT_NE(explain.find("q_idx"), std::string::npos);
+  EXPECT_NE(explain.find("Cost"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace xia

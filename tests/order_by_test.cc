@@ -1,0 +1,155 @@
+// ORDER BY support: sort-aware costing in the optimizer and ordered
+// execution in the executor.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "exec/executor.h"
+#include "index/index_builder.h"
+#include "optimizer/optimizer.h"
+#include "common/string_util.h"
+#include "query/parser.h"
+#include "xmldata/xmark_gen.h"
+#include "xpath/evaluator.h"
+#include "xpath/parser.h"
+
+namespace xia {
+namespace {
+
+class OrderByTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    XMarkParams params;
+    ASSERT_TRUE(PopulateXMark(&db_, "xmark", 10, params, 42).ok());
+    Materialize("p_idx", "/site/regions/africa/item/price",
+                ValueType::kDouble);
+  }
+
+  void Materialize(const std::string& name, const std::string& pattern,
+                   ValueType type) {
+    IndexDefinition def;
+    def.name = name;
+    def.collection = "xmark";
+    Result<PathPattern> p = ParsePathPattern(pattern);
+    ASSERT_TRUE(p.ok());
+    def.pattern = *p;
+    def.type = type;
+    Result<PathIndex> built = BuildIndex(db_, def);
+    ASSERT_TRUE(built.ok());
+    ASSERT_TRUE(catalog_
+                    .AddPhysical(
+                        std::make_shared<PathIndex>(std::move(*built)),
+                        cost_model_.storage)
+                    .ok());
+  }
+
+  QueryPlan Plan(const std::string& text, const Catalog& catalog) {
+    Result<Query> q = ParseQuery(text);
+    EXPECT_TRUE(q.ok()) << q.status().ToString();
+    Optimizer opt(&db_, cost_model_);
+    Result<QueryPlan> plan = opt.Optimize(*q, catalog, &cache_);
+    EXPECT_TRUE(plan.ok());
+    return std::move(*plan);
+  }
+
+  Database db_;
+  Catalog catalog_;
+  CostModel cost_model_;
+  ContainmentCache cache_;
+};
+
+TEST_F(OrderByTest, ScanPaysSortCost) {
+  Catalog empty;
+  QueryPlan unordered = Plan(
+      "for $i in doc(\"xmark\")/site/regions/africa/item "
+      "where $i/quantity > 5 return $i/name",
+      empty);
+  QueryPlan ordered = Plan(
+      "for $i in doc(\"xmark\")/site/regions/africa/item "
+      "where $i/quantity > 5 order by $i/price return $i/name",
+      empty);
+  EXPECT_EQ(unordered.sort_cost, 0.0);
+  EXPECT_GT(ordered.sort_cost, 0.0);
+  EXPECT_NEAR(ordered.total_cost - unordered.total_cost,
+              ordered.sort_cost, 1e-9);
+  EXPECT_NE(ordered.Explain().find("sort"), std::string::npos);
+}
+
+TEST_F(OrderByTest, OrderKeyIndexAvoidsSort) {
+  // The probe is on the order key itself: rows come back in key order.
+  QueryPlan plan = Plan(
+      "for $i in doc(\"xmark\")/site/regions/africa/item "
+      "where $i/price > 100 order by $i/price return $i/name",
+      catalog_);
+  ASSERT_TRUE(plan.access.use_index);
+  EXPECT_EQ(plan.access.index_def.name, "p_idx");
+  EXPECT_EQ(plan.sort_cost, 0.0);
+}
+
+TEST_F(OrderByTest, DifferentKeyIndexStillPaysSort) {
+  Materialize("q_idx", "/site/regions/africa/item/quantity",
+              ValueType::kDouble);
+  QueryPlan plan = Plan(
+      "for $i in doc(\"xmark\")/site/regions/africa/item "
+      "where $i/quantity > 8 order by $i/price return $i/name",
+      catalog_);
+  ASSERT_TRUE(plan.access.use_index);
+  if (plan.access.index_def.name == "q_idx") {
+    EXPECT_GT(plan.sort_cost, 0.0);
+  }
+}
+
+TEST_F(OrderByTest, ExecutionReturnsSortedResults) {
+  Catalog empty;
+  const std::string text =
+      "for $i in doc(\"xmark\")/site/regions/africa/item "
+      "where $i/quantity > 2 order by $i/price return $i/name";
+  QueryPlan scan_plan = Plan(text, empty);
+  QueryPlan idx_plan = Plan(text, catalog_);
+
+  Executor executor(&db_, &catalog_, cost_model_);
+  Result<ExecResult> scan = executor.Execute(scan_plan);
+  Result<ExecResult> indexed = executor.Execute(idx_plan);
+  ASSERT_TRUE(scan.ok());
+  ASSERT_TRUE(indexed.ok());
+  ASSERT_GT(scan->nodes.size(), 2u);
+  // Identical ordered sequences from both plans.
+  EXPECT_EQ(scan->nodes, indexed->nodes);
+  // And the sequence really is non-decreasing in the item's price.
+  Result<PathPattern> price =
+      ParsePathPattern("/site/regions/africa/item/price");
+  ASSERT_TRUE(price.ok());
+  double prev = -1;
+  for (const NodeRef& ref : scan->nodes) {
+    const Document& doc = db_.GetCollection("xmark")->doc(ref.doc);
+    const XmlNode& item = doc.node(ref.node);
+    double own_price = -1;
+    for (NodeIndex n : EvaluatePattern(doc, db_.names(), *price)) {
+      if (item.begin <= doc.node(n).begin && doc.node(n).end <= item.end) {
+        own_price = *ParseDouble(doc.TextValue(n));
+        break;
+      }
+    }
+    ASSERT_GE(own_price, 0.0);
+    EXPECT_GE(own_price, prev);
+    prev = own_price;
+  }
+}
+
+TEST_F(OrderByTest, UnorderedQueriesKeepDocumentOrder) {
+  Catalog empty;
+  QueryPlan plan = Plan(
+      "for $i in doc(\"xmark\")/site/regions/africa/item "
+      "where $i/quantity > 2 return $i/name",
+      empty);
+  Executor executor(&db_, &catalog_, cost_model_);
+  Result<ExecResult> run = executor.Execute(plan);
+  ASSERT_TRUE(run.ok());
+  for (size_t i = 1; i < run->nodes.size(); ++i) {
+    EXPECT_LT(run->nodes[i - 1], run->nodes[i]);
+  }
+}
+
+}  // namespace
+}  // namespace xia

@@ -1,0 +1,262 @@
+#include <gtest/gtest.h>
+
+#include "query/parser.h"
+
+namespace xia {
+namespace {
+
+Query MustParse(const std::string& text) {
+  Result<Query> q = ParseQuery(text);
+  EXPECT_TRUE(q.ok()) << text << ": " << q.status().ToString();
+  return q.ok() ? std::move(*q) : Query();
+}
+
+// ---------------------------------------------------------------- XQuery.
+
+TEST(XQueryParserTest, BasicFlwor) {
+  Query q = MustParse(
+      "for $i in doc(\"xmark\")/site/regions/africa/item "
+      "where $i/quantity > 5 return $i/name");
+  EXPECT_EQ(q.language, QueryLanguage::kXQuery);
+  const NormalizedQuery& nq = q.normalized;
+  EXPECT_EQ(nq.collection, "xmark");
+  EXPECT_EQ(nq.for_path.ToString(), "/site/regions/africa/item");
+  ASSERT_EQ(nq.predicates.size(), 1u);
+  EXPECT_EQ(nq.predicates[0].pattern.ToString(),
+            "/site/regions/africa/item/quantity");
+  EXPECT_EQ(nq.predicates[0].op, CompareOp::kGt);
+  EXPECT_EQ(nq.predicates[0].literal, "5");
+  ASSERT_EQ(nq.returns.size(), 1u);
+  EXPECT_EQ(nq.returns[0].ToString(), "/site/regions/africa/item/name");
+}
+
+TEST(XQueryParserTest, MultipleWhereConjuncts) {
+  Query q = MustParse(
+      "for $i in doc(\"x\")/a/b "
+      "where $i/c > 1 and $i/d = \"v\" and $i/e return $i");
+  const NormalizedQuery& nq = q.normalized;
+  ASSERT_EQ(nq.predicates.size(), 3u);
+  EXPECT_EQ(nq.predicates[0].op, CompareOp::kGt);
+  EXPECT_EQ(nq.predicates[1].op, CompareOp::kEq);
+  EXPECT_EQ(nq.predicates[1].literal, "v");
+  EXPECT_EQ(nq.predicates[2].op, CompareOp::kExists);
+  EXPECT_EQ(nq.predicates[2].pattern.ToString(), "/a/b/e");
+  ASSERT_EQ(nq.returns.size(), 1u);
+  EXPECT_EQ(nq.returns[0].ToString(), "/a/b");  // Bare $i.
+}
+
+TEST(XQueryParserTest, InlinePredicatesAbsolutized) {
+  Query q = MustParse(
+      "for $i in doc(\"x\")/site/regions/asia/item[quantity > 3] "
+      "return $i/price");
+  const NormalizedQuery& nq = q.normalized;
+  EXPECT_EQ(nq.for_path.ToString(), "/site/regions/asia/item");
+  ASSERT_EQ(nq.predicates.size(), 1u);
+  EXPECT_EQ(nq.predicates[0].pattern.ToString(),
+            "/site/regions/asia/item/quantity");
+}
+
+TEST(XQueryParserTest, AttributeWherePath) {
+  Query q = MustParse(
+      "for $p in doc(\"x\")/site/people/person "
+      "where $p/profile/@income >= 80000 return $p/name");
+  ASSERT_EQ(q.normalized.predicates.size(), 1u);
+  EXPECT_EQ(q.normalized.predicates[0].pattern.ToString(),
+            "/site/people/person/profile/@income");
+  EXPECT_EQ(q.normalized.predicates[0].ImpliedType(), ValueType::kDouble);
+}
+
+TEST(XQueryParserTest, DescendantForPath) {
+  Query q = MustParse(
+      "for $k in doc(\"x\")//keyword where $k/text() = \"gold\" return $k");
+  EXPECT_EQ(q.normalized.for_path.ToString(), "//keyword");
+  ASSERT_EQ(q.normalized.predicates.size(), 1u);
+  // text() compares the node's own value: the predicate pattern is the
+  // for-path itself.
+  EXPECT_EQ(q.normalized.predicates[0].pattern.ToString(), "//keyword");
+}
+
+TEST(XQueryParserTest, MultipleReturns) {
+  Query q = MustParse(
+      "for $i in doc(\"x\")/a where $i/b = 1 return $i/c, $i/d");
+  ASSERT_EQ(q.normalized.returns.size(), 2u);
+  EXPECT_EQ(q.normalized.returns[0].ToString(), "/a/c");
+  EXPECT_EQ(q.normalized.returns[1].ToString(), "/a/d");
+}
+
+TEST(XQueryParserTest, CollectionSynonym) {
+  Query q = MustParse("for $x in collection(\"c\")/a return $x");
+  EXPECT_EQ(q.normalized.collection, "c");
+}
+
+TEST(XQueryParserTest, StringLiteralWithSpaces) {
+  Query q = MustParse(
+      "for $i in doc(\"x\")/a where $i/payment = \"Money order\" return $i");
+  ASSERT_EQ(q.normalized.predicates.size(), 1u);
+  EXPECT_EQ(q.normalized.predicates[0].literal, "Money order");
+  EXPECT_EQ(q.normalized.predicates[0].ImpliedType(), ValueType::kVarchar);
+}
+
+TEST(XQueryParserTest, LetBindingsResolveToAbsolutePatterns) {
+  Query q = MustParse(
+      "for $x in doc(\"c\")/a/b let $p := $x/c/d let $q := $p/e "
+      "where $p > 5 and $q = \"v\" return $p, $x/f");
+  const NormalizedQuery& nq = q.normalized;
+  ASSERT_EQ(nq.predicates.size(), 2u);
+  EXPECT_EQ(nq.predicates[0].pattern.ToString(), "/a/b/c/d");
+  EXPECT_EQ(nq.predicates[1].pattern.ToString(), "/a/b/c/d/e");
+  ASSERT_EQ(nq.returns.size(), 2u);
+  EXPECT_EQ(nq.returns[0].ToString(), "/a/b/c/d");
+  EXPECT_EQ(nq.returns[1].ToString(), "/a/b/f");
+}
+
+TEST(XQueryParserTest, LetWithInlinePredicates) {
+  Query q = MustParse(
+      "for $x in doc(\"c\")/a let $p := $x/b[c > 1] where $p/d = 2 "
+      "return $p");
+  const NormalizedQuery& nq = q.normalized;
+  ASSERT_EQ(nq.predicates.size(), 2u);
+  EXPECT_EQ(nq.predicates[0].pattern.ToString(), "/a/b/c");
+  EXPECT_EQ(nq.predicates[1].pattern.ToString(), "/a/b/d");
+}
+
+TEST(XQueryParserTest, OrderByParsedAndRecorded) {
+  Query q = MustParse(
+      "for $i in doc(\"c\")/a/b where $i/x > 1 "
+      "order by $i/y descending, $i/z return $i/w");
+  const NormalizedQuery& nq = q.normalized;
+  ASSERT_EQ(nq.order_by.size(), 2u);
+  EXPECT_EQ(nq.order_by[0].ToString(), "/a/b/y");
+  EXPECT_EQ(nq.order_by[1].ToString(), "/a/b/z");
+  ASSERT_EQ(nq.returns.size(), 1u);
+  EXPECT_EQ(nq.returns[0].ToString(), "/a/b/w");
+  EXPECT_NE(nq.ToString().find("order-by /a/b/y"), std::string::npos);
+}
+
+TEST(XQueryParserTest, BareVariableOrderKeyBeforeReturn) {
+  // Regression: a bare `$b` order key must not swallow the following
+  // `return` keyword.
+  Query q = MustParse(
+      "for $a in doc(\"c\")/x let $b := $a/y where $b > 1 "
+      "order by $b return $a");
+  ASSERT_EQ(q.normalized.order_by.size(), 1u);
+  EXPECT_EQ(q.normalized.order_by[0].ToString(), "/x/y");
+  ASSERT_EQ(q.normalized.returns.size(), 1u);
+  EXPECT_EQ(q.normalized.returns[0].ToString(), "/x");
+}
+
+TEST(XQueryParserTest, LetRejections) {
+  EXPECT_FALSE(
+      ParseQuery("for $x in doc(\"c\")/a let $p = $x/b return $p").ok());
+  EXPECT_FALSE(
+      ParseQuery("for $x in doc(\"c\")/a let $p := $y/b return $p").ok());
+  EXPECT_FALSE(
+      ParseQuery("for $x in doc(\"c\")/a order $x/b return $x").ok());
+}
+
+TEST(XQueryParserTest, Rejections) {
+  EXPECT_FALSE(ParseQuery("for $x doc(\"c\")/a").ok());   // Missing 'in'.
+  EXPECT_FALSE(ParseQuery("for $x in /a return $x").ok());  // No doc().
+  EXPECT_FALSE(
+      ParseQuery("for $x in doc(\"c\")/a where $y/b = 1 return $x").ok());
+  EXPECT_FALSE(ParseQuery("for $x in doc(\"c\")/a bogus").ok());
+  EXPECT_FALSE(ParseQuery("delete from x").ok());  // Unknown language.
+}
+
+// ---------------------------------------------------------------- SQL/XML.
+
+TEST(SqlXmlParserTest, SingleXmlExists) {
+  Query q = MustParse(
+      "select * from xmark where "
+      "xmlexists('$d/site/people/person[address/country = \"Germany\"]')");
+  EXPECT_EQ(q.language, QueryLanguage::kSqlXml);
+  const NormalizedQuery& nq = q.normalized;
+  EXPECT_EQ(nq.collection, "xmark");
+  EXPECT_EQ(nq.for_path.ToString(), "/site/people/person");
+  ASSERT_EQ(nq.predicates.size(), 1u);
+  EXPECT_EQ(nq.predicates[0].pattern.ToString(),
+            "/site/people/person/address/country");
+  EXPECT_EQ(nq.predicates[0].op, CompareOp::kEq);
+}
+
+TEST(SqlXmlParserTest, MultipleXmlExists) {
+  Query q = MustParse(
+      "select * from orders where xmlexists('$d/Order[Price > 100]') "
+      "and xmlexists('$d/Order/Status')");
+  const NormalizedQuery& nq = q.normalized;
+  EXPECT_EQ(nq.for_path.ToString(), "/Order");
+  // The first xmlexists contributes its value predicate; the second adds
+  // an existence predicate on its own pattern.
+  ASSERT_EQ(nq.predicates.size(), 2u);
+  EXPECT_EQ(nq.predicates[0].pattern.ToString(), "/Order/Price");
+  EXPECT_EQ(nq.predicates[0].op, CompareOp::kGt);
+  EXPECT_EQ(nq.predicates[1].pattern.ToString(), "/Order/Status");
+  EXPECT_EQ(nq.predicates[1].op, CompareOp::kExists);
+}
+
+TEST(SqlXmlParserTest, XmlQuerySelectList) {
+  Query q = MustParse(
+      "select xmlquery('$d/a/b'), xmlquery('$d/a/c') from t "
+      "where xmlexists('$d/a[x = 1]')");
+  const NormalizedQuery& nq = q.normalized;
+  EXPECT_EQ(nq.collection, "t");
+  ASSERT_EQ(nq.returns.size(), 2u);
+  EXPECT_EQ(nq.returns[0].ToString(), "/a/b");
+  EXPECT_EQ(nq.returns[1].ToString(), "/a/c");
+  EXPECT_EQ(nq.for_path.ToString(), "/a");
+}
+
+TEST(SqlXmlParserTest, XmlQueryOnlyNoWhere) {
+  Query q = MustParse("select xmlquery('$d/a/b') from t");
+  EXPECT_EQ(q.normalized.for_path.ToString(), "/a/b");
+  EXPECT_TRUE(q.normalized.predicates.empty());
+}
+
+TEST(SqlXmlParserTest, Rejections) {
+  EXPECT_FALSE(ParseQuery("select * from t").ok());  // No paths at all.
+  EXPECT_FALSE(ParseQuery("select * where xmlexists('$d/a')").ok());
+  EXPECT_FALSE(
+      ParseQuery("select * from t where xmlquery('$d/a')").ok());
+  EXPECT_FALSE(ParseQuery("select * from t where xmlexists($d/a)").ok());
+}
+
+// -------------------------------------------------------------- Semantics.
+
+TEST(QueryPredicateTest, ImpliedTypeRules) {
+  QueryPredicate numeric;
+  numeric.op = CompareOp::kGt;
+  numeric.literal = "42";
+  EXPECT_EQ(numeric.ImpliedType(), ValueType::kDouble);
+
+  QueryPredicate text;
+  text.op = CompareOp::kEq;
+  text.literal = "Creditcard";
+  EXPECT_EQ(text.ImpliedType(), ValueType::kVarchar);
+
+  QueryPredicate numeric_eq;
+  numeric_eq.op = CompareOp::kEq;
+  numeric_eq.literal = "5";
+  EXPECT_EQ(numeric_eq.ImpliedType(), ValueType::kDouble);
+
+  QueryPredicate exists;
+  exists.op = CompareOp::kExists;
+  EXPECT_EQ(exists.ImpliedType(), ValueType::kVarchar);
+
+  QueryPredicate contains;
+  contains.op = CompareOp::kContains;
+  contains.literal = "42";  // Numeric literal, but contains is textual.
+  EXPECT_EQ(contains.ImpliedType(), ValueType::kVarchar);
+}
+
+TEST(NormalizedQueryTest, ToStringMentionsAllParts) {
+  Query q = MustParse(
+      "for $i in doc(\"c\")/a/b where $i/x > 1 return $i/y");
+  std::string s = q.normalized.ToString();
+  EXPECT_NE(s.find("collection=c"), std::string::npos);
+  EXPECT_NE(s.find("/a/b"), std::string::npos);
+  EXPECT_NE(s.find("/a/b/x > 1"), std::string::npos);
+  EXPECT_NE(s.find("/a/b/y"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace xia

@@ -1,0 +1,100 @@
+#include <gtest/gtest.h>
+
+#include "storage/database.h"
+#include "storage/node_store.h"
+#include "xpath/parser.h"
+
+namespace xia {
+namespace {
+
+TEST(CollectionTest, AddAssignsSequentialIds) {
+  Database db;
+  Result<Collection*> coll = db.CreateCollection("c");
+  ASSERT_TRUE(coll.ok());
+  ASSERT_TRUE(db.LoadXml("c", "<a><b>1</b></a>").ok());
+  ASSERT_TRUE(db.LoadXml("c", "<a><b>2</b></a>").ok());
+  EXPECT_EQ((*coll)->num_docs(), 2u);
+  EXPECT_EQ((*coll)->doc(0).id(), 0);
+  EXPECT_EQ((*coll)->doc(1).id(), 1);
+  EXPECT_EQ((*coll)->num_nodes(), 6u);
+  EXPECT_GT((*coll)->ByteSize(), 0u);
+}
+
+TEST(DatabaseTest, DuplicateCollectionRejected) {
+  Database db;
+  ASSERT_TRUE(db.CreateCollection("c").ok());
+  Result<Collection*> dup = db.CreateCollection("c");
+  EXPECT_FALSE(dup.ok());
+  EXPECT_EQ(dup.status().code(), StatusCode::kAlreadyExists);
+}
+
+TEST(DatabaseTest, LoadIntoMissingCollectionFails) {
+  Database db;
+  EXPECT_EQ(db.LoadXml("ghost", "<a/>").code(), StatusCode::kNotFound);
+}
+
+TEST(DatabaseTest, LoadBadXmlFails) {
+  Database db;
+  ASSERT_TRUE(db.CreateCollection("c").ok());
+  EXPECT_EQ(db.LoadXml("c", "<a><b></a>").code(), StatusCode::kParseError);
+}
+
+TEST(DatabaseTest, AnalyzeBuildsSynopsis) {
+  Database db;
+  ASSERT_TRUE(db.CreateCollection("c").ok());
+  ASSERT_TRUE(db.LoadXml("c", "<a><b>1</b><b>2</b></a>").ok());
+  EXPECT_EQ(db.synopsis("c"), nullptr);
+  ASSERT_TRUE(db.Analyze("c").ok());
+  const PathSynopsis* synopsis = db.synopsis("c");
+  ASSERT_NE(synopsis, nullptr);
+  EXPECT_EQ(synopsis->TotalNodes(), 3u);
+  EXPECT_EQ(db.Analyze("ghost").code(), StatusCode::kNotFound);
+}
+
+TEST(DatabaseTest, CollectionNamesSorted) {
+  Database db;
+  ASSERT_TRUE(db.CreateCollection("zeta").ok());
+  ASSERT_TRUE(db.CreateCollection("alpha").ok());
+  EXPECT_EQ(db.CollectionNames(),
+            (std::vector<std::string>{"alpha", "zeta"}));
+}
+
+TEST(NodeStoreTest, PatternOverCollection) {
+  Database db;
+  ASSERT_TRUE(db.CreateCollection("c").ok());
+  ASSERT_TRUE(db.LoadXml("c", "<a><b>1</b></a>").ok());
+  ASSERT_TRUE(db.LoadXml("c", "<a><b>2</b><b>3</b></a>").ok());
+  Result<PathPattern> p = ParsePathPattern("/a/b");
+  ASSERT_TRUE(p.ok());
+  std::vector<NodeRef> refs = EvaluatePatternOverCollection(
+      *db.GetCollection("c"), db.names(), *p);
+  ASSERT_EQ(refs.size(), 3u);
+  EXPECT_EQ(refs[0].doc, 0);
+  EXPECT_EQ(refs[1].doc, 1);
+  EXPECT_EQ(refs[2].doc, 1);
+}
+
+TEST(NodeStoreTest, ParsedPathOverCollection) {
+  Database db;
+  ASSERT_TRUE(db.CreateCollection("c").ok());
+  ASSERT_TRUE(db.LoadXml("c", "<a><b><v>5</v></b></a>").ok());
+  ASSERT_TRUE(db.LoadXml("c", "<a><b><v>50</v></b></a>").ok());
+  Result<ParsedPath> p = ParsePathExpr("/a/b[v > 10]");
+  ASSERT_TRUE(p.ok());
+  std::vector<NodeRef> refs = EvaluateParsedPathOverCollection(
+      *db.GetCollection("c"), db.names(), *p);
+  ASSERT_EQ(refs.size(), 1u);
+  EXPECT_EQ(refs[0].doc, 1);
+}
+
+TEST(NodeRefTest, Ordering) {
+  NodeRef a{0, 5};
+  NodeRef b{0, 6};
+  NodeRef c{1, 0};
+  EXPECT_LT(a, b);
+  EXPECT_LT(b, c);
+  EXPECT_EQ(a, (NodeRef{0, 5}));
+}
+
+}  // namespace
+}  // namespace xia

@@ -1,0 +1,204 @@
+#include <gtest/gtest.h>
+
+#include "storage/database.h"
+#include "storage/path_synopsis.h"
+#include "storage/statistics.h"
+#include "xpath/parser.h"
+
+namespace xia {
+namespace {
+
+PathPattern P(const std::string& text) {
+  Result<PathPattern> p = ParsePathPattern(text);
+  EXPECT_TRUE(p.ok()) << text;
+  return std::move(*p);
+}
+
+class SynopsisTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ASSERT_TRUE(db_.CreateCollection("c").ok());
+    // Two documents with the paper's region structure.
+    ASSERT_TRUE(db_.LoadXml("c", R"(
+      <regions>
+        <africa>
+          <item id="a1"><quantity>5</quantity><price>10</price></item>
+          <item id="a2"><quantity>3</quantity><price>20</price></item>
+        </africa>
+        <namerica>
+          <item id="n1"><quantity>8</quantity><price>30</price></item>
+        </namerica>
+      </regions>)").ok());
+    ASSERT_TRUE(db_.LoadXml("c", R"(
+      <regions>
+        <africa>
+          <item id="a3"><quantity>1</quantity><price>40</price></item>
+        </africa>
+        <samerica>
+          <item id="s1"><quantity>9</quantity><price>abc</price></item>
+        </samerica>
+      </regions>)").ok());
+    ASSERT_TRUE(db_.Analyze("c").ok());
+    synopsis_ = db_.synopsis("c");
+    ASSERT_NE(synopsis_, nullptr);
+  }
+
+  Database db_;
+  const PathSynopsis* synopsis_ = nullptr;
+};
+
+TEST_F(SynopsisTest, CountsAreExactForLinearPaths) {
+  EXPECT_EQ(synopsis_->EstimateCount(P("/regions")), 2.0);
+  EXPECT_EQ(synopsis_->EstimateCount(P("/regions/africa")), 2.0);
+  EXPECT_EQ(synopsis_->EstimateCount(P("/regions/africa/item")), 3.0);
+  EXPECT_EQ(synopsis_->EstimateCount(P("/regions/*/item")), 5.0);
+  EXPECT_EQ(synopsis_->EstimateCount(P("//item")), 5.0);
+  EXPECT_EQ(synopsis_->EstimateCount(P("//item/quantity")), 5.0);
+  EXPECT_EQ(synopsis_->EstimateCount(P("//item/@id")), 5.0);
+  EXPECT_EQ(synopsis_->EstimateCount(P("/regions/europe/item")), 0.0);
+}
+
+TEST_F(SynopsisTest, DistinctPathsCounted) {
+  // regions, africa, namerica, samerica, item x3 (one per region),
+  // quantity x3, price x3, @id x3 = 16.
+  EXPECT_EQ(synopsis_->NumPaths(), 16u);
+  // 2 regions roots + 4 region elements + 5 items + 15 item children.
+  EXPECT_EQ(synopsis_->TotalNodes(), 26u);
+}
+
+TEST_F(SynopsisTest, EnumeratePathsContainsFullPaths) {
+  auto paths = synopsis_->EnumeratePaths();
+  bool found = false;
+  for (const auto& [path, count] : paths) {
+    if (path == "/regions/africa/item/quantity") {
+      found = true;
+      EXPECT_EQ(count, 3u);
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST_F(SynopsisTest, AggregateValuesTracksNumerics) {
+  AggValueStats q = synopsis_->AggregateValues(P("//item/quantity"));
+  EXPECT_EQ(q.node_count, 5u);
+  EXPECT_EQ(q.value_count, 5u);
+  EXPECT_EQ(q.numeric_count, 5u);
+  EXPECT_EQ(q.min_num, 1.0);
+  EXPECT_EQ(q.max_num, 9.0);
+  EXPECT_EQ(q.sample.size(), 5u);
+
+  // One price is non-numeric ("abc").
+  AggValueStats p = synopsis_->AggregateValues(P("//item/price"));
+  EXPECT_EQ(p.value_count, 5u);
+  EXPECT_EQ(p.numeric_count, 4u);
+}
+
+TEST_F(SynopsisTest, StructuralNodesHaveNoValues) {
+  AggValueStats items = synopsis_->AggregateValues(P("//item"));
+  EXPECT_EQ(items.node_count, 5u);
+  EXPECT_EQ(items.value_count, 0u);
+}
+
+TEST_F(SynopsisTest, IntersectionCount) {
+  // //item ∩ /regions/africa/item = the 3 africa items.
+  EXPECT_EQ(
+      synopsis_->EstimateIntersectionCount(P("//item"),
+                                           P("/regions/africa/item")),
+      3.0);
+  // Disjoint patterns share nothing.
+  EXPECT_EQ(synopsis_->EstimateIntersectionCount(P("//quantity"),
+                                                 P("//price")),
+            0.0);
+}
+
+TEST_F(SynopsisTest, MatchReturnsPerPathNodes) {
+  std::vector<const SynopsisNode*> nodes = synopsis_->Match(P("//item"));
+  EXPECT_EQ(nodes.size(), 3u);  // One synopsis node per region's item path.
+  uint64_t total = 0;
+  for (const SynopsisNode* n : nodes) total += n->count;
+  EXPECT_EQ(total, 5u);
+}
+
+TEST_F(SynopsisTest, PathStringReconstructsPath) {
+  std::vector<const SynopsisNode*> nodes =
+      synopsis_->Match(P("/regions/africa/item/quantity"));
+  ASSERT_EQ(nodes.size(), 1u);
+  EXPECT_EQ(nodes[0]->PathString(db_.names()),
+            "/regions/africa/item/quantity");
+}
+
+// ----------------------------------------------------------- Statistics.
+
+TEST(StatisticsTest, SelectivityFromSample) {
+  AggValueStats stats;
+  for (int i = 1; i <= 10; ++i) stats.sample.push_back(std::to_string(i));
+  stats.value_count = 10;
+  // 5 of 10 values > 5; Laplace: (5 + 0.5) / 11.
+  EXPECT_NEAR(EstimateSelectivity(stats, CompareOp::kGt, "5"), 5.5 / 11,
+              1e-9);
+  // Equality on one value: (1 + 0.5) / 11.
+  EXPECT_NEAR(EstimateSelectivity(stats, CompareOp::kEq, "7"), 1.5 / 11,
+              1e-9);
+  // Never exactly zero or one.
+  EXPECT_GT(EstimateSelectivity(stats, CompareOp::kGt, "100"), 0.0);
+  EXPECT_LT(EstimateSelectivity(stats, CompareOp::kLe, "100"), 1.0);
+}
+
+TEST(StatisticsTest, SelectivityDefaults) {
+  AggValueStats empty;
+  EXPECT_EQ(EstimateSelectivity(empty, CompareOp::kGt, "5"), 0.1);
+  EXPECT_EQ(EstimateSelectivity(empty, CompareOp::kExists, ""), 1.0);
+}
+
+TEST(StatisticsTest, EquiDepthHistogram) {
+  AggValueStats stats;
+  for (int i = 1; i <= 100; ++i) stats.sample.push_back(std::to_string(i));
+  stats.value_count = 1000;  // Scaled 10x from the sample.
+  Histogram hist = BuildEquiDepthHistogram(stats, 4);
+  ASSERT_EQ(hist.buckets.size(), 4u);
+  uint64_t total = 0;
+  for (const HistogramBucket& b : hist.buckets) {
+    EXPECT_LE(b.lo, b.hi);
+    total += b.count;
+  }
+  EXPECT_EQ(total, 1000u);
+  EXPECT_EQ(hist.buckets[0].lo, 1.0);
+  EXPECT_EQ(hist.buckets[3].hi, 100.0);
+  // Equi-depth: equal counts.
+  EXPECT_EQ(hist.buckets[0].count, hist.buckets[3].count);
+}
+
+TEST(StatisticsTest, HistogramIgnoresNonNumerics) {
+  AggValueStats stats;
+  stats.sample = {"a", "b", "3", "1", "2"};
+  stats.value_count = 5;
+  Histogram hist = BuildEquiDepthHistogram(stats, 10);
+  EXPECT_EQ(hist.buckets.size(), 3u);
+  EXPECT_FALSE(hist.ToString().empty());
+}
+
+TEST(StatisticsTest, HistogramEmptyForNoNumerics) {
+  AggValueStats stats;
+  stats.sample = {"x", "y"};
+  EXPECT_TRUE(BuildEquiDepthHistogram(stats, 4).buckets.empty());
+}
+
+TEST(SynopsisReservoirTest, SampleCapHolds) {
+  Database db;
+  ASSERT_TRUE(db.CreateCollection("c").ok());
+  std::string xml = "<root>";
+  for (int i = 0; i < 500; ++i) {
+    xml += "<v>" + std::to_string(i) + "</v>";
+  }
+  xml += "</root>";
+  ASSERT_TRUE(db.LoadXml("c", xml).ok());
+  ASSERT_TRUE(db.Analyze("c").ok());
+  AggValueStats stats = db.synopsis("c")->AggregateValues(P("/root/v"));
+  EXPECT_EQ(stats.value_count, 500u);
+  EXPECT_EQ(stats.sample.size(), 128u);  // Reservoir cap.
+  EXPECT_EQ(stats.min_num, 0.0);
+  EXPECT_EQ(stats.max_num, 499.0);
+}
+
+}  // namespace
+}  // namespace xia

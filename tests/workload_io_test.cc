@@ -1,0 +1,96 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "workload/workload_io.h"
+#include "workload/xmark_queries.h"
+
+namespace xia {
+namespace {
+
+constexpr const char* kSample = R"(# training workload
+query Q1 3 for $i in doc("xmark")/site/regions/africa/item where $i/quantity > 5 return $i/name
+
+query Q2 1.5 select * from xmark where xmlexists('$d/site/people/person[address/country = "Germany"]')
+update insert xmark 10 /site/open_auctions/open_auction/bidder
+update delete xmark 2.5 /site/closed_auctions/closed_auction
+)";
+
+TEST(WorkloadIoTest, ParsesQueriesAndUpdates) {
+  Result<Workload> w = ParseWorkloadText(kSample);
+  ASSERT_TRUE(w.ok()) << w.status().ToString();
+  ASSERT_EQ(w->size(), 2u);
+  EXPECT_EQ(w->queries()[0].id, "Q1");
+  EXPECT_EQ(w->queries()[0].weight, 3.0);
+  EXPECT_EQ(w->queries()[0].normalized.collection, "xmark");
+  EXPECT_EQ(w->queries()[1].id, "Q2");
+  EXPECT_EQ(w->queries()[1].weight, 1.5);
+  EXPECT_EQ(w->queries()[1].language, QueryLanguage::kSqlXml);
+  ASSERT_EQ(w->updates().size(), 2u);
+  EXPECT_EQ(w->updates()[0].kind, UpdateOp::Kind::kInsert);
+  EXPECT_EQ(w->updates()[0].weight, 10.0);
+  EXPECT_EQ(w->updates()[0].target.ToString(),
+            "/site/open_auctions/open_auction/bidder");
+  EXPECT_EQ(w->updates()[1].kind, UpdateOp::Kind::kDelete);
+}
+
+TEST(WorkloadIoTest, CommentsAndBlanksIgnored) {
+  Result<Workload> w = ParseWorkloadText(
+      "\n# only comments\n\n   \n# another\n");
+  ASSERT_TRUE(w.ok());
+  EXPECT_EQ(w->size(), 0u);
+}
+
+TEST(WorkloadIoTest, RoundTripsThroughSerialize) {
+  Result<Workload> original = ParseWorkloadText(kSample);
+  ASSERT_TRUE(original.ok());
+  std::string serialized = SerializeWorkload(*original);
+  Result<Workload> reparsed = ParseWorkloadText(serialized);
+  ASSERT_TRUE(reparsed.ok()) << reparsed.status().ToString();
+  ASSERT_EQ(reparsed->size(), original->size());
+  for (size_t i = 0; i < original->size(); ++i) {
+    EXPECT_EQ(reparsed->queries()[i].id, original->queries()[i].id);
+    EXPECT_EQ(reparsed->queries()[i].weight, original->queries()[i].weight);
+    EXPECT_EQ(reparsed->queries()[i].normalized.ToString(),
+              original->queries()[i].normalized.ToString());
+  }
+  ASSERT_EQ(reparsed->updates().size(), original->updates().size());
+  EXPECT_EQ(reparsed->updates()[0].target.ToString(),
+            original->updates()[0].target.ToString());
+}
+
+TEST(WorkloadIoTest, BuiltInWorkloadRoundTrips) {
+  Workload xmark = MakeXMarkWorkload("xmark");
+  AddXMarkUpdates(&xmark, "xmark", 1.0);
+  Result<Workload> reparsed = ParseWorkloadText(SerializeWorkload(xmark));
+  ASSERT_TRUE(reparsed.ok()) << reparsed.status().ToString();
+  EXPECT_EQ(reparsed->size(), xmark.size());
+  EXPECT_EQ(reparsed->updates().size(), xmark.updates().size());
+}
+
+TEST(WorkloadIoTest, Rejections) {
+  EXPECT_FALSE(ParseWorkloadText("bogus directive").ok());
+  EXPECT_FALSE(ParseWorkloadText("query Q1 notanumber for ...").ok());
+  EXPECT_FALSE(ParseWorkloadText("query Q1 2").ok());  // Missing text.
+  EXPECT_FALSE(ParseWorkloadText("query Q1 2 not a query").ok());
+  EXPECT_FALSE(
+      ParseWorkloadText("update replace xmark 1 /a").ok());  // Bad kind.
+  EXPECT_FALSE(ParseWorkloadText("update insert xmark 1 no-slash").ok());
+  EXPECT_FALSE(ParseWorkloadText("update insert xmark 0 /a").ok());
+}
+
+TEST(WorkloadIoTest, FileSaveAndLoad) {
+  Result<Workload> original = ParseWorkloadText(kSample);
+  ASSERT_TRUE(original.ok());
+  std::string path = ::testing::TempDir() + "/xia_workload_test.txt";
+  ASSERT_TRUE(SaveWorkloadFile(*original, path).ok());
+  Result<Workload> loaded = LoadWorkloadFile(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(loaded->size(), original->size());
+  std::remove(path.c_str());
+  EXPECT_FALSE(LoadWorkloadFile("/nonexistent/nope.txt").ok());
+}
+
+}  // namespace
+}  // namespace xia

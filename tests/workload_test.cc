@@ -1,0 +1,130 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "workload/tpox_queries.h"
+#include "workload/variation.h"
+#include "workload/workload.h"
+#include "workload/xmark_queries.h"
+
+namespace xia {
+namespace {
+
+TEST(WorkloadTest, AddQueryTextAssignsIdsAndWeights) {
+  Workload w;
+  ASSERT_TRUE(
+      w.AddQueryText("for $x in doc(\"c\")/a return $x", 2.5).ok());
+  ASSERT_TRUE(w.AddQueryText("for $x in doc(\"c\")/b return $x", 1.0,
+                             "custom")
+                  .ok());
+  ASSERT_EQ(w.size(), 2u);
+  EXPECT_EQ(w.queries()[0].id, "Q1");
+  EXPECT_EQ(w.queries()[0].weight, 2.5);
+  EXPECT_EQ(w.queries()[1].id, "custom");
+  EXPECT_EQ(w.TotalQueryWeight(), 3.5);
+}
+
+TEST(WorkloadTest, BadQueryTextRejected) {
+  Workload w;
+  EXPECT_FALSE(w.AddQueryText("not a query").ok());
+  EXPECT_EQ(w.size(), 0u);
+}
+
+TEST(WorkloadTest, DescribeListsQueriesAndUpdates) {
+  Workload w = MakeXMarkWorkload("xmark");
+  AddXMarkUpdates(&w, "xmark", 1.0);
+  std::string desc = w.Describe();
+  EXPECT_NE(desc.find("queries"), std::string::npos);
+  EXPECT_NE(desc.find("update"), std::string::npos);
+  EXPECT_NE(desc.find("INSERT"), std::string::npos);
+}
+
+TEST(XMarkWorkloadTest, ContainsPaperExamplePatterns) {
+  Workload w = MakeXMarkWorkload("xmark");
+  EXPECT_GE(w.size(), 12u);
+  // The running example: quantity queries over different regions, a price
+  // query over a third region — the raw material for generalization.
+  std::set<std::string> predicate_patterns;
+  for (const Query& q : w.queries()) {
+    EXPECT_EQ(q.normalized.collection, "xmark");
+    for (const QueryPredicate& p : q.normalized.predicates) {
+      predicate_patterns.insert(p.pattern.ToString());
+    }
+  }
+  EXPECT_TRUE(
+      predicate_patterns.count("/site/regions/namerica/item/quantity"));
+  EXPECT_TRUE(
+      predicate_patterns.count("/site/regions/africa/item/quantity"));
+  EXPECT_TRUE(
+      predicate_patterns.count("/site/regions/samerica/item/price"));
+}
+
+TEST(XMarkWorkloadTest, MixesLanguages) {
+  Workload w = MakeXMarkWorkload("xmark");
+  bool has_xquery = false;
+  bool has_sqlxml = false;
+  for (const Query& q : w.queries()) {
+    if (q.language == QueryLanguage::kXQuery) has_xquery = true;
+    if (q.language == QueryLanguage::kSqlXml) has_sqlxml = true;
+  }
+  EXPECT_TRUE(has_xquery);
+  EXPECT_TRUE(has_sqlxml);
+}
+
+TEST(XMarkWorkloadTest, UpdatesScaleWithRate) {
+  Workload w;
+  AddXMarkUpdates(&w, "xmark", 2.0);
+  ASSERT_EQ(w.updates().size(), 3u);
+  EXPECT_EQ(w.updates()[0].weight, 20.0);  // Bids: 10 * rate.
+  AddXMarkUpdates(&w, "xmark", 0.0);       // Rate 0: no-op.
+  EXPECT_EQ(w.updates().size(), 3u);
+}
+
+TEST(TpoxWorkloadTest, SpansAllThreeCollections) {
+  Workload w = MakeTpoxWorkload();
+  std::set<std::string> collections;
+  for (const Query& q : w.queries()) {
+    collections.insert(q.normalized.collection);
+  }
+  EXPECT_EQ(collections,
+            (std::set<std::string>{"custacc", "order", "security"}));
+}
+
+TEST(TpoxWorkloadTest, UpdatesTargetHotPaths) {
+  Workload w;
+  AddTpoxUpdates(&w, 1.0);
+  ASSERT_EQ(w.updates().size(), 2u);
+  EXPECT_EQ(w.updates()[0].target.ToString(), "/FIXML/Order");
+}
+
+TEST(VariationTest, UnseenWorkloadParsesAndVaries) {
+  Random rng(17);
+  Workload w = MakeXMarkUnseenWorkload("xmark", &rng, 20);
+  EXPECT_EQ(w.size(), 20u);
+  std::set<std::string> shapes;
+  for (const Query& q : w.queries()) {
+    EXPECT_EQ(q.normalized.collection, "xmark");
+    shapes.insert(q.normalized.for_path.ToString());
+  }
+  // Variations hit multiple templates/regions, not one shape.
+  EXPECT_GE(shapes.size(), 3u);
+}
+
+TEST(VariationTest, UnseenDeterministicPerSeed) {
+  Random rng1(4), rng2(4);
+  Workload a = MakeXMarkUnseenWorkload("xmark", &rng1, 5);
+  Workload b = MakeXMarkUnseenWorkload("xmark", &rng2, 5);
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a.queries()[i].text, b.queries()[i].text);
+  }
+}
+
+TEST(VariationTest, TpoxUnseenParses) {
+  Random rng(23);
+  Workload w = MakeTpoxUnseenWorkload(&rng, 12);
+  EXPECT_EQ(w.size(), 12u);
+}
+
+}  // namespace
+}  // namespace xia

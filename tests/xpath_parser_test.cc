@@ -1,0 +1,222 @@
+#include <gtest/gtest.h>
+
+#include "xpath/lexer.h"
+#include "xpath/parser.h"
+#include "xpath/path.h"
+
+namespace xia {
+namespace {
+
+PathPattern MustPattern(const std::string& text) {
+  Result<PathPattern> p = ParsePathPattern(text);
+  EXPECT_TRUE(p.ok()) << text << ": " << p.status().ToString();
+  return p.ok() ? std::move(*p) : PathPattern();
+}
+
+ParsedPath MustPath(const std::string& text) {
+  Result<ParsedPath> p = ParsePathExpr(text);
+  EXPECT_TRUE(p.ok()) << text << ": " << p.status().ToString();
+  return p.ok() ? std::move(*p) : ParsedPath();
+}
+
+// ----------------------------------------------------------------- Lexer.
+
+TEST(LexerTest, TokenizesStepsAndPredicates) {
+  Result<std::vector<PathToken>> tokens =
+      TokenizePath("/a//b[@id = \"x\"]/c[d > 3.5]");
+  ASSERT_TRUE(tokens.ok());
+  // /, a, //, b, [, @, id, =, "x", ], /, c, [, d, >, 3.5, ], END
+  EXPECT_EQ(tokens->size(), 18u);
+  EXPECT_EQ((*tokens)[0].kind, PathTokenKind::kSlash);
+  EXPECT_EQ((*tokens)[2].kind, PathTokenKind::kDoubleSlash);
+  EXPECT_EQ((*tokens)[8].kind, PathTokenKind::kString);
+  EXPECT_EQ((*tokens)[8].text, "x");
+  EXPECT_EQ((*tokens)[15].kind, PathTokenKind::kNumber);
+  EXPECT_EQ((*tokens)[15].text, "3.5");
+}
+
+TEST(LexerTest, OperatorVariants) {
+  Result<std::vector<PathToken>> tokens = TokenizePath("<= >= != < > =");
+  ASSERT_TRUE(tokens.ok());
+  std::vector<std::string> ops;
+  for (const PathToken& t : *tokens) {
+    if (t.kind == PathTokenKind::kOp) ops.push_back(t.text);
+  }
+  EXPECT_EQ(ops,
+            (std::vector<std::string>{"<=", ">=", "!=", "<", ">", "="}));
+}
+
+TEST(LexerTest, RejectsBadInput) {
+  EXPECT_FALSE(TokenizePath("/a[x ! 3]").ok());
+  EXPECT_FALSE(TokenizePath("/a[\"unterminated]").ok());
+  EXPECT_FALSE(TokenizePath("/a#b").ok());
+}
+
+// --------------------------------------------------------------- Pattern.
+
+TEST(PatternParserTest, ParsesAndRoundTrips) {
+  for (const std::string text :
+       {"/site/regions/africa/item/quantity", "//keyword", "//*",
+        "/site/regions/*/item/*", "//@id", "/a//b/*/@x",
+        "/site/people/person/profile"}) {
+    PathPattern p = MustPattern(text);
+    EXPECT_EQ(p.ToString(), text);
+    // Parse the rendering again: identical pattern.
+    EXPECT_EQ(MustPattern(p.ToString()), p);
+  }
+}
+
+TEST(PatternParserTest, StepStructure) {
+  PathPattern p = MustPattern("/a//b/*/@c");
+  ASSERT_EQ(p.length(), 4u);
+  EXPECT_EQ(p.steps()[0].axis, Axis::kChild);
+  EXPECT_EQ(p.steps()[0].name, "a");
+  EXPECT_EQ(p.steps()[1].axis, Axis::kDescendant);
+  EXPECT_TRUE(p.steps()[2].wildcard);
+  EXPECT_TRUE(p.steps()[3].is_attribute);
+  EXPECT_EQ(p.steps()[3].name, "c");
+  EXPECT_TRUE(p.EndsWithAttribute());
+  EXPECT_TRUE(p.HasDescendantAxis());
+}
+
+TEST(PatternParserTest, UniversalPatterns) {
+  EXPECT_EQ(PathPattern::AllElements().ToString(), "//*");
+  EXPECT_EQ(PathPattern::AllAttributes().ToString(), "//@*");
+}
+
+TEST(PatternParserTest, RejectsPredicatesInPatterns) {
+  EXPECT_FALSE(ParsePathPattern("/a[b = 1]").ok());
+}
+
+TEST(PatternParserTest, RejectsMalformed) {
+  EXPECT_FALSE(ParsePathPattern("a/b").ok());        // Must start with '/'.
+  EXPECT_FALSE(ParsePathPattern("/a/").ok());        // Trailing slash.
+  EXPECT_FALSE(ParsePathPattern("").ok());
+  EXPECT_FALSE(ParsePathPattern("/@a/b").ok());      // Attr must be last.
+  EXPECT_FALSE(ParsePathPattern("/a/@").ok());
+}
+
+TEST(PatternTest, HashConsistentWithEquality) {
+  PathPattern a = MustPattern("/a/*/c");
+  PathPattern b = MustPattern("/a/*/c");
+  PathPattern c = MustPattern("/a//c");
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(a.Hash(), b.Hash());
+  EXPECT_NE(a, c);
+}
+
+TEST(PatternTest, ConcatAppends) {
+  PathPattern a = MustPattern("/a/b");
+  PathPattern rel = MustPattern("/c/d");
+  EXPECT_EQ(a.Concat(rel).ToString(), "/a/b/c/d");
+}
+
+TEST(PatternTest, WildcardCountCountsStarsAndDescendants) {
+  EXPECT_EQ(MustPattern("/a/b/c").WildcardCount(), 0u);
+  EXPECT_EQ(MustPattern("/a/*/c").WildcardCount(), 1u);
+  EXPECT_EQ(MustPattern("//a/*").WildcardCount(), 2u);
+}
+
+// ------------------------------------------------------------ Predicates.
+
+TEST(PathExprTest, ValuePredicate) {
+  ParsedPath p = MustPath("/site/regions/africa/item[quantity > 5]");
+  EXPECT_EQ(p.pattern.ToString(), "/site/regions/africa/item");
+  ASSERT_EQ(p.predicates.size(), 1u);
+  const PathPredicate& pred = p.predicates[0];
+  EXPECT_EQ(pred.step_index, 3u);
+  EXPECT_EQ(pred.rel.ToString(), "/quantity");
+  EXPECT_EQ(pred.op, CompareOp::kGt);
+  EXPECT_EQ(pred.literal, "5");
+}
+
+TEST(PathExprTest, PredicateAtIntermediateStep) {
+  ParsedPath p = MustPath("/a/b[c = \"x\"]/d");
+  EXPECT_EQ(p.pattern.ToString(), "/a/b/d");
+  ASSERT_EQ(p.predicates.size(), 1u);
+  EXPECT_EQ(p.predicates[0].step_index, 1u);
+}
+
+TEST(PathExprTest, AttributePredicate) {
+  ParsedPath p = MustPath("/site/people/person[profile/@income >= 50000]");
+  ASSERT_EQ(p.predicates.size(), 1u);
+  EXPECT_EQ(p.predicates[0].rel.ToString(), "/profile/@income");
+  EXPECT_EQ(p.predicates[0].op, CompareOp::kGe);
+}
+
+TEST(PathExprTest, ExistencePredicate) {
+  ParsedPath p = MustPath("/a/b[c/d]");
+  ASSERT_EQ(p.predicates.size(), 1u);
+  EXPECT_EQ(p.predicates[0].op, CompareOp::kExists);
+  EXPECT_EQ(p.predicates[0].rel.ToString(), "/c/d");
+}
+
+TEST(PathExprTest, DotAndTextPredicates) {
+  ParsedPath dot = MustPath("/a/b[. = \"v\"]");
+  ASSERT_EQ(dot.predicates.size(), 1u);
+  EXPECT_TRUE(dot.predicates[0].rel.empty());
+
+  ParsedPath text = MustPath("/a/b[text() = \"v\"]");
+  ASSERT_EQ(text.predicates.size(), 1u);
+  EXPECT_TRUE(text.predicates[0].rel.empty());
+}
+
+TEST(PathExprTest, ContainsPredicate) {
+  ParsedPath p = MustPath("/a/b[contains(description, \"gold\")]");
+  ASSERT_EQ(p.predicates.size(), 1u);
+  EXPECT_EQ(p.predicates[0].op, CompareOp::kContains);
+  EXPECT_EQ(p.predicates[0].literal, "gold");
+}
+
+TEST(PathExprTest, MultiplePredicatesOnOneStep) {
+  ParsedPath p = MustPath("/a/b[c > 1][d = \"x\"]");
+  ASSERT_EQ(p.predicates.size(), 2u);
+  EXPECT_EQ(p.predicates[0].step_index, 1u);
+  EXPECT_EQ(p.predicates[1].step_index, 1u);
+}
+
+TEST(PathExprTest, DescendantInsidePredicate) {
+  ParsedPath p = MustPath("/a[//k = \"v\"]");
+  ASSERT_EQ(p.predicates.size(), 1u);
+  EXPECT_EQ(p.predicates[0].rel.steps()[0].axis, Axis::kDescendant);
+}
+
+TEST(PathPredicateTest, AbsolutePatternPrefixesMainPath) {
+  ParsedPath p = MustPath("/a/b[c/d > 3]/e");
+  ASSERT_EQ(p.predicates.size(), 1u);
+  EXPECT_EQ(p.predicates[0].AbsolutePattern(p.pattern).ToString(),
+            "/a/b/c/d");
+}
+
+TEST(PathExprTest, ToStringRendersPredicatesInline) {
+  const std::string text = "/a/b[c > 5]/d";
+  ParsedPath p = MustPath(text);
+  EXPECT_EQ(p.ToString(), text);
+}
+
+// ------------------------------------------------------------- Compare.
+
+TEST(CompareValuesTest, NumericWhenBothNumeric) {
+  EXPECT_TRUE(CompareValues(CompareOp::kGt, "10", "9.5"));
+  EXPECT_FALSE(CompareValues(CompareOp::kGt, "10", "10"));
+  EXPECT_TRUE(CompareValues(CompareOp::kGe, "10", "10"));
+  EXPECT_TRUE(CompareValues(CompareOp::kEq, "5.0", "5"));
+  EXPECT_TRUE(CompareValues(CompareOp::kNe, "5", "6"));
+}
+
+TEST(CompareValuesTest, LexicographicWhenNonNumeric) {
+  EXPECT_TRUE(CompareValues(CompareOp::kLt, "apple", "banana"));
+  // "10" < "9" lexicographically would be true, but both are numeric,
+  // so the comparison is numeric: 10 < 9 is false.
+  EXPECT_FALSE(CompareValues(CompareOp::kLt, "10", "9"));
+  EXPECT_TRUE(CompareValues(CompareOp::kGe, "2004-05-01", "2003-12-31"));
+}
+
+TEST(CompareValuesTest, ContainsAndExists) {
+  EXPECT_TRUE(CompareValues(CompareOp::kContains, "solid gold ring", "gold"));
+  EXPECT_FALSE(CompareValues(CompareOp::kContains, "silver", "gold"));
+  EXPECT_TRUE(CompareValues(CompareOp::kExists, "anything", "ignored"));
+}
+
+}  // namespace
+}  // namespace xia
