@@ -1,114 +1,158 @@
-// Figure 3: estimating the benefit of an index configuration. For each
-// workload query, invoke the optimizer in the Evaluate Indexes mode under
-// several hypothetical configurations and print the estimated costs —
-// the demo's cost-comparison screen.
+// Figure 3: estimating the benefit of an index configuration — now as a
+// google-benchmark harness over the advisor's hot path, the what-if
+// evaluation of whole configurations. Each benchmark sweeps the thread
+// knob (arg 0), so `--benchmark_format=json` output doubles as the CI
+// perf artifact tracking the parallel speedup of Evaluate Indexes mode.
 
-#include <cstdio>
-#include <iostream>
+#include <benchmark/benchmark.h>
+
+#include <memory>
+#include <string>
+#include <utility>
 #include <vector>
 
-#include "common/string_util.h"
+#include "advisor/benefit.h"
+#include "common/logging.h"
+#include "common/thread_pool.h"
 #include "optimizer/explain.h"
 #include "workload/xmark_queries.h"
 #include "xmldata/xmark_gen.h"
 #include "xpath/parser.h"
 
-using namespace xia;
-
+namespace xia {
 namespace {
 
-std::vector<IndexDefinition> MakeConfig(
-    const std::vector<std::pair<std::string, ValueType>>& specs) {
-  std::vector<IndexDefinition> out;
-  for (const auto& [pattern_text, type] : specs) {
-    Result<PathPattern> pattern = ParsePathPattern(pattern_text);
-    if (!pattern.ok()) continue;
-    IndexDefinition def;
-    def.collection = "xmark";
-    def.pattern = std::move(*pattern);
-    def.type = type;
-    out.push_back(std::move(def));
+/// Shared database + workload fixture, built once. The workload is the
+/// XMark set repeated several times so a single evaluation has enough
+/// queries to fan out.
+struct Fixture {
+  Database db;
+  Workload workload;
+  Catalog catalog;
+  CostModel cost_model;
+  std::unique_ptr<Optimizer> optimizer;
+  std::vector<CandidateIndex> candidates;
+  std::vector<IndexDefinition> config_defs;
+
+  Fixture() {
+    XMarkParams params;
+    XIA_CHECK(PopulateXMark(&db, "xmark", 30, params, 42).ok());
+    Workload base = MakeXMarkWorkload("xmark");
+    for (int rep = 0; rep < 6; ++rep) {
+      for (const Query& q : base.queries()) workload.AddQuery(q);
+    }
+    optimizer = std::make_unique<Optimizer>(&db, cost_model);
+
+    const std::vector<std::pair<std::string, ValueType>> specs = {
+        {"/site/regions/namerica/item/quantity", ValueType::kDouble},
+        {"/site/regions/africa/item/quantity", ValueType::kDouble},
+        {"/site/regions/samerica/item/price", ValueType::kDouble},
+        {"/site/regions/*/item/quantity", ValueType::kDouble},
+        {"/site/regions/*/item/*", ValueType::kDouble},
+        {"/site/regions/*/item/*", ValueType::kVarchar},
+        {"//item/payment", ValueType::kVarchar},
+        {"/site/people/person/profile/@income", ValueType::kDouble},
+    };
+    for (const auto& [text, type] : specs) {
+      CandidateIndex cand;
+      cand.def.collection = "xmark";
+      cand.def.pattern = *ParsePathPattern(text);
+      cand.def.type = type;
+      cand.stats = EstimateVirtualIndex(*db.synopsis("xmark"), cand.def,
+                                        cost_model.storage);
+      config_defs.push_back(cand.def);
+      candidates.push_back(std::move(cand));
+    }
   }
-  return out;
+};
+
+Fixture* SharedFixture() {
+  static Fixture* fixture = new Fixture();
+  return fixture;
 }
+
+/// Evaluate one full configuration, per-query fan-out at `threads`. A
+/// fresh evaluator per iteration defeats the configuration memo, so every
+/// iteration performs the real what-if optimizer calls.
+void BM_EvaluateConfiguration(benchmark::State& state) {
+  Fixture& f = *SharedFixture();
+  int threads = static_cast<int>(state.range(0));
+  ContainmentCache cache;
+  std::vector<int> config;
+  for (size_t i = 0; i < f.candidates.size(); ++i) {
+    config.push_back(static_cast<int>(i));
+  }
+  for (auto _ : state) {
+    ConfigurationEvaluator evaluator(f.optimizer.get(), &f.workload,
+                                     &f.catalog, &f.candidates, &cache,
+                                     /*account_update_cost=*/true, threads);
+    auto eval = evaluator.Evaluate(config);
+    XIA_CHECK(eval.ok());
+    benchmark::DoNotOptimize(eval->workload_cost);
+  }
+  state.counters["queries"] =
+      static_cast<double>(f.workload.queries().size());
+}
+BENCHMARK(BM_EvaluateConfiguration)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->UseRealTime()
+    ->Unit(benchmark::kMillisecond);
+
+/// A greedy-style scoring round: every candidate evaluated stand-alone in
+/// one EvaluateMany batch (configuration-level fan-out).
+void BM_EvaluateManySingletons(benchmark::State& state) {
+  Fixture& f = *SharedFixture();
+  int threads = static_cast<int>(state.range(0));
+  ContainmentCache cache;
+  std::vector<std::vector<int>> singletons;
+  for (size_t i = 0; i < f.candidates.size(); ++i) {
+    singletons.push_back({static_cast<int>(i)});
+  }
+  for (auto _ : state) {
+    ConfigurationEvaluator evaluator(f.optimizer.get(), &f.workload,
+                                     &f.catalog, &f.candidates, &cache,
+                                     /*account_update_cost=*/true, threads);
+    auto evals = evaluator.EvaluateMany(singletons);
+    for (const auto& eval : evals) XIA_CHECK(eval.ok());
+    benchmark::DoNotOptimize(evals);
+  }
+  state.counters["configs"] = static_cast<double>(singletons.size());
+}
+BENCHMARK(BM_EvaluateManySingletons)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->UseRealTime()
+    ->Unit(benchmark::kMillisecond);
+
+/// The raw EXPLAIN mode (WhatIfSession::EvaluateWorkload path).
+void BM_EvaluateIndexesMode(benchmark::State& state) {
+  Fixture& f = *SharedFixture();
+  int threads = static_cast<int>(state.range(0));
+  ContainmentCache cache;
+  std::unique_ptr<ThreadPool> pool;
+  if (threads > 1) pool = std::make_unique<ThreadPool>(threads);
+  for (auto _ : state) {
+    auto result =
+        EvaluateIndexesMode(*f.optimizer, f.workload.queries(), f.config_defs,
+                            f.catalog, &cache, pool.get());
+    XIA_CHECK(result.ok());
+    benchmark::DoNotOptimize(result->total_weighted_cost);
+  }
+}
+BENCHMARK(BM_EvaluateIndexesMode)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->UseRealTime()
+    ->Unit(benchmark::kMillisecond);
 
 }  // namespace
+}  // namespace xia
 
-int main() {
-  std::cout << "== Figure 3: Evaluate Indexes mode — configuration "
-               "cost estimation ==\n\n";
-
-  Database db;
-  XMarkParams params;
-  if (!PopulateXMark(&db, "xmark", 12, params, 42).ok()) return 1;
-  Workload workload = MakeXMarkWorkload("xmark");
-
-  struct NamedConfig {
-    const char* label;
-    std::vector<IndexDefinition> defs;
-  };
-  std::vector<NamedConfig> configs;
-  configs.push_back({"no indexes", {}});
-  configs.push_back(
-      {"exact: region quantity/price indexes",
-       MakeConfig({{"/site/regions/namerica/item/quantity",
-                    ValueType::kDouble},
-                   {"/site/regions/africa/item/quantity",
-                    ValueType::kDouble},
-                   {"/site/regions/samerica/item/price",
-                    ValueType::kDouble}})});
-  configs.push_back(
-      {"generalized: /site/regions/*/item/*",
-       MakeConfig({{"/site/regions/*/item/*", ValueType::kDouble},
-                   {"/site/regions/*/item/*", ValueType::kVarchar}})});
-  configs.push_back(
-      {"broad: //* (universal)",
-       MakeConfig({{"//*", ValueType::kVarchar},
-                   {"//*", ValueType::kDouble}})});
-
-  ContainmentCache cache;
-  CostModel cost_model;
-  Optimizer optimizer(&db, cost_model);
-  Catalog base;
-
-  std::vector<EvaluateIndexesResult> results;
-  for (const NamedConfig& config : configs) {
-    Result<EvaluateIndexesResult> r = EvaluateIndexesMode(
-        optimizer, workload.queries(), config.defs, base, &cache);
-    if (!r.ok()) {
-      std::cerr << r.status().ToString() << "\n";
-      return 1;
-    }
-    results.push_back(std::move(*r));
-  }
-
-  std::printf("%-6s", "query");
-  for (const NamedConfig& config : configs) {
-    std::printf(" %28.28s", config.label);
-  }
-  std::printf("\n");
-  for (size_t qi = 0; qi < workload.size(); ++qi) {
-    std::printf("%-6s", workload.queries()[qi].id.c_str());
-    for (const EvaluateIndexesResult& r : results) {
-      std::printf(" %28.1f", r.plans[qi].total_cost);
-    }
-    std::printf("\n");
-  }
-  std::printf("%-6s", "TOTAL");
-  for (const EvaluateIndexesResult& r : results) {
-    std::printf(" %28.1f", r.total_weighted_cost);
-  }
-  std::printf("\n\n");
-
-  for (size_t c = 0; c < configs.size(); ++c) {
-    std::cout << "[" << configs[c].label << "] indexes used:";
-    if (results[c].index_use_counts.empty()) std::cout << " (none)";
-    for (const auto& [name, count] : results[c].index_use_counts) {
-      std::cout << " " << name << "(x" << count << ")";
-    }
-    std::cout << "\n";
-  }
-  std::cout << "\nExample plan under the generalized configuration:\n"
-            << results[2].plans[0].Explain();
-  return 0;
-}
+BENCHMARK_MAIN();

@@ -68,7 +68,8 @@ Result<Recommendation> Advisor::Recommend(const Workload& workload) {
   Optimizer optimizer(db_, options_.cost_model);
   ConfigurationEvaluator evaluator(&optimizer, &workload, base_catalog_,
                                    &rec.candidates, &cache_,
-                                   options_.account_update_cost);
+                                   options_.account_update_cost,
+                                   options_.threads);
   SearchOptions search_options;
   search_options.space_budget_bytes = options_.space_budget_bytes;
   switch (options_.algorithm) {

@@ -29,6 +29,11 @@ struct AdvisorOptions {
   SearchAlgorithm algorithm = SearchAlgorithm::kGreedyHeuristic;
   bool enable_generalization = true;   // Ablation B switch.
   bool account_update_cost = true;     // Ablation B switch.
+  /// What-if fan-out width for configuration evaluation: 0 (default)
+  /// uses std::thread::hardware_concurrency(); 1 runs the exact serial
+  /// path. Recommendations are identical at every width — parallel
+  /// evaluations merge per-query results in query order.
+  int threads = 0;
   GeneralizeOptions generalize;
   CostModel cost_model;
 };

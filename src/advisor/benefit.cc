@@ -1,6 +1,8 @@
 #include "advisor/benefit.h"
 
 #include <algorithm>
+#include <unordered_map>
+#include <utility>
 
 #include "common/string_util.h"
 
@@ -13,13 +15,15 @@ std::string CandidateOverlayName(int candidate) {
 ConfigurationEvaluator::ConfigurationEvaluator(
     const Optimizer* optimizer, const Workload* workload,
     const Catalog* base_catalog, const std::vector<CandidateIndex>* candidates,
-    ContainmentCache* cache, bool account_update_cost)
+    ContainmentCache* cache, bool account_update_cost, int threads)
     : optimizer_(optimizer),
       workload_(workload),
       base_catalog_(base_catalog),
       candidates_(candidates),
       cache_(cache),
-      account_update_cost_(account_update_cost) {
+      account_update_cost_(account_update_cost),
+      threads_(ResolveThreadCount(threads)) {
+  if (threads_ > 1) pool_ = std::make_unique<ThreadPool>(threads_);
   // Build the workload expression table: driving paths + predicates.
   for (size_t qi = 0; qi < workload_->queries().size(); ++qi) {
     const NormalizedQuery& nq = workload_->queries()[qi].normalized;
@@ -100,18 +104,22 @@ double ConfigurationEvaluator::EstimateUpdateCost(
   return total;
 }
 
-Result<ConfigurationEvaluator::Evaluation> ConfigurationEvaluator::Evaluate(
+std::pair<std::string, std::vector<int>> ConfigurationEvaluator::CanonicalKey(
     const std::vector<int>& config) {
   std::vector<int> sorted = config;
   std::sort(sorted.begin(), sorted.end());
   sorted.erase(std::unique(sorted.begin(), sorted.end()), sorted.end());
   std::string key;
   for (int c : sorted) key += std::to_string(c) + ",";
-  auto it = memo_.find(key);
-  if (it != memo_.end()) return it->second;
+  return {std::move(key), std::move(sorted)};
+}
 
+Result<ConfigurationEvaluator::Evaluation>
+ConfigurationEvaluator::EvaluateUncached(const std::vector<int>& sorted,
+                                         bool parallel_queries) {
   // Build the overlay: base catalog + the configuration as virtual
-  // indexes, reusing the candidates' precomputed statistics.
+  // indexes, reusing the candidates' precomputed statistics. The overlay
+  // is written here, then only read by the concurrent optimizations.
   Catalog overlay = *base_catalog_;
   for (int ci : sorted) {
     const CandidateIndex& cand = (*candidates_)[static_cast<size_t>(ci)];
@@ -120,12 +128,23 @@ Result<ConfigurationEvaluator::Evaluation> ConfigurationEvaluator::Evaluate(
     XIA_RETURN_IF_ERROR(overlay.AddVirtual(std::move(def), cand.stats));
   }
 
+  // Optimize every query into its own slot, then merge in query order so
+  // the floating-point sum (and therefore every downstream search
+  // decision) is independent of scheduling.
+  const std::vector<Query>& queries = workload_->queries();
+  std::vector<Result<QueryPlan>> plans(queries.size(),
+                                       Status::Internal("not evaluated"));
+  ParallelFor(parallel_queries ? pool_.get() : nullptr, queries.size(),
+              [&](size_t qi) {
+                plans[qi] = optimizer_->Optimize(queries[qi], overlay, cache_);
+              });
+
   Evaluation eval;
-  for (const Query& query : workload_->queries()) {
-    XIA_ASSIGN_OR_RETURN(QueryPlan plan,
-                         optimizer_->Optimize(query, overlay, cache_));
+  for (size_t qi = 0; qi < queries.size(); ++qi) {
+    XIA_RETURN_IF_ERROR(plans[qi].status());
+    const QueryPlan& plan = *plans[qi];
     eval.per_query_cost.push_back(plan.total_cost);
-    eval.workload_cost += query.weight * plan.total_cost;
+    eval.workload_cost += queries[qi].weight * plan.total_cost;
     if (plan.access.use_index &&
         StartsWith(plan.access.index_def.name, "cand")) {
       eval.used_candidates.insert(
@@ -138,9 +157,78 @@ Result<ConfigurationEvaluator::Evaluation> ConfigurationEvaluator::Evaluate(
     }
   }
   eval.update_cost = EstimateUpdateCost(sorted);
-  ++num_evaluations_;
-  memo_.emplace(std::move(key), eval);
+  num_evaluations_.fetch_add(1, std::memory_order_relaxed);
   return eval;
+}
+
+Result<ConfigurationEvaluator::Evaluation> ConfigurationEvaluator::Evaluate(
+    const std::vector<int>& config) {
+  auto [key, sorted] = CanonicalKey(config);
+  {
+    std::lock_guard<std::mutex> lock(memo_mu_);
+    auto it = memo_.find(key);
+    if (it != memo_.end()) return it->second;
+  }
+  XIA_ASSIGN_OR_RETURN(Evaluation eval,
+                       EvaluateUncached(sorted, /*parallel_queries=*/true));
+  std::lock_guard<std::mutex> lock(memo_mu_);
+  return memo_.emplace(std::move(key), std::move(eval)).first->second;
+}
+
+std::vector<Result<ConfigurationEvaluator::Evaluation>>
+ConfigurationEvaluator::EvaluateMany(
+    const std::vector<std::vector<int>>& configs) {
+  std::vector<Result<Evaluation>> results(configs.size(),
+                                          Status::Internal("not evaluated"));
+  // Resolve memo hits and deduplicate the misses, so each distinct
+  // configuration is optimized exactly once — num_evaluations() advances
+  // exactly as the equivalent sequence of Evaluate() calls would.
+  struct Miss {
+    std::string key;
+    std::vector<int> sorted;
+    Result<Evaluation> result = Status::Internal("not evaluated");
+  };
+  std::vector<Miss> misses;
+  std::unordered_map<std::string, size_t> miss_index;
+  std::vector<size_t> result_to_miss(configs.size(), SIZE_MAX);
+  {
+    std::lock_guard<std::mutex> lock(memo_mu_);
+    for (size_t i = 0; i < configs.size(); ++i) {
+      auto [key, sorted] = CanonicalKey(configs[i]);
+      auto hit = memo_.find(key);
+      if (hit != memo_.end()) {
+        results[i] = hit->second;
+        continue;
+      }
+      auto [it, inserted] = miss_index.emplace(key, misses.size());
+      if (inserted) {
+        misses.push_back(Miss{std::move(key), std::move(sorted)});
+      }
+      result_to_miss[i] = it->second;
+    }
+  }
+
+  // One task per distinct miss; the per-query loop inside each stays
+  // serial to keep exactly one level of parallelism per call path.
+  ParallelFor(pool_.get(), misses.size(), [&](size_t mi) {
+    misses[mi].result =
+        EvaluateUncached(misses[mi].sorted, /*parallel_queries=*/false);
+  });
+
+  {
+    std::lock_guard<std::mutex> lock(memo_mu_);
+    for (Miss& miss : misses) {
+      if (miss.result.ok()) {
+        memo_.emplace(std::move(miss.key), *miss.result);
+      }
+    }
+  }
+  for (size_t i = 0; i < configs.size(); ++i) {
+    if (result_to_miss[i] != SIZE_MAX) {
+      results[i] = misses[result_to_miss[i]].result;
+    }
+  }
+  return results;
 }
 
 Result<double> ConfigurationEvaluator::BaselineCost() {

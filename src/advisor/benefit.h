@@ -1,7 +1,10 @@
 #ifndef XIA_ADVISOR_BENEFIT_H_
 #define XIA_ADVISOR_BENEFIT_H_
 
+#include <atomic>
 #include <map>
+#include <memory>
+#include <mutex>
 #include <set>
 #include <string>
 #include <vector>
@@ -9,6 +12,7 @@
 #include "advisor/candidate.h"
 #include "common/bitmap.h"
 #include "common/status.h"
+#include "common/thread_pool.h"
 #include "optimizer/optimizer.h"
 #include "workload/workload.h"
 #include "xpath/containment.h"
@@ -23,6 +27,13 @@ namespace xia {
 /// indexes exist — is captured by construction, as Section 2.3 requires.
 /// Evaluations are memoized by configuration, since greedy and top-down
 /// searches revisit configurations.
+///
+/// Concurrency: with `threads > 1` the per-query what-if optimizations
+/// inside one Evaluate() fan out over an internal thread pool, and
+/// EvaluateMany() fans out whole configurations; the memo and evaluation
+/// counter are lock-/atomic-protected so both levels may run
+/// concurrently. Per-query results are merged in query order, making the
+/// parallel costs bit-identical to the serial (`threads == 1`) path.
 class ConfigurationEvaluator {
  public:
   /// One workload XPath expression (driving path or predicate pattern) —
@@ -45,14 +56,27 @@ class ConfigurationEvaluator {
   };
 
   /// All pointers must outlive the evaluator. `account_update_cost`
-  /// toggles the maintenance debit (ablation B).
+  /// toggles the maintenance debit (ablation B). `threads` is the what-if
+  /// fan-out width: 1 (the default) evaluates serially exactly as before,
+  /// 0 resolves to std::thread::hardware_concurrency().
   ConfigurationEvaluator(const Optimizer* optimizer, const Workload* workload,
                          const Catalog* base_catalog,
                          const std::vector<CandidateIndex>* candidates,
-                         ContainmentCache* cache, bool account_update_cost);
+                         ContainmentCache* cache, bool account_update_cost,
+                         int threads = 1);
 
-  /// Evaluates the configuration given as candidate indices.
+  /// Evaluates the configuration given as candidate indices, optimizing
+  /// the workload's queries in parallel when threads > 1.
   Result<Evaluation> Evaluate(const std::vector<int>& config);
+
+  /// Evaluates several configurations concurrently (one task per distinct
+  /// uncached configuration, serial per-query loop inside each), returning
+  /// results aligned with `configs`. This is the search-loop fan-out:
+  /// scoring every candidate of a greedy round costs one pool dispatch.
+  /// Results and num_evaluations() match what sequential Evaluate() calls
+  /// would have produced.
+  std::vector<Result<Evaluation>> EvaluateMany(
+      const std::vector<std::vector<int>>& configs);
 
   /// Cost of the empty configuration (collection scans everywhere).
   Result<double> BaselineCost();
@@ -70,7 +94,12 @@ class ConfigurationEvaluator {
   bool Covers(int candidate, size_t expr_index);
 
   /// Number of distinct configurations actually optimized (cache misses).
-  int num_evaluations() const { return num_evaluations_; }
+  int num_evaluations() const {
+    return num_evaluations_.load(std::memory_order_relaxed);
+  }
+
+  /// Effective what-if fan-out width (>= 1).
+  int threads() const { return threads_; }
 
   const std::vector<CandidateIndex>& candidates() const {
     return *candidates_;
@@ -83,9 +112,22 @@ class ConfigurationEvaluator {
   const std::vector<CandidateIndex>* candidates_;
   ContainmentCache* cache_;
   bool account_update_cost_;
+  int threads_;
+  std::unique_ptr<ThreadPool> pool_;  // Null when threads_ == 1.
   std::vector<WorkloadExpr> exprs_;
+  std::mutex memo_mu_;
   std::map<std::string, Evaluation> memo_;
-  int num_evaluations_ = 0;
+  std::atomic<int> num_evaluations_{0};
+
+  /// Canonical memo key (sorted, deduplicated config) + that config.
+  static std::pair<std::string, std::vector<int>> CanonicalKey(
+      const std::vector<int>& config);
+
+  /// Uncached evaluation of a canonical config. `parallel_queries` fans
+  /// the per-query optimizations out over the pool; EvaluateMany passes
+  /// false because it parallelizes at configuration granularity instead.
+  Result<Evaluation> EvaluateUncached(const std::vector<int>& sorted,
+                                      bool parallel_queries);
 
   double EstimateUpdateCost(const std::vector<int>& config) const;
 };

@@ -27,18 +27,23 @@ Result<SearchResult> GreedySearch(ConfigurationEvaluator* evaluator,
   SearchResult result;
   XIA_ASSIGN_OR_RETURN(result.baseline_cost, evaluator->BaselineCost());
 
-  // Stand-alone benefit of each candidate.
+  // Stand-alone benefit of each candidate — one what-if evaluation per
+  // candidate, fanned out over the evaluator's thread pool in one batch.
   struct Ranked {
     int candidate;
     double benefit;
     double ratio;
   };
+  std::vector<std::vector<int>> singletons;
+  for (size_t i = 0; i < candidates.size(); ++i) {
+    singletons.push_back({static_cast<int>(i)});
+  }
+  std::vector<Result<ConfigurationEvaluator::Evaluation>> evals =
+      evaluator->EvaluateMany(singletons);
   std::vector<Ranked> ranked;
   for (size_t i = 0; i < candidates.size(); ++i) {
-    XIA_ASSIGN_OR_RETURN(
-        ConfigurationEvaluator::Evaluation eval,
-        evaluator->Evaluate({static_cast<int>(i)}));
-    double benefit = result.baseline_cost - eval.TotalCost();
+    XIA_RETURN_IF_ERROR(evals[i].status());
+    double benefit = result.baseline_cost - evals[i]->TotalCost();
     if (benefit <= 0) continue;
     double size = candidates[i].size_bytes();
     ranked.push_back(

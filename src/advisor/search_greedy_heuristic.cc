@@ -12,16 +12,22 @@ Result<SearchResult> GreedyHeuristicSearch(ConfigurationEvaluator* evaluator,
   SearchResult result;
   XIA_ASSIGN_OR_RETURN(result.baseline_cost, evaluator->BaselineCost());
 
+  // Stand-alone benefits scored in one parallel what-if batch.
   struct Ranked {
     int candidate;
     double benefit;
     double ratio;
   };
+  std::vector<std::vector<int>> singletons;
+  for (size_t i = 0; i < candidates.size(); ++i) {
+    singletons.push_back({static_cast<int>(i)});
+  }
+  std::vector<Result<ConfigurationEvaluator::Evaluation>> evals =
+      evaluator->EvaluateMany(singletons);
   std::vector<Ranked> ranked;
   for (size_t i = 0; i < candidates.size(); ++i) {
-    XIA_ASSIGN_OR_RETURN(ConfigurationEvaluator::Evaluation eval,
-                         evaluator->Evaluate({static_cast<int>(i)}));
-    double benefit = result.baseline_cost - eval.TotalCost();
+    XIA_RETURN_IF_ERROR(evals[i].status());
+    double benefit = result.baseline_cost - evals[i]->TotalCost();
     if (benefit <= 0) continue;
     double size = candidates[i].size_bytes();
     ranked.push_back(

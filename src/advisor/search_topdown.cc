@@ -45,8 +45,13 @@ Result<SearchResult> TopDownSearch(const GeneralizationDag& dag,
       double space_saved = 0;
       double score = 0;  // cost increase per byte saved (lower = better).
     };
-    std::optional<Action> best;
 
+    // Enumerate every shrinking move of this round first, then evaluate
+    // them in one parallel what-if batch. Selection scans the actions in
+    // enumeration order with a strict '<', so ties resolve exactly as the
+    // serial one-at-a-time loop resolved them.
+    std::vector<Action> actions;
+    std::vector<std::vector<int>> next_configs;
     for (int member : config) {
       const auto& node = dag.nodes()[static_cast<size_t>(member)];
       // Two possible moves per member: replace by its DAG children, or
@@ -59,17 +64,24 @@ Result<SearchResult> TopDownSearch(const GeneralizationDag& dag,
         double space_saved = ConfigSizeBytes(candidates, config) -
                              ConfigSizeBytes(candidates, next);
         if (space_saved <= 0) continue;  // Children larger: not a shrink.
-        XIA_ASSIGN_OR_RETURN(ConfigurationEvaluator::Evaluation eval,
-                             evaluator->Evaluate(next));
         Action action;
         action.victim = member;
         action.replacement = replacement;
-        action.cost_increase = eval.TotalCost() - current_cost;
         action.space_saved = space_saved;
-        action.score = action.cost_increase / space_saved;
-        if (!best.has_value() || action.score < best->score) {
-          best = std::move(action);
-        }
+        actions.push_back(std::move(action));
+        next_configs.push_back(std::move(next));
+      }
+    }
+    std::vector<Result<ConfigurationEvaluator::Evaluation>> evals =
+        evaluator->EvaluateMany(next_configs);
+    std::optional<Action> best;
+    for (size_t a = 0; a < actions.size(); ++a) {
+      XIA_RETURN_IF_ERROR(evals[a].status());
+      Action& action = actions[a];
+      action.cost_increase = evals[a]->TotalCost() - current_cost;
+      action.score = action.cost_increase / action.space_saved;
+      if (!best.has_value() || action.score < best->score) {
+        best = std::move(action);
       }
     }
 

@@ -5,11 +5,14 @@
 namespace xia {
 
 WhatIfSession::WhatIfSession(const Database* db, Catalog base,
-                             CostModel cost_model)
+                             CostModel cost_model, int threads)
     : db_(db),
       catalog_(std::move(base)),
       cost_model_(cost_model),
-      optimizer_(db, cost_model) {}
+      optimizer_(db, cost_model) {
+  int resolved = ResolveThreadCount(threads);
+  if (resolved > 1) pool_ = std::make_unique<ThreadPool>(resolved);
+}
 
 Result<std::string> WhatIfSession::AddIndex(IndexDefinition def) {
   const PathSynopsis* synopsis = db_->synopsis(def.collection);
@@ -40,7 +43,7 @@ Result<EvaluateIndexesResult> WhatIfSession::EvaluateWorkload(
     const Workload& workload) {
   // The overlay IS the configuration: evaluate with no extra indexes.
   return EvaluateIndexesMode(optimizer_, workload.queries(), {}, catalog_,
-                             &cache_);
+                             &cache_, pool_.get());
 }
 
 Result<QueryPlan> WhatIfSession::ExplainQuery(const Query& query) {

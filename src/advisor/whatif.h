@@ -1,10 +1,12 @@
 #ifndef XIA_ADVISOR_WHATIF_H_
 #define XIA_ADVISOR_WHATIF_H_
 
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "common/status.h"
+#include "common/thread_pool.h"
 #include "optimizer/explain.h"
 #include "optimizer/optimizer.h"
 #include "workload/workload.h"
@@ -22,8 +24,11 @@ namespace xia {
 /// modified. Every evaluation re-optimizes against the current overlay.
 class WhatIfSession {
  public:
-  /// `db` must outlive the session; `base` is copied.
-  WhatIfSession(const Database* db, Catalog base, CostModel cost_model);
+  /// `db` must outlive the session; `base` is copied. `threads` is the
+  /// fan-out width for EvaluateWorkload: 1 keeps evaluation serial, 0
+  /// resolves to std::thread::hardware_concurrency().
+  WhatIfSession(const Database* db, Catalog base, CostModel cost_model,
+                int threads = 1);
 
   /// Adds a hypothetical index. A blank name is auto-generated. Fails if
   /// the collection lacks statistics or the name collides.
@@ -51,6 +56,7 @@ class WhatIfSession {
   CostModel cost_model_;
   Optimizer optimizer_;
   ContainmentCache cache_;
+  std::unique_ptr<ThreadPool> pool_;  // Null when threads == 1.
   std::vector<std::string> session_indexes_;
 };
 

@@ -1,0 +1,124 @@
+#include "common/thread_pool.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace xia {
+
+int ResolveThreadCount(int requested) {
+  if (requested > 0) return requested;
+  unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<int>(hw);
+}
+
+ThreadPool::ThreadPool(int num_threads) {
+  int n = std::max(1, num_threads);
+  workers_.reserve(static_cast<size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  for (std::thread& worker : workers_) worker.join();
+}
+
+void ThreadPool::Submit(std::function<void()> task) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    queue_.push_back(std::move(task));
+  }
+  cv_.notify_one();
+}
+
+void ThreadPool::WorkerLoop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      // Drain the queue even when stopping, so ~ThreadPool never strands
+      // a TaskGroup waiting on a task that was submitted but never run.
+      if (queue_.empty()) return;
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task();
+  }
+}
+
+TaskGroup::TaskGroup(ThreadPool* pool)
+    : pool_(pool), state_(std::make_shared<State>()) {}
+
+TaskGroup::~TaskGroup() {
+  // Last-resort drain for exceptional unwinds; Wait() is the API. Tasks
+  // co-own *state_, so even an early exit leaves workers memory-safe.
+  std::unique_lock<std::mutex> lock(state_->mu);
+  state_->cv.wait(lock, [this] { return state_->pending == 0; });
+}
+
+void TaskGroup::Run(std::function<void()> fn) {
+  if (pool_ == nullptr) {
+    fn();  // Inline: exceptions propagate directly, like any serial call.
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(state_->mu);
+    ++state_->pending;
+  }
+  pool_->Submit([state = state_, fn = std::move(fn)] {
+    std::exception_ptr error;
+    try {
+      fn();
+    } catch (...) {
+      error = std::current_exception();
+    }
+    {
+      std::lock_guard<std::mutex> lock(state->mu);
+      if (error && !state->first_error) state->first_error = error;
+      --state->pending;
+    }
+    // The task's shared_ptr keeps *state alive through this notify even
+    // if Wait() already observed pending == 0 (via an earlier task's
+    // notify or a spurious wakeup) and the TaskGroup was destroyed.
+    state->cv.notify_all();
+  });
+}
+
+void TaskGroup::Wait() {
+  std::unique_lock<std::mutex> lock(state_->mu);
+  state_->cv.wait(lock, [this] { return state_->pending == 0; });
+  if (state_->first_error) {
+    std::exception_ptr error = state_->first_error;
+    state_->first_error = nullptr;
+    std::rethrow_exception(error);
+  }
+}
+
+void ParallelFor(ThreadPool* pool, size_t n,
+                 const std::function<void(size_t)>& fn) {
+  if (pool == nullptr || n < 2) {
+    for (size_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+  // A few chunks per worker balances stragglers without per-index
+  // scheduling overhead.
+  size_t target_chunks =
+      static_cast<size_t>(pool->num_threads()) * 4;
+  size_t chunk = std::max<size_t>(1, (n + target_chunks - 1) / target_chunks);
+  TaskGroup group(pool);
+  for (size_t begin = 0; begin < n; begin += chunk) {
+    size_t end = std::min(n, begin + chunk);
+    group.Run([begin, end, &fn] {
+      for (size_t i = begin; i < end; ++i) fn(i);
+    });
+  }
+  group.Wait();
+}
+
+}  // namespace xia

@@ -1,0 +1,102 @@
+#ifndef XIA_COMMON_THREAD_POOL_H_
+#define XIA_COMMON_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <deque>
+#include <exception>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace xia {
+
+/// Resolves a user-facing thread-count knob: `requested > 0` is taken
+/// verbatim, anything else means "use all hardware threads" (never less
+/// than 1, even when hardware_concurrency() is unknown and returns 0).
+int ResolveThreadCount(int requested);
+
+/// Fixed-size FIFO thread pool. Deliberately minimal — no work stealing,
+/// no priorities — because every advisor use is a flat fan-out over
+/// independent items (one what-if optimization per task) whose results
+/// are merged deterministically by the caller, not by completion order.
+///
+/// Tasks must not Submit() back into the pool they run on and then block
+/// on the result (a full pool would deadlock); the advisor avoids nesting
+/// by parallelizing at exactly one level per call path.
+class ThreadPool {
+ public:
+  /// Spawns `num_threads` workers (clamped to >= 1).
+  explicit ThreadPool(int num_threads);
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Drains outstanding tasks, then joins all workers.
+  ~ThreadPool();
+
+  /// Enqueues a task. Never blocks; tasks run in submission order per
+  /// worker pick-up.
+  void Submit(std::function<void()> task);
+
+  int num_threads() const { return static_cast<int>(workers_.size()); }
+
+ private:
+  void WorkerLoop();
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<std::function<void()>> queue_;
+  bool stop_ = false;
+  std::vector<std::thread> workers_;
+};
+
+/// Wait-group over a pool: Run() schedules, Wait() blocks until every
+/// scheduled task finished and rethrows the first exception any task
+/// threw. With a null pool tasks run inline (the serial path), which
+/// keeps `threads=1` bit-identical to never having had a pool at all.
+class TaskGroup {
+ public:
+  explicit TaskGroup(ThreadPool* pool);
+
+  TaskGroup(const TaskGroup&) = delete;
+  TaskGroup& operator=(const TaskGroup&) = delete;
+
+  /// Safe to destroy right after Wait(): in-flight tasks share ownership
+  /// of the synchronization state, so a finishing worker never touches a
+  /// freed condition variable even if the group dies the instant Wait()
+  /// observes completion.
+  ~TaskGroup();
+
+  /// Schedules `fn` on the pool (or runs it inline without a pool).
+  void Run(std::function<void()> fn);
+
+  /// Blocks until all Run() tasks completed; rethrows the first captured
+  /// exception. The group is reusable after Wait() returns.
+  void Wait();
+
+ private:
+  // Heap state co-owned by every scheduled task. The last owner to let go
+  // may be a worker thread outliving the TaskGroup itself.
+  struct State {
+    std::mutex mu;
+    std::condition_variable cv;
+    int pending = 0;
+    std::exception_ptr first_error;
+  };
+
+  ThreadPool* pool_;
+  std::shared_ptr<State> state_;
+};
+
+/// Runs fn(0) .. fn(n-1), fanned out over `pool` (inline when `pool` is
+/// null or n < 2). Blocks until every call returned; rethrows the first
+/// exception. Indices are chunked contiguously so false sharing on
+/// index-addressed result slots stays rare.
+void ParallelFor(ThreadPool* pool, size_t n,
+                 const std::function<void(size_t)>& fn);
+
+}  // namespace xia
+
+#endif  // XIA_COMMON_THREAD_POOL_H_

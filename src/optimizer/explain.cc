@@ -122,16 +122,24 @@ Result<Catalog> MakeVirtualOverlay(const Database& db,
 Result<EvaluateIndexesResult> EvaluateIndexesMode(
     const Optimizer& optimizer, const std::vector<Query>& queries,
     const std::vector<IndexDefinition>& config, const Catalog& base_catalog,
-    ContainmentCache* cache) {
+    ContainmentCache* cache, ThreadPool* pool) {
   XIA_ASSIGN_OR_RETURN(
       Catalog overlay,
       MakeVirtualOverlay(optimizer.db(), base_catalog, config,
                          optimizer.cost_model().storage));
+  // Optimize into per-query slots (the overlay and statistics are only
+  // read), then fold costs and use counts serially in query order so the
+  // result does not depend on scheduling.
+  std::vector<Result<QueryPlan>> plans(queries.size(),
+                                       Status::Internal("not evaluated"));
+  ParallelFor(pool, queries.size(), [&](size_t qi) {
+    plans[qi] = optimizer.Optimize(queries[qi], overlay, cache);
+  });
   EvaluateIndexesResult result;
-  for (const Query& query : queries) {
-    XIA_ASSIGN_OR_RETURN(QueryPlan plan,
-                         optimizer.Optimize(query, overlay, cache));
-    result.total_weighted_cost += query.weight * plan.total_cost;
+  for (size_t qi = 0; qi < queries.size(); ++qi) {
+    XIA_RETURN_IF_ERROR(plans[qi].status());
+    QueryPlan plan = std::move(*plans[qi]);
+    result.total_weighted_cost += queries[qi].weight * plan.total_cost;
     if (plan.access.use_index) {
       result.index_use_counts[plan.access.index_def.name]++;
       if (plan.access.has_secondary) {

@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "common/status.h"
+#include "common/thread_pool.h"
 #include "optimizer/optimizer.h"
 #include "query/query.h"
 #include "xpath/containment.h"
@@ -57,10 +58,14 @@ struct EvaluateIndexesResult {
 /// indexes as virtual entries in a catalog overlay (on top of
 /// `base_catalog`), re-optimize every query, and report estimated costs
 /// and which indexes the plans actually use.
+///
+/// With a non-null `pool` the per-query optimizations fan out over it;
+/// plans, costs, and use counts are merged in query order, so the result
+/// is identical to the serial (null-pool) run.
 Result<EvaluateIndexesResult> EvaluateIndexesMode(
     const Optimizer& optimizer, const std::vector<Query>& queries,
     const std::vector<IndexDefinition>& config, const Catalog& base_catalog,
-    ContainmentCache* cache);
+    ContainmentCache* cache, ThreadPool* pool = nullptr);
 
 /// Builds a catalog overlay with `config` added as virtual indexes whose
 /// statistics are estimated from each collection's synopsis. Names that

@@ -26,6 +26,14 @@ struct OptimizerOptions {
 /// IndexMatcher), and optionally ANDed two-index plans, keeping the
 /// cheapest. Virtual and physical indexes are costed identically — the
 /// property the paper's what-if modes depend on.
+///
+/// Thread-safety contract (relied on by the advisor's parallel what-if
+/// evaluation): Optimize() is const and touches only immutable state —
+/// the database's collections and synopses (whose statistics memos are
+/// internally locked), the caller's catalog (read-only), and the shared
+/// ContainmentCache (internally sharded+locked). Concurrent Optimize()
+/// calls on one Optimizer are therefore safe, provided no thread mutates
+/// the database or catalog meanwhile.
 class Optimizer {
  public:
   /// `db` must outlive the optimizer. Collections must be Analyze()d

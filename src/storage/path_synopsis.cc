@@ -156,8 +156,14 @@ double PathSynopsis::EstimateSubtreeOverlap(const PathPattern& target,
 const AggValueStats& PathSynopsis::AggregateValues(
     const PathPattern& pattern) const {
   std::string key = pattern.ToString();
-  auto it = agg_cache_.find(key);
-  if (it != agg_cache_.end()) return it->second;
+  {
+    std::lock_guard<std::mutex> lock(caches_->mu);
+    auto it = caches_->agg.find(key);
+    if (it != caches_->agg.end()) return it->second;
+  }
+  // Aggregate outside the lock — Match() only reads the immutable trie.
+  // A racing thread may aggregate the same pattern; emplace keeps the
+  // first copy and both are identical.
   AggValueStats agg;
   bool first_num = true;
   for (const SynopsisNode* sn : Match(pattern)) {
@@ -183,7 +189,8 @@ const AggValueStats& PathSynopsis::AggregateValues(
       agg.sample.push_back(v);
     }
   }
-  return agg_cache_.emplace(std::move(key), std::move(agg)).first->second;
+  std::lock_guard<std::mutex> lock(caches_->mu);
+  return caches_->agg.emplace(std::move(key), std::move(agg)).first->second;
 }
 
 double PathSynopsis::SelectivityFor(const PathPattern& pattern,
@@ -194,10 +201,15 @@ double PathSynopsis::SelectivityFor(const PathPattern& pattern,
   key += CompareOpName(op);
   key += '\x01';
   key += literal;
-  auto it = sel_cache_.find(key);
-  if (it != sel_cache_.end()) return it->second;
+  {
+    std::lock_guard<std::mutex> lock(caches_->mu);
+    auto it = caches_->sel.find(key);
+    if (it != caches_->sel.end()) return it->second;
+  }
+  // AggregateValues takes the same lock internally — do not hold it here.
   double sel = EstimateSelectivity(AggregateValues(pattern), op, literal);
-  sel_cache_.emplace(std::move(key), sel);
+  std::lock_guard<std::mutex> lock(caches_->mu);
+  caches_->sel.emplace(std::move(key), sel);
   return sel;
 }
 

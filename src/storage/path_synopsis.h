@@ -3,6 +3,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -82,6 +83,11 @@ class PathSynopsis {
   /// Memoized per pattern: the synopsis is immutable once built (Analyze
   /// creates a fresh one), and the optimizer asks for the same index
   /// patterns thousands of times during configuration search.
+  ///
+  /// Safe to call concurrently with the other const estimators: the
+  /// trie is never mutated after Analyze, and the memo maps live behind
+  /// a mutex. Returned references stay valid for the synopsis lifetime
+  /// (unordered_map never relocates mapped values).
   const AggValueStats& AggregateValues(const PathPattern& pattern) const;
 
   /// Memoized EstimateSelectivity over the pattern's aggregated values —
@@ -111,8 +117,14 @@ class PathSynopsis {
   std::unique_ptr<SynopsisNode> root_;  // Virtual document node.
   uint64_t total_nodes_ = 0;
   Random rng_;  // Deterministic reservoir sampling.
-  mutable std::unordered_map<std::string, AggValueStats> agg_cache_;
-  mutable std::unordered_map<std::string, double> sel_cache_;
+  // Estimator memos, shared by concurrent what-if optimizations. Behind
+  // a unique_ptr so the mutex does not cost PathSynopsis its movability.
+  struct StatsCaches {
+    std::mutex mu;
+    std::unordered_map<std::string, AggValueStats> agg;
+    std::unordered_map<std::string, double> sel;
+  };
+  std::unique_ptr<StatsCaches> caches_ = std::make_unique<StatsCaches>();
 
   static constexpr size_t kSampleCap = 128;
   static constexpr size_t kDistinctCap = 256;

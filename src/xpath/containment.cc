@@ -94,16 +94,32 @@ bool PatternsEquivalent(const PathPattern& a, const PathPattern& b) {
 bool ContainmentCache::Contains(const PathPattern& general,
                                 const PathPattern& specific) {
   auto key = std::make_pair(general.Hash(), specific.Hash());
-  auto it = cache_.find(key);
+  Shard& shard = shards_[KeyHash()(key) % kNumShards];
   std::string gs = general.ToString();
   std::string ss = specific.ToString();
-  if (it != cache_.end() && it->second.first.first == gs &&
-      it->second.first.second == ss) {
-    return it->second.second;
+  {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    auto it = shard.map.find(key);
+    if (it != shard.map.end() && it->second.first.first == gs &&
+        it->second.first.second == ss) {
+      return it->second.second;
+    }
   }
+  // Compute outside the lock: the NFA product check is the expensive
+  // part, and racing computations of the same pair agree by purity.
   bool result = PatternContains(general, specific);
-  cache_[key] = {{std::move(gs), std::move(ss)}, result};
+  std::lock_guard<std::mutex> lock(shard.mu);
+  shard.map[key] = {{std::move(gs), std::move(ss)}, result};
   return result;
+}
+
+size_t ContainmentCache::size() const {
+  size_t total = 0;
+  for (Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    total += shard.map.size();
+  }
+  return total;
 }
 
 }  // namespace xia

@@ -1,7 +1,9 @@
 #ifndef XIA_XPATH_CONTAINMENT_H_
 #define XIA_XPATH_CONTAINMENT_H_
 
+#include <array>
 #include <cstdint>
+#include <mutex>
 #include <unordered_map>
 #include <utility>
 
@@ -31,11 +33,21 @@ bool PatternsEquivalent(const PathPattern& a, const PathPattern& b);
 /// Memoizing wrapper around PatternContains. The advisor performs O(C²)
 /// containment tests over the candidate set; this cache makes repeated
 /// tests O(1).
+///
+/// Thread-safe: the map is split into fixed shards, each behind its own
+/// mutex, so concurrent what-if optimizations (which all funnel index
+/// matching through one shared cache) contend only when two lookups hash
+/// to the same shard. Misses compute PatternContains outside any lock —
+/// two threads may race to compute the same pair, but the result is a
+/// pure function of the patterns, so whichever insert lands first wins
+/// and both observe the identical value.
 class ContainmentCache {
  public:
   bool Contains(const PathPattern& general, const PathPattern& specific);
 
-  size_t size() const { return cache_.size(); }
+  /// Total memoized pairs across shards (takes every shard lock; meant
+  /// for tests and reporting, not hot paths).
+  size_t size() const;
 
  private:
   struct KeyHash {
@@ -44,10 +56,16 @@ class ContainmentCache {
     }
   };
   // Keyed by the two patterns' hashes; collisions re-verified by string.
-  std::unordered_map<std::pair<size_t, size_t>,
-                     std::pair<std::pair<std::string, std::string>, bool>,
-                     KeyHash>
-      cache_;
+  using Map =
+      std::unordered_map<std::pair<size_t, size_t>,
+                         std::pair<std::pair<std::string, std::string>, bool>,
+                         KeyHash>;
+  static constexpr size_t kNumShards = 16;
+  struct Shard {
+    std::mutex mu;
+    Map map;
+  };
+  mutable std::array<Shard, kNumShards> shards_;
 };
 
 }  // namespace xia

@@ -1,0 +1,116 @@
+#include "common/thread_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+namespace xia {
+namespace {
+
+TEST(ResolveThreadCountTest, PositivePassesThrough) {
+  EXPECT_EQ(ResolveThreadCount(1), 1);
+  EXPECT_EQ(ResolveThreadCount(7), 7);
+}
+
+TEST(ResolveThreadCountTest, ZeroAndNegativeMeanHardware) {
+  EXPECT_GE(ResolveThreadCount(0), 1);
+  EXPECT_GE(ResolveThreadCount(-3), 1);
+}
+
+TEST(ThreadPoolTest, RunsSubmittedTasks) {
+  ThreadPool pool(4);
+  EXPECT_EQ(pool.num_threads(), 4);
+  std::atomic<int> counter{0};
+  TaskGroup group(&pool);
+  for (int i = 0; i < 100; ++i) {
+    group.Run([&counter] { counter.fetch_add(1); });
+  }
+  group.Wait();
+  EXPECT_EQ(counter.load(), 100);
+}
+
+TEST(ThreadPoolTest, GroupIsReusableAcrossWaits) {
+  ThreadPool pool(2);
+  TaskGroup group(&pool);
+  std::atomic<int> counter{0};
+  for (int round = 0; round < 5; ++round) {
+    for (int i = 0; i < 20; ++i) {
+      group.Run([&counter] { counter.fetch_add(1); });
+    }
+    group.Wait();
+    EXPECT_EQ(counter.load(), (round + 1) * 20);
+  }
+}
+
+TEST(ThreadPoolTest, DestructorDrainsPendingTasks) {
+  std::atomic<int> counter{0};
+  {
+    ThreadPool pool(1);
+    TaskGroup group(&pool);
+    for (int i = 0; i < 50; ++i) {
+      group.Run([&counter] { counter.fetch_add(1); });
+    }
+    group.Wait();
+  }  // ~ThreadPool joins after the queue is drained.
+  EXPECT_EQ(counter.load(), 50);
+}
+
+TEST(TaskGroupTest, NullPoolRunsInline) {
+  TaskGroup group(nullptr);
+  int calls = 0;
+  group.Run([&calls] { ++calls; });
+  EXPECT_EQ(calls, 1);  // Already ran, before Wait().
+  group.Wait();
+  EXPECT_EQ(calls, 1);
+}
+
+TEST(TaskGroupTest, WaitRethrowsTaskException) {
+  ThreadPool pool(2);
+  TaskGroup group(&pool);
+  std::atomic<int> completed{0};
+  group.Run([] { throw std::runtime_error("boom"); });
+  for (int i = 0; i < 10; ++i) {
+    group.Run([&completed] { completed.fetch_add(1); });
+  }
+  EXPECT_THROW(group.Wait(), std::runtime_error);
+  EXPECT_EQ(completed.load(), 10);  // Other tasks still ran to completion.
+  // The group stays usable after the rethrow.
+  group.Run([&completed] { completed.fetch_add(1); });
+  EXPECT_NO_THROW(group.Wait());
+  EXPECT_EQ(completed.load(), 11);
+}
+
+TEST(ParallelForTest, CoversEveryIndexExactlyOnce) {
+  ThreadPool pool(4);
+  std::vector<int> hits(1000, 0);
+  ParallelFor(&pool, hits.size(), [&hits](size_t i) { hits[i] += 1; });
+  EXPECT_EQ(std::accumulate(hits.begin(), hits.end(), 0), 1000);
+  for (int h : hits) EXPECT_EQ(h, 1);
+}
+
+TEST(ParallelForTest, NullPoolAndTinyRangesRunSerially) {
+  std::vector<int> hits(10, 0);
+  ParallelFor(nullptr, hits.size(), [&hits](size_t i) { hits[i] += 1; });
+  for (int h : hits) EXPECT_EQ(h, 1);
+
+  ThreadPool pool(2);
+  int single = 0;
+  ParallelFor(&pool, 1, [&single](size_t) { ++single; });
+  EXPECT_EQ(single, 1);
+  ParallelFor(&pool, 0, [](size_t) { FAIL() << "n=0 must not call fn"; });
+}
+
+TEST(ParallelForTest, PropagatesExceptions) {
+  ThreadPool pool(4);
+  EXPECT_THROW(ParallelFor(&pool, 100,
+                           [](size_t i) {
+                             if (i == 57) throw std::runtime_error("mid");
+                           }),
+               std::runtime_error);
+}
+
+}  // namespace
+}  // namespace xia
