@@ -1,8 +1,11 @@
 // Figure 3: estimating the benefit of an index configuration — now as a
 // google-benchmark harness over the advisor's hot path, the what-if
 // evaluation of whole configurations. Each benchmark sweeps the thread
-// knob (arg 0), so `--benchmark_format=json` output doubles as the CI
-// perf artifact tracking the parallel speedup of Evaluate Indexes mode.
+// knob (arg 0) and the what-if cost cache toggle (arg 1), so
+// `--benchmark_format=json` output doubles as the CI perf artifact
+// tracking both the parallel speedup and the caching speedup of Evaluate
+// Indexes mode. Cache hit/miss/bypass counts surface as benchmark
+// counters.
 
 #include <benchmark/benchmark.h>
 
@@ -71,84 +74,126 @@ Fixture* SharedFixture() {
   return fixture;
 }
 
-/// Evaluate one full configuration, per-query fan-out at `threads`. A
-/// fresh evaluator per iteration defeats the configuration memo, so every
-/// iteration performs the real what-if optimizer calls.
+/// Copies a counter snapshot into the benchmark's counter row.
+void ReportCacheCounters(benchmark::State& state,
+                         const AdvisorCacheCounters& counters) {
+  state.counters["cost_hits"] = static_cast<double>(counters.cost.hits);
+  state.counters["cost_misses"] = static_cast<double>(counters.cost.misses);
+  state.counters["cost_bypasses"] =
+      static_cast<double>(counters.cost.bypasses);
+}
+
+/// Evaluate one full configuration, per-query fan-out at `threads` (arg
+/// 0), what-if cost cache toggled by arg 1. A fresh evaluator per
+/// iteration defeats the configuration memo and empties the plan cache,
+/// so every iteration does real optimizer work; with the cache on, the
+/// win comes from deduplicating repeated queries and shared relevance
+/// signatures within the one evaluation.
 void BM_EvaluateConfiguration(benchmark::State& state) {
   Fixture& f = *SharedFixture();
   int threads = static_cast<int>(state.range(0));
+  bool cache_on = state.range(1) != 0;
   ContainmentCache cache;
   std::vector<int> config;
   for (size_t i = 0; i < f.candidates.size(); ++i) {
     config.push_back(static_cast<int>(i));
   }
+  AdvisorCacheCounters last;
   for (auto _ : state) {
     ConfigurationEvaluator evaluator(f.optimizer.get(), &f.workload,
                                      &f.catalog, &f.candidates, &cache,
-                                     /*account_update_cost=*/true, threads);
+                                     /*account_update_cost=*/true, threads,
+                                     cache_on);
     auto eval = evaluator.Evaluate(config);
     XIA_CHECK(eval.ok());
     benchmark::DoNotOptimize(eval->workload_cost);
+    last = evaluator.cache_counters();
   }
   state.counters["queries"] =
       static_cast<double>(f.workload.queries().size());
+  ReportCacheCounters(state, last);
 }
 BENCHMARK(BM_EvaluateConfiguration)
-    ->Arg(1)
-    ->Arg(2)
-    ->Arg(4)
-    ->Arg(8)
+    ->ArgNames({"threads", "cache"})
+    ->Args({1, 0})
+    ->Args({1, 1})
+    ->Args({2, 1})
+    ->Args({4, 0})
+    ->Args({4, 1})
+    ->Args({8, 1})
     ->UseRealTime()
     ->Unit(benchmark::kMillisecond);
 
 /// A greedy-style scoring round: every candidate evaluated stand-alone in
-/// one EvaluateMany batch (configuration-level fan-out).
+/// one EvaluateMany batch (configuration-level fan-out). With the cache
+/// on, the batch collapses to the distinct (query, relevance signature)
+/// tasks shared across all singleton configurations.
 void BM_EvaluateManySingletons(benchmark::State& state) {
   Fixture& f = *SharedFixture();
   int threads = static_cast<int>(state.range(0));
+  bool cache_on = state.range(1) != 0;
   ContainmentCache cache;
   std::vector<std::vector<int>> singletons;
   for (size_t i = 0; i < f.candidates.size(); ++i) {
     singletons.push_back({static_cast<int>(i)});
   }
+  AdvisorCacheCounters last;
   for (auto _ : state) {
     ConfigurationEvaluator evaluator(f.optimizer.get(), &f.workload,
                                      &f.catalog, &f.candidates, &cache,
-                                     /*account_update_cost=*/true, threads);
+                                     /*account_update_cost=*/true, threads,
+                                     cache_on);
     auto evals = evaluator.EvaluateMany(singletons);
     for (const auto& eval : evals) XIA_CHECK(eval.ok());
     benchmark::DoNotOptimize(evals);
+    last = evaluator.cache_counters();
   }
   state.counters["configs"] = static_cast<double>(singletons.size());
+  ReportCacheCounters(state, last);
 }
 BENCHMARK(BM_EvaluateManySingletons)
-    ->Arg(1)
-    ->Arg(2)
-    ->Arg(4)
-    ->Arg(8)
+    ->ArgNames({"threads", "cache"})
+    ->Args({1, 0})
+    ->Args({1, 1})
+    ->Args({2, 1})
+    ->Args({4, 0})
+    ->Args({4, 1})
+    ->Args({8, 1})
     ->UseRealTime()
     ->Unit(benchmark::kMillisecond);
 
-/// The raw EXPLAIN mode (WhatIfSession::EvaluateWorkload path).
+/// The raw EXPLAIN mode (WhatIfSession::EvaluateWorkload path). The plan
+/// cache persists across iterations here, matching its real lifetime — a
+/// session cache carried across repeated workload evaluations — so
+/// cache-on steady state is nearly all hits.
 void BM_EvaluateIndexesMode(benchmark::State& state) {
   Fixture& f = *SharedFixture();
   int threads = static_cast<int>(state.range(0));
+  bool cache_on = state.range(1) != 0;
   ContainmentCache cache;
+  WhatIfCostCache cost_cache(cache_on);
   std::unique_ptr<ThreadPool> pool;
   if (threads > 1) pool = std::make_unique<ThreadPool>(threads);
   for (auto _ : state) {
     auto result =
         EvaluateIndexesMode(*f.optimizer, f.workload.queries(), f.config_defs,
-                            f.catalog, &cache, pool.get());
+                            f.catalog, &cache, pool.get(), &cost_cache);
     XIA_CHECK(result.ok());
     benchmark::DoNotOptimize(result->total_weighted_cost);
   }
+  AdvisorCacheCounters counters;
+  counters.cost = cost_cache.stats();
+  counters.containment = cache.stats();
+  ReportCacheCounters(state, counters);
 }
 BENCHMARK(BM_EvaluateIndexesMode)
-    ->Arg(1)
-    ->Arg(2)
-    ->Arg(4)
-    ->Arg(8)
+    ->ArgNames({"threads", "cache"})
+    ->Args({1, 0})
+    ->Args({1, 1})
+    ->Args({2, 1})
+    ->Args({4, 0})
+    ->Args({4, 1})
+    ->Args({8, 1})
     ->UseRealTime()
     ->Unit(benchmark::kMillisecond);
 

@@ -69,7 +69,8 @@ Result<Recommendation> Advisor::Recommend(const Workload& workload) {
   ConfigurationEvaluator evaluator(&optimizer, &workload, base_catalog_,
                                    &rec.candidates, &cache_,
                                    options_.account_update_cost,
-                                   options_.threads);
+                                   options_.threads,
+                                   options_.what_if_cost_cache);
   SearchOptions search_options;
   search_options.space_budget_bytes = options_.space_budget_bytes;
   switch (options_.algorithm) {

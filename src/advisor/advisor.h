@@ -34,6 +34,11 @@ struct AdvisorOptions {
   /// path. Recommendations are identical at every width — parallel
   /// evaluations merge per-query results in query order.
   int threads = 0;
+  /// Signature-keyed what-if cost cache (advisor/cost_cache.h): queries
+  /// whose relevant-index set a configuration change cannot alter skip
+  /// re-optimization. Recommendations and costs are bit-identical either
+  /// way; this escape hatch exists for benchmarking and debugging.
+  bool what_if_cost_cache = true;
   GeneralizeOptions generalize;
   CostModel cost_model;
 };

@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "common/string_util.h"
+#include "index/index_matcher.h"
 
 namespace xia {
 
@@ -15,15 +16,16 @@ std::string CandidateOverlayName(int candidate) {
 ConfigurationEvaluator::ConfigurationEvaluator(
     const Optimizer* optimizer, const Workload* workload,
     const Catalog* base_catalog, const std::vector<CandidateIndex>* candidates,
-    ContainmentCache* cache, bool account_update_cost, int threads)
+    ContainmentCache* cache, bool account_update_cost, int threads,
+    bool use_cost_cache)
     : optimizer_(optimizer),
       workload_(workload),
       base_catalog_(base_catalog),
       candidates_(candidates),
       cache_(cache),
       account_update_cost_(account_update_cost),
-      threads_(ResolveThreadCount(threads)) {
-  if (threads_ > 1) pool_ = std::make_unique<ThreadPool>(threads_);
+      threads_(ResolveThreadCount(threads)),
+      cost_cache_(use_cost_cache) {
   // Build the workload expression table: driving paths + predicates.
   for (size_t qi = 0; qi < workload_->queries().size(); ++qi) {
     const NormalizedQuery& nq = workload_->queries()[qi].normalized;
@@ -45,6 +47,57 @@ ConfigurationEvaluator::ConfigurationEvaluator(
       exprs_.push_back(std::move(expr));
     }
   }
+  if (!cost_cache_.enabled()) return;
+
+  // Precompute the cost-cache inputs up front: each query's fingerprint
+  // class (repeated workload queries share cached plans) and the
+  // per-candidate × per-query match bitmap. Relevance uses the MATCHER's
+  // semantics (IndexMatcher::CanServe) rather than Covers(): Covers is
+  // the heuristic-search coverage notion and deliberately ignores, e.g.,
+  // a VARCHAR index structurally serving a sargable predicate — which
+  // absolutely can change the optimizer's plan.
+  const std::vector<Query>& queries = workload_->queries();
+  distinct_query_.resize(queries.size());
+  std::unordered_map<std::string, int> fingerprint_ids;
+  for (size_t qi = 0; qi < queries.size(); ++qi) {
+    std::string fp = QueryFingerprint(queries[qi].normalized);
+    int next_id = static_cast<int>(fingerprint_ids.size());
+    distinct_query_[qi] =
+        fingerprint_ids.emplace(std::move(fp), next_id).first->second;
+  }
+  IndexMatcher matcher(cache_);
+  relevant_.reserve(candidates_->size());
+  for (const CandidateIndex& cand : *candidates_) {
+    Bitmap bits(queries.size());
+    // Equal-fingerprint queries get identical verdicts by definition;
+    // compute once per class.
+    std::vector<signed char> per_class(fingerprint_ids.size(), -1);
+    for (size_t qi = 0; qi < queries.size(); ++qi) {
+      signed char& verdict = per_class[static_cast<size_t>(
+          distinct_query_[qi])];
+      if (verdict < 0) {
+        verdict =
+            matcher.CanServe(queries[qi].normalized, cand.def) ? 1 : 0;
+      }
+      if (verdict == 1) bits.Set(qi);
+    }
+    relevant_.push_back(std::move(bits));
+  }
+}
+
+ThreadPool* ConfigurationEvaluator::pool() {
+  if (threads_ <= 1) return nullptr;
+  std::call_once(pool_once_,
+                 [this] { pool_ = std::make_unique<ThreadPool>(threads_); });
+  return pool_.get();
+}
+
+ThreadPool* ConfigurationEvaluator::PlanTaskPool(size_t tasks) {
+  // A minimal-overlay optimization runs in tens of microseconds; below a
+  // few tasks per worker the pool dispatch (plus a possible first-use
+  // thread spawn) costs more than it buys, so run the batch serially.
+  if (tasks < static_cast<size_t>(threads_) * 4) return nullptr;
+  return pool();
 }
 
 bool ConfigurationEvaluator::Covers(int candidate, size_t expr_index) {
@@ -117,6 +170,10 @@ std::pair<std::string, std::vector<int>> ConfigurationEvaluator::CanonicalKey(
 Result<ConfigurationEvaluator::Evaluation>
 ConfigurationEvaluator::EvaluateUncached(const std::vector<int>& sorted,
                                          bool parallel_queries) {
+  // Only reached when the cost cache is disabled: every query of this
+  // configuration re-optimizes, and each skipped lookup is a bypass.
+  cost_cache_.AddBypasses(workload_->queries().size());
+
   // Build the overlay: base catalog + the configuration as virtual
   // indexes, reusing the candidates' precomputed statistics. The overlay
   // is written here, then only read by the concurrent optimizations.
@@ -134,7 +191,7 @@ ConfigurationEvaluator::EvaluateUncached(const std::vector<int>& sorted,
   const std::vector<Query>& queries = workload_->queries();
   std::vector<Result<QueryPlan>> plans(queries.size(),
                                        Status::Internal("not evaluated"));
-  ParallelFor(parallel_queries ? pool_.get() : nullptr, queries.size(),
+  ParallelFor(parallel_queries ? pool() : nullptr, queries.size(),
               [&](size_t qi) {
                 plans[qi] = optimizer_->Optimize(queries[qi], overlay, cache_);
               });
@@ -161,6 +218,129 @@ ConfigurationEvaluator::EvaluateUncached(const std::vector<int>& sorted,
   return eval;
 }
 
+void ConfigurationEvaluator::CollectPlanTasks(
+    const std::vector<int>& sorted, std::vector<QueryPlan>& plans,
+    std::vector<int>& plan_source, std::vector<PlanTask>& tasks,
+    std::unordered_map<std::string, size_t>& task_index) {
+  const std::vector<Query>& queries = workload_->queries();
+  for (size_t qi = 0; qi < queries.size(); ++qi) {
+    // The query's relevance signature under this configuration: the
+    // (already sorted, deduplicated) candidate ids whose patterns can
+    // produce an index match for it. Candidate ids are stable identities
+    // within this evaluator — id determines definition, overlay name
+    // ("cand<i>"), and precomputed statistics — and the base catalog is
+    // fixed, so the signature pins the optimizer input exactly.
+    PlanTask task;
+    task.query = qi;
+    for (int c : sorted) {
+      if (relevant_[static_cast<size_t>(c)].Test(qi)) {
+        task.relevant.push_back(c);
+      }
+    }
+    task.key = std::to_string(distinct_query_[qi]);
+    task.key.push_back('#');
+    for (int c : task.relevant) {
+      task.key += std::to_string(c);
+      task.key.push_back(',');
+    }
+    if (cost_cache_.Lookup(task.key, &plans[qi])) {
+      // Equal fingerprints guarantee equal plans; only the label differs.
+      plans[qi].query_id = queries[qi].id;
+      plan_source[qi] = -1;
+      continue;
+    }
+    auto [it, inserted] = task_index.emplace(task.key, tasks.size());
+    if (inserted) tasks.push_back(std::move(task));
+    plan_source[qi] = static_cast<int>(it->second);
+  }
+}
+
+Result<QueryPlan> ConfigurationEvaluator::OptimizeRelevant(
+    const PlanTask& task) const {
+  // Minimal overlay: base catalog + ONLY the signature's candidates.
+  // Correctness (the signature-equality ⇒ identical-input argument): the
+  // optimizer reads a catalog solely through IndexesFor + IndexMatcher::
+  // Match, and a candidate outside the signature emits no match for this
+  // query by construction (CanServe false), so dropping it leaves the
+  // match list — and the relative name order of the remaining entries,
+  // since Catalog iterates a name-ordered map — byte-identical to any
+  // configuration containing the same relevant set. Identical matches
+  // mean identical plan enumeration, float-for-float.
+  Catalog overlay = *base_catalog_;
+  for (int ci : task.relevant) {
+    const CandidateIndex& cand = (*candidates_)[static_cast<size_t>(ci)];
+    IndexDefinition def = cand.def;
+    def.name = CandidateOverlayName(ci);
+    XIA_RETURN_IF_ERROR(overlay.AddVirtual(std::move(def), cand.stats));
+  }
+  return optimizer_->Optimize(workload_->queries()[task.query], overlay,
+                              cache_);
+}
+
+Result<ConfigurationEvaluator::Evaluation>
+ConfigurationEvaluator::AssembleFromPlans(
+    const std::vector<int>& sorted, std::vector<QueryPlan>& plans,
+    const std::vector<int>& plan_source,
+    const std::vector<Result<QueryPlan>>& task_plans) {
+  const std::vector<Query>& queries = workload_->queries();
+  Evaluation eval;
+  for (size_t qi = 0; qi < queries.size(); ++qi) {
+    if (plan_source[qi] >= 0) {
+      const Result<QueryPlan>& computed =
+          task_plans[static_cast<size_t>(plan_source[qi])];
+      XIA_RETURN_IF_ERROR(computed.status());
+      plans[qi] = *computed;
+      plans[qi].query_id = queries[qi].id;
+    }
+    const QueryPlan& plan = plans[qi];
+    eval.per_query_cost.push_back(plan.total_cost);
+    eval.workload_cost += queries[qi].weight * plan.total_cost;
+    if (plan.access.use_index &&
+        StartsWith(plan.access.index_def.name, "cand")) {
+      eval.used_candidates.insert(
+          std::stoi(plan.access.index_def.name.substr(4)));
+    }
+    if (plan.access.use_index && plan.access.has_secondary &&
+        StartsWith(plan.access.secondary.index_def.name, "cand")) {
+      eval.used_candidates.insert(
+          std::stoi(plan.access.secondary.index_def.name.substr(4)));
+    }
+  }
+  eval.update_cost = EstimateUpdateCost(sorted);
+  num_evaluations_.fetch_add(1, std::memory_order_relaxed);
+  return eval;
+}
+
+Result<ConfigurationEvaluator::Evaluation>
+ConfigurationEvaluator::EvaluateWithCostCache(const std::vector<int>& sorted,
+                                              bool parallel_tasks) {
+  const size_t num_queries = workload_->queries().size();
+  std::vector<QueryPlan> plans(num_queries);
+  std::vector<int> plan_source(num_queries, -1);
+  std::vector<PlanTask> tasks;
+  std::unordered_map<std::string, size_t> task_index;
+  CollectPlanTasks(sorted, plans, plan_source, tasks, task_index);
+
+  std::vector<Result<QueryPlan>> task_plans(tasks.size(),
+                                            Status::Internal("not evaluated"));
+  ParallelFor(parallel_tasks ? PlanTaskPool(tasks.size()) : nullptr,
+              tasks.size(),
+              [&](size_t ti) { task_plans[ti] = OptimizeRelevant(tasks[ti]); });
+  for (size_t ti = 0; ti < tasks.size(); ++ti) {
+    if (task_plans[ti].ok()) {
+      cost_cache_.Insert(tasks[ti].key, *task_plans[ti]);
+    }
+  }
+  return AssembleFromPlans(sorted, plans, plan_source, task_plans);
+}
+
+AdvisorCacheCounters ConfigurationEvaluator::cache_counters() const {
+  AdvisorCacheCounters counters;
+  counters.cost = cost_cache_.stats();
+  counters.containment = cache_->stats();
+  return counters;
+}
+
 Result<ConfigurationEvaluator::Evaluation> ConfigurationEvaluator::Evaluate(
     const std::vector<int>& config) {
   auto [key, sorted] = CanonicalKey(config);
@@ -169,8 +349,11 @@ Result<ConfigurationEvaluator::Evaluation> ConfigurationEvaluator::Evaluate(
     auto it = memo_.find(key);
     if (it != memo_.end()) return it->second;
   }
-  XIA_ASSIGN_OR_RETURN(Evaluation eval,
-                       EvaluateUncached(sorted, /*parallel_queries=*/true));
+  Result<Evaluation> evaluated =
+      cost_cache_.enabled()
+          ? EvaluateWithCostCache(sorted, /*parallel_tasks=*/true)
+          : EvaluateUncached(sorted, /*parallel_queries=*/true);
+  XIA_ASSIGN_OR_RETURN(Evaluation eval, std::move(evaluated));
   std::lock_guard<std::mutex> lock(memo_mu_);
   return memo_.emplace(std::move(key), std::move(eval)).first->second;
 }
@@ -208,12 +391,48 @@ ConfigurationEvaluator::EvaluateMany(
     }
   }
 
-  // One task per distinct miss; the per-query loop inside each stays
-  // serial to keep exactly one level of parallelism per call path.
-  ParallelFor(pool_.get(), misses.size(), [&](size_t mi) {
-    misses[mi].result =
-        EvaluateUncached(misses[mi].sorted, /*parallel_queries=*/false);
-  });
+  if (cost_cache_.enabled()) {
+    // Cost-cache batch path: deduplicate (query, relevance signature)
+    // plan tasks across ALL misses in one serial pass — a greedy round's
+    // configurations overlap heavily, so most of the batch collapses onto
+    // a few optimizer calls — then run the distinct tasks through one
+    // pool dispatch and assemble each miss serially in batch order. The
+    // serial collect/assemble phases keep hit/miss counts and every
+    // float-addition order identical at any thread count.
+    const size_t num_queries = workload_->queries().size();
+    std::vector<PlanTask> tasks;
+    std::unordered_map<std::string, size_t> task_index;
+    std::vector<std::vector<QueryPlan>> miss_plans(misses.size());
+    std::vector<std::vector<int>> miss_plan_source(misses.size());
+    for (size_t mi = 0; mi < misses.size(); ++mi) {
+      miss_plans[mi].resize(num_queries);
+      miss_plan_source[mi].assign(num_queries, -1);
+      CollectPlanTasks(misses[mi].sorted, miss_plans[mi],
+                       miss_plan_source[mi], tasks, task_index);
+    }
+    std::vector<Result<QueryPlan>> task_plans(
+        tasks.size(), Status::Internal("not evaluated"));
+    ParallelFor(PlanTaskPool(tasks.size()), tasks.size(), [&](size_t ti) {
+      task_plans[ti] = OptimizeRelevant(tasks[ti]);
+    });
+    for (size_t ti = 0; ti < tasks.size(); ++ti) {
+      if (task_plans[ti].ok()) {
+        cost_cache_.Insert(tasks[ti].key, *task_plans[ti]);
+      }
+    }
+    for (size_t mi = 0; mi < misses.size(); ++mi) {
+      misses[mi].result =
+          AssembleFromPlans(misses[mi].sorted, miss_plans[mi],
+                            miss_plan_source[mi], task_plans);
+    }
+  } else {
+    // One task per distinct miss; the per-query loop inside each stays
+    // serial to keep exactly one level of parallelism per call path.
+    ParallelFor(pool(), misses.size(), [&](size_t mi) {
+      misses[mi].result =
+          EvaluateUncached(misses[mi].sorted, /*parallel_queries=*/false);
+    });
+  }
 
   {
     std::lock_guard<std::mutex> lock(memo_mu_);

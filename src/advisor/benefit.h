@@ -7,9 +7,11 @@
 #include <mutex>
 #include <set>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "advisor/candidate.h"
+#include "advisor/cost_cache.h"
 #include "common/bitmap.h"
 #include "common/status.h"
 #include "common/thread_pool.h"
@@ -34,6 +36,17 @@ namespace xia {
 /// counter are lock-/atomic-protected so both levels may run
 /// concurrently. Per-query results are merged in query order, making the
 /// parallel costs bit-identical to the serial (`threads == 1`) path.
+///
+/// What-if cost caching (`use_cost_cache`, on by default): below the
+/// whole-configuration memo sits a signature-keyed per-query plan cache
+/// (advisor/cost_cache.h). A query's plan under a configuration depends
+/// only on the configuration's *relevant* candidates — those whose
+/// patterns can produce an index match for it — so the optimizer runs
+/// once per distinct (query, relevant-candidate-set) pair and every other
+/// (query, configuration) combination is a lookup. Results stay
+/// bit-identical to the uncached path (tests/cost_cache_test.cc), and
+/// cache hit/miss/bypass counts are deterministic at any thread count
+/// because lookups happen in serial dedup phases.
 class ConfigurationEvaluator {
  public:
   /// One workload XPath expression (driving path or predicate pattern) —
@@ -58,23 +71,28 @@ class ConfigurationEvaluator {
   /// All pointers must outlive the evaluator. `account_update_cost`
   /// toggles the maintenance debit (ablation B). `threads` is the what-if
   /// fan-out width: 1 (the default) evaluates serially exactly as before,
-  /// 0 resolves to std::thread::hardware_concurrency().
+  /// 0 resolves to std::thread::hardware_concurrency(). `use_cost_cache`
+  /// is the signature-keyed plan cache escape hatch; disabling it makes
+  /// every evaluation re-optimize every query (counted as bypasses).
   ConfigurationEvaluator(const Optimizer* optimizer, const Workload* workload,
                          const Catalog* base_catalog,
                          const std::vector<CandidateIndex>* candidates,
                          ContainmentCache* cache, bool account_update_cost,
-                         int threads = 1);
+                         int threads = 1, bool use_cost_cache = true);
 
   /// Evaluates the configuration given as candidate indices, optimizing
   /// the workload's queries in parallel when threads > 1.
   Result<Evaluation> Evaluate(const std::vector<int>& config);
 
-  /// Evaluates several configurations concurrently (one task per distinct
-  /// uncached configuration, serial per-query loop inside each), returning
-  /// results aligned with `configs`. This is the search-loop fan-out:
-  /// scoring every candidate of a greedy round costs one pool dispatch.
-  /// Results and num_evaluations() match what sequential Evaluate() calls
-  /// would have produced.
+  /// Evaluates several configurations concurrently, returning results
+  /// aligned with `configs`. This is the search-loop fan-out: scoring
+  /// every candidate of a greedy round costs one pool dispatch. With the
+  /// cost cache on, the fan-out unit is the distinct (query, relevance
+  /// signature) pair deduplicated across the whole batch — configurations
+  /// that look identical to a query share its one optimization; with the
+  /// cache off it is the distinct uncached configuration (serial
+  /// per-query loop inside each). Results and num_evaluations() match
+  /// what sequential Evaluate() calls would have produced.
   std::vector<Result<Evaluation>> EvaluateMany(
       const std::vector<std::vector<int>>& configs);
 
@@ -101,11 +119,25 @@ class ConfigurationEvaluator {
   /// Effective what-if fan-out width (>= 1).
   int threads() const { return threads_; }
 
+  /// The signature-keyed plan cache (disabled instances only count
+  /// bypasses).
+  const WhatIfCostCache& cost_cache() const { return cost_cache_; }
+
+  /// Snapshot of both cache layers for search traces and bench output.
+  AdvisorCacheCounters cache_counters() const;
+
   const std::vector<CandidateIndex>& candidates() const {
     return *candidates_;
   }
 
  private:
+  /// One pending optimizer call: a distinct (query, relevant candidate
+  /// set) pair some configuration in the current batch needs.
+  struct PlanTask {
+    size_t query = 0;           // Representative workload query index.
+    std::vector<int> relevant;  // Sorted relevant candidate ids (the sig).
+    std::string key;            // Cost-cache key.
+  };
   const Optimizer* optimizer_;
   const Workload* workload_;
   const Catalog* base_catalog_;
@@ -113,13 +145,31 @@ class ConfigurationEvaluator {
   ContainmentCache* cache_;
   bool account_update_cost_;
   int threads_;
-  std::unique_ptr<ThreadPool> pool_;  // Null when threads_ == 1.
+  /// Spawned on first parallel use (always null when threads_ == 1), so
+  /// evaluators whose work the cost cache keeps small never pay OS
+  /// thread-creation cost.
+  std::unique_ptr<ThreadPool> pool_;
+  std::once_flag pool_once_;
   std::vector<WorkloadExpr> exprs_;
   std::mutex memo_mu_;
   std::map<std::string, Evaluation> memo_;
   std::atomic<int> num_evaluations_{0};
+  WhatIfCostCache cost_cache_;
+  /// Queries with equal fingerprints share a slot id (and thus cached
+  /// plans): distinct_query_[qi] indexes the query's equivalence class.
+  std::vector<int> distinct_query_;
+  /// relevant_[c].Test(qi): candidate `c` can produce an index match for
+  /// query `qi` (the per-candidate × per-query match bitmap, precomputed
+  /// once through the shared ContainmentCache). Empty when the cost cache
+  /// is disabled.
+  std::vector<Bitmap> relevant_;
 
   /// Canonical memo key (sorted, deduplicated config) + that config.
+  /// This is the single normalization point for the configuration memo:
+  /// Evaluate, EvaluateMany, and the cost-cache signature loop must all
+  /// funnel configs through it, so duplicate and unsorted inputs collapse
+  /// to one memo entry and one evaluation (regression:
+  /// tests/cost_cache_test.cc, MemoKeyCanonicalization*).
   static std::pair<std::string, std::vector<int>> CanonicalKey(
       const std::vector<int>& config);
 
@@ -128,6 +178,43 @@ class ConfigurationEvaluator {
   /// false because it parallelizes at configuration granularity instead.
   Result<Evaluation> EvaluateUncached(const std::vector<int>& sorted,
                                       bool parallel_queries);
+
+  /// Cost-cache path of EvaluateUncached: serial lookup/dedup over the
+  /// queries, parallel optimization of the distinct misses, serial merge.
+  Result<Evaluation> EvaluateWithCostCache(const std::vector<int>& sorted,
+                                           bool parallel_tasks);
+
+  /// Serial phase 1: resolves each query of `sorted` from the cost cache
+  /// into `plans` or appends a deduplicated PlanTask. plan_source[qi] is
+  /// the task index that will produce the plan, or -1 when `plans[qi]`
+  /// is already filled from the cache.
+  void CollectPlanTasks(const std::vector<int>& sorted,
+                        std::vector<QueryPlan>& plans,
+                        std::vector<int>& plan_source,
+                        std::vector<PlanTask>& tasks,
+                        std::unordered_map<std::string, size_t>& task_index);
+
+  /// Optimizes a task's query against base catalog + ONLY its relevant
+  /// candidates. Bit-identical to optimizing under any configuration with
+  /// that relevance signature (see the comment in the implementation).
+  Result<QueryPlan> OptimizeRelevant(const PlanTask& task) const;
+
+  /// Serial phase 3: fills the remaining `plans` slots from `task_plans`
+  /// and folds the Evaluation in query order (the exact float-addition
+  /// order of the uncached path). Counts one configuration evaluation.
+  Result<Evaluation> AssembleFromPlans(
+      const std::vector<int>& sorted, std::vector<QueryPlan>& plans,
+      const std::vector<int>& plan_source,
+      const std::vector<Result<QueryPlan>>& task_plans);
+
+  /// The lazily-spawned pool (null when threads_ == 1). Thread-safe.
+  ThreadPool* pool();
+
+  /// Pool choice for a fan-out of `tasks` minimal plan tasks: null
+  /// (serial) unless there is enough work per worker to amortize dispatch
+  /// and possible first-use spawn. Purely a scheduling decision — plans,
+  /// costs, and counters are identical either way.
+  ThreadPool* PlanTaskPool(size_t tasks);
 
   double EstimateUpdateCost(const std::vector<int>& config) const;
 };

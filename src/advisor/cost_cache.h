@@ -1,0 +1,140 @@
+#ifndef XIA_ADVISOR_COST_CACHE_H_
+#define XIA_ADVISOR_COST_CACHE_H_
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "index/catalog.h"
+#include "optimizer/plan.h"
+#include "xpath/containment.h"
+
+namespace xia {
+
+/// Counter snapshot of a WhatIfCostCache. All three counters are
+/// deterministic at any thread count *provided* lookups happen in serial
+/// phases (the pattern every caller in this codebase follows: serial
+/// lookup/dedup scan, parallel optimization of the misses, serial insert).
+struct CostCacheStats {
+  uint64_t hits = 0;
+  uint64_t misses = 0;
+  uint64_t bypasses = 0;  // Lookups skipped because the cache is disabled.
+  size_t entries = 0;     // Cached plans across all shards.
+};
+
+/// Signature-keyed what-if plan memo — the CoPhy-style decoupling of
+/// per-query "atomic" cost estimation from configuration search.
+///
+/// A key is (query fingerprint, relevance signature): the signature names
+/// exactly the catalog entries whose patterns can produce an index match
+/// for the query (IndexMatcher::CanServe). Since the optimizer reads a
+/// catalog *only* through IndexMatcher::Match — entries that emit no
+/// match contribute nothing to plan enumeration — equal signatures imply
+/// byte-identical optimizer input, hence a bit-identical QueryPlan. Two
+/// configurations differing only in indexes a query cannot see therefore
+/// share one cached optimization.
+///
+/// An instance is bound to one (database, cost model, optimizer options)
+/// tuple — those are deliberately NOT part of the key; owners that could
+/// see several (none in this codebase) must use separate caches.
+///
+/// Thread-safe: the map is split into fixed shards, each behind its own
+/// mutex; Lookup copies the plan out under the shard lock. Racing inserts
+/// of the same key are idempotent (first wins; equal signatures make both
+/// values bit-identical).
+class WhatIfCostCache {
+ public:
+  explicit WhatIfCostCache(bool enabled = true) : enabled_(enabled) {}
+
+  WhatIfCostCache(const WhatIfCostCache&) = delete;
+  WhatIfCostCache& operator=(const WhatIfCostCache&) = delete;
+
+  /// A disabled cache never hits, never stores, and counts every Lookup
+  /// as a bypass — the AdvisorOptions escape hatch.
+  bool enabled() const { return enabled_; }
+
+  /// Copies the plan cached under `key` into `*plan`; returns whether the
+  /// key was present. Counts one hit or miss (bypass when disabled).
+  bool Lookup(const std::string& key, QueryPlan* plan);
+
+  /// Memoizes `plan` under `key`; first insert wins. No-op when disabled.
+  void Insert(const std::string& key, const QueryPlan& plan);
+
+  /// Bulk bypass accounting for callers that skip per-query Lookups
+  /// entirely when the cache is disabled.
+  void AddBypasses(uint64_t n) {
+    bypasses_.fetch_add(n, std::memory_order_relaxed);
+  }
+
+  CostCacheStats stats() const;
+
+  /// Drops every cached plan (counters are kept). Must not race with
+  /// Lookup/Insert from other threads.
+  void Clear();
+
+ private:
+  static constexpr size_t kNumShards = 16;
+  struct Shard {
+    std::mutex mu;
+    std::unordered_map<std::string, QueryPlan> map;
+  };
+
+  bool enabled_;
+  mutable std::array<Shard, kNumShards> shards_;
+  std::atomic<uint64_t> hits_{0};
+  std::atomic<uint64_t> misses_{0};
+  std::atomic<uint64_t> bypasses_{0};
+};
+
+/// Byte-exact fingerprint of every NormalizedQuery field the optimizer
+/// (or a plan embedding the query) can observe. Two queries with equal
+/// fingerprints receive bit-identical plans under equal signatures, so
+/// repeated workload queries share one cached optimization.
+std::string QueryFingerprint(const NormalizedQuery& query);
+
+/// Identity of one catalog entry as optimizer input: name, definition,
+/// virtualness, and bit-exact statistics. Statistics are part of the
+/// identity, so catalog changes that only refresh stats (RefreshStats
+/// after index maintenance) change the signature and naturally invalidate
+/// affected cache entries — the cache needs no invalidation hooks.
+std::string CatalogEntryIdentity(const CatalogEntry& entry);
+
+/// Relevance signature of `query` against `entries` (which must be in the
+/// catalog's deterministic name order, as IndexesFor returns): the
+/// concatenated identities of exactly those entries that can produce an
+/// index match for the query. Entries that cannot match are omitted — the
+/// optimizer provably ignores them — which is what lets configurations
+/// differing only in irrelevant indexes share a cache key.
+std::string RelevanceSignature(const NormalizedQuery& query,
+                               const std::vector<const CatalogEntry*>& entries,
+                               ContainmentCache* cache);
+
+/// Order-sensitive 64-bit fingerprint of a plan's externally observable
+/// shape (access path, costs, cardinality) — query_id excluded, since
+/// cached plans are re-labelled per requesting query. Used by tests and
+/// the advisor trace to assert cached and fresh plans coincide.
+uint64_t PlanFingerprint(const QueryPlan& plan);
+
+/// Combined cache counters the advisor searches report (SearchResult).
+struct AdvisorCacheCounters {
+  CostCacheStats cost;
+  ContainmentCacheStats containment;
+
+  /// Full rendering, including the timing-dependent containment hit/miss
+  /// split — for logs and bench output, not for determinism-checked
+  /// traces.
+  std::string ToString() const;
+
+  /// The deterministic subset (cost-cache hits/misses/bypasses and
+  /// containment entry count) — safe to embed in search traces that must
+  /// be identical at any thread count.
+  std::string TraceLine() const;
+};
+
+}  // namespace xia
+
+#endif  // XIA_ADVISOR_COST_CACHE_H_

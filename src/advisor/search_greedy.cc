@@ -78,6 +78,8 @@ Result<SearchResult> GreedySearch(ConfigurationEvaluator* evaluator,
   result.update_cost = final_eval.update_cost;
   result.benefit = result.baseline_cost - final_eval.TotalCost();
   result.evaluations = evaluator->num_evaluations();
+  result.counters = evaluator->cache_counters();
+  result.trace.push_back(result.counters.TraceLine());
   return result;
 }
 

@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "advisor/benefit.h"
+#include "advisor/cost_cache.h"
 #include "common/status.h"
 
 namespace xia {
@@ -25,6 +26,10 @@ struct SearchResult {
   double benefit = 0;  // baseline - (workload + update).
   std::vector<std::string> trace;
   int evaluations = 0;
+  /// Cost-cache / containment-cache counter snapshot taken when the
+  /// search finished (cumulative over the evaluator's lifetime). The
+  /// deterministic subset also lands in the trace tail.
+  AdvisorCacheCounters counters;
 
   std::string TraceString() const;
 };

@@ -126,6 +126,8 @@ Result<SearchResult> TopDownSearch(const GeneralizationDag& dag,
   result.trace.push_back("final size " +
                          FormatBytes(result.total_size_bytes) + ", benefit " +
                          FormatDouble(result.benefit));
+  result.counters = evaluator->cache_counters();
+  result.trace.push_back(result.counters.TraceLine());
   return result;
 }
 

@@ -5,11 +5,13 @@
 namespace xia {
 
 WhatIfSession::WhatIfSession(const Database* db, Catalog base,
-                             CostModel cost_model, int threads)
+                             CostModel cost_model, int threads,
+                             bool use_cost_cache)
     : db_(db),
       catalog_(std::move(base)),
       cost_model_(cost_model),
-      optimizer_(db, cost_model) {
+      optimizer_(db, cost_model),
+      cost_cache_(use_cost_cache) {
   int resolved = ResolveThreadCount(threads);
   if (resolved > 1) pool_ = std::make_unique<ThreadPool>(resolved);
 }
@@ -42,12 +44,37 @@ Status WhatIfSession::DropIndex(const std::string& name) {
 Result<EvaluateIndexesResult> WhatIfSession::EvaluateWorkload(
     const Workload& workload) {
   // The overlay IS the configuration: evaluate with no extra indexes.
+  // The shared cost cache carries plans across AddIndex/DropIndex edits:
+  // only queries whose relevant-index set an edit changed re-optimize.
   return EvaluateIndexesMode(optimizer_, workload.queries(), {}, catalog_,
-                             &cache_, pool_.get());
+                             &cache_, pool_.get(), &cost_cache_);
 }
 
 Result<QueryPlan> WhatIfSession::ExplainQuery(const Query& query) {
-  return optimizer_.Optimize(query, catalog_, &cache_);
+  if (!cost_cache_.enabled()) {
+    cost_cache_.AddBypasses(1);
+    return optimizer_.Optimize(query, catalog_, &cache_);
+  }
+  const NormalizedQuery& nq = query.normalized;
+  std::string key = QueryFingerprint(nq);
+  key.push_back('\n');
+  key += RelevanceSignature(nq, catalog_.IndexesFor(nq.collection), &cache_);
+  QueryPlan cached;
+  if (cost_cache_.Lookup(key, &cached)) {
+    cached.query_id = query.id;
+    return cached;
+  }
+  XIA_ASSIGN_OR_RETURN(QueryPlan plan,
+                       optimizer_.Optimize(query, catalog_, &cache_));
+  cost_cache_.Insert(key, plan);
+  return plan;
+}
+
+AdvisorCacheCounters WhatIfSession::cache_counters() const {
+  AdvisorCacheCounters counters;
+  counters.cost = cost_cache_.stats();
+  counters.containment = cache_.stats();
+  return counters;
 }
 
 }  // namespace xia

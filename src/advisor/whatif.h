@@ -5,6 +5,7 @@
 #include <string>
 #include <vector>
 
+#include "advisor/cost_cache.h"
 #include "common/status.h"
 #include "common/thread_pool.h"
 #include "optimizer/explain.h"
@@ -21,14 +22,22 @@ namespace xia {
 /// The session owns a catalog overlay: indexes added here are virtual
 /// (statistics estimated from the synopsis, nothing built), drops remove
 /// session indexes or hide base-catalog ones; the base catalog is never
-/// modified. Every evaluation re-optimizes against the current overlay.
+/// modified.
+///
+/// Evaluations consult a signature-keyed what-if cost cache shared across
+/// the session's lifetime: a query re-optimizes only when the set of
+/// overlay indexes that can serve it changed. The cache needs no
+/// invalidation hooks — keys embed the identities (names + statistics
+/// bits) of exactly the relevant indexes, so AddIndex/DropIndex naturally
+/// change the keys of affected queries and leave the rest hitting.
 class WhatIfSession {
  public:
   /// `db` must outlive the session; `base` is copied. `threads` is the
   /// fan-out width for EvaluateWorkload: 1 keeps evaluation serial, 0
-  /// resolves to std::thread::hardware_concurrency().
+  /// resolves to std::thread::hardware_concurrency(). `use_cost_cache`
+  /// disables the plan cache (results are bit-identical either way).
   WhatIfSession(const Database* db, Catalog base, CostModel cost_model,
-                int threads = 1);
+                int threads = 1, bool use_cost_cache = true);
 
   /// Adds a hypothetical index. A blank name is auto-generated. Fails if
   /// the collection lacks statistics or the name collides.
@@ -50,12 +59,16 @@ class WhatIfSession {
 
   const Catalog& catalog() const { return catalog_; }
 
+  /// Counter snapshot of the session's plan + containment caches.
+  AdvisorCacheCounters cache_counters() const;
+
  private:
   const Database* db_;
   Catalog catalog_;
   CostModel cost_model_;
   Optimizer optimizer_;
   ContainmentCache cache_;
+  WhatIfCostCache cost_cache_;
   std::unique_ptr<ThreadPool> pool_;  // Null when threads == 1.
   std::vector<std::string> session_indexes_;
 };

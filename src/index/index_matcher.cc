@@ -24,6 +24,13 @@ std::string IndexMatch::ToString() const {
   return out;
 }
 
+bool IndexMatcher::CanServe(const NormalizedQuery& query,
+                            const IndexDefinition& def) {
+  CatalogEntry entry;
+  entry.def = def;
+  return !Match(query, {&entry}).empty();
+}
+
 std::vector<IndexMatch> IndexMatcher::Match(
     const NormalizedQuery& query,
     const std::vector<const CatalogEntry*>& indexes) {

@@ -1,6 +1,8 @@
 #include "optimizer/explain.h"
 
 #include <algorithm>
+#include <unordered_map>
+#include <utility>
 
 #include "common/string_util.h"
 
@@ -122,7 +124,7 @@ Result<Catalog> MakeVirtualOverlay(const Database& db,
 Result<EvaluateIndexesResult> EvaluateIndexesMode(
     const Optimizer& optimizer, const std::vector<Query>& queries,
     const std::vector<IndexDefinition>& config, const Catalog& base_catalog,
-    ContainmentCache* cache, ThreadPool* pool) {
+    ContainmentCache* cache, ThreadPool* pool, WhatIfCostCache* cost_cache) {
   XIA_ASSIGN_OR_RETURN(
       Catalog overlay,
       MakeVirtualOverlay(optimizer.db(), base_catalog, config,
@@ -132,9 +134,76 @@ Result<EvaluateIndexesResult> EvaluateIndexesMode(
   // result does not depend on scheduling.
   std::vector<Result<QueryPlan>> plans(queries.size(),
                                        Status::Internal("not evaluated"));
-  ParallelFor(pool, queries.size(), [&](size_t qi) {
-    plans[qi] = optimizer.Optimize(queries[qi], overlay, cache);
-  });
+  if (cost_cache != nullptr && cost_cache->enabled()) {
+    // Serial phase 1: resolve each query against the plan cache by its
+    // (fingerprint, relevance signature) key and deduplicate the misses.
+    // Keys here carry full entry identities (names + stats bits), so a
+    // cache outlives catalog edits without invalidation hooks.
+    struct Task {
+      size_t query;     // Representative query index.
+      std::string key;  // Cost-cache key.
+    };
+    std::map<std::string, std::vector<const CatalogEntry*>> indexes_for;
+    std::vector<Task> tasks;
+    std::unordered_map<std::string, size_t> task_index;
+    // Signature memo: equal-fingerprint queries have equal relevance
+    // signatures by definition, so repeated workload queries compute the
+    // (comparatively expensive) signature once per distinct query.
+    std::unordered_map<std::string, std::string> key_by_fingerprint;
+    std::vector<int> plan_source(queries.size(), -1);
+    for (size_t qi = 0; qi < queries.size(); ++qi) {
+      const NormalizedQuery& nq = queries[qi].normalized;
+      std::string fp = QueryFingerprint(nq);
+      auto [key_it, fresh] = key_by_fingerprint.try_emplace(std::move(fp));
+      if (fresh) {
+        auto [coll_it, first_seen] = indexes_for.try_emplace(nq.collection);
+        if (first_seen) coll_it->second = overlay.IndexesFor(nq.collection);
+        std::string key = key_it->first;
+        key.push_back('\n');
+        key += RelevanceSignature(nq, coll_it->second, cache);
+        key_it->second = std::move(key);
+      }
+      const std::string& key = key_it->second;
+      QueryPlan cached;
+      if (cost_cache->Lookup(key, &cached)) {
+        // Equal key ⇒ bit-identical plan; only the label differs.
+        cached.query_id = queries[qi].id;
+        plans[qi] = std::move(cached);
+        continue;
+      }
+      auto [it, inserted] = task_index.emplace(key, tasks.size());
+      if (inserted) tasks.push_back(Task{qi, it->first});
+      plan_source[qi] = static_cast<int>(it->second);
+    }
+    // Parallel phase 2: optimize the distinct misses against the full
+    // overlay. (The minimal-overlay trick the evaluator uses is an
+    // optimization, not a correctness requirement — the full overlay
+    // yields the same plan, since irrelevant entries produce no matches.)
+    std::vector<Result<QueryPlan>> task_plans(
+        tasks.size(), Status::Internal("not evaluated"));
+    ParallelFor(pool, tasks.size(), [&](size_t ti) {
+      task_plans[ti] =
+          optimizer.Optimize(queries[tasks[ti].query], overlay, cache);
+    });
+    // Serial phase 3: memoize and distribute.
+    for (size_t ti = 0; ti < tasks.size(); ++ti) {
+      if (task_plans[ti].ok()) {
+        cost_cache->Insert(tasks[ti].key, *task_plans[ti]);
+      }
+    }
+    for (size_t qi = 0; qi < queries.size(); ++qi) {
+      if (plan_source[qi] < 0) continue;
+      const Result<QueryPlan>& computed =
+          task_plans[static_cast<size_t>(plan_source[qi])];
+      plans[qi] = computed;
+      if (plans[qi].ok()) plans[qi]->query_id = queries[qi].id;
+    }
+  } else {
+    if (cost_cache != nullptr) cost_cache->AddBypasses(queries.size());
+    ParallelFor(pool, queries.size(), [&](size_t qi) {
+      plans[qi] = optimizer.Optimize(queries[qi], overlay, cache);
+    });
+  }
   EvaluateIndexesResult result;
   for (size_t qi = 0; qi < queries.size(); ++qi) {
     XIA_RETURN_IF_ERROR(plans[qi].status());

@@ -5,6 +5,7 @@
 #include <string>
 #include <vector>
 
+#include "advisor/cost_cache.h"
 #include "common/status.h"
 #include "common/thread_pool.h"
 #include "optimizer/optimizer.h"
@@ -62,10 +63,19 @@ struct EvaluateIndexesResult {
 /// With a non-null `pool` the per-query optimizations fan out over it;
 /// plans, costs, and use counts are merged in query order, so the result
 /// is identical to the serial (null-pool) run.
+///
+/// With a non-null, enabled `cost_cache`, each query is first resolved by
+/// its (fingerprint, relevance signature) key: queries whose relevant
+/// overlay entries are unchanged since a previous call reuse the cached
+/// plan instead of re-optimizing, bit-identically (the signature embeds
+/// entry statistics, so AddIndex/DropIndex/RefreshStats between calls
+/// change keys and naturally miss). The caller owns the cache and its
+/// lifetime; it must be bound to this optimizer's database + cost model.
 Result<EvaluateIndexesResult> EvaluateIndexesMode(
     const Optimizer& optimizer, const std::vector<Query>& queries,
     const std::vector<IndexDefinition>& config, const Catalog& base_catalog,
-    ContainmentCache* cache, ThreadPool* pool = nullptr);
+    ContainmentCache* cache, ThreadPool* pool = nullptr,
+    WhatIfCostCache* cost_cache = nullptr);
 
 /// Builds a catalog overlay with `config` added as virtual indexes whose
 /// statistics are estimated from each collection's synopsis. Names that

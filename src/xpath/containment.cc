@@ -1,5 +1,6 @@
 #include "xpath/containment.h"
 
+#include <algorithm>
 #include <map>
 #include <queue>
 #include <set>
@@ -102,11 +103,13 @@ bool ContainmentCache::Contains(const PathPattern& general,
     auto it = shard.map.find(key);
     if (it != shard.map.end() && it->second.first.first == gs &&
         it->second.first.second == ss) {
+      hits_.fetch_add(1, std::memory_order_relaxed);
       return it->second.second;
     }
   }
   // Compute outside the lock: the NFA product check is the expensive
   // part, and racing computations of the same pair agree by purity.
+  misses_.fetch_add(1, std::memory_order_relaxed);
   bool result = PatternContains(general, specific);
   std::lock_guard<std::mutex> lock(shard.mu);
   shard.map[key] = {{std::move(gs), std::move(ss)}, result};
@@ -120,6 +123,19 @@ size_t ContainmentCache::size() const {
     total += shard.map.size();
   }
   return total;
+}
+
+ContainmentCacheStats ContainmentCache::stats() const {
+  ContainmentCacheStats s;
+  s.hits = hits_.load(std::memory_order_relaxed);
+  s.misses = misses_.load(std::memory_order_relaxed);
+  s.shards = kNumShards;
+  for (Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    s.entries += shard.map.size();
+    s.largest_shard = std::max(s.largest_shard, shard.map.size());
+  }
+  return s;
 }
 
 }  // namespace xia

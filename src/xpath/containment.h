@@ -2,6 +2,7 @@
 #define XIA_XPATH_CONTAINMENT_H_
 
 #include <array>
+#include <atomic>
 #include <cstdint>
 #include <mutex>
 #include <unordered_map>
@@ -10,6 +11,19 @@
 #include "xpath/path.h"
 
 namespace xia {
+
+/// Counter snapshot of a ContainmentCache. `entries` (the set of memoized
+/// pairs) is deterministic for a deterministic sequence of queries; `hits`
+/// and `misses` are not under concurrency — two threads racing on the same
+/// uncached pair both count a miss where a serial run counts one miss and
+/// one hit. Treat hit/miss as diagnostics, not invariants.
+struct ContainmentCacheStats {
+  uint64_t hits = 0;
+  uint64_t misses = 0;
+  size_t entries = 0;       // Memoized pairs across all shards.
+  size_t shards = 0;
+  size_t largest_shard = 0;  // Entries in the fullest shard.
+};
 
 /// Exact language containment for linear path patterns: true iff every
 /// root-to-node path matched by `specific` is also matched by `general`
@@ -49,6 +63,9 @@ class ContainmentCache {
   /// for tests and reporting, not hot paths).
   size_t size() const;
 
+  /// Hit/miss/shard-size counters (see ContainmentCacheStats caveats).
+  ContainmentCacheStats stats() const;
+
  private:
   struct KeyHash {
     size_t operator()(const std::pair<size_t, size_t>& k) const {
@@ -66,6 +83,8 @@ class ContainmentCache {
     Map map;
   };
   mutable std::array<Shard, kNumShards> shards_;
+  std::atomic<uint64_t> hits_{0};
+  std::atomic<uint64_t> misses_{0};
 };
 
 }  // namespace xia
