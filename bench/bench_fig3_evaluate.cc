@@ -200,4 +200,4 @@ BENCHMARK(BM_EvaluateIndexesMode)
 }  // namespace
 }  // namespace xia
 
-BENCHMARK_MAIN();
+#include "bench_main.h"  // Custom main: BENCHMARK_MAIN + --stats-json.

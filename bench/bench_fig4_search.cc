@@ -149,4 +149,4 @@ BENCHMARK(BM_SearchTopDown)
 }  // namespace
 }  // namespace xia
 
-BENCHMARK_MAIN();
+#include "bench_main.h"  // Custom main: BENCHMARK_MAIN + --stats-json.

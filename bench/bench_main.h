@@ -1,0 +1,63 @@
+// Shared main() for the google-benchmark harnesses, replacing
+// BENCHMARK_MAIN() with one that understands the xia::obs flags:
+//
+//   --stats-json=PATH   after the run, write the process-wide metrics
+//                       registry snapshot (counters/gauges/spans) as JSON
+//                       to PATH. CI stores it next to the benchmark JSON
+//                       in the BENCH_ci.json artifact, so perf numbers
+//                       ship with phase-level attribution.
+//   --stats-spans       enable RAII phase spans for the run. Off by
+//                       default so timed sections stay unperturbed —
+//                       only pass it when investigating, not in CI perf
+//                       jobs.
+//
+// Both flags are stripped before benchmark::Initialize, which rejects
+// unknown arguments. Include this header exactly once per bench binary,
+// instead of invoking BENCHMARK_MAIN().
+
+#ifndef XIA_BENCH_BENCH_MAIN_H_
+#define XIA_BENCH_BENCH_MAIN_H_
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "common/metrics.h"
+
+int main(int argc, char** argv) {
+  std::string stats_json_path;
+  int kept = 1;
+  for (int i = 1; i < argc; ++i) {
+    constexpr char kStatsJson[] = "--stats-json=";
+    if (std::strncmp(argv[i], kStatsJson, sizeof(kStatsJson) - 1) == 0) {
+      stats_json_path = argv[i] + sizeof(kStatsJson) - 1;
+      continue;
+    }
+    if (std::strcmp(argv[i], "--stats-spans") == 0) {
+      xia::obs::SetSpansEnabled(true);
+      continue;
+    }
+    argv[kept++] = argv[i];
+  }
+  argc = kept;
+
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+
+  if (!stats_json_path.empty()) {
+    if (!xia::obs::Registry().WriteJsonFile(stats_json_path)) {
+      std::fprintf(stderr, "failed to write stats JSON to %s\n",
+                   stats_json_path.c_str());
+      return 1;
+    }
+    std::fprintf(stderr, "stats JSON written to %s\n",
+                 stats_json_path.c_str());
+  }
+  return 0;
+}
+
+#endif  // XIA_BENCH_BENCH_MAIN_H_

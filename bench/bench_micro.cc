@@ -170,3 +170,5 @@ BENCHMARK(BM_GeneralizeAndBuildDag);
 
 }  // namespace
 }  // namespace xia
+
+#include "bench_main.h"  // Custom main: BENCHMARK_MAIN + --stats-json.

@@ -28,6 +28,7 @@
 #include "advisor/advisor.h"
 #include "advisor/analysis.h"
 #include "advisor/whatif.h"
+#include "common/metrics.h"
 #include "common/string_util.h"
 #include "exec/executor.h"
 #include "optimizer/explain.h"
@@ -69,7 +70,7 @@ void PrintHelp() {
       "  enumerate <query...>\n"
       "  advise <budget_kb> [greedy|heuristic|topdown]\n"
       "  whatif start|add <coll> <pattern> <double|varchar>|drop <name>|eval\n"
-      "  ddl | materialize | run <query...> | help | quit\n";
+      "  ddl | materialize | run <query...> | stats | help | quit\n";
 }
 
 void CmdGen(Session* s, std::istringstream* args) {
@@ -292,7 +293,7 @@ void CmdRun(Session* s, const std::string& rest) {
     std::cout << plan.status().ToString() << "\n";
     return;
   }
-  std::cout << plan->Explain();
+  std::cout << plan->ExplainWithStats();
   Executor executor(&s->db, &s->catalog, s->options.cost_model);
   Result<ExecResult> run = executor.Execute(*plan);
   if (!run.ok()) {
@@ -400,6 +401,10 @@ int main() {
       }
     } else if (command == "run") {
       CmdRun(&session, std::string(Trim(rest)));
+    } else if (command == "stats") {
+      // Process-wide xia::obs registry: every cache, pool, and scan
+      // counter the session has touched so far, in one snapshot.
+      std::cout << obs::Registry().TakeSnapshot().ToText("  ");
     } else {
       std::cout << "unknown command '" << command
                 << "' — type 'help'\n";

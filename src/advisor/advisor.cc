@@ -4,6 +4,7 @@
 #include "advisor/search_greedy_heuristic.h"
 #include "advisor/search_topdown.h"
 #include "common/string_util.h"
+#include "common/trace_span.h"
 #include "optimizer/optimizer.h"
 
 namespace xia {
@@ -47,22 +48,32 @@ Advisor::Advisor(const Database* db, const Catalog* base_catalog,
     : db_(db), base_catalog_(base_catalog), options_(options) {}
 
 Result<Recommendation> Advisor::Recommend(const Workload& workload) {
+  XIA_SPAN("advisor.recommend");
   Recommendation rec;
 
   // Step 1: basic candidate enumeration via the Enumerate Indexes mode.
-  XIA_ASSIGN_OR_RETURN(rec.enumeration,
-                       EnumerateBasicCandidates(*db_, workload, &cache_));
+  {
+    XIA_SPAN("advisor.enumerate");
+    XIA_ASSIGN_OR_RETURN(rec.enumeration,
+                         EnumerateBasicCandidates(*db_, workload, &cache_));
+  }
 
   // Step 2: candidate generalization.
-  if (options_.enable_generalization) {
-    rec.candidates = GeneralizeCandidates(rec.enumeration.candidates, *db_,
-                                          options_.generalize);
-  } else {
-    rec.candidates = rec.enumeration.candidates;
+  {
+    XIA_SPAN("advisor.generalize");
+    if (options_.enable_generalization) {
+      rec.candidates = GeneralizeCandidates(rec.enumeration.candidates, *db_,
+                                            options_.generalize);
+    } else {
+      rec.candidates = rec.enumeration.candidates;
+    }
   }
 
   // Step 3: generalization DAG over the expanded set.
-  rec.dag = GeneralizationDag::Build(rec.candidates, &cache_);
+  {
+    XIA_SPAN("advisor.dag");
+    rec.dag = GeneralizationDag::Build(rec.candidates, &cache_);
+  }
 
   // Step 4: configuration search with optimizer-backed benefit estimation.
   Optimizer optimizer(db_, options_.cost_model);
@@ -73,6 +84,7 @@ Result<Recommendation> Advisor::Recommend(const Workload& workload) {
                                    options_.what_if_cost_cache);
   SearchOptions search_options;
   search_options.space_budget_bytes = options_.space_budget_bytes;
+  XIA_SPAN("advisor.search");
   switch (options_.algorithm) {
     case SearchAlgorithm::kGreedy: {
       XIA_ASSIGN_OR_RETURN(rec.search,

@@ -1,16 +1,33 @@
 #include "advisor/benefit.h"
 
 #include <algorithm>
+#include <limits>
 #include <unordered_map>
 #include <utility>
 
 #include "common/string_util.h"
+#include "common/trace_span.h"
 #include "index/index_matcher.h"
 
 namespace xia {
 
 std::string CandidateOverlayName(int candidate) {
   return "cand" + std::to_string(candidate);
+}
+
+std::optional<int> TryParseCandidateId(const std::string& name) {
+  constexpr size_t kPrefixLen = 4;  // "cand"
+  if (name.size() <= kPrefixLen || !StartsWith(name, "cand")) {
+    return std::nullopt;
+  }
+  int64_t id = 0;
+  for (size_t i = kPrefixLen; i < name.size(); ++i) {
+    char c = name[i];
+    if (c < '0' || c > '9') return std::nullopt;
+    id = id * 10 + (c - '0');
+    if (id > std::numeric_limits<int>::max()) return std::nullopt;
+  }
+  return static_cast<int>(id);
 }
 
 ConfigurationEvaluator::ConfigurationEvaluator(
@@ -202,20 +219,34 @@ ConfigurationEvaluator::EvaluateUncached(const std::vector<int>& sorted,
     const QueryPlan& plan = *plans[qi];
     eval.per_query_cost.push_back(plan.total_cost);
     eval.workload_cost += queries[qi].weight * plan.total_cost;
-    if (plan.access.use_index &&
-        StartsWith(plan.access.index_def.name, "cand")) {
-      eval.used_candidates.insert(
-          std::stoi(plan.access.index_def.name.substr(4)));
-    }
-    if (plan.access.use_index && plan.access.has_secondary &&
-        StartsWith(plan.access.secondary.index_def.name, "cand")) {
-      eval.used_candidates.insert(
-          std::stoi(plan.access.secondary.index_def.name.substr(4)));
-    }
+    RecordUsedCandidates(sorted, plan, &eval);
   }
   eval.update_cost = EstimateUpdateCost(sorted);
-  num_evaluations_.fetch_add(1, std::memory_order_relaxed);
+  num_evaluations_.Increment();
   return eval;
+}
+
+void ConfigurationEvaluator::RecordUsedCandidates(
+    const std::vector<int>& sorted, const QueryPlan& plan,
+    Evaluation* eval) const {
+  if (!plan.access.use_index) return;
+  // An access path names a configuration candidate iff its name parses as
+  // "cand<N>" AND N is one of the overlay ids this evaluation actually
+  // added (`sorted` is sorted — CanonicalKey). Plans may equally well pick
+  // a physical base-catalog index whose name is arbitrary ("idx_price",
+  // "candelabra", even "cand7extra"); those are not candidates and must
+  // not be counted — the old std::stoi parse threw on the former and
+  // silently credited candidate 7 for the latter.
+  auto record = [&](const std::string& name) {
+    std::optional<int> id = TryParseCandidateId(name);
+    if (id && std::binary_search(sorted.begin(), sorted.end(), *id)) {
+      eval->used_candidates.insert(*id);
+    }
+  };
+  record(plan.access.index_def.name);
+  if (plan.access.has_secondary) {
+    record(plan.access.secondary.index_def.name);
+  }
 }
 
 void ConfigurationEvaluator::CollectPlanTasks(
@@ -295,19 +326,10 @@ ConfigurationEvaluator::AssembleFromPlans(
     const QueryPlan& plan = plans[qi];
     eval.per_query_cost.push_back(plan.total_cost);
     eval.workload_cost += queries[qi].weight * plan.total_cost;
-    if (plan.access.use_index &&
-        StartsWith(plan.access.index_def.name, "cand")) {
-      eval.used_candidates.insert(
-          std::stoi(plan.access.index_def.name.substr(4)));
-    }
-    if (plan.access.use_index && plan.access.has_secondary &&
-        StartsWith(plan.access.secondary.index_def.name, "cand")) {
-      eval.used_candidates.insert(
-          std::stoi(plan.access.secondary.index_def.name.substr(4)));
-    }
+    RecordUsedCandidates(sorted, plan, &eval);
   }
   eval.update_cost = EstimateUpdateCost(sorted);
-  num_evaluations_.fetch_add(1, std::memory_order_relaxed);
+  num_evaluations_.Increment();
   return eval;
 }
 
@@ -341,13 +363,31 @@ AdvisorCacheCounters ConfigurationEvaluator::cache_counters() const {
   return counters;
 }
 
+obs::Snapshot ConfigurationEvaluator::DeterministicStats() const {
+  obs::Snapshot snap;
+  CostCacheStats cost = cost_cache_.stats();
+  snap.counters["advisor.evaluations"] = num_evaluations_.Value();
+  snap.counters["advisor.memo_hits"] = memo_hits_.Value();
+  snap.counters["costcache.hits"] = cost.hits;
+  snap.counters["costcache.misses"] = cost.misses;
+  snap.counters["costcache.bypasses"] = cost.bypasses;
+  snap.gauges["costcache.entries"] = static_cast<int64_t>(cost.entries);
+  snap.gauges["containment.entries"] =
+      static_cast<int64_t>(cache_->stats().entries);
+  return snap;
+}
+
 Result<ConfigurationEvaluator::Evaluation> ConfigurationEvaluator::Evaluate(
     const std::vector<int>& config) {
+  XIA_SPAN("advisor.evaluate");
   auto [key, sorted] = CanonicalKey(config);
   {
     std::lock_guard<std::mutex> lock(memo_mu_);
     auto it = memo_.find(key);
-    if (it != memo_.end()) return it->second;
+    if (it != memo_.end()) {
+      memo_hits_.Increment();
+      return it->second;
+    }
   }
   Result<Evaluation> evaluated =
       cost_cache_.enabled()
@@ -361,6 +401,7 @@ Result<ConfigurationEvaluator::Evaluation> ConfigurationEvaluator::Evaluate(
 std::vector<Result<ConfigurationEvaluator::Evaluation>>
 ConfigurationEvaluator::EvaluateMany(
     const std::vector<std::vector<int>>& configs) {
+  XIA_SPAN("advisor.evaluate_many");
   std::vector<Result<Evaluation>> results(configs.size(),
                                           Status::Internal("not evaluated"));
   // Resolve memo hits and deduplicate the misses, so each distinct
@@ -380,6 +421,7 @@ ConfigurationEvaluator::EvaluateMany(
       auto [key, sorted] = CanonicalKey(configs[i]);
       auto hit = memo_.find(key);
       if (hit != memo_.end()) {
+        memo_hits_.Increment();
         results[i] = hit->second;
         continue;
       }

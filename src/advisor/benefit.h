@@ -1,10 +1,10 @@
 #ifndef XIA_ADVISOR_BENEFIT_H_
 #define XIA_ADVISOR_BENEFIT_H_
 
-#include <atomic>
 #include <map>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <set>
 #include <string>
 #include <unordered_map>
@@ -13,6 +13,7 @@
 #include "advisor/candidate.h"
 #include "advisor/cost_cache.h"
 #include "common/bitmap.h"
+#include "common/metrics.h"
 #include "common/status.h"
 #include "common/thread_pool.h"
 #include "optimizer/optimizer.h"
@@ -113,7 +114,7 @@ class ConfigurationEvaluator {
 
   /// Number of distinct configurations actually optimized (cache misses).
   int num_evaluations() const {
-    return num_evaluations_.load(std::memory_order_relaxed);
+    return static_cast<int>(num_evaluations_.Value());
   }
 
   /// Effective what-if fan-out width (>= 1).
@@ -125,6 +126,15 @@ class ConfigurationEvaluator {
 
   /// Snapshot of both cache layers for search traces and bench output.
   AdvisorCacheCounters cache_counters() const;
+
+  /// The thread-count-deterministic subset of this evaluator's metrics as
+  /// an obs::Snapshot — only values the serial lookup/dedup/assemble
+  /// phases produce (cost-cache hits/misses/bypasses/entries, containment
+  /// entries, memo hits, evaluations). Search traces embed its TextLines:
+  /// they must stay byte-identical at any thread count
+  /// (tests/parallel_eval_test.cc), which rules out containment hit/miss
+  /// splits and any thread-pool metric.
+  obs::Snapshot DeterministicStats() const;
 
   const std::vector<CandidateIndex>& candidates() const {
     return *candidates_;
@@ -153,7 +163,11 @@ class ConfigurationEvaluator {
   std::vector<WorkloadExpr> exprs_;
   std::mutex memo_mu_;
   std::map<std::string, Evaluation> memo_;
-  std::atomic<int> num_evaluations_{0};
+  // xia::obs counters ("advisor.*"): distinct configurations optimized
+  // and configuration-memo hits. Both advance in serial phases only, so
+  // they are deterministic at any thread count.
+  obs::Counter num_evaluations_{"advisor.evaluations"};
+  obs::Counter memo_hits_{"advisor.memo_hits"};
   WhatIfCostCache cost_cache_;
   /// Queries with equal fingerprints share a slot id (and thus cached
   /// plans): distinct_query_[qi] indexes the query's equivalence class.
@@ -216,11 +230,26 @@ class ConfigurationEvaluator {
   /// costs, and counters are identical either way.
   ThreadPool* PlanTaskPool(size_t tasks);
 
+  /// Folds the candidate ids used by `plan`'s access path into
+  /// `eval->used_candidates`. Only overlay indexes of the configuration
+  /// being evaluated (`sorted`) count: a *physical* catalog index whose
+  /// name merely resembles the "cand<N>" overlay convention must not be
+  /// attributed (regression: benefit_test.cc, PhysicalIndexNames*).
+  void RecordUsedCandidates(const std::vector<int>& sorted,
+                            const QueryPlan& plan, Evaluation* eval) const;
+
   double EstimateUpdateCost(const std::vector<int>& config) const;
 };
 
 /// Internal name given to candidate `i` in evaluation overlays.
 std::string CandidateOverlayName(int candidate);
+
+/// Inverse of CandidateOverlayName with no trust in the input: the id for
+/// names of exactly the form "cand<decimal digits>", std::nullopt for
+/// everything else (other prefixes, "cand", "cand12x", "candelabra",
+/// overflowing digit runs). Never throws — physical catalog indexes with
+/// arbitrary names flow through the same plan-attribution paths.
+std::optional<int> TryParseCandidateId(const std::string& name);
 
 }  // namespace xia
 

@@ -57,7 +57,7 @@ uint64_t FnvInt(uint64_t h, int64_t v) { return Fnv1a(h, &v, sizeof(v)); }
 
 bool WhatIfCostCache::Lookup(const std::string& key, QueryPlan* plan) {
   if (!enabled_) {
-    bypasses_.fetch_add(1, std::memory_order_relaxed);
+    bypasses_.Increment();
     return false;
   }
   Shard& shard = shards_[std::hash<std::string>()(key) % kNumShards];
@@ -66,11 +66,11 @@ bool WhatIfCostCache::Lookup(const std::string& key, QueryPlan* plan) {
     auto it = shard.map.find(key);
     if (it != shard.map.end()) {
       *plan = it->second;
-      hits_.fetch_add(1, std::memory_order_relaxed);
+      hits_.Increment();
       return true;
     }
   }
-  misses_.fetch_add(1, std::memory_order_relaxed);
+  misses_.Increment();
   return false;
 }
 
@@ -83,9 +83,9 @@ void WhatIfCostCache::Insert(const std::string& key, const QueryPlan& plan) {
 
 CostCacheStats WhatIfCostCache::stats() const {
   CostCacheStats s;
-  s.hits = hits_.load(std::memory_order_relaxed);
-  s.misses = misses_.load(std::memory_order_relaxed);
-  s.bypasses = bypasses_.load(std::memory_order_relaxed);
+  s.hits = hits_.Value();
+  s.misses = misses_.Value();
+  s.bypasses = bypasses_.Value();
   for (Shard& shard : shards_) {
     std::lock_guard<std::mutex> lock(shard.mu);
     s.entries += shard.map.size();

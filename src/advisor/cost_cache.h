@@ -2,13 +2,13 @@
 #define XIA_ADVISOR_COST_CACHE_H_
 
 #include <array>
-#include <atomic>
 #include <cstdint>
 #include <mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
 
+#include "common/metrics.h"
 #include "index/catalog.h"
 #include "optimizer/plan.h"
 #include "xpath/containment.h"
@@ -66,9 +66,7 @@ class WhatIfCostCache {
 
   /// Bulk bypass accounting for callers that skip per-query Lookups
   /// entirely when the cache is disabled.
-  void AddBypasses(uint64_t n) {
-    bypasses_.fetch_add(n, std::memory_order_relaxed);
-  }
+  void AddBypasses(uint64_t n) { bypasses_.Add(n); }
 
   CostCacheStats stats() const;
 
@@ -85,9 +83,11 @@ class WhatIfCostCache {
 
   bool enabled_;
   mutable std::array<Shard, kNumShards> shards_;
-  std::atomic<uint64_t> hits_{0};
-  std::atomic<uint64_t> misses_{0};
-  std::atomic<uint64_t> bypasses_{0};
+  // xia::obs counters (registry names "costcache.*"): stats() still reads
+  // this instance alone; the registry snapshot aggregates all instances.
+  obs::Counter hits_{"costcache.hits"};
+  obs::Counter misses_{"costcache.misses"};
+  obs::Counter bypasses_{"costcache.bypasses"};
 };
 
 /// Byte-exact fingerprint of every NormalizedQuery field the optimizer

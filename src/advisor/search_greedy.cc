@@ -21,6 +21,17 @@ double ConfigSizeBytes(const std::vector<CandidateIndex>& candidates,
   return total;
 }
 
+void FinishSearchTrace(const ConfigurationEvaluator& evaluator,
+                       SearchResult* result) {
+  result->trace.push_back("stats:");
+  for (const std::string& line :
+       evaluator.DeterministicStats().TextLines("  ")) {
+    result->trace.push_back(line);
+  }
+  result->counters = evaluator.cache_counters();
+  result->trace.push_back(result->counters.TraceLine());
+}
+
 Result<SearchResult> GreedySearch(ConfigurationEvaluator* evaluator,
                                   const SearchOptions& options) {
   const std::vector<CandidateIndex>& candidates = evaluator->candidates();
@@ -78,8 +89,7 @@ Result<SearchResult> GreedySearch(ConfigurationEvaluator* evaluator,
   result.update_cost = final_eval.update_cost;
   result.benefit = result.baseline_cost - final_eval.TotalCost();
   result.evaluations = evaluator->num_evaluations();
-  result.counters = evaluator->cache_counters();
-  result.trace.push_back(result.counters.TraceLine());
+  FinishSearchTrace(*evaluator, &result);
   return result;
 }
 

@@ -47,6 +47,15 @@ Result<SearchResult> GreedySearch(ConfigurationEvaluator* evaluator,
 double ConfigSizeBytes(const std::vector<CandidateIndex>& candidates,
                        const std::vector<int>& config);
 
+/// Shared epilogue of every search strategy: fills `result->counters`
+/// and appends the final structured stats section to the trace — the
+/// evaluator's deterministic obs::Snapshot (identical at any thread
+/// count; tests/parallel_eval_test.cc), closed by the legacy counter
+/// TraceLine, which stays the trace's last line
+/// (tests/cost_cache_test.cc relies on that).
+void FinishSearchTrace(const ConfigurationEvaluator& evaluator,
+                       SearchResult* result);
+
 }  // namespace xia
 
 #endif  // XIA_ADVISOR_SEARCH_GREEDY_H_

@@ -98,8 +98,7 @@ Result<SearchResult> GreedyHeuristicSearch(ConfigurationEvaluator* evaluator,
   result.update_cost = final_eval.update_cost;
   result.benefit = result.baseline_cost - final_eval.TotalCost();
   result.evaluations = evaluator->num_evaluations();
-  result.counters = evaluator->cache_counters();
-  result.trace.push_back(result.counters.TraceLine());
+  FinishSearchTrace(*evaluator, &result);
   return result;
 }
 

@@ -126,8 +126,7 @@ Result<SearchResult> TopDownSearch(const GeneralizationDag& dag,
   result.trace.push_back("final size " +
                          FormatBytes(result.total_size_bytes) + ", benefit " +
                          FormatDouble(result.benefit));
-  result.counters = evaluator->cache_counters();
-  result.trace.push_back(result.counters.TraceLine());
+  FinishSearchTrace(*evaluator, &result);
   return result;
 }
 

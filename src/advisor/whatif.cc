@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "common/trace_span.h"
+
 namespace xia {
 
 WhatIfSession::WhatIfSession(const Database* db, Catalog base,
@@ -43,6 +45,7 @@ Status WhatIfSession::DropIndex(const std::string& name) {
 
 Result<EvaluateIndexesResult> WhatIfSession::EvaluateWorkload(
     const Workload& workload) {
+  XIA_SPAN("whatif.evaluate_workload");
   // The overlay IS the configuration: evaluate with no extra indexes.
   // The shared cost cache carries plans across AddIndex/DropIndex edits:
   // only queries whose relevant-index set an edit changed re-optimize.
@@ -51,6 +54,7 @@ Result<EvaluateIndexesResult> WhatIfSession::EvaluateWorkload(
 }
 
 Result<QueryPlan> WhatIfSession::ExplainQuery(const Query& query) {
+  XIA_SPAN("whatif.explain_query");
   if (!cost_cache_.enabled()) {
     cost_cache_.AddBypasses(1);
     return optimizer_.Optimize(query, catalog_, &cache_);

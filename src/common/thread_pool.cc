@@ -33,6 +33,8 @@ void ThreadPool::Submit(std::function<void()> task) {
     std::lock_guard<std::mutex> lock(mu_);
     queue_.push_back(std::move(task));
   }
+  tasks_submitted_.Increment();
+  queue_depth_.Add(1);
   cv_.notify_one();
 }
 
@@ -48,6 +50,7 @@ void ThreadPool::WorkerLoop() {
       task = std::move(queue_.front());
       queue_.pop_front();
     }
+    queue_depth_.Sub(1);
     task();
   }
 }

@@ -10,6 +10,8 @@
 #include <thread>
 #include <vector>
 
+#include "common/metrics.h"
+
 namespace xia {
 
 /// Resolves a user-facing thread-count knob: `requested > 0` is taken
@@ -50,6 +52,10 @@ class ThreadPool {
   std::deque<std::function<void()>> queue_;
   bool stop_ = false;
   std::vector<std::thread> workers_;
+  // xia::obs instrumentation: total tasks ever submitted across all
+  // pools, and the momentary submitted-but-not-started backlog.
+  obs::Counter tasks_submitted_{"threadpool.tasks"};
+  obs::Gauge queue_depth_{"threadpool.queue_depth"};
 };
 
 /// Wait-group over a pool: Run() schedules, Wait() blocks until every

@@ -1,0 +1,15 @@
+#include "common/trace_span.h"
+
+namespace xia {
+namespace obs {
+
+void TraceSpan::Finish() {
+  auto elapsed = std::chrono::steady_clock::now() - start_;
+  auto micros =
+      std::chrono::duration_cast<std::chrono::microseconds>(elapsed).count();
+  Registry().GetSpanHistogram(name_).Record(
+      micros < 0 ? 0 : static_cast<uint64_t>(micros));
+}
+
+}  // namespace obs
+}  // namespace xia

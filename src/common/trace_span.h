@@ -1,0 +1,60 @@
+#ifndef XIA_COMMON_TRACE_SPAN_H_
+#define XIA_COMMON_TRACE_SPAN_H_
+
+#include <chrono>
+
+#include "common/metrics.h"
+
+namespace xia {
+namespace obs {
+
+/// RAII phase span: measures the wall-clock time between construction and
+/// destruction and folds it into the registry's latency histogram for
+/// `name`. Spans are off by default (obs::SetSpansEnabled) — a disabled
+/// span costs one relaxed atomic load and records nothing, so spans may
+/// sit on hot paths (optimizer, executor) without perturbing them.
+///
+/// Usage:
+///   void Advisor::Recommend(...) {
+///     XIA_SPAN("advisor.recommend");
+///     ...
+///   }
+///
+/// `name` must outlive the span (string literals in practice). The
+/// histogram is resolved at destruction, not construction, so a span
+/// that is created enabled but finishes after spans were disabled still
+/// records (and vice versa never half-records).
+class TraceSpan {
+ public:
+  explicit TraceSpan(const char* name)
+      : name_(name), enabled_(SpansEnabled()) {
+    if (enabled_) start_ = std::chrono::steady_clock::now();
+  }
+
+  ~TraceSpan() {
+    if (enabled_) Finish();
+  }
+
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+
+ private:
+  /// Cold path: stops the clock and records into the registry histogram.
+  void Finish();
+
+  const char* name_;
+  bool enabled_;
+  std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace obs
+}  // namespace xia
+
+#define XIA_SPAN_CONCAT_INNER(a, b) a##b
+#define XIA_SPAN_CONCAT(a, b) XIA_SPAN_CONCAT_INNER(a, b)
+
+/// Times the enclosing scope as phase `name` (see obs::TraceSpan).
+#define XIA_SPAN(name) \
+  ::xia::obs::TraceSpan XIA_SPAN_CONCAT(xia_span_, __LINE__)(name)
+
+#endif  // XIA_COMMON_TRACE_SPAN_H_

@@ -4,7 +4,9 @@
 #include <chrono>
 #include <set>
 
+#include "common/metrics.h"
 #include "common/string_util.h"
+#include "common/trace_span.h"
 #include "exec/operators.h"
 #include "xml/serializer.h"
 #include "xpath/evaluator.h"
@@ -14,6 +16,21 @@ namespace xia {
 namespace {
 
 using Clock = std::chrono::steady_clock;
+
+/// Registry-owned access-path counters ("exec.scan.*"): how often
+/// execution actually ran a full collection scan vs. an index probe —
+/// the runtime mirror of the optimizer's choice counters.
+obs::Counter& CollectionScanCounter() {
+  static obs::Counter& counter =
+      obs::Registry().GetCounter("exec.scan.collection");
+  return counter;
+}
+
+obs::Counter& IndexScanCounter() {
+  static obs::Counter& counter =
+      obs::Registry().GetCounter("exec.scan.index");
+  return counter;
+}
 
 double MicrosSince(Clock::time_point start) {
   return std::chrono::duration<double, std::micro>(Clock::now() - start)
@@ -129,6 +146,8 @@ Result<ExecResult> Executor::Execute(const QueryPlan& plan) const {
 
 Result<ExecResult> Executor::ExecuteScan(const QueryPlan& plan,
                                          const Collection& coll) const {
+  XIA_SPAN("exec.scan");
+  CollectionScanCounter().Increment();
   auto start = Clock::now();
   ExecResult result;
   uint64_t hits_before = buffer_pool_ ? buffer_pool_->hits() : 0;
@@ -167,6 +186,8 @@ Result<ExecResult> Executor::ExecuteScan(const QueryPlan& plan,
 
 Result<ExecResult> Executor::ExecuteIndex(const QueryPlan& plan,
                                           const Collection& coll) const {
+  XIA_SPAN("exec.index");
+  IndexScanCounter().Increment();
   const CatalogEntry* entry = catalog_->Find(plan.access.index_def.name);
   if (entry == nullptr || entry->is_virtual || entry->physical == nullptr) {
     return Status::InvalidArgument(

@@ -1,8 +1,12 @@
 #ifndef XIA_OPTIMIZER_CARDINALITY_H_
 #define XIA_OPTIMIZER_CARDINALITY_H_
 
+#include <optional>
+#include <string>
+
 #include "query/query.h"
 #include "storage/path_synopsis.h"
+#include "storage/statistics.h"
 
 namespace xia {
 
@@ -24,6 +28,19 @@ class CardinalityEstimator {
   /// Estimated result cardinality of a normalized query: driving-path
   /// count times the product of predicate selectivities.
   double QueryCardinality(const NormalizedQuery& query) const;
+
+  /// Equi-depth-histogram estimate of the fraction of `pattern`'s values
+  /// satisfying `op literal`, on the closed-interval [lo, hi] bucket
+  /// semantics Histogram documents — probing a value equal to the last
+  /// bucket's upper bound is inside the histogram, not past its end.
+  /// std::nullopt when the pattern has no numeric sample or the literal
+  /// is not numeric; callers fall back to the sample-based
+  /// EstimateSelectivity. Not wired into PredicateSelectivity: live
+  /// costing stays on the sample-based path so existing plans (and every
+  /// recommendation test pinned to them) are unchanged.
+  std::optional<double> HistogramSelectivity(const PathPattern& pattern,
+                                             CompareOp op,
+                                             const std::string& literal) const;
 
   const PathSynopsis* synopsis() const { return synopsis_; }
 

@@ -2,9 +2,32 @@
 
 #include <algorithm>
 
+#include "common/metrics.h"
+#include "common/trace_span.h"
+
 namespace xia {
 
 namespace {
+
+/// Registry-owned optimizer counters ("optimizer.*"). The optimizer has
+/// no per-instance counter API — many Optimizer instances are throwaway
+/// what-if overlays — so these aggregate process-wide. Resolved once;
+/// Add() is lock-free, so concurrent what-if optimizations don't contend.
+struct OptimizerCounters {
+  obs::Counter& plans = obs::Registry().GetCounter(
+      "optimizer.plans_enumerated");
+  obs::Counter& choice_collection = obs::Registry().GetCounter(
+      "optimizer.choice.collection_scan");
+  obs::Counter& choice_index = obs::Registry().GetCounter(
+      "optimizer.choice.index_scan");
+  obs::Counter& choice_ixand = obs::Registry().GetCounter(
+      "optimizer.choice.ixand");
+};
+
+OptimizerCounters& Counters() {
+  static OptimizerCounters counters;
+  return counters;
+}
 
 /// One index match with its costing inputs resolved.
 struct CostedMatch {
@@ -34,6 +57,7 @@ IndexProbe MakeProbe(const CostedMatch& cm) {
 Result<QueryPlan> Optimizer::Optimize(const Query& query,
                                       const Catalog& catalog,
                                       ContainmentCache* cache) const {
+  XIA_SPAN("optimizer.optimize");
   const NormalizedQuery& nq = query.normalized;
   const Collection* coll = db_->GetCollection(nq.collection);
   if (coll == nullptr) {
@@ -65,6 +89,10 @@ Result<QueryPlan> Optimizer::Optimize(const Query& query,
   const bool has_order = !nq.order_by.empty();
   const double order_sort_cost =
       has_order ? cost_model_.SortCost(result_card) : 0.0;
+
+  // Candidate plans considered for this query, folded into the registry
+  // once at the end (one sharded Add instead of one per plan).
+  uint64_t plans_enumerated = 1;  // The baseline below.
 
   // Baseline: full collection scan, all predicates residual.
   best.access.use_index = false;
@@ -125,6 +153,7 @@ Result<QueryPlan> Optimizer::Optimize(const Query& query,
   // One candidate plan per single index match.
   for (const CostedMatch& cm : costed) {
     const IndexMatch& match = *cm.match;
+    ++plans_enumerated;
     int probe_pred = cm.sargable ? match.predicate_index : -1;
     double rows_after =
         base_card * (cm.sargable ? cm.selectivity : 1.0);
@@ -192,6 +221,7 @@ Result<QueryPlan> Optimizer::Optimize(const Query& query,
             base_card * first.selectivity * second.selectivity;
         double final_fetch = rows_after * cost_model_.fetch_cost_per_node;
 
+        ++plans_enumerated;
         QueryPlan plan;
         plan.query_id = query.id;
         plan.query = nq;
@@ -224,6 +254,16 @@ Result<QueryPlan> Optimizer::Optimize(const Query& query,
         if (plan.total_cost < best.total_cost) best = plan;
       }
     }
+  }
+
+  OptimizerCounters& counters = Counters();
+  counters.plans.Add(plans_enumerated);
+  if (!best.access.use_index) {
+    counters.choice_collection.Increment();
+  } else if (best.access.has_secondary) {
+    counters.choice_ixand.Increment();
+  } else {
+    counters.choice_index.Increment();
   }
   return best;
 }

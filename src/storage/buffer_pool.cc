@@ -4,19 +4,20 @@ namespace xia {
 
 bool BufferPool::Touch(uint64_t page_id) {
   if (capacity_ == 0) {
-    ++misses_;
+    misses_.Increment();
     return false;
   }
   auto it = map_.find(page_id);
   if (it != map_.end()) {
-    ++hits_;
+    hits_.Increment();
     lru_.splice(lru_.begin(), lru_, it->second);
     return true;
   }
-  ++misses_;
+  misses_.Increment();
   if (map_.size() >= capacity_) {
     map_.erase(lru_.back());
     lru_.pop_back();
+    evictions_.Increment();
   }
   lru_.push_front(page_id);
   map_[page_id] = lru_.begin();
@@ -26,8 +27,9 @@ bool BufferPool::Touch(uint64_t page_id) {
 void BufferPool::Reset() {
   lru_.clear();
   map_.clear();
-  hits_ = 0;
-  misses_ = 0;
+  hits_.Reset();
+  misses_.Reset();
+  evictions_.Reset();
 }
 
 }  // namespace xia

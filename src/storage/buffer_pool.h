@@ -6,6 +6,8 @@
 #include <list>
 #include <unordered_map>
 
+#include "common/metrics.h"
+
 namespace xia {
 
 /// LRU page cache. The executor can run against one to account buffer
@@ -28,13 +30,14 @@ class BufferPool {
 
   size_t capacity() const { return capacity_; }
   size_t size() const { return map_.size(); }
-  uint64_t hits() const { return hits_; }
-  uint64_t misses() const { return misses_; }
+  uint64_t hits() const { return hits_.Value(); }
+  uint64_t misses() const { return misses_.Value(); }
+  uint64_t evictions() const { return evictions_.Value(); }
 
   double HitRatio() const {
-    uint64_t total = hits_ + misses_;
+    uint64_t total = hits() + misses();
     return total == 0 ? 0.0
-                      : static_cast<double>(hits_) /
+                      : static_cast<double>(hits()) /
                             static_cast<double>(total);
   }
 
@@ -45,8 +48,11 @@ class BufferPool {
   size_t capacity_;
   std::list<uint64_t> lru_;  // Front = most recently used.
   std::unordered_map<uint64_t, std::list<uint64_t>::iterator> map_;
-  uint64_t hits_ = 0;
-  uint64_t misses_ = 0;
+  // xia::obs counters ("bufferpool.*"); the pool itself is still
+  // single-threaded — the obs::Counter is for the unified export path.
+  obs::Counter hits_{"bufferpool.hits"};
+  obs::Counter misses_{"bufferpool.misses"};
+  obs::Counter evictions_{"bufferpool.evictions"};
 };
 
 /// Page-id helpers partitioning the 64-bit space.

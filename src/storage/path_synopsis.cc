@@ -3,10 +3,30 @@
 #include <algorithm>
 #include <set>
 
+#include "common/metrics.h"
 #include "common/string_util.h"
 #include "xpath/nfa.h"
 
 namespace xia {
+
+namespace {
+
+/// Registry-owned estimator-memo counters ("synopsis.memo.*"). Owned by
+/// the registry rather than the synopsis so PathSynopsis stays movable
+/// (Database reassigns synopses on Analyze).
+obs::Counter& MemoHitCounter() {
+  static obs::Counter& counter =
+      obs::Registry().GetCounter("synopsis.memo.hits");
+  return counter;
+}
+
+obs::Counter& MemoMissCounter() {
+  static obs::Counter& counter =
+      obs::Registry().GetCounter("synopsis.memo.misses");
+  return counter;
+}
+
+}  // namespace
 
 std::string SynopsisNode::PathString(const NameTable& names) const {
   if (parent == nullptr) return "";  // Virtual document node.
@@ -159,8 +179,12 @@ const AggValueStats& PathSynopsis::AggregateValues(
   {
     std::lock_guard<std::mutex> lock(caches_->mu);
     auto it = caches_->agg.find(key);
-    if (it != caches_->agg.end()) return it->second;
+    if (it != caches_->agg.end()) {
+      MemoHitCounter().Increment();
+      return it->second;
+    }
   }
+  MemoMissCounter().Increment();
   // Aggregate outside the lock — Match() only reads the immutable trie.
   // A racing thread may aggregate the same pattern; emplace keeps the
   // first copy and both are identical.
@@ -204,8 +228,12 @@ double PathSynopsis::SelectivityFor(const PathPattern& pattern,
   {
     std::lock_guard<std::mutex> lock(caches_->mu);
     auto it = caches_->sel.find(key);
-    if (it != caches_->sel.end()) return it->second;
+    if (it != caches_->sel.end()) {
+      MemoHitCounter().Increment();
+      return it->second;
+    }
   }
+  MemoMissCounter().Increment();
   // AggregateValues takes the same lock internally — do not hold it here.
   double sel = EstimateSelectivity(AggregateValues(pattern), op, literal);
   std::lock_guard<std::mutex> lock(caches_->mu);

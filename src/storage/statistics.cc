@@ -48,6 +48,37 @@ Histogram BuildEquiDepthHistogram(const AggValueStats& stats,
   return hist;
 }
 
+int Histogram::BucketIndexFor(double value) const {
+  for (size_t i = 0; i < buckets.size(); ++i) {
+    if (value >= buckets[i].lo && value <= buckets[i].hi) {
+      return static_cast<int>(i);
+    }
+  }
+  return -1;
+}
+
+double Histogram::FractionLE(double value) const {
+  uint64_t total = 0;
+  for (const HistogramBucket& b : buckets) total += b.count;
+  if (total == 0) return 0.0;
+  double covered = 0.0;
+  for (const HistogramBucket& b : buckets) {
+    if (value >= b.hi) {
+      // Closed upper bound: a probe equal to hi covers the whole bucket —
+      // including the last one, where the historic inclusive/exclusive
+      // drift dropped the bucket entirely.
+      covered += static_cast<double>(b.count);
+    } else if (value >= b.lo) {
+      double width = b.hi - b.lo;
+      double frac = width > 0 ? (value - b.lo) / width : 1.0;
+      covered += frac * static_cast<double>(b.count);
+    } else {
+      break;  // Buckets are sorted; everything further is above value.
+    }
+  }
+  return covered / static_cast<double>(total);
+}
+
 std::string Histogram::ToString() const {
   std::string out;
   for (const HistogramBucket& b : buckets) {

@@ -44,8 +44,29 @@ struct HistogramBucket {
 
 /// Equi-depth histogram built from a stats sample, scaled to the full value
 /// count. Used for EXPLAIN output and recommendation-analysis displays.
+///
+/// Bucket endpoints are CLOSED intervals [lo, hi]: BuildEquiDepthHistogram
+/// stores actual sample values at both ends, so a probe value equal to a
+/// bucket's upper bound belongs to that bucket — in particular, probing
+/// the last bucket's `hi` is inside the histogram (FractionLE == 1.0),
+/// not past its end. Build and probe agree on this by contract; the
+/// boundary-value tests in tests/synopsis_test.cc and
+/// tests/cost_model_test.cc lock it in.
 struct Histogram {
   std::vector<HistogramBucket> buckets;
+
+  /// Index of the first bucket whose closed interval [lo, hi] contains
+  /// `value`, or -1 when the value falls outside every bucket (below the
+  /// first lo, above the last hi, or in a gap between buckets). Adjacent
+  /// buckets may share a boundary value; the lower bucket wins.
+  int BucketIndexFor(double value) const;
+
+  /// Estimated fraction of values <= `value`: full buckets below it plus
+  /// linear interpolation inside the bucket containing it. 0.0 below the
+  /// first bucket's lo, 1.0 at or above the last bucket's hi (inclusive —
+  /// the boundary case this API exists to pin down). 0.0 for an empty
+  /// histogram.
+  double FractionLE(double value) const;
 
   std::string ToString() const;
 };

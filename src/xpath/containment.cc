@@ -103,13 +103,13 @@ bool ContainmentCache::Contains(const PathPattern& general,
     auto it = shard.map.find(key);
     if (it != shard.map.end() && it->second.first.first == gs &&
         it->second.first.second == ss) {
-      hits_.fetch_add(1, std::memory_order_relaxed);
+      hits_.Increment();
       return it->second.second;
     }
   }
   // Compute outside the lock: the NFA product check is the expensive
   // part, and racing computations of the same pair agree by purity.
-  misses_.fetch_add(1, std::memory_order_relaxed);
+  misses_.Increment();
   bool result = PatternContains(general, specific);
   std::lock_guard<std::mutex> lock(shard.mu);
   shard.map[key] = {{std::move(gs), std::move(ss)}, result};
@@ -127,8 +127,8 @@ size_t ContainmentCache::size() const {
 
 ContainmentCacheStats ContainmentCache::stats() const {
   ContainmentCacheStats s;
-  s.hits = hits_.load(std::memory_order_relaxed);
-  s.misses = misses_.load(std::memory_order_relaxed);
+  s.hits = hits_.Value();
+  s.misses = misses_.Value();
   s.shards = kNumShards;
   for (Shard& shard : shards_) {
     std::lock_guard<std::mutex> lock(shard.mu);

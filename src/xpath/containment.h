@@ -2,12 +2,12 @@
 #define XIA_XPATH_CONTAINMENT_H_
 
 #include <array>
-#include <atomic>
 #include <cstdint>
 #include <mutex>
 #include <unordered_map>
 #include <utility>
 
+#include "common/metrics.h"
 #include "xpath/path.h"
 
 namespace xia {
@@ -83,8 +83,11 @@ class ContainmentCache {
     Map map;
   };
   mutable std::array<Shard, kNumShards> shards_;
-  std::atomic<uint64_t> hits_{0};
-  std::atomic<uint64_t> misses_{0};
+  // xia::obs counters (registry names "containment.*"): per-instance
+  // reads via stats() keep their old semantics, while every live cache
+  // also contributes to process-wide snapshots.
+  obs::Counter hits_{"containment.hits"};
+  obs::Counter misses_{"containment.misses"};
 };
 
 }  // namespace xia

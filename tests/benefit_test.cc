@@ -3,6 +3,7 @@
 #include <memory>
 
 #include "advisor/benefit.h"
+#include "index/index_builder.h"
 #include "workload/xmark_queries.h"
 #include "xmldata/xmark_gen.h"
 #include "xpath/parser.h"
@@ -157,6 +158,96 @@ TEST_F(BenefitTest, UpdateCostZeroForNonOverlappingIndex) {
   Result<ConfigurationEvaluator::Evaluation> eval = evaluator.Evaluate({3});
   ASSERT_TRUE(eval.ok());
   EXPECT_EQ(eval->update_cost, 0.0);
+}
+
+// ---------------------------------------------- Plan-attribution parsing.
+
+TEST(TryParseCandidateIdTest, AcceptsOnlyCandNDigits) {
+  EXPECT_EQ(TryParseCandidateId("cand0"), std::optional<int>(0));
+  EXPECT_EQ(TryParseCandidateId("cand12"), std::optional<int>(12));
+  EXPECT_EQ(TryParseCandidateId("cand007"), std::optional<int>(7));
+  EXPECT_FALSE(TryParseCandidateId("cand").has_value());
+  EXPECT_FALSE(TryParseCandidateId("cand12x").has_value());
+  EXPECT_FALSE(TryParseCandidateId("cand7extra").has_value());
+  EXPECT_FALSE(TryParseCandidateId("candelabra").has_value());
+  EXPECT_FALSE(TryParseCandidateId("idx_price").has_value());
+  EXPECT_FALSE(TryParseCandidateId("").has_value());
+  EXPECT_FALSE(TryParseCandidateId("Cand3").has_value());
+  EXPECT_FALSE(TryParseCandidateId("cand-3").has_value());
+  // Overflow past int: rejected, not wrapped.
+  EXPECT_FALSE(TryParseCandidateId("cand99999999999999999").has_value());
+}
+
+// Regression: a physical base-catalog index whose name starts with "cand"
+// but is not "cand<digits>" used to crash attribution — the old
+// std::stoi(name.substr(4)) threw std::invalid_argument on "candelabra".
+// Mixing such a physical index with virtual candidates must evaluate
+// cleanly and attribute nothing to it.
+TEST_F(BenefitTest, PhysicalIndexNamesSurviveAttribution) {
+  // Capture the index-free baseline BEFORE mutating base_catalog_ — the
+  // fixture evaluator reads the same catalog through its pointer.
+  Result<double> no_physical_baseline = evaluator_->BaselineCost();
+  ASSERT_TRUE(no_physical_baseline.ok());
+  IndexDefinition def;
+  def.name = "candelabra";
+  def.collection = "xmark";
+  def.pattern = P("/site/regions/namerica/item/quantity");
+  def.type = ValueType::kDouble;
+  Result<PathIndex> built = BuildIndex(db_, def);
+  ASSERT_TRUE(built.ok());
+  ASSERT_TRUE(base_catalog_
+                  .AddPhysical(std::make_shared<PathIndex>(std::move(*built)),
+                               cost_model_.storage)
+                  .ok());
+  ConfigurationEvaluator evaluator(optimizer_.get(), &workload_,
+                                   &base_catalog_, &candidates_, &cache_,
+                                   /*account_update_cost=*/true);
+  // The physical index is the best access path for the namerica quantity
+  // queries, so plans name it — attribution must skip it, not throw.
+  Result<ConfigurationEvaluator::Evaluation> empty = evaluator.Evaluate({});
+  ASSERT_TRUE(empty.ok());
+  EXPECT_TRUE(empty->used_candidates.empty());
+  Result<double> baseline = evaluator.BaselineCost();
+  ASSERT_TRUE(baseline.ok());
+  // Sanity that the physical index is actually in play: the baseline with
+  // it present beats the index-free baseline captured above.
+  EXPECT_LT(*baseline, *no_physical_baseline);
+  // Virtual candidates still attribute normally alongside it.
+  Result<ConfigurationEvaluator::Evaluation> with_cand =
+      evaluator.Evaluate({1});
+  ASSERT_TRUE(with_cand.ok());
+  for (int used : with_cand->used_candidates) EXPECT_EQ(used, 1);
+}
+
+// Regression: a physical index named like a candidate overlay ("cand3")
+// must not be credited to candidate 3 when 3 is not in the evaluated
+// configuration — the old parse accepted any "cand<prefix-digits>" name
+// ("cand7extra" silently credited 7). Attribution now also requires the
+// parsed id to be a member of the configuration.
+TEST_F(BenefitTest, PhysicalIndexNamedLikeCandidateNotCredited) {
+  IndexDefinition def;
+  def.name = "cand3";  // Not in any evaluated config below.
+  def.collection = "xmark";
+  def.pattern = P("/site/regions/namerica/item/quantity");
+  def.type = ValueType::kDouble;
+  Result<PathIndex> built = BuildIndex(db_, def);
+  ASSERT_TRUE(built.ok());
+  ASSERT_TRUE(base_catalog_
+                  .AddPhysical(std::make_shared<PathIndex>(std::move(*built)),
+                               cost_model_.storage)
+                  .ok());
+  ConfigurationEvaluator evaluator(optimizer_.get(), &workload_,
+                                   &base_catalog_, &candidates_, &cache_,
+                                   /*account_update_cost=*/true);
+  // Candidate 1 is the wildcard-region index; the exact physical "cand3"
+  // wins the namerica queries, but 3 ∉ {1} so it must not be attributed.
+  Result<ConfigurationEvaluator::Evaluation> eval = evaluator.Evaluate({1});
+  ASSERT_TRUE(eval.ok());
+  EXPECT_EQ(eval->used_candidates.count(3), 0u);
+  for (int used : eval->used_candidates) EXPECT_EQ(used, 1);
+  Result<ConfigurationEvaluator::Evaluation> empty = evaluator.Evaluate({});
+  ASSERT_TRUE(empty.ok());
+  EXPECT_TRUE(empty->used_candidates.empty());
 }
 
 TEST_F(BenefitTest, ExprTableCoversForPathsAndPredicates) {

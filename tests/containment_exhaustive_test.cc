@@ -136,6 +136,118 @@ TEST(ContainmentExhaustiveTest, IntersectionAgreesWithBruteForce) {
   }
 }
 
+/// All patterns from PatternUniverse plus variants whose FINAL step is an
+/// attribute test (@a, @b, @* on either axis). Attributes are leaves, so
+/// only final steps carry the flag.
+std::vector<PathPattern> AttributeUniverse() {
+  std::vector<Step> finals;
+  for (Axis axis : {Axis::kChild, Axis::kDescendant}) {
+    for (const char* name : {"a", "b", ""}) {
+      Step s;
+      s.axis = axis;
+      s.is_attribute = true;
+      if (*name == '\0') {
+        s.wildcard = true;
+      } else {
+        s.name = name;
+      }
+      finals.push_back(std::move(s));
+    }
+  }
+  std::vector<Step> prefixes;
+  for (Axis axis : {Axis::kChild, Axis::kDescendant}) {
+    Step s;
+    s.axis = axis;
+    s.name = "a";
+    prefixes.push_back(std::move(s));
+  }
+  std::vector<PathPattern> universe;
+  for (const Step& f : finals) {
+    universe.push_back(PathPattern({f}));
+    for (const Step& p : prefixes) {
+      universe.push_back(PathPattern({p, f}));
+    }
+  }
+  return universe;  // 6 + 12 = 18 attribute-final patterns.
+}
+
+/// Words up to `max_len` over {a, b, z} where the FINAL symbol may be
+/// either an element or an attribute label (attributes are leaves).
+std::vector<std::vector<PatternSymbol>> MixedWordUniverse(size_t max_len) {
+  std::vector<std::vector<PatternSymbol>> out = WordUniverse(max_len);
+  size_t element_only = out.size();
+  for (size_t i = 0; i < element_only; ++i) {
+    std::vector<PatternSymbol> w = out[i];
+    w.back().is_attr = true;
+    out.push_back(std::move(w));
+  }
+  return out;
+}
+
+// The pairs the ISSUE audit called out: an attribute test (`@a`) against an
+// element test (`/b`). No word ends in a label that is simultaneously an
+// attribute and an element, so these languages are disjoint — containment
+// must be refuted in both directions and intersection must be empty, and
+// the decision procedure must reach those verdicts without tripping over
+// an empty BFS frontier (the frontier starts at StartSet() == {state 0},
+// never empty; this sweep locks the behaviour in).
+TEST(ContainmentExhaustiveTest, AttributeVsElementPairs) {
+  std::vector<PathPattern> elements = PatternUniverse();
+  std::vector<PathPattern> attributes = AttributeUniverse();
+  std::vector<std::vector<PatternSymbol>> words = MixedWordUniverse(4);
+  for (const PathPattern& attr : attributes) {
+    PatternNfa na(attr);
+    for (const PathPattern& elem : elements) {
+      PatternNfa ne(elem);
+      EXPECT_FALSE(PatternContains(attr, elem))
+          << attr.ToString() << " ⊇ " << elem.ToString();
+      EXPECT_FALSE(PatternContains(elem, attr))
+          << elem.ToString() << " ⊇ " << attr.ToString();
+      EXPECT_FALSE(PatternsIntersect(attr, elem))
+          << attr.ToString() << " ∩ " << elem.ToString();
+      EXPECT_FALSE(PatternsIntersect(elem, attr))
+          << elem.ToString() << " ∩ " << attr.ToString();
+      // Brute-force confirmation: no word is in both languages.
+      for (const auto& word : words) {
+        ASSERT_FALSE(na.MatchesWord(word) && ne.MatchesWord(word))
+            << attr.ToString() << " and " << elem.ToString()
+            << " share a word";
+      }
+    }
+  }
+}
+
+// Attribute patterns against each other still obey brute-force containment:
+// @* contains @a, /a/@b and //a/@b relate as their element skeletons do.
+TEST(ContainmentExhaustiveTest, AttributePairsAgreeWithBruteForce) {
+  std::vector<PathPattern> attributes = AttributeUniverse();
+  std::vector<std::vector<PatternSymbol>> words = MixedWordUniverse(5);
+  for (const PathPattern& general : attributes) {
+    PatternNfa g(general);
+    for (const PathPattern& specific : attributes) {
+      PatternNfa s(specific);
+      bool contains = PatternContains(general, specific);
+      bool counterexample_found = false;
+      for (const auto& word : words) {
+        if (!s.MatchesWord(word)) continue;
+        if (!g.MatchesWord(word)) {
+          counterexample_found = true;
+          if (contains) {
+            FAIL() << general.ToString() << " claimed to contain "
+                   << specific.ToString() << " but misses a word";
+          }
+          break;
+        }
+      }
+      if (!contains) {
+        ASSERT_TRUE(counterexample_found)
+            << general.ToString() << " vs " << specific.ToString()
+            << ": refuted containment but no counterexample <= length 5";
+      }
+    }
+  }
+}
+
 TEST(ContainmentExhaustiveTest, EquivalenceIsContainmentBothWays) {
   std::vector<PathPattern> universe = PatternUniverse();
   size_t equivalent_pairs = 0;

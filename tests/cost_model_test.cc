@@ -1,8 +1,10 @@
 #include <gtest/gtest.h>
 
+#include "optimizer/cardinality.h"
 #include "optimizer/cost_model.h"
 #include "optimizer/plan.h"
 #include "query/value.h"
+#include "storage/database.h"
 #include "xpath/parser.h"
 
 namespace xia {
@@ -140,6 +142,88 @@ TEST(PlanRenderTest, ExplainListsResiduals) {
   EXPECT_NE(explain.find("Q9"), std::string::npos);
   EXPECT_NE(explain.find("Residual predicates"), std::string::npos);
   EXPECT_NE(explain.find("/a/b > 5"), std::string::npos);
+}
+
+// ------------------------------------------- Histogram-based selectivity.
+
+class HistogramSelectivityTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ASSERT_TRUE(db_.CreateCollection("c").ok());
+    std::string xml = "<root>";
+    for (int i = 1; i <= 100; ++i) {
+      xml += "<v>" + std::to_string(i) + "</v>";
+    }
+    xml += "<s>text</s></root>";
+    ASSERT_TRUE(db_.LoadXml("c", xml).ok());
+    ASSERT_TRUE(db_.Analyze("c").ok());
+    ASSERT_NE(db_.synopsis("c"), nullptr);
+  }
+
+  PathPattern P(const std::string& text) {
+    Result<PathPattern> p = ParsePathPattern(text);
+    EXPECT_TRUE(p.ok()) << text;
+    return std::move(*p);
+  }
+
+  Database db_;
+};
+
+TEST_F(HistogramSelectivityTest, RangeBoundariesAreInclusive) {
+  CardinalityEstimator est(db_.synopsis("c"));
+  // Probe exactly at the maximum value: the closed-interval contract means
+  // <= max covers everything and > max covers nothing. Before the
+  // boundary fix, a probe equal to the last bucket's upper bound fell past
+  // the histogram's end.
+  auto le_max = est.HistogramSelectivity(P("/root/v"), CompareOp::kLe, "100");
+  ASSERT_TRUE(le_max.has_value());
+  EXPECT_DOUBLE_EQ(*le_max, 1.0);
+  auto gt_max = est.HistogramSelectivity(P("/root/v"), CompareOp::kGt, "100");
+  ASSERT_TRUE(gt_max.has_value());
+  EXPECT_DOUBLE_EQ(*gt_max, 0.0);
+  // Below the minimum: nothing <= it, everything > it.
+  auto le_min = est.HistogramSelectivity(P("/root/v"), CompareOp::kLt, "0");
+  ASSERT_TRUE(le_min.has_value());
+  EXPECT_DOUBLE_EQ(*le_min, 0.0);
+  auto ge_min = est.HistogramSelectivity(P("/root/v"), CompareOp::kGe, "0");
+  ASSERT_TRUE(ge_min.has_value());
+  EXPECT_DOUBLE_EQ(*ge_min, 1.0);
+}
+
+TEST_F(HistogramSelectivityTest, MidRangeIsMonotoneAndSane) {
+  CardinalityEstimator est(db_.synopsis("c"));
+  auto le25 = est.HistogramSelectivity(P("/root/v"), CompareOp::kLe, "25");
+  auto le75 = est.HistogramSelectivity(P("/root/v"), CompareOp::kLe, "75");
+  ASSERT_TRUE(le25.has_value());
+  ASSERT_TRUE(le75.has_value());
+  EXPECT_GT(*le25, 0.0);
+  EXPECT_LT(*le25, *le75);
+  EXPECT_LT(*le75, 1.0);
+  EXPECT_NEAR(*le25, 0.25, 0.15);  // 100 uniform values; coarse buckets.
+  auto eq = est.HistogramSelectivity(P("/root/v"), CompareOp::kEq, "50");
+  ASSERT_TRUE(eq.has_value());
+  EXPECT_GT(*eq, 0.0);
+  EXPECT_LT(*eq, 0.5);
+  // Equality probes outside every bucket match nothing.
+  auto eq_out =
+      est.HistogramSelectivity(P("/root/v"), CompareOp::kEq, "1000");
+  ASSERT_TRUE(eq_out.has_value());
+  EXPECT_DOUBLE_EQ(*eq_out, 0.0);
+}
+
+TEST_F(HistogramSelectivityTest, NulloptWhenNotEstimable) {
+  CardinalityEstimator est(db_.synopsis("c"));
+  // Non-numeric literal against a numeric path.
+  EXPECT_FALSE(est.HistogramSelectivity(P("/root/v"), CompareOp::kLe, "abc")
+                   .has_value());
+  // Path whose values are all non-numeric: no histogram to probe.
+  EXPECT_FALSE(est.HistogramSelectivity(P("/root/s"), CompareOp::kLe, "5")
+                   .has_value());
+  // kExists needs no histogram at all.
+  auto exists =
+      est.HistogramSelectivity(P("/root/v"), CompareOp::kExists, "");
+  ASSERT_TRUE(exists.has_value());
+  EXPECT_DOUBLE_EQ(*exists, 1.0);
 }
 
 // ------------------------------------------------------------ TypedValue.

@@ -1,5 +1,6 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <memory>
 #include <set>
 
@@ -62,6 +63,28 @@ TEST_F(SearchTest, GreedyRespectsBudgetAndImproves) {
   EXPECT_GT(result->benefit, 0.0);
   EXPECT_FALSE(result->chosen.empty());
   EXPECT_FALSE(result->trace.empty());
+}
+
+TEST_F(SearchTest, TraceEndsWithStatsSectionThenCounterLine) {
+  SearchOptions options;
+  options.space_budget_bytes = kBudget;
+  Result<SearchResult> result = GreedySearch(evaluator_.get(), options);
+  ASSERT_TRUE(result.ok());
+  // Every search trace closes with the observability tail: a "stats:"
+  // section rendering the evaluator's deterministic snapshot, then the
+  // legacy cache counter line as the very last entry.
+  const std::vector<std::string>& trace = result->trace;
+  ASSERT_GE(trace.size(), 3u);
+  EXPECT_EQ(trace.back(), result->counters.TraceLine());
+  auto stats_it = std::find(trace.begin(), trace.end(), "stats:");
+  ASSERT_NE(stats_it, trace.end());
+  bool found_evaluations = false;
+  for (auto it = stats_it + 1; it != trace.end() - 1; ++it) {
+    if (it->find("advisor.evaluations = ") != std::string::npos) {
+      found_evaluations = true;
+    }
+  }
+  EXPECT_TRUE(found_evaluations);
 }
 
 TEST_F(SearchTest, GreedyHeuristicRespectsBudgetAndImproves) {

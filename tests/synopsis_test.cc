@@ -168,6 +168,74 @@ TEST(StatisticsTest, EquiDepthHistogram) {
   EXPECT_EQ(hist.buckets[0].count, hist.buckets[3].count);
 }
 
+TEST(StatisticsTest, HistogramUpperBoundaryIsInclusive) {
+  AggValueStats stats;
+  for (int i = 1; i <= 100; ++i) stats.sample.push_back(std::to_string(i));
+  stats.value_count = 1000;
+  Histogram hist = BuildEquiDepthHistogram(stats, 4);
+  ASSERT_EQ(hist.buckets.size(), 4u);
+  // Probing exactly the last bucket's upper bound is INSIDE the histogram:
+  // the buckets are closed intervals, so the max sample value must land in
+  // the last bucket and cover the full mass. The historic drift treated hi
+  // as exclusive and dropped the final bucket for this probe.
+  double max_v = hist.buckets.back().hi;
+  EXPECT_EQ(hist.BucketIndexFor(max_v), 3);
+  EXPECT_DOUBLE_EQ(hist.FractionLE(max_v), 1.0);
+  // Above the last hi: still 1.0, and no containing bucket.
+  EXPECT_DOUBLE_EQ(hist.FractionLE(max_v + 1.0), 1.0);
+  EXPECT_EQ(hist.BucketIndexFor(max_v + 1.0), -1);
+}
+
+TEST(StatisticsTest, HistogramLowerBoundaryAndBelow) {
+  AggValueStats stats;
+  for (int i = 1; i <= 100; ++i) stats.sample.push_back(std::to_string(i));
+  stats.value_count = 1000;
+  Histogram hist = BuildEquiDepthHistogram(stats, 4);
+  ASSERT_EQ(hist.buckets.size(), 4u);
+  double min_v = hist.buckets.front().lo;
+  // At the first lo: inside bucket 0, fraction is the interpolated sliver
+  // at the bucket's left edge (zero width covered).
+  EXPECT_EQ(hist.BucketIndexFor(min_v), 0);
+  EXPECT_DOUBLE_EQ(hist.FractionLE(min_v), 0.0);
+  // Strictly below the first bucket: outside, fraction 0.
+  EXPECT_EQ(hist.BucketIndexFor(min_v - 1.0), -1);
+  EXPECT_DOUBLE_EQ(hist.FractionLE(min_v - 1.0), 0.0);
+}
+
+TEST(StatisticsTest, HistogramSharedBoundaryLowerBucketWins) {
+  // Force adjacent buckets to share a boundary value: equi-depth split of
+  // {1,1,2,2} into 2 buckets gives [1,1] and [2,2]; of {1,2,2,3} gives
+  // [1,2] and [2,3] where 2 is both a hi and the next lo.
+  AggValueStats stats;
+  stats.sample = {"1", "2", "2", "3"};
+  stats.value_count = 4;
+  Histogram hist = BuildEquiDepthHistogram(stats, 2);
+  ASSERT_EQ(hist.buckets.size(), 2u);
+  ASSERT_EQ(hist.buckets[0].hi, 2.0);
+  ASSERT_EQ(hist.buckets[1].lo, 2.0);
+  EXPECT_EQ(hist.BucketIndexFor(2.0), 0);  // Lower bucket wins the tie.
+  // FractionLE at the shared boundary covers all of bucket 0 (probe == hi).
+  EXPECT_DOUBLE_EQ(hist.FractionLE(2.0), 0.5);
+}
+
+TEST(StatisticsTest, HistogramSingleValueBucketInterpolation) {
+  // A zero-width bucket ([5,5]) must count fully when probed at its value,
+  // not divide by zero.
+  AggValueStats stats;
+  stats.sample = {"5", "5", "5", "5"};
+  stats.value_count = 4;
+  Histogram hist = BuildEquiDepthHistogram(stats, 2);
+  ASSERT_FALSE(hist.buckets.empty());
+  EXPECT_DOUBLE_EQ(hist.FractionLE(5.0), 1.0);
+  EXPECT_EQ(hist.BucketIndexFor(5.0), 0);
+}
+
+TEST(StatisticsTest, HistogramEmptyProbes) {
+  Histogram empty;
+  EXPECT_EQ(empty.BucketIndexFor(1.0), -1);
+  EXPECT_DOUBLE_EQ(empty.FractionLE(1.0), 0.0);
+}
+
 TEST(StatisticsTest, HistogramIgnoresNonNumerics) {
   AggValueStats stats;
   stats.sample = {"a", "b", "3", "1", "2"};
