@@ -17,8 +17,15 @@
 //   ddl                                  print the recommendation as DDL
 //   materialize                          build the recommended indexes
 //   run <query...>                       optimize + execute a query
+//   failpoint <spec>|list                arm/disarm fault injection
 //   quit
+//
+// Flags: --time-limit-ms <N> caps every 'advise' run (anytime search:
+// best-so-far + warning on expiry); --failpoint <name=mode> arms a
+// fault-injection point (repeatable; same grammar as the XIA_FAILPOINTS
+// environment variable, which is also honored).
 
+#include <cstdlib>
 #include <fstream>
 #include <iostream>
 #include <optional>
@@ -28,6 +35,8 @@
 #include "advisor/advisor.h"
 #include "advisor/analysis.h"
 #include "advisor/whatif.h"
+#include "common/deadline.h"
+#include "common/failpoint.h"
 #include "common/metrics.h"
 #include "common/string_util.h"
 #include "exec/executor.h"
@@ -70,6 +79,7 @@ void PrintHelp() {
       "  enumerate <query...>\n"
       "  advise <budget_kb> [greedy|heuristic|topdown]\n"
       "  whatif start|add <coll> <pattern> <double|varchar>|drop <name>|eval\n"
+      "  failpoint <name=mode[,mode...]>|<name=off>|list\n"
       "  ddl | materialize | run <query...> | stats | help | quit\n";
 }
 
@@ -170,6 +180,11 @@ void CmdAdvise(Session* s, std::istringstream* args) {
     return;
   }
   s->recommendation = std::move(*rec);
+  if (s->recommendation->stop_reason != StopReason::kConverged) {
+    std::cout << "stop_reason: "
+              << StopReasonName(s->recommendation->stop_reason)
+              << " — results are degraded (budget truncated the search)\n";
+  }
   std::cout << s->recommendation->Report();
   Result<RecommendationAnalysis> analysis = AnalyzeRecommendation(
       s->db, s->catalog, s->workload, *s->recommendation,
@@ -309,10 +324,54 @@ void CmdRun(Session* s, const std::string& rest) {
   if (!rendered.empty()) std::cout << rendered;
 }
 
+void CmdFailpoint(const std::string& spec) {
+  if (spec.empty() || spec == "list") {
+    std::vector<std::string> armed = fp::ArmedNames();
+    if (armed.empty()) std::cout << "no failpoints armed\n";
+    for (const std::string& name : armed) {
+      std::cout << "  " << name << " (trips: " << fp::Trips(name) << ")\n";
+    }
+    return;
+  }
+  Status status = fp::ArmFromSpec(spec);
+  std::cout << (status.ok() ? "armed: " + spec + "\n"
+                            : status.ToString() + "\n");
+}
+
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   Session session;
+  // Failpoints from the environment first, then flags (flags win on
+  // conflict since ArmFromSpec overwrites by name).
+  Status env_status = fp::ArmFromEnv();
+  if (!env_status.ok()) {
+    std::cerr << "XIA_FAILPOINTS: " << env_status.ToString() << "\n";
+    return 1;
+  }
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--time-limit-ms" && i + 1 < argc) {
+      session.options.time_budget_ms = std::atoll(argv[++i]);
+    } else if (arg == "--failpoint" && i + 1 < argc) {
+      Status status = fp::ArmFromSpec(argv[++i]);
+      if (!status.ok()) {
+        std::cerr << "--failpoint: " << status.ToString() << "\n";
+        return 1;
+      }
+    } else {
+      std::cerr << "usage: advisor_shell [--time-limit-ms <N>]"
+                   " [--failpoint <name=mode[,mode...]>]...\n";
+      return 1;
+    }
+  }
+  if (session.options.time_budget_ms > 0) {
+    std::cout << "advise time budget: " << session.options.time_budget_ms
+              << "ms (anytime: best-so-far on expiry)\n";
+  }
+  if (fp::AnyArmed()) {
+    std::cout << "fault injection armed — type 'failpoint list'\n";
+  }
   std::cout << "xia advisor shell — type 'help' for commands\n";
   std::string line;
   while (std::cout << "xia> " << std::flush, std::getline(std::cin, line)) {
@@ -401,6 +460,8 @@ int main() {
       }
     } else if (command == "run") {
       CmdRun(&session, std::string(Trim(rest)));
+    } else if (command == "failpoint") {
+      CmdFailpoint(std::string(Trim(rest)));
     } else if (command == "stats") {
       // Process-wide xia::obs registry: every cache, pool, and scan
       // counter the session has touched so far, in one snapshot.

@@ -22,9 +22,15 @@ const char* SearchAlgorithmName(SearchAlgorithm algorithm) {
 }
 
 std::string Recommendation::Report() const {
-  std::string out = "Recommended configuration (" +
-                    std::to_string(indexes.size()) + " indexes, " +
-                    FormatBytes(total_size_bytes) + "):\n";
+  std::string out;
+  if (stop_reason != StopReason::kConverged) {
+    out += std::string("WARNING: search stopped early (") +
+           StopReasonName(stop_reason) +
+           "); this is the best configuration found within the budget, "
+           "not a converged result.\n";
+  }
+  out += "Recommended configuration (" + std::to_string(indexes.size()) +
+         " indexes, " + FormatBytes(total_size_bytes) + "):\n";
   for (const IndexDefinition& def : indexes) {
     out += "  " + def.DdlString() + "\n";
   }
@@ -49,6 +55,11 @@ Advisor::Advisor(const Database* db, const Catalog* base_catalog,
 
 Result<Recommendation> Advisor::Recommend(const Workload& workload) {
   XIA_SPAN("advisor.recommend");
+  // The budget clock covers the whole pipeline: time spent enumerating
+  // and generalizing counts against the search's allowance.
+  Deadline deadline = options_.time_budget_ms > 0
+                          ? Deadline::AfterMillis(options_.time_budget_ms)
+                          : Deadline::Infinite();
   Recommendation rec;
 
   // Step 1: basic candidate enumeration via the Enumerate Indexes mode.
@@ -82,8 +93,11 @@ Result<Recommendation> Advisor::Recommend(const Workload& workload) {
                                    options_.account_update_cost,
                                    options_.threads,
                                    options_.what_if_cost_cache);
+  evaluator.set_cancel(options_.cancel);
   SearchOptions search_options;
   search_options.space_budget_bytes = options_.space_budget_bytes;
+  search_options.deadline = deadline;
+  search_options.cancel = options_.cancel;
   XIA_SPAN("advisor.search");
   switch (options_.algorithm) {
     case SearchAlgorithm::kGreedy: {
@@ -112,6 +126,7 @@ Result<Recommendation> Advisor::Recommend(const Workload& workload) {
     XIA_RETURN_IF_ERROR(naming.AddVirtual(def, stats));
     rec.indexes.push_back(std::move(def));
   }
+  rec.stop_reason = rec.search.stop_reason;
   rec.total_size_bytes = rec.search.total_size_bytes;
   rec.baseline_cost = rec.search.baseline_cost;
   rec.recommended_cost = rec.search.workload_cost;

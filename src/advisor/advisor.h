@@ -8,6 +8,7 @@
 #include "advisor/enumeration.h"
 #include "advisor/generalize.h"
 #include "advisor/search_greedy.h"
+#include "common/deadline.h"
 #include "common/status.h"
 #include "index/catalog.h"
 #include "optimizer/cost_model.h"
@@ -39,6 +40,17 @@ struct AdvisorOptions {
   /// re-optimization. Recommendations and costs are bit-identical either
   /// way; this escape hatch exists for benchmarking and debugging.
   bool what_if_cost_cache = true;
+  /// Wall-clock budget for Recommend() in milliseconds; <= 0 means
+  /// unlimited. The clock starts when Recommend() is entered and is
+  /// polled at search iteration boundaries, so an expired budget yields
+  /// the best configuration found so far (Recommendation::stop_reason ==
+  /// kDeadline), never an error.
+  int64_t time_budget_ms = 0;
+  /// Cooperative cancellation: fire it from any thread (e.g. a UI's stop
+  /// button) and the search winds down at the next iteration/task
+  /// boundary, returning best-so-far with stop_reason == kCancelled. The
+  /// default token is inert and costs one relaxed load per poll.
+  CancelToken cancel;
   GeneralizeOptions generalize;
   CostModel cost_model;
 };
@@ -58,6 +70,10 @@ struct Recommendation {
   std::vector<CandidateIndex> candidates;  // Expanded (generalized) set.
   GeneralizationDag dag;
   SearchResult search;
+  /// Mirror of search.stop_reason: kConverged for a full search,
+  /// kDeadline/kCancelled when the budget fired and this recommendation
+  /// is the valid best-so-far configuration, not a converged optimum.
+  StopReason stop_reason = StopReason::kConverged;
 
   /// Human-readable report: recommended DDL + cost summary.
   std::string Report() const;

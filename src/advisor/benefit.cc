@@ -5,6 +5,7 @@
 #include <unordered_map>
 #include <utility>
 
+#include "common/failpoint.h"
 #include "common/string_util.h"
 #include "common/trace_span.h"
 #include "index/index_matcher.h"
@@ -184,9 +185,26 @@ std::pair<std::string, std::vector<int>> ConfigurationEvaluator::CanonicalKey(
   return {std::move(key), std::move(sorted)};
 }
 
+namespace {
+
+// Per-query what-if failpoint (see common/failpoint.h). The hit argument
+// is the workload query index, so a FailSpec with match_arg = k injects
+// the failure into query k's optimization regardless of which thread or
+// batch position happens to run it — the key to scheduling-independent
+// fault-injection tests.
+Result<QueryPlan> OptimizeWithFailpoint(
+    size_t query_index, const std::function<Result<QueryPlan>()>& optimize) {
+  XIA_FAILPOINT_ARG("advisor.whatif.optimize",
+                    static_cast<int64_t>(query_index));
+  return optimize();
+}
+
+}  // namespace
+
 Result<ConfigurationEvaluator::Evaluation>
 ConfigurationEvaluator::EvaluateUncached(const std::vector<int>& sorted,
-                                         bool parallel_queries) {
+                                         bool parallel_queries,
+                                         bool honor_cancel) {
   // Only reached when the cost cache is disabled: every query of this
   // configuration re-optimizes, and each skipped lookup is a bypass.
   cost_cache_.AddBypasses(workload_->queries().size());
@@ -208,11 +226,25 @@ ConfigurationEvaluator::EvaluateUncached(const std::vector<int>& sorted,
   const std::vector<Query>& queries = workload_->queries();
   std::vector<Result<QueryPlan>> plans(queries.size(),
                                        Status::Internal("not evaluated"));
-  ParallelFor(parallel_queries ? pool() : nullptr, queries.size(),
-              [&](size_t qi) {
-                plans[qi] = optimizer_->Optimize(queries[qi], overlay, cache_);
-              });
+  ParallelForCancellable(
+      parallel_queries ? pool() : nullptr, queries.size(),
+      [&](size_t qi) {
+        if (honor_cancel && cancel_.Cancelled()) {
+          plans[qi] = Status::Cancelled("what-if optimization cancelled");
+          return true;  // External cancel, not the deterministic failure.
+        }
+        plans[qi] = OptimizeWithFailpoint(qi, [&] {
+          return optimizer_->Optimize(queries[qi], overlay, cache_);
+        });
+        return plans[qi].ok();
+      },
+      [&](size_t qi) {
+        plans[qi] = Status::Cancelled(
+            "cancelled: a lower-indexed what-if optimization failed first");
+      });
 
+  // Merging in query order also propagates the LOWEST failing query's
+  // status — the deterministic first error.
   Evaluation eval;
   for (size_t qi = 0; qi < queries.size(); ++qi) {
     XIA_RETURN_IF_ERROR(plans[qi].status());
@@ -222,7 +254,6 @@ ConfigurationEvaluator::EvaluateUncached(const std::vector<int>& sorted,
     RecordUsedCandidates(sorted, plan, &eval);
   }
   eval.update_cost = EstimateUpdateCost(sorted);
-  num_evaluations_.Increment();
   return eval;
 }
 
@@ -333,9 +364,41 @@ ConfigurationEvaluator::AssembleFromPlans(
   return eval;
 }
 
+size_t ConfigurationEvaluator::RunPlanTasks(
+    const std::vector<PlanTask>& tasks, ThreadPool* task_pool,
+    bool honor_cancel, std::vector<Result<QueryPlan>>* task_plans) {
+  size_t lowest = ParallelForCancellable(
+      task_pool, tasks.size(),
+      [&](size_t ti) {
+        if (honor_cancel && cancel_.Cancelled()) {
+          (*task_plans)[ti] =
+              Status::Cancelled("what-if optimization cancelled");
+          return true;  // External cancel, not the deterministic failure.
+        }
+        (*task_plans)[ti] = OptimizeWithFailpoint(
+            tasks[ti].query, [&] { return OptimizeRelevant(tasks[ti]); });
+        return (*task_plans)[ti].ok();
+      },
+      [&](size_t ti) {
+        (*task_plans)[ti] = Status::Cancelled(
+            "cancelled: a lower-indexed what-if task failed first");
+      });
+  // Insert surviving plans serially. Only tasks below the lowest failure
+  // hold plans (stragglers were normalized to Cancelled above), so the
+  // costcache.entries gauge depends on the failure point alone, never on
+  // scheduling.
+  for (size_t ti = 0; ti < tasks.size(); ++ti) {
+    if ((*task_plans)[ti].ok()) {
+      cost_cache_.Insert(tasks[ti].key, *(*task_plans)[ti]);
+    }
+  }
+  return lowest;
+}
+
 Result<ConfigurationEvaluator::Evaluation>
 ConfigurationEvaluator::EvaluateWithCostCache(const std::vector<int>& sorted,
-                                              bool parallel_tasks) {
+                                              bool parallel_tasks,
+                                              bool honor_cancel) {
   const size_t num_queries = workload_->queries().size();
   std::vector<QueryPlan> plans(num_queries);
   std::vector<int> plan_source(num_queries, -1);
@@ -345,14 +408,8 @@ ConfigurationEvaluator::EvaluateWithCostCache(const std::vector<int>& sorted,
 
   std::vector<Result<QueryPlan>> task_plans(tasks.size(),
                                             Status::Internal("not evaluated"));
-  ParallelFor(parallel_tasks ? PlanTaskPool(tasks.size()) : nullptr,
-              tasks.size(),
-              [&](size_t ti) { task_plans[ti] = OptimizeRelevant(tasks[ti]); });
-  for (size_t ti = 0; ti < tasks.size(); ++ti) {
-    if (task_plans[ti].ok()) {
-      cost_cache_.Insert(tasks[ti].key, *task_plans[ti]);
-    }
-  }
+  RunPlanTasks(tasks, parallel_tasks ? PlanTaskPool(tasks.size()) : nullptr,
+               honor_cancel, &task_plans);
   return AssembleFromPlans(sorted, plans, plan_source, task_plans);
 }
 
@@ -379,6 +436,17 @@ obs::Snapshot ConfigurationEvaluator::DeterministicStats() const {
 
 Result<ConfigurationEvaluator::Evaluation> ConfigurationEvaluator::Evaluate(
     const std::vector<int>& config) {
+  return EvaluateImpl(config, /*honor_cancel=*/true);
+}
+
+Result<ConfigurationEvaluator::Evaluation>
+ConfigurationEvaluator::EvaluateUngoverned(const std::vector<int>& config) {
+  return EvaluateImpl(config, /*honor_cancel=*/false);
+}
+
+Result<ConfigurationEvaluator::Evaluation>
+ConfigurationEvaluator::EvaluateImpl(const std::vector<int>& config,
+                                     bool honor_cancel) {
   XIA_SPAN("advisor.evaluate");
   auto [key, sorted] = CanonicalKey(config);
   {
@@ -389,11 +457,18 @@ Result<ConfigurationEvaluator::Evaluation> ConfigurationEvaluator::Evaluate(
       return it->second;
     }
   }
+  if (honor_cancel && cancel_.Cancelled()) {
+    return Status::Cancelled("configuration evaluation cancelled");
+  }
   Result<Evaluation> evaluated =
       cost_cache_.enabled()
-          ? EvaluateWithCostCache(sorted, /*parallel_tasks=*/true)
-          : EvaluateUncached(sorted, /*parallel_queries=*/true);
+          ? EvaluateWithCostCache(sorted, /*parallel_tasks=*/true,
+                                  honor_cancel)
+          : EvaluateUncached(sorted, /*parallel_queries=*/true, honor_cancel);
   XIA_ASSIGN_OR_RETURN(Evaluation eval, std::move(evaluated));
+  // The uncached path defers its evaluation count to this serial point
+  // (the cost-cache path counts inside AssembleFromPlans, also serial).
+  if (!cost_cache_.enabled()) num_evaluations_.Increment();
   std::lock_guard<std::mutex> lock(memo_mu_);
   return memo_.emplace(std::move(key), std::move(eval)).first->second;
 }
@@ -454,14 +529,8 @@ ConfigurationEvaluator::EvaluateMany(
     }
     std::vector<Result<QueryPlan>> task_plans(
         tasks.size(), Status::Internal("not evaluated"));
-    ParallelFor(PlanTaskPool(tasks.size()), tasks.size(), [&](size_t ti) {
-      task_plans[ti] = OptimizeRelevant(tasks[ti]);
-    });
-    for (size_t ti = 0; ti < tasks.size(); ++ti) {
-      if (task_plans[ti].ok()) {
-        cost_cache_.Insert(tasks[ti].key, *task_plans[ti]);
-      }
-    }
+    RunPlanTasks(tasks, PlanTaskPool(tasks.size()), /*honor_cancel=*/true,
+                 &task_plans);
     for (size_t mi = 0; mi < misses.size(); ++mi) {
       misses[mi].result =
           AssembleFromPlans(misses[mi].sorted, miss_plans[mi],
@@ -470,10 +539,30 @@ ConfigurationEvaluator::EvaluateMany(
   } else {
     // One task per distinct miss; the per-query loop inside each stays
     // serial to keep exactly one level of parallelism per call path.
-    ParallelFor(pool(), misses.size(), [&](size_t mi) {
-      misses[mi].result =
-          EvaluateUncached(misses[mi].sorted, /*parallel_queries=*/false);
-    });
+    ParallelForCancellable(
+        pool(), misses.size(),
+        [&](size_t mi) {
+          if (cancel_.Cancelled()) {
+            misses[mi].result =
+                Status::Cancelled("configuration evaluation cancelled");
+            return true;  // External cancel, not a deterministic failure.
+          }
+          misses[mi].result =
+              EvaluateUncached(misses[mi].sorted, /*parallel_queries=*/false,
+                               /*honor_cancel=*/true);
+          return misses[mi].result.ok();
+        },
+        [&](size_t mi) {
+          misses[mi].result = Status::Cancelled(
+              "cancelled: a lower-indexed configuration evaluation failed "
+              "first");
+        });
+    // Deferred serial count: one evaluation per miss that survived (the
+    // pre-cancellation code counted inside EvaluateUncached, which would
+    // leave the counter scheduling-dependent when a batch fails).
+    for (const Miss& miss : misses) {
+      if (miss.result.ok()) num_evaluations_.Increment();
+    }
   }
 
   {
@@ -493,7 +582,9 @@ ConfigurationEvaluator::EvaluateMany(
 }
 
 Result<double> ConfigurationEvaluator::BaselineCost() {
-  XIA_ASSIGN_OR_RETURN(Evaluation eval, Evaluate({}));
+  // Ungoverned: every anytime search needs the baseline to report a valid
+  // best-so-far result, even when the token fired before the search began.
+  XIA_ASSIGN_OR_RETURN(Evaluation eval, EvaluateUngoverned({}));
   return eval.workload_cost;
 }
 

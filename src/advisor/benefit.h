@@ -13,6 +13,7 @@
 #include "advisor/candidate.h"
 #include "advisor/cost_cache.h"
 #include "common/bitmap.h"
+#include "common/deadline.h"
 #include "common/metrics.h"
 #include "common/status.h"
 #include "common/thread_pool.h"
@@ -81,9 +82,23 @@ class ConfigurationEvaluator {
                          ContainmentCache* cache, bool account_update_cost,
                          int threads = 1, bool use_cost_cache = true);
 
+  /// Installs the cooperative-cancellation token that Evaluate and
+  /// EvaluateMany poll at per-query / per-task boundaries. A fired token
+  /// makes in-flight evaluations return StatusCode::kCancelled; an inert
+  /// (default) token costs one relaxed atomic load per check.
+  void set_cancel(CancelToken cancel) { cancel_ = std::move(cancel); }
+
   /// Evaluates the configuration given as candidate indices, optimizing
   /// the workload's queries in parallel when threads > 1.
   Result<Evaluation> Evaluate(const std::vector<int>& config);
+
+  /// Evaluate, but ignoring the external CancelToken (deterministic
+  /// sibling cancellation after a failing what-if task still applies).
+  /// Anytime searches use this for the one closing evaluation that prices
+  /// the best-so-far configuration after the budget fired — a valid
+  /// flagged recommendation must still come back. Memoized results make
+  /// this nearly free on the search paths.
+  Result<Evaluation> EvaluateUngoverned(const std::vector<int>& config);
 
   /// Evaluates several configurations concurrently, returning results
   /// aligned with `configs`. This is the search-loop fan-out: scoring
@@ -161,6 +176,7 @@ class ConfigurationEvaluator {
   std::unique_ptr<ThreadPool> pool_;
   std::once_flag pool_once_;
   std::vector<WorkloadExpr> exprs_;
+  CancelToken cancel_;
   std::mutex memo_mu_;
   std::map<std::string, Evaluation> memo_;
   // xia::obs counters ("advisor.*"): distinct configurations optimized
@@ -187,16 +203,26 @@ class ConfigurationEvaluator {
   static std::pair<std::string, std::vector<int>> CanonicalKey(
       const std::vector<int>& config);
 
+  /// Shared body of Evaluate/EvaluateUngoverned; `honor_cancel` selects
+  /// whether the external token is polled.
+  Result<Evaluation> EvaluateImpl(const std::vector<int>& config,
+                                  bool honor_cancel);
+
   /// Uncached evaluation of a canonical config. `parallel_queries` fans
   /// the per-query optimizations out over the pool; EvaluateMany passes
   /// false because it parallelizes at configuration granularity instead.
+  /// Does NOT count the evaluation — callers increment num_evaluations_
+  /// in a serial phase so the counter stays deterministic when a batch
+  /// fails part-way.
   Result<Evaluation> EvaluateUncached(const std::vector<int>& sorted,
-                                      bool parallel_queries);
+                                      bool parallel_queries,
+                                      bool honor_cancel);
 
   /// Cost-cache path of EvaluateUncached: serial lookup/dedup over the
   /// queries, parallel optimization of the distinct misses, serial merge.
   Result<Evaluation> EvaluateWithCostCache(const std::vector<int>& sorted,
-                                           bool parallel_tasks);
+                                           bool parallel_tasks,
+                                           bool honor_cancel);
 
   /// Serial phase 1: resolves each query of `sorted` from the cost cache
   /// into `plans` or appends a deduplicated PlanTask. plan_source[qi] is
@@ -212,6 +238,17 @@ class ConfigurationEvaluator {
   /// candidates. Bit-identical to optimizing under any configuration with
   /// that relevance signature (see the comment in the implementation).
   Result<QueryPlan> OptimizeRelevant(const PlanTask& task) const;
+
+  /// Parallel phase 2: runs every PlanTask through OptimizeRelevant with
+  /// first-failure sibling cancellation (ParallelForCancellable) and an
+  /// optional external-token check, then inserts the surviving plans into
+  /// the cost cache. Statuses, plans, and the cache entry count are
+  /// deterministic at any thread count: exactly the tasks below the
+  /// lowest failing index complete. Returns that lowest failing index
+  /// (SIZE_MAX when all succeeded).
+  size_t RunPlanTasks(const std::vector<PlanTask>& tasks,
+                      ThreadPool* task_pool, bool honor_cancel,
+                      std::vector<Result<QueryPlan>>* task_plans);
 
   /// Serial phase 3: fills the remaining `plans` slots from `task_plans`
   /// and folds the Evaluation in query order (the exact float-addition

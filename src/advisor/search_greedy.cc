@@ -21,6 +21,60 @@ double ConfigSizeBytes(const std::vector<CandidateIndex>& candidates,
   return total;
 }
 
+bool SearchGoverned(const SearchOptions& options) {
+  return !options.deadline.infinite() || options.cancel.CanBeCancelled();
+}
+
+StopReason CheckInterrupt(const SearchOptions& options) {
+  if (options.cancel.Cancelled()) return StopReason::kCancelled;
+  if (options.deadline.Expired()) return StopReason::kDeadline;
+  return StopReason::kConverged;
+}
+
+void TraceEarlyStop(StopReason stop, const std::string& where,
+                    SearchResult* result) {
+  result->trace.push_back(std::string("budget exhausted (") +
+                          StopReasonName(stop) + ") " + where +
+                          "; keeping best configuration so far");
+}
+
+size_t EvaluateManyPrefix(
+    ConfigurationEvaluator* evaluator,
+    const std::vector<std::vector<int>>& configs, const SearchOptions& options,
+    std::vector<Result<ConfigurationEvaluator::Evaluation>>* results,
+    StopReason* stop) {
+  results->assign(configs.size(),
+                  Status::Cancelled("not evaluated: search budget exhausted"));
+  if (!SearchGoverned(options)) {
+    // Ungoverned fast path: one batch, exactly the pre-anytime plan.
+    // Chunking would also change cost-cache hit/miss counts (each chunk
+    // re-looks-up plans the previous chunk inserted), which search traces
+    // embed — so it is reserved for governed runs only.
+    *results = evaluator->EvaluateMany(configs);
+    return configs.size();
+  }
+  const size_t chunk =
+      std::max<size_t>(4, static_cast<size_t>(evaluator->threads()) * 2);
+  size_t done = 0;
+  while (done < configs.size()) {
+    StopReason reason = CheckInterrupt(options);
+    if (reason != StopReason::kConverged) {
+      *stop = reason;
+      return done;
+    }
+    size_t end = std::min(configs.size(), done + chunk);
+    std::vector<std::vector<int>> slice(configs.begin() + done,
+                                        configs.begin() + end);
+    std::vector<Result<ConfigurationEvaluator::Evaluation>> evals =
+        evaluator->EvaluateMany(slice);
+    for (size_t i = 0; i < evals.size(); ++i) {
+      (*results)[done + i] = std::move(evals[i]);
+    }
+    done = end;
+  }
+  return done;
+}
+
 void FinishSearchTrace(const ConfigurationEvaluator& evaluator,
                        SearchResult* result) {
   result->trace.push_back("stats:");
@@ -49,10 +103,18 @@ Result<SearchResult> GreedySearch(ConfigurationEvaluator* evaluator,
   for (size_t i = 0; i < candidates.size(); ++i) {
     singletons.push_back({static_cast<int>(i)});
   }
-  std::vector<Result<ConfigurationEvaluator::Evaluation>> evals =
-      evaluator->EvaluateMany(singletons);
+  StopReason stop = StopReason::kConverged;
+  std::vector<Result<ConfigurationEvaluator::Evaluation>> evals;
+  size_t scored =
+      EvaluateManyPrefix(evaluator, singletons, options, &evals, &stop);
   std::vector<Ranked> ranked;
-  for (size_t i = 0; i < candidates.size(); ++i) {
+  for (size_t i = 0; i < scored; ++i) {
+    if (!evals[i].ok() && evals[i].status().IsCancelled()) {
+      // The token fired while the batch was in flight: treat the
+      // candidate as unscored best-so-far material, not as a failure.
+      if (stop == StopReason::kConverged) stop = StopReason::kCancelled;
+      continue;
+    }
     XIA_RETURN_IF_ERROR(evals[i].status());
     double benefit = result.baseline_cost - evals[i]->TotalCost();
     if (benefit <= 0) continue;
@@ -62,6 +124,12 @@ Result<SearchResult> GreedySearch(ConfigurationEvaluator* evaluator,
   }
   std::sort(ranked.begin(), ranked.end(),
             [](const Ranked& a, const Ranked& b) { return a.ratio > b.ratio; });
+  if (stop != StopReason::kConverged) {
+    TraceEarlyStop(stop,
+                   "after scoring " + std::to_string(scored) + "/" +
+                       std::to_string(singletons.size()) + " candidates",
+                   &result);
+  }
 
   double used = 0;
   for (const Ranked& r : ranked) {
@@ -82,12 +150,15 @@ Result<SearchResult> GreedySearch(ConfigurationEvaluator* evaluator,
         FormatBytes(size) + " used=" + FormatBytes(used));
   }
 
+  // Closing evaluation is ungoverned: the best-so-far configuration must
+  // be priced even when the stop was a cancellation.
   XIA_ASSIGN_OR_RETURN(ConfigurationEvaluator::Evaluation final_eval,
-                       evaluator->Evaluate(result.chosen));
+                       evaluator->EvaluateUngoverned(result.chosen));
   result.total_size_bytes = used;
   result.workload_cost = final_eval.workload_cost;
   result.update_cost = final_eval.update_cost;
   result.benefit = result.baseline_cost - final_eval.TotalCost();
+  result.stop_reason = stop;
   result.evaluations = evaluator->num_evaluations();
   FinishSearchTrace(*evaluator, &result);
   return result;

@@ -22,10 +22,16 @@ Result<SearchResult> GreedyHeuristicSearch(ConfigurationEvaluator* evaluator,
   for (size_t i = 0; i < candidates.size(); ++i) {
     singletons.push_back({static_cast<int>(i)});
   }
-  std::vector<Result<ConfigurationEvaluator::Evaluation>> evals =
-      evaluator->EvaluateMany(singletons);
+  StopReason stop = StopReason::kConverged;
+  std::vector<Result<ConfigurationEvaluator::Evaluation>> evals;
+  size_t scored =
+      EvaluateManyPrefix(evaluator, singletons, options, &evals, &stop);
   std::vector<Ranked> ranked;
-  for (size_t i = 0; i < candidates.size(); ++i) {
+  for (size_t i = 0; i < scored; ++i) {
+    if (!evals[i].ok() && evals[i].status().IsCancelled()) {
+      if (stop == StopReason::kConverged) stop = StopReason::kCancelled;
+      continue;
+    }
     XIA_RETURN_IF_ERROR(evals[i].status());
     double benefit = result.baseline_cost - evals[i]->TotalCost();
     if (benefit <= 0) continue;
@@ -35,12 +41,27 @@ Result<SearchResult> GreedyHeuristicSearch(ConfigurationEvaluator* evaluator,
   }
   std::sort(ranked.begin(), ranked.end(),
             [](const Ranked& a, const Ranked& b) { return a.ratio > b.ratio; });
+  if (stop != StopReason::kConverged) {
+    TraceEarlyStop(stop,
+                   "after scoring " + std::to_string(scored) + "/" +
+                       std::to_string(singletons.size()) + " candidates",
+                   &result);
+  }
 
   std::vector<int> chosen;
   Bitmap covered(evaluator->exprs().size());
   double used = 0;
 
   for (const Ranked& r : ranked) {
+    if (stop != StopReason::kConverged) break;  // Already traced above.
+    stop = CheckInterrupt(options);
+    if (stop != StopReason::kConverged) {
+      TraceEarlyStop(stop,
+                     "after choosing " + std::to_string(chosen.size()) +
+                         " index(es)",
+                     &result);
+      break;
+    }
     const CandidateIndex& cand =
         candidates[static_cast<size_t>(r.candidate)];
     double size = cand.size_bytes();
@@ -71,8 +92,23 @@ Result<SearchResult> GreedyHeuristicSearch(ConfigurationEvaluator* evaluator,
                            " used=" + FormatBytes(used));
 
     // Eager reclamation: drop chosen indexes the optimizer no longer uses.
-    XIA_ASSIGN_OR_RETURN(ConfigurationEvaluator::Evaluation eval,
-                         evaluator->Evaluate(chosen));
+    Result<ConfigurationEvaluator::Evaluation> reclaim =
+        evaluator->Evaluate(chosen);
+    if (!reclaim.ok() && reclaim.status().IsCancelled()) {
+      // Token fired inside the evaluation: roll the speculative add back
+      // and keep the last fully-evaluated configuration.
+      chosen.pop_back();
+      used -= size;
+      result.trace.pop_back();  // Drop the now-unkept "add" line.
+      stop = StopReason::kCancelled;
+      TraceEarlyStop(stop,
+                     "after choosing " + std::to_string(chosen.size()) +
+                         " index(es)",
+                     &result);
+      break;
+    }
+    XIA_RETURN_IF_ERROR(reclaim.status());
+    const ConfigurationEvaluator::Evaluation& eval = *reclaim;
     std::vector<int> still_used;
     for (int c : chosen) {
       if (eval.used_candidates.count(c) > 0) {
@@ -90,13 +126,16 @@ Result<SearchResult> GreedyHeuristicSearch(ConfigurationEvaluator* evaluator,
     covered = evaluator->CoverageOf(chosen);
   }
 
+  // Closing evaluation is ungoverned so the best-so-far configuration is
+  // priced even after a cancellation (memoized: free when already seen).
   XIA_ASSIGN_OR_RETURN(ConfigurationEvaluator::Evaluation final_eval,
-                       evaluator->Evaluate(chosen));
+                       evaluator->EvaluateUngoverned(chosen));
   result.chosen = std::move(chosen);
   result.total_size_bytes = ConfigSizeBytes(candidates, result.chosen);
   result.workload_cost = final_eval.workload_cost;
   result.update_cost = final_eval.update_cost;
   result.benefit = result.baseline_cost - final_eval.TotalCost();
+  result.stop_reason = stop;
   result.evaluations = evaluator->num_evaluations();
   FinishSearchTrace(*evaluator, &result);
   return result;

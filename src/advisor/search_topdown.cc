@@ -31,12 +31,20 @@ Result<SearchResult> TopDownSearch(const GeneralizationDag& dag,
                          " DAG roots, size " +
                          FormatBytes(ConfigSizeBytes(candidates, config)));
 
+  StopReason stop = StopReason::kConverged;
   while (ConfigSizeBytes(candidates, config) >
              options.space_budget_bytes &&
          !config.empty()) {
-    XIA_ASSIGN_OR_RETURN(ConfigurationEvaluator::Evaluation current_eval,
-                         evaluator->Evaluate(config));
-    double current_cost = current_eval.TotalCost();
+    stop = CheckInterrupt(options);
+    if (stop != StopReason::kConverged) break;
+    Result<ConfigurationEvaluator::Evaluation> current =
+        evaluator->Evaluate(config);
+    if (!current.ok() && current.status().IsCancelled()) {
+      stop = StopReason::kCancelled;
+      break;
+    }
+    XIA_RETURN_IF_ERROR(current.status());
+    double current_cost = current->TotalCost();
 
     struct Action {
       int victim = -1;
@@ -72,10 +80,15 @@ Result<SearchResult> TopDownSearch(const GeneralizationDag& dag,
         next_configs.push_back(std::move(next));
       }
     }
-    std::vector<Result<ConfigurationEvaluator::Evaluation>> evals =
-        evaluator->EvaluateMany(next_configs);
+    std::vector<Result<ConfigurationEvaluator::Evaluation>> evals;
+    size_t evaluated =
+        EvaluateManyPrefix(evaluator, next_configs, options, &evals, &stop);
     std::optional<Action> best;
-    for (size_t a = 0; a < actions.size(); ++a) {
+    for (size_t a = 0; a < evaluated; ++a) {
+      if (!evals[a].ok() && evals[a].status().IsCancelled()) {
+        if (stop == StopReason::kConverged) stop = StopReason::kCancelled;
+        continue;
+      }
       XIA_RETURN_IF_ERROR(evals[a].status());
       Action& action = actions[a];
       action.cost_increase = evals[a]->TotalCost() - current_cost;
@@ -84,6 +97,10 @@ Result<SearchResult> TopDownSearch(const GeneralizationDag& dag,
         best = std::move(action);
       }
     }
+    // On an interrupted round, applying the best *evaluated* move still
+    // shrinks the configuration — strictly better than discarding the
+    // round's work — and the loop head exits right after.
+    if (stop != StopReason::kConverged && !best.has_value()) break;
 
     if (!best.has_value()) {
       // No shrinking move exists (degenerate); drop the largest member.
@@ -115,13 +132,41 @@ Result<SearchResult> TopDownSearch(const GeneralizationDag& dag,
     config = WithReplacement(config, best->victim, best->replacement);
   }
 
+  if (stop != StopReason::kConverged) {
+    // The configuration may still be over budget: force it under without
+    // further what-if work by dropping the largest members. Deterministic
+    // and evaluation-free, so it completes no matter how little budget is
+    // left; the per-byte quality of the drops is what the exhausted
+    // budget paid for.
+    while (!config.empty() && ConfigSizeBytes(candidates, config) >
+                                  options.space_budget_bytes) {
+      auto largest = std::max_element(
+          config.begin(), config.end(), [&](int a, int b) {
+            return candidates[static_cast<size_t>(a)].size_bytes() <
+                   candidates[static_cast<size_t>(b)].size_bytes();
+          });
+      result.trace.push_back(
+          "drop " +
+          candidates[static_cast<size_t>(*largest)].def.pattern.ToString() +
+          " (forced shrink: no budget left for what-if evaluation)");
+      config.erase(largest);
+    }
+    TraceEarlyStop(stop,
+                   "with " + std::to_string(config.size()) +
+                       " index(es) remaining",
+                   &result);
+  }
+
+  // Ungoverned closing evaluation: the result must be priced even when
+  // the stop was a cancellation.
   XIA_ASSIGN_OR_RETURN(ConfigurationEvaluator::Evaluation final_eval,
-                       evaluator->Evaluate(config));
+                       evaluator->EvaluateUngoverned(config));
   result.chosen = std::move(config);
   result.total_size_bytes = ConfigSizeBytes(candidates, result.chosen);
   result.workload_cost = final_eval.workload_cost;
   result.update_cost = final_eval.update_cost;
   result.benefit = result.baseline_cost - final_eval.TotalCost();
+  result.stop_reason = stop;
   result.evaluations = evaluator->num_evaluations();
   result.trace.push_back("final size " +
                          FormatBytes(result.total_size_bytes) + ", benefit " +

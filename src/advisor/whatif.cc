@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "common/failpoint.h"
 #include "common/trace_span.h"
 
 namespace xia {
@@ -46,6 +47,7 @@ Status WhatIfSession::DropIndex(const std::string& name) {
 Result<EvaluateIndexesResult> WhatIfSession::EvaluateWorkload(
     const Workload& workload) {
   XIA_SPAN("whatif.evaluate_workload");
+  XIA_FAILPOINT("advisor.whatif.evaluate_workload");
   // The overlay IS the configuration: evaluate with no extra indexes.
   // The shared cost cache carries plans across AddIndex/DropIndex edits:
   // only queries whose relevant-index set an edit changed re-optimize.

@@ -1,0 +1,67 @@
+#include "common/deadline.h"
+
+#include <limits>
+
+namespace xia {
+
+const char* StopReasonName(StopReason reason) {
+  switch (reason) {
+    case StopReason::kConverged:
+      return "converged";
+    case StopReason::kDeadline:
+      return "deadline";
+    case StopReason::kCancelled:
+      return "cancelled";
+    case StopReason::kError:
+      return "error";
+  }
+  return "?";
+}
+
+Deadline Deadline::AfterMillis(int64_t ms) {
+  if (ms < 0) ms = 0;
+  return At(std::chrono::steady_clock::now() + std::chrono::milliseconds(ms));
+}
+
+Deadline Deadline::At(std::chrono::steady_clock::time_point when) {
+  Deadline d;
+  d.at_ = when;
+  return d;
+}
+
+bool Deadline::Expired() const {
+  if (!at_.has_value()) return false;
+  return std::chrono::steady_clock::now() >= *at_;
+}
+
+int64_t Deadline::RemainingMillis() const {
+  if (!at_.has_value()) return std::numeric_limits<int64_t>::max();
+  return std::chrono::duration_cast<std::chrono::milliseconds>(
+             *at_ - std::chrono::steady_clock::now())
+      .count();
+}
+
+CancelToken CancelToken::Cancellable() {
+  return CancelToken(std::make_shared<State>());
+}
+
+CancelToken CancelToken::Child() const {
+  auto child = std::make_shared<State>();
+  child->parent = state_;  // Null parent (inert token) leaves a plain root.
+  return CancelToken(std::move(child));
+}
+
+void CancelToken::Cancel() {
+  if (state_ != nullptr) {
+    state_->cancelled.store(true, std::memory_order_relaxed);
+  }
+}
+
+bool CancelToken::Cancelled() const {
+  for (const State* s = state_.get(); s != nullptr; s = s->parent.get()) {
+    if (s->cancelled.load(std::memory_order_relaxed)) return true;
+  }
+  return false;
+}
+
+}  // namespace xia

@@ -1,0 +1,105 @@
+#ifndef XIA_COMMON_DEADLINE_H_
+#define XIA_COMMON_DEADLINE_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <optional>
+
+namespace xia {
+
+/// Why a governed computation (a configuration search, a what-if batch)
+/// stopped. `kConverged` is the normal exit; the other values flag a
+/// degraded, best-so-far result: the time budget ran out (`kDeadline`),
+/// an external CancelToken fired (`kCancelled`), or a non-fatal error cut
+/// the run short (`kError`). Search traces and the advisor shell print
+/// the name so a truncated recommendation is never mistaken for a
+/// converged one.
+enum class StopReason { kConverged, kDeadline, kCancelled, kError };
+
+/// Stable lowercase name, e.g. "deadline".
+const char* StopReasonName(StopReason reason);
+
+/// A point on the monotonic clock by which work must finish. Default
+/// constructed (or Infinite()) deadlines never expire and cost one branch
+/// to check, so ungoverned runs stay unperturbed. Wall-clock adjustments
+/// (NTP, suspend) cannot fire a Deadline early: it is steady_clock based.
+class Deadline {
+ public:
+  /// Never expires.
+  Deadline() = default;
+
+  static Deadline Infinite() { return Deadline(); }
+
+  /// Expires `ms` milliseconds from now (clamped to >= 0: a non-positive
+  /// budget is already expired, which lets tests exercise the
+  /// deadline-stop paths deterministically without sleeping).
+  static Deadline AfterMillis(int64_t ms);
+
+  static Deadline At(std::chrono::steady_clock::time_point when);
+
+  bool infinite() const { return !at_.has_value(); }
+
+  /// True once the deadline passed. Infinite deadlines test one branch
+  /// and never read the clock.
+  bool Expired() const;
+
+  /// Milliseconds until expiry: negative once expired, INT64_MAX when
+  /// infinite.
+  int64_t RemainingMillis() const;
+
+ private:
+  std::optional<std::chrono::steady_clock::time_point> at_;
+};
+
+/// Cooperative cancellation handle with shared-state value semantics:
+/// copies of a token observe the same flag, so one handle can be stored
+/// in AdvisorOptions while another thread keeps a copy to Cancel(). The
+/// default-constructed token is inert — it can never fire, Cancel() is a
+/// no-op, and Cancelled() is a null check — which keeps ungoverned call
+/// sites free of atomics.
+///
+/// Tokens compose: Child() derives a token that fires when either its
+/// own Cancel() is called or any ancestor fires, while cancelling the
+/// child leaves the parent (and siblings) untouched. That is the shape
+/// the advisor needs: one root per Recommend() call, one child per
+/// subsystem that may also be stopped on its own.
+class CancelToken {
+ public:
+  /// Inert token: never cancelled, not cancellable.
+  CancelToken() = default;
+
+  /// Fresh root token that Cancel() can fire.
+  static CancelToken Cancellable();
+
+  /// A token that is cancelled when this token is, or when the child's
+  /// own Cancel() fires. Children of an inert token are plain roots.
+  CancelToken Child() const;
+
+  /// Fires this token (and, transitively, every live child). No-op on
+  /// inert tokens; idempotent otherwise.
+  void Cancel();
+
+  /// One relaxed atomic load per ancestor (chains are short: the advisor
+  /// nests at most two levels). Inert tokens return false via a null
+  /// check alone.
+  bool Cancelled() const;
+
+  /// False for inert (default-constructed) tokens.
+  bool CanBeCancelled() const { return state_ != nullptr; }
+
+ private:
+  struct State {
+    std::atomic<bool> cancelled{false};
+    std::shared_ptr<const State> parent;  // Null for roots.
+  };
+  explicit CancelToken(std::shared_ptr<State> state)
+      : state_(std::move(state)) {}
+
+  std::shared_ptr<State> state_;  // Null = inert.
+};
+
+}  // namespace xia
+
+#endif  // XIA_COMMON_DEADLINE_H_

@@ -1,0 +1,149 @@
+#ifndef XIA_COMMON_FAILPOINT_H_
+#define XIA_COMMON_FAILPOINT_H_
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace xia {
+namespace fp {
+
+/// xia::fp — named fault-injection points ("failpoints").
+///
+/// A failpoint is a named hook compiled into an error path:
+///
+///   Status Read(...) {
+///     XIA_FAILPOINT("storage.collection_io.read");
+///     ...
+///   }
+///
+/// Disarmed (the normal state) the macro is one relaxed atomic load and a
+/// never-taken branch — no lock, no string work, no clock — so hooks can
+/// sit on hot paths and in release benchmarks. Armed via Arm() /
+/// ArmFromSpec() (tests, the advisor shell's --failpoint flag, or the
+/// XIA_FAILPOINTS environment variable), a hook can return an arbitrary
+/// Status, fire only every Nth hit, only for a specific call argument
+/// (XIA_FAILPOINT_ARG — how tests deterministically fail "query k" in a
+/// parallel batch), stop after a trip quota, or inject latency without
+/// failing at all.
+///
+/// Every trip increments the xia::obs counter "failpoint.<name>.trips",
+/// so injected faults show up in the same snapshot as the caches and
+/// pools they exercise — and the counts survive Disarm() through the
+/// registry's retained totals.
+///
+/// Wired-in hooks (grep XIA_FAILPOINT for the authoritative list):
+///   storage.collection_io.{read,write}   storage.workload_io.{read,write}
+///   storage.bufferpool.fetch             index.catalog.ddl
+///   index.builder.build                  advisor.whatif.evaluate_workload
+///   advisor.whatif.optimize (arg = workload query index)
+
+/// How an armed failpoint behaves at each hit.
+struct FailSpec {
+  /// Status returned on a trip. kOk turns the failpoint latency-only:
+  /// it sleeps and counts trips but never fails.
+  StatusCode code = StatusCode::kInternal;
+  /// Error message; empty means "failpoint <name>".
+  std::string message;
+  /// Trip only when the hit's argument equals this (XIA_FAILPOINT_ARG
+  /// call sites); negative matches every hit. Argument matching is what
+  /// keeps injected failures deterministic under parallel fan-outs —
+  /// hit *order* is scheduling-dependent, hit *arguments* are not.
+  int64_t match_arg = -1;
+  /// Trip on every Nth matching hit (1 = every matching hit). Counting
+  /// is global across threads, so N > 1 is only deterministic for
+  /// serial call sites.
+  int every_nth = 1;
+  /// Stop tripping after this many trips; negative = unlimited.
+  int max_trips = -1;
+  /// Sleep this long on every matching hit (before the trip verdict),
+  /// for simulating slow I/O and forcing deadline expiry in tests.
+  int latency_ms = 0;
+};
+
+namespace detail {
+/// Count of armed failpoints. The XIA_FAILPOINT fast path reads this and
+/// nothing else; do not touch it outside Arm/Disarm.
+extern std::atomic<int> g_armed_count;
+/// Slow path behind the macros: evaluates the armed spec for `name`.
+/// Only ever call through XIA_FAILPOINT / XIA_FAILPOINT_ARG — those keep
+/// the disarmed fast path in front (CI rejects direct header calls).
+Status Hit(const char* name, int64_t arg);
+}  // namespace detail
+
+/// True when at least one failpoint is armed. One relaxed load.
+inline bool AnyArmed() {
+  return detail::g_armed_count.load(std::memory_order_relaxed) > 0;
+}
+
+/// Arms (or re-arms, replacing the previous spec of) `name`.
+void Arm(const std::string& name, FailSpec spec);
+
+/// Disarms `name`; false when it was not armed. Trip counts remain
+/// visible in obs snapshots via retained counter totals.
+bool Disarm(const std::string& name);
+
+/// Disarms everything (test teardown).
+void DisarmAll();
+
+/// Names currently armed, sorted (shell `failpoint list`).
+std::vector<std::string> ArmedNames();
+
+/// Trips of `name` so far (armed or not; 0 when never armed).
+uint64_t Trips(const std::string& name);
+
+/// Arms a failpoint from the shell/env spec grammar:
+///
+///   <name>=<mode>[,<mode>...]      modes:
+///     error | error:<StatusCodeName>   trip with this code (default)
+///     nth:<N>                          trip every Nth matching hit
+///     arg:<K>                          trip only when the hit arg == K
+///     trips:<N>                        stop after N trips
+///     sleep:<MS>                       inject latency (alone: never fail)
+///     off                              disarm instead
+///
+/// e.g. "storage.collection_io.read=error:NotFound,nth:3". Returns
+/// InvalidArgument on grammar violations.
+Status ArmFromSpec(const std::string& spec);
+
+/// Arms every ';'-separated spec in the environment variable (default
+/// XIA_FAILPOINTS); missing/empty variable is OK.
+Status ArmFromEnv(const char* env_var = "XIA_FAILPOINTS");
+
+/// RAII arming for tests: arms on construction, disarms on destruction.
+class ScopedFailpoint {
+ public:
+  ScopedFailpoint(std::string name, FailSpec spec) : name_(std::move(name)) {
+    Arm(name_, std::move(spec));
+  }
+  ~ScopedFailpoint() { Disarm(name_); }
+
+  ScopedFailpoint(const ScopedFailpoint&) = delete;
+  ScopedFailpoint& operator=(const ScopedFailpoint&) = delete;
+
+ private:
+  std::string name_;
+};
+
+}  // namespace fp
+}  // namespace xia
+
+/// Fault-injection hook for functions returning Status or Result<T>.
+/// Disarmed: one relaxed load + never-taken branch.
+#define XIA_FAILPOINT(name) XIA_FAILPOINT_ARG(name, -1)
+
+/// Hook whose hits carry an argument (e.g. a query index) that armed
+/// specs can match on for scheduling-independent injection.
+#define XIA_FAILPOINT_ARG(name, arg)                                \
+  do {                                                              \
+    if (::xia::fp::AnyArmed()) {                                    \
+      ::xia::Status _xia_fp_status =                                \
+          ::xia::fp::detail::Hit((name), (arg));                    \
+      if (!_xia_fp_status.ok()) return _xia_fp_status;              \
+    }                                                               \
+  } while (0)
+
+#endif  // XIA_COMMON_FAILPOINT_H_

@@ -18,6 +18,7 @@ enum class StatusCode {
   kInternal,
   kUnimplemented,
   kResourceExhausted,
+  kCancelled,
 };
 
 /// Returns a stable human-readable name for a status code, e.g.
@@ -59,8 +60,15 @@ class Status {
   static Status ResourceExhausted(std::string msg) {
     return Status(StatusCode::kResourceExhausted, std::move(msg));
   }
+  /// Cooperative-cancellation outcome: the operation was stopped (by a
+  /// CancelToken or because a sibling what-if task failed first), not
+  /// wrong. Callers that degrade gracefully branch on IsCancelled().
+  static Status Cancelled(std::string msg) {
+    return Status(StatusCode::kCancelled, std::move(msg));
+  }
 
   bool ok() const { return code_ == StatusCode::kOk; }
+  bool IsCancelled() const { return code_ == StatusCode::kCancelled; }
   StatusCode code() const { return code_; }
   const std::string& message() const { return message_; }
 

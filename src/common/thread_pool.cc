@@ -103,6 +103,35 @@ void TaskGroup::Wait() {
   }
 }
 
+size_t ParallelForCancellable(ThreadPool* pool, size_t n,
+                              const std::function<bool(size_t)>& fn,
+                              const std::function<void(size_t)>& skipped) {
+  std::atomic<size_t> first_fail{SIZE_MAX};
+  ParallelFor(pool, n, [&](size_t i) {
+    // Racy-but-monotonic skip: first_fail only ever decreases, so an
+    // index that observes `i > first_fail` is definitively above the
+    // final lowest failure and may skip. Indices below the current value
+    // must still run — a later, lower failure decides the final verdict.
+    if (i > first_fail.load(std::memory_order_relaxed)) {
+      skipped(i);
+      return;
+    }
+    if (!fn(i)) {
+      size_t prev = first_fail.load(std::memory_order_relaxed);
+      while (i < prev && !first_fail.compare_exchange_weak(
+                             prev, i, std::memory_order_relaxed)) {
+      }
+    }
+  });
+  size_t lowest = first_fail.load(std::memory_order_relaxed);
+  if (lowest != SIZE_MAX) {
+    // Normalize stragglers that ran before the failure was visible, so
+    // the batch outcome depends only on the lowest failing index.
+    for (size_t i = lowest + 1; i < n; ++i) skipped(i);
+  }
+  return lowest;
+}
+
 void ParallelFor(ThreadPool* pool, size_t n,
                  const std::function<void(size_t)>& fn) {
   if (pool == nullptr || n < 2) {

@@ -103,6 +103,26 @@ class TaskGroup {
 void ParallelFor(ThreadPool* pool, size_t n,
                  const std::function<void(size_t)>& fn);
 
+/// ParallelFor with first-failure sibling cancellation. `fn(i)` returns
+/// true on success; after the first failure, sibling indices are skipped
+/// (`skipped(i)` is invoked for them instead of `fn`) so one bad task
+/// stops the batch instead of wasting it. Returns the lowest failing
+/// index, or SIZE_MAX when every index succeeded.
+///
+/// The outcome is deterministic at any thread count: with lowest failing
+/// index L, every index < L ran `fn` to completion and succeeded, index
+/// L ran and failed, and every index > L ends skipped — a serial
+/// post-pass re-invokes `skipped` for indices that opportunistically ran
+/// before L's failure was visible, so their side effects must be
+/// idempotent overwrites (a result slot, not an append). Callers that
+/// also honor an external CancelToken should fold the token check into
+/// `fn` and return true for it — external cancellation is inherently
+/// timing-dependent and must not be confused with the deterministic
+/// first failure.
+size_t ParallelForCancellable(ThreadPool* pool, size_t n,
+                              const std::function<bool(size_t)>& fn,
+                              const std::function<void(size_t)>& skipped);
+
 }  // namespace xia
 
 #endif  // XIA_COMMON_THREAD_POOL_H_

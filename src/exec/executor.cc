@@ -102,18 +102,20 @@ std::string RenderResults(const Database& db, const std::string& collection,
   return out;
 }
 
-void Executor::TouchDocument(const Document& doc) const {
-  if (buffer_pool_ == nullptr) return;
+Status Executor::TouchDocument(const Document& doc) const {
+  if (buffer_pool_ == nullptr) return Status::Ok();
   double pages = std::max(
       1.0, std::ceil(static_cast<double>(doc.ByteSize()) /
                      cost_model_.storage.page_size_bytes));
   for (uint32_t p = 0; p < static_cast<uint32_t>(pages); ++p) {
-    buffer_pool_->Touch(DocPageId(doc.id(), p));
+    XIA_RETURN_IF_ERROR(
+        buffer_pool_->Fetch(DocPageId(doc.id(), p)).status());
   }
+  return Status::Ok();
 }
 
-void Executor::TouchNodePage(const Document& doc, NodeIndex node) const {
-  if (buffer_pool_ == nullptr) return;
+Status Executor::TouchNodePage(const Document& doc, NodeIndex node) const {
+  if (buffer_pool_ == nullptr) return Status::Ok();
   double bytes_per_node =
       doc.num_nodes() == 0
           ? 1.0
@@ -122,16 +124,17 @@ void Executor::TouchNodePage(const Document& doc, NodeIndex node) const {
   uint32_t page = static_cast<uint32_t>(
       static_cast<double>(doc.node(node).begin) * bytes_per_node /
       cost_model_.storage.page_size_bytes);
-  buffer_pool_->Touch(DocPageId(doc.id(), page));
+  return buffer_pool_->Fetch(DocPageId(doc.id(), page)).status();
 }
 
-void Executor::TouchIndexLeaves(const std::string& index_name,
-                                double pages) const {
-  if (buffer_pool_ == nullptr) return;
+Status Executor::TouchIndexLeaves(const std::string& index_name,
+                                  double pages) const {
+  if (buffer_pool_ == nullptr) return Status::Ok();
   uint64_t hash = std::hash<std::string>{}(index_name);
   for (uint32_t p = 0; p < static_cast<uint32_t>(std::ceil(pages)); ++p) {
-    buffer_pool_->Touch(IndexPageId(hash, p));
+    XIA_RETURN_IF_ERROR(buffer_pool_->Fetch(IndexPageId(hash, p)).status());
   }
+  return Status::Ok();
 }
 
 Result<ExecResult> Executor::Execute(const QueryPlan& plan) const {
@@ -155,7 +158,7 @@ Result<ExecResult> Executor::ExecuteScan(const QueryPlan& plan,
   const NameTable& names = db_->names();
   for (const Document& doc : coll.docs()) {
     result.nodes_examined += doc.num_nodes();
-    TouchDocument(doc);
+    XIA_RETURN_IF_ERROR(TouchDocument(doc));
     bool qualifies = true;
     for (const QueryPredicate& pred : plan.query.predicates) {
       if (!DocSatisfiesPredicate(doc, names, pred)) {
@@ -218,7 +221,8 @@ Result<ExecResult> Executor::ExecuteIndex(const QueryPlan& plan,
   // more general than the query pattern.
   size_t total_fetched = 0;
   auto probe_to_docs = [&](const PathIndex& idx, MatchUse use,
-                           int served_predicate, bool needs_verify) {
+                           int served_predicate,
+                           bool needs_verify) -> Result<std::set<DocId>> {
     std::vector<NodeRef> fetched =
         ProbeIndexForPredicate(idx, plan.query, use, served_predicate);
     total_fetched += fetched.size();
@@ -228,11 +232,11 @@ Result<ExecResult> Executor::ExecuteIndex(const QueryPlan& plan,
                         ? 0.0
                         : static_cast<double>(fetched.size()) /
                               static_cast<double>(idx.num_entries());
-      TouchIndexLeaves(idx.def().name,
-                       idx.LeafPages(cost_model_.storage) *
-                           std::min(1.0, frac));
+      XIA_RETURN_IF_ERROR(
+          TouchIndexLeaves(idx.def().name, idx.LeafPages(cost_model_.storage) *
+                                               std::min(1.0, frac)));
       for (const NodeRef& ref : fetched) {
-        TouchNodePage(coll.doc(ref.doc), ref.node);
+        XIA_RETURN_IF_ERROR(TouchNodePage(coll.doc(ref.doc), ref.node));
       }
     }
     const PathPattern& probed_pattern =
@@ -254,14 +258,16 @@ Result<ExecResult> Executor::ExecuteIndex(const QueryPlan& plan,
     return docs;
   };
 
-  std::set<DocId> candidate_docs =
+  XIA_ASSIGN_OR_RETURN(
+      std::set<DocId> candidate_docs,
       probe_to_docs(index, plan.access.use, plan.access.served_predicate,
-                    plan.access.needs_verify);
+                    plan.access.needs_verify));
   if (plan.access.has_secondary) {
     const IndexProbe& sec = plan.access.secondary;
-    std::set<DocId> secondary_docs =
+    XIA_ASSIGN_OR_RETURN(
+        std::set<DocId> secondary_docs,
         probe_to_docs(*secondary_entry->physical, sec.use,
-                      sec.served_predicate, sec.needs_verify);
+                      sec.served_predicate, sec.needs_verify));
     std::set<DocId> intersection;
     for (DocId d : candidate_docs) {
       if (secondary_docs.count(d) > 0) intersection.insert(d);
@@ -289,7 +295,7 @@ Result<ExecResult> Executor::ExecuteIndex(const QueryPlan& plan,
     const Document& doc = coll.doc(doc_id);
     // Residual evaluation and driving-node extraction navigate the whole
     // candidate document.
-    TouchDocument(doc);
+    XIA_RETURN_IF_ERROR(TouchDocument(doc));
     bool qualifies = true;
     for (const QueryPredicate* pred : residuals) {
       if (!DocSatisfiesPredicate(doc, names, *pred)) {

@@ -74,12 +74,16 @@ class Executor {
   Result<ExecResult> ExecuteIndex(const QueryPlan& plan,
                                   const Collection& coll) const;
 
+  // The Touch* helpers route page accesses through BufferPool::Fetch, so
+  // an injected storage.bufferpool.fetch fault propagates out of Execute
+  // as a clean Status instead of being swallowed mid-scan.
+
   /// Routes the whole document's pages through the buffer pool.
-  void TouchDocument(const Document& doc) const;
+  Status TouchDocument(const Document& doc) const;
   /// Routes the page holding `node` of `doc` through the buffer pool.
-  void TouchNodePage(const Document& doc, NodeIndex node) const;
+  Status TouchNodePage(const Document& doc, NodeIndex node) const;
   /// Routes `pages` leading leaf pages of the named index through the pool.
-  void TouchIndexLeaves(const std::string& index_name, double pages) const;
+  Status TouchIndexLeaves(const std::string& index_name, double pages) const;
 };
 
 }  // namespace xia

@@ -2,10 +2,13 @@
 
 #include <cctype>
 
+#include "common/failpoint.h"
+
 namespace xia {
 
 Status Catalog::AddPhysical(std::shared_ptr<PathIndex> index,
                             const StorageConstants& constants) {
+  XIA_FAILPOINT("index.catalog.ddl");
   const IndexDefinition& def = index->def();
   if (entries_.count(def.name) > 0) {
     return Status::AlreadyExists("index " + def.name + " already exists");
@@ -20,6 +23,7 @@ Status Catalog::AddPhysical(std::shared_ptr<PathIndex> index,
 }
 
 Status Catalog::AddVirtual(IndexDefinition def, VirtualIndexStats stats) {
+  XIA_FAILPOINT("index.catalog.ddl");
   if (entries_.count(def.name) > 0) {
     return Status::AlreadyExists("index " + def.name + " already exists");
   }
@@ -33,6 +37,7 @@ Status Catalog::AddVirtual(IndexDefinition def, VirtualIndexStats stats) {
 }
 
 Status Catalog::Drop(const std::string& name) {
+  XIA_FAILPOINT("index.catalog.ddl");
   if (entries_.erase(name) == 0) {
     return Status::NotFound("index " + name + " does not exist");
   }

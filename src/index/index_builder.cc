@@ -1,10 +1,12 @@
 #include "index/index_builder.h"
 
+#include "common/failpoint.h"
 #include "xpath/evaluator.h"
 
 namespace xia {
 
 Result<PathIndex> BuildIndex(const Database& db, const IndexDefinition& def) {
+  XIA_FAILPOINT("index.builder.build");
   const Collection* coll = db.GetCollection(def.collection);
   if (coll == nullptr) {
     return Status::NotFound("collection " + def.collection +

@@ -4,9 +4,28 @@
 #include <unordered_map>
 #include <utility>
 
+#include "common/failpoint.h"
 #include "common/string_util.h"
 
 namespace xia {
+
+namespace {
+
+/// Same hook (and hit-argument convention) as the advisor's evaluator:
+/// "advisor.whatif.optimize" with arg = workload query index, so tests
+/// inject a failure into a specific query's what-if optimization no
+/// matter which EXPLAIN path runs it.
+Result<QueryPlan> OptimizeQueryWithFailpoint(const Optimizer& optimizer,
+                                             const Query& query,
+                                             size_t query_index,
+                                             const Catalog& overlay,
+                                             ContainmentCache* cache) {
+  XIA_FAILPOINT_ARG("advisor.whatif.optimize",
+                    static_cast<int64_t>(query_index));
+  return optimizer.Optimize(query, overlay, cache);
+}
+
+}  // namespace
 
 std::string CandidatePattern::ToString() const {
   std::string out = pattern.ToString();
@@ -181,10 +200,22 @@ Result<EvaluateIndexesResult> EvaluateIndexesMode(
     // yields the same plan, since irrelevant entries produce no matches.)
     std::vector<Result<QueryPlan>> task_plans(
         tasks.size(), Status::Internal("not evaluated"));
-    ParallelFor(pool, tasks.size(), [&](size_t ti) {
-      task_plans[ti] =
-          optimizer.Optimize(queries[tasks[ti].query], overlay, cache);
-    });
+    // First-failure sibling cancellation: one bad task stops the batch,
+    // and the outcome (statuses AND cache inserts below) is deterministic
+    // at any thread count — exactly the tasks below the lowest failure
+    // complete.
+    ParallelForCancellable(
+        pool, tasks.size(),
+        [&](size_t ti) {
+          task_plans[ti] = OptimizeQueryWithFailpoint(
+              optimizer, queries[tasks[ti].query], tasks[ti].query, overlay,
+              cache);
+          return task_plans[ti].ok();
+        },
+        [&](size_t ti) {
+          task_plans[ti] = Status::Cancelled(
+              "cancelled: a lower-indexed what-if task failed first");
+        });
     // Serial phase 3: memoize and distribute.
     for (size_t ti = 0; ti < tasks.size(); ++ti) {
       if (task_plans[ti].ok()) {
@@ -200,9 +231,18 @@ Result<EvaluateIndexesResult> EvaluateIndexesMode(
     }
   } else {
     if (cost_cache != nullptr) cost_cache->AddBypasses(queries.size());
-    ParallelFor(pool, queries.size(), [&](size_t qi) {
-      plans[qi] = optimizer.Optimize(queries[qi], overlay, cache);
-    });
+    ParallelForCancellable(
+        pool, queries.size(),
+        [&](size_t qi) {
+          plans[qi] =
+              OptimizeQueryWithFailpoint(optimizer, queries[qi], qi, overlay,
+                                         cache);
+          return plans[qi].ok();
+        },
+        [&](size_t qi) {
+          plans[qi] = Status::Cancelled(
+              "cancelled: a lower-indexed what-if optimization failed first");
+        });
   }
   EvaluateIndexesResult result;
   for (size_t qi = 0; qi < queries.size(); ++qi) {

@@ -1,6 +1,14 @@
 #include "storage/buffer_pool.h"
 
+#include "common/failpoint.h"
+
 namespace xia {
+
+Result<bool> BufferPool::Fetch(uint64_t page_id) {
+  XIA_FAILPOINT_ARG("storage.bufferpool.fetch",
+                    static_cast<int64_t>(page_id));
+  return Touch(page_id);
+}
 
 bool BufferPool::Touch(uint64_t page_id) {
   if (capacity_ == 0) {

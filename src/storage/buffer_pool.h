@@ -7,6 +7,7 @@
 #include <unordered_map>
 
 #include "common/metrics.h"
+#include "common/status.h"
 
 namespace xia {
 
@@ -27,6 +28,12 @@ class BufferPool {
   /// Touches a page: returns true on a hit; on a miss the page is
   /// admitted, evicting the least recently used page if full.
   bool Touch(uint64_t page_id);
+
+  /// Fallible Touch: the storage.bufferpool.fetch failpoint fires before
+  /// the page is touched (hit argument = page id), modeling a physical
+  /// read error. The executor's page-accounting paths call this so
+  /// injected I/O faults surface as a clean Status all the way up.
+  Result<bool> Fetch(uint64_t page_id);
 
   size_t capacity() const { return capacity_; }
   size_t size() const { return map_.size(); }

@@ -7,11 +7,37 @@
 #include <sstream>
 #include <vector>
 
+#include "common/failpoint.h"
 #include "xml/serializer.h"
 
 namespace xia {
 
 namespace fs = std::filesystem;
+
+namespace {
+
+/// Writes `payload` to `tmp_path` in two chunks with the write failpoint
+/// between them — arming storage.collection_io.write leaves the TEMP file
+/// torn, never the final one, because the caller only renames on success.
+Status WriteDocPayload(const fs::path& tmp_path, const std::string& payload,
+                       const char* name, int doc_id) {
+  std::ofstream out(tmp_path);
+  if (!out) {
+    return Status::Internal(std::string("cannot write ") + name);
+  }
+  std::streamsize half = static_cast<std::streamsize>(payload.size() / 2);
+  out.write(payload.data(), half);
+  XIA_FAILPOINT_ARG("storage.collection_io.write", doc_id);
+  out.write(payload.data() + half,
+            static_cast<std::streamsize>(payload.size()) - half);
+  out.flush();
+  if (!out.good()) {
+    return Status::Internal(std::string("write failed for ") + name);
+  }
+  return Status::Ok();
+}
+
+}  // namespace
 
 Status SaveCollectionToDirectory(const Database& db,
                                  const std::string& collection,
@@ -29,13 +55,23 @@ Status SaveCollectionToDirectory(const Database& db,
   for (const Document& doc : coll->docs()) {
     char name[32];
     std::snprintf(name, sizeof(name), "doc_%05d.xml", doc.id());
-    std::ofstream out(fs::path(dir) / name);
-    if (!out) {
-      return Status::Internal(std::string("cannot write ") + name);
+    // Write-temp-then-rename: a failure (injected or real) part-way
+    // through a document can never leave a torn doc_*.xml behind — the
+    // prior version, if any, stays intact until the atomic rename.
+    fs::path final_path = fs::path(dir) / name;
+    fs::path tmp_path = final_path;
+    tmp_path += ".tmp";
+    Status written = WriteDocPayload(
+        tmp_path, SerializeDocument(doc, db.names()), name, doc.id());
+    if (!written.ok()) {
+      fs::remove(tmp_path, ec);
+      return written;
     }
-    out << SerializeDocument(doc, db.names());
-    if (!out.good()) {
-      return Status::Internal(std::string("write failed for ") + name);
+    fs::rename(tmp_path, final_path, ec);
+    if (ec) {
+      fs::remove(tmp_path, ec);
+      return Status::Internal(std::string("cannot finalize ") + name + ": " +
+                              ec.message());
     }
   }
   return Status::Ok();
@@ -60,7 +96,11 @@ Result<size_t> LoadCollectionFromDirectory(Database* db,
   std::sort(files.begin(), files.end());
 
   XIA_RETURN_IF_ERROR(db->CreateCollection(collection).status());
-  for (const fs::path& path : files) {
+  for (size_t fi = 0; fi < files.size(); ++fi) {
+    const fs::path& path = files[fi];
+    // Hit argument = position in the sorted file list, so tests can fail
+    // a specific document's read deterministically.
+    XIA_FAILPOINT_ARG("storage.collection_io.read", static_cast<int64_t>(fi));
     std::ifstream in(path);
     if (!in) {
       return Status::Internal("cannot open " + path.string());

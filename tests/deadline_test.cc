@@ -1,0 +1,195 @@
+// Deadline/CancelToken unit behavior plus the anytime-search contract:
+// a Recommend() whose budget fires must still return a valid, flagged
+// best-so-far Recommendation, and an ungoverned run must be untouched by
+// the governance plumbing.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "advisor/advisor.h"
+#include "common/deadline.h"
+#include "common/failpoint.h"
+#include "workload/xmark_queries.h"
+#include "xmldata/xmark_gen.h"
+
+namespace xia {
+namespace {
+
+TEST(DeadlineTest, InfiniteNeverExpires) {
+  Deadline d;
+  EXPECT_TRUE(d.infinite());
+  EXPECT_FALSE(d.Expired());
+  EXPECT_EQ(d.RemainingMillis(), INT64_MAX);
+  EXPECT_TRUE(Deadline::Infinite().infinite());
+}
+
+TEST(DeadlineTest, NonPositiveBudgetIsAlreadyExpired) {
+  // Deterministic without sleeping: the clamp makes a zero/negative
+  // budget an immediately-expired deadline, which the anytime tests rely
+  // on.
+  EXPECT_TRUE(Deadline::AfterMillis(0).Expired());
+  EXPECT_TRUE(Deadline::AfterMillis(-5).Expired());
+  EXPECT_FALSE(Deadline::AfterMillis(0).infinite());
+  EXPECT_LE(Deadline::AfterMillis(0).RemainingMillis(), 0);
+}
+
+TEST(DeadlineTest, FutureDeadlineNotYetExpired) {
+  Deadline d = Deadline::AfterMillis(60'000);
+  EXPECT_FALSE(d.infinite());
+  EXPECT_FALSE(d.Expired());
+  EXPECT_GT(d.RemainingMillis(), 0);
+}
+
+TEST(DeadlineTest, StopReasonNames) {
+  EXPECT_STREQ(StopReasonName(StopReason::kConverged), "converged");
+  EXPECT_STREQ(StopReasonName(StopReason::kDeadline), "deadline");
+  EXPECT_STREQ(StopReasonName(StopReason::kCancelled), "cancelled");
+  EXPECT_STREQ(StopReasonName(StopReason::kError), "error");
+}
+
+TEST(CancelTokenTest, DefaultTokenIsInert) {
+  CancelToken token;
+  EXPECT_FALSE(token.CanBeCancelled());
+  EXPECT_FALSE(token.Cancelled());
+  token.Cancel();  // No-op, not a crash.
+  EXPECT_FALSE(token.Cancelled());
+}
+
+TEST(CancelTokenTest, CancellableFiresAndIsShared) {
+  CancelToken token = CancelToken::Cancellable();
+  CancelToken copy = token;  // Shared state: both observe the flag.
+  EXPECT_TRUE(token.CanBeCancelled());
+  EXPECT_FALSE(token.Cancelled());
+  copy.Cancel();
+  EXPECT_TRUE(token.Cancelled());
+  EXPECT_TRUE(copy.Cancelled());
+  token.Cancel();  // Idempotent.
+  EXPECT_TRUE(token.Cancelled());
+}
+
+TEST(CancelTokenTest, ChildObservesParentButNotViceVersa) {
+  CancelToken parent = CancelToken::Cancellable();
+  CancelToken child = parent.Child();
+  CancelToken sibling = parent.Child();
+  EXPECT_TRUE(child.CanBeCancelled());
+  // Cancelling a child leaves the parent and siblings untouched.
+  child.Cancel();
+  EXPECT_TRUE(child.Cancelled());
+  EXPECT_FALSE(parent.Cancelled());
+  EXPECT_FALSE(sibling.Cancelled());
+  // Cancelling the parent fires every remaining descendant.
+  parent.Cancel();
+  EXPECT_TRUE(sibling.Cancelled());
+}
+
+TEST(CancelTokenTest, ChildOfInertTokenIsAPlainRoot) {
+  CancelToken inert;
+  CancelToken child = inert.Child();
+  EXPECT_TRUE(child.CanBeCancelled());
+  child.Cancel();
+  EXPECT_TRUE(child.Cancelled());
+  EXPECT_FALSE(inert.Cancelled());
+}
+
+/// XMark database + workload shared by the advisor-level tests.
+class AnytimeAdvisorTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    XMarkParams params;
+    ASSERT_TRUE(PopulateXMark(&db_, "xmark", 6, params, 42).ok());
+    workload_ = MakeXMarkWorkload("xmark");
+  }
+
+  Result<Recommendation> Run(AdvisorOptions options) {
+    options.space_budget_bytes = 128.0 * 1024;
+    options.threads = 2;
+    Advisor advisor(&db_, &catalog_, options);
+    return advisor.Recommend(workload_);
+  }
+
+  Database db_;
+  Catalog catalog_;
+  Workload workload_;
+};
+
+TEST_F(AnytimeAdvisorTest, ExpiredBudgetStillYieldsValidRecommendation) {
+  for (SearchAlgorithm algo :
+       {SearchAlgorithm::kGreedy, SearchAlgorithm::kGreedyHeuristic,
+        SearchAlgorithm::kTopDown}) {
+    // Make every what-if optimization sleep so a 1ms budget is guaranteed
+    // to expire during the search, deterministically, on any machine.
+    fp::FailSpec slow;
+    slow.code = StatusCode::kOk;  // Latency-only: never fails.
+    slow.latency_ms = 5;
+    fp::ScopedFailpoint armed("advisor.whatif.optimize", slow);
+
+    AdvisorOptions options;
+    options.algorithm = algo;
+    options.time_budget_ms = 1;
+    Result<Recommendation> rec = Run(options);
+    ASSERT_TRUE(rec.ok()) << SearchAlgorithmName(algo);
+    EXPECT_EQ(rec->stop_reason, StopReason::kDeadline)
+        << SearchAlgorithmName(algo);
+    EXPECT_EQ(rec->search.stop_reason, StopReason::kDeadline);
+    // Best-so-far is still a valid recommendation: non-negative benefit,
+    // within budget, flagged in the report and the trace.
+    EXPECT_GE(rec->benefit, 0.0) << SearchAlgorithmName(algo);
+    EXPECT_LE(rec->total_size_bytes, 128.0 * 1024);
+    EXPECT_NE(rec->Report().find("WARNING"), std::string::npos);
+    bool traced = false;
+    for (const std::string& line : rec->search.trace) {
+      if (line.find("budget exhausted") != std::string::npos) traced = true;
+    }
+    EXPECT_TRUE(traced) << SearchAlgorithmName(algo);
+  }
+}
+
+TEST_F(AnytimeAdvisorTest, PreCancelledTokenStopsEveryAlgorithm) {
+  for (SearchAlgorithm algo :
+       {SearchAlgorithm::kGreedy, SearchAlgorithm::kGreedyHeuristic,
+        SearchAlgorithm::kTopDown}) {
+    AdvisorOptions options;
+    options.algorithm = algo;
+    options.cancel = CancelToken::Cancellable();
+    options.cancel.Cancel();  // Fired before the search even starts.
+    Result<Recommendation> rec = Run(options);
+    ASSERT_TRUE(rec.ok()) << SearchAlgorithmName(algo);
+    EXPECT_EQ(rec->stop_reason, StopReason::kCancelled)
+        << SearchAlgorithmName(algo);
+    EXPECT_GE(rec->benefit, 0.0);
+    EXPECT_NE(rec->Report().find("WARNING"), std::string::npos);
+  }
+}
+
+TEST_F(AnytimeAdvisorTest, UngovernedRunMatchesLiveTokenNeverFired) {
+  // The governance plumbing must be invisible when nothing fires: a run
+  // with an armed-but-silent token and no budget is bit-identical to the
+  // default ungoverned run.
+  for (SearchAlgorithm algo :
+       {SearchAlgorithm::kGreedy, SearchAlgorithm::kGreedyHeuristic,
+        SearchAlgorithm::kTopDown}) {
+    AdvisorOptions plain;
+    plain.algorithm = algo;
+    Result<Recommendation> a = Run(plain);
+
+    AdvisorOptions governed;
+    governed.algorithm = algo;
+    governed.cancel = CancelToken::Cancellable();  // Never fired.
+    Result<Recommendation> b = Run(governed);
+
+    ASSERT_TRUE(a.ok() && b.ok()) << SearchAlgorithmName(algo);
+    EXPECT_EQ(a->stop_reason, StopReason::kConverged);
+    EXPECT_EQ(b->stop_reason, StopReason::kConverged);
+    EXPECT_EQ(a->search.chosen, b->search.chosen);
+    EXPECT_EQ(a->search.workload_cost, b->search.workload_cost);
+    EXPECT_EQ(a->search.trace, b->search.trace);
+    EXPECT_EQ(a->benefit, b->benefit);
+    EXPECT_EQ(a->Report(), b->Report());
+    EXPECT_EQ(a->Report().find("WARNING"), std::string::npos);
+  }
+}
+
+}  // namespace
+}  // namespace xia

@@ -4,10 +4,14 @@
 
 #include <gtest/gtest.h>
 
+#include <filesystem>
+#include <fstream>
 #include <string>
 
 #include "common/random.h"
 #include "query/parser.h"
+#include "storage/collection_io.h"
+#include "storage/database.h"
 #include "workload/workload_io.h"
 #include "xml/builder.h"
 #include "xml/parser.h"
@@ -107,6 +111,91 @@ TEST(FuzzTest, WorkloadParserSurvivesMutations) {
     current = Mutate(current, &rng);
     (void)ParseWorkloadText(current);
     if (round % 40 == 0) current = seed;
+  }
+}
+
+namespace fs = std::filesystem;
+
+/// Scratch directory for on-disk loader fuzzing, wiped on destruction.
+class ScratchDir {
+ public:
+  explicit ScratchDir(const std::string& name)
+      : path_(fs::temp_directory_path() / name) {
+    fs::remove_all(path_);
+    fs::create_directories(path_);
+  }
+  ~ScratchDir() { fs::remove_all(path_); }
+  const fs::path& path() const { return path_; }
+
+ private:
+  fs::path path_;
+};
+
+void WriteFile(const fs::path& path, const std::string& content) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out << content;
+}
+
+TEST(FuzzTest, WorkloadFileLoaderSurvivesMutatedFiles) {
+  ScratchDir dir("xia_fuzz_workload_io");
+  const std::string seed =
+      "# training workload\n"
+      "query Q1 2 for $i in doc(\"x\")/a where $i/b > 1 return $i\n"
+      "update insert x 3 /a/b\n";
+  const std::string path = (dir.path() / "w.workload").string();
+  Random rng(1234);
+  std::string current = seed;
+  for (int round = 0; round < 120; ++round) {
+    current = Mutate(current, &rng);
+    WriteFile(path, current);
+    // Must not crash; result is either ok or a clean error.
+    Result<Workload> loaded = LoadWorkloadFile(path);
+    if (!loaded.ok()) {
+      EXPECT_FALSE(loaded.status().message().empty());
+    }
+    if (round % 30 == 0) current = seed;
+  }
+  // Truncations of the pristine seed, byte by byte.
+  for (size_t len = 0; len <= seed.size(); ++len) {
+    WriteFile(path, seed.substr(0, len));
+    (void)LoadWorkloadFile(path);  // Any outcome is fine; crashing is not.
+  }
+  // A missing file is a clean NotFound-style error, not a crash.
+  EXPECT_FALSE(LoadWorkloadFile((dir.path() / "absent").string()).ok());
+}
+
+TEST(FuzzTest, CollectionLoaderSurvivesMutatedFiles) {
+  ScratchDir dir("xia_fuzz_collection_io");
+  const std::string seed =
+      "<site><item id=\"i1\"><price>42</price><name>x&amp;y</name>"
+      "</item></site>";
+  const std::string path = (dir.path() / "doc_0.xml").string();
+  // Sanity: the pristine seed loads, so the loop below exercises the
+  // loader proper and not some setup failure.
+  WriteFile(path, seed);
+  {
+    Database db;
+    ASSERT_TRUE(LoadCollectionFromDirectory(&db, "c", dir.path().string())
+                    .ok());
+  }
+  Random rng(4321);
+  std::string current = seed;
+  for (int round = 0; round < 120; ++round) {
+    current = Mutate(current, &rng);
+    WriteFile(path, current);
+    Database db;
+    Result<size_t> loaded =
+        LoadCollectionFromDirectory(&db, "c", dir.path().string());
+    if (!loaded.ok()) {
+      EXPECT_FALSE(loaded.status().message().empty());
+    }
+    if (round % 30 == 0) current = seed;
+  }
+  // Truncations: every prefix of the seed document.
+  for (size_t len = 0; len <= seed.size(); ++len) {
+    WriteFile(path, seed.substr(0, len));
+    Database db;
+    (void)LoadCollectionFromDirectory(&db, "c", dir.path().string());
   }
 }
 

@@ -5,12 +5,19 @@
 
 #include <gtest/gtest.h>
 
+#include <filesystem>
+#include <fstream>
+#include <iterator>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "advisor/advisor.h"
 #include "advisor/benefit.h"
 #include "advisor/whatif.h"
+#include "common/failpoint.h"
+#include "storage/collection_io.h"
+#include "workload/workload_io.h"
 #include "workload/xmark_queries.h"
 #include "xmldata/xmark_gen.h"
 #include "xpath/parser.h"
@@ -172,6 +179,112 @@ TEST_F(ParallelEvalTest, AdvisorRecommendationIdenticalAcrossThreads) {
       EXPECT_EQ(recs[0].indexes[i].DdlString(), recs[1].indexes[i].DdlString());
     }
   }
+}
+
+// A failpoint tripping query k's what-if optimization must surface the
+// SAME statuses and the SAME deterministic stats at threads 1 and 4:
+// query k's injected error wins (lowest index), later queries are
+// cancelled, and the partial evaluation/cache trace does not depend on
+// scheduling.
+TEST_F(ParallelEvalTest, InjectedFailureDeterministicAcrossThreads) {
+  std::vector<std::vector<int>> configs = {
+      {}, {0}, {1}, {0, 1}, {1, 4}, {0, 1, 2, 3, 4, 5}};
+  fp::FailSpec spec;
+  spec.code = StatusCode::kInternal;
+  spec.message = "injected: query 2 what-if failed";
+  spec.match_arg = 2;  // Workload query index — scheduling-independent.
+  fp::ScopedFailpoint armed("advisor.whatif.optimize", spec);
+
+  std::vector<Result<ConfigurationEvaluator::Evaluation>> results[2];
+  std::vector<std::string> stats[2];
+  int thread_counts[2] = {1, 4};
+  for (int t = 0; t < 2; ++t) {
+    Rig rig = MakeRig(thread_counts[t]);
+    results[t] = rig.evaluator->EvaluateMany(configs);
+    stats[t] = rig.evaluator->DeterministicStats().TextLines("");
+  }
+  ASSERT_EQ(results[0].size(), configs.size());
+  ASSERT_EQ(results[1].size(), configs.size());
+  bool saw_injected = false;
+  for (size_t i = 0; i < configs.size(); ++i) {
+    ASSERT_EQ(results[0][i].ok(), results[1][i].ok()) << "config " << i;
+    if (results[0][i].ok()) {
+      ExpectIdentical(*results[0][i], *results[1][i]);
+      continue;
+    }
+    // Identical status — code AND message — at both widths. The config
+    // owning the first failing what-if task carries query 2's injected
+    // error; configs whose tasks all come after it in the deduplicated
+    // batch are deterministically kCancelled (sibling cancellation).
+    EXPECT_EQ(results[0][i].status().code(), results[1][i].status().code())
+        << "config " << i;
+    EXPECT_EQ(results[0][i].status().message(),
+              results[1][i].status().message())
+        << "config " << i;
+    if (results[0][i].status().code() == StatusCode::kInternal) {
+      saw_injected = true;
+      EXPECT_NE(results[0][i].status().message().find("injected"),
+                std::string::npos);
+    } else {
+      EXPECT_TRUE(results[0][i].status().IsCancelled())
+          << results[0][i].status().ToString();
+    }
+  }
+  EXPECT_TRUE(saw_injected);
+  // Partial trace: the deterministic counter snapshot (evaluations,
+  // cost-cache hits/misses, memo hits) is byte-identical.
+  EXPECT_EQ(stats[0], stats[1]);
+}
+
+// Mid-write failures must never leave a torn output file: writers go
+// through a temp file and rename, so the destination either keeps its
+// previous content or does not exist.
+TEST_F(ParallelEvalTest, InjectedWriteFailureLeavesNoTornFiles) {
+  namespace fs = std::filesystem;
+  fs::path dir = fs::temp_directory_path() / "xia_torn_write_test";
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+
+  // Workload file: a good save first, then a failing overwrite.
+  fs::path wpath = dir / "w.workload";
+  ASSERT_TRUE(SaveWorkloadFile(workload_, wpath.string()).ok());
+  std::string before = [&] {
+    std::ifstream in(wpath);
+    return std::string(std::istreambuf_iterator<char>(in), {});
+  }();
+  {
+    fp::FailSpec spec;
+    spec.code = StatusCode::kInternal;
+    spec.message = "injected: disk full";
+    fp::ScopedFailpoint armed("storage.workload_io.write", spec);
+    Status failed = SaveWorkloadFile(workload_, wpath.string());
+    EXPECT_FALSE(failed.ok());
+  }
+  std::string after = [&] {
+    std::ifstream in(wpath);
+    return std::string(std::istreambuf_iterator<char>(in), {});
+  }();
+  EXPECT_EQ(before, after);  // Previous content intact, not truncated.
+  EXPECT_FALSE(fs::exists(wpath.string() + ".tmp"));  // No stray temp.
+
+  // Collection directory: a failing save leaves no torn doc files.
+  fs::path cdir = dir / "coll";
+  {
+    fp::FailSpec spec;
+    spec.code = StatusCode::kInternal;
+    spec.message = "injected: disk full";
+    fp::ScopedFailpoint armed("storage.collection_io.write", spec);
+    Status failed = SaveCollectionToDirectory(db_, "xmark", cdir.string());
+    EXPECT_FALSE(failed.ok());
+  }
+  if (fs::exists(cdir)) {
+    for (const fs::directory_entry& entry : fs::directory_iterator(cdir)) {
+      EXPECT_NE(entry.path().extension(), ".tmp") << entry.path();
+      EXPECT_NE(entry.path().extension(), ".xml")
+          << "torn document left behind: " << entry.path();
+    }
+  }
+  fs::remove_all(dir);
 }
 
 TEST_F(ParallelEvalTest, WhatIfSessionIdenticalAcrossThreads) {
