@@ -20,6 +20,8 @@
 #include "advisor/search_greedy_heuristic.h"
 #include "advisor/search_topdown.h"
 #include "common/logging.h"
+#include "wlm/compress.h"
+#include "wlm/fingerprint.h"
 #include "workload/xmark_queries.h"
 #include "xmldata/xmark_gen.h"
 
@@ -143,6 +145,74 @@ BENCHMARK(BM_SearchTopDown)
     ->Args({1, 1})
     ->Args({4, 0})
     ->Args({4, 1})
+    ->UseRealTime()
+    ->Unit(benchmark::kMillisecond);
+
+/// Compressed-vs-raw advising sweep (xia::wlm): the fixture's 6×-repeated
+/// workload as a capture log, advised either record-by-record (compress=0:
+/// one weight-1 query per execution) or folded into weighted templates
+/// (compress=1). Rows land in the same CI JSON as the search sweeps above;
+/// `cost_requests` is the per-query what-if traffic compression saves and
+/// `advised_queries` the workload size the advisor actually chewed on.
+const std::vector<wlm::CaptureRecord>& SharedCaptureLog() {
+  static std::vector<wlm::CaptureRecord>* log = [] {
+    Fixture& f = *SharedFixture();
+    auto* records = new std::vector<wlm::CaptureRecord>();
+    uint64_t seq = 0;
+    for (const Query& q : f.workload.queries()) {
+      Result<QueryPlan> plan = f.optimizer->Optimize(q, f.catalog, &f.cache);
+      XIA_CHECK(plan.ok());
+      wlm::CaptureRecord r;
+      r.seq = seq++;
+      r.text = q.text;
+      r.fingerprint = wlm::TemplateFingerprint(q);
+      r.est_cost = plan->total_cost;
+      records->push_back(std::move(r));
+    }
+    return records;
+  }();
+  return *log;
+}
+
+void BM_AdviseFromLog(benchmark::State& state) {
+  Fixture& f = *SharedFixture();
+  bool compress = state.range(0) != 0;
+  Workload advised;
+  if (compress) {
+    Result<wlm::CompressedWorkload> compressed =
+        wlm::CompressLog(SharedCaptureLog());
+    XIA_CHECK(compressed.ok());
+    advised = std::move(compressed->workload);
+  } else {
+    Result<Workload> raw = wlm::WorkloadFromLog(SharedCaptureLog());
+    XIA_CHECK(raw.ok());
+    advised = std::move(*raw);
+  }
+  AdvisorOptions options;
+  options.space_budget_bytes = 128.0 * 1024;
+  options.threads = static_cast<int>(state.range(1));
+  Recommendation last;
+  for (auto _ : state) {
+    Advisor advisor(&f.db, &f.catalog, options);
+    Result<Recommendation> rec = advisor.Recommend(advised);
+    XIA_CHECK(rec.ok());
+    benchmark::DoNotOptimize(rec->benefit);
+    last = std::move(*rec);
+  }
+  state.counters["advised_queries"] = static_cast<double>(advised.size());
+  state.counters["cost_requests"] =
+      static_cast<double>(last.search.counters.cost.hits +
+                          last.search.counters.cost.misses +
+                          last.search.counters.cost.bypasses);
+  state.counters["chosen"] = static_cast<double>(last.indexes.size());
+}
+
+BENCHMARK(BM_AdviseFromLog)
+    ->ArgNames({"compress", "threads"})
+    ->Args({0, 1})
+    ->Args({1, 1})
+    ->Args({0, 4})
+    ->Args({1, 4})
     ->UseRealTime()
     ->Unit(benchmark::kMillisecond);
 

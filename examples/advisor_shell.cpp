@@ -17,13 +17,18 @@
 //   ddl                                  print the recommendation as DDL
 //   materialize                          build the recommended indexes
 //   run <query...>                       optimize + execute a query
+//   capture on|off                       workload capture (xia::wlm)
+//   log stats|save|load|clear            inspect/persist the capture log
+//   advise [--from-log] [--compress] ... advise from the captured stream
+//   drift check|readvise|threshold       staleness of the last advice
 //   failpoint <spec>|list                arm/disarm fault injection
 //   quit
 //
 // Flags: --time-limit-ms <N> caps every 'advise' run (anytime search:
-// best-so-far + warning on expiry); --failpoint <name=mode> arms a
-// fault-injection point (repeatable; same grammar as the XIA_FAILPOINTS
-// environment variable, which is also honored).
+// best-so-far + warning on expiry); --capture [capacity] arms workload
+// capture from startup; --failpoint <name=mode> arms a fault-injection
+// point (repeatable; same grammar as the XIA_FAILPOINTS environment
+// variable, which is also honored).
 
 #include <cstdlib>
 #include <fstream>
@@ -43,6 +48,10 @@
 #include "optimizer/explain.h"
 #include "query/parser.h"
 #include "storage/collection_io.h"
+#include "wlm/capture.h"
+#include "wlm/compress.h"
+#include "wlm/drift.h"
+#include "wlm/wlm_io.h"
 #include "xpath/parser.h"
 #include "workload/tpox_queries.h"
 #include "workload/workload_io.h"
@@ -63,6 +72,20 @@ struct Session {
   std::optional<WhatIfSession> whatif;
   AdvisorOptions options;
   ContainmentCache cache;
+  /// Capture log (xia::wlm). Created on first `capture on` (or the
+  /// --capture flag) and kept for the whole session: `capture off` only
+  /// disarms the hook, so `log stats` and `advise --from-log` still see
+  /// what was captured. main() disarms before the session is destroyed.
+  std::unique_ptr<wlm::QueryLog> capture_log;
+  /// Staleness watcher for `drift`; lazy because it prices against db.
+  std::unique_ptr<wlm::DriftMonitor> drift;
+
+  wlm::DriftMonitor* DriftWatcher() {
+    if (!drift) {
+      drift = std::make_unique<wlm::DriftMonitor>(&db, options.cost_model);
+    }
+    return drift.get();
+  }
 };
 
 void PrintHelp() {
@@ -77,8 +100,12 @@ void PrintHelp() {
       "  update <insert|delete> <collection> <weight> <pattern>\n"
       "  show workload|catalog|candidates|dag\n"
       "  enumerate <query...>\n"
-      "  advise <budget_kb> [greedy|heuristic|topdown]\n"
+      "  advise [--from-log] [--compress] <budget_kb>"
+      " [greedy|heuristic|topdown]\n"
       "  whatif start|add <coll> <pattern> <double|varchar>|drop <name>|eval\n"
+      "  capture on [capacity]|off\n"
+      "  log stats | save <path> | load <path> | clear\n"
+      "  drift check | readvise | threshold <t>\n"
       "  failpoint <name=mode[,mode...]>|<name=off>|list\n"
       "  ddl | materialize | run <query...> | stats | help | quit\n";
 }
@@ -164,7 +191,64 @@ void CmdWorkload(Session* s, std::istringstream* args) {
 void CmdAdvise(Session* s, std::istringstream* args) {
   double budget_kb = 128;
   std::string algo = "heuristic";
-  *args >> budget_kb >> algo;
+  bool from_log = false;
+  bool compress = false;
+  // Flags first (any order), then the positional budget and algorithm.
+  std::string token;
+  bool have_budget = false;
+  while (*args >> token) {
+    if (token == "--from-log") {
+      from_log = true;
+    } else if (token == "--compress") {
+      compress = true;
+    } else if (!have_budget) {
+      try {
+        budget_kb = std::stod(token);
+      } catch (...) {
+        std::cout << "bad budget '" << token << "'\n";
+        return;
+      }
+      have_budget = true;
+    } else {
+      algo = token;
+    }
+  }
+  // The advised workload: the hand-built session workload, or the capture
+  // log — raw (one weight-1 query per execution) or compressed into
+  // weighted templates (weight = frequency × mean cost).
+  Workload advised = s->workload;
+  if (from_log) {
+    if (!s->capture_log) {
+      std::cout << "no capture log — run 'capture on' first\n";
+      return;
+    }
+    std::vector<wlm::CaptureRecord> records = s->capture_log->Snapshot();
+    if (records.empty()) {
+      std::cout << "capture log is empty — nothing to advise\n";
+      return;
+    }
+    if (compress) {
+      Result<wlm::CompressedWorkload> compressed = wlm::CompressLog(records);
+      if (!compressed.ok()) {
+        std::cout << compressed.status().ToString() << "\n";
+        return;
+      }
+      std::cout << compressed->report.ToString();
+      advised = std::move(compressed->workload);
+    } else {
+      Result<Workload> raw = wlm::WorkloadFromLog(records);
+      if (!raw.ok()) {
+        std::cout << raw.status().ToString() << "\n";
+        return;
+      }
+      advised = std::move(*raw);
+      std::cout << "advising " << advised.size()
+                << " captured queries (uncompressed)\n";
+    }
+  } else if (compress) {
+    std::cout << "--compress needs --from-log\n";
+    return;
+  }
   s->options.space_budget_bytes = budget_kb * 1024;
   if (algo == "greedy") {
     s->options.algorithm = SearchAlgorithm::kGreedy;
@@ -174,7 +258,7 @@ void CmdAdvise(Session* s, std::istringstream* args) {
     s->options.algorithm = SearchAlgorithm::kGreedyHeuristic;
   }
   Advisor advisor(&s->db, &s->catalog, s->options);
-  Result<Recommendation> rec = advisor.Recommend(s->workload);
+  Result<Recommendation> rec = advisor.Recommend(advised);
   if (!rec.ok()) {
     std::cout << rec.status().ToString() << "\n";
     return;
@@ -186,10 +270,128 @@ void CmdAdvise(Session* s, std::istringstream* args) {
               << " — results are degraded (budget truncated the search)\n";
   }
   std::cout << s->recommendation->Report();
+  // Remember what this advice promised, so `drift check` can compare the
+  // captured stream against it later.
+  s->DriftWatcher()->RecordPrediction(s->recommendation->recommended_cost,
+                                      advised.TotalQueryWeight());
   Result<RecommendationAnalysis> analysis = AnalyzeRecommendation(
-      s->db, s->catalog, s->workload, *s->recommendation,
+      s->db, s->catalog, advised, *s->recommendation,
       s->options.cost_model, &s->cache);
   if (analysis.ok()) std::cout << analysis->ToTable();
+}
+
+void CmdCapture(Session* s, std::istringstream* args) {
+  std::string sub;
+  *args >> sub;
+  if (sub == "on") {
+    size_t capacity = 4096;
+    *args >> capacity;
+    if (!s->capture_log) {
+      s->capture_log = std::make_unique<wlm::QueryLog>(capacity);
+    }
+    wlm::SetCaptureLog(s->capture_log.get());
+    std::cout << "capture armed (" << s->capture_log->stats().capacity
+              << " record ring; 'run' and what-if queries are recorded)\n";
+  } else if (sub == "off") {
+    wlm::SetCaptureLog(nullptr);
+    std::cout << "capture disarmed (log retained — see 'log stats')\n";
+  } else {
+    std::cout << "usage: capture on [capacity]|off\n";
+  }
+}
+
+void CmdLog(Session* s, std::istringstream* args) {
+  std::string sub;
+  *args >> sub;
+  if (!s->capture_log) {
+    std::cout << "no capture log — run 'capture on' first\n";
+    return;
+  }
+  if (sub == "stats") {
+    std::cout << s->capture_log->stats().ToString() << "\n";
+  } else if (sub == "save") {
+    std::string path;
+    *args >> path;
+    Status status =
+        wlm::SaveCaptureLogFile(s->capture_log->Snapshot(), path);
+    std::cout << (status.ok() ? "saved to " + path + "\n"
+                              : status.ToString() + "\n");
+  } else if (sub == "load") {
+    std::string path;
+    *args >> path;
+    Result<std::vector<wlm::CaptureRecord>> loaded =
+        wlm::LoadCaptureLogFile(path);
+    if (!loaded.ok()) {
+      std::cout << loaded.status().ToString() << "\n";
+      return;
+    }
+    size_t appended = 0;
+    for (wlm::CaptureRecord& r : *loaded) {
+      if (s->capture_log->Append(std::move(r)).ok()) ++appended;
+    }
+    std::cout << "appended " << appended << " records from " << path
+              << "\n";
+  } else if (sub == "clear") {
+    s->capture_log->Clear();
+    std::cout << "cleared\n";
+  } else {
+    std::cout << "usage: log stats | save <path> | load <path> | clear\n";
+  }
+}
+
+void CmdDrift(Session* s, std::istringstream* args) {
+  std::string sub;
+  *args >> sub;
+  if (sub == "threshold") {
+    double threshold = 0;
+    if (*args >> threshold) {
+      s->DriftWatcher()->set_threshold(threshold);
+    }
+    std::cout << "drift threshold: " << s->DriftWatcher()->threshold()
+              << "\n";
+    return;
+  }
+  if (sub != "check" && sub != "readvise") {
+    std::cout << "usage: drift check | readvise | threshold <t>\n";
+    return;
+  }
+  if (!s->capture_log) {
+    std::cout << "no capture log — run 'capture on' first\n";
+    return;
+  }
+  std::vector<wlm::CaptureRecord> records = s->capture_log->Snapshot();
+  if (records.empty()) {
+    std::cout << "capture log is empty — nothing to check\n";
+    return;
+  }
+  Result<wlm::CompressedWorkload> compressed = wlm::CompressLog(records);
+  if (!compressed.ok()) {
+    std::cout << compressed.status().ToString() << "\n";
+    return;
+  }
+  if (sub == "check") {
+    Result<wlm::DriftReport> report =
+        s->DriftWatcher()->Check(compressed->workload, s->catalog);
+    std::cout << (report.ok() ? report->ToString()
+                              : report.status().ToString())
+              << "\n";
+    return;
+  }
+  // readvise: check, and when stale run the (anytime) advisor over the
+  // compressed capture; the new promise is recorded for the next check.
+  Result<wlm::ReadviseOutcome> outcome = s->DriftWatcher()->MaybeReadvise(
+      compressed->workload, s->catalog, s->options);
+  if (!outcome.ok()) {
+    std::cout << outcome.status().ToString() << "\n";
+    return;
+  }
+  std::cout << outcome->drift.ToString() << "\n";
+  if (outcome->recommendation.has_value()) {
+    s->recommendation = std::move(*outcome->recommendation);
+    std::cout << s->recommendation->Report();
+  } else {
+    std::cout << "configuration still fresh — no re-advising\n";
+  }
 }
 
 void CmdShow(Session* s, std::istringstream* args) {
@@ -353,6 +555,13 @@ int main(int argc, char** argv) {
     std::string arg = argv[i];
     if (arg == "--time-limit-ms" && i + 1 < argc) {
       session.options.time_budget_ms = std::atoll(argv[++i]);
+    } else if (arg == "--capture") {
+      size_t capacity = 4096;
+      if (i + 1 < argc && std::atoll(argv[i + 1]) > 0) {
+        capacity = static_cast<size_t>(std::atoll(argv[++i]));
+      }
+      session.capture_log = std::make_unique<wlm::QueryLog>(capacity);
+      wlm::SetCaptureLog(session.capture_log.get());
     } else if (arg == "--failpoint" && i + 1 < argc) {
       Status status = fp::ArmFromSpec(argv[++i]);
       if (!status.ok()) {
@@ -361,9 +570,15 @@ int main(int argc, char** argv) {
       }
     } else {
       std::cerr << "usage: advisor_shell [--time-limit-ms <N>]"
+                   " [--capture [capacity]]"
                    " [--failpoint <name=mode[,mode...]>]...\n";
       return 1;
     }
+  }
+  if (wlm::CaptureEnabled()) {
+    std::cout << "workload capture armed ("
+              << session.capture_log->stats().capacity
+              << " record ring) — type 'log stats'\n";
   }
   if (session.options.time_budget_ms > 0) {
     std::cout << "advise time budget: " << session.options.time_budget_ms
@@ -460,6 +675,12 @@ int main(int argc, char** argv) {
       }
     } else if (command == "run") {
       CmdRun(&session, std::string(Trim(rest)));
+    } else if (command == "capture") {
+      CmdCapture(&session, &params);
+    } else if (command == "log") {
+      CmdLog(&session, &params);
+    } else if (command == "drift") {
+      CmdDrift(&session, &params);
     } else if (command == "failpoint") {
       CmdFailpoint(std::string(Trim(rest)));
     } else if (command == "stats") {
@@ -471,5 +692,7 @@ int main(int argc, char** argv) {
                 << "' — type 'help'\n";
     }
   }
+  // Disarm before the session (and its capture log) is destroyed.
+  wlm::SetCaptureLog(nullptr);
   return 0;
 }

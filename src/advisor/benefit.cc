@@ -306,8 +306,9 @@ void ConfigurationEvaluator::CollectPlanTasks(
       task.key.push_back(',');
     }
     if (cost_cache_.Lookup(task.key, &plans[qi])) {
-      // Equal fingerprints guarantee equal plans; only the label differs.
+      // Equal fingerprints guarantee equal plans; only the labels differ.
       plans[qi].query_id = queries[qi].id;
+      plans[qi].query_text = queries[qi].text;
       plan_source[qi] = -1;
       continue;
     }
@@ -353,6 +354,7 @@ ConfigurationEvaluator::AssembleFromPlans(
       XIA_RETURN_IF_ERROR(computed.status());
       plans[qi] = *computed;
       plans[qi].query_id = queries[qi].id;
+      plans[qi].query_text = queries[qi].text;
     }
     const QueryPlan& plan = plans[qi];
     eval.per_query_cost.push_back(plan.total_cost);

@@ -4,6 +4,7 @@
 
 #include "common/failpoint.h"
 #include "common/trace_span.h"
+#include "wlm/capture.h"
 
 namespace xia {
 
@@ -59,7 +60,11 @@ Result<QueryPlan> WhatIfSession::ExplainQuery(const Query& query) {
   XIA_SPAN("whatif.explain_query");
   if (!cost_cache_.enabled()) {
     cost_cache_.AddBypasses(1);
-    return optimizer_.Optimize(query, catalog_, &cache_);
+    Result<QueryPlan> plan = optimizer_.Optimize(query, catalog_, &cache_);
+    if (plan.ok() && wlm::CaptureEnabled()) {
+      wlm::MaybeCapture(query, plan->total_cost);
+    }
+    return plan;
   }
   const NormalizedQuery& nq = query.normalized;
   std::string key = QueryFingerprint(nq);
@@ -68,11 +73,14 @@ Result<QueryPlan> WhatIfSession::ExplainQuery(const Query& query) {
   QueryPlan cached;
   if (cost_cache_.Lookup(key, &cached)) {
     cached.query_id = query.id;
+    cached.query_text = query.text;
+    if (wlm::CaptureEnabled()) wlm::MaybeCapture(query, cached.total_cost);
     return cached;
   }
   XIA_ASSIGN_OR_RETURN(QueryPlan plan,
                        optimizer_.Optimize(query, catalog_, &cache_));
   cost_cache_.Insert(key, plan);
+  if (wlm::CaptureEnabled()) wlm::MaybeCapture(query, plan.total_cost);
   return plan;
 }
 

@@ -34,39 +34,8 @@ double CardinalityEstimator::QueryCardinality(
 std::optional<double> CardinalityEstimator::HistogramSelectivity(
     const PathPattern& pattern, CompareOp op,
     const std::string& literal) const {
-  if (op == CompareOp::kExists) return 1.0;
-  const AggValueStats& agg = synopsis_->AggregateValues(pattern);
-  Histogram hist = BuildEquiDepthHistogram(agg, 16);
-  if (hist.buckets.empty()) return std::nullopt;
-  std::optional<double> v = ParseDouble(literal);
-  if (!v.has_value()) return std::nullopt;
-  uint64_t total = 0;
-  for (const HistogramBucket& b : hist.buckets) total += b.count;
-  if (total == 0) return std::nullopt;
-  switch (op) {
-    case CompareOp::kLt:
-    case CompareOp::kLe:
-      // The histogram interpolates continuously, so < and <= coincide.
-      return hist.FractionLE(*v);
-    case CompareOp::kGt:
-    case CompareOp::kGe:
-      return 1.0 - hist.FractionLE(*v);
-    case CompareOp::kEq: {
-      int idx = hist.BucketIndexFor(*v);
-      if (idx < 0) return 0.0;  // Outside every bucket: no matches.
-      const HistogramBucket& b = hist.buckets[static_cast<size_t>(idx)];
-      double distinct =
-          agg.distinct_estimate > 0 ? agg.distinct_estimate : 1.0;
-      // Uniform-within-bucket: the bucket's mass spread over its share of
-      // the distinct values.
-      double per_bucket_distinct =
-          std::max(distinct / static_cast<double>(hist.buckets.size()), 1.0);
-      return static_cast<double>(b.count) /
-             (per_bucket_distinct * static_cast<double>(total));
-    }
-    default:
-      return std::nullopt;
-  }
+  return xia::HistogramSelectivity(synopsis_->AggregateValues(pattern), op,
+                                   literal, /*max_buckets=*/16);
 }
 
 }  // namespace xia

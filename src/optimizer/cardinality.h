@@ -35,9 +35,12 @@ class CardinalityEstimator {
   /// bucket's upper bound is inside the histogram, not past its end.
   /// std::nullopt when the pattern has no numeric sample or the literal
   /// is not numeric; callers fall back to the sample-based
-  /// EstimateSelectivity. Not wired into PredicateSelectivity: live
-  /// costing stays on the sample-based path so existing plans (and every
-  /// recommendation test pinned to them) are unchanged.
+  /// EstimateSelectivity. Delegates to the statistics-layer
+  /// HistogramSelectivity free function — the same math that
+  /// SelectivityFromStats now uses (clamped) inside live
+  /// PredicateSelectivity costing for ordering predicates. This entry
+  /// point stays UNCLAMPED so diagnostics see the exact boundary values
+  /// (FractionLE == 1.0 at the last bucket's hi).
   std::optional<double> HistogramSelectivity(const PathPattern& pattern,
                                              CompareOp op,
                                              const std::string& literal) const;

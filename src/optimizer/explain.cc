@@ -185,8 +185,9 @@ Result<EvaluateIndexesResult> EvaluateIndexesMode(
       const std::string& key = key_it->second;
       QueryPlan cached;
       if (cost_cache->Lookup(key, &cached)) {
-        // Equal key ⇒ bit-identical plan; only the label differs.
+        // Equal key ⇒ bit-identical plan; only the labels differ.
         cached.query_id = queries[qi].id;
+        cached.query_text = queries[qi].text;
         plans[qi] = std::move(cached);
         continue;
       }
@@ -227,7 +228,10 @@ Result<EvaluateIndexesResult> EvaluateIndexesMode(
       const Result<QueryPlan>& computed =
           task_plans[static_cast<size_t>(plan_source[qi])];
       plans[qi] = computed;
-      if (plans[qi].ok()) plans[qi]->query_id = queries[qi].id;
+      if (plans[qi].ok()) {
+        plans[qi]->query_id = queries[qi].id;
+        plans[qi]->query_text = queries[qi].text;
+      }
     }
   } else {
     if (cost_cache != nullptr) cost_cache->AddBypasses(queries.size());

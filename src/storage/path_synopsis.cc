@@ -235,7 +235,9 @@ double PathSynopsis::SelectivityFor(const PathPattern& pattern,
   }
   MemoMissCounter().Increment();
   // AggregateValues takes the same lock internally — do not hold it here.
-  double sel = EstimateSelectivity(AggregateValues(pattern), op, literal);
+  // SelectivityFromStats prefers the equi-depth histogram for ordering
+  // predicates and falls back to Laplace sample counting otherwise.
+  double sel = SelectivityFromStats(AggregateValues(pattern), op, literal);
   std::lock_guard<std::mutex> lock(caches_->mu);
   caches_->sel.emplace(std::move(key), sel);
   return sel;

@@ -90,8 +90,10 @@ class PathSynopsis {
   /// (unordered_map never relocates mapped values).
   const AggValueStats& AggregateValues(const PathPattern& pattern) const;
 
-  /// Memoized EstimateSelectivity over the pattern's aggregated values —
-  /// the optimizer's hottest statistics call.
+  /// Memoized SelectivityFromStats over the pattern's aggregated values —
+  /// the optimizer's hottest statistics call. Ordering predicates
+  /// (kLt/kLe/kGt/kGe) estimate from the equi-depth histogram (clamped to
+  /// the Laplace floor); everything else keeps sample counting.
   double SelectivityFor(const PathPattern& pattern, CompareOp op,
                         const std::string& literal) const;
 

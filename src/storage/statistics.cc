@@ -20,6 +20,57 @@ double EstimateSelectivity(const AggValueStats& stats, CompareOp op,
          (static_cast<double>(stats.sample.size()) + 1.0);
 }
 
+std::optional<double> HistogramSelectivity(const AggValueStats& stats,
+                                           CompareOp op,
+                                           const std::string& literal,
+                                           int max_buckets) {
+  if (op == CompareOp::kExists) return 1.0;
+  Histogram hist = BuildEquiDepthHistogram(stats, max_buckets);
+  if (hist.buckets.empty()) return std::nullopt;
+  std::optional<double> v = ParseDouble(literal);
+  if (!v.has_value()) return std::nullopt;
+  uint64_t total = 0;
+  for (const HistogramBucket& b : hist.buckets) total += b.count;
+  if (total == 0) return std::nullopt;
+  switch (op) {
+    case CompareOp::kLt:
+    case CompareOp::kLe:
+      // The histogram interpolates continuously, so < and <= coincide.
+      return hist.FractionLE(*v);
+    case CompareOp::kGt:
+    case CompareOp::kGe:
+      return 1.0 - hist.FractionLE(*v);
+    case CompareOp::kEq: {
+      int idx = hist.BucketIndexFor(*v);
+      if (idx < 0) return 0.0;  // Outside every bucket: no matches.
+      const HistogramBucket& b = hist.buckets[static_cast<size_t>(idx)];
+      double distinct =
+          stats.distinct_estimate > 0 ? stats.distinct_estimate : 1.0;
+      // Uniform-within-bucket: the bucket's mass spread over its share of
+      // the distinct values.
+      double per_bucket_distinct =
+          std::max(distinct / static_cast<double>(hist.buckets.size()), 1.0);
+      return static_cast<double>(b.count) /
+             (per_bucket_distinct * static_cast<double>(total));
+    }
+    default:
+      return std::nullopt;
+  }
+}
+
+double SelectivityFromStats(const AggValueStats& stats, CompareOp op,
+                            const std::string& literal) {
+  if (op == CompareOp::kLt || op == CompareOp::kLe ||
+      op == CompareOp::kGt || op == CompareOp::kGe) {
+    if (std::optional<double> hist = HistogramSelectivity(stats, op, literal);
+        hist.has_value()) {
+      double floor = 0.5 / (static_cast<double>(stats.sample.size()) + 1.0);
+      return std::clamp(*hist, floor, 1.0 - floor);
+    }
+  }
+  return EstimateSelectivity(stats, op, literal);
+}
+
 Histogram BuildEquiDepthHistogram(const AggValueStats& stats,
                                   int max_buckets) {
   Histogram hist;

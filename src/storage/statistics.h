@@ -2,6 +2,7 @@
 #define XIA_STORAGE_STATISTICS_H_
 
 #include <cstdint>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -75,6 +76,31 @@ struct Histogram {
 /// numeric values in `stats.sample`, scaling counts to stats.value_count.
 Histogram BuildEquiDepthHistogram(const AggValueStats& stats,
                                   int max_buckets);
+
+/// Histogram-based selectivity of `op literal` over the pattern's values,
+/// UNCLAMPED: boundary probes legitimately return exactly 0.0 / 1.0 under
+/// the closed-interval [lo, hi] contract above (probing the last hi gives
+/// FractionLE == 1.0, so kGt past the max is 0.0). nullopt when the
+/// estimate is not computable from a histogram — non-numeric literal, no
+/// numeric sample values, or an op it does not model (kExists, string
+/// comparisons). Callers that feed the cost model should go through
+/// SelectivityFromStats, which clamps.
+std::optional<double> HistogramSelectivity(const AggValueStats& stats,
+                                           CompareOp op,
+                                           const std::string& literal,
+                                           int max_buckets = 16);
+
+/// The live estimator behind PathSynopsis::SelectivityFor: prefers the
+/// equi-depth histogram for ordering predicates (kLt/kLe/kGt/kGe), falling
+/// back to the sample-counting EstimateSelectivity for everything else
+/// (kEq keeps Laplace counting: equality on a reservoir sample is already
+/// frequency-aware, while the histogram's uniform-within-bucket spread is
+/// not). Histogram results are clamped to [floor, 1 - floor] with
+/// floor = 0.5 / (sample.size() + 1) — the same smoothing mass Laplace
+/// grants one phantom row — so the cost model never sees an impossible
+/// zero-cardinality (or free full-scan) boundary estimate.
+double SelectivityFromStats(const AggValueStats& stats, CompareOp op,
+                            const std::string& literal);
 
 }  // namespace xia
 

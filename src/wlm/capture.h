@@ -1,0 +1,148 @@
+#ifndef XIA_WLM_CAPTURE_H_
+#define XIA_WLM_CAPTURE_H_
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/metrics.h"
+#include "common/status.h"
+#include "optimizer/plan.h"
+#include "query/query.h"
+
+namespace xia {
+namespace wlm {
+
+/// xia::wlm — workload management: capture the live query stream, compress
+/// it into an advisable weighted workload, and notice when the current
+/// index configuration has gone stale (see wlm/compress.h, wlm/drift.h).
+///
+/// This header is the capture side: a bounded, sharded ring log fed by a
+/// hook on the query hot path. The hook follows the XIA_SPAN / failpoint
+/// discipline — disarmed (no log installed) it costs exactly one relaxed
+/// atomic load, so it can sit in Executor::Execute and the interactive
+/// what-if path unconditionally (verified by a bench_micro entry).
+
+/// One captured query execution.
+struct CaptureRecord {
+  /// Global capture sequence number (assigned by QueryLog::Append);
+  /// snapshots sort by it, so serial capture order is reproduced exactly.
+  uint64_t seq = 0;
+  /// Wall-clock capture time, microseconds since the Unix epoch.
+  /// Informational only: compression ignores it, so two logs with equal
+  /// {text, cost} multisets compress byte-identically.
+  int64_t timestamp_micros = 0;
+  /// Optimizer-estimated cost of the executed plan.
+  double est_cost = 0;
+  /// Raw query text, re-parseable by ParseQuery (what `advise --from-log`
+  /// feeds back into the advisor).
+  std::string text;
+  /// Template fingerprint (wlm/fingerprint.h): literals stripped.
+  std::string fingerprint;
+};
+
+/// Counts for `log stats` displays; the same numbers feed the obs
+/// counters "wlm.captured" and "wlm.dropped".
+struct QueryLogStats {
+  uint64_t captured = 0;  // Appends accepted (lifetime, this instance).
+  uint64_t dropped = 0;   // Overwritten by ring wrap + failed appends.
+  uint64_t size = 0;      // Records currently held.
+  uint64_t capacity = 0;  // Maximum records held.
+
+  std::string ToString() const;
+};
+
+/// Bounded sharded ring log of captured queries.
+///
+/// Appends take one shard mutex (shard picked by a per-thread stripe, so
+/// concurrent captors usually touch different shards and different cache
+/// lines). When a shard ring is full the oldest record in that shard is
+/// overwritten and counted as dropped — capture is lossy by design; the
+/// compressor's frequency weights come from what survived.
+///
+/// Failure injection: Append hits the "wlm.capture.append" failpoint
+/// (arg = sequence number). A tripped append drops the record and counts
+/// it — it never propagates into the query that was being captured.
+class QueryLog {
+ public:
+  static constexpr size_t kShards = 8;
+
+  /// `capacity` is the total record bound across shards (rounded up to a
+  /// multiple of kShards, minimum one record per shard).
+  explicit QueryLog(size_t capacity = 4096);
+
+  QueryLog(const QueryLog&) = delete;
+  QueryLog& operator=(const QueryLog&) = delete;
+
+  /// Appends one record (seq is assigned here; any caller-set value is
+  /// overwritten). Returns the injected error when the capture failpoint
+  /// trips — callers on the query path must treat that as "record lost",
+  /// never as a query failure (MaybeCapture does exactly that).
+  Status Append(CaptureRecord record);
+
+  /// All live records, sorted by sequence number (deterministic for any
+  /// fixed log contents regardless of shard layout).
+  std::vector<CaptureRecord> Snapshot() const;
+
+  /// Drops every record. Lifetime captured/dropped counts are retained.
+  void Clear();
+
+  QueryLogStats stats() const;
+
+ private:
+  struct Shard {
+    mutable std::mutex mu;
+    std::vector<CaptureRecord> ring;  // Capacity-sized once warm.
+    size_t next = 0;                  // Overwrite cursor once full.
+  };
+
+  /// The calling thread's shard index (stable per thread).
+  static size_t ShardIndex();
+
+  size_t per_shard_capacity_;
+  std::array<Shard, kShards> shards_;
+  std::atomic<uint64_t> seq_{0};
+  // xia::obs counters: lifetime accepted/lost records across all
+  // QueryLog instances (registry-attached; retained over destruction).
+  obs::Counter captured_{"wlm.captured"};
+  obs::Counter dropped_{"wlm.dropped"};
+};
+
+/// Installs `log` as the process-wide capture sink (nullptr disarms).
+/// The caller owns the log and must keep it alive while installed —
+/// install order: construct, install; disarm before destroying.
+void SetCaptureLog(QueryLog* log);
+
+/// The installed sink, or nullptr. One relaxed atomic load.
+QueryLog* CaptureLog();
+
+/// True when capture is armed. One relaxed atomic load — this is the
+/// whole disarmed cost of the hooks below.
+inline bool CaptureEnabled();
+
+/// Capture hook for call sites holding an optimized plan (the executor):
+/// records the plan's originating query text, its template fingerprint,
+/// and its estimated total cost. No-op (one relaxed load) when disarmed;
+/// a full record append when armed. Never fails the caller: a tripped
+/// capture failpoint or a missing query text only drops the record.
+void MaybeCapture(const QueryPlan& plan);
+
+/// Capture hook for call sites holding the query itself plus an estimated
+/// cost (the interactive what-if path). Same no-fail contract.
+void MaybeCapture(const Query& query, double est_cost);
+
+namespace detail {
+extern std::atomic<QueryLog*> g_capture_log;
+}  // namespace detail
+
+inline bool CaptureEnabled() {
+  return detail::g_capture_log.load(std::memory_order_relaxed) != nullptr;
+}
+
+}  // namespace wlm
+}  // namespace xia
+
+#endif  // XIA_WLM_CAPTURE_H_

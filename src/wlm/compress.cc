@@ -1,0 +1,131 @@
+#include "wlm/compress.h"
+
+#include <algorithm>
+#include <map>
+
+#include "common/string_util.h"
+
+namespace xia {
+namespace wlm {
+
+std::string TemplateCluster::ToString() const {
+  return std::string(kept ? "kept" : "dropped") + " x" +
+         std::to_string(frequency) + " w=" + FormatDouble(weight) + " " +
+         representative_text;
+}
+
+std::string CompressionReport::ToString() const {
+  std::string out = "compressed " + std::to_string(input_records) +
+                    " records into " + std::to_string(templates_kept) +
+                    "/" + std::to_string(templates_total) +
+                    " templates, coverage " + FormatDouble(coverage * 100) +
+                    "%\n";
+  for (const TemplateCluster& c : clusters) {
+    out += "  " + c.ToString() + "\n";
+  }
+  return out;
+}
+
+Result<CompressedWorkload> CompressLog(
+    const std::vector<CaptureRecord>& records,
+    const CompressionOptions& options) {
+  if (options.min_coverage < 0 || options.min_coverage > 1.0) {
+    return Status::InvalidArgument(
+        "compression min_coverage must be in [0, 1]");
+  }
+  // std::map keys the clusters by fingerprint so aggregation order is
+  // content-deterministic regardless of record order.
+  struct Agg {
+    std::string representative;
+    uint64_t frequency = 0;
+    double total_cost = 0;
+  };
+  std::map<std::string, Agg> by_template;
+  for (const CaptureRecord& r : records) {
+    Agg& agg = by_template[r.fingerprint];
+    if (agg.frequency == 0 || r.text < agg.representative) {
+      agg.representative = r.text;
+    }
+    ++agg.frequency;
+    agg.total_cost += r.est_cost;
+  }
+
+  CompressionReport report;
+  report.input_records = records.size();
+  report.templates_total = by_template.size();
+  for (const auto& [fingerprint, agg] : by_template) {
+    TemplateCluster cluster;
+    cluster.fingerprint = fingerprint;
+    cluster.representative_text = agg.representative;
+    cluster.frequency = agg.frequency;
+    cluster.mean_cost =
+        agg.total_cost / static_cast<double>(agg.frequency);
+    // Weight = frequency × mean cost = the cluster's total estimated
+    // cost; costless captures fall back to plain frequency.
+    cluster.weight = agg.total_cost > 0
+                         ? agg.total_cost
+                         : static_cast<double>(agg.frequency);
+    report.weight_total += cluster.weight;
+    report.clusters.push_back(std::move(cluster));
+  }
+  std::sort(report.clusters.begin(), report.clusters.end(),
+            [](const TemplateCluster& a, const TemplateCluster& b) {
+              if (a.weight != b.weight) return a.weight > b.weight;
+              return a.fingerprint < b.fingerprint;
+            });
+
+  // Top-k under a coverage floor: take templates in weight order while
+  // under the count cap, and keep going past the cap until the kept
+  // weight reaches min_coverage of the total.
+  CompressedWorkload out;
+  size_t kept = 0;
+  for (TemplateCluster& cluster : report.clusters) {
+    bool under_cap =
+        options.max_templates == 0 || kept < options.max_templates;
+    bool coverage_met =
+        report.weight_total <= 0 ||
+        report.weight_kept >=
+            options.min_coverage * report.weight_total - 1e-12;
+    if (!under_cap && coverage_met) break;
+    cluster.kept = true;
+    ++kept;
+    report.weight_kept += cluster.weight;
+    Status added = out.workload.AddQueryText(cluster.representative_text,
+                                             cluster.weight,
+                                             "T" + std::to_string(kept));
+    if (!added.ok()) {
+      return Status::ParseError("compressed template T" +
+                                std::to_string(kept) + ": " +
+                                added.message());
+    }
+  }
+  report.templates_kept = kept;
+  report.coverage = report.weight_total > 0
+                        ? report.weight_kept / report.weight_total
+                        : 1.0;
+  // Kept-first rendering: stable partition preserves the weight order
+  // inside each group.
+  std::stable_partition(report.clusters.begin(), report.clusters.end(),
+                        [](const TemplateCluster& c) { return c.kept; });
+  out.report = std::move(report);
+  return out;
+}
+
+Result<Workload> WorkloadFromLog(
+    const std::vector<CaptureRecord>& records) {
+  Workload workload;
+  size_t n = 0;
+  for (const CaptureRecord& r : records) {
+    ++n;
+    Status added =
+        workload.AddQueryText(r.text, 1.0, "R" + std::to_string(n));
+    if (!added.ok()) {
+      return Status::ParseError("log record R" + std::to_string(n) + ": " +
+                                added.message());
+    }
+  }
+  return workload;
+}
+
+}  // namespace wlm
+}  // namespace xia

@@ -1,0 +1,100 @@
+#ifndef XIA_WLM_COMPRESS_H_
+#define XIA_WLM_COMPRESS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "wlm/capture.h"
+#include "workload/workload.h"
+
+namespace xia {
+namespace wlm {
+
+/// Workload compression (CoPhy-style): fold a captured query log into a
+/// small weighted workload the advisor can chew on.
+///
+/// Clustering is by template fingerprint — queries differing only in
+/// literals land in one cluster, because the advisor's candidate set and
+/// index matching depend on patterns and operators, never on literal
+/// values. Each kept cluster contributes ONE representative query whose
+/// weight is frequency × mean estimated cost (= the cluster's total
+/// estimated cost): a cheap query executed a thousand times and an
+/// expensive query executed once both surface with the workload share the
+/// optimizer actually attributes to them.
+///
+/// Everything here is deterministic in the log *contents* (the multiset
+/// of {text, cost} pairs): cluster weights are order-free aggregates, the
+/// representative is the lexicographically smallest text in the cluster,
+/// and output order is weight-descending with fingerprint tie-break — so
+/// the same records always compress to a byte-identical workload, no
+/// matter how capture threads interleaved.
+
+struct CompressionOptions {
+  /// Keep at most this many templates (0 = unlimited).
+  size_t max_templates = 0;
+  /// Coverage floor in [0, 1]: keep adding templates — past
+  /// max_templates if necessary — until the kept weight fraction reaches
+  /// it. Dropping below the floor would misrepresent the stream; 0 lets
+  /// max_templates alone govern. Defaults keep every template.
+  double min_coverage = 0.0;
+};
+
+/// One template cluster of the compressed workload.
+struct TemplateCluster {
+  std::string fingerprint;
+  std::string representative_text;  // Smallest text in the cluster.
+  uint64_t frequency = 0;           // Captured executions.
+  double mean_cost = 0;             // Mean estimated cost per execution.
+  double weight = 0;                // frequency × mean_cost (see header).
+  bool kept = false;
+
+  std::string ToString() const;
+};
+
+/// What compression did, including exactly what it dropped — a compressed
+/// advising run should never silently pretend it saw the whole stream.
+struct CompressionReport {
+  size_t input_records = 0;
+  size_t templates_total = 0;
+  size_t templates_kept = 0;
+  double weight_total = 0;
+  double weight_kept = 0;
+  /// weight_kept / weight_total (1.0 when nothing was dropped or the
+  /// total weight is zero).
+  double coverage = 1.0;
+  /// Every cluster, kept first (by descending weight, fingerprint
+  /// tie-break), then dropped in the same order.
+  std::vector<TemplateCluster> clusters;
+
+  std::string ToString() const;
+};
+
+/// Compression output: the advisable workload plus the audit report.
+struct CompressedWorkload {
+  Workload workload;
+  CompressionReport report;
+};
+
+/// Compresses captured records into a weighted workload. Representative
+/// texts are re-parsed through Workload::AddQueryText; a record whose
+/// text no longer parses is a ParseError (capture only accepts parsed
+/// queries, so this indicates a corrupt or hand-edited log). Query ids
+/// are "T1", "T2", ... in output order. When every cost in a cluster is
+/// zero (capture without costing) the cluster's weight falls back to its
+/// frequency so the workload stays advisable.
+Result<CompressedWorkload> CompressLog(
+    const std::vector<CaptureRecord>& records,
+    const CompressionOptions& options = CompressionOptions());
+
+/// The uncompressed counterpart: one weight-1 query per record ("R1",
+/// "R2", ... in sequence order) — what `advise --from-log` without
+/// --compress feeds the advisor, and the raw baseline the compression
+/// tests and benches compare against.
+Result<Workload> WorkloadFromLog(const std::vector<CaptureRecord>& records);
+
+}  // namespace wlm
+}  // namespace xia
+
+#endif  // XIA_WLM_COMPRESS_H_

@@ -1,0 +1,37 @@
+#include "wlm/fingerprint.h"
+
+namespace xia {
+namespace wlm {
+
+std::string TemplateFingerprint(const NormalizedQuery& query) {
+  // '\x1f' (unit separator) delimits components so no path or collection
+  // string can collide two distinct templates into one fingerprint.
+  std::string out = query.collection;
+  out += '\x1f';
+  out += query.for_path.ToString();
+  for (const QueryPredicate& p : query.predicates) {
+    out += '\x1f';
+    out += p.pattern.ToString();
+    out += ' ';
+    out += CompareOpName(p.op);
+    if (p.op != CompareOp::kExists) out += " ?";
+  }
+  for (const PathPattern& o : query.order_by) {
+    out += '\x1f';
+    out += "order:";
+    out += o.ToString();
+  }
+  for (const PathPattern& r : query.returns) {
+    out += '\x1f';
+    out += "return:";
+    out += r.ToString();
+  }
+  return out;
+}
+
+std::string TemplateFingerprint(const Query& query) {
+  return TemplateFingerprint(query.normalized);
+}
+
+}  // namespace wlm
+}  // namespace xia

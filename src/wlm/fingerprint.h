@@ -1,0 +1,32 @@
+#ifndef XIA_WLM_FINGERPRINT_H_
+#define XIA_WLM_FINGERPRINT_H_
+
+#include <string>
+
+#include "query/query.h"
+
+namespace xia {
+namespace wlm {
+
+/// Template fingerprint of a query: the normalized logical form with every
+/// comparison literal stripped (replaced by `?`). Two queries share a
+/// fingerprint exactly when they are the same parameterized statement —
+/// same collection, driving path, predicate patterns + operators, ORDER BY
+/// and RETURN paths — differing only in literal values. This is the
+/// clustering key of workload compression (CoPhy-style): the advisor's
+/// candidate set depends on patterns and operators, never on literals, so
+/// queries in one cluster are interchangeable for index recommendation.
+///
+/// The fingerprint is computed from the *parsed* normal form, not the raw
+/// text, so whitespace, literal spelling ("5" vs "5.0"), and surface
+/// language (XQuery vs SQL/XML reaching the same normal form) do not split
+/// clusters.
+std::string TemplateFingerprint(const NormalizedQuery& query);
+
+/// Convenience overload over a workload query.
+std::string TemplateFingerprint(const Query& query);
+
+}  // namespace wlm
+}  // namespace xia
+
+#endif  // XIA_WLM_FINGERPRINT_H_

@@ -1,0 +1,153 @@
+#include "wlm/wlm_io.h"
+
+#include <cctype>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "common/failpoint.h"
+#include "common/string_util.h"
+#include "query/parser.h"
+#include "wlm/fingerprint.h"
+
+namespace xia {
+namespace wlm {
+
+namespace {
+
+/// Round-trip double formatting (FormatDouble truncates; costs must
+/// reload exactly so a save/load cycle compresses byte-identically).
+std::string FormatExact(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return buf;
+}
+
+/// Splits off the first whitespace-delimited token of `line` (the same
+/// tokenizer shape as workload_io).
+std::string_view TakeToken(std::string_view* line) {
+  *line = Trim(*line);
+  size_t end = 0;
+  while (end < line->size() &&
+         !std::isspace(static_cast<unsigned char>((*line)[end]))) {
+    ++end;
+  }
+  std::string_view token = line->substr(0, end);
+  *line = Trim(line->substr(end));
+  return token;
+}
+
+std::optional<uint64_t> ParseU64(std::string_view s) {
+  if (s.empty()) return std::nullopt;
+  uint64_t value = 0;
+  for (char c : s) {
+    if (c < '0' || c > '9') return std::nullopt;
+    uint64_t digit = static_cast<uint64_t>(c - '0');
+    if (value > (UINT64_MAX - digit) / 10) return std::nullopt;
+    value = value * 10 + digit;
+  }
+  return value;
+}
+
+}  // namespace
+
+std::string SerializeCaptureLog(
+    const std::vector<CaptureRecord>& records) {
+  std::string out =
+      "# xia capture log: " + std::to_string(records.size()) + " records\n";
+  for (const CaptureRecord& r : records) {
+    out += "rec " + std::to_string(r.seq) + " " +
+           std::to_string(r.timestamp_micros) + " " +
+           FormatExact(r.est_cost) + " " + r.text + "\n";
+  }
+  return out;
+}
+
+Result<std::vector<CaptureRecord>> ParseCaptureLog(std::string_view text) {
+  std::vector<CaptureRecord> records;
+  size_t line_no = 0;
+  for (const std::string& raw : Split(text, '\n')) {
+    ++line_no;
+    std::string_view line = Trim(raw);
+    if (line.empty() || line[0] == '#') continue;
+    auto error = [&](const std::string& what) {
+      return Status::ParseError("capture log line " +
+                                std::to_string(line_no) + ": " + what);
+    };
+    std::string_view directive = TakeToken(&line);
+    if (directive != "rec") {
+      return error("unknown directive '" + std::string(directive) + "'");
+    }
+    std::optional<uint64_t> seq = ParseU64(TakeToken(&line));
+    std::string ts_text(TakeToken(&line));
+    std::optional<double> timestamp = ParseDouble(ts_text);
+    std::optional<double> cost = ParseDouble(std::string(TakeToken(&line)));
+    if (!seq.has_value() || !timestamp.has_value() || !cost.has_value()) {
+      return error("expected 'rec <seq> <timestamp> <cost> <text>'");
+    }
+    if (line.empty()) return error("missing query text");
+    CaptureRecord record;
+    record.seq = *seq;
+    record.timestamp_micros = static_cast<int64_t>(*timestamp);
+    record.est_cost = *cost;
+    record.text = std::string(line);
+    // Fingerprints are recomputed from the canonical parse, never
+    // trusted from the file.
+    Result<Query> parsed = ParseQuery(record.text);
+    if (!parsed.ok()) {
+      return error("unparseable query text: " + parsed.status().message());
+    }
+    record.fingerprint = TemplateFingerprint(*parsed);
+    records.push_back(std::move(record));
+  }
+  return records;
+}
+
+Result<std::vector<CaptureRecord>> LoadCaptureLogFile(
+    const std::string& path) {
+  XIA_FAILPOINT("wlm.log_io.read");
+  std::ifstream in(path);
+  if (!in) return Status::NotFound("cannot open capture log " + path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return ParseCaptureLog(buffer.str());
+}
+
+Status SaveCaptureLogFile(const std::vector<CaptureRecord>& records,
+                          const std::string& path) {
+  namespace fs = std::filesystem;
+  // Write-temp-then-rename (the workload_io / collection_io pattern): an
+  // injected or real mid-write failure can only tear the temp file.
+  const std::string payload = SerializeCaptureLog(records);
+  const fs::path final_path(path);
+  fs::path tmp_path = final_path;
+  tmp_path += ".tmp";
+  std::error_code ec;
+  Status written = [&]() -> Status {
+    std::ofstream out(tmp_path);
+    if (!out) return Status::Internal("cannot write capture log " + path);
+    std::streamsize half = static_cast<std::streamsize>(payload.size() / 2);
+    out.write(payload.data(), half);
+    XIA_FAILPOINT("wlm.log_io.write");
+    out.write(payload.data() + half,
+              static_cast<std::streamsize>(payload.size()) - half);
+    out.flush();
+    return out.good() ? Status::Ok()
+                      : Status::Internal("write failed for " + path);
+  }();
+  if (!written.ok()) {
+    fs::remove(tmp_path, ec);
+    return written;
+  }
+  fs::rename(tmp_path, final_path, ec);
+  if (ec) {
+    fs::remove(tmp_path, ec);
+    return Status::Internal("cannot finalize capture log " + path + ": " +
+                            ec.message());
+  }
+  return Status::Ok();
+}
+
+}  // namespace wlm
+}  // namespace xia

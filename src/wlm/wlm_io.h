@@ -1,0 +1,45 @@
+#ifndef XIA_WLM_WLM_IO_H_
+#define XIA_WLM_WLM_IO_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+#include "wlm/capture.h"
+
+namespace xia {
+namespace wlm {
+
+/// Line-oriented capture-log file format — the persistence side of the
+/// ring log, so a capture window survives restarts and can be advised
+/// offline:
+///
+///   # comment
+///   rec <seq> <timestamp_micros> <est_cost> <query text to end of line>
+///
+/// Fingerprints are NOT serialized: the loader re-parses each record's
+/// text and recomputes them, so a log written by an older fingerprint
+/// scheme can never feed stale cluster keys into compression. Costs are
+/// written with round-trip precision (%.17g).
+std::string SerializeCaptureLog(const std::vector<CaptureRecord>& records);
+
+/// Parses the file format; clean errors on malformed lines, records whose
+/// text no longer parses as a query, or non-numeric fields.
+Result<std::vector<CaptureRecord>> ParseCaptureLog(std::string_view text);
+
+/// Reads and parses a capture-log file. Failpoint: "wlm.log_io.read".
+Result<std::vector<CaptureRecord>> LoadCaptureLogFile(
+    const std::string& path);
+
+/// Writes SerializeCaptureLog(records) to `path` via the temp-file+rename
+/// pattern: a mid-write failure (injected via "wlm.log_io.write" or real)
+/// can only tear the temp file — the destination either keeps its
+/// previous content or appears whole.
+Status SaveCaptureLogFile(const std::vector<CaptureRecord>& records,
+                          const std::string& path);
+
+}  // namespace wlm
+}  // namespace xia
+
+#endif  // XIA_WLM_WLM_IO_H_

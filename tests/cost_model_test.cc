@@ -226,6 +226,71 @@ TEST_F(HistogramSelectivityTest, NulloptWhenNotEstimable) {
   EXPECT_DOUBLE_EQ(*exists, 1.0);
 }
 
+// Regression tests for the LIVE wiring: PredicateSelectivity (through
+// PathSynopsis::SelectivityFor and SelectivityFromStats) now estimates
+// ordering predicates from the histogram, clamped to the Laplace floor.
+TEST_F(HistogramSelectivityTest, LivePathUsesHistogramForOrderingOps) {
+  const PathSynopsis* syn = db_.synopsis("c");
+  CardinalityEstimator est(syn);
+  const AggValueStats& agg = syn->AggregateValues(P("/root/v"));
+
+  QueryPredicate pred;
+  pred.pattern = P("/root/v");
+  pred.op = CompareOp::kLe;
+  pred.literal = "25";
+  auto hist = est.HistogramSelectivity(P("/root/v"), CompareOp::kLe, "25");
+  ASSERT_TRUE(hist.has_value());
+  // Mid-range probe: no clamping applies, so the live estimate IS the
+  // histogram estimate (not the Laplace sample count).
+  EXPECT_DOUBLE_EQ(est.PredicateSelectivity(pred), *hist);
+  EXPECT_DOUBLE_EQ(SelectivityFromStats(agg, CompareOp::kLe, "25"), *hist);
+}
+
+TEST_F(HistogramSelectivityTest, LivePathClampsBoundariesToLaplaceFloor) {
+  const PathSynopsis* syn = db_.synopsis("c");
+  CardinalityEstimator est(syn);
+  const AggValueStats& agg = syn->AggregateValues(P("/root/v"));
+  const double floor =
+      0.5 / (static_cast<double>(agg.sample.size()) + 1.0);
+
+  // The unclamped boundary values are exactly 0.0 / 1.0 (the closed-
+  // interval contract above); the live path must keep the cost model
+  // strictly inside (0, 1).
+  QueryPredicate gt_max;
+  gt_max.pattern = P("/root/v");
+  gt_max.op = CompareOp::kGt;
+  gt_max.literal = "100";
+  EXPECT_DOUBLE_EQ(est.PredicateSelectivity(gt_max), floor);
+
+  QueryPredicate le_max = gt_max;
+  le_max.op = CompareOp::kLe;
+  EXPECT_DOUBLE_EQ(est.PredicateSelectivity(le_max), 1.0 - floor);
+
+  EXPECT_DOUBLE_EQ(SelectivityFromStats(agg, CompareOp::kLt, "0"), floor);
+  EXPECT_DOUBLE_EQ(SelectivityFromStats(agg, CompareOp::kGe, "0"),
+                   1.0 - floor);
+}
+
+TEST_F(HistogramSelectivityTest, LivePathFallsBackWhenHistogramCannotHelp) {
+  const PathSynopsis* syn = db_.synopsis("c");
+  const AggValueStats& num = syn->AggregateValues(P("/root/v"));
+  const AggValueStats& str = syn->AggregateValues(P("/root/s"));
+
+  // Equality keeps Laplace sample counting even though a histogram
+  // exists: the reservoir sample is frequency-aware, the uniform-within-
+  // bucket spread is not.
+  EXPECT_DOUBLE_EQ(SelectivityFromStats(num, CompareOp::kEq, "50"),
+                   EstimateSelectivity(num, CompareOp::kEq, "50"));
+  // Non-numeric literal and non-numeric value population: both fall back.
+  EXPECT_DOUBLE_EQ(SelectivityFromStats(num, CompareOp::kLe, "abc"),
+                   EstimateSelectivity(num, CompareOp::kLe, "abc"));
+  EXPECT_DOUBLE_EQ(SelectivityFromStats(str, CompareOp::kLt, "5"),
+                   EstimateSelectivity(str, CompareOp::kLt, "5"));
+  // No statistics at all: the 0.1 default guess survives the wiring.
+  AggValueStats empty;
+  EXPECT_DOUBLE_EQ(SelectivityFromStats(empty, CompareOp::kGt, "5"), 0.1);
+}
+
 // ------------------------------------------------------------ TypedValue.
 
 TEST(TypedValueTest, DoubleOrderingIsNumeric) {
