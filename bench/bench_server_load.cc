@@ -1,0 +1,281 @@
+// Multi-connection load generator for xia_server, as a google-benchmark
+// harness. Each benchmark thread is one client connection driving the
+// framed wire protocol; together they report throughput
+// (items_per_second), p50/p99 request latency, and BUSY/error counts —
+// the numbers CI's server-smoke job records and the regression gate can
+// track.
+//
+// Two targets:
+//   - default: an in-process Server on an ephemeral loopback port,
+//     preloaded with small XMark + TPoX collections (self-contained, the
+//     mode the regression baseline uses);
+//   - --socket=PATH / --port=N: an EXTERNAL xia_server (CI's smoke job
+//     starts one on a unix socket and points this harness at it).
+//
+// Benchmarks:
+//   BM_Ping/threads:N          protocol + dispatch floor (no query work)
+//   BM_RunXMarkMix/threads:N   the XMark query mix via `run`
+//   BM_RunTpoxMix/threads:N    the TPoX query mix via `run`
+//   BM_RunMixedWorkload/...    both mixes interleaved per connection
+//   BM_AdviseOverload/...      budgeted advises racing the admission
+//                              bound: OK vs fast-BUSY split
+//
+// Flags (stripped before benchmark::Initialize, which rejects unknown
+// arguments): --socket=PATH, --port=N, --stats-json=PATH (final obs
+// registry snapshot, as in bench_main.h).
+
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/logging.h"
+#include "common/metrics.h"
+#include "server/client.h"
+#include "server/protocol.h"
+#include "server/server.h"
+#include "server/session.h"
+#include "workload/tpox_queries.h"
+#include "workload/xmark_queries.h"
+#include "xmldata/tpox_gen.h"
+#include "xmldata/xmark_gen.h"
+
+namespace xia {
+namespace server {
+namespace {
+
+// External target, set by --socket= / --port=; empty + 0 means
+// in-process.
+std::string g_external_socket;   // NOLINT(runtime/string)
+int g_external_port = 0;
+
+/// The in-process target: one SharedState + Server, built on first use
+/// and leaked (benchmark registration outlives scoped statics). Sized so
+/// the load generator itself is the bottleneck: plenty of workers and
+/// connection slots, the default advise admission bound.
+struct InProcessServer {
+  SharedState shared;
+  std::unique_ptr<Server> server;
+
+  InProcessServer() {
+    XIA_CHECK(
+        PopulateXMark(&shared.db, "xmark", 4, XMarkParams(), 42).ok());
+    XIA_CHECK(PopulateTpox(&shared.db, 20, 40, 10, TpoxParams(), 11).ok());
+    ServerOptions options;
+    options.tcp_port = 0;  // Ephemeral.
+    options.workers = 16;
+    options.max_connections = 64;
+    options.max_inflight_advises = 2;
+    server = std::make_unique<Server>(&shared, options);
+    XIA_CHECK(server->Start().ok());
+  }
+};
+
+InProcessServer* SharedInProcess() {
+  static InProcessServer* instance = new InProcessServer();
+  return instance;
+}
+
+BlockingClient ConnectTarget() {
+  Result<BlockingClient> client =
+      !g_external_socket.empty()
+          ? BlockingClient::ConnectUnix(g_external_socket)
+          : BlockingClient::ConnectTcp(g_external_port != 0
+                                           ? g_external_port
+                                           : SharedInProcess()->server->port());
+  XIA_CHECK(client.ok());
+  return std::move(*client);
+}
+
+/// Query texts of the built-in workloads (collection names match what
+/// both the in-process fixture and CI's --preload produce).
+std::vector<std::string> MixTexts(bool xmark, bool tpox) {
+  std::vector<std::string> texts;
+  if (xmark) {
+    Workload workload = MakeXMarkWorkload("xmark");
+    for (const Query& q : workload.queries()) texts.push_back(q.text);
+  }
+  if (tpox) {
+    Workload workload = MakeTpoxWorkload();
+    for (const Query& q : workload.queries()) texts.push_back(q.text);
+  }
+  return texts;
+}
+
+/// Per-thread latency recorder -> p50/p99 counters (averaged across the
+/// connection threads) + throughput.
+class LatencyTrack {
+ public:
+  void Record(double micros) { latencies_.push_back(micros); }
+
+  void Report(benchmark::State& state) {
+    state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+    if (latencies_.empty()) return;
+    std::sort(latencies_.begin(), latencies_.end());
+    state.counters["p50_us"] =
+        benchmark::Counter(Percentile(0.50), benchmark::Counter::kAvgThreads);
+    state.counters["p99_us"] =
+        benchmark::Counter(Percentile(0.99), benchmark::Counter::kAvgThreads);
+  }
+
+ private:
+  double Percentile(double p) const {
+    size_t idx = static_cast<size_t>(p * static_cast<double>(
+                                             latencies_.size() - 1));
+    return latencies_[idx];
+  }
+
+  std::vector<double> latencies_;
+};
+
+double MicrosSince(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double, std::micro>(
+             std::chrono::steady_clock::now() - start)
+      .count();
+}
+
+void DriveMix(benchmark::State& state, const std::vector<std::string>& texts) {
+  BlockingClient client = ConnectTarget();
+  LatencyTrack track;
+  int64_t errors = 0;
+  size_t i = static_cast<size_t>(state.thread_index());  // Offset threads.
+  for (auto _ : state) {
+    const std::string& text = texts[i++ % texts.size()];
+    auto start = std::chrono::steady_clock::now();
+    Result<std::string> reply = client.Call("run " + text);
+    track.Record(MicrosSince(start));
+    if (!reply.ok() ||
+        ClassifyResponse(*reply) != ResponseKind::kOk) {
+      ++errors;
+    }
+  }
+  track.Report(state);
+  state.counters["errors"] = benchmark::Counter(
+      static_cast<double>(errors));
+}
+
+void BM_Ping(benchmark::State& state) {
+  BlockingClient client = ConnectTarget();
+  LatencyTrack track;
+  int64_t errors = 0;
+  for (auto _ : state) {
+    auto start = std::chrono::steady_clock::now();
+    Result<std::string> reply = client.Call("ping");
+    track.Record(MicrosSince(start));
+    if (!reply.ok()) ++errors;
+  }
+  track.Report(state);
+  state.counters["errors"] =
+      benchmark::Counter(static_cast<double>(errors));
+}
+BENCHMARK(BM_Ping)->Threads(1)->Threads(4)->Threads(8)->UseRealTime();
+
+void BM_RunXMarkMix(benchmark::State& state) {
+  static const std::vector<std::string>& texts =
+      *new std::vector<std::string>(MixTexts(true, false));
+  DriveMix(state, texts);
+}
+BENCHMARK(BM_RunXMarkMix)->Threads(1)->Threads(4)->Threads(8)->UseRealTime();
+
+void BM_RunTpoxMix(benchmark::State& state) {
+  static const std::vector<std::string>& texts =
+      *new std::vector<std::string>(MixTexts(false, true));
+  DriveMix(state, texts);
+}
+BENCHMARK(BM_RunTpoxMix)->Threads(1)->Threads(4)->UseRealTime();
+
+void BM_RunMixedWorkload(benchmark::State& state) {
+  static const std::vector<std::string>& texts =
+      *new std::vector<std::string>(MixTexts(true, true));
+  DriveMix(state, texts);
+}
+BENCHMARK(BM_RunMixedWorkload)->Threads(4)->Threads(8)->UseRealTime();
+
+/// Budgeted advises racing the admission bound: with more connections
+/// than max_inflight_advises, a slice of requests must get the fast BUSY
+/// — never a queue-behind-the-advisor stall. The OK/BUSY split is
+/// reported; BUSY latency should sit orders of magnitude under OK
+/// latency (that is the whole point of admission control).
+void BM_AdviseOverload(benchmark::State& state) {
+  BlockingClient client = ConnectTarget();
+  XIA_CHECK(client.Call("workload xmark").ok());
+  LatencyTrack track;
+  int64_t ok = 0;
+  int64_t busy = 0;
+  int64_t errors = 0;
+  for (auto _ : state) {
+    auto start = std::chrono::steady_clock::now();
+    Result<std::string> reply = client.Call("advise --budget-ms 20 48");
+    track.Record(MicrosSince(start));
+    if (!reply.ok()) {
+      ++errors;
+      continue;
+    }
+    switch (ClassifyResponse(*reply)) {
+      case ResponseKind::kOk:
+        ++ok;
+        break;
+      case ResponseKind::kBusy:
+        ++busy;
+        break;
+      default:
+        ++errors;
+    }
+  }
+  track.Report(state);
+  state.counters["ok"] = benchmark::Counter(static_cast<double>(ok));
+  state.counters["busy"] = benchmark::Counter(static_cast<double>(busy));
+  state.counters["errors"] = benchmark::Counter(static_cast<double>(errors));
+}
+BENCHMARK(BM_AdviseOverload)->Threads(4)->UseRealTime();
+
+}  // namespace
+}  // namespace server
+}  // namespace xia
+
+// Custom main: strip --socket= / --port= / --stats-json= before handing
+// the rest to google-benchmark (which rejects unknown flags).
+int main(int argc, char** argv) {
+  std::string stats_json_path;
+  int kept = 1;
+  for (int i = 1; i < argc; ++i) {
+    constexpr char kSocket[] = "--socket=";
+    constexpr char kPort[] = "--port=";
+    constexpr char kStatsJson[] = "--stats-json=";
+    if (std::strncmp(argv[i], kSocket, sizeof(kSocket) - 1) == 0) {
+      xia::server::g_external_socket = argv[i] + sizeof(kSocket) - 1;
+      continue;
+    }
+    if (std::strncmp(argv[i], kPort, sizeof(kPort) - 1) == 0) {
+      xia::server::g_external_port = std::atoi(argv[i] + sizeof(kPort) - 1);
+      continue;
+    }
+    if (std::strncmp(argv[i], kStatsJson, sizeof(kStatsJson) - 1) == 0) {
+      stats_json_path = argv[i] + sizeof(kStatsJson) - 1;
+      continue;
+    }
+    argv[kept++] = argv[i];
+  }
+  argc = kept;
+
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+
+  if (!stats_json_path.empty()) {
+    if (!xia::obs::Registry().WriteJsonFile(stats_json_path)) {
+      std::fprintf(stderr, "failed to write stats JSON to %s\n",
+                   stats_json_path.c_str());
+      return 1;
+    }
+    std::fprintf(stderr, "stats JSON written to %s\n",
+                 stats_json_path.c_str());
+  }
+  return 0;
+}

@@ -1,0 +1,163 @@
+#!/usr/bin/env python3
+"""Benchmark regression gate for CI.
+
+Compares the google-benchmark JSON produced by the perf benches
+(bench_fig3_evaluate, bench_fig4_search) against a committed baseline and
+fails when a tracked metric regresses beyond tolerance.
+
+Two metric classes, chosen for machine-portability:
+
+  counter metrics — deterministic optimizer-work counters reported by the
+    benches themselves. These do not depend on wall-clock or core count:
+      - BM_Search* rows (fig4 builds a fresh evaluator per iteration, so
+        its JSON counters are per-iteration values): evaluations,
+        cost_hits, cost_misses, cost_bypasses, chosen.
+      - BM_Evaluate* rows (fig3 shares a warm cache across iterations, so
+        only its iteration-independent counter qualifies): cost_misses.
+    Checked two-sided (default ±25%): more work is a regression, and a
+    large silent drop usually means the benchmark stopped measuring what
+    it used to — refresh the baseline if the change is intentional.
+
+  speedup metrics — within-run wall-clock ratios, so the machine cancels
+    out: real_time(cache:0) / real_time(cache:1) for every benchmark that
+    sweeps the cost-cache toggle. Checked one-sided with a wider
+    tolerance (default -50%): only a collapsed speedup fails. A broken
+    cache shows up as ~1x against a committed ~3-5x, far outside any
+    runner noise.
+
+Usage:
+  check_regression.py <baseline.json> <bench1.json> [<bench2.json> ...]
+  check_regression.py --refresh <baseline.json> <bench1.json> [...]
+
+Refresh in one line (from a build directory with the benches built):
+
+  build/bench/bench_fig3_evaluate --benchmark_format=json > /tmp/f3.json &&
+  build/bench/bench_fig4_search  --benchmark_format=json > /tmp/f4.json &&
+  python3 bench/check_regression.py --refresh \
+      bench/baselines/BENCH_baseline.json /tmp/f3.json /tmp/f4.json
+
+Exit status: 0 clean, 1 regression (or missing metric), 2 usage error.
+"""
+
+import json
+import sys
+
+COUNTER_TOLERANCE = 0.25
+RATIO_TOLERANCE = 0.50
+
+# Counters that are per-iteration (hence run-length independent) for each
+# benchmark family. See the module docstring for why fig3 tracks fewer.
+FULL_COUNTERS = ("evaluations", "cost_hits", "cost_misses", "cost_bypasses",
+                 "chosen")
+WARM_CACHE_COUNTERS = ("cost_misses",)
+
+
+def counter_names(bench_name):
+    if bench_name.startswith("BM_Search"):
+        return FULL_COUNTERS
+    if bench_name.startswith("BM_Evaluate"):
+        return WARM_CACHE_COUNTERS
+    return ()
+
+
+def extract_metrics(bench_files):
+    """Returns {metric_key: value} from google-benchmark JSON files."""
+    metrics = {}
+    rows = {}
+    for path in bench_files:
+        with open(path) as f:
+            data = json.load(f)
+        for bench in data.get("benchmarks", []):
+            if bench.get("run_type") == "aggregate":
+                continue
+            name = bench["name"]
+            rows[name] = bench
+            for counter in counter_names(name):
+                if counter in bench:
+                    metrics[f"counter:{name}:{counter}"] = float(bench[counter])
+    # Cache-toggle speedups: pair cache:0 rows with their cache:1 sibling.
+    for name, bench in rows.items():
+        if "cache:0" not in name:
+            continue
+        sibling = rows.get(name.replace("cache:0", "cache:1"))
+        if sibling is None or float(sibling["real_time"]) <= 0:
+            continue
+        key = f"speedup:{name.replace('/cache:0', '')}"
+        metrics[key] = float(bench["real_time"]) / float(
+            sibling["real_time"])
+    return metrics
+
+
+def check(baseline, current):
+    counter_tol = baseline.get("counter_tolerance", COUNTER_TOLERANCE)
+    ratio_tol = baseline.get("ratio_tolerance", RATIO_TOLERANCE)
+    failures = []
+    for key, base in sorted(baseline["metrics"].items()):
+        cur = current.get(key)
+        if cur is None:
+            failures.append(f"{key}: missing from current run "
+                            f"(baseline {base:g})")
+            continue
+        if key.startswith("counter:"):
+            if base == 0:
+                if cur != 0:
+                    failures.append(f"{key}: baseline 0, now {cur:g}")
+                continue
+            change = (cur - base) / base
+            if abs(change) > counter_tol:
+                failures.append(f"{key}: {base:g} -> {cur:g} "
+                                f"({change:+.1%}, tolerance ±{counter_tol:.0%})")
+        else:  # speedup: one-sided — only a collapse fails.
+            if cur < base * (1.0 - ratio_tol):
+                failures.append(f"{key}: {base:.2f}x -> {cur:.2f}x "
+                                f"(floor {base * (1.0 - ratio_tol):.2f}x)")
+    for key in sorted(set(current) - set(baseline["metrics"])):
+        print(f"note: new metric not in baseline (refresh to track): {key}")
+    return failures
+
+
+def main(argv):
+    refresh = "--refresh" in argv
+    args = [a for a in argv if a != "--refresh"]
+    if len(args) < 2:
+        print(__doc__, file=sys.stderr)
+        return 2
+    baseline_path, bench_files = args[0], args[1:]
+    current = extract_metrics(bench_files)
+    if not current:
+        print("error: no tracked metrics found in input files",
+              file=sys.stderr)
+        return 2
+
+    if refresh:
+        baseline = {
+            "counter_tolerance": COUNTER_TOLERANCE,
+            "ratio_tolerance": RATIO_TOLERANCE,
+            "metrics": current,
+        }
+        with open(baseline_path, "w") as f:
+            json.dump(baseline, f, indent=2, sort_keys=True)
+            f.write("\n")
+        print(f"baseline refreshed: {len(current)} metrics -> "
+              f"{baseline_path}")
+        return 0
+
+    with open(baseline_path) as f:
+        baseline = json.load(f)
+    failures = check(baseline, current)
+    tracked = len(baseline["metrics"])
+    if failures:
+        print(f"REGRESSION: {len(failures)}/{tracked} tracked metrics "
+              f"out of tolerance")
+        for failure in failures:
+            print(f"  {failure}")
+        print("If intentional, refresh the baseline (see --help) and "
+              "commit it with the change that moved the numbers.")
+        return 1
+    print(f"benchmark regression gate: {tracked} tracked metrics within "
+          f"tolerance")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

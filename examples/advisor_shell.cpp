@@ -3,26 +3,11 @@
 //
 //   ./build/examples/advisor_shell < docs/demo_script.txt
 //
-// Commands (see `help`):
-//   gen xmark <docs> | gen tpox <customers> <orders> <securities>
-//   load <collection> <file.xml>         add a document from disk
-//   analyze <collection>                 rebuild statistics (RUNSTATS)
-//   workload xmark|tpox                  load the built-in workload
-//   workload file <path>                 load a workload file
-//   query <weight> <text...>             add one query
-//   update <insert|delete> <coll> <w> <pattern>
-//   show workload|catalog|candidates|dag
-//   enumerate <query...>                 EXPLAIN: Enumerate Indexes mode
-//   advise <budget_kb> [greedy|heuristic|topdown]
-//   ddl                                  print the recommendation as DDL
-//   materialize                          build the recommended indexes
-//   run <query...>                       optimize + execute a query
-//   capture on|off                       workload capture (xia::wlm)
-//   log stats|save|load|clear            inspect/persist the capture log
-//   advise [--from-log] [--compress] ... advise from the captured stream
-//   drift check|readvise|threshold       staleness of the last advice
-//   failpoint <spec>|list                arm/disarm fault injection
-//   quit
+// Every command is executed by the shared xia::server::CommandDispatcher
+// (src/server/session.h), so this REPL and the network server
+// (src/xia_server) run byte-identical verbs — the REPL is simply one
+// ClientSession over a private SharedState. See `help` or
+// docs/PROTOCOL.md for the command set.
 //
 // Flags: --time-limit-ms <N> caps every 'advise' run (anytime search:
 // best-so-far + warning on expiry); --capture [capacity] arms workload
@@ -31,519 +16,22 @@
 // variable, which is also honored).
 
 #include <cstdlib>
-#include <fstream>
 #include <iostream>
-#include <optional>
-#include <sstream>
 #include <string>
 
-#include "advisor/advisor.h"
-#include "advisor/analysis.h"
-#include "advisor/whatif.h"
-#include "common/deadline.h"
 #include "common/failpoint.h"
-#include "common/metrics.h"
-#include "common/string_util.h"
-#include "exec/executor.h"
-#include "optimizer/explain.h"
-#include "query/parser.h"
-#include "storage/collection_io.h"
+#include "server/session.h"
 #include "wlm/capture.h"
-#include "wlm/compress.h"
-#include "wlm/drift.h"
-#include "wlm/wlm_io.h"
-#include "xpath/parser.h"
-#include "workload/tpox_queries.h"
-#include "workload/workload_io.h"
-#include "workload/xmark_queries.h"
-#include "xmldata/tpox_gen.h"
-#include "xmldata/xmark_gen.h"
 
 using namespace xia;
 
-namespace {
-
-/// All shell state in one place.
-struct Session {
-  Database db;
-  Catalog catalog;
-  Workload workload;
-  std::optional<Recommendation> recommendation;
-  std::optional<WhatIfSession> whatif;
-  AdvisorOptions options;
-  ContainmentCache cache;
-  /// Capture log (xia::wlm). Created on first `capture on` (or the
-  /// --capture flag) and kept for the whole session: `capture off` only
-  /// disarms the hook, so `log stats` and `advise --from-log` still see
-  /// what was captured. main() disarms before the session is destroyed.
-  std::unique_ptr<wlm::QueryLog> capture_log;
-  /// Staleness watcher for `drift`; lazy because it prices against db.
-  std::unique_ptr<wlm::DriftMonitor> drift;
-
-  wlm::DriftMonitor* DriftWatcher() {
-    if (!drift) {
-      drift = std::make_unique<wlm::DriftMonitor>(&db, options.cost_model);
-    }
-    return drift.get();
-  }
-};
-
-void PrintHelp() {
-  std::cout <<
-      "commands:\n"
-      "  gen xmark <docs> | gen tpox <cust> <orders> <secs>\n"
-      "  load <collection> <file.xml>\n"
-      "  savecoll <collection> <dir> | loadcoll <collection> <dir>\n"
-      "  analyze <collection>\n"
-      "  workload xmark|tpox | workload file <path>\n"
-      "  query <weight> <text...>\n"
-      "  update <insert|delete> <collection> <weight> <pattern>\n"
-      "  show workload|catalog|candidates|dag\n"
-      "  enumerate <query...>\n"
-      "  advise [--from-log] [--compress] <budget_kb>"
-      " [greedy|heuristic|topdown]\n"
-      "  whatif start|add <coll> <pattern> <double|varchar>|drop <name>|eval\n"
-      "  capture on [capacity]|off\n"
-      "  log stats | save <path> | load <path> | clear\n"
-      "  drift check | readvise | threshold <t>\n"
-      "  failpoint <name=mode[,mode...]>|<name=off>|list\n"
-      "  ddl | materialize | run <query...> | stats | help | quit\n";
-}
-
-void CmdGen(Session* s, std::istringstream* args) {
-  std::string kind;
-  *args >> kind;
-  if (kind == "xmark") {
-    int docs = 10;
-    *args >> docs;
-    Status status = PopulateXMark(&s->db, "xmark", docs, XMarkParams(), 42);
-    std::cout << (status.ok()
-                      ? "generated xmark: " +
-                            std::to_string(
-                                s->db.GetCollection("xmark")->num_nodes()) +
-                            " nodes\n"
-                      : status.ToString() + "\n");
-  } else if (kind == "tpox") {
-    int customers = 50;
-    int orders = 100;
-    int securities = 20;
-    *args >> customers >> orders >> securities;
-    Status status = PopulateTpox(&s->db, customers, orders, securities,
-                                 TpoxParams(), 11);
-    std::cout << (status.ok() ? "generated tpox collections\n"
-                              : status.ToString() + "\n");
-  } else {
-    std::cout << "usage: gen xmark <docs> | gen tpox <c> <o> <s>\n";
-  }
-}
-
-void CmdLoad(Session* s, std::istringstream* args) {
-  std::string collection;
-  std::string path;
-  *args >> collection >> path;
-  std::ifstream in(path);
-  if (!in) {
-    std::cout << "cannot open " << path << "\n";
-    return;
-  }
-  std::ostringstream buffer;
-  buffer << in.rdbuf();
-  if (s->db.GetCollection(collection) == nullptr) {
-    Result<Collection*> created = s->db.CreateCollection(collection);
-    if (!created.ok()) {
-      std::cout << created.status().ToString() << "\n";
-      return;
-    }
-  }
-  Status status = s->db.LoadXml(collection, buffer.str());
-  std::cout << (status.ok() ? "loaded 1 document (run 'analyze " +
-                                  collection + "' to refresh stats)\n"
-                            : status.ToString() + "\n");
-}
-
-void CmdWorkload(Session* s, std::istringstream* args) {
-  std::string kind;
-  *args >> kind;
-  if (kind == "xmark") {
-    s->workload = MakeXMarkWorkload("xmark");
-    std::cout << "loaded built-in xmark workload ("
-              << s->workload.size() << " queries)\n";
-  } else if (kind == "tpox") {
-    s->workload = MakeTpoxWorkload();
-    std::cout << "loaded built-in tpox workload (" << s->workload.size()
-              << " queries)\n";
-  } else if (kind == "file") {
-    std::string path;
-    *args >> path;
-    Result<Workload> loaded = LoadWorkloadFile(path);
-    if (!loaded.ok()) {
-      std::cout << loaded.status().ToString() << "\n";
-      return;
-    }
-    s->workload = std::move(*loaded);
-    std::cout << "loaded " << s->workload.size() << " queries from "
-              << path << "\n";
-  } else {
-    std::cout << "usage: workload xmark|tpox | workload file <path>\n";
-  }
-}
-
-void CmdAdvise(Session* s, std::istringstream* args) {
-  double budget_kb = 128;
-  std::string algo = "heuristic";
-  bool from_log = false;
-  bool compress = false;
-  // Flags first (any order), then the positional budget and algorithm.
-  std::string token;
-  bool have_budget = false;
-  while (*args >> token) {
-    if (token == "--from-log") {
-      from_log = true;
-    } else if (token == "--compress") {
-      compress = true;
-    } else if (!have_budget) {
-      try {
-        budget_kb = std::stod(token);
-      } catch (...) {
-        std::cout << "bad budget '" << token << "'\n";
-        return;
-      }
-      have_budget = true;
-    } else {
-      algo = token;
-    }
-  }
-  // The advised workload: the hand-built session workload, or the capture
-  // log — raw (one weight-1 query per execution) or compressed into
-  // weighted templates (weight = frequency × mean cost).
-  Workload advised = s->workload;
-  if (from_log) {
-    if (!s->capture_log) {
-      std::cout << "no capture log — run 'capture on' first\n";
-      return;
-    }
-    std::vector<wlm::CaptureRecord> records = s->capture_log->Snapshot();
-    if (records.empty()) {
-      std::cout << "capture log is empty — nothing to advise\n";
-      return;
-    }
-    if (compress) {
-      Result<wlm::CompressedWorkload> compressed = wlm::CompressLog(records);
-      if (!compressed.ok()) {
-        std::cout << compressed.status().ToString() << "\n";
-        return;
-      }
-      std::cout << compressed->report.ToString();
-      advised = std::move(compressed->workload);
-    } else {
-      Result<Workload> raw = wlm::WorkloadFromLog(records);
-      if (!raw.ok()) {
-        std::cout << raw.status().ToString() << "\n";
-        return;
-      }
-      advised = std::move(*raw);
-      std::cout << "advising " << advised.size()
-                << " captured queries (uncompressed)\n";
-    }
-  } else if (compress) {
-    std::cout << "--compress needs --from-log\n";
-    return;
-  }
-  s->options.space_budget_bytes = budget_kb * 1024;
-  if (algo == "greedy") {
-    s->options.algorithm = SearchAlgorithm::kGreedy;
-  } else if (algo == "topdown") {
-    s->options.algorithm = SearchAlgorithm::kTopDown;
-  } else {
-    s->options.algorithm = SearchAlgorithm::kGreedyHeuristic;
-  }
-  Advisor advisor(&s->db, &s->catalog, s->options);
-  Result<Recommendation> rec = advisor.Recommend(advised);
-  if (!rec.ok()) {
-    std::cout << rec.status().ToString() << "\n";
-    return;
-  }
-  s->recommendation = std::move(*rec);
-  if (s->recommendation->stop_reason != StopReason::kConverged) {
-    std::cout << "stop_reason: "
-              << StopReasonName(s->recommendation->stop_reason)
-              << " — results are degraded (budget truncated the search)\n";
-  }
-  std::cout << s->recommendation->Report();
-  // Remember what this advice promised, so `drift check` can compare the
-  // captured stream against it later.
-  s->DriftWatcher()->RecordPrediction(s->recommendation->recommended_cost,
-                                      advised.TotalQueryWeight());
-  Result<RecommendationAnalysis> analysis = AnalyzeRecommendation(
-      s->db, s->catalog, advised, *s->recommendation,
-      s->options.cost_model, &s->cache);
-  if (analysis.ok()) std::cout << analysis->ToTable();
-}
-
-void CmdCapture(Session* s, std::istringstream* args) {
-  std::string sub;
-  *args >> sub;
-  if (sub == "on") {
-    size_t capacity = 4096;
-    *args >> capacity;
-    if (!s->capture_log) {
-      s->capture_log = std::make_unique<wlm::QueryLog>(capacity);
-    }
-    wlm::SetCaptureLog(s->capture_log.get());
-    std::cout << "capture armed (" << s->capture_log->stats().capacity
-              << " record ring; 'run' and what-if queries are recorded)\n";
-  } else if (sub == "off") {
-    wlm::SetCaptureLog(nullptr);
-    std::cout << "capture disarmed (log retained — see 'log stats')\n";
-  } else {
-    std::cout << "usage: capture on [capacity]|off\n";
-  }
-}
-
-void CmdLog(Session* s, std::istringstream* args) {
-  std::string sub;
-  *args >> sub;
-  if (!s->capture_log) {
-    std::cout << "no capture log — run 'capture on' first\n";
-    return;
-  }
-  if (sub == "stats") {
-    std::cout << s->capture_log->stats().ToString() << "\n";
-  } else if (sub == "save") {
-    std::string path;
-    *args >> path;
-    Status status =
-        wlm::SaveCaptureLogFile(s->capture_log->Snapshot(), path);
-    std::cout << (status.ok() ? "saved to " + path + "\n"
-                              : status.ToString() + "\n");
-  } else if (sub == "load") {
-    std::string path;
-    *args >> path;
-    Result<std::vector<wlm::CaptureRecord>> loaded =
-        wlm::LoadCaptureLogFile(path);
-    if (!loaded.ok()) {
-      std::cout << loaded.status().ToString() << "\n";
-      return;
-    }
-    size_t appended = 0;
-    for (wlm::CaptureRecord& r : *loaded) {
-      if (s->capture_log->Append(std::move(r)).ok()) ++appended;
-    }
-    std::cout << "appended " << appended << " records from " << path
-              << "\n";
-  } else if (sub == "clear") {
-    s->capture_log->Clear();
-    std::cout << "cleared\n";
-  } else {
-    std::cout << "usage: log stats | save <path> | load <path> | clear\n";
-  }
-}
-
-void CmdDrift(Session* s, std::istringstream* args) {
-  std::string sub;
-  *args >> sub;
-  if (sub == "threshold") {
-    double threshold = 0;
-    if (*args >> threshold) {
-      s->DriftWatcher()->set_threshold(threshold);
-    }
-    std::cout << "drift threshold: " << s->DriftWatcher()->threshold()
-              << "\n";
-    return;
-  }
-  if (sub != "check" && sub != "readvise") {
-    std::cout << "usage: drift check | readvise | threshold <t>\n";
-    return;
-  }
-  if (!s->capture_log) {
-    std::cout << "no capture log — run 'capture on' first\n";
-    return;
-  }
-  std::vector<wlm::CaptureRecord> records = s->capture_log->Snapshot();
-  if (records.empty()) {
-    std::cout << "capture log is empty — nothing to check\n";
-    return;
-  }
-  Result<wlm::CompressedWorkload> compressed = wlm::CompressLog(records);
-  if (!compressed.ok()) {
-    std::cout << compressed.status().ToString() << "\n";
-    return;
-  }
-  if (sub == "check") {
-    Result<wlm::DriftReport> report =
-        s->DriftWatcher()->Check(compressed->workload, s->catalog);
-    std::cout << (report.ok() ? report->ToString()
-                              : report.status().ToString())
-              << "\n";
-    return;
-  }
-  // readvise: check, and when stale run the (anytime) advisor over the
-  // compressed capture; the new promise is recorded for the next check.
-  Result<wlm::ReadviseOutcome> outcome = s->DriftWatcher()->MaybeReadvise(
-      compressed->workload, s->catalog, s->options);
-  if (!outcome.ok()) {
-    std::cout << outcome.status().ToString() << "\n";
-    return;
-  }
-  std::cout << outcome->drift.ToString() << "\n";
-  if (outcome->recommendation.has_value()) {
-    s->recommendation = std::move(*outcome->recommendation);
-    std::cout << s->recommendation->Report();
-  } else {
-    std::cout << "configuration still fresh — no re-advising\n";
-  }
-}
-
-void CmdShow(Session* s, std::istringstream* args) {
-  std::string what;
-  *args >> what;
-  if (what == "workload") {
-    std::cout << s->workload.Describe();
-  } else if (what == "stats") {
-    std::string collection;
-    *args >> collection;
-    const PathSynopsis* synopsis = s->db.synopsis(collection);
-    if (synopsis == nullptr) {
-      std::cout << "no statistics for '" << collection
-                << "' (run 'analyze')\n";
-    } else {
-      std::cout << synopsis->Describe(/*max_paths=*/60);
-    }
-  } else if (what == "catalog") {
-    for (const CatalogEntry* entry : s->catalog.AllIndexes()) {
-      std::cout << "  " << entry->def.DdlString()
-                << (entry->is_virtual ? "  [virtual]\n" : "\n");
-    }
-    if (s->catalog.size() == 0) std::cout << "  (empty)\n";
-  } else if (what == "candidates" || what == "dag") {
-    if (!s->recommendation.has_value()) {
-      std::cout << "run 'advise' first\n";
-      return;
-    }
-    if (what == "candidates") {
-      std::cout << s->recommendation->enumeration.ToString();
-    } else {
-      std::cout << s->recommendation->dag.ToText(
-          s->recommendation->candidates);
-    }
-  } else {
-    std::cout << "usage: show workload|catalog|candidates|dag|stats <coll>\n";
-  }
-}
-
-void CmdWhatIf(Session* s, std::istringstream* args) {
-  std::string sub;
-  *args >> sub;
-  if (sub == "start") {
-    // Seed the overlay with the current recommendation, if any.
-    s->whatif.emplace(&s->db, s->catalog, s->options.cost_model);
-    size_t seeded = 0;
-    if (s->recommendation.has_value()) {
-      for (const IndexDefinition& def : s->recommendation->indexes) {
-        if (s->whatif->AddIndex(def).ok()) ++seeded;
-      }
-    }
-    std::cout << "what-if session started (" << seeded
-              << " indexes seeded from the recommendation)\n";
-    return;
-  }
-  if (!s->whatif.has_value()) {
-    std::cout << "run 'whatif start' first\n";
-    return;
-  }
-  if (sub == "add") {
-    IndexDefinition def;
-    std::string pattern_text;
-    std::string type_text;
-    *args >> def.collection >> pattern_text >> type_text;
-    Result<PathPattern> pattern = ParsePathPattern(pattern_text);
-    if (!pattern.ok()) {
-      std::cout << pattern.status().ToString() << "\n";
-      return;
-    }
-    def.pattern = std::move(*pattern);
-    def.type = ToLower(type_text) == "double" ? ValueType::kDouble
-                                              : ValueType::kVarchar;
-    Result<std::string> name = s->whatif->AddIndex(std::move(def));
-    std::cout << (name.ok() ? "added virtual index " + *name + "\n"
-                            : name.status().ToString() + "\n");
-  } else if (sub == "drop") {
-    std::string name;
-    *args >> name;
-    Status status = s->whatif->DropIndex(name);
-    std::cout << (status.ok() ? "dropped\n" : status.ToString() + "\n");
-  } else if (sub == "eval") {
-    Result<EvaluateIndexesResult> result =
-        s->whatif->EvaluateWorkload(s->workload);
-    std::cout << (result.ok() ? result->ToString()
-                              : result.status().ToString() + "\n");
-  } else {
-    std::cout << "usage: whatif start|add <coll> <pattern> "
-                 "<double|varchar>|drop <name>|eval\n";
-  }
-}
-
-void CmdEnumerate(Session* s, const std::string& rest) {
-  Result<Query> query = ParseQuery(rest);
-  if (!query.ok()) {
-    std::cout << query.status().ToString() << "\n";
-    return;
-  }
-  query->id = "shell";
-  Result<EnumerateIndexesResult> result =
-      EnumerateIndexesMode(s->db, *query, &s->cache);
-  std::cout << (result.ok() ? result->ToString()
-                            : result.status().ToString() + "\n");
-}
-
-void CmdRun(Session* s, const std::string& rest) {
-  Result<Query> query = ParseQuery(rest);
-  if (!query.ok()) {
-    std::cout << query.status().ToString() << "\n";
-    return;
-  }
-  query->id = "shell";
-  Optimizer optimizer(&s->db, s->options.cost_model);
-  Result<QueryPlan> plan =
-      optimizer.Optimize(*query, s->catalog, &s->cache);
-  if (!plan.ok()) {
-    std::cout << plan.status().ToString() << "\n";
-    return;
-  }
-  std::cout << plan->ExplainWithStats();
-  Executor executor(&s->db, &s->catalog, s->options.cost_model);
-  Result<ExecResult> run = executor.Execute(*plan);
-  if (!run.ok()) {
-    std::cout << run.status().ToString() << "\n";
-    return;
-  }
-  std::cout << "-> " << run->nodes.size() << " result nodes from "
-            << run->docs_matched << " docs in "
-            << FormatDouble(run->wall_micros) << "us ("
-            << FormatDouble(run->simulated_page_reads) << " pages)\n";
-  std::string rendered =
-      RenderResults(s->db, query->normalized.collection, *run, 5);
-  if (!rendered.empty()) std::cout << rendered;
-}
-
-void CmdFailpoint(const std::string& spec) {
-  if (spec.empty() || spec == "list") {
-    std::vector<std::string> armed = fp::ArmedNames();
-    if (armed.empty()) std::cout << "no failpoints armed\n";
-    for (const std::string& name : armed) {
-      std::cout << "  " << name << " (trips: " << fp::Trips(name) << ")\n";
-    }
-    return;
-  }
-  Status status = fp::ArmFromSpec(spec);
-  std::cout << (status.ok() ? "armed: " + spec + "\n"
-                            : status.ToString() + "\n");
-}
-
-}  // namespace
-
 int main(int argc, char** argv) {
-  Session session;
+  server::SharedState shared;
+  // RAII capture disarm: declared after `shared` so stack unwinding (or
+  // the normal return) restores the sink before the log it points at is
+  // destroyed with `shared` — the REPL can never leak an armed capture
+  // sink (the bug class ScopedCaptureLog exists for).
+  wlm::ScopedCaptureLog capture_guard;
   // Failpoints from the environment first, then flags (flags win on
   // conflict since ArmFromSpec overwrites by name).
   Status env_status = fp::ArmFromEnv();
@@ -554,14 +42,14 @@ int main(int argc, char** argv) {
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
     if (arg == "--time-limit-ms" && i + 1 < argc) {
-      session.options.time_budget_ms = std::atoll(argv[++i]);
+      shared.default_options.time_budget_ms = std::atoll(argv[++i]);
     } else if (arg == "--capture") {
       size_t capacity = 4096;
       if (i + 1 < argc && std::atoll(argv[i + 1]) > 0) {
         capacity = static_cast<size_t>(std::atoll(argv[++i]));
       }
-      session.capture_log = std::make_unique<wlm::QueryLog>(capacity);
-      wlm::SetCaptureLog(session.capture_log.get());
+      shared.capture_log = std::make_unique<wlm::QueryLog>(capacity);
+      wlm::SetCaptureLog(shared.capture_log.get());
     } else if (arg == "--failpoint" && i + 1 < argc) {
       Status status = fp::ArmFromSpec(argv[++i]);
       if (!status.ok()) {
@@ -577,122 +65,29 @@ int main(int argc, char** argv) {
   }
   if (wlm::CaptureEnabled()) {
     std::cout << "workload capture armed ("
-              << session.capture_log->stats().capacity
+              << shared.capture_log->stats().capacity
               << " record ring) — type 'log stats'\n";
   }
-  if (session.options.time_budget_ms > 0) {
-    std::cout << "advise time budget: " << session.options.time_budget_ms
+  if (shared.default_options.time_budget_ms > 0) {
+    std::cout << "advise time budget: "
+              << shared.default_options.time_budget_ms
               << "ms (anytime: best-so-far on expiry)\n";
   }
   if (fp::AnyArmed()) {
     std::cout << "fault injection armed — type 'failpoint list'\n";
   }
   std::cout << "xia advisor shell — type 'help' for commands\n";
+
+  server::CommandDispatcher dispatcher(&shared);
+  server::ClientSession session(shared);
   std::string line;
   while (std::cout << "xia> " << std::flush, std::getline(std::cin, line)) {
-    std::istringstream args(line);
-    std::string command;
-    args >> command;
-    std::string rest;
-    std::getline(args, rest);
-    std::istringstream params(rest);
-    if (command.empty()) continue;
-    if (command == "quit" || command == "exit") break;
-    if (command == "help") {
-      PrintHelp();
-    } else if (command == "gen") {
-      CmdGen(&session, &params);
-    } else if (command == "load") {
-      CmdLoad(&session, &params);
-    } else if (command == "savecoll" || command == "loadcoll") {
-      std::string collection;
-      std::string dir;
-      params >> collection >> dir;
-      if (command == "savecoll") {
-        Status status =
-            SaveCollectionToDirectory(session.db, collection, dir);
-        std::cout << (status.ok() ? "saved to " + dir + "\n"
-                                  : status.ToString() + "\n");
-      } else {
-        Result<size_t> loaded =
-            LoadCollectionFromDirectory(&session.db, collection, dir);
-        std::cout << (loaded.ok() ? "loaded " + std::to_string(*loaded) +
-                                        " documents (analyzed)\n"
-                                  : loaded.status().ToString() + "\n");
-      }
-    } else if (command == "analyze") {
-      std::string collection;
-      params >> collection;
-      Status status = session.db.Analyze(collection);
-      std::cout << (status.ok() ? "statistics rebuilt\n"
-                                : status.ToString() + "\n");
-    } else if (command == "workload") {
-      CmdWorkload(&session, &params);
-    } else if (command == "query") {
-      double weight = 1.0;
-      params >> weight;
-      std::string text;
-      std::getline(params, text);
-      Status status =
-          session.workload.AddQueryText(std::string(Trim(text)), weight);
-      std::cout << (status.ok() ? "added\n" : status.ToString() + "\n");
-    } else if (command == "update") {
-      Result<Workload> parsed = ParseWorkloadText("update " + rest);
-      if (!parsed.ok()) {
-        std::cout << parsed.status().ToString() << "\n";
-      } else {
-        session.workload.AddUpdate(parsed->updates()[0]);
-        std::cout << "added\n";
-      }
-    } else if (command == "show") {
-      CmdShow(&session, &params);
-    } else if (command == "enumerate") {
-      CmdEnumerate(&session, std::string(Trim(rest)));
-    } else if (command == "advise") {
-      CmdAdvise(&session, &params);
-    } else if (command == "whatif") {
-      CmdWhatIf(&session, &params);
-    } else if (command == "ddl") {
-      if (session.recommendation.has_value()) {
-        std::cout << ConfigurationDdlScript(
-            session.recommendation->indexes);
-      } else {
-        std::cout << "run 'advise' first\n";
-      }
-    } else if (command == "materialize") {
-      if (!session.recommendation.has_value()) {
-        std::cout << "run 'advise' first\n";
-      } else {
-        Result<double> built = MaterializeConfiguration(
-            session.db, session.recommendation->indexes, &session.catalog,
-            session.options.cost_model.storage);
-        std::cout << (built.ok()
-                          ? "materialized " +
-                                std::to_string(
-                                    session.recommendation->indexes.size()) +
-                                " indexes (" + FormatBytes(*built) + ")\n"
-                          : built.status().ToString() + "\n");
-      }
-    } else if (command == "run") {
-      CmdRun(&session, std::string(Trim(rest)));
-    } else if (command == "capture") {
-      CmdCapture(&session, &params);
-    } else if (command == "log") {
-      CmdLog(&session, &params);
-    } else if (command == "drift") {
-      CmdDrift(&session, &params);
-    } else if (command == "failpoint") {
-      CmdFailpoint(std::string(Trim(rest)));
-    } else if (command == "stats") {
-      // Process-wide xia::obs registry: every cache, pool, and scan
-      // counter the session has touched so far, in one snapshot.
-      std::cout << obs::Registry().TakeSnapshot().ToText("  ");
-    } else {
-      std::cout << "unknown command '" << command
-                << "' — type 'help'\n";
+    if (line.empty()) continue;
+    if (dispatcher.Execute(line, &session, std::cout) ==
+        server::CommandOutcome::kQuit) {
+      break;
     }
   }
-  // Disarm before the session (and its capture log) is destroyed.
-  wlm::SetCaptureLog(nullptr);
+  std::cout << "bye\n";
   return 0;
 }

@@ -92,7 +92,8 @@ Result<Recommendation> Advisor::Recommend(const Workload& workload) {
                                    &rec.candidates, &cache_,
                                    options_.account_update_cost,
                                    options_.threads,
-                                   options_.what_if_cost_cache);
+                                   options_.what_if_cost_cache,
+                                   options_.shared_cost_cache);
   evaluator.set_cancel(options_.cancel);
   SearchOptions search_options;
   search_options.space_budget_bytes = options_.space_budget_bytes;

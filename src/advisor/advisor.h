@@ -4,6 +4,7 @@
 #include <string>
 #include <vector>
 
+#include "advisor/cost_cache.h"
 #include "advisor/dag.h"
 #include "advisor/enumeration.h"
 #include "advisor/generalize.h"
@@ -40,6 +41,14 @@ struct AdvisorOptions {
   /// re-optimization. Recommendations and costs are bit-identical either
   /// way; this escape hatch exists for benchmarking and debugging.
   bool what_if_cost_cache = true;
+  /// External plan cache to use instead of a per-Recommend one. Must
+  /// outlive the Recommend() call and be bound to the same (database,
+  /// cost model) tuple. This is how xia::server shares one warm cache
+  /// across every session's advise: keys embed catalog-entry identities,
+  /// so equal keys imply bit-identical plans regardless of which session
+  /// inserted them — results are unchanged, only cache hit counts move.
+  /// When set, its enabled() flag overrides what_if_cost_cache.
+  WhatIfCostCache* shared_cost_cache = nullptr;
   /// Wall-clock budget for Recommend() in milliseconds; <= 0 means
   /// unlimited. The clock starts when Recommend() is entered and is
   /// polled at search iteration boundaries, so an expired budget yields

@@ -35,7 +35,7 @@ ConfigurationEvaluator::ConfigurationEvaluator(
     const Optimizer* optimizer, const Workload* workload,
     const Catalog* base_catalog, const std::vector<CandidateIndex>* candidates,
     ContainmentCache* cache, bool account_update_cost, int threads,
-    bool use_cost_cache)
+    bool use_cost_cache, WhatIfCostCache* shared_cost_cache)
     : optimizer_(optimizer),
       workload_(workload),
       base_catalog_(base_catalog),
@@ -43,7 +43,11 @@ ConfigurationEvaluator::ConfigurationEvaluator(
       cache_(cache),
       account_update_cost_(account_update_cost),
       threads_(ResolveThreadCount(threads)),
-      cost_cache_(use_cost_cache) {
+      owned_cost_cache_(shared_cost_cache ? nullptr
+                                          : std::make_unique<WhatIfCostCache>(
+                                                use_cost_cache)),
+      cost_cache_(shared_cost_cache ? shared_cost_cache
+                                    : owned_cost_cache_.get()) {
   // Build the workload expression table: driving paths + predicates.
   for (size_t qi = 0; qi < workload_->queries().size(); ++qi) {
     const NormalizedQuery& nq = workload_->queries()[qi].normalized;
@@ -65,7 +69,7 @@ ConfigurationEvaluator::ConfigurationEvaluator(
       exprs_.push_back(std::move(expr));
     }
   }
-  if (!cost_cache_.enabled()) return;
+  if (!cost_cache_->enabled()) return;
 
   // Precompute the cost-cache inputs up front: each query's fingerprint
   // class (repeated workload queries share cached plans) and the
@@ -207,7 +211,7 @@ ConfigurationEvaluator::EvaluateUncached(const std::vector<int>& sorted,
                                          bool honor_cancel) {
   // Only reached when the cost cache is disabled: every query of this
   // configuration re-optimizes, and each skipped lookup is a bypass.
-  cost_cache_.AddBypasses(workload_->queries().size());
+  cost_cache_->AddBypasses(workload_->queries().size());
 
   // Build the overlay: base catalog + the configuration as virtual
   // indexes, reusing the candidates' precomputed statistics. The overlay
@@ -305,7 +309,7 @@ void ConfigurationEvaluator::CollectPlanTasks(
       task.key += std::to_string(c);
       task.key.push_back(',');
     }
-    if (cost_cache_.Lookup(task.key, &plans[qi])) {
+    if (cost_cache_->Lookup(task.key, &plans[qi])) {
       // Equal fingerprints guarantee equal plans; only the labels differ.
       plans[qi].query_id = queries[qi].id;
       plans[qi].query_text = queries[qi].text;
@@ -391,7 +395,7 @@ size_t ConfigurationEvaluator::RunPlanTasks(
   // scheduling.
   for (size_t ti = 0; ti < tasks.size(); ++ti) {
     if ((*task_plans)[ti].ok()) {
-      cost_cache_.Insert(tasks[ti].key, *(*task_plans)[ti]);
+      cost_cache_->Insert(tasks[ti].key, *(*task_plans)[ti]);
     }
   }
   return lowest;
@@ -417,14 +421,14 @@ ConfigurationEvaluator::EvaluateWithCostCache(const std::vector<int>& sorted,
 
 AdvisorCacheCounters ConfigurationEvaluator::cache_counters() const {
   AdvisorCacheCounters counters;
-  counters.cost = cost_cache_.stats();
+  counters.cost = cost_cache_->stats();
   counters.containment = cache_->stats();
   return counters;
 }
 
 obs::Snapshot ConfigurationEvaluator::DeterministicStats() const {
   obs::Snapshot snap;
-  CostCacheStats cost = cost_cache_.stats();
+  CostCacheStats cost = cost_cache_->stats();
   snap.counters["advisor.evaluations"] = num_evaluations_.Value();
   snap.counters["advisor.memo_hits"] = memo_hits_.Value();
   snap.counters["costcache.hits"] = cost.hits;
@@ -463,14 +467,14 @@ ConfigurationEvaluator::EvaluateImpl(const std::vector<int>& config,
     return Status::Cancelled("configuration evaluation cancelled");
   }
   Result<Evaluation> evaluated =
-      cost_cache_.enabled()
+      cost_cache_->enabled()
           ? EvaluateWithCostCache(sorted, /*parallel_tasks=*/true,
                                   honor_cancel)
           : EvaluateUncached(sorted, /*parallel_queries=*/true, honor_cancel);
   XIA_ASSIGN_OR_RETURN(Evaluation eval, std::move(evaluated));
   // The uncached path defers its evaluation count to this serial point
   // (the cost-cache path counts inside AssembleFromPlans, also serial).
-  if (!cost_cache_.enabled()) num_evaluations_.Increment();
+  if (!cost_cache_->enabled()) num_evaluations_.Increment();
   std::lock_guard<std::mutex> lock(memo_mu_);
   return memo_.emplace(std::move(key), std::move(eval)).first->second;
 }
@@ -510,7 +514,7 @@ ConfigurationEvaluator::EvaluateMany(
     }
   }
 
-  if (cost_cache_.enabled()) {
+  if (cost_cache_->enabled()) {
     // Cost-cache batch path: deduplicate (query, relevance signature)
     // plan tasks across ALL misses in one serial pass — a greedy round's
     // configurations overlap heavily, so most of the batch collapses onto

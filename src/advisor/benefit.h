@@ -76,11 +76,17 @@ class ConfigurationEvaluator {
   /// 0 resolves to std::thread::hardware_concurrency(). `use_cost_cache`
   /// is the signature-keyed plan cache escape hatch; disabling it makes
   /// every evaluation re-optimize every query (counted as bypasses).
+  /// `shared_cost_cache`, when non-null, replaces the evaluator's own
+  /// plan cache with an external one that outlives it (and whose
+  /// enabled() flag then overrides `use_cost_cache`) — how a server
+  /// shares one warm cache across many advises. Plans are bit-identical
+  /// either way; only hit/miss counts depend on prior warming.
   ConfigurationEvaluator(const Optimizer* optimizer, const Workload* workload,
                          const Catalog* base_catalog,
                          const std::vector<CandidateIndex>* candidates,
                          ContainmentCache* cache, bool account_update_cost,
-                         int threads = 1, bool use_cost_cache = true);
+                         int threads = 1, bool use_cost_cache = true,
+                         WhatIfCostCache* shared_cost_cache = nullptr);
 
   /// Installs the cooperative-cancellation token that Evaluate and
   /// EvaluateMany poll at per-query / per-task boundaries. A fired token
@@ -137,7 +143,7 @@ class ConfigurationEvaluator {
 
   /// The signature-keyed plan cache (disabled instances only count
   /// bypasses).
-  const WhatIfCostCache& cost_cache() const { return cost_cache_; }
+  const WhatIfCostCache& cost_cache() const { return *cost_cache_; }
 
   /// Snapshot of both cache layers for search traces and bench output.
   AdvisorCacheCounters cache_counters() const;
@@ -184,7 +190,11 @@ class ConfigurationEvaluator {
   // they are deterministic at any thread count.
   obs::Counter num_evaluations_{"advisor.evaluations"};
   obs::Counter memo_hits_{"advisor.memo_hits"};
-  WhatIfCostCache cost_cache_;
+  /// The plan cache in use: owned_cost_cache_ (the pre-server default)
+  /// unless the constructor received an external shared one. Declared in
+  /// this order so cost_cache_ can be initialized from the owned cache.
+  std::unique_ptr<WhatIfCostCache> owned_cost_cache_;
+  WhatIfCostCache* cost_cache_;
   /// Queries with equal fingerprints share a slot id (and thus cached
   /// plans): distinct_query_[qi] indexes the query's equivalence class.
   std::vector<int> distinct_query_;

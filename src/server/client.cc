@@ -1,0 +1,119 @@
+#include "server/client.h"
+
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+namespace xia {
+namespace server {
+
+BlockingClient::~BlockingClient() { Close(); }
+
+BlockingClient::BlockingClient(BlockingClient&& other) noexcept
+    : fd_(other.fd_), decoder_(std::move(other.decoder_)) {
+  other.fd_ = -1;
+}
+
+BlockingClient& BlockingClient::operator=(BlockingClient&& other) noexcept {
+  if (this != &other) {
+    Close();
+    fd_ = other.fd_;
+    decoder_ = std::move(other.decoder_);
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+void BlockingClient::Close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+Result<BlockingClient> BlockingClient::ConnectUnix(const std::string& path) {
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (path.size() >= sizeof(addr.sun_path)) {
+    return Status::InvalidArgument("unix socket path too long: " + path);
+  }
+  std::strncpy(addr.sun_path, path.c_str(), sizeof(addr.sun_path) - 1);
+  int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) {
+    return Status::Internal(std::string("socket: ") + std::strerror(errno));
+  }
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    Status status =
+        Status::Internal("connect " + path + ": " + std::strerror(errno));
+    ::close(fd);
+    return status;
+  }
+  return BlockingClient(fd);
+}
+
+Result<BlockingClient> BlockingClient::ConnectTcp(int port) {
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    return Status::Internal(std::string("socket: ") + std::strerror(errno));
+  }
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(static_cast<uint16_t>(port));
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    Status status = Status::Internal("connect port " + std::to_string(port) +
+                                     ": " + std::strerror(errno));
+    ::close(fd);
+    return status;
+  }
+  return BlockingClient(fd);
+}
+
+Status BlockingClient::Send(const std::string& command) {
+  if (fd_ < 0) return Status::Internal("client not connected");
+  std::string frame = EncodeFrame(command);
+  size_t sent = 0;
+  while (sent < frame.size()) {
+    ssize_t n =
+        ::send(fd_, frame.data() + sent, frame.size() - sent, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Status::Internal(std::string("send: ") + std::strerror(errno));
+    }
+    sent += static_cast<size_t>(n);
+  }
+  return Status::Ok();
+}
+
+Result<std::string> BlockingClient::Receive() {
+  if (fd_ < 0) return Status::Internal("client not connected");
+  char buf[4096];
+  while (true) {
+    std::optional<std::string> payload = decoder_.Next();
+    if (payload.has_value()) return *payload;
+    ssize_t n = ::read(fd_, buf, sizeof(buf));
+    if (n == 0) {
+      return Status::Internal("connection closed by server");
+    }
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Status::Internal(std::string("read: ") + std::strerror(errno));
+    }
+    Status fed = decoder_.Feed(buf, static_cast<size_t>(n));
+    if (!fed.ok()) return fed;
+  }
+}
+
+Result<std::string> BlockingClient::Call(const std::string& command) {
+  Status sent = Send(command);
+  if (!sent.ok()) return sent;
+  return Receive();
+}
+
+}  // namespace server
+}  // namespace xia

@@ -1,0 +1,57 @@
+#ifndef XIA_SERVER_CLIENT_H_
+#define XIA_SERVER_CLIENT_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "server/protocol.h"
+
+namespace xia {
+namespace server {
+
+/// Minimal blocking client for the xia::server wire protocol — one
+/// connection, one outstanding request at a time. Shared by the
+/// `xia_server --connect` scripted-session mode, the load-generator
+/// bench, and the protocol tests, so all three agree with the server on
+/// framing byte-for-byte.
+class BlockingClient {
+ public:
+  BlockingClient() = default;
+  ~BlockingClient();
+
+  BlockingClient(BlockingClient&& other) noexcept;
+  BlockingClient& operator=(BlockingClient&& other) noexcept;
+  BlockingClient(const BlockingClient&) = delete;
+  BlockingClient& operator=(const BlockingClient&) = delete;
+
+  /// Connects to a unix socket.
+  static Result<BlockingClient> ConnectUnix(const std::string& path);
+
+  /// Connects to loopback TCP.
+  static Result<BlockingClient> ConnectTcp(int port);
+
+  /// Sends one command and blocks for its response payload. An EOF
+  /// before a complete response (e.g. the BUSY-then-close admission
+  /// path already consumed by Receive) is an error.
+  Result<std::string> Call(const std::string& command);
+
+  /// Sends one request frame.
+  Status Send(const std::string& command);
+
+  /// Blocks for the next response payload.
+  Result<std::string> Receive();
+
+  bool connected() const { return fd_ >= 0; }
+  void Close();
+
+ private:
+  explicit BlockingClient(int fd) : fd_(fd) {}
+
+  int fd_ = -1;
+  FrameDecoder decoder_;
+};
+
+}  // namespace server
+}  // namespace xia
+
+#endif  // XIA_SERVER_CLIENT_H_

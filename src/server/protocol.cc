@@ -1,0 +1,93 @@
+#include "server/protocol.h"
+
+#include <cstring>
+
+namespace xia {
+namespace server {
+
+namespace {
+
+uint32_t DecodeBigEndian32(const char* p) {
+  return (static_cast<uint32_t>(static_cast<unsigned char>(p[0])) << 24) |
+         (static_cast<uint32_t>(static_cast<unsigned char>(p[1])) << 16) |
+         (static_cast<uint32_t>(static_cast<unsigned char>(p[2])) << 8) |
+         static_cast<uint32_t>(static_cast<unsigned char>(p[3]));
+}
+
+}  // namespace
+
+std::string EncodeFrame(std::string_view payload) {
+  uint32_t n = static_cast<uint32_t>(payload.size());
+  std::string frame;
+  frame.reserve(kFrameHeaderBytes + payload.size());
+  frame.push_back(static_cast<char>((n >> 24) & 0xff));
+  frame.push_back(static_cast<char>((n >> 16) & 0xff));
+  frame.push_back(static_cast<char>((n >> 8) & 0xff));
+  frame.push_back(static_cast<char>(n & 0xff));
+  frame.append(payload);
+  return frame;
+}
+
+Status FrameDecoder::Feed(const char* data, size_t n) {
+  if (poisoned_) {
+    return Status::InvalidArgument("frame decoder poisoned by oversized frame");
+  }
+  buffer_.append(data, n);
+  // Validate every complete header already buffered, so an oversized
+  // announcement is rejected at Feed time even if the caller never drains
+  // earlier frames first.
+  size_t offset = 0;
+  while (buffer_.size() - offset >= kFrameHeaderBytes) {
+    uint32_t length = DecodeBigEndian32(buffer_.data() + offset);
+    if (length > max_frame_bytes_) {
+      poisoned_ = true;
+      return Status::InvalidArgument(
+          "frame length " + std::to_string(length) + " exceeds limit " +
+          std::to_string(max_frame_bytes_));
+    }
+    if (buffer_.size() - offset - kFrameHeaderBytes < length) break;
+    offset += kFrameHeaderBytes + length;
+  }
+  return Status::Ok();
+}
+
+std::optional<std::string> FrameDecoder::Next() {
+  if (poisoned_ || buffer_.size() < kFrameHeaderBytes) return std::nullopt;
+  uint32_t length = DecodeBigEndian32(buffer_.data());
+  if (buffer_.size() - kFrameHeaderBytes < length) return std::nullopt;
+  std::string payload = buffer_.substr(kFrameHeaderBytes, length);
+  buffer_.erase(0, kFrameHeaderBytes + length);
+  return payload;
+}
+
+std::string OkResponse(std::string_view body) {
+  if (body.empty()) return "OK";
+  std::string payload = "OK\n";
+  payload.append(body);
+  return payload;
+}
+
+std::string ErrResponse(std::string_view message) {
+  std::string payload = "ERR ";
+  payload.append(message);
+  return payload;
+}
+
+std::string BusyResponse(std::string_view message) {
+  std::string payload = "BUSY ";
+  payload.append(message);
+  return payload;
+}
+
+ResponseKind ClassifyResponse(std::string_view payload) {
+  std::string_view line = payload.substr(0, payload.find('\n'));
+  if (line == "OK" || line.substr(0, 3) == "OK ") return ResponseKind::kOk;
+  if (line.substr(0, 4) == "ERR ") return ResponseKind::kErr;
+  if (line.substr(0, 5) == "BUSY " || line == "BUSY") {
+    return ResponseKind::kBusy;
+  }
+  return ResponseKind::kMalformed;
+}
+
+}  // namespace server
+}  // namespace xia

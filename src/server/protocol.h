@@ -1,0 +1,83 @@
+#ifndef XIA_SERVER_PROTOCOL_H_
+#define XIA_SERVER_PROTOCOL_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "common/status.h"
+
+namespace xia {
+namespace server {
+
+/// xia::server wire framing.
+///
+/// A frame is a 4-byte big-endian payload length followed by that many
+/// payload bytes. Requests carry one command line (the advisor shell
+/// grammar; see docs/PROTOCOL.md); responses carry a status line ("OK",
+/// "ERR <message>", or "BUSY <message>") optionally followed by a
+/// newline and a free-form text body. Length-prefixing — rather than
+/// newline-delimiting — lets multi-line bodies (reports, EXPLAIN output,
+/// stats snapshots) travel as one response without escaping.
+
+/// Upper bound a decoder accepts for one payload. Large enough for any
+/// report the dispatcher produces, small enough that a malicious or
+/// corrupt length prefix cannot balloon the connection buffer.
+inline constexpr size_t kMaxFrameBytes = 4u << 20;  // 4 MiB
+
+/// Length prefix size.
+inline constexpr size_t kFrameHeaderBytes = 4;
+
+/// Serializes `payload` into a wire frame (header + payload).
+std::string EncodeFrame(std::string_view payload);
+
+/// Incremental frame parser for one connection. Feed() raw bytes exactly
+/// as read() produced them — frames may arrive split across reads or
+/// coalesced several to a read — then pop complete payloads with Next().
+///
+/// A length prefix exceeding the limit poisons the decoder (the stream
+/// cannot be resynchronized once framing is distrusted): Feed() returns
+/// InvalidArgument then and for every later call.
+class FrameDecoder {
+ public:
+  explicit FrameDecoder(size_t max_frame_bytes = kMaxFrameBytes)
+      : max_frame_bytes_(max_frame_bytes) {}
+
+  /// Appends raw bytes to the connection buffer. Fails (permanently) when
+  /// a frame header announces more than max_frame_bytes.
+  Status Feed(const char* data, size_t n);
+  Status Feed(std::string_view data) { return Feed(data.data(), data.size()); }
+
+  /// Pops the next complete payload, or nullopt when more bytes are
+  /// needed. Call in a loop: one Feed may complete several frames.
+  std::optional<std::string> Next();
+
+  /// Bytes buffered but not yet returned by Next().
+  size_t pending_bytes() const { return buffer_.size(); }
+
+  bool poisoned() const { return poisoned_; }
+
+ private:
+  size_t max_frame_bytes_;
+  std::string buffer_;
+  bool poisoned_ = false;
+};
+
+/// Response status line helpers, shared by server and load generator so
+/// both sides agree byte-for-byte on what BUSY looks like.
+std::string OkResponse(std::string_view body);
+std::string ErrResponse(std::string_view message);
+std::string BusyResponse(std::string_view message);
+
+/// Classification of a response payload by its status line.
+enum class ResponseKind { kOk, kErr, kBusy, kMalformed };
+
+/// Reads the status line of a response payload.
+ResponseKind ClassifyResponse(std::string_view payload);
+
+}  // namespace server
+}  // namespace xia
+
+#endif  // XIA_SERVER_PROTOCOL_H_

@@ -1,0 +1,689 @@
+#include "server/session.h"
+
+#include <fstream>
+#include <sstream>
+
+#include "advisor/analysis.h"
+#include "common/failpoint.h"
+#include "common/metrics.h"
+#include "common/string_util.h"
+#include "exec/executor.h"
+#include "optimizer/explain.h"
+#include "query/parser.h"
+#include "storage/collection_io.h"
+#include "wlm/compress.h"
+#include "wlm/wlm_io.h"
+#include "workload/tpox_queries.h"
+#include "workload/workload_io.h"
+#include "workload/xmark_queries.h"
+#include "xmldata/tpox_gen.h"
+#include "xmldata/xmark_gen.h"
+#include "xpath/parser.h"
+
+namespace xia {
+namespace server {
+
+wlm::DriftMonitor* SharedState::DriftWatcher() {
+  if (!drift) {
+    drift =
+        std::make_unique<wlm::DriftMonitor>(&db, default_options.cost_model);
+  }
+  return drift.get();
+}
+
+const char* HelpText() {
+  return
+      "commands:\n"
+      "  gen xmark <docs> | gen tpox <cust> <orders> <secs>\n"
+      "  load <collection> <file.xml>\n"
+      "  savecoll <collection> <dir> | loadcoll <collection> <dir>\n"
+      "  analyze <collection>\n"
+      "  workload xmark|tpox | workload file <path>\n"
+      "  query <weight> <text...>\n"
+      "  update <insert|delete> <collection> <weight> <pattern>\n"
+      "  show workload|catalog|candidates|dag|stats <coll>\n"
+      "  enumerate <query...>\n"
+      "  advise [--from-log] [--compress] [--budget-ms <N>] <budget_kb>"
+      " [greedy|heuristic|topdown]\n"
+      "  whatif start|add <coll> <pattern> <double|varchar>|drop <name>|eval\n"
+      "  capture on [capacity]|off\n"
+      "  log stats | save <path> | load <path> | clear\n"
+      "  drift check | readvise | threshold <t>\n"
+      "  failpoint <name=mode[,mode...]>|<name=off>|list\n"
+      "  ddl | materialize | run <query...> | stats | ping | help | quit\n";
+}
+
+VerbClass CommandDispatcher::Classify(const std::string& line) {
+  std::istringstream input(line);
+  std::string verb;
+  std::string sub;
+  input >> verb >> sub;
+  verb = ToLower(verb);
+  if (verb == "advise") return VerbClass::kAdvise;
+  if (verb == "drift" && ToLower(sub) == "readvise") return VerbClass::kAdvise;
+  return VerbClass::kLight;
+}
+
+bool CommandDispatcher::IsExclusiveVerb(const std::string& verb) {
+  // Verbs that mutate the shared database/catalog (gen, load, loadcoll,
+  // analyze, materialize), install/uninstall the process-wide capture
+  // sink (capture), or drive the drift monitor's long mutating pipeline
+  // (drift). Everything else reads shared state through thread-safe
+  // caches and may run concurrently.
+  return verb == "gen" || verb == "load" || verb == "loadcoll" ||
+         verb == "analyze" || verb == "materialize" || verb == "capture" ||
+         verb == "drift";
+}
+
+CommandOutcome CommandDispatcher::Execute(const std::string& line,
+                                          ClientSession* session,
+                                          std::ostream& out) {
+  std::istringstream input(line);
+  std::string command;
+  input >> command;
+  command = ToLower(command);
+  std::string rest;
+  std::getline(input, rest);
+  std::istringstream params(rest);
+  if (command.empty()) return CommandOutcome::kHandled;
+  if (command == "quit" || command == "exit") return CommandOutcome::kQuit;
+  if (command == "ping") {
+    out << "pong\n";
+    return CommandOutcome::kHandled;
+  }
+  if (command == "help") {
+    out << HelpText();
+    return CommandOutcome::kHandled;
+  }
+
+  // Reader/writer discipline: see IsExclusiveVerb.
+  std::shared_lock<std::shared_mutex> read_lock(shared_->mu,
+                                                std::defer_lock);
+  std::unique_lock<std::shared_mutex> write_lock(shared_->mu,
+                                                 std::defer_lock);
+  if (IsExclusiveVerb(command)) {
+    write_lock.lock();
+  } else {
+    read_lock.lock();
+  }
+
+  if (command == "gen") {
+    CmdGen(params, out);
+  } else if (command == "load") {
+    CmdLoad(params, out);
+  } else if (command == "savecoll" || command == "loadcoll") {
+    CmdSaveLoadColl(command, params, out);
+  } else if (command == "analyze") {
+    CmdAnalyze(params, out);
+  } else if (command == "workload") {
+    CmdWorkload(session, params, out);
+  } else if (command == "query") {
+    CmdQuery(session, rest, out);
+  } else if (command == "update") {
+    CmdUpdate(session, rest, out);
+  } else if (command == "show") {
+    CmdShow(session, params, out);
+  } else if (command == "enumerate") {
+    CmdEnumerate(std::string(Trim(rest)), out);
+  } else if (command == "advise") {
+    CmdAdvise(session, params, out);
+  } else if (command == "whatif") {
+    CmdWhatIf(session, params, out);
+  } else if (command == "ddl") {
+    CmdDdl(session, out);
+  } else if (command == "materialize") {
+    CmdMaterialize(session, out);
+  } else if (command == "run") {
+    CmdRun(std::string(Trim(rest)), out);
+  } else if (command == "capture") {
+    CmdCapture(params, out);
+  } else if (command == "log") {
+    CmdLog(params, out);
+  } else if (command == "drift") {
+    CmdDrift(session, params, out);
+  } else if (command == "failpoint") {
+    CmdFailpoint(std::string(Trim(rest)), out);
+  } else if (command == "stats") {
+    CmdStats(out);
+  } else {
+    out << "unknown command '" << command << "' — type 'help'\n";
+  }
+  return CommandOutcome::kHandled;
+}
+
+void CommandDispatcher::CmdGen(std::istream& args, std::ostream& out) {
+  std::string kind;
+  args >> kind;
+  if (kind == "xmark") {
+    int docs = 10;
+    args >> docs;
+    Status status =
+        PopulateXMark(&shared_->db, "xmark", docs, XMarkParams(), 42);
+    out << (status.ok()
+                ? "generated xmark: " +
+                      std::to_string(
+                          shared_->db.GetCollection("xmark")->num_nodes()) +
+                      " nodes\n"
+                : status.ToString() + "\n");
+  } else if (kind == "tpox") {
+    int customers = 50;
+    int orders = 100;
+    int securities = 20;
+    args >> customers >> orders >> securities;
+    Status status = PopulateTpox(&shared_->db, customers, orders, securities,
+                                 TpoxParams(), 11);
+    out << (status.ok() ? "generated tpox collections\n"
+                        : status.ToString() + "\n");
+  } else {
+    out << "usage: gen xmark <docs> | gen tpox <c> <o> <s>\n";
+  }
+}
+
+void CommandDispatcher::CmdLoad(std::istream& args, std::ostream& out) {
+  std::string collection;
+  std::string path;
+  args >> collection >> path;
+  std::ifstream in(path);
+  if (!in) {
+    out << "cannot open " << path << "\n";
+    return;
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  if (shared_->db.GetCollection(collection) == nullptr) {
+    Result<Collection*> created = shared_->db.CreateCollection(collection);
+    if (!created.ok()) {
+      out << created.status().ToString() << "\n";
+      return;
+    }
+  }
+  Status status = shared_->db.LoadXml(collection, buffer.str());
+  out << (status.ok() ? "loaded 1 document (run 'analyze " + collection +
+                            "' to refresh stats)\n"
+                      : status.ToString() + "\n");
+}
+
+void CommandDispatcher::CmdSaveLoadColl(const std::string& verb,
+                                        std::istream& args,
+                                        std::ostream& out) {
+  std::string collection;
+  std::string dir;
+  args >> collection >> dir;
+  if (verb == "savecoll") {
+    Status status = SaveCollectionToDirectory(shared_->db, collection, dir);
+    out << (status.ok() ? "saved to " + dir + "\n"
+                        : status.ToString() + "\n");
+  } else {
+    Result<size_t> loaded =
+        LoadCollectionFromDirectory(&shared_->db, collection, dir);
+    out << (loaded.ok() ? "loaded " + std::to_string(*loaded) +
+                              " documents (analyzed)\n"
+                        : loaded.status().ToString() + "\n");
+  }
+}
+
+void CommandDispatcher::CmdAnalyze(std::istream& args, std::ostream& out) {
+  std::string collection;
+  args >> collection;
+  Status status = shared_->db.Analyze(collection);
+  out << (status.ok() ? "statistics rebuilt\n" : status.ToString() + "\n");
+}
+
+void CommandDispatcher::CmdWorkload(ClientSession* session, std::istream& args,
+                                    std::ostream& out) {
+  std::string kind;
+  args >> kind;
+  if (kind == "xmark") {
+    session->workload = MakeXMarkWorkload("xmark");
+    out << "loaded built-in xmark workload (" << session->workload.size()
+        << " queries)\n";
+  } else if (kind == "tpox") {
+    session->workload = MakeTpoxWorkload();
+    out << "loaded built-in tpox workload (" << session->workload.size()
+        << " queries)\n";
+  } else if (kind == "file") {
+    std::string path;
+    args >> path;
+    Result<Workload> loaded = LoadWorkloadFile(path);
+    if (!loaded.ok()) {
+      out << loaded.status().ToString() << "\n";
+      return;
+    }
+    session->workload = std::move(*loaded);
+    out << "loaded " << session->workload.size() << " queries from " << path
+        << "\n";
+  } else {
+    out << "usage: workload xmark|tpox | workload file <path>\n";
+  }
+}
+
+void CommandDispatcher::CmdQuery(ClientSession* session,
+                                 const std::string& rest, std::ostream& out) {
+  std::istringstream params(rest);
+  double weight = 1.0;
+  params >> weight;
+  std::string text;
+  std::getline(params, text);
+  Status status =
+      session->workload.AddQueryText(std::string(Trim(text)), weight);
+  out << (status.ok() ? "added\n" : status.ToString() + "\n");
+}
+
+void CommandDispatcher::CmdUpdate(ClientSession* session,
+                                  const std::string& rest, std::ostream& out) {
+  Result<Workload> parsed = ParseWorkloadText("update " + rest);
+  if (!parsed.ok()) {
+    out << parsed.status().ToString() << "\n";
+  } else {
+    session->workload.AddUpdate(parsed->updates()[0]);
+    out << "added\n";
+  }
+}
+
+void CommandDispatcher::CmdShow(ClientSession* session, std::istream& args,
+                                std::ostream& out) {
+  std::string what;
+  args >> what;
+  if (what == "workload") {
+    out << session->workload.Describe();
+  } else if (what == "stats") {
+    std::string collection;
+    args >> collection;
+    const PathSynopsis* synopsis = shared_->db.synopsis(collection);
+    if (synopsis == nullptr) {
+      out << "no statistics for '" << collection << "' (run 'analyze')\n";
+    } else {
+      out << synopsis->Describe(/*max_paths=*/60);
+    }
+  } else if (what == "catalog") {
+    for (const CatalogEntry* entry : shared_->catalog.AllIndexes()) {
+      out << "  " << entry->def.DdlString()
+          << (entry->is_virtual ? "  [virtual]\n" : "\n");
+    }
+    if (shared_->catalog.size() == 0) out << "  (empty)\n";
+  } else if (what == "candidates" || what == "dag") {
+    if (!session->recommendation.has_value()) {
+      out << "run 'advise' first\n";
+      return;
+    }
+    if (what == "candidates") {
+      out << session->recommendation->enumeration.ToString();
+    } else {
+      out << session->recommendation->dag.ToText(
+          session->recommendation->candidates);
+    }
+  } else {
+    out << "usage: show workload|catalog|candidates|dag|stats <coll>\n";
+  }
+}
+
+void CommandDispatcher::CmdEnumerate(const std::string& rest,
+                                     std::ostream& out) {
+  Result<Query> query = ParseQuery(rest);
+  if (!query.ok()) {
+    out << query.status().ToString() << "\n";
+    return;
+  }
+  query->id = "shell";
+  Result<EnumerateIndexesResult> result =
+      EnumerateIndexesMode(shared_->db, *query, &shared_->containment);
+  out << (result.ok() ? result->ToString()
+                      : result.status().ToString() + "\n");
+}
+
+void CommandDispatcher::CmdAdvise(ClientSession* session, std::istream& args,
+                                  std::ostream& out) {
+  double budget_kb = 128;
+  std::string algo = "heuristic";
+  bool from_log = false;
+  bool compress = false;
+  int64_t budget_ms = session->options.time_budget_ms;
+  // Flags first (any order), then the positional budget and algorithm.
+  std::string token;
+  bool have_budget = false;
+  while (args >> token) {
+    if (token == "--from-log") {
+      from_log = true;
+    } else if (token == "--compress") {
+      compress = true;
+    } else if (token == "--budget-ms") {
+      if (!(args >> budget_ms)) {
+        out << "--budget-ms needs a value\n";
+        return;
+      }
+    } else if (!have_budget) {
+      try {
+        budget_kb = std::stod(token);
+      } catch (...) {
+        out << "bad budget '" << token << "'\n";
+        return;
+      }
+      have_budget = true;
+    } else {
+      algo = token;
+    }
+  }
+  // The advised workload: the hand-built session workload, or the capture
+  // log — raw (one weight-1 query per execution) or compressed into
+  // weighted templates (weight = frequency × mean cost).
+  Workload advised = session->workload;
+  if (from_log) {
+    if (!shared_->capture_log) {
+      out << "no capture log — run 'capture on' first\n";
+      return;
+    }
+    std::vector<wlm::CaptureRecord> records = shared_->capture_log->Snapshot();
+    if (records.empty()) {
+      out << "capture log is empty — nothing to advise\n";
+      return;
+    }
+    if (compress) {
+      Result<wlm::CompressedWorkload> compressed = wlm::CompressLog(records);
+      if (!compressed.ok()) {
+        out << compressed.status().ToString() << "\n";
+        return;
+      }
+      out << compressed->report.ToString();
+      advised = std::move(compressed->workload);
+    } else {
+      Result<Workload> raw = wlm::WorkloadFromLog(records);
+      if (!raw.ok()) {
+        out << raw.status().ToString() << "\n";
+        return;
+      }
+      advised = std::move(*raw);
+      out << "advising " << advised.size()
+          << " captured queries (uncompressed)\n";
+    }
+  } else if (compress) {
+    out << "--compress needs --from-log\n";
+    return;
+  }
+  session->options.space_budget_bytes = budget_kb * 1024;
+  session->options.time_budget_ms = budget_ms;
+  if (algo == "greedy") {
+    session->options.algorithm = SearchAlgorithm::kGreedy;
+  } else if (algo == "topdown") {
+    session->options.algorithm = SearchAlgorithm::kTopDown;
+  } else {
+    session->options.algorithm = SearchAlgorithm::kGreedyHeuristic;
+  }
+  // Every session's advise funnels through the shared plan cache: a
+  // template one session priced is a cache hit for all the others.
+  session->options.shared_cost_cache = &shared_->what_if_cache;
+  Advisor advisor(&shared_->db, &shared_->catalog, session->options);
+  Result<Recommendation> rec = advisor.Recommend(advised);
+  if (!rec.ok()) {
+    out << rec.status().ToString() << "\n";
+    return;
+  }
+  session->recommendation = std::move(*rec);
+  if (session->recommendation->stop_reason != StopReason::kConverged) {
+    out << "stop_reason: "
+        << StopReasonName(session->recommendation->stop_reason)
+        << " — results are degraded (budget truncated the search)\n";
+  }
+  out << session->recommendation->Report();
+  // Remember what this advice promised, so `drift check` can compare the
+  // captured stream against it later. drift_mu: concurrent advises hold
+  // SharedState::mu only shared.
+  {
+    std::lock_guard<std::mutex> lock(shared_->drift_mu);
+    shared_->DriftWatcher()->RecordPrediction(
+        session->recommendation->recommended_cost,
+        advised.TotalQueryWeight());
+  }
+  Result<RecommendationAnalysis> analysis = AnalyzeRecommendation(
+      shared_->db, shared_->catalog, advised, *session->recommendation,
+      session->options.cost_model, &shared_->containment);
+  if (analysis.ok()) out << analysis->ToTable();
+}
+
+void CommandDispatcher::CmdWhatIf(ClientSession* session, std::istream& args,
+                                  std::ostream& out) {
+  std::string sub;
+  args >> sub;
+  if (sub == "start") {
+    // Seed the overlay with the current recommendation, if any.
+    session->whatif.emplace(&shared_->db, shared_->catalog,
+                            session->options.cost_model);
+    size_t seeded = 0;
+    if (session->recommendation.has_value()) {
+      for (const IndexDefinition& def : session->recommendation->indexes) {
+        if (session->whatif->AddIndex(def).ok()) ++seeded;
+      }
+    }
+    out << "what-if session started (" << seeded
+        << " indexes seeded from the recommendation)\n";
+    return;
+  }
+  if (!session->whatif.has_value()) {
+    out << "run 'whatif start' first\n";
+    return;
+  }
+  if (sub == "add") {
+    IndexDefinition def;
+    std::string pattern_text;
+    std::string type_text;
+    args >> def.collection >> pattern_text >> type_text;
+    Result<PathPattern> pattern = ParsePathPattern(pattern_text);
+    if (!pattern.ok()) {
+      out << pattern.status().ToString() << "\n";
+      return;
+    }
+    def.pattern = std::move(*pattern);
+    def.type = ToLower(type_text) == "double" ? ValueType::kDouble
+                                              : ValueType::kVarchar;
+    Result<std::string> name = session->whatif->AddIndex(std::move(def));
+    out << (name.ok() ? "added virtual index " + *name + "\n"
+                      : name.status().ToString() + "\n");
+  } else if (sub == "drop") {
+    std::string name;
+    args >> name;
+    Status status = session->whatif->DropIndex(name);
+    out << (status.ok() ? "dropped\n" : status.ToString() + "\n");
+  } else if (sub == "eval") {
+    Result<EvaluateIndexesResult> result =
+        session->whatif->EvaluateWorkload(session->workload);
+    out << (result.ok() ? result->ToString()
+                        : result.status().ToString() + "\n");
+  } else {
+    out << "usage: whatif start|add <coll> <pattern> "
+           "<double|varchar>|drop <name>|eval\n";
+  }
+}
+
+void CommandDispatcher::CmdDdl(ClientSession* session, std::ostream& out) {
+  if (session->recommendation.has_value()) {
+    out << ConfigurationDdlScript(session->recommendation->indexes);
+  } else {
+    out << "run 'advise' first\n";
+  }
+}
+
+void CommandDispatcher::CmdMaterialize(ClientSession* session,
+                                       std::ostream& out) {
+  if (!session->recommendation.has_value()) {
+    out << "run 'advise' first\n";
+    return;
+  }
+  Result<double> built = MaterializeConfiguration(
+      shared_->db, session->recommendation->indexes, &shared_->catalog,
+      session->options.cost_model.storage);
+  out << (built.ok()
+              ? "materialized " +
+                    std::to_string(session->recommendation->indexes.size()) +
+                    " indexes (" + FormatBytes(*built) + ")\n"
+              : built.status().ToString() + "\n");
+}
+
+void CommandDispatcher::CmdRun(const std::string& rest, std::ostream& out) {
+  Result<Query> query = ParseQuery(rest);
+  if (!query.ok()) {
+    out << query.status().ToString() << "\n";
+    return;
+  }
+  query->id = "shell";
+  Optimizer optimizer(&shared_->db, shared_->default_options.cost_model);
+  Result<QueryPlan> plan =
+      optimizer.Optimize(*query, shared_->catalog, &shared_->containment);
+  if (!plan.ok()) {
+    out << plan.status().ToString() << "\n";
+    return;
+  }
+  out << plan->ExplainWithStats();
+  Executor executor(&shared_->db, &shared_->catalog,
+                    shared_->default_options.cost_model,
+                    &shared_->buffer_pool);
+  Result<ExecResult> run = executor.Execute(*plan);
+  if (!run.ok()) {
+    out << run.status().ToString() << "\n";
+    return;
+  }
+  out << "-> " << run->nodes.size() << " result nodes from "
+      << run->docs_matched << " docs in " << FormatDouble(run->wall_micros)
+      << "us (" << FormatDouble(run->simulated_page_reads) << " pages)\n";
+  std::string rendered =
+      RenderResults(shared_->db, query->normalized.collection, *run, 5);
+  if (!rendered.empty()) out << rendered;
+}
+
+void CommandDispatcher::CmdCapture(std::istream& args, std::ostream& out) {
+  std::string sub;
+  args >> sub;
+  if (sub == "on") {
+    size_t capacity = 4096;
+    args >> capacity;
+    if (!shared_->capture_log) {
+      shared_->capture_log = std::make_unique<wlm::QueryLog>(capacity);
+    }
+    wlm::SetCaptureLog(shared_->capture_log.get());
+    out << "capture armed (" << shared_->capture_log->stats().capacity
+        << " record ring; 'run' and what-if queries are recorded)\n";
+  } else if (sub == "off") {
+    wlm::SetCaptureLog(nullptr);
+    out << "capture disarmed (log retained — see 'log stats')\n";
+  } else {
+    out << "usage: capture on [capacity]|off\n";
+  }
+}
+
+void CommandDispatcher::CmdLog(std::istream& args, std::ostream& out) {
+  std::string sub;
+  args >> sub;
+  if (!shared_->capture_log) {
+    out << "no capture log — run 'capture on' first\n";
+    return;
+  }
+  if (sub == "stats") {
+    out << shared_->capture_log->stats().ToString() << "\n";
+  } else if (sub == "save") {
+    std::string path;
+    args >> path;
+    Status status =
+        wlm::SaveCaptureLogFile(shared_->capture_log->Snapshot(), path);
+    out << (status.ok() ? "saved to " + path + "\n"
+                        : status.ToString() + "\n");
+  } else if (sub == "load") {
+    std::string path;
+    args >> path;
+    Result<std::vector<wlm::CaptureRecord>> loaded =
+        wlm::LoadCaptureLogFile(path);
+    if (!loaded.ok()) {
+      out << loaded.status().ToString() << "\n";
+      return;
+    }
+    size_t appended = 0;
+    for (wlm::CaptureRecord& r : *loaded) {
+      if (shared_->capture_log->Append(std::move(r)).ok()) ++appended;
+    }
+    out << "appended " << appended << " records from " << path << "\n";
+  } else if (sub == "clear") {
+    shared_->capture_log->Clear();
+    out << "cleared\n";
+  } else {
+    out << "usage: log stats | save <path> | load <path> | clear\n";
+  }
+}
+
+void CommandDispatcher::CmdDrift(ClientSession* session, std::istream& args,
+                                 std::ostream& out) {
+  // Exclusive verb (IsExclusiveVerb): no advise holds `mu` shared right
+  // now, but take drift_mu anyway so the lazy-creation story has exactly
+  // one lock discipline.
+  std::string sub;
+  args >> sub;
+  std::lock_guard<std::mutex> drift_lock(shared_->drift_mu);
+  if (sub == "threshold") {
+    double threshold = 0;
+    if (args >> threshold) {
+      shared_->DriftWatcher()->set_threshold(threshold);
+    }
+    out << "drift threshold: " << shared_->DriftWatcher()->threshold()
+        << "\n";
+    return;
+  }
+  if (sub != "check" && sub != "readvise") {
+    out << "usage: drift check | readvise | threshold <t>\n";
+    return;
+  }
+  if (!shared_->capture_log) {
+    out << "no capture log — run 'capture on' first\n";
+    return;
+  }
+  std::vector<wlm::CaptureRecord> records = shared_->capture_log->Snapshot();
+  if (records.empty()) {
+    out << "capture log is empty — nothing to check\n";
+    return;
+  }
+  Result<wlm::CompressedWorkload> compressed = wlm::CompressLog(records);
+  if (!compressed.ok()) {
+    out << compressed.status().ToString() << "\n";
+    return;
+  }
+  if (sub == "check") {
+    Result<wlm::DriftReport> report =
+        shared_->DriftWatcher()->Check(compressed->workload, shared_->catalog);
+    out << (report.ok() ? report->ToString() : report.status().ToString())
+        << "\n";
+    return;
+  }
+  // readvise: check, and when stale run the (anytime) advisor over the
+  // compressed capture; the new promise is recorded for the next check.
+  Result<wlm::ReadviseOutcome> outcome = shared_->DriftWatcher()->MaybeReadvise(
+      compressed->workload, shared_->catalog, session->options);
+  if (!outcome.ok()) {
+    out << outcome.status().ToString() << "\n";
+    return;
+  }
+  out << outcome->drift.ToString() << "\n";
+  if (outcome->recommendation.has_value()) {
+    session->recommendation = std::move(*outcome->recommendation);
+    out << session->recommendation->Report();
+  } else {
+    out << "configuration still fresh — no re-advising\n";
+  }
+}
+
+void CommandDispatcher::CmdFailpoint(const std::string& rest,
+                                     std::ostream& out) {
+  if (rest.empty() || rest == "list") {
+    std::vector<std::string> armed = fp::ArmedNames();
+    if (armed.empty()) out << "no failpoints armed\n";
+    for (const std::string& name : armed) {
+      out << "  " << name << " (trips: " << fp::Trips(name) << ")\n";
+    }
+    return;
+  }
+  Status status = fp::ArmFromSpec(rest);
+  out << (status.ok() ? "armed: " + rest + "\n" : status.ToString() + "\n");
+}
+
+void CommandDispatcher::CmdStats(std::ostream& out) {
+  // Process-wide xia::obs registry: every cache, pool, and scan counter
+  // the process has touched so far, in one snapshot.
+  out << obs::Registry().TakeSnapshot().ToText("  ");
+}
+
+}  // namespace server
+}  // namespace xia

@@ -15,6 +15,7 @@ bool BufferPool::Touch(uint64_t page_id) {
     misses_.Increment();
     return false;
   }
+  std::lock_guard<std::mutex> lock(mu_);
   auto it = map_.find(page_id);
   if (it != map_.end()) {
     hits_.Increment();
@@ -33,6 +34,7 @@ bool BufferPool::Touch(uint64_t page_id) {
 }
 
 void BufferPool::Reset() {
+  std::lock_guard<std::mutex> lock(mu_);
   lru_.clear();
   map_.clear();
   hits_.Reset();

@@ -4,6 +4,7 @@
 #include <cstddef>
 #include <cstdint>
 #include <list>
+#include <mutex>
 #include <unordered_map>
 
 #include "common/metrics.h"
@@ -16,6 +17,11 @@ namespace xia {
 /// warm-cache behaviour (DB2's buffer pool analogue). Page ids are opaque
 /// 64-bit values; callers partition the id space (collection pages,
 /// per-index leaf pages).
+///
+/// Thread-safe: every operation takes one internal mutex, so concurrent
+/// server sessions can share the process-wide pool (xia::server does).
+/// Hit/miss totals are exact under concurrency; which page gets evicted
+/// depends on arrival order, as in any shared LRU.
 class BufferPool {
  public:
   /// `capacity_pages` of zero disables caching (every touch is a miss).
@@ -36,7 +42,10 @@ class BufferPool {
   Result<bool> Fetch(uint64_t page_id);
 
   size_t capacity() const { return capacity_; }
-  size_t size() const { return map_.size(); }
+  size_t size() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return map_.size();
+  }
   uint64_t hits() const { return hits_.Value(); }
   uint64_t misses() const { return misses_.Value(); }
   uint64_t evictions() const { return evictions_.Value(); }
@@ -53,10 +62,10 @@ class BufferPool {
 
  private:
   size_t capacity_;
+  mutable std::mutex mu_;    // Guards lru_ + map_.
   std::list<uint64_t> lru_;  // Front = most recently used.
   std::unordered_map<uint64_t, std::list<uint64_t>::iterator> map_;
-  // xia::obs counters ("bufferpool.*"); the pool itself is still
-  // single-threaded — the obs::Counter is for the unified export path.
+  // xia::obs counters ("bufferpool.*"), exported via the unified path.
   obs::Counter hits_{"bufferpool.hits"};
   obs::Counter misses_{"bufferpool.misses"};
   obs::Counter evictions_{"bufferpool.evictions"};

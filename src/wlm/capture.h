@@ -114,6 +114,8 @@ class QueryLog {
 /// Installs `log` as the process-wide capture sink (nullptr disarms).
 /// The caller owns the log and must keep it alive while installed —
 /// install order: construct, install; disarm before destroying.
+/// Prefer ScopedCaptureLog wherever a scope owns the log: it makes the
+/// disarm exception-safe.
 void SetCaptureLog(QueryLog* log);
 
 /// The installed sink, or nullptr. One relaxed atomic load.
@@ -133,6 +135,37 @@ void MaybeCapture(const QueryPlan& plan);
 /// Capture hook for call sites holding the query itself plus an estimated
 /// cost (the interactive what-if path). Same no-fail contract.
 void MaybeCapture(const Query& query, double est_cost);
+
+/// RAII guard for the process-wide capture sink: remembers the sink
+/// installed at construction (optionally installing `log` first) and
+/// restores it on destruction.
+///
+/// This is the only safe way to arm capture from a scope that owns the
+/// log: if anything between arm and disarm throws — a REPL command, a
+/// server request — stack unwinding restores the previous sink *before*
+/// the owning scope destroys the log, so the hooks can never fire
+/// against a destroyed QueryLog. Declare the guard AFTER the log's owner
+/// (guards destruct first). Restore semantics (rather than
+/// unconditional disarm) make nested guards compose in tests.
+class ScopedCaptureLog {
+ public:
+  /// Pure guard: installs nothing now; restores the current sink later.
+  ScopedCaptureLog() : previous_(CaptureLog()) {}
+
+  /// Installs `log` (nullptr = disarm) and restores the previous sink on
+  /// destruction.
+  explicit ScopedCaptureLog(QueryLog* log) : previous_(CaptureLog()) {
+    SetCaptureLog(log);
+  }
+
+  ~ScopedCaptureLog() { SetCaptureLog(previous_); }
+
+  ScopedCaptureLog(const ScopedCaptureLog&) = delete;
+  ScopedCaptureLog& operator=(const ScopedCaptureLog&) = delete;
+
+ private:
+  QueryLog* previous_;
+};
 
 namespace detail {
 extern std::atomic<QueryLog*> g_capture_log;

@@ -1,0 +1,364 @@
+// xia::server — wire framing, the concurrent advisor service, and its
+// failure modes. Covers frame round-trips under split and coalesced
+// reads, oversized-frame poisoning, concurrent sessions sharing one
+// what-if plan cache with bit-identical advise replies, deadline-expired
+// advises returning flagged best-so-far results, BUSY fast-rejection
+// under both admission bounds, and the server.accept / server.read
+// failpoint sweep (an injected fault drops one client, never the
+// server). The whole file runs under ASan+UBSan and TSan in CI.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/failpoint.h"
+#include "server/client.h"
+#include "server/protocol.h"
+#include "server/server.h"
+#include "server/session.h"
+#include "xmldata/xmark_gen.h"
+
+namespace xia {
+namespace server {
+namespace {
+
+// ---------------------------------------------------------------------
+// Framing.
+
+TEST(FrameDecoderTest, RoundTripSingleFrame) {
+  FrameDecoder decoder;
+  std::string frame = EncodeFrame("advise 64");
+  EXPECT_EQ(frame.size(), kFrameHeaderBytes + 9);
+  ASSERT_TRUE(decoder.Feed(frame).ok());
+  std::optional<std::string> payload = decoder.Next();
+  ASSERT_TRUE(payload.has_value());
+  EXPECT_EQ(*payload, "advise 64");
+  EXPECT_FALSE(decoder.Next().has_value());
+  EXPECT_EQ(decoder.pending_bytes(), 0u);
+}
+
+TEST(FrameDecoderTest, SplitReadsReassemble) {
+  // Feed one byte at a time — a frame must survive any read segmentation
+  // the kernel produces.
+  FrameDecoder decoder;
+  std::string frame = EncodeFrame("stats");
+  for (size_t i = 0; i < frame.size(); ++i) {
+    ASSERT_TRUE(decoder.Feed(frame.data() + i, 1).ok());
+    if (i + 1 < frame.size()) {
+      EXPECT_FALSE(decoder.Next().has_value()) << "completed early at " << i;
+    }
+  }
+  std::optional<std::string> payload = decoder.Next();
+  ASSERT_TRUE(payload.has_value());
+  EXPECT_EQ(*payload, "stats");
+}
+
+TEST(FrameDecoderTest, CoalescedFramesAllPop) {
+  // Several frames in one read: Next() must drain them in order.
+  FrameDecoder decoder;
+  std::string wire =
+      EncodeFrame("ping") + EncodeFrame("") + EncodeFrame("quit");
+  ASSERT_TRUE(decoder.Feed(wire).ok());
+  std::optional<std::string> first = decoder.Next();
+  std::optional<std::string> second = decoder.Next();
+  std::optional<std::string> third = decoder.Next();
+  ASSERT_TRUE(first && second && third);
+  EXPECT_EQ(*first, "ping");
+  EXPECT_EQ(*second, "");
+  EXPECT_EQ(*third, "quit");
+  EXPECT_FALSE(decoder.Next().has_value());
+}
+
+TEST(FrameDecoderTest, OversizedFramePoisonsPermanently) {
+  FrameDecoder decoder(/*max_frame_bytes=*/16);
+  std::string ok_frame = EncodeFrame("small");
+  ASSERT_TRUE(decoder.Feed(ok_frame).ok());
+  ASSERT_TRUE(decoder.Next().has_value());
+
+  std::string big_frame = EncodeFrame(std::string(17, 'x'));
+  Status fed = decoder.Feed(big_frame);
+  EXPECT_FALSE(fed.ok());
+  EXPECT_TRUE(decoder.poisoned());
+  // Poisoning is permanent: even a well-formed frame is rejected, and
+  // nothing can be popped — framing is no longer trusted.
+  EXPECT_FALSE(decoder.Feed(ok_frame).ok());
+  EXPECT_FALSE(decoder.Next().has_value());
+}
+
+TEST(FrameDecoderTest, HeaderAloneDoesNotComplete) {
+  FrameDecoder decoder;
+  std::string frame = EncodeFrame("abc");
+  ASSERT_TRUE(decoder.Feed(frame.data(), kFrameHeaderBytes).ok());
+  EXPECT_FALSE(decoder.Next().has_value());
+  ASSERT_TRUE(
+      decoder.Feed(frame.data() + kFrameHeaderBytes, frame.size() -
+                                                         kFrameHeaderBytes)
+          .ok());
+  EXPECT_EQ(decoder.Next().value_or(""), "abc");
+}
+
+TEST(ResponseTest, StatusLineClassification) {
+  EXPECT_EQ(ClassifyResponse(OkResponse("")), ResponseKind::kOk);
+  EXPECT_EQ(ClassifyResponse(OkResponse("body\nlines")), ResponseKind::kOk);
+  EXPECT_EQ(ClassifyResponse(ErrResponse("bad verb")), ResponseKind::kErr);
+  EXPECT_EQ(ClassifyResponse(BusyResponse("advise capacity")),
+            ResponseKind::kBusy);
+  EXPECT_EQ(ClassifyResponse("definitely not a status line"),
+            ResponseKind::kMalformed);
+  EXPECT_EQ(ClassifyResponse(""), ResponseKind::kMalformed);
+}
+
+// ---------------------------------------------------------------------
+// The server proper. Each test binds an ephemeral loopback port.
+
+class ServerTest : public ::testing::Test {
+ protected:
+  void SetUp() override { fp::DisarmAll(); }
+  void TearDown() override {
+    server_.reset();  // RequestStop + Wait before shared_ dies.
+    fp::DisarmAll();
+  }
+
+  void Preload(int docs) {
+    ASSERT_TRUE(
+        PopulateXMark(&shared_.db, "xmark", docs, XMarkParams(), 42).ok());
+  }
+
+  void StartServer(ServerOptions options = {}) {
+    options.tcp_port = 0;  // Ephemeral; read back via port().
+    server_ = std::make_unique<Server>(&shared_, options);
+    Status started = server_->Start();
+    ASSERT_TRUE(started.ok()) << started.ToString();
+    ASSERT_GT(server_->port(), 0);
+  }
+
+  BlockingClient Connect() {
+    Result<BlockingClient> client = BlockingClient::ConnectTcp(server_->port());
+    EXPECT_TRUE(client.ok()) << client.status().ToString();
+    return std::move(*client);
+  }
+
+  SharedState shared_;
+  std::unique_ptr<Server> server_;
+};
+
+TEST_F(ServerTest, PingAndHelpAndQuit) {
+  StartServer();
+  BlockingClient client = Connect();
+
+  Result<std::string> pong = client.Call("ping");
+  ASSERT_TRUE(pong.ok()) << pong.status().ToString();
+  EXPECT_EQ(*pong, OkResponse("pong\n"));
+
+  Result<std::string> help = client.Call("help");
+  ASSERT_TRUE(help.ok());
+  EXPECT_EQ(ClassifyResponse(*help), ResponseKind::kOk);
+  EXPECT_NE(help->find("advise"), std::string::npos);
+
+  Result<std::string> bye = client.Call("quit");
+  ASSERT_TRUE(bye.ok());
+  EXPECT_EQ(ClassifyResponse(*bye), ResponseKind::kOk);
+  // The server closes the session after quit.
+  EXPECT_FALSE(client.Receive().ok());
+}
+
+TEST_F(ServerTest, UnknownVerbStillHandled) {
+  StartServer();
+  BlockingClient client = Connect();
+  Result<std::string> reply = client.Call("frobnicate");
+  ASSERT_TRUE(reply.ok());
+  // Unknown verbs are shell-compatible advisory text, not a dropped
+  // connection — the next request on the same session works.
+  EXPECT_NE(reply->find("unknown command"), std::string::npos);
+  Result<std::string> pong = client.Call("ping");
+  ASSERT_TRUE(pong.ok());
+  EXPECT_EQ(*pong, OkResponse("pong\n"));
+}
+
+TEST_F(ServerTest, ConcurrentSessionsShareCostCacheBitIdentically) {
+  Preload(3);
+  ServerOptions options;
+  options.workers = 4;
+  options.max_connections = 4;
+  options.max_inflight_advises = 4;
+  StartServer(options);
+
+  // Four sessions build the same workload and advise concurrently. The
+  // replies must be byte-identical: the shared plan cache may change who
+  // computes a plan, never what the plan is.
+  constexpr int kSessions = 4;
+  std::vector<std::string> replies(kSessions);
+  std::vector<std::thread> threads;
+  threads.reserve(kSessions);
+  for (int i = 0; i < kSessions; ++i) {
+    threads.emplace_back([this, i, &replies] {
+      BlockingClient client = Connect();
+      Result<std::string> loaded = client.Call("workload xmark");
+      ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+      Result<std::string> advised = client.Call("advise 64");
+      ASSERT_TRUE(advised.ok()) << advised.status().ToString();
+      replies[static_cast<size_t>(i)] = std::move(*advised);
+    });
+  }
+  for (std::thread& t : threads) t.join();
+
+  for (int i = 1; i < kSessions; ++i) {
+    EXPECT_EQ(replies[static_cast<size_t>(i)], replies[0])
+        << "session " << i << " diverged";
+  }
+  EXPECT_EQ(ClassifyResponse(replies[0]), ResponseKind::kOk);
+  EXPECT_NE(replies[0].find("Recommended configuration"), std::string::npos);
+  // Proof the cache was actually shared: four identical advises can only
+  // miss each distinct plan once, so hits must have accrued.
+  EXPECT_GT(shared_.what_if_cache.stats().hits, 0u);
+}
+
+TEST_F(ServerTest, DeadlineExpiredAdviseReturnsFlaggedBestSoFar) {
+  Preload(3);
+  StartServer();
+
+  // Make every what-if optimization sleep so a 1ms budget is guaranteed
+  // to fire mid-search (the deadline_test idiom); kOk = latency only.
+  fp::FailSpec slow;
+  slow.code = StatusCode::kOk;
+  slow.latency_ms = 5;
+  fp::ScopedFailpoint armed("advisor.whatif.optimize", slow);
+
+  BlockingClient client = Connect();
+  ASSERT_TRUE(client.Call("workload xmark").ok());
+  Result<std::string> reply = client.Call("advise --budget-ms 1 64");
+  ASSERT_TRUE(reply.ok()) << reply.status().ToString();
+  // Anytime contract over the wire: an expired budget is still an OK
+  // reply carrying the best-so-far configuration, flagged as degraded.
+  EXPECT_EQ(ClassifyResponse(*reply), ResponseKind::kOk);
+  EXPECT_NE(reply->find("stop_reason: deadline"), std::string::npos)
+      << *reply;
+  EXPECT_NE(reply->find("Recommended configuration"), std::string::npos);
+}
+
+TEST_F(ServerTest, AdviseBusyWhenNoCapacity) {
+  Preload(3);
+  ServerOptions options;
+  options.max_inflight_advises = 0;  // Every advise over capacity.
+  StartServer(options);
+
+  BlockingClient client = Connect();
+  ASSERT_TRUE(client.Call("workload xmark").ok());
+  Result<std::string> reply = client.Call("advise 64");
+  ASSERT_TRUE(reply.ok());
+  EXPECT_EQ(ClassifyResponse(*reply), ResponseKind::kBusy) << *reply;
+  // BUSY is per-request, not per-connection: light verbs still serve.
+  Result<std::string> pong = client.Call("ping");
+  ASSERT_TRUE(pong.ok());
+  EXPECT_EQ(*pong, OkResponse("pong\n"));
+}
+
+TEST_F(ServerTest, ConnectionBusyWhenFull) {
+  ServerOptions options;
+  options.workers = 1;
+  options.max_connections = 1;
+  StartServer(options);
+
+  BlockingClient first = Connect();
+  // A round-trip guarantees the first connection is admitted before the
+  // second one races the accept loop.
+  ASSERT_TRUE(first.Call("ping").ok());
+
+  BlockingClient second = Connect();
+  // Over-admission gets exactly one BUSY frame, then close.
+  Result<std::string> busy = second.Receive();
+  ASSERT_TRUE(busy.ok()) << busy.status().ToString();
+  EXPECT_EQ(ClassifyResponse(*busy), ResponseKind::kBusy);
+  EXPECT_FALSE(second.Receive().ok());
+
+  // The admitted connection is unaffected.
+  Result<std::string> pong = first.Call("ping");
+  ASSERT_TRUE(pong.ok());
+  EXPECT_EQ(*pong, OkResponse("pong\n"));
+}
+
+TEST_F(ServerTest, AcceptFailpointDropsOneClientNotTheServer) {
+  StartServer();
+
+  {
+    fp::FailSpec spec;  // kInternal, every hit.
+    spec.max_trips = 1;
+    fp::ScopedFailpoint armed("server.accept", spec);
+    // The connection is accepted by the kernel, then the injected accept
+    // fault closes it before a session starts: the client sees EOF on
+    // its first read, never a hang.
+    BlockingClient dropped = Connect();
+    EXPECT_FALSE(dropped.Call("ping").ok());
+  }
+
+  // The server survived and serves the next client.
+  BlockingClient client = Connect();
+  Result<std::string> pong = client.Call("ping");
+  ASSERT_TRUE(pong.ok());
+  EXPECT_EQ(*pong, OkResponse("pong\n"));
+}
+
+TEST_F(ServerTest, ReadFailpointDropsConnectionMidSession) {
+  StartServer();
+
+  {
+    fp::FailSpec spec;
+    spec.max_trips = 1;
+    fp::ScopedFailpoint armed("server.read", spec);
+    // The read gate is checked before each blocking read, so arming
+    // before the connection exists makes the very first read trip: the
+    // injected fault closes the connection without a reply.
+    BlockingClient victim = Connect();
+    EXPECT_FALSE(victim.Call("ping").ok());
+  }
+
+  BlockingClient fresh = Connect();
+  Result<std::string> pong = fresh.Call("ping");
+  ASSERT_TRUE(pong.ok());
+  EXPECT_EQ(*pong, OkResponse("pong\n"));
+}
+
+TEST_F(ServerTest, OversizedRequestFrameGetsErrThenClose) {
+  ServerOptions options;
+  options.max_frame_bytes = 64;
+  StartServer(options);
+
+  BlockingClient client = Connect();
+  ASSERT_TRUE(client.Call("ping").ok());
+  // 65-byte command: the client-side encoder is happy, the server-side
+  // decoder poisons. One ERR frame comes back, then the close.
+  Result<std::string> reply = client.Call(std::string(65, 'x'));
+  ASSERT_TRUE(reply.ok());
+  EXPECT_EQ(ClassifyResponse(*reply), ResponseKind::kErr);
+  EXPECT_FALSE(client.Receive().ok());
+}
+
+TEST_F(ServerTest, StopCancelsInflightAdviseAndConnectionsDrain) {
+  Preload(3);
+  StartServer();
+
+  // Park an advise behind the latency failpoint, stop the server while
+  // it runs: the shutdown token turns the search into an anytime wind-
+  // down, and Wait() must join without the advise completing naturally.
+  fp::FailSpec slow;
+  slow.code = StatusCode::kOk;
+  slow.latency_ms = 20;
+  fp::ScopedFailpoint armed("advisor.whatif.optimize", slow);
+
+  BlockingClient client = Connect();
+  ASSERT_TRUE(client.Call("workload xmark").ok());
+  ASSERT_TRUE(client.Send("advise 256").ok());
+  // Give the request a moment to enter the advisor.
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  server_->RequestStop();
+  server_->Wait();
+  EXPECT_TRUE(server_->shutdown_token().Cancelled());
+  EXPECT_EQ(server_->active_connections(), 0);
+  server_.reset();
+}
+
+}  // namespace
+}  // namespace server
+}  // namespace xia

@@ -47,13 +47,9 @@ CaptureRecord Rec(const std::string& text, double cost) {
   return r;
 }
 
-/// RAII capture arming: installs the log, disarms on scope exit even when
-/// an assertion fails mid-test.
-class ScopedCapture {
- public:
-  explicit ScopedCapture(QueryLog* log) { SetCaptureLog(log); }
-  ~ScopedCapture() { SetCaptureLog(nullptr); }
-};
+/// RAII capture arming: the library's ScopedCaptureLog (wlm/capture.h),
+/// which disarms on scope exit even when an assertion fails mid-test.
+using ScopedCapture = ScopedCaptureLog;
 
 /// Everything that must be bit-identical between two equivalent advising
 /// runs, rendered with round-trip float precision.
@@ -259,6 +255,52 @@ TEST_F(CaptureHookTest, CaptureFailureNeverFailsTheQuery) {
   ASSERT_TRUE(executor.Execute(*plan).ok());
   EXPECT_TRUE(log.Snapshot().empty());
   EXPECT_EQ(log.stats().dropped, 1u);
+}
+
+TEST(ScopedCaptureLogTest, RestoresPreviousSinkAndNests) {
+  ASSERT_EQ(CaptureLog(), nullptr);
+  QueryLog outer_log(8);
+  QueryLog inner_log(8);
+  {
+    ScopedCaptureLog outer(&outer_log);
+    EXPECT_EQ(CaptureLog(), &outer_log);
+    {
+      // Nested guards compose: the inner one restores the OUTER log, not
+      // a blanket nullptr — which is what lets a scope temporarily swap
+      // sinks without knowing whether capture was already armed.
+      ScopedCaptureLog inner(&inner_log);
+      EXPECT_EQ(CaptureLog(), &inner_log);
+    }
+    EXPECT_EQ(CaptureLog(), &outer_log);
+    {
+      // nullptr = scoped disarm.
+      ScopedCaptureLog disarm(nullptr);
+      EXPECT_FALSE(CaptureEnabled());
+    }
+    EXPECT_EQ(CaptureLog(), &outer_log);
+  }
+  EXPECT_EQ(CaptureLog(), nullptr);
+}
+
+TEST(ScopedCaptureLogTest, DisarmsOnException) {
+  // The leak this guard exists to prevent: a scope owns a log, arms it,
+  // then throws — unwinding must restore the sink BEFORE the owner (and
+  // the log with it) is destroyed, or the next capture hook fires into
+  // freed memory.
+  ASSERT_EQ(CaptureLog(), nullptr);
+  EXPECT_THROW(
+      {
+        QueryLog log(8);
+        ScopedCaptureLog armed(&log);  // After the log: guard dies first.
+        EXPECT_EQ(CaptureLog(), &log);
+        throw std::runtime_error("mid-capture failure");
+      },
+      std::runtime_error);
+  EXPECT_EQ(CaptureLog(), nullptr);
+  // Safe to capture again through a fresh sink.
+  QueryLog fresh(8);
+  ScopedCaptureLog armed(&fresh);
+  EXPECT_TRUE(CaptureEnabled());
 }
 
 // ----------------------------------------------------------- Compression.
