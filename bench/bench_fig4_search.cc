@@ -20,8 +20,10 @@
 #include "advisor/search_greedy_heuristic.h"
 #include "advisor/search_topdown.h"
 #include "common/logging.h"
+#include "common/random.h"
 #include "wlm/compress.h"
 #include "wlm/fingerprint.h"
+#include "workload/variation.h"
 #include "workload/xmark_queries.h"
 #include "xmldata/xmark_gen.h"
 
@@ -177,6 +179,7 @@ const std::vector<wlm::CaptureRecord>& SharedCaptureLog() {
 void BM_AdviseFromLog(benchmark::State& state) {
   Fixture& f = *SharedFixture();
   bool compress = state.range(0) != 0;
+  bool decompose = state.range(2) != 0;
   Workload advised;
   if (compress) {
     Result<wlm::CompressedWorkload> compressed =
@@ -191,6 +194,7 @@ void BM_AdviseFromLog(benchmark::State& state) {
   AdvisorOptions options;
   options.space_budget_bytes = 128.0 * 1024;
   options.threads = static_cast<int>(state.range(1));
+  options.decompose.enabled = decompose;
   Recommendation last;
   for (auto _ : state) {
     Advisor advisor(&f.db, &f.catalog, options);
@@ -204,15 +208,124 @@ void BM_AdviseFromLog(benchmark::State& state) {
       static_cast<double>(last.search.counters.cost.hits +
                           last.search.counters.cost.misses +
                           last.search.counters.cost.bypasses);
+  state.counters["benefit_priced"] =
+      static_cast<double>(last.search.counters.benefit.priced);
   state.counters["chosen"] = static_cast<double>(last.indexes.size());
 }
 
 BENCHMARK(BM_AdviseFromLog)
-    ->ArgNames({"compress", "threads"})
-    ->Args({0, 1})
-    ->Args({1, 1})
-    ->Args({0, 4})
-    ->Args({1, 4})
+    ->ArgNames({"compress", "threads", "decompose"})
+    ->Args({0, 1, 0})
+    ->Args({1, 1, 0})
+    ->Args({0, 4, 0})
+    ->Args({1, 4, 0})
+    ->Args({1, 1, 1})
+    ->Args({1, 4, 1})
+    ->UseRealTime()
+    ->Unit(benchmark::kMillisecond);
+
+/// Decomposed-vs-exact advising sweep over template count. A synthetic
+/// capture log — the 15 XMark demo queries plus literal-varied unseen
+/// templates, each "executed" a few times — is folded by wlm compression
+/// and advised with the atomic-benefit table on or off. The point of the
+/// sweep is the call-count asymptotics, not per-call latency: exact
+/// scoring issues O(queries × configurations) what-if requests, while the
+/// priced table holds requests near O(queries + indexes), so the
+/// `whatif_requests` ratio between paired decompose:0/decompose:1 rows
+/// widens with the template count (the regression gate holds the 10k row
+/// to ≥10×). A small scale-6 database keeps the exact 10k row affordable;
+/// Iterations(1) because the counters are deterministic and one exact
+/// 10k-template advise is already seconds of optimizer work.
+constexpr int kTemplateSweepMax = 10000;
+constexpr int kTemplateLogRepeats = 3;
+
+struct TemplateFixture {
+  Database db;
+  Catalog catalog;
+  /// Template-major: kTemplateLogRepeats consecutive records per
+  /// template, so a prefix slice of 3·N records is an N-template log.
+  std::vector<wlm::CaptureRecord> log;
+
+  TemplateFixture() {
+    XMarkParams params;
+    XIA_CHECK(PopulateXMark(&db, "xmark", 6, params, 42).ok());
+    Workload templates = MakeXMarkWorkload("xmark");
+    Random rng(7);
+    Workload unseen = MakeXMarkUnseenWorkload(
+        "xmark", &rng, kTemplateSweepMax - static_cast<int>(templates.size()));
+    for (const Query& q : unseen.queries()) templates.AddQuery(q);
+    uint64_t seq = 0;
+    for (const Query& q : templates.queries()) {
+      for (int rep = 0; rep < kTemplateLogRepeats; ++rep) {
+        wlm::CaptureRecord r;
+        r.seq = seq++;
+        r.text = q.text;
+        // Literal-varied templates are distinct advising classes, so the
+        // synthetic log fingerprints by full text (identical texts still
+        // fold). Unit est_cost: the sweep measures call counts and the
+        // equal weights keep every template through compression.
+        r.fingerprint = q.text;
+        r.est_cost = 1.0;
+        log.push_back(std::move(r));
+      }
+    }
+  }
+};
+
+TemplateFixture* SharedTemplateFixture() {
+  static TemplateFixture* fixture = new TemplateFixture();
+  return fixture;
+}
+
+void BM_AdviseTemplates(benchmark::State& state) {
+  TemplateFixture& f = *SharedTemplateFixture();
+  size_t templates = static_cast<size_t>(state.range(0));
+  bool decompose = state.range(1) != 0;
+  std::vector<wlm::CaptureRecord> slice(
+      f.log.begin(),
+      f.log.begin() + templates * static_cast<size_t>(kTemplateLogRepeats));
+  Result<wlm::CompressedWorkload> compressed = wlm::CompressLog(slice);
+  XIA_CHECK(compressed.ok());
+  AdvisorOptions options;
+  options.space_budget_bytes = 128.0 * 1024;
+  options.threads = 1;
+  options.decompose.enabled = decompose;
+  Recommendation last;
+  for (auto _ : state) {
+    Advisor advisor(&f.db, &f.catalog, options);
+    Result<Recommendation> rec = advisor.Recommend(compressed->workload);
+    XIA_CHECK(rec.ok());
+    benchmark::DoNotOptimize(rec->benefit);
+    last = std::move(*rec);
+  }
+  const AdvisorCacheCounters& c = last.search.counters;
+  state.counters["advised_templates"] =
+      static_cast<double>(compressed->workload.size());
+  state.counters["whatif_requests"] =
+      static_cast<double>(c.cost.hits + c.cost.misses + c.cost.bypasses);
+  state.counters["optimizer_runs"] =
+      static_cast<double>(c.cost.misses + c.cost.bypasses);
+  state.counters["benefit_priced"] = static_cast<double>(c.benefit.priced);
+  state.counters["benefit_table_hits"] =
+      static_cast<double>(c.benefit.table_hits);
+  state.counters["benefit_composed"] = static_cast<double>(c.benefit.composed);
+  state.counters["benefit_fallbacks"] =
+      static_cast<double>(c.benefit.fallback_whatifs);
+  state.counters["promised_benefit"] = last.benefit;
+  state.counters["chosen"] = static_cast<double>(last.indexes.size());
+}
+
+BENCHMARK(BM_AdviseTemplates)
+    ->ArgNames({"templates", "decompose"})
+    ->Args({15, 0})
+    ->Args({15, 1})
+    ->Args({100, 0})
+    ->Args({100, 1})
+    ->Args({1000, 0})
+    ->Args({1000, 1})
+    ->Args({10000, 0})
+    ->Args({10000, 1})
+    ->Iterations(1)
     ->UseRealTime()
     ->Unit(benchmark::kMillisecond);
 

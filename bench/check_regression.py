@@ -25,6 +25,17 @@ Two metric classes, chosen for machine-portability:
     cache shows up as ~1x against a committed ~3-5x, far outside any
     runner noise.
 
+  callcut metrics — what-if request ratios between paired exact and
+    decomposed advising rows: whatif_requests(decompose:0) /
+    whatif_requests(decompose:1) for each BM_AdviseTemplates template
+    count. Both sides are deterministic counters, so the ratio is
+    machine-independent; checked one-sided against the baseline like a
+    speedup. The 10k-template row additionally carries a HARD floor of
+    10x (CALLCUT_FLOORS) that no baseline refresh can lower — it is the
+    PR acceptance bar for atomic-benefit decomposition, and a silent
+    revert to exact scoring (ratio ~1x) or a pricing blow-up fails CI
+    here even if someone refreshes the baseline over it.
+
 Usage:
   check_regression.py <baseline.json> <bench1.json> [<bench2.json> ...]
   check_regression.py --refresh <baseline.json> <bench1.json> [...]
@@ -50,6 +61,22 @@ RATIO_TOLERANCE = 0.50
 FULL_COUNTERS = ("evaluations", "cost_hits", "cost_misses", "cost_bypasses",
                  "chosen")
 WARM_CACHE_COUNTERS = ("cost_misses",)
+# Advising rows track total what-if traffic (the hits/misses split is
+# thread-timing dependent at threads:4, the sum is not) plus the
+# benefit-table accounting: benefit_priced pinned at 0 on exact rows and
+# >0 on decomposed rows means a silent mode flip fails two-sided here.
+ADVISE_TEMPLATE_COUNTERS = ("advised_templates", "whatif_requests",
+                            "optimizer_runs", "benefit_priced",
+                            "benefit_fallbacks", "chosen")
+ADVISE_LOG_COUNTERS = ("advised_queries", "cost_requests", "benefit_priced",
+                       "chosen")
+
+# Absolute floors for callcut ratios (see docstring) — enforced against
+# the current run directly, not the baseline. Keys name the paired row
+# with the decompose arg stripped.
+CALLCUT_FLOORS = {
+    "callcut:BM_AdviseTemplates/templates:10000/iterations:1/real_time": 10.0,
+}
 
 
 def counter_names(bench_name):
@@ -57,6 +84,10 @@ def counter_names(bench_name):
         return FULL_COUNTERS
     if bench_name.startswith("BM_Evaluate"):
         return WARM_CACHE_COUNTERS
+    if bench_name.startswith("BM_AdviseTemplates"):
+        return ADVISE_TEMPLATE_COUNTERS
+    if bench_name.startswith("BM_AdviseFromLog"):
+        return ADVISE_LOG_COUNTERS
     return ()
 
 
@@ -85,6 +116,17 @@ def extract_metrics(bench_files):
         key = f"speedup:{name.replace('/cache:0', '')}"
         metrics[key] = float(bench["real_time"]) / float(
             sibling["real_time"])
+    # Decompose call-cut ratios: exact row's what-if requests over its
+    # decomposed sibling's.
+    for name, bench in rows.items():
+        if "decompose:0" not in name or "whatif_requests" not in bench:
+            continue
+        sibling = rows.get(name.replace("decompose:0", "decompose:1"))
+        if sibling is None or float(sibling.get("whatif_requests", 0)) <= 0:
+            continue
+        key = f"callcut:{name.replace('/decompose:0', '')}"
+        metrics[key] = float(bench["whatif_requests"]) / float(
+            sibling["whatif_requests"])
     return metrics
 
 
@@ -107,10 +149,19 @@ def check(baseline, current):
             if abs(change) > counter_tol:
                 failures.append(f"{key}: {base:g} -> {cur:g} "
                                 f"({change:+.1%}, tolerance ±{counter_tol:.0%})")
-        else:  # speedup: one-sided — only a collapse fails.
+        else:  # speedup/callcut: one-sided — only a collapse fails.
             if cur < base * (1.0 - ratio_tol):
                 failures.append(f"{key}: {base:.2f}x -> {cur:.2f}x "
                                 f"(floor {base * (1.0 - ratio_tol):.2f}x)")
+    # Hard acceptance floors, independent of whatever the baseline says.
+    for key, floor in sorted(CALLCUT_FLOORS.items()):
+        cur = current.get(key)
+        if cur is None:
+            failures.append(f"{key}: missing from current run "
+                            f"(hard floor {floor:g}x)")
+        elif cur < floor:
+            failures.append(f"{key}: {cur:.2f}x below hard floor {floor:g}x "
+                            f"(decomposed advising must cut what-if calls)")
     for key in sorted(set(current) - set(baseline["metrics"])):
         print(f"note: new metric not in baseline (refresh to track): {key}")
     return failures

@@ -29,6 +29,13 @@ std::string Recommendation::Report() const {
            "); this is the best configuration found within the budget, "
            "not a converged result.\n";
   }
+  if (decomposed) {
+    out += "Decomposed scoring: " + pricing.ToString() + "\n";
+    if (pricing.stop_reason != StopReason::kConverged) {
+      out += "WARNING: benefit pricing stopped early; unpriced queries "
+             "fell back to composed bounds or live what-if calls.\n";
+    }
+  }
   out += "Recommended configuration (" + std::to_string(indexes.size()) +
          " indexes, " + FormatBytes(total_size_bytes) + "):\n";
   for (const IndexDefinition& def : indexes) {
@@ -95,6 +102,19 @@ Result<Recommendation> Advisor::Recommend(const Workload& workload) {
                                    options_.what_if_cost_cache,
                                    options_.shared_cost_cache);
   evaluator.set_cancel(options_.cancel);
+
+  // Step 3.5 (decomposed mode): price the atomic-benefit table before
+  // the search, under the same pipeline deadline — a budget exhausted
+  // mid-pricing leaves a usable best-so-far table and the search then
+  // stops at its first interrupt poll, still yielding a valid flagged
+  // recommendation. Requires the cost cache (relevance bitmaps).
+  if (options_.decompose.enabled && evaluator.cost_cache().enabled()) {
+    XIA_ASSIGN_OR_RETURN(
+        rec.pricing,
+        evaluator.PriceBenefitTable(options_.decompose, &rec.dag, deadline));
+    rec.decomposed = true;
+  }
+
   SearchOptions search_options;
   search_options.space_budget_bytes = options_.space_budget_bytes;
   search_options.deadline = deadline;

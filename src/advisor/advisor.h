@@ -49,6 +49,14 @@ struct AdvisorOptions {
   /// inserted them — results are unchanged, only cache hit counts move.
   /// When set, its enabled() flag overrides what_if_cost_cache.
   WhatIfCostCache* shared_cost_cache = nullptr;
+  /// CoPhy-style atomic-benefit decomposition (advisor/benefit_table.h):
+  /// when enabled (and the cost cache is on — decomposition needs its
+  /// relevance bitmaps), Recommend() prices the benefit table before the
+  /// search and scores configurations from it, cutting optimizer calls
+  /// from O(configurations × queries) to O(queries + candidates). The
+  /// promised benefit is asserted to stay within decompose.epsilon of
+  /// the exact search's (tests/benefit_table_test.cc).
+  DecomposeOptions decompose;
   /// Wall-clock budget for Recommend() in milliseconds; <= 0 means
   /// unlimited. The clock starts when Recommend() is entered and is
   /// polled at search iteration boundaries, so an expired budget yields
@@ -83,6 +91,11 @@ struct Recommendation {
   /// kDeadline/kCancelled when the budget fired and this recommendation
   /// is the valid best-so-far configuration, not a converged optimum.
   StopReason stop_reason = StopReason::kConverged;
+  /// Decomposed-mode record: whether the atomic-benefit table backed the
+  /// search, and what its pricing phase did (including whether the
+  /// anytime budget truncated it to a best-so-far table).
+  bool decomposed = false;
+  BenefitPricingReport pricing;
 
   /// Human-readable report: recommended DDL + cost summary.
   std::string Report() const;

@@ -423,6 +423,7 @@ AdvisorCacheCounters ConfigurationEvaluator::cache_counters() const {
   AdvisorCacheCounters counters;
   counters.cost = cost_cache_->stats();
   counters.containment = cache_->stats();
+  if (decomposed()) counters.benefit = benefit_table_->stats();
   return counters;
 }
 
@@ -437,24 +438,40 @@ obs::Snapshot ConfigurationEvaluator::DeterministicStats() const {
   snap.gauges["costcache.entries"] = static_cast<int64_t>(cost.entries);
   snap.gauges["containment.entries"] =
       static_cast<int64_t>(cache_->stats().entries);
+  if (decomposed()) {
+    // Only in decomposed mode, so exact-mode traces stay byte-identical
+    // to every pre-decomposition run. All four counters advance in the
+    // serial collect/insert phases — thread-count deterministic.
+    BenefitTableStats benefit = benefit_table_->stats();
+    snap.counters["benefit.priced"] = benefit.priced;
+    snap.counters["benefit.table_hits"] = benefit.table_hits;
+    snap.counters["benefit.composed"] = benefit.composed;
+    snap.counters["benefit.fallback_whatifs"] = benefit.fallback_whatifs;
+    snap.gauges["benefit.entries"] = static_cast<int64_t>(benefit.entries);
+  }
   return snap;
 }
 
 Result<ConfigurationEvaluator::Evaluation> ConfigurationEvaluator::Evaluate(
     const std::vector<int>& config) {
-  return EvaluateImpl(config, /*honor_cancel=*/true);
+  return EvaluateImpl(config, /*honor_cancel=*/true,
+                      /*use_table=*/decomposed());
 }
 
 Result<ConfigurationEvaluator::Evaluation>
 ConfigurationEvaluator::EvaluateUngoverned(const std::vector<int>& config) {
-  return EvaluateImpl(config, /*honor_cancel=*/false);
+  // Always exact, even in decomposed mode: the closing evaluation must
+  // report the real optimizer cost of the chosen configuration, not a
+  // composed bound — the promised benefit stays honest.
+  return EvaluateImpl(config, /*honor_cancel=*/false, /*use_table=*/false);
 }
 
 Result<ConfigurationEvaluator::Evaluation>
 ConfigurationEvaluator::EvaluateImpl(const std::vector<int>& config,
-                                     bool honor_cancel) {
+                                     bool honor_cancel, bool use_table) {
   XIA_SPAN("advisor.evaluate");
   auto [key, sorted] = CanonicalKey(config);
+  if (use_table) key.insert(0, "d:");
   {
     std::lock_guard<std::mutex> lock(memo_mu_);
     auto it = memo_.find(key);
@@ -467,14 +484,15 @@ ConfigurationEvaluator::EvaluateImpl(const std::vector<int>& config,
     return Status::Cancelled("configuration evaluation cancelled");
   }
   Result<Evaluation> evaluated =
-      cost_cache_->enabled()
+      use_table ? EvaluateDecomposed(sorted, honor_cancel)
+      : cost_cache_->enabled()
           ? EvaluateWithCostCache(sorted, /*parallel_tasks=*/true,
                                   honor_cancel)
           : EvaluateUncached(sorted, /*parallel_queries=*/true, honor_cancel);
   XIA_ASSIGN_OR_RETURN(Evaluation eval, std::move(evaluated));
   // The uncached path defers its evaluation count to this serial point
   // (the cost-cache path counts inside AssembleFromPlans, also serial).
-  if (!cost_cache_->enabled()) num_evaluations_.Increment();
+  if (!use_table && !cost_cache_->enabled()) num_evaluations_.Increment();
   std::lock_guard<std::mutex> lock(memo_mu_);
   return memo_.emplace(std::move(key), std::move(eval)).first->second;
 }
@@ -500,6 +518,7 @@ ConfigurationEvaluator::EvaluateMany(
     std::lock_guard<std::mutex> lock(memo_mu_);
     for (size_t i = 0; i < configs.size(); ++i) {
       auto [key, sorted] = CanonicalKey(configs[i]);
+      if (decomposed()) key.insert(0, "d:");
       auto hit = memo_.find(key);
       if (hit != memo_.end()) {
         memo_hits_.Increment();
@@ -514,7 +533,39 @@ ConfigurationEvaluator::EvaluateMany(
     }
   }
 
-  if (cost_cache_->enabled()) {
+  if (decomposed()) {
+    // Decomposed batch path: the same serial-collect / parallel-run /
+    // serial-assemble shape as the cost-cache path below, with the
+    // benefit table resolving most queries before any task is created.
+    // Fallback tasks are deduplicated across the whole batch and counted
+    // once, in this serial phase.
+    const size_t num_queries = workload_->queries().size();
+    std::vector<PlanTask> tasks;
+    std::unordered_map<std::string, size_t> task_index;
+    std::vector<std::vector<BenefitEntry>> miss_entries(misses.size());
+    std::vector<std::vector<char>> miss_from_table(misses.size());
+    std::vector<std::vector<QueryPlan>> miss_plans(misses.size());
+    std::vector<std::vector<int>> miss_plan_source(misses.size());
+    for (size_t mi = 0; mi < misses.size(); ++mi) {
+      miss_entries[mi].resize(num_queries);
+      miss_from_table[mi].assign(num_queries, 0);
+      miss_plans[mi].resize(num_queries);
+      miss_plan_source[mi].assign(num_queries, -1);
+      CollectDecomposedWork(misses[mi].sorted, miss_entries[mi],
+                            miss_from_table[mi], miss_plans[mi],
+                            miss_plan_source[mi], tasks, task_index);
+    }
+    benefit_table_->CountFallbackWhatIfs(tasks.size());
+    std::vector<Result<QueryPlan>> task_plans(
+        tasks.size(), Status::Internal("not evaluated"));
+    RunPlanTasks(tasks, PlanTaskPool(tasks.size()), /*honor_cancel=*/true,
+                 &task_plans);
+    for (size_t mi = 0; mi < misses.size(); ++mi) {
+      misses[mi].result = AssembleDecomposed(
+          misses[mi].sorted, miss_entries[mi], miss_from_table[mi],
+          miss_plans[mi], miss_plan_source[mi], task_plans);
+    }
+  } else if (cost_cache_->enabled()) {
     // Cost-cache batch path: deduplicate (query, relevance signature)
     // plan tasks across ALL misses in one serial pass — a greedy round's
     // configurations overlap heavily, so most of the batch collapses onto
@@ -585,6 +636,276 @@ ConfigurationEvaluator::EvaluateMany(
     }
   }
   return results;
+}
+
+namespace {
+
+/// Table cell from a priced plan: exact cost + which subset members the
+/// plan's access path uses (the decomposed analogue of
+/// RecordUsedCandidates; `subset` is sorted).
+BenefitEntry EntryFromPlan(const std::vector<int>& subset,
+                           const QueryPlan& plan) {
+  BenefitEntry entry;
+  entry.cost = plan.total_cost;
+  if (!plan.access.use_index) return entry;
+  auto record = [&](const std::string& name) {
+    std::optional<int> id = TryParseCandidateId(name);
+    if (id && std::binary_search(subset.begin(), subset.end(), *id)) {
+      entry.used.push_back(*id);
+    }
+  };
+  record(plan.access.index_def.name);
+  if (plan.access.has_secondary) {
+    record(plan.access.secondary.index_def.name);
+  }
+  std::sort(entry.used.begin(), entry.used.end());
+  entry.used.erase(std::unique(entry.used.begin(), entry.used.end()),
+                   entry.used.end());
+  return entry;
+}
+
+}  // namespace
+
+Result<BenefitPricingReport> ConfigurationEvaluator::PriceBenefitTable(
+    const DecomposeOptions& opts, const GeneralizationDag* dag,
+    const Deadline& deadline) {
+  XIA_SPAN("advisor.price_benefits");
+  if (!cost_cache_->enabled()) {
+    return Status::InvalidArgument(
+        "decomposed evaluation requires the what-if cost cache (it supplies "
+        "the relevance bitmaps and the pricing dedup layer)");
+  }
+  decompose_ = opts;
+  auto table = std::make_unique<BenefitTable>(opts.max_degree);
+  BenefitPricingReport report;
+
+  // Per-class representative query (first of the fingerprint class; equal
+  // fingerprints get bit-identical plans, so any member works).
+  size_t num_classes = 0;
+  for (int cls : distinct_query_) {
+    num_classes = std::max(num_classes, static_cast<size_t>(cls) + 1);
+  }
+  std::vector<size_t> representative(num_classes, SIZE_MAX);
+  for (size_t qi = 0; qi < distinct_query_.size(); ++qi) {
+    size_t cls = static_cast<size_t>(distinct_query_[qi]);
+    if (representative[cls] == SIZE_MAX) representative[cls] = qi;
+  }
+  report.classes = num_classes;
+
+  std::vector<Bitmap> ancestors;
+  if (opts.max_degree >= 2 && dag != nullptr) ancestors = DagAncestors(*dag);
+
+  // Serial enumeration phase: every (class, subset) in deterministic
+  // class-major / size-ascending order, resolved against the (possibly
+  // pre-warmed, e.g. server-shared) cost cache before becoming a task.
+  struct PricingTask {
+    int cls;
+    std::vector<int> subset;
+  };
+  std::vector<PlanTask> tasks;
+  std::vector<PricingTask> task_info;
+  for (size_t cls = 0; cls < num_classes; ++cls) {
+    size_t qi = representative[cls];
+    std::vector<int> rel;
+    for (size_t c = 0; c < relevant_.size(); ++c) {
+      if (relevant_[c].Test(qi)) rel.push_back(static_cast<int>(c));
+    }
+    bool capped = false;
+    std::vector<std::vector<int>> subsets = EnumerateBenefitSubsets(
+        rel, opts.max_degree, opts.max_subsets_per_query,
+        ancestors.empty() ? nullptr : &ancestors, &capped);
+    report.subsets_enumerated += subsets.size();
+    if (capped) ++report.capped_classes;
+    for (std::vector<int>& subset : subsets) {
+      PlanTask task;
+      task.query = qi;
+      task.key = std::to_string(cls);
+      task.key.push_back('#');
+      task.key += BenefitTable::SubsetKey(subset);
+      QueryPlan plan;
+      if (cost_cache_->Lookup(task.key, &plan)) {
+        table->Insert(static_cast<int>(cls), subset,
+                      EntryFromPlan(subset, plan));
+        continue;
+      }
+      task.relevant = subset;
+      tasks.push_back(std::move(task));
+      task_info.push_back(PricingTask{static_cast<int>(cls),
+                                      std::move(subset)});
+    }
+  }
+
+  // Parallel pricing in governed chunks. Chunk size guarantees the pool
+  // engages (PlanTaskPool's serial cutoff is threads*4); between chunks
+  // the anytime knobs are polled, so an exhausted budget keeps the
+  // already-priced prefix as a usable best-so-far table. Ungoverned runs
+  // take one full-width batch — chunking changes scheduling only, never
+  // results: all cache lookups already happened above, and inserts land
+  // in enumeration order either way.
+  const bool governed = !deadline.infinite() || cancel_.CanBeCancelled();
+  const size_t chunk =
+      governed ? std::max<size_t>(static_cast<size_t>(threads_) * 4, 16)
+               : tasks.size();
+  StopReason stop = StopReason::kConverged;
+  size_t next = 0;
+  while (next < tasks.size() && stop == StopReason::kConverged) {
+    if (governed) {
+      if (cancel_.Cancelled()) {
+        stop = StopReason::kCancelled;
+        break;
+      }
+      if (deadline.Expired()) {
+        stop = StopReason::kDeadline;
+        break;
+      }
+    }
+    size_t end = std::min(next + chunk, tasks.size());
+    std::vector<PlanTask> batch(tasks.begin() + static_cast<long>(next),
+                                tasks.begin() + static_cast<long>(end));
+    std::vector<Result<QueryPlan>> batch_plans(
+        batch.size(), Status::Internal("not evaluated"));
+    RunPlanTasks(batch, PlanTaskPool(batch.size()), /*honor_cancel=*/true,
+                 &batch_plans);
+    for (size_t i = 0; i < batch.size(); ++i) {
+      const Result<QueryPlan>& plan = batch_plans[i];
+      if (plan.ok()) {
+        const PricingTask& info = task_info[next + i];
+        table->Insert(info.cls, info.subset,
+                      EntryFromPlan(info.subset, *plan));
+        continue;
+      }
+      if (plan.status().IsCancelled()) {
+        // The external token fired mid-chunk: keep the priced prefix.
+        stop = StopReason::kCancelled;
+        break;
+      }
+      return plan.status();  // Real optimizer failure: propagate.
+    }
+    next = end;
+  }
+
+  if (stop != StopReason::kConverged) table->MarkTruncated(stop);
+  report.stop_reason = stop;
+  report.subsets_priced = table->entries();
+  pricing_report_ = report;
+  benefit_table_ = std::move(table);
+  return report;
+}
+
+std::string ConfigurationEvaluator::DescribeDecomposition() const {
+  if (!decomposed()) return "";
+  std::string out = "decomposed scoring: degree=" +
+                    std::to_string(decompose_.max_degree) + " compose=" +
+                    (decompose_.compose_above_degree ? "on" : "off") + ", " +
+                    pricing_report_.ToString();
+  return out;
+}
+
+void ConfigurationEvaluator::CollectDecomposedWork(
+    const std::vector<int>& sorted, std::vector<BenefitEntry>& entries,
+    std::vector<char>& from_table, std::vector<QueryPlan>& plans,
+    std::vector<int>& plan_source, std::vector<PlanTask>& tasks,
+    std::unordered_map<std::string, size_t>& task_index) {
+  const std::vector<Query>& queries = workload_->queries();
+  for (size_t qi = 0; qi < queries.size(); ++qi) {
+    PlanTask task;
+    task.query = qi;
+    for (int c : sorted) {
+      if (relevant_[static_cast<size_t>(c)].Test(qi)) {
+        task.relevant.push_back(c);
+      }
+    }
+    const int cls = distinct_query_[qi];
+    // Exact cell first (the overlap itself is priced — a *precise* cost,
+    // see benefit_table.h property 1), then the composed conservative
+    // bound, then the real what-if fallback through the cost cache. A
+    // priced-degree overlap can still miss when pricing was truncated or
+    // the class hit its subset cap; Compose covers those too.
+    if (benefit_table_->Lookup(cls, task.relevant, &entries[qi])) {
+      from_table[qi] = 1;
+      benefit_table_->CountHit();
+      continue;
+    }
+    if (decompose_.compose_above_degree &&
+        benefit_table_->Compose(cls, task.relevant, &entries[qi])) {
+      from_table[qi] = 1;
+      benefit_table_->CountComposed();
+      continue;
+    }
+    task.key = std::to_string(cls);
+    task.key.push_back('#');
+    for (int c : task.relevant) {
+      task.key += std::to_string(c);
+      task.key.push_back(',');
+    }
+    if (cost_cache_->Lookup(task.key, &plans[qi])) {
+      plans[qi].query_id = queries[qi].id;
+      plans[qi].query_text = queries[qi].text;
+      plan_source[qi] = -1;
+      continue;
+    }
+    auto [it, inserted] = task_index.emplace(task.key, tasks.size());
+    if (inserted) tasks.push_back(std::move(task));
+    plan_source[qi] = static_cast<int>(it->second);
+  }
+}
+
+Result<ConfigurationEvaluator::Evaluation>
+ConfigurationEvaluator::AssembleDecomposed(
+    const std::vector<int>& sorted, const std::vector<BenefitEntry>& entries,
+    const std::vector<char>& from_table, std::vector<QueryPlan>& plans,
+    const std::vector<int>& plan_source,
+    const std::vector<Result<QueryPlan>>& task_plans) {
+  const std::vector<Query>& queries = workload_->queries();
+  Evaluation eval;
+  for (size_t qi = 0; qi < queries.size(); ++qi) {
+    if (from_table[qi]) {
+      const BenefitEntry& entry = entries[qi];
+      eval.per_query_cost.push_back(entry.cost);
+      eval.workload_cost += queries[qi].weight * entry.cost;
+      // entry.used ⊆ the priced subset ⊆ this configuration, so every id
+      // is attributable without re-checking membership in `sorted`.
+      for (int id : entry.used) eval.used_candidates.insert(id);
+      continue;
+    }
+    if (plan_source[qi] >= 0) {
+      const Result<QueryPlan>& computed =
+          task_plans[static_cast<size_t>(plan_source[qi])];
+      XIA_RETURN_IF_ERROR(computed.status());
+      plans[qi] = *computed;
+      plans[qi].query_id = queries[qi].id;
+      plans[qi].query_text = queries[qi].text;
+    }
+    const QueryPlan& plan = plans[qi];
+    eval.per_query_cost.push_back(plan.total_cost);
+    eval.workload_cost += queries[qi].weight * plan.total_cost;
+    RecordUsedCandidates(sorted, plan, &eval);
+  }
+  eval.update_cost = EstimateUpdateCost(sorted);
+  num_evaluations_.Increment();
+  return eval;
+}
+
+Result<ConfigurationEvaluator::Evaluation>
+ConfigurationEvaluator::EvaluateDecomposed(const std::vector<int>& sorted,
+                                           bool honor_cancel) {
+  const size_t num_queries = workload_->queries().size();
+  std::vector<BenefitEntry> entries(num_queries);
+  std::vector<char> from_table(num_queries, 0);
+  std::vector<QueryPlan> plans(num_queries);
+  std::vector<int> plan_source(num_queries, -1);
+  std::vector<PlanTask> tasks;
+  std::unordered_map<std::string, size_t> task_index;
+  CollectDecomposedWork(sorted, entries, from_table, plans, plan_source,
+                        tasks, task_index);
+  // Fallback what-ifs are counted here — the serial phase — as the calls
+  // this configuration *issues* (cache-resolved queries create no task).
+  benefit_table_->CountFallbackWhatIfs(tasks.size());
+  std::vector<Result<QueryPlan>> task_plans(tasks.size(),
+                                            Status::Internal("not evaluated"));
+  RunPlanTasks(tasks, PlanTaskPool(tasks.size()), honor_cancel, &task_plans);
+  return AssembleDecomposed(sorted, entries, from_table, plans, plan_source,
+                            task_plans);
 }
 
 Result<double> ConfigurationEvaluator::BaselineCost() {

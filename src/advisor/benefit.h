@@ -10,6 +10,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "advisor/benefit_table.h"
 #include "advisor/candidate.h"
 #include "advisor/cost_cache.h"
 #include "common/bitmap.h"
@@ -49,6 +50,14 @@ namespace xia {
 /// bit-identical to the uncached path (tests/cost_cache_test.cc), and
 /// cache hit/miss/bypass counts are deterministic at any thread count
 /// because lookups happen in serial dedup phases.
+///
+/// Decomposed mode (PriceBenefitTable, benefit_table.h): one step
+/// further than the cache — the what-if calls a search WOULD make are
+/// priced up front per (query class, small relevant subset), and
+/// configuration scoring becomes table lookups plus a conservative
+/// composed bound, with real what-if only as fallback. Optimizer-call
+/// count then scales with queries + candidates, not configurations
+/// explored.
 class ConfigurationEvaluator {
  public:
   /// One workload XPath expression (driving path or predicate pattern) —
@@ -120,6 +129,34 @@ class ConfigurationEvaluator {
 
   /// Cost of the empty configuration (collection scans everywhere).
   Result<double> BaselineCost();
+
+  /// Prices the CoPhy-style atomic-benefit table (benefit_table.h) and
+  /// switches Evaluate/EvaluateMany to the decomposed mode: per query,
+  /// an exact table hit when its relevant-set overlap is priced, the
+  /// composed conservative bound when `opts.compose_above_degree`, and a
+  /// real what-if call (through the cost cache) only as last resort.
+  /// EvaluateUngoverned and BaselineCost deliberately stay on the exact
+  /// path so closing evaluations report honest (non-composed) costs.
+  ///
+  /// Pricing itself runs the (class, subset) what-ifs in parallel over
+  /// the thread pool, deduped through the cost cache, in deadline-/
+  /// cancel-governed chunks: an exhausted budget returns a usable
+  /// best-so-far table (report.stop_reason != kConverged), never an
+  /// error. Requires the cost cache (relevance bitmaps) to be enabled.
+  /// `dag` may be null (disables degree-2 pair pruning).
+  Result<BenefitPricingReport> PriceBenefitTable(const DecomposeOptions& opts,
+                                                 const GeneralizationDag* dag,
+                                                 const Deadline& deadline);
+
+  /// True once PriceBenefitTable installed a table (decomposed mode on).
+  bool decomposed() const { return benefit_table_ != nullptr; }
+
+  /// The priced table, or null before PriceBenefitTable.
+  const BenefitTable* benefit_table() const { return benefit_table_.get(); }
+
+  /// One-line decomposition description for search traces; empty when
+  /// the evaluator runs exact.
+  std::string DescribeDecomposition() const;
 
   /// The workload expression table (stable order).
   const std::vector<WorkloadExpr>& exprs() const { return exprs_; }
@@ -203,6 +240,12 @@ class ConfigurationEvaluator {
   /// once through the shared ContainmentCache). Empty when the cost cache
   /// is disabled.
   std::vector<Bitmap> relevant_;
+  /// Decomposed mode (PriceBenefitTable): the priced atomic-benefit
+  /// table, read-only after pricing, plus the knobs and report. Null
+  /// table = exact mode.
+  DecomposeOptions decompose_;
+  std::unique_ptr<BenefitTable> benefit_table_;
+  BenefitPricingReport pricing_report_;
 
   /// Canonical memo key (sorted, deduplicated config) + that config.
   /// This is the single normalization point for the configuration memo:
@@ -214,9 +257,13 @@ class ConfigurationEvaluator {
       const std::vector<int>& config);
 
   /// Shared body of Evaluate/EvaluateUngoverned; `honor_cancel` selects
-  /// whether the external token is polled.
+  /// whether the external token is polled and `use_table` whether the
+  /// decomposed path scores this configuration (Evaluate passes
+  /// decomposed(); EvaluateUngoverned always passes false — the closing
+  /// evaluations stay exact). Decomposed and exact results are memoized
+  /// under disjoint keys ("d:" prefix), so both coexist per config.
   Result<Evaluation> EvaluateImpl(const std::vector<int>& config,
-                                  bool honor_cancel);
+                                  bool honor_cancel, bool use_table);
 
   /// Uncached evaluation of a canonical config. `parallel_queries` fans
   /// the per-query optimizations out over the pool; EvaluateMany passes
@@ -265,6 +312,31 @@ class ConfigurationEvaluator {
   /// order of the uncached path). Counts one configuration evaluation.
   Result<Evaluation> AssembleFromPlans(
       const std::vector<int>& sorted, std::vector<QueryPlan>& plans,
+      const std::vector<int>& plan_source,
+      const std::vector<Result<QueryPlan>>& task_plans);
+
+  /// Decomposed sibling of EvaluateWithCostCache: serial table resolve
+  /// (exact hit → composed bound → what-if fallback task), parallel run
+  /// of the deduplicated fallbacks, serial assemble.
+  Result<Evaluation> EvaluateDecomposed(const std::vector<int>& sorted,
+                                        bool honor_cancel);
+
+  /// Serial phase 1 of the decomposed path: resolves each query from the
+  /// benefit table into `entries` (from_table[qi] = 1) or falls back to
+  /// the cost-cache/task machinery exactly like CollectPlanTasks. Counts
+  /// table hits and composed scores (this is the serial phase that makes
+  /// the benefit.* counters thread-count deterministic).
+  void CollectDecomposedWork(
+      const std::vector<int>& sorted, std::vector<BenefitEntry>& entries,
+      std::vector<char>& from_table, std::vector<QueryPlan>& plans,
+      std::vector<int>& plan_source, std::vector<PlanTask>& tasks,
+      std::unordered_map<std::string, size_t>& task_index);
+
+  /// Serial phase 3 of the decomposed path: folds table entries and
+  /// fallback plans in query order. Counts one configuration evaluation.
+  Result<Evaluation> AssembleDecomposed(
+      const std::vector<int>& sorted, const std::vector<BenefitEntry>& entries,
+      const std::vector<char>& from_table, std::vector<QueryPlan>& plans,
       const std::vector<int>& plan_source,
       const std::vector<Result<QueryPlan>>& task_plans);
 

@@ -185,6 +185,13 @@ std::string AdvisorCacheCounters::ToString() const {
          " hits, " + std::to_string(containment.misses) + " misses, " +
          std::to_string(containment.largest_shard) + " in largest of " +
          std::to_string(containment.shards) + " shards";
+  if (benefit.entries > 0 || benefit.priced > 0) {
+    out += "; benefit-table: " + std::to_string(benefit.priced) +
+           " priced, " + std::to_string(benefit.table_hits) + " hits, " +
+           std::to_string(benefit.composed) + " composed, " +
+           std::to_string(benefit.fallback_whatifs) + " fallback what-ifs";
+    if (benefit.truncated) out += " (truncated)";
+  }
   return out;
 }
 

@@ -119,10 +119,25 @@ std::string RelevanceSignature(const NormalizedQuery& query,
 /// the advisor trace to assert cached and fresh plans coincide.
 uint64_t PlanFingerprint(const QueryPlan& plan);
 
+/// Deterministic counter snapshot of an atomic-benefit table
+/// (advisor/benefit_table.h; xia::obs "benefit.*" family). Lives here so
+/// AdvisorCacheCounters can embed it without a layering inversion. All
+/// four counters advance in serial phases only.
+struct BenefitTableStats {
+  uint64_t priced = 0;            // Subsets priced into the table.
+  uint64_t table_hits = 0;        // Exact (class, overlap) lookups served.
+  uint64_t composed = 0;          // Queries scored by the composed bound.
+  uint64_t fallback_whatifs = 0;  // Real what-if calls issued as fallback.
+  size_t entries = 0;
+  bool truncated = false;
+};
+
 /// Combined cache counters the advisor searches report (SearchResult).
 struct AdvisorCacheCounters {
   CostCacheStats cost;
   ContainmentCacheStats containment;
+  /// All-zero unless the evaluator ran decomposed (benefit_table.h).
+  BenefitTableStats benefit;
 
   /// Full rendering, including the timing-dependent containment hit/miss
   /// split — for logs and bench output, not for determinism-checked

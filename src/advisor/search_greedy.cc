@@ -75,6 +75,12 @@ size_t EvaluateManyPrefix(
   return done;
 }
 
+void TraceDecomposition(const ConfigurationEvaluator& evaluator,
+                        SearchResult* result) {
+  std::string line = evaluator.DescribeDecomposition();
+  if (!line.empty()) result->trace.push_back(std::move(line));
+}
+
 void FinishSearchTrace(const ConfigurationEvaluator& evaluator,
                        SearchResult* result) {
   result->trace.push_back("stats:");
@@ -90,6 +96,7 @@ Result<SearchResult> GreedySearch(ConfigurationEvaluator* evaluator,
                                   const SearchOptions& options) {
   const std::vector<CandidateIndex>& candidates = evaluator->candidates();
   SearchResult result;
+  TraceDecomposition(*evaluator, &result);
   XIA_ASSIGN_OR_RETURN(result.baseline_cost, evaluator->BaselineCost());
 
   // Stand-alone benefit of each candidate — one what-if evaluation per

@@ -85,6 +85,12 @@ size_t EvaluateManyPrefix(
     std::vector<Result<ConfigurationEvaluator::Evaluation>>* results,
     StopReason* stop);
 
+/// Shared prologue of every search strategy: appends the evaluator's
+/// decomposition description to the trace. No-op in exact mode, so
+/// pre-decomposition traces stay byte-identical.
+void TraceDecomposition(const ConfigurationEvaluator& evaluator,
+                        SearchResult* result);
+
 /// Shared epilogue of every search strategy: fills `result->counters`
 /// and appends the final structured stats section to the trace — the
 /// evaluator's deterministic obs::Snapshot (identical at any thread

@@ -10,6 +10,7 @@ Result<SearchResult> GreedyHeuristicSearch(ConfigurationEvaluator* evaluator,
                                            const SearchOptions& options) {
   const std::vector<CandidateIndex>& candidates = evaluator->candidates();
   SearchResult result;
+  TraceDecomposition(*evaluator, &result);
   XIA_ASSIGN_OR_RETURN(result.baseline_cost, evaluator->BaselineCost());
 
   // Stand-alone benefits scored in one parallel what-if batch.

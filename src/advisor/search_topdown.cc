@@ -24,6 +24,7 @@ Result<SearchResult> TopDownSearch(const GeneralizationDag& dag,
                                    const SearchOptions& options) {
   const std::vector<CandidateIndex>& candidates = evaluator->candidates();
   SearchResult result;
+  TraceDecomposition(*evaluator, &result);
   XIA_ASSIGN_OR_RETURN(result.baseline_cost, evaluator->BaselineCost());
 
   std::vector<int> config = dag.Roots();

@@ -41,6 +41,8 @@ namespace obs {
 ///   optimizer.{plans_enumerated}       optimizer.choice.{collection_scan,
 ///   index_scan,ixand}                  synopsis.memo.{hits,misses}
 ///   exec.scan.{collection,index}       span.<phase> (histograms)
+///   benefit.{priced,table_hits,composed,fallback_whatifs} (decomposed
+///   advising, advisor/benefit_table.h; benefit.entries is a gauge)
 
 /// Stripes per counter: concurrent increments from different threads
 /// usually land on different cache lines.

@@ -23,6 +23,17 @@
 namespace xia {
 namespace server {
 
+namespace {
+
+/// Template count at which `advise --from-log` switches to decomposed
+/// scoring by default (advisor/benefit_table.h): below it the exact
+/// path's call count is tolerable; above it pricing once per (class,
+/// subset) is strictly cheaper than per-configuration what-ifs. Override
+/// per command with --decompose / --exact.
+constexpr size_t kDecomposeAutoTemplates = 256;
+
+}  // namespace
+
 wlm::DriftMonitor* SharedState::DriftWatcher() {
   if (!drift) {
     drift =
@@ -43,8 +54,8 @@ const char* HelpText() {
       "  update <insert|delete> <collection> <weight> <pattern>\n"
       "  show workload|catalog|candidates|dag|stats <coll>\n"
       "  enumerate <query...>\n"
-      "  advise [--from-log] [--compress] [--budget-ms <N>] <budget_kb>"
-      " [greedy|heuristic|topdown]\n"
+      "  advise [--from-log] [--compress] [--decompose|--exact]"
+      " [--budget-ms <N>] <budget_kb> [greedy|heuristic|topdown]\n"
       "  whatif start|add <coll> <pattern> <double|varchar>|drop <name>|eval\n"
       "  capture on [capacity]|off\n"
       "  log stats | save <path> | load <path> | clear\n"
@@ -337,6 +348,8 @@ void CommandDispatcher::CmdAdvise(ClientSession* session, std::istream& args,
   std::string algo = "heuristic";
   bool from_log = false;
   bool compress = false;
+  bool decompose = false;
+  bool exact = false;
   int64_t budget_ms = session->options.time_budget_ms;
   // Flags first (any order), then the positional budget and algorithm.
   std::string token;
@@ -346,6 +359,10 @@ void CommandDispatcher::CmdAdvise(ClientSession* session, std::istream& args,
       from_log = true;
     } else if (token == "--compress") {
       compress = true;
+    } else if (token == "--decompose") {
+      decompose = true;
+    } else if (token == "--exact") {
+      exact = true;
     } else if (token == "--budget-ms") {
       if (!(args >> budget_ms)) {
         out << "--budget-ms needs a value\n";
@@ -399,6 +416,24 @@ void CommandDispatcher::CmdAdvise(ClientSession* session, std::istream& args,
     out << "--compress needs --from-log\n";
     return;
   }
+  if (decompose && exact) {
+    out << "--decompose and --exact are mutually exclusive\n";
+    return;
+  }
+  // Decomposed scoring (benefit_table.h): explicit --decompose, or the
+  // automatic default for big captured logs — above the template
+  // threshold the exact path's per-configuration what-ifs dominate
+  // advise latency, which is exactly what decomposition removes. Opt out
+  // with --exact.
+  session->options.decompose.enabled =
+      decompose ||
+      (from_log && !exact && advised.size() >= kDecomposeAutoTemplates);
+  if (session->options.decompose.enabled && from_log &&
+      advised.size() >= kDecomposeAutoTemplates && !decompose) {
+    out << "large log (" << advised.size() << " templates >= "
+        << kDecomposeAutoTemplates
+        << "): using decomposed scoring (pass --exact to override)\n";
+  }
   session->options.space_budget_bytes = budget_kb * 1024;
   session->options.time_budget_ms = budget_ms;
   if (algo == "greedy") {
@@ -426,12 +461,14 @@ void CommandDispatcher::CmdAdvise(ClientSession* session, std::istream& args,
   out << session->recommendation->Report();
   // Remember what this advice promised, so `drift check` can compare the
   // captured stream against it later. drift_mu: concurrent advises hold
-  // SharedState::mu only shared.
+  // SharedState::mu only shared. A budget-truncated advise is flagged
+  // degraded so it cannot silently lower a converged drift baseline.
   {
     std::lock_guard<std::mutex> lock(shared_->drift_mu);
     shared_->DriftWatcher()->RecordPrediction(
         session->recommendation->recommended_cost,
-        advised.TotalQueryWeight());
+        advised.TotalQueryWeight(),
+        session->recommendation->stop_reason != StopReason::kConverged);
   }
   Result<RecommendationAnalysis> analysis = AnalyzeRecommendation(
       shared_->db, shared_->catalog, advised, *session->recommendation,

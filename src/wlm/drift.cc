@@ -20,7 +20,8 @@ std::string DriftReport::ToString() const {
            "definition";
   }
   return "drift: current " + FormatDouble(current_cost) + " vs predicted " +
-         FormatDouble(predicted_cost) + " => " +
+         FormatDouble(predicted_cost) +
+         (degraded_promise ? " [degraded promise]" : "") + " => " +
          FormatDouble(drift * 100.0) + "% " +
          (exceeded ? "(stale)" : "(fresh)");
 }
@@ -56,16 +57,30 @@ Result<DriftReport> DriftMonitor::Check(const Workload& captured,
     return report;
   }
   double weight = captured.TotalQueryWeight();
+  report.degraded_promise = prediction_degraded_;
   report.predicted_cost = predicted_per_weight_ * weight;
   double denominator = std::max(report.predicted_cost, kEpsilonCost);
   report.drift = (report.current_cost - report.predicted_cost) / denominator;
-  report.exceeded = report.drift > options_.threshold;
+  // A truncated advise promises a *worse* (higher) cost than a converged
+  // one would, so drift measured against it underestimates staleness.
+  // Down-weight such promises by halving the trigger threshold until a
+  // converged advise replaces them.
+  double threshold =
+      prediction_degraded_ ? options_.threshold / 2 : options_.threshold;
+  report.exceeded = report.drift > threshold;
   return report;
 }
 
 void DriftMonitor::RecordPrediction(double predicted_cost,
-                                    double workload_weight) {
+                                    double workload_weight, bool degraded) {
+  if (degraded && has_prediction_ && !prediction_degraded_) {
+    // Keep the converged baseline: overwriting it with a truncated
+    // search's inflated promise would silently lower the drift bar (the
+    // bug this guard fixes — see the header).
+    return;
+  }
   has_prediction_ = true;
+  prediction_degraded_ = degraded;
   predicted_per_weight_ =
       workload_weight > 0 ? predicted_cost / workload_weight : 0.0;
 }
@@ -88,7 +103,8 @@ Result<ReadviseOutcome> DriftMonitor::MaybeReadvise(
   Result<Recommendation> recommendation = advisor.Recommend(captured);
   if (!recommendation.ok()) return recommendation.status();
   RecordPrediction(recommendation->recommended_cost,
-                   captured.TotalQueryWeight());
+                   captured.TotalQueryWeight(),
+                   recommendation->stop_reason != StopReason::kConverged);
   outcome.recommendation = std::move(*recommendation);
   return outcome;
 }

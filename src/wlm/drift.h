@@ -47,6 +47,10 @@ struct DriftReport {
   double predicted_cost = 0;      // Scaled to the captured weight.
   double drift = 0;               // 0 when !has_prediction.
   bool exceeded = false;
+  /// The recorded promise came from a budget-truncated (non-converged)
+  /// advise: it overstates cost, deflating measured drift, so Check
+  /// down-weights it by halving the effective trigger threshold.
+  bool degraded_promise = false;
 
   std::string ToString() const;
 };
@@ -81,9 +85,19 @@ class DriftMonitor {
   /// Records what a recommendation promised: `predicted_cost` for a
   /// workload of total weight `workload_weight` (used to normalize per
   /// unit weight). MaybeReadvise calls this automatically.
-  void RecordPrediction(double predicted_cost, double workload_weight);
+  ///
+  /// `degraded` flags a promise from a budget-truncated advise
+  /// (stop_reason != kConverged). A degraded promise never overwrites a
+  /// recorded converged one — the truncated search's inflated cost would
+  /// silently lower the drift baseline and mask real staleness (the
+  /// pre-fix behavior). With no better baseline it is recorded but
+  /// tagged, and Check() down-weights it (DriftReport::degraded_promise).
+  void RecordPrediction(double predicted_cost, double workload_weight,
+                        bool degraded = false);
 
   bool has_prediction() const { return has_prediction_; }
+  /// True when the recorded promise is from a truncated advise.
+  bool prediction_degraded() const { return prediction_degraded_; }
 
   double threshold() const { return options_.threshold; }
   /// Retargets the trigger; the recorded prediction and warm caches
@@ -106,6 +120,7 @@ class DriftMonitor {
   ContainmentCache cache_;
   WhatIfCostCache cost_cache_;
   bool has_prediction_ = false;
+  bool prediction_degraded_ = false;
   double predicted_per_weight_ = 0;
 };
 

@@ -238,6 +238,34 @@ TEST_F(ServerTest, DeadlineExpiredAdviseReturnsFlaggedBestSoFar) {
   EXPECT_NE(reply->find("Recommended configuration"), std::string::npos);
 }
 
+TEST_F(ServerTest, AdviseDecomposeFlagFlowsThroughDispatcher) {
+  Preload(3);
+  StartServer();
+  BlockingClient client = Connect();
+  ASSERT_TRUE(client.Call("workload xmark").ok());
+
+  // --decompose switches the session's advise to atomic-benefit scoring;
+  // the report announces the mode and the pricing outcome.
+  Result<std::string> decomposed = client.Call("advise --decompose 64");
+  ASSERT_TRUE(decomposed.ok()) << decomposed.status().ToString();
+  EXPECT_EQ(ClassifyResponse(*decomposed), ResponseKind::kOk);
+  EXPECT_NE(decomposed->find("Decomposed scoring:"), std::string::npos)
+      << *decomposed;
+  EXPECT_NE(decomposed->find("Recommended configuration"), std::string::npos);
+
+  // The flags are mutually exclusive...
+  Result<std::string> conflict = client.Call("advise --decompose --exact 64");
+  ASSERT_TRUE(conflict.ok());
+  EXPECT_NE(conflict->find("mutually exclusive"), std::string::npos);
+
+  // ... and a plain advise on the same session goes back to exact mode
+  // (the sticky session option is re-derived per request).
+  Result<std::string> exact = client.Call("advise 64");
+  ASSERT_TRUE(exact.ok());
+  EXPECT_EQ(ClassifyResponse(*exact), ResponseKind::kOk);
+  EXPECT_EQ(exact->find("Decomposed scoring:"), std::string::npos) << *exact;
+}
+
 TEST_F(ServerTest, AdviseBusyWhenNoCapacity) {
   Preload(3);
   ServerOptions options;

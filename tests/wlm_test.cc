@@ -718,6 +718,118 @@ TEST_F(WlmAdvisingTest, DriftTripsWhenTheStreamShiftsToExpensiveQueries) {
   EXPECT_LT(after->drift, drifted->drift);
 }
 
+TEST_F(WlmAdvisingTest, DegradedOnlyPromiseIsTaggedAndHalvesThreshold) {
+  Workload workload;
+  ASSERT_TRUE(workload
+                  .AddQueryText(
+                      "for $i in doc(\"xmark\")/site/regions/africa/item "
+                      "where $i/quantity > 5 return $i/name",
+                      10.0, "T1")
+                  .ok());
+  DriftMonitor monitor(&db_, cost_model_);
+  Result<double> current = monitor.CurrentCost(workload, catalog_);
+  ASSERT_TRUE(current.ok());
+
+  // A promise 15% under the running cost: between threshold/2 (10%) and
+  // the full threshold (20%), so the verdict depends purely on the
+  // degraded tag.
+  monitor.RecordPrediction(*current / 1.15, workload.TotalQueryWeight(),
+                           /*degraded=*/true);
+  EXPECT_TRUE(monitor.prediction_degraded());
+  Result<DriftReport> degraded = monitor.Check(workload, catalog_);
+  ASSERT_TRUE(degraded.ok());
+  EXPECT_TRUE(degraded->degraded_promise);
+  EXPECT_TRUE(degraded->exceeded) << degraded->ToString();
+  EXPECT_NE(degraded->ToString().find("[degraded promise]"),
+            std::string::npos);
+
+  // The identical promise from a converged advise sits below the full
+  // threshold: fresh. This is the down-weighting, isolated.
+  monitor.RecordPrediction(*current / 1.15, workload.TotalQueryWeight(),
+                           /*degraded=*/false);
+  EXPECT_FALSE(monitor.prediction_degraded());
+  Result<DriftReport> converged = monitor.Check(workload, catalog_);
+  ASSERT_TRUE(converged.ok());
+  EXPECT_FALSE(converged->degraded_promise);
+  EXPECT_FALSE(converged->exceeded) << converged->ToString();
+  EXPECT_NEAR(converged->drift, degraded->drift, 1e-9);
+}
+
+TEST_F(WlmAdvisingTest, DegradedPromiseNeverOverwritesConvergedBaseline) {
+  Workload workload;
+  ASSERT_TRUE(workload
+                  .AddQueryText(
+                      "for $i in doc(\"xmark\")/site/regions/africa/item "
+                      "where $i/quantity > 5 return $i/name",
+                      10.0, "T1")
+                  .ok());
+  DriftMonitor monitor(&db_, cost_model_);
+  Result<double> current = monitor.CurrentCost(workload, catalog_);
+  ASSERT_TRUE(current.ok());
+  monitor.RecordPrediction(*current, workload.TotalQueryWeight());
+
+  // The pre-fix bug: a budget-truncated advise re-recording its inflated
+  // promise would lower the drift bar. The degraded record must bounce
+  // off the converged baseline.
+  monitor.RecordPrediction(*current * 2.0, workload.TotalQueryWeight(),
+                           /*degraded=*/true);
+  EXPECT_FALSE(monitor.prediction_degraded());
+  Result<DriftReport> report = monitor.Check(workload, catalog_);
+  ASSERT_TRUE(report.ok());
+  EXPECT_NEAR(report->predicted_cost, *current, 1e-9);
+  EXPECT_FALSE(report->degraded_promise);
+
+  // A converged re-advise still updates the baseline normally.
+  monitor.RecordPrediction(*current * 2.0, workload.TotalQueryWeight());
+  Result<DriftReport> updated = monitor.Check(workload, catalog_);
+  ASSERT_TRUE(updated.ok());
+  EXPECT_NEAR(updated->predicted_cost, *current * 2.0, 1e-9);
+}
+
+TEST_F(WlmAdvisingTest, MaybeReadviseTagsTruncatedRecommendations) {
+  ASSERT_TRUE(db_.CreateCollection("tiny").ok());
+  ASSERT_TRUE(db_.LoadXml("tiny", "<r><v>1</v><v>2</v></r>").ok());
+  ASSERT_TRUE(db_.Analyze("tiny").ok());
+  Workload cheap;
+  ASSERT_TRUE(
+      cheap.AddQueryText("for $v in doc(\"tiny\")/r/v return $v", 10.0, "T1")
+          .ok());
+  DriftMonitor monitor(&db_, cost_model_);
+
+  // First window advised under a pre-fired cancel token: the anytime
+  // search returns a valid best-so-far recommendation with stop_reason
+  // kCancelled, and the monitor must tag its promise as degraded.
+  AdvisorOptions cancelled_options = Options(1);
+  cancelled_options.cancel = CancelToken::Cancellable();
+  cancelled_options.cancel.Cancel();
+  Result<ReadviseOutcome> truncated =
+      monitor.MaybeReadvise(cheap, catalog_, cancelled_options);
+  ASSERT_TRUE(truncated.ok());
+  ASSERT_TRUE(truncated->recommendation.has_value());
+  EXPECT_NE(truncated->recommendation->stop_reason, StopReason::kConverged);
+  EXPECT_TRUE(monitor.has_prediction());
+  EXPECT_TRUE(monitor.prediction_degraded());
+
+  // The stream shifts to expensive xmark scans, drift trips (the report
+  // carries the degraded tag), and the converged re-advise replaces the
+  // degraded promise.
+  Workload shifted;
+  ASSERT_TRUE(shifted
+                  .AddQueryText(
+                      "for $o in doc(\"xmark\")/site/open_auctions/"
+                      "open_auction where $o/current > 100 return $o",
+                      10.0, "T1")
+                  .ok());
+  Result<ReadviseOutcome> converged =
+      monitor.MaybeReadvise(shifted, catalog_, Options(1));
+  ASSERT_TRUE(converged.ok());
+  EXPECT_TRUE(converged->drift.exceeded);
+  EXPECT_TRUE(converged->drift.degraded_promise);
+  ASSERT_TRUE(converged->recommendation.has_value());
+  EXPECT_EQ(converged->recommendation->stop_reason, StopReason::kConverged);
+  EXPECT_FALSE(monitor.prediction_degraded());
+}
+
 TEST_F(WlmAdvisingTest, DriftMonitorSkipsEmptyCaptureWindows) {
   DriftMonitor monitor(&db_, cost_model_);
   Workload empty;
