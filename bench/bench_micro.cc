@@ -4,7 +4,9 @@
 
 #include <benchmark/benchmark.h>
 
+#include <filesystem>
 #include <memory>
+#include <string>
 
 #include "advisor/dag.h"
 #include "common/logging.h"
@@ -13,6 +15,7 @@
 #include "index/index_builder.h"
 #include "optimizer/explain.h"
 #include "query/parser.h"
+#include "storage/storage_engine.h"
 #include "wlm/capture.h"
 #include "wlm/compress.h"
 #include "wlm/fingerprint.h"
@@ -230,6 +233,97 @@ void BM_GeneralizeAndBuildDag(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_GeneralizeAndBuildDag);
+
+// ---------------------------------------------------------------------
+// Persistent storage: cold vs. warm recovery-on-open (storage/
+// storage_engine.h). A scratch database is checkpointed once — xmark
+// docs plus one materialized path index — then every iteration opens it
+// into a fresh Database/Catalog. "Cold" gives each iteration its own
+// BufferPool, so every checkpoint page is a physical miss; "warm"
+// shares one pool across iterations, so after the priming open every
+// page is a hit. The counters are deterministic page/record counts the
+// CI regression gate tracks (bench/check_regression.py).
+
+const std::string& PersistedDbDir() {
+  static const std::string* dir = [] {
+    std::filesystem::path path =
+        std::filesystem::temp_directory_path() / "xia_bench_open_from_disk";
+    std::filesystem::remove_all(path);
+    Database db;
+    Catalog catalog;
+    XIA_CHECK(PopulateXMark(&db, "xmark", 6, XMarkParams(), 42).ok());
+    storage::StorageOptions options;
+    options.sync = false;  // tmpfs scratch: measure the read path.
+    auto engine = storage::StorageEngine::Open(
+        path.string(), &db, &catalog, nullptr, CostModel().storage, options);
+    XIA_CHECK(engine.ok());
+    XIA_CHECK((*engine)
+                  ->CreateIndex(
+                      "CREATE INDEX q_idx ON xmark(doc) GENERATE KEY USING "
+                      "XMLPATTERN '/site/regions/*/item/quantity' "
+                      "AS SQL DOUBLE")
+                  .ok());
+    XIA_CHECK((*engine)->Close().ok());
+    return new std::string(path.string());
+  }();
+  return *dir;
+}
+
+void BM_OpenFromDiskCold(benchmark::State& state) {
+  const std::string& dir = PersistedDbDir();
+  storage::StorageOptions options;
+  options.sync = false;
+  uint64_t pages = 0;
+  uint64_t wal_records = 0;
+  uint64_t pool_misses = 0;
+  for (auto _ : state) {
+    Database db;
+    Catalog catalog;
+    BufferPool pool(1 << 16);
+    auto engine = storage::StorageEngine::Open(
+        dir, &db, &catalog, &pool, CostModel().storage, options);
+    XIA_CHECK(engine.ok());
+    pages = (*engine)->recovery().pages_read;
+    wal_records = (*engine)->recovery().wal_records_replayed;
+    pool_misses = pool.misses();
+    benchmark::DoNotOptimize(db);
+  }
+  state.counters["pages"] = static_cast<double>(pages);
+  state.counters["wal_records"] = static_cast<double>(wal_records);
+  state.counters["pool_misses"] = static_cast<double>(pool_misses);
+}
+BENCHMARK(BM_OpenFromDiskCold);
+
+void BM_OpenFromDiskWarm(benchmark::State& state) {
+  const std::string& dir = PersistedDbDir();
+  storage::StorageOptions options;
+  options.sync = false;
+  BufferPool pool(1 << 16);
+  {
+    // Priming open fills the shared pool.
+    Database db;
+    Catalog catalog;
+    XIA_CHECK(storage::StorageEngine::Open(dir, &db, &catalog, &pool,
+                                           CostModel().storage, options)
+                  .ok());
+  }
+  uint64_t pages = 0;
+  uint64_t pool_hits = 0;
+  for (auto _ : state) {
+    Database db;
+    Catalog catalog;
+    uint64_t hits_before = pool.hits();
+    auto engine = storage::StorageEngine::Open(
+        dir, &db, &catalog, &pool, CostModel().storage, options);
+    XIA_CHECK(engine.ok());
+    pages = (*engine)->recovery().pages_read;
+    pool_hits = pool.hits() - hits_before;
+    benchmark::DoNotOptimize(db);
+  }
+  state.counters["pages"] = static_cast<double>(pages);
+  state.counters["pool_hits"] = static_cast<double>(pool_hits);
+}
+BENCHMARK(BM_OpenFromDiskWarm);
 
 }  // namespace
 }  // namespace xia

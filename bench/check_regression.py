@@ -2,8 +2,9 @@
 """Benchmark regression gate for CI.
 
 Compares the google-benchmark JSON produced by the perf benches
-(bench_fig3_evaluate, bench_fig4_search) against a committed baseline and
-fails when a tracked metric regresses beyond tolerance.
+(bench_fig3_evaluate, bench_fig4_search, and the BM_OpenFromDisk* rows
+of bench_micro) against a committed baseline and fails when a tracked
+metric regresses beyond tolerance.
 
 Two metric classes, chosen for machine-portability:
 
@@ -70,6 +71,13 @@ ADVISE_TEMPLATE_COUNTERS = ("advised_templates", "whatif_requests",
                             "benefit_fallbacks", "chosen")
 ADVISE_LOG_COUNTERS = ("advised_queries", "cost_requests", "benefit_priced",
                        "chosen")
+# Recovery-on-open rows (bench_micro): deterministic page/record counts.
+# `pages` drifting means the checkpoint serialization grew or shrank;
+# `wal_records` is pinned at 0 (a Close()d database must reopen with an
+# empty WAL); `pool_misses`==pages on cold opens and `pool_hits`==pages
+# on warm opens is the BufferPool accounting contract.
+OPEN_FROM_DISK_COUNTERS = ("pages", "wal_records", "pool_misses",
+                           "pool_hits")
 
 # Absolute floors for callcut ratios (see docstring) — enforced against
 # the current run directly, not the baseline. Keys name the paired row
@@ -88,6 +96,8 @@ def counter_names(bench_name):
         return ADVISE_TEMPLATE_COUNTERS
     if bench_name.startswith("BM_AdviseFromLog"):
         return ADVISE_LOG_COUNTERS
+    if bench_name.startswith("BM_OpenFromDisk"):
+        return OPEN_FROM_DISK_COUNTERS
     return ()
 
 

@@ -1,0 +1,109 @@
+#include "common/io_util.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "common/failpoint.h"
+
+namespace xia {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+/// write(2) loop that retries short writes and EINTR.
+Status WriteAll(int fd, const char* data, size_t len,
+                const std::string& what) {
+  size_t written = 0;
+  while (written < len) {
+    ssize_t n = ::write(fd, data + written, len - written);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Status::Internal("write failed for " + what + ": " +
+                              std::strerror(errno));
+    }
+    written += static_cast<size_t>(n);
+  }
+  return Status::Ok();
+}
+
+}  // namespace
+
+Status FsyncFd(int fd, const std::string& what) {
+  if (::fsync(fd) != 0) {
+    return Status::Internal("fsync failed for " + what + ": " +
+                            std::strerror(errno));
+  }
+  return Status::Ok();
+}
+
+Status FsyncParentDirectory(const std::string& path) {
+  fs::path parent = fs::path(path).parent_path();
+  if (parent.empty()) parent = ".";
+  int fd = ::open(parent.c_str(), O_RDONLY | O_DIRECTORY | O_CLOEXEC);
+  if (fd < 0) {
+    return Status::Internal("cannot open directory " + parent.string() +
+                            ": " + std::strerror(errno));
+  }
+  // Some filesystems reject fsync on directories (EINVAL); the rename is
+  // still atomic there, so tolerate it — the discipline is best-effort
+  // beyond what the kernel supports.
+  ::fsync(fd);
+  ::close(fd);
+  return Status::Ok();
+}
+
+Status AtomicWriteFile(const std::string& path, std::string_view payload,
+                       const AtomicWriteOptions& options) {
+  const std::string tmp = path + ".tmp";
+  int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC,
+                  0644);
+  if (fd < 0) {
+    return Status::Internal("cannot write " + tmp + ": " +
+                            std::strerror(errno));
+  }
+  Status status = [&]() -> Status {
+    // Two halves with the failpoint between them: an injected failure
+    // leaves the temp file torn exactly as a crash mid-write would.
+    size_t half = payload.size() / 2;
+    XIA_RETURN_IF_ERROR(WriteAll(fd, payload.data(), half, tmp));
+    if (options.failpoint != nullptr) {
+      XIA_FAILPOINT_ARG(options.failpoint, options.failpoint_arg);
+    }
+    XIA_RETURN_IF_ERROR(
+        WriteAll(fd, payload.data() + half, payload.size() - half, tmp));
+    if (options.sync) XIA_RETURN_IF_ERROR(FsyncFd(fd, tmp));
+    return Status::Ok();
+  }();
+  ::close(fd);
+  std::error_code ec;
+  if (!status.ok()) {
+    fs::remove(tmp, ec);
+    return status;
+  }
+  fs::rename(tmp, path, ec);
+  if (ec) {
+    fs::remove(tmp, ec);
+    return Status::Internal("cannot finalize " + path + ": " + ec.message());
+  }
+  if (options.sync) XIA_RETURN_IF_ERROR(FsyncParentDirectory(path));
+  return Status::Ok();
+}
+
+Result<std::string> ReadFileToString(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::NotFound("cannot open " + path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  if (in.bad()) return Status::Internal("read failed for " + path);
+  return buffer.str();
+}
+
+}  // namespace xia

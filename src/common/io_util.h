@@ -1,0 +1,55 @@
+#ifndef XIA_COMMON_IO_UTIL_H_
+#define XIA_COMMON_IO_UTIL_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "common/status.h"
+
+namespace xia {
+
+/// Durable file-write helpers shared by every persistence path
+/// (collection_io, wlm_io, the storage WAL and checkpoint writer).
+///
+/// The full crash-safe discipline for replacing a file is:
+///   1. write the payload to <path>.tmp in the same directory,
+///   2. fsync the temp file (the *data* is on stable storage),
+///   3. rename(tmp, path)   (atomic on POSIX),
+///   4. fsync the parent directory (the *name* is on stable storage).
+/// Steps 2 and 4 are what a plain temp+rename writer misses: after a
+/// real power loss the rename may be durable while the data is not (an
+/// empty or stale file appears), or the rename itself may vanish.
+struct AtomicWriteOptions {
+  /// Failpoint fired between the two halves of the payload write, so an
+  /// injected failure models a crash mid-write: the temp file is torn,
+  /// the final file is never touched. nullptr = no hook.
+  const char* failpoint = nullptr;
+  /// Hit argument passed to the failpoint (see XIA_FAILPOINT_ARG).
+  int64_t failpoint_arg = -1;
+  /// When false, skips both fsyncs (steps 2 and 4) — for tests and
+  /// benchmarks where durability is irrelevant but atomicity is not.
+  bool sync = true;
+};
+
+/// Atomically replaces `path` with `payload` under the full fsync
+/// discipline above. On any failure the temp file is removed and the
+/// previous `path` contents (if any) are left intact.
+Status AtomicWriteFile(const std::string& path, std::string_view payload,
+                       const AtomicWriteOptions& options = {});
+
+/// fsyncs an open file descriptor; returns Internal on failure.
+Status FsyncFd(int fd, const std::string& what);
+
+/// fsyncs the directory containing `path` (making renames/creates within
+/// it durable). Filesystems that cannot fsync directories are tolerated:
+/// only open failures on the directory itself are reported.
+Status FsyncParentDirectory(const std::string& path);
+
+/// Reads an entire file into a string. NotFound when it cannot be
+/// opened, Internal on read failure.
+Result<std::string> ReadFileToString(const std::string& path);
+
+}  // namespace xia
+
+#endif  // XIA_COMMON_IO_UTIL_H_

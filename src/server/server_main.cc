@@ -23,6 +23,12 @@
 //   --time-limit-ms N           default advise budget (anytime search)
 //   --preload xmark[:docs]|tpox generate + analyze data before serving
 //                               (repeatable: one collection set each)
+//   --data-dir PATH             persistent storage directory: recover
+//                               the previous run's state on startup
+//                               (skipping --preload regeneration when
+//                               state exists), WAL-log load/analyze,
+//                               checkpoint bulk loads, and checkpoint
+//                               on clean shutdown
 //   --capture [capacity]        arm workload capture from startup
 //   --failpoint SPEC            arm fault injection (repeatable; the
 //                               XIA_FAILPOINTS env var is also honored)
@@ -42,6 +48,7 @@
 #include "common/metrics.h"
 #include "server/client.h"
 #include "server/server.h"
+#include "storage/storage_engine.h"
 #include "wlm/capture.h"
 #include "xmldata/tpox_gen.h"
 #include "xmldata/xmark_gen.h"
@@ -107,6 +114,7 @@ Status Preload(server::SharedState* shared, const std::string& spec) {
 int main(int argc, char** argv) {
   server::ServerOptions options;
   std::vector<std::string> preloads;
+  std::string data_dir;
   std::string stats_json;
   std::string connect_path;
   int connect_port = 0;
@@ -143,6 +151,8 @@ int main(int argc, char** argv) {
       options.default_budget_ms = std::atoll(next("--time-limit-ms"));
     } else if (arg == "--preload") {
       preloads.push_back(next("--preload"));
+    } else if (arg == "--data-dir") {
+      data_dir = next("--data-dir");
     } else if (arg == "--capture") {
       capture = true;
       if (i + 1 < argc && std::atoll(argv[i + 1]) > 0) {
@@ -194,6 +204,39 @@ int main(int argc, char** argv) {
     shared.capture_log = std::make_unique<wlm::QueryLog>(capture_capacity);
     wlm::SetCaptureLog(shared.capture_log.get());
   }
+  // Open persistence BEFORE preloads: recovery refuses a non-empty
+  // database, and when previous state exists it replaces --preload
+  // regeneration entirely.
+  if (!data_dir.empty()) {
+    Result<std::unique_ptr<storage::StorageEngine>> opened =
+        storage::StorageEngine::Open(data_dir, &shared.db, &shared.catalog,
+                                     &shared.buffer_pool,
+                                     shared.default_options.cost_model.storage);
+    if (!opened.ok()) {
+      std::cerr << "--data-dir " << data_dir << ": "
+                << opened.status().ToString() << "\n";
+      return 1;
+    }
+    shared.engine = std::move(*opened);
+    const storage::RecoveryStats& rec = shared.engine->recovery();
+    if (rec.opened_existing) {
+      std::cerr << "recovered " << data_dir << " (epoch " << rec.epoch
+                << ", " << rec.pages_read << " pages, "
+                << rec.wal_records_replayed << " WAL records replayed"
+                << (rec.wal_was_clean
+                        ? std::string()
+                        : ", torn tail of " +
+                              std::to_string(rec.wal_torn_bytes) +
+                              " bytes truncated")
+                << ")\n";
+      if (!preloads.empty()) {
+        std::cerr << "state recovered from disk — skipping --preload\n";
+        preloads.clear();
+      }
+    } else {
+      std::cerr << "created database at " << data_dir << "\n";
+    }
+  }
   for (const std::string& preload : preloads) {
     Status status = Preload(&shared, preload);
     if (!status.ok()) {
@@ -201,6 +244,15 @@ int main(int argc, char** argv) {
       return 1;
     }
     std::cerr << "preloaded " << preload << "\n";
+  }
+  if (shared.engine && !preloads.empty()) {
+    // Preload bulk-mutates the database without WAL records; checkpoint
+    // so the generated state is durable from the first client on.
+    Status status = shared.engine->Checkpoint();
+    if (!status.ok()) {
+      std::cerr << "checkpoint after preload: " << status.ToString() << "\n";
+      return 1;
+    }
   }
 
   server::Server srv(&shared, options);
@@ -221,6 +273,17 @@ int main(int argc, char** argv) {
   std::cerr << "signal " << sig << " — shutting down\n";
   srv.RequestStop();
   srv.Wait();
+
+  if (shared.engine) {
+    // All sessions have drained; final checkpoint so the next start
+    // replays an empty WAL.
+    Status status = shared.engine->Close();
+    if (!status.ok()) {
+      std::cerr << "storage close: " << status.ToString() << "\n";
+      return 1;
+    }
+    std::cerr << "storage checkpointed and closed\n";
+  }
 
   if (!stats_json.empty()) {
     if (!obs::Registry().WriteJsonFile(stats_json)) {

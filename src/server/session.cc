@@ -1,5 +1,6 @@
 #include "server/session.h"
 
+#include <cmath>
 #include <fstream>
 #include <sstream>
 
@@ -61,6 +62,7 @@ const char* HelpText() {
       "  log stats | save <path> | load <path> | clear\n"
       "  drift check | readvise | threshold <t>\n"
       "  failpoint <name=mode[,mode...]>|<name=off>|list\n"
+      "  db status | db checkpoint   (persistent storage, --data-dir)\n"
       "  ddl | materialize | run <query...> | stats | ping | help | quit\n";
 }
 
@@ -78,12 +80,13 @@ VerbClass CommandDispatcher::Classify(const std::string& line) {
 bool CommandDispatcher::IsExclusiveVerb(const std::string& verb) {
   // Verbs that mutate the shared database/catalog (gen, load, loadcoll,
   // analyze, materialize), install/uninstall the process-wide capture
-  // sink (capture), or drive the drift monitor's long mutating pipeline
-  // (drift). Everything else reads shared state through thread-safe
-  // caches and may run concurrently.
+  // sink (capture), drive the drift monitor's long mutating pipeline
+  // (drift), or run the persistence engine's checkpoint/WAL machinery
+  // (db). Everything else reads shared state through thread-safe caches
+  // and may run concurrently.
   return verb == "gen" || verb == "load" || verb == "loadcoll" ||
          verb == "analyze" || verb == "materialize" || verb == "capture" ||
-         verb == "drift";
+         verb == "drift" || verb == "db";
 }
 
 CommandOutcome CommandDispatcher::Execute(const std::string& line,
@@ -154,6 +157,8 @@ CommandOutcome CommandDispatcher::Execute(const std::string& line,
     CmdDrift(session, params, out);
   } else if (command == "failpoint") {
     CmdFailpoint(std::string(Trim(rest)), out);
+  } else if (command == "db") {
+    CmdDb(params, out);
   } else if (command == "stats") {
     CmdStats(out);
   } else {
@@ -176,6 +181,7 @@ void CommandDispatcher::CmdGen(std::istream& args, std::ostream& out) {
                           shared_->db.GetCollection("xmark")->num_nodes()) +
                       " nodes\n"
                 : status.ToString() + "\n");
+    if (status.ok()) CheckpointAfterBulk(out);
   } else if (kind == "tpox") {
     int customers = 50;
     int orders = 100;
@@ -185,6 +191,7 @@ void CommandDispatcher::CmdGen(std::istream& args, std::ostream& out) {
                                  TpoxParams(), 11);
     out << (status.ok() ? "generated tpox collections\n"
                         : status.ToString() + "\n");
+    if (status.ok()) CheckpointAfterBulk(out);
   } else {
     out << "usage: gen xmark <docs> | gen tpox <c> <o> <s>\n";
   }
@@ -201,14 +208,21 @@ void CommandDispatcher::CmdLoad(std::istream& args, std::ostream& out) {
   }
   std::ostringstream buffer;
   buffer << in.rdbuf();
+  // With a persistence engine attached the mutation goes through it so a
+  // WAL record makes the load durable; otherwise mutate the db directly.
   if (shared_->db.GetCollection(collection) == nullptr) {
-    Result<Collection*> created = shared_->db.CreateCollection(collection);
+    Status created =
+        shared_->engine
+            ? shared_->engine->CreateCollection(collection)
+            : shared_->db.CreateCollection(collection).status();
     if (!created.ok()) {
-      out << created.status().ToString() << "\n";
+      out << created.ToString() << "\n";
       return;
     }
   }
-  Status status = shared_->db.LoadXml(collection, buffer.str());
+  Status status = shared_->engine
+                      ? shared_->engine->LoadXml(collection, buffer.str())
+                      : shared_->db.LoadXml(collection, buffer.str());
   out << (status.ok() ? "loaded 1 document (run 'analyze " + collection +
                             "' to refresh stats)\n"
                       : status.ToString() + "\n");
@@ -230,13 +244,15 @@ void CommandDispatcher::CmdSaveLoadColl(const std::string& verb,
     out << (loaded.ok() ? "loaded " + std::to_string(*loaded) +
                               " documents (analyzed)\n"
                         : loaded.status().ToString() + "\n");
+    if (loaded.ok()) CheckpointAfterBulk(out);
   }
 }
 
 void CommandDispatcher::CmdAnalyze(std::istream& args, std::ostream& out) {
   std::string collection;
   args >> collection;
-  Status status = shared_->db.Analyze(collection);
+  Status status = shared_->engine ? shared_->engine->Analyze(collection)
+                                  : shared_->db.Analyze(collection);
   out << (status.ok() ? "statistics rebuilt\n" : status.ToString() + "\n");
 }
 
@@ -364,17 +380,27 @@ void CommandDispatcher::CmdAdvise(ClientSession* session, std::istream& args,
     } else if (token == "--exact") {
       exact = true;
     } else if (token == "--budget-ms") {
-      if (!(args >> budget_ms)) {
-        out << "--budget-ms needs a value\n";
+      // Strict parse: `args >> int64` would accept "1e3" as 1 and leave
+      // "e3" to be misread as the space budget.
+      std::string value;
+      std::optional<double> parsed;
+      if (!(args >> value) || !(parsed = ParseDouble(value)).has_value() ||
+          !std::isfinite(*parsed) || *parsed < 0 ||
+          *parsed != std::floor(*parsed)) {
+        out << "--budget-ms needs a non-negative integer\n";
         return;
       }
+      budget_ms = static_cast<int64_t>(*parsed);
     } else if (!have_budget) {
-      try {
-        budget_kb = std::stod(token);
-      } catch (...) {
+      // Strict parse: std::stod("12abc") silently yields 12 (and its
+      // exceptions used to be the only rejection path), so junk budgets
+      // were half-accepted instead of refused.
+      std::optional<double> parsed = ParseDouble(token);
+      if (!parsed.has_value() || !std::isfinite(*parsed) || *parsed < 0) {
         out << "bad budget '" << token << "'\n";
         return;
       }
+      budget_kb = *parsed;
       have_budget = true;
     } else {
       algo = token;
@@ -552,6 +578,7 @@ void CommandDispatcher::CmdMaterialize(ClientSession* session,
                     std::to_string(session->recommendation->indexes.size()) +
                     " indexes (" + FormatBytes(*built) + ")\n"
               : built.status().ToString() + "\n");
+  if (built.ok()) CheckpointAfterBulk(out);
 }
 
 void CommandDispatcher::CmdRun(const std::string& rest, std::ostream& out) {
@@ -714,6 +741,54 @@ void CommandDispatcher::CmdFailpoint(const std::string& rest,
   }
   Status status = fp::ArmFromSpec(rest);
   out << (status.ok() ? "armed: " + rest + "\n" : status.ToString() + "\n");
+}
+
+void CommandDispatcher::CmdDb(std::istream& args, std::ostream& out) {
+  std::string sub;
+  args >> sub;
+  if (sub == "status") {
+    if (!shared_->engine) {
+      out << "persistence: off (memory-only; start with --data-dir)\n";
+      return;
+    }
+    const storage::RecoveryStats& rec = shared_->engine->recovery();
+    out << "persistence: on\n"
+        << "  dir: " << shared_->engine->dir() << "\n"
+        << "  epoch: " << shared_->engine->epoch() << "\n"
+        << "  next_lsn: " << shared_->engine->next_lsn() << "\n"
+        << "  recovery: "
+        << (rec.opened_existing ? "opened existing state" : "fresh database")
+        << "\n"
+        << "  recovery.pages_read: " << rec.pages_read << "\n"
+        << "  recovery.wal_records_replayed: " << rec.wal_records_replayed
+        << "\n"
+        << "  recovery.wal_clean: " << (rec.wal_was_clean ? "yes" : "no")
+        << " (torn bytes: " << rec.wal_torn_bytes << ")\n";
+  } else if (sub == "checkpoint") {
+    if (!shared_->engine) {
+      out << "persistence: off (memory-only; start with --data-dir)\n";
+      return;
+    }
+    Status status = shared_->engine->Checkpoint();
+    out << (status.ok() ? "checkpointed (epoch " +
+                              std::to_string(shared_->engine->epoch()) +
+                              ", wal reset)\n"
+                        : status.ToString() + "\n");
+  } else {
+    out << "usage: db status | db checkpoint\n";
+  }
+}
+
+void CommandDispatcher::CheckpointAfterBulk(std::ostream& out) {
+  if (!shared_->engine) return;
+  // Bulk generation/materialization bypasses the WAL (the engine logs
+  // only logical mutations it executed itself); the checkpoint here is
+  // what makes the bulk result durable.
+  Status status = shared_->engine->Checkpoint();
+  out << (status.ok()
+              ? "checkpointed (epoch " +
+                    std::to_string(shared_->engine->epoch()) + ")\n"
+              : "checkpoint failed: " + status.ToString() + "\n");
 }
 
 void CommandDispatcher::CmdStats(std::ostream& out) {

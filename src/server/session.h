@@ -14,6 +14,7 @@
 #include "index/catalog.h"
 #include "storage/buffer_pool.h"
 #include "storage/database.h"
+#include "storage/storage_engine.h"
 #include "wlm/capture.h"
 #include "wlm/drift.h"
 #include "workload/workload.h"
@@ -60,6 +61,13 @@ struct SharedState {
   /// `advise --from-log` survive `capture off`.
   std::unique_ptr<wlm::QueryLog> capture_log;
   std::unique_ptr<wlm::DriftMonitor> drift;
+  /// Persistence engine over db/catalog (storage/storage_engine.h).
+  /// Null when the process runs memory-only (no --data-dir). When set,
+  /// the mutating verbs route through it: load/analyze create WAL
+  /// records, bulk verbs (gen/loadcoll/materialize) checkpoint, and
+  /// startup recovers the previous run's state instead of regenerating.
+  /// Guarded by `mu` like the db/catalog it persists.
+  std::unique_ptr<storage::StorageEngine> engine;
 
   /// Reader/writer lock over db/catalog/capture_log/drift (see above).
   std::shared_mutex mu;
@@ -140,7 +148,12 @@ class CommandDispatcher {
   void CmdDrift(ClientSession* session, std::istream& args,
                 std::ostream& out);
   void CmdFailpoint(const std::string& rest, std::ostream& out);
+  void CmdDb(std::istream& args, std::ostream& out);
   void CmdStats(std::ostream& out);
+
+  /// Checkpoints after a successful bulk (unlogged) mutation when a
+  /// persistence engine is attached; appends the outcome to `out`.
+  void CheckpointAfterBulk(std::ostream& out);
 
   SharedState* shared_;
 };

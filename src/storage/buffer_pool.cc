@@ -37,9 +37,11 @@ void BufferPool::Reset() {
   std::lock_guard<std::mutex> lock(mu_);
   lru_.clear();
   map_.clear();
-  hits_.Reset();
-  misses_.Reset();
-  evictions_.Reset();
+  // Rewind only the instance view; the registry counters keep counting
+  // so "bufferpool.*" snapshots stay monotonic across mid-run resets.
+  hits_base_ = hits_.Value();
+  misses_base_ = misses_.Value();
+  evictions_base_ = evictions_.Value();
 }
 
 }  // namespace xia

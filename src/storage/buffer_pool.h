@@ -46,9 +46,12 @@ class BufferPool {
     std::lock_guard<std::mutex> lock(mu_);
     return map_.size();
   }
-  uint64_t hits() const { return hits_.Value(); }
-  uint64_t misses() const { return misses_.Value(); }
-  uint64_t evictions() const { return evictions_.Value(); }
+  /// Per-instance stats since construction or the last Reset(). The
+  /// underlying obs counters are never rewound (see Reset()), so these
+  /// subtract the totals recorded at the last Reset.
+  uint64_t hits() const { return hits_.Value() - hits_base_; }
+  uint64_t misses() const { return misses_.Value() - misses_base_; }
+  uint64_t evictions() const { return evictions_.Value() - evictions_base_; }
 
   double HitRatio() const {
     uint64_t total = hits() + misses();
@@ -57,18 +60,28 @@ class BufferPool {
                             static_cast<double>(total);
   }
 
-  /// Drops all cached pages and zeroes the counters.
+  /// Drops all cached pages (the next touch of any page is cold) and
+  /// rewinds the per-instance stats() view to zero. The live obs
+  /// counters are NOT reset: registry snapshots of "bufferpool.*" stay
+  /// monotonic across Reset() mid-run — a Reset used to erase history
+  /// from every snapshot consumer (EXPLAIN STATS, --stats-json).
   void Reset();
 
  private:
   size_t capacity_;
-  mutable std::mutex mu_;    // Guards lru_ + map_.
+  mutable std::mutex mu_;    // Guards lru_ + map_ + *_base_.
   std::list<uint64_t> lru_;  // Front = most recently used.
   std::unordered_map<uint64_t, std::list<uint64_t>::iterator> map_;
   // xia::obs counters ("bufferpool.*"), exported via the unified path.
   obs::Counter hits_{"bufferpool.hits"};
   obs::Counter misses_{"bufferpool.misses"};
   obs::Counter evictions_{"bufferpool.evictions"};
+  // Counter totals at the last Reset(); per-instance getters subtract
+  // them so Reset keeps its pre-obs "stats start over" semantics without
+  // rewinding the registry.
+  uint64_t hits_base_ = 0;
+  uint64_t misses_base_ = 0;
+  uint64_t evictions_base_ = 0;
 };
 
 /// Page-id helpers partitioning the 64-bit space.

@@ -8,36 +8,12 @@
 #include <vector>
 
 #include "common/failpoint.h"
+#include "common/io_util.h"
 #include "xml/serializer.h"
 
 namespace xia {
 
 namespace fs = std::filesystem;
-
-namespace {
-
-/// Writes `payload` to `tmp_path` in two chunks with the write failpoint
-/// between them — arming storage.collection_io.write leaves the TEMP file
-/// torn, never the final one, because the caller only renames on success.
-Status WriteDocPayload(const fs::path& tmp_path, const std::string& payload,
-                       const char* name, int doc_id) {
-  std::ofstream out(tmp_path);
-  if (!out) {
-    return Status::Internal(std::string("cannot write ") + name);
-  }
-  std::streamsize half = static_cast<std::streamsize>(payload.size() / 2);
-  out.write(payload.data(), half);
-  XIA_FAILPOINT_ARG("storage.collection_io.write", doc_id);
-  out.write(payload.data() + half,
-            static_cast<std::streamsize>(payload.size()) - half);
-  out.flush();
-  if (!out.good()) {
-    return Status::Internal(std::string("write failed for ") + name);
-  }
-  return Status::Ok();
-}
-
-}  // namespace
 
 Status SaveCollectionToDirectory(const Database& db,
                                  const std::string& collection,
@@ -55,24 +31,18 @@ Status SaveCollectionToDirectory(const Database& db,
   for (const Document& doc : coll->docs()) {
     char name[32];
     std::snprintf(name, sizeof(name), "doc_%05d.xml", doc.id());
-    // Write-temp-then-rename: a failure (injected or real) part-way
-    // through a document can never leave a torn doc_*.xml behind — the
-    // prior version, if any, stays intact until the atomic rename.
-    fs::path final_path = fs::path(dir) / name;
-    fs::path tmp_path = final_path;
-    tmp_path += ".tmp";
-    Status written = WriteDocPayload(
-        tmp_path, SerializeDocument(doc, db.names()), name, doc.id());
-    if (!written.ok()) {
-      fs::remove(tmp_path, ec);
-      return written;
-    }
-    fs::rename(tmp_path, final_path, ec);
-    if (ec) {
-      fs::remove(tmp_path, ec);
-      return Status::Internal(std::string("cannot finalize ") + name + ": " +
-                              ec.message());
-    }
+    // Full atomic-replace discipline (common/io_util.h): temp + fsync +
+    // rename + directory fsync. A failure — injected via the write
+    // failpoint or a real crash — can never surface a torn, empty, or
+    // stale doc_*.xml: the prior version stays intact until the durable
+    // rename.
+    AtomicWriteOptions write_options;
+    write_options.failpoint = "storage.collection_io.write";
+    write_options.failpoint_arg = doc.id();
+    Status written =
+        AtomicWriteFile((fs::path(dir) / name).string(),
+                        SerializeDocument(doc, db.names()), write_options);
+    if (!written.ok()) return written;
   }
   return Status::Ok();
 }

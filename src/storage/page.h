@@ -1,0 +1,139 @@
+#ifndef XIA_STORAGE_PAGE_H_
+#define XIA_STORAGE_PAGE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <string_view>
+
+#include "common/status.h"
+
+namespace xia {
+namespace storage {
+
+/// xia::storage on-disk page format (see docs/INTERNALS.md, "Persistent
+/// storage & recovery").
+///
+/// A database checkpoint is one page file: an array of fixed-size pages,
+/// each carrying a typed payload and a CRC32 checksum verified on every
+/// read. Node tables (flattened document node arrays), index leaf pages
+/// (sorted key -> NodeRef runs), the interned name table, and the
+/// virtual-catalog image are all byte streams packed into runs of
+/// consecutive pages; a directory (itself paged) maps stream names to
+/// page runs. Page reads are accounted through the shared BufferPool so
+/// cold-vs-warm open behaviour is measurable.
+inline constexpr uint32_t kPageSize = 4096;
+inline constexpr uint32_t kPageMagic = 0x58504731;  // "XPG1"
+inline constexpr uint32_t kPageHeaderSize = 24;
+inline constexpr uint32_t kPagePayloadSize = kPageSize - kPageHeaderSize;
+
+/// What a page stores. The type is a consistency check (the directory
+/// says what run a page belongs to; the page says what it is).
+enum class PageType : uint8_t {
+  kMeta = 1,       // Stream directory.
+  kNames = 2,      // Interned name table.
+  kNodes = 3,      // Collection node tables.
+  kIndexLeaf = 4,  // Physical index entries.
+  kCatalog = 5,    // Virtual catalog entries.
+};
+
+/// Decoded view of one page (payload points into the caller's buffer).
+struct PageView {
+  uint64_t page_no = 0;
+  PageType type = PageType::kMeta;
+  std::string_view payload;
+};
+
+/// CRC-32 (IEEE 802.3, reflected 0xEDB88320) of `data`.
+uint32_t Crc32(std::string_view data);
+
+/// Appends one encoded page (header + payload + zero padding to
+/// kPageSize) to `file_image`. `payload.size()` must be at most
+/// kPagePayloadSize.
+void AppendPage(std::string* file_image, uint64_t page_no, PageType type,
+                std::string_view payload);
+
+/// Decodes page `page_no` of a page-file image, verifying the magic,
+/// page number, and checksum. When `checksum_failed` is non-null it is
+/// set to true iff the failure was a checksum mismatch (so callers can
+/// count storage.pages.checksum_failures distinctly from truncation).
+Result<PageView> ReadPage(std::string_view file_image, uint64_t page_no,
+                          bool* checksum_failed = nullptr);
+
+/// Number of whole pages in a page-file image (its size / kPageSize;
+/// a trailing partial page is not counted — ReadPage rejects it).
+inline uint64_t PageCount(std::string_view file_image) {
+  return file_image.size() / kPageSize;
+}
+
+/// Little-endian binary encoder for page payloads and WAL records.
+/// Fixed-width integers, IEEE-754 doubles by bit pattern (exact
+/// round-trip), and length-prefixed strings.
+class BinWriter {
+ public:
+  void U8(uint8_t v) { out_.push_back(static_cast<char>(v)); }
+  void U16(uint16_t v) { Raw(&v, 2); }
+  void U32(uint32_t v) { Raw(&v, 4); }
+  void U64(uint64_t v) { Raw(&v, 8); }
+  void I32(int32_t v) { Raw(&v, 4); }
+  void F64(double v) {
+    uint64_t bits;
+    std::memcpy(&bits, &v, 8);
+    U64(bits);
+  }
+  void Str(std::string_view s) {
+    U32(static_cast<uint32_t>(s.size()));
+    out_.append(s.data(), s.size());
+  }
+
+  const std::string& bytes() const { return out_; }
+  std::string Take() { return std::move(out_); }
+
+ private:
+  void Raw(const void* p, size_t n) {
+    // Host is little-endian on every supported target; memcpy keeps the
+    // encoding alias-safe. (A big-endian port would byte-swap here.)
+    out_.append(reinterpret_cast<const char*>(p), n);
+  }
+  std::string out_;
+};
+
+/// Bounds-checked reader over a BinWriter encoding. Every accessor
+/// returns a Status error instead of reading past the end, so the
+/// checkpoint/WAL loaders survive truncated and bit-flipped files (see
+/// tests/fuzz_test.cc).
+class BinReader {
+ public:
+  explicit BinReader(std::string_view data) : data_(data) {}
+
+  Result<uint8_t> U8();
+  Result<uint16_t> U16();
+  Result<uint32_t> U32();
+  Result<uint64_t> U64();
+  Result<int32_t> I32();
+  Result<double> F64();
+  Result<std::string> Str();
+
+  bool AtEnd() const { return pos_ == data_.size(); }
+  size_t remaining() const { return data_.size() - pos_; }
+
+ private:
+  Status Need(size_t n);
+
+  std::string_view data_;
+  size_t pos_ = 0;
+};
+
+}  // namespace storage
+
+/// Page-id partition for storage-file pages (see buffer_pool.h: prefix 1
+/// = collection data pages, 2 = index leaf pages; 3 = persistent page
+/// file). Used when checkpoint loads account page reads in the pool.
+inline uint64_t StoragePageId(uint64_t page_no) {
+  return (uint64_t{3} << 62) | (page_no & 0x3FFFFFFFFFFFFFFF);
+}
+
+}  // namespace xia
+
+#endif  // XIA_STORAGE_PAGE_H_

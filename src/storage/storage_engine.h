@@ -1,0 +1,172 @@
+#ifndef XIA_STORAGE_STORAGE_ENGINE_H_
+#define XIA_STORAGE_STORAGE_ENGINE_H_
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "common/status.h"
+#include "index/catalog.h"
+#include "storage/buffer_pool.h"
+#include "storage/database.h"
+#include "storage/wal.h"
+
+namespace xia {
+namespace storage {
+
+/// Durability knobs for an engine instance.
+struct StorageOptions {
+  /// When false, skips every fsync (tests/benchmarks on tmpfs). Atomic
+  /// temp+rename replacement is kept either way.
+  bool sync = true;
+};
+
+/// What recovery-on-open found and did (surfaced by the server's
+/// `db status` verb and asserted by tests/persistence_test.cc).
+struct RecoveryStats {
+  bool opened_existing = false;  // False for a freshly created directory.
+  bool wal_was_clean = true;     // False when a torn tail was truncated.
+  uint64_t epoch = 0;            // Checkpoint epoch now current.
+  uint64_t pages_read = 0;       // Checkpoint pages loaded (and verified).
+  uint64_t wal_records_replayed = 0;
+  uint64_t wal_torn_bytes = 0;  // Bytes dropped from the torn tail.
+};
+
+/// xia::storage persistence engine: page-structured checkpoints plus a
+/// logical WAL, with recovery-on-open (docs/INTERNALS.md, "Persistent
+/// storage & recovery").
+///
+/// Layout of a database directory:
+///   MANIFEST         names the current epoch's files; atomically swapped
+///   pages.<N>.xdb    checkpoint N: page file (storage/page.h format)
+///   wal.<N>.log      mutations since checkpoint N (storage/wal.h)
+///
+/// Every mutating verb goes through the engine: the WAL record is
+/// appended (and fsynced) BEFORE the in-memory mutation is applied, and
+/// the apply path is the same code recovery replays, so a reopened
+/// database is bit-identical to one that never crashed. Checkpoint()
+/// serializes the full state into the next epoch's page file, creates an
+/// empty WAL, and atomically swaps MANIFEST — a crash at any point
+/// leaves the previous epoch fully intact.
+///
+/// Failpoints (tests/persistence_test.cc drives all three):
+///   storage.wal.append        (arg = lsn)   crash mid-WAL-append
+///   storage.checkpoint.flush                crash mid-page-flush
+///   storage.checkpoint.rename               crash before MANIFEST swap
+///
+/// The engine is not itself thread-safe; the server serializes mutating
+/// verbs behind its exclusive-verb lock (src/server/session.cc).
+class StorageEngine {
+ public:
+  /// Opens (or creates) the database directory `dir`.
+  ///
+  /// When `dir` holds an existing database, `db` and `catalog` must be
+  /// empty: the checkpoint is loaded into them and the WAL replayed on
+  /// top. When `dir` is fresh, the *current* contents of `db`/`catalog`
+  /// (usually empty, but e.g. pre-generated XMark data) become
+  /// checkpoint 1 — the adopt-then-persist path bulk loaders use.
+  ///
+  /// Checkpoint page reads are accounted in `pool` (may be null) under
+  /// the StoragePageId partition, so cold-vs-warm opens are measurable.
+  static Result<std::unique_ptr<StorageEngine>> Open(
+      const std::string& dir, Database* db, Catalog* catalog,
+      BufferPool* pool, const StorageConstants& constants,
+      const StorageOptions& options = {});
+
+  ~StorageEngine();
+  StorageEngine(const StorageEngine&) = delete;
+  StorageEngine& operator=(const StorageEngine&) = delete;
+
+  // ------------------------------------------------ Logged mutations.
+  // Each validates, appends the WAL record, then applies in memory.
+
+  Status CreateCollection(const std::string& name);
+  Status LoadXml(const std::string& collection, const std::string& xml);
+  Status Analyze(const std::string& collection);
+  /// Parses DB2-style DDL, builds and registers the index. Returns the
+  /// index name.
+  Result<std::string> CreateIndex(const std::string& ddl);
+  Status DropIndex(const std::string& name);
+
+  // ------------------------------------------------------ Checkpoint.
+
+  /// Writes the next epoch's page file, swaps MANIFEST, truncates the
+  /// WAL (by starting a fresh one), and garbage-collects the previous
+  /// epoch. Also the way unlogged bulk loads (generate/loadcoll) become
+  /// durable: mutate the Database directly, then Checkpoint().
+  Status Checkpoint();
+
+  /// Checkpoints and releases the WAL. Idempotent. A Close()d database
+  /// reopens with zero WAL records to replay.
+  Status Close();
+
+  // -------------------------------------------------------- Introspection.
+
+  const RecoveryStats& recovery() const { return recovery_; }
+  uint64_t epoch() const { return epoch_; }
+  uint64_t next_lsn() const { return next_lsn_; }
+  const std::string& dir() const { return dir_; }
+
+  /// Order-independent fingerprint of the logical database + catalog
+  /// state (collections, node arrays, synopses presence, index entries,
+  /// virtual stats). Two states with equal fingerprints are
+  /// bit-identical for every query surface; persistence tests compare a
+  /// reopened database against the pre-crash fingerprint.
+  static std::string StateFingerprint(const Database& db,
+                                      const Catalog& catalog);
+
+ private:
+  StorageEngine(std::string dir, Database* db, Catalog* catalog,
+                BufferPool* pool, StorageConstants constants,
+                StorageOptions options)
+      : dir_(std::move(dir)),
+        db_(db),
+        catalog_(catalog),
+        pool_(pool),
+        constants_(constants),
+        options_(options) {}
+
+  // Recovery (called from Open).
+  Status OpenExisting(const std::string& manifest_text);
+  Status OpenFresh();
+  Status LoadCheckpoint(const std::string& path);
+  Status ReplayRecord(const WalRecord& record);
+
+  // Shared apply path: live mutations and WAL replay both land here.
+  Status ApplyCreateCollection(const std::string& name);
+  Status ApplyAddDocument(const std::string& collection,
+                          const std::string& xml);
+  Status ApplyAnalyze(const std::string& collection);
+  Result<std::string> ApplyCreateIndex(const std::string& ddl);
+  Status ApplyDropIndex(const std::string& name);
+
+  Status AppendWal(WalRecordType type, std::string payload);
+
+  /// Serializes db_/catalog_ into one page-file image.
+  std::string SerializeCheckpoint() const;
+  Status WriteManifest(uint64_t epoch);
+  void RemoveEpochFiles(uint64_t epoch);
+
+  std::string PagesPath(uint64_t epoch) const;
+  std::string WalPath(uint64_t epoch) const;
+  std::string ManifestPath() const;
+
+  std::string dir_;
+  Database* db_;
+  Catalog* catalog_;
+  BufferPool* pool_;
+  StorageConstants constants_;
+  StorageOptions options_;
+
+  uint64_t epoch_ = 0;
+  uint64_t next_lsn_ = 1;
+  std::optional<WalWriter> wal_;
+  RecoveryStats recovery_;
+  bool closed_ = false;
+};
+
+}  // namespace storage
+}  // namespace xia
+
+#endif  // XIA_STORAGE_STORAGE_ENGINE_H_

@@ -2,11 +2,11 @@
 
 #include <cctype>
 #include <cstdio>
-#include <filesystem>
 #include <fstream>
 #include <sstream>
 
 #include "common/failpoint.h"
+#include "common/io_util.h"
 #include "common/string_util.h"
 #include "query/parser.h"
 #include "wlm/fingerprint.h"
@@ -116,37 +116,14 @@ Result<std::vector<CaptureRecord>> LoadCaptureLogFile(
 
 Status SaveCaptureLogFile(const std::vector<CaptureRecord>& records,
                           const std::string& path) {
-  namespace fs = std::filesystem;
-  // Write-temp-then-rename (the workload_io / collection_io pattern): an
-  // injected or real mid-write failure can only tear the temp file.
-  const std::string payload = SerializeCaptureLog(records);
-  const fs::path final_path(path);
-  fs::path tmp_path = final_path;
-  tmp_path += ".tmp";
-  std::error_code ec;
-  Status written = [&]() -> Status {
-    std::ofstream out(tmp_path);
-    if (!out) return Status::Internal("cannot write capture log " + path);
-    std::streamsize half = static_cast<std::streamsize>(payload.size() / 2);
-    out.write(payload.data(), half);
-    XIA_FAILPOINT("wlm.log_io.write");
-    out.write(payload.data() + half,
-              static_cast<std::streamsize>(payload.size()) - half);
-    out.flush();
-    return out.good() ? Status::Ok()
-                      : Status::Internal("write failed for " + path);
-  }();
-  if (!written.ok()) {
-    fs::remove(tmp_path, ec);
-    return written;
-  }
-  fs::rename(tmp_path, final_path, ec);
-  if (ec) {
-    fs::remove(tmp_path, ec);
-    return Status::Internal("cannot finalize capture log " + path + ": " +
-                            ec.message());
-  }
-  return Status::Ok();
+  // Full atomic-replace discipline (common/io_util.h): temp + fsync +
+  // rename + directory fsync, shared with collection_io and the storage
+  // WAL/checkpoint writers. An injected or real mid-write failure can
+  // only tear the temp file; a power loss after return cannot surface an
+  // empty or stale log.
+  AtomicWriteOptions write_options;
+  write_options.failpoint = "wlm.log_io.write";
+  return AtomicWriteFile(path, SerializeCaptureLog(records), write_options);
 }
 
 }  // namespace wlm

@@ -1,11 +1,11 @@
 #include "workload/workload_io.h"
 
 #include <cctype>
-#include <filesystem>
 #include <fstream>
 #include <sstream>
 
 #include "common/failpoint.h"
+#include "common/io_util.h"
 #include "common/string_util.h"
 #include "xpath/parser.h"
 
@@ -107,38 +107,13 @@ std::string SerializeWorkload(const Workload& workload) {
 }
 
 Status SaveWorkloadFile(const Workload& workload, const std::string& path) {
-  namespace fs = std::filesystem;
-  // Write-temp-then-rename: a failure (injected or real) mid-write can
-  // only tear the temp file; the destination either keeps its previous
-  // content or appears whole via the atomic rename.
-  const std::string payload = SerializeWorkload(workload);
-  const fs::path final_path(path);
-  fs::path tmp_path = final_path;
-  tmp_path += ".tmp";
-  std::error_code ec;
-  Status written = [&]() -> Status {
-    std::ofstream out(tmp_path);
-    if (!out) return Status::Internal("cannot write workload file " + path);
-    std::streamsize half = static_cast<std::streamsize>(payload.size() / 2);
-    out.write(payload.data(), half);
-    XIA_FAILPOINT("storage.workload_io.write");
-    out.write(payload.data() + half,
-              static_cast<std::streamsize>(payload.size()) - half);
-    out.flush();
-    return out.good() ? Status::Ok()
-                      : Status::Internal("write failed for " + path);
-  }();
-  if (!written.ok()) {
-    fs::remove(tmp_path, ec);
-    return written;
-  }
-  fs::rename(tmp_path, final_path, ec);
-  if (ec) {
-    fs::remove(tmp_path, ec);
-    return Status::Internal("cannot finalize workload file " + path + ": " +
-                            ec.message());
-  }
-  return Status::Ok();
+  // Full atomic-replace discipline (common/io_util.h): temp + fsync +
+  // rename + directory fsync. A mid-write failure — injected or a real
+  // crash — can only tear the temp file; the destination either keeps
+  // its previous content or appears whole and durable.
+  AtomicWriteOptions write_options;
+  write_options.failpoint = "storage.workload_io.write";
+  return AtomicWriteFile(path, SerializeWorkload(workload), write_options);
 }
 
 }  // namespace xia

@@ -24,6 +24,16 @@ class Document {
   Document(const Document&) = delete;
   Document& operator=(const Document&) = delete;
 
+  /// Rebuilds a document from an already-flattened node array (the
+  /// persistent checkpoint loader, storage/storage_engine.cc). The nodes
+  /// must carry valid region encodings — they are stored verbatim, which
+  /// is what makes a reloaded document bit-identical to the original.
+  static Document FromNodes(std::vector<XmlNode> nodes) {
+    Document doc;
+    doc.nodes_ = std::move(nodes);
+    return doc;
+  }
+
   /// Document id within its collection; set when added to a Collection.
   DocId id() const { return id_; }
   void set_id(DocId id) { id_ = id; }

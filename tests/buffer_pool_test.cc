@@ -54,6 +54,31 @@ TEST(BufferPoolTest, ResetClearsEverything) {
   EXPECT_FALSE(pool.Touch(1));  // Cold again.
 }
 
+// Regression: Reset() used to zero the live obs counters, silently
+// erasing buffer-pool history from registry snapshots mid-run. The
+// instance view starts over; the registry totals must not move backward.
+TEST(BufferPoolTest, ResetKeepsRegistrySnapshotMonotonic) {
+  BufferPool pool(4);
+  pool.Touch(1);  // Miss.
+  pool.Touch(1);  // Hit.
+  pool.Touch(2);  // Miss.
+  obs::Snapshot before = obs::Registry().TakeSnapshot();
+  pool.Reset();
+  obs::Snapshot after = obs::Registry().TakeSnapshot();
+  for (const char* name :
+       {"bufferpool.hits", "bufferpool.misses", "bufferpool.evictions"}) {
+    EXPECT_GE(after.counter(name), before.counter(name)) << name;
+  }
+  // The instance view did start over...
+  EXPECT_EQ(pool.hits(), 0u);
+  EXPECT_EQ(pool.misses(), 0u);
+  // ...and keeps counting into both views afterwards.
+  pool.Touch(3);
+  EXPECT_EQ(pool.misses(), 1u);
+  EXPECT_EQ(obs::Registry().TakeSnapshot().counter("bufferpool.misses"),
+            after.counter("bufferpool.misses") + 1);
+}
+
 TEST(BufferPoolTest, HitRatio) {
   BufferPool pool(8);
   EXPECT_EQ(pool.HitRatio(), 0.0);

@@ -9,9 +9,13 @@
 #include <string>
 
 #include "common/random.h"
+#include "index/catalog.h"
 #include "query/parser.h"
 #include "storage/collection_io.h"
 #include "storage/database.h"
+#include "storage/page.h"
+#include "storage/storage_engine.h"
+#include "storage/wal.h"
 #include "wlm/wlm_io.h"
 #include "workload/workload_io.h"
 #include "xml/builder.h"
@@ -252,6 +256,156 @@ TEST(FuzzTest, CollectionLoaderSurvivesMutatedFiles) {
     Database db;
     (void)LoadCollectionFromDirectory(&db, "c", dir.path().string());
   }
+}
+
+// ------------------------------------------- Persistent-storage loaders.
+
+/// A well-formed three-record WAL image for the scanner fuzz loops.
+std::string SeedWalImage() {
+  std::string image;
+  for (uint64_t lsn = 1; lsn <= 3; ++lsn) {
+    storage::WalRecord record;
+    record.lsn = lsn;
+    record.type = storage::WalRecordType::kCreateCollection;
+    record.payload = std::string("\x05\0\0\0", 4) + "coll" +
+                     std::to_string(lsn);
+    image += storage::EncodeWalRecord(record);
+  }
+  return image;
+}
+
+TEST(FuzzTest, WalScannerSurvivesTruncations) {
+  const std::string seed = SeedWalImage();
+  for (size_t len = 0; len <= seed.size(); ++len) {
+    storage::WalReadResult result =
+        storage::ScanWal(std::string_view(seed.data(), len));
+    // The valid prefix is all the scanner may return; a cut anywhere
+    // inside record k must yield exactly the records before k.
+    EXPECT_LE(result.valid_bytes, len);
+    for (size_t i = 0; i < result.records.size(); ++i) {
+      EXPECT_EQ(result.records[i].lsn, i + 1);
+    }
+    EXPECT_EQ(result.clean, result.valid_bytes == len);
+  }
+}
+
+TEST(FuzzTest, WalScannerSurvivesBitFlips) {
+  const std::string seed = SeedWalImage();
+  Random rng(60221);
+  for (int round = 0; round < 300; ++round) {
+    std::string image = seed;
+    size_t pos = static_cast<size_t>(
+        rng.Uniform(0, static_cast<int64_t>(image.size()) - 1));
+    image[pos] = static_cast<char>(
+        image[pos] ^ static_cast<char>(1 << rng.Uniform(0, 7)));
+    storage::WalReadResult result = storage::ScanWal(image);
+    // A single bit flip may only drop records from the flipped one on;
+    // every surviving record must be byte-identical to its original.
+    EXPECT_LE(result.records.size(), 3u);
+    for (size_t i = 0; i < result.records.size(); ++i) {
+      EXPECT_EQ(result.records[i].type,
+                storage::WalRecordType::kCreateCollection);
+    }
+  }
+}
+
+TEST(FuzzTest, PageReaderSurvivesTruncationsAndBitFlips) {
+  std::string image;
+  storage::BinWriter payload;
+  payload.Str("some page payload");
+  storage::AppendPage(&image, 0, storage::PageType::kMeta, payload.bytes());
+  storage::AppendPage(&image, 1, storage::PageType::kNodes, "abc");
+  // Truncations: reading past the cut is a clean error.
+  for (size_t len = 0; len < image.size(); len += 257) {
+    std::string_view cut(image.data(), len);
+    for (uint64_t page = 0; page < 2; ++page) {
+      Result<storage::PageView> view = storage::ReadPage(cut, page);
+      if (!view.ok()) {
+        EXPECT_FALSE(view.status().message().empty());
+      }
+    }
+  }
+  // Bit flips: either the checksum catches it or the page is untouched
+  // in the fields that matter (flips inside the padding still flag,
+  // since the CRC covers the whole page).
+  Random rng(8086);
+  for (int round = 0; round < 300; ++round) {
+    std::string mutated = image;
+    size_t pos = static_cast<size_t>(
+        rng.Uniform(0, static_cast<int64_t>(mutated.size()) - 1));
+    mutated[pos] = static_cast<char>(
+        mutated[pos] ^ static_cast<char>(1 << rng.Uniform(0, 7)));
+    uint64_t flipped_page = pos / storage::kPageSize;
+    bool checksum_failed = false;
+    Result<storage::PageView> view =
+        storage::ReadPage(mutated, flipped_page, &checksum_failed);
+    EXPECT_FALSE(view.ok());  // CRC covers every byte of the page.
+    uint64_t other_page = 1 - flipped_page;
+    EXPECT_TRUE(storage::ReadPage(mutated, other_page).ok());
+  }
+}
+
+TEST(FuzzTest, CheckpointLoaderSurvivesMutatedPageFiles) {
+  ScratchDir dir("xia_fuzz_checkpoint");
+  const std::string db_dir = (dir.path() / "db").string();
+  {
+    Database db;
+    Catalog catalog;
+    Result<std::unique_ptr<storage::StorageEngine>> engine =
+        storage::StorageEngine::Open(db_dir, &db, &catalog, nullptr,
+                                     StorageConstants{});
+    ASSERT_TRUE(engine.ok());
+    ASSERT_TRUE((*engine)->CreateCollection("docs").ok());
+    ASSERT_TRUE(
+        (*engine)
+            ->LoadXml("docs", "<site><item><price>9</price></item></site>")
+            .ok());
+    ASSERT_TRUE((*engine)->Analyze("docs").ok());
+    ASSERT_TRUE((*engine)->Close().ok());
+  }
+  const std::string pages = (fs::path(db_dir) / "pages.2.xdb").string();
+  std::string seed;
+  {
+    std::ifstream in(pages, std::ios::binary);
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    seed = buf.str();
+  }
+  ASSERT_FALSE(seed.empty());
+  Random rng(777);
+  auto reopen = [&]() -> Status {
+    Database db;
+    Catalog catalog;
+    Result<std::unique_ptr<storage::StorageEngine>> engine =
+        storage::StorageEngine::Open(db_dir, &db, &catalog, nullptr,
+                                     StorageConstants{});
+    return engine.ok() ? Status::Ok() : engine.status();
+  };
+  // Bit flips anywhere in the page file: recovery must either succeed
+  // (flip restored by double-flip rounds is impossible here — any flip
+  // lands in a CRC-covered page) or fail with a clean message. Never
+  // crash, never load half a database.
+  for (int round = 0; round < 60; ++round) {
+    std::string mutated = seed;
+    size_t pos = static_cast<size_t>(
+        rng.Uniform(0, static_cast<int64_t>(mutated.size()) - 1));
+    mutated[pos] = static_cast<char>(
+        mutated[pos] ^ static_cast<char>(1 << rng.Uniform(0, 7)));
+    WriteFile(pages, mutated);
+    Status status = reopen();
+    EXPECT_FALSE(status.ok());
+    EXPECT_FALSE(status.message().empty());
+  }
+  // Truncations at page granularity and ragged cuts.
+  for (size_t len : {size_t{0}, size_t{100}, storage::kPageSize + size_t{0},
+                     seed.size() - storage::kPageSize, seed.size() - 1}) {
+    WriteFile(pages, seed.substr(0, len));
+    Status status = reopen();
+    EXPECT_FALSE(status.ok());
+  }
+  // The pristine file still loads after all that.
+  WriteFile(pages, seed);
+  EXPECT_TRUE(reopen().ok());
 }
 
 /// Builds a random tree of bounded size via DocumentBuilder.

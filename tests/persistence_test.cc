@@ -1,0 +1,414 @@
+// Crash-recovery matrix for the xia::storage persistence engine: every
+// failpoint-injected "kill" (mid-WAL-append, mid-page-flush, mid-
+// checkpoint-rename) is followed by a reopen that must reproduce the
+// committed state bit-identically — same fingerprint, same catalog,
+// same query results as a clean shutdown.
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <memory>
+#include <string>
+
+#include "common/failpoint.h"
+#include "common/metrics.h"
+#include "exec/executor.h"
+#include "optimizer/optimizer.h"
+#include "query/parser.h"
+#include "storage/page.h"
+#include "storage/storage_engine.h"
+#include "xmldata/xmark_gen.h"
+
+namespace xia {
+namespace {
+
+namespace fs = std::filesystem;
+using storage::RecoveryStats;
+using storage::StorageEngine;
+using storage::StorageOptions;
+
+class ScratchDir {
+ public:
+  explicit ScratchDir(const std::string& name)
+      : path_(fs::temp_directory_path() / name) {
+    fs::remove_all(path_);
+    fs::create_directories(path_);
+  }
+  ~ScratchDir() { fs::remove_all(path_); }
+  std::string db_dir() const { return (path_ / "db").string(); }
+
+ private:
+  fs::path path_;
+};
+
+/// One open database: the in-memory objects plus the engine over them.
+struct Instance {
+  Database db;
+  Catalog catalog;
+  BufferPool pool{100000};
+  CostModel cost_model;
+  std::unique_ptr<StorageEngine> engine;
+
+  Status OpenIn(const std::string& dir) {
+    Result<std::unique_ptr<StorageEngine>> opened = StorageEngine::Open(
+        dir, &db, &catalog, &pool, cost_model.storage, StorageOptions{});
+    if (!opened.ok()) return opened.status();
+    engine = std::move(*opened);
+    return Status::Ok();
+  }
+
+  std::string Fingerprint() const {
+    return StorageEngine::StateFingerprint(db, catalog);
+  }
+};
+
+constexpr const char* kDocA = "<site><item><price>10</price></item></site>";
+constexpr const char* kDocB =
+    "<site><item><price>20</price><name>n&amp;1</name></item></site>";
+constexpr const char* kDdl =
+    "CREATE INDEX price_idx ON docs(doc) GENERATE KEY USING XMLPATTERN "
+    "'/site/item/price' AS SQL DOUBLE";
+
+/// Applies the canonical mutation sequence used across the matrix.
+void ApplyBaseline(Instance* inst) {
+  ASSERT_TRUE(inst->engine->CreateCollection("docs").ok());
+  ASSERT_TRUE(inst->engine->LoadXml("docs", kDocA).ok());
+  ASSERT_TRUE(inst->engine->LoadXml("docs", kDocB).ok());
+  ASSERT_TRUE(inst->engine->Analyze("docs").ok());
+  Result<std::string> idx = inst->engine->CreateIndex(kDdl);
+  ASSERT_TRUE(idx.ok());
+  EXPECT_EQ(*idx, "price_idx");
+}
+
+TEST(PersistenceTest, FreshOpenCreatesEpochOneLayout) {
+  ScratchDir dir("xia_persist_fresh");
+  Instance inst;
+  ASSERT_TRUE(inst.OpenIn(dir.db_dir()).ok());
+  EXPECT_FALSE(inst.engine->recovery().opened_existing);
+  EXPECT_EQ(inst.engine->epoch(), 1u);
+  EXPECT_TRUE(fs::exists(fs::path(dir.db_dir()) / "MANIFEST"));
+  EXPECT_TRUE(fs::exists(fs::path(dir.db_dir()) / "pages.1.xdb"));
+  EXPECT_TRUE(fs::exists(fs::path(dir.db_dir()) / "wal.1.log"));
+}
+
+TEST(PersistenceTest, WalReplayReproducesUncheckpointedMutations) {
+  ScratchDir dir("xia_persist_replay");
+  std::string fingerprint;
+  {
+    Instance inst;
+    ASSERT_TRUE(inst.OpenIn(dir.db_dir()).ok());
+    ApplyBaseline(&inst);
+    fingerprint = inst.Fingerprint();
+    // Killed without Close(): everything lives only in the WAL.
+  }
+  Instance reopened;
+  ASSERT_TRUE(reopened.OpenIn(dir.db_dir()).ok());
+  const RecoveryStats& stats = reopened.engine->recovery();
+  EXPECT_TRUE(stats.opened_existing);
+  EXPECT_TRUE(stats.wal_was_clean);
+  EXPECT_EQ(stats.wal_records_replayed, 5u);
+  EXPECT_EQ(reopened.Fingerprint(), fingerprint);
+  // The replayed catalog is live, not just equal: the index answers.
+  const CatalogEntry* entry = reopened.catalog.Find("price_idx");
+  ASSERT_NE(entry, nullptr);
+  EXPECT_FALSE(entry->is_virtual);
+  EXPECT_EQ(entry->physical->num_entries(), 2u);
+  EXPECT_NE(reopened.db.synopsis("docs"), nullptr);
+}
+
+TEST(PersistenceTest, CleanCloseCheckpointsAndReopensWithEmptyWal) {
+  ScratchDir dir("xia_persist_close");
+  std::string fingerprint;
+  {
+    Instance inst;
+    ASSERT_TRUE(inst.OpenIn(dir.db_dir()).ok());
+    ApplyBaseline(&inst);
+    fingerprint = inst.Fingerprint();
+    ASSERT_TRUE(inst.engine->Close().ok());
+  }
+  Instance reopened;
+  ASSERT_TRUE(reopened.OpenIn(dir.db_dir()).ok());
+  EXPECT_EQ(reopened.engine->recovery().wal_records_replayed, 0u);
+  EXPECT_GT(reopened.engine->recovery().pages_read, 0u);
+  EXPECT_EQ(reopened.Fingerprint(), fingerprint);
+}
+
+TEST(PersistenceTest, CheckpointAdvancesEpochAndRemovesOldFiles) {
+  ScratchDir dir("xia_persist_epoch");
+  Instance inst;
+  ASSERT_TRUE(inst.OpenIn(dir.db_dir()).ok());
+  ApplyBaseline(&inst);
+  ASSERT_TRUE(inst.engine->Checkpoint().ok());
+  EXPECT_EQ(inst.engine->epoch(), 2u);
+  EXPECT_TRUE(fs::exists(fs::path(dir.db_dir()) / "pages.2.xdb"));
+  EXPECT_FALSE(fs::exists(fs::path(dir.db_dir()) / "pages.1.xdb"));
+  EXPECT_FALSE(fs::exists(fs::path(dir.db_dir()) / "wal.1.log"));
+  // Post-checkpoint mutations land in the new WAL and still recover.
+  ASSERT_TRUE(inst.engine->CreateCollection("extra").ok());
+  std::string fingerprint = inst.Fingerprint();
+  inst.engine.reset();  // Kill.
+  Instance reopened;
+  ASSERT_TRUE(reopened.OpenIn(dir.db_dir()).ok());
+  EXPECT_EQ(reopened.engine->epoch(), 2u);
+  EXPECT_EQ(reopened.engine->recovery().wal_records_replayed, 1u);
+  EXPECT_EQ(reopened.Fingerprint(), fingerprint);
+}
+
+// ------------------------------------------------------ Crash matrix.
+
+TEST(PersistenceTest, KillMidWalAppendRecoversCommittedPrefix) {
+  ScratchDir dir("xia_persist_torn_wal");
+  std::string committed_fingerprint;
+  {
+    Instance inst;
+    ASSERT_TRUE(inst.OpenIn(dir.db_dir()).ok());
+    ASSERT_TRUE(inst.engine->CreateCollection("docs").ok());
+    ASSERT_TRUE(inst.engine->LoadXml("docs", kDocA).ok());
+    committed_fingerprint = inst.Fingerprint();
+
+    // The next append (lsn 3) dies halfway through its record write.
+    fp::FailSpec spec;
+    spec.match_arg = 3;
+    fp::ScopedFailpoint crash("storage.wal.append", spec);
+    EXPECT_FALSE(inst.engine->LoadXml("docs", kDocB).ok());
+    // The writer is poisoned, as a crashed process would be gone.
+    EXPECT_FALSE(inst.engine->CreateCollection("more").ok());
+    // Kill without Close(), leaving the torn record on disk.
+  }
+  uint64_t truncations_before =
+      obs::Registry().TakeSnapshot().counter("storage.wal.truncated_tails");
+  Instance reopened;
+  ASSERT_TRUE(reopened.OpenIn(dir.db_dir()).ok());
+  const RecoveryStats& stats = reopened.engine->recovery();
+  EXPECT_FALSE(stats.wal_was_clean);
+  EXPECT_GT(stats.wal_torn_bytes, 0u);
+  EXPECT_EQ(stats.wal_records_replayed, 2u);
+  EXPECT_EQ(reopened.Fingerprint(), committed_fingerprint);
+  EXPECT_EQ(
+      obs::Registry().TakeSnapshot().counter("storage.wal.truncated_tails"),
+      truncations_before + 1);
+  // The truncated WAL accepts new appends and they survive another trip.
+  ASSERT_TRUE(reopened.engine->LoadXml("docs", kDocB).ok());
+  std::string extended = reopened.Fingerprint();
+  reopened.engine.reset();
+  Instance again;
+  ASSERT_TRUE(again.OpenIn(dir.db_dir()).ok());
+  EXPECT_TRUE(again.engine->recovery().wal_was_clean);
+  EXPECT_EQ(again.Fingerprint(), extended);
+}
+
+TEST(PersistenceTest, KillMidCheckpointFlushKeepsPreviousEpoch) {
+  ScratchDir dir("xia_persist_flush_crash");
+  std::string fingerprint;
+  {
+    Instance inst;
+    ASSERT_TRUE(inst.OpenIn(dir.db_dir()).ok());
+    ApplyBaseline(&inst);
+    fingerprint = inst.Fingerprint();
+    fp::ScopedFailpoint crash("storage.checkpoint.flush", fp::FailSpec{});
+    EXPECT_FALSE(inst.engine->Checkpoint().ok());
+    EXPECT_EQ(inst.engine->epoch(), 1u);  // Swap never happened.
+  }
+  // The torn page file was discarded; epoch 1 recovers via its WAL.
+  EXPECT_FALSE(fs::exists(fs::path(dir.db_dir()) / "pages.2.xdb"));
+  Instance reopened;
+  ASSERT_TRUE(reopened.OpenIn(dir.db_dir()).ok());
+  EXPECT_EQ(reopened.engine->epoch(), 1u);
+  EXPECT_EQ(reopened.engine->recovery().wal_records_replayed, 5u);
+  EXPECT_EQ(reopened.Fingerprint(), fingerprint);
+}
+
+TEST(PersistenceTest, KillBeforeManifestSwapKeepsPreviousEpoch) {
+  ScratchDir dir("xia_persist_rename_crash");
+  std::string fingerprint;
+  {
+    Instance inst;
+    ASSERT_TRUE(inst.OpenIn(dir.db_dir()).ok());
+    ApplyBaseline(&inst);
+    fingerprint = inst.Fingerprint();
+    fp::ScopedFailpoint crash("storage.checkpoint.rename", fp::FailSpec{});
+    EXPECT_FALSE(inst.engine->Checkpoint().ok());
+  }
+  // New-epoch files exist but MANIFEST still names epoch 1: the stale
+  // files are invisible to recovery and overwritten by the next
+  // successful checkpoint.
+  EXPECT_TRUE(fs::exists(fs::path(dir.db_dir()) / "pages.2.xdb"));
+  Instance reopened;
+  ASSERT_TRUE(reopened.OpenIn(dir.db_dir()).ok());
+  EXPECT_EQ(reopened.engine->epoch(), 1u);
+  EXPECT_EQ(reopened.Fingerprint(), fingerprint);
+  ASSERT_TRUE(reopened.engine->Checkpoint().ok());
+  EXPECT_EQ(reopened.engine->epoch(), 2u);
+  EXPECT_EQ(reopened.Fingerprint(), fingerprint);
+}
+
+TEST(PersistenceTest, CorruptedPageFailsRecoveryWithChecksumError) {
+  ScratchDir dir("xia_persist_bitflip");
+  {
+    Instance inst;
+    ASSERT_TRUE(inst.OpenIn(dir.db_dir()).ok());
+    ApplyBaseline(&inst);
+    ASSERT_TRUE(inst.engine->Close().ok());
+  }
+  const std::string pages = (fs::path(dir.db_dir()) / "pages.2.xdb").string();
+  ASSERT_TRUE(fs::exists(pages));
+  {
+    std::fstream f(pages, std::ios::in | std::ios::out | std::ios::binary);
+    f.seekp(static_cast<std::streamoff>(storage::kPageSize) + 100);
+    char byte = 0;
+    f.read(&byte, 1);
+    f.seekp(static_cast<std::streamoff>(storage::kPageSize) + 100);
+    byte = static_cast<char>(byte ^ 0x40);
+    f.write(&byte, 1);
+  }
+  uint64_t failures_before = obs::Registry().TakeSnapshot().counter(
+      "storage.pages.checksum_failures");
+  Instance reopened;
+  Status status = reopened.OpenIn(dir.db_dir());
+  EXPECT_FALSE(status.ok());
+  EXPECT_NE(status.message().find("checksum"), std::string::npos)
+      << status.ToString();
+  EXPECT_EQ(obs::Registry().TakeSnapshot().counter(
+                "storage.pages.checksum_failures"),
+            failures_before + 1);
+}
+
+// ------------------------------------------- Queries over reloaded data.
+
+TEST(PersistenceTest, BulkLoadCheckpointThenQueriesAreBitIdentical) {
+  ScratchDir dir("xia_persist_xmark");
+  constexpr const char* kQuery =
+      "for $i in doc(\"xmark\")/site/regions/africa/item "
+      "where $i/quantity > 5 return $i/name";
+  Result<ExecResult> before = Status::Internal("not run");
+  std::string fingerprint;
+  {
+    Instance inst;
+    ASSERT_TRUE(inst.OpenIn(dir.db_dir()).ok());
+    // Bulk generation bypasses the WAL (like loadcoll/gen verbs); the
+    // explicit Checkpoint() is what makes it durable.
+    XMarkParams params;
+    ASSERT_TRUE(PopulateXMark(&inst.db, "xmark", 10, params, 42).ok());
+    ASSERT_TRUE(inst.engine->Analyze("xmark").ok());
+    ASSERT_TRUE(
+        inst.engine
+            ->CreateIndex(
+                "CREATE INDEX q_idx ON xmark(doc) GENERATE KEY USING "
+                "XMLPATTERN '/site/regions/africa/item/quantity' AS SQL "
+                "DOUBLE")
+            .ok());
+    ASSERT_TRUE(inst.engine->Checkpoint().ok());
+    fingerprint = inst.Fingerprint();
+
+    Result<Query> q = ParseQuery(kQuery);
+    ASSERT_TRUE(q.ok());
+    Optimizer opt(&inst.db, inst.cost_model);
+    ContainmentCache cache;
+    Result<QueryPlan> plan = opt.Optimize(*q, inst.catalog, &cache);
+    ASSERT_TRUE(plan.ok());
+    Executor exec(&inst.db, &inst.catalog, inst.cost_model, &inst.pool);
+    before = exec.Execute(*plan);
+    ASSERT_TRUE(before.ok());
+  }
+  Instance reopened;
+  ASSERT_TRUE(reopened.OpenIn(dir.db_dir()).ok());
+  EXPECT_EQ(reopened.Fingerprint(), fingerprint);
+  Result<Query> q = ParseQuery(kQuery);
+  ASSERT_TRUE(q.ok());
+  Optimizer opt(&reopened.db, reopened.cost_model);
+  ContainmentCache cache;
+  Result<QueryPlan> plan = opt.Optimize(*q, reopened.catalog, &cache);
+  ASSERT_TRUE(plan.ok());
+  Executor exec(&reopened.db, &reopened.catalog, reopened.cost_model,
+                &reopened.pool);
+  Result<ExecResult> after = exec.Execute(*plan);
+  ASSERT_TRUE(after.ok());
+  EXPECT_EQ(after->nodes, before->nodes);  // Bit-identical results.
+}
+
+// --------------------------------------------------- Pool accounting.
+
+TEST(PersistenceTest, ColdOpenMissesWarmOpenHitsInBufferPool) {
+  ScratchDir dir("xia_persist_pool");
+  {
+    Instance inst;
+    ASSERT_TRUE(inst.OpenIn(dir.db_dir()).ok());
+    ApplyBaseline(&inst);
+    ASSERT_TRUE(inst.engine->Close().ok());
+  }
+  // Cold: a fresh pool has every checkpoint page missing.
+  Database db_cold;
+  Catalog cat_cold;
+  BufferPool pool(100000);
+  CostModel cost_model;
+  Result<std::unique_ptr<StorageEngine>> cold = StorageEngine::Open(
+      dir.db_dir(), &db_cold, &cat_cold, &pool, cost_model.storage,
+      StorageOptions{});
+  ASSERT_TRUE(cold.ok());
+  uint64_t cold_misses = pool.misses();
+  uint64_t pages = (*cold)->recovery().pages_read;
+  EXPECT_GT(pages, 0u);
+  EXPECT_GE(cold_misses, pages);
+  EXPECT_EQ(pool.hits(), 0u);
+  // Warm: the same pool already holds the pages.
+  Database db_warm;
+  Catalog cat_warm;
+  Result<std::unique_ptr<StorageEngine>> warm = StorageEngine::Open(
+      dir.db_dir(), &db_warm, &cat_warm, &pool, cost_model.storage,
+      StorageOptions{});
+  ASSERT_TRUE(warm.ok());
+  EXPECT_EQ(pool.misses(), cold_misses);  // No new misses.
+  EXPECT_EQ(pool.hits(), pages);
+  EXPECT_EQ(StorageEngine::StateFingerprint(db_warm, cat_warm),
+            StorageEngine::StateFingerprint(db_cold, cat_cold));
+}
+
+// ------------------------------------------------------- Guard rails.
+
+TEST(PersistenceTest, RecoveryRefusesNonEmptyDatabase) {
+  ScratchDir dir("xia_persist_nonempty");
+  {
+    Instance inst;
+    ASSERT_TRUE(inst.OpenIn(dir.db_dir()).ok());
+    ApplyBaseline(&inst);
+    ASSERT_TRUE(inst.engine->Close().ok());
+  }
+  Instance dirty;
+  ASSERT_TRUE(dirty.db.CreateCollection("already_here").ok());
+  Status status = dirty.OpenIn(dir.db_dir());
+  EXPECT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+}
+
+TEST(PersistenceTest, MalformedXmlIsRejectedBeforeLogging) {
+  ScratchDir dir("xia_persist_badxml");
+  Instance inst;
+  ASSERT_TRUE(inst.OpenIn(dir.db_dir()).ok());
+  ASSERT_TRUE(inst.engine->CreateCollection("docs").ok());
+  uint64_t lsn = inst.engine->next_lsn();
+  EXPECT_FALSE(inst.engine->LoadXml("docs", "<open><unclosed>").ok());
+  // Nothing was logged: a record that cannot replay must never hit disk.
+  EXPECT_EQ(inst.engine->next_lsn(), lsn);
+  ASSERT_TRUE(inst.engine->LoadXml("docs", kDocA).ok());  // Still healthy.
+}
+
+TEST(PersistenceTest, TruncatedManifestFailsCleanly) {
+  ScratchDir dir("xia_persist_manifest");
+  {
+    Instance inst;
+    ASSERT_TRUE(inst.OpenIn(dir.db_dir()).ok());
+    ASSERT_TRUE(inst.engine->Close().ok());
+  }
+  const std::string manifest = (fs::path(dir.db_dir()) / "MANIFEST").string();
+  // Drop the trailing "ok" line: the swap never completed.
+  std::ofstream(manifest, std::ios::trunc)
+      << "xia-manifest v1\nepoch 2\npages pages.2.xdb\n";
+  Instance reopened;
+  Status status = reopened.OpenIn(dir.db_dir());
+  EXPECT_FALSE(status.ok());
+  EXPECT_FALSE(status.message().empty());
+}
+
+}  // namespace
+}  // namespace xia

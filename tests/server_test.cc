@@ -9,6 +9,9 @@
 
 #include <gtest/gtest.h>
 
+#include <filesystem>
+#include <fstream>
+#include <sstream>
 #include <string>
 #include <thread>
 #include <vector>
@@ -18,6 +21,7 @@
 #include "server/protocol.h"
 #include "server/server.h"
 #include "server/session.h"
+#include "storage/storage_engine.h"
 #include "xmldata/xmark_gen.h"
 
 namespace xia {
@@ -385,6 +389,141 @@ TEST_F(ServerTest, StopCancelsInflightAdviseAndConnectionsDrain) {
   EXPECT_TRUE(server_->shutdown_token().Cancelled());
   EXPECT_EQ(server_->active_connections(), 0);
   server_.reset();
+}
+
+// ---------------------------------------------------------------------
+// Dispatcher-level regressions: budget parsing and the db verb. These
+// drive CommandDispatcher::Execute directly — no socket needed.
+
+std::string Dispatch(SharedState* shared, ClientSession* session,
+                     const std::string& line) {
+  CommandDispatcher dispatcher(shared);
+  std::ostringstream out;
+  dispatcher.Execute(line, session, out);
+  return out.str();
+}
+
+TEST(DispatcherBudgetTest, JunkBudgetIsRefusedNotHalfParsed) {
+  SharedState shared;
+  ClientSession session(shared);
+  // std::stod("12abc") silently yields 12 and drops "abc" — the old
+  // parse advised with that half-read budget. It must be refused whole.
+  EXPECT_NE(Dispatch(&shared, &session, "advise 12abc")
+                .find("bad budget '12abc'"),
+            std::string::npos);
+  EXPECT_NE(Dispatch(&shared, &session, "advise nan").find("bad budget"),
+            std::string::npos);
+  EXPECT_NE(Dispatch(&shared, &session, "advise inf").find("bad budget"),
+            std::string::npos);
+  EXPECT_NE(Dispatch(&shared, &session, "advise -5").find("bad budget"),
+            std::string::npos);
+}
+
+TEST(DispatcherBudgetTest, BudgetMsRequiresNonNegativeInteger) {
+  SharedState shared;
+  ClientSession session(shared);
+  const char* kErr = "--budget-ms needs a non-negative integer";
+  EXPECT_NE(Dispatch(&shared, &session, "advise --budget-ms abc 64")
+                .find(kErr),
+            std::string::npos);
+  EXPECT_NE(Dispatch(&shared, &session, "advise --budget-ms 2.5 64")
+                .find(kErr),
+            std::string::npos);
+  EXPECT_NE(Dispatch(&shared, &session, "advise --budget-ms -1 64")
+                .find(kErr),
+            std::string::npos);
+  EXPECT_NE(Dispatch(&shared, &session, "advise --budget-ms").find(kErr),
+            std::string::npos);
+  // `1e3` used to be read by `args >> int64` as 1 with "e3" left over to
+  // be misparsed as the space budget; it is exactly 1000 and must pass
+  // the budget parse (the reply then complains about the empty
+  // workload, not the budget).
+  EXPECT_EQ(Dispatch(&shared, &session, "advise --budget-ms 1e3 64")
+                .find("budget"),
+            std::string::npos);
+}
+
+TEST(DispatcherDbTest, DbVerbWithoutEngineReportsMemoryOnly) {
+  SharedState shared;
+  ClientSession session(shared);
+  EXPECT_TRUE(CommandDispatcher::IsExclusiveVerb("db"));
+  EXPECT_NE(Dispatch(&shared, &session, "db status").find("persistence: off"),
+            std::string::npos);
+  EXPECT_NE(
+      Dispatch(&shared, &session, "db checkpoint").find("persistence: off"),
+      std::string::npos);
+  EXPECT_NE(Dispatch(&shared, &session, "db frob").find("usage: db"),
+            std::string::npos);
+}
+
+TEST(DispatcherDbTest, LoadAnalyzeAreWalLoggedAndSurviveKill) {
+  namespace fs = std::filesystem;
+  fs::path scratch = fs::temp_directory_path() / "xia_server_db_test";
+  fs::remove_all(scratch);
+  fs::create_directories(scratch);
+  fs::path xml = scratch / "doc.xml";
+  {
+    std::ofstream file(xml);
+    file << "<site><item><price>7</price></item></site>";
+  }
+  const std::string db_dir = (scratch / "db").string();
+  storage::StorageOptions no_sync;
+  no_sync.sync = false;
+
+  auto open_into = [&](SharedState* shared) {
+    Result<std::unique_ptr<storage::StorageEngine>> opened =
+        storage::StorageEngine::Open(
+            db_dir, &shared->db, &shared->catalog, &shared->buffer_pool,
+            shared->default_options.cost_model.storage, no_sync);
+    ASSERT_TRUE(opened.ok()) << opened.status().ToString();
+    shared->engine = std::move(*opened);
+  };
+
+  std::string fingerprint;
+  {
+    SharedState shared;
+    open_into(&shared);
+    ClientSession session(shared);
+    EXPECT_NE(Dispatch(&shared, &session, "load docs " + xml.string())
+                  .find("loaded 1 document"),
+              std::string::npos);
+    EXPECT_NE(Dispatch(&shared, &session, "analyze docs")
+                  .find("statistics rebuilt"),
+              std::string::npos);
+    std::string status = Dispatch(&shared, &session, "db status");
+    EXPECT_NE(status.find("persistence: on"), std::string::npos);
+    // create-collection + add-document + analyze = LSNs 1..3.
+    EXPECT_NE(status.find("next_lsn: 4"), std::string::npos);
+    fingerprint =
+        storage::StorageEngine::StateFingerprint(shared.db, shared.catalog);
+    // Kill: drop the engine without Close(); the WAL is all that's left.
+  }
+  {
+    SharedState shared;
+    open_into(&shared);
+    EXPECT_EQ(shared.engine->recovery().wal_records_replayed, 3u);
+    EXPECT_EQ(
+        storage::StorageEngine::StateFingerprint(shared.db, shared.catalog),
+        fingerprint);
+    ASSERT_NE(shared.db.GetCollection("docs"), nullptr);
+    ClientSession session(shared);
+    EXPECT_NE(Dispatch(&shared, &session, "db checkpoint")
+                  .find("checkpointed (epoch 2"),
+              std::string::npos);
+  }
+  {
+    // After the verb-driven checkpoint a reopen replays nothing — the
+    // state comes entirely from the page file.
+    SharedState shared;
+    open_into(&shared);
+    EXPECT_TRUE(shared.engine->recovery().opened_existing);
+    EXPECT_EQ(shared.engine->recovery().wal_records_replayed, 0u);
+    EXPECT_GT(shared.engine->recovery().pages_read, 0u);
+    EXPECT_EQ(
+        storage::StorageEngine::StateFingerprint(shared.db, shared.catalog),
+        fingerprint);
+  }
+  fs::remove_all(scratch);
 }
 
 }  // namespace
