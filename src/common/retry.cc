@@ -1,0 +1,60 @@
+#include "common/retry.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <thread>
+
+namespace xia {
+
+RetryState::RetryState(const RetryPolicy& policy)
+    : policy_(policy), jitter_engine_(policy.jitter_seed) {
+  if (policy_.max_attempts < 1) policy_.max_attempts = 1;
+  overall_ = policy_.overall_budget_ms > 0
+                 ? Deadline::AfterMillis(policy_.overall_budget_ms)
+                 : Deadline::Infinite();
+}
+
+int64_t RetryState::DrawBackoffMillis(int retry_index) {
+  double base = static_cast<double>(policy_.initial_backoff_ms) *
+                std::pow(policy_.backoff_multiplier, retry_index);
+  base = std::min(base, static_cast<double>(policy_.max_backoff_ms));
+  if (policy_.jitter > 0) {
+    std::uniform_real_distribution<double> scale(1.0 - policy_.jitter,
+                                                 1.0 + policy_.jitter);
+    base *= scale(jitter_engine_);
+  }
+  return std::max<int64_t>(0, static_cast<int64_t>(base));
+}
+
+bool RetryState::NextAttempt(const Status& last_error) {
+  if (!RetryPolicy::IsRetryable(last_error)) return false;
+  if (attempts_ >= policy_.max_attempts) return false;
+  if (overall_.Expired()) return false;
+  int64_t backoff = DrawBackoffMillis(attempts_ - 1);
+  // Never sleep past the overall deadline: a backoff that would consume
+  // the whole remaining budget is pointless — the attempt after it
+  // would be born expired.
+  if (!overall_.infinite()) {
+    int64_t remaining = overall_.RemainingMillis();
+    if (remaining <= 0) return false;
+    backoff = std::min(backoff, remaining);
+  }
+  if (backoff > 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(backoff));
+  }
+  ++attempts_;
+  return true;
+}
+
+Deadline RetryState::AttemptDeadline() const {
+  if (policy_.attempt_budget_ms <= 0) return overall_;
+  Deadline attempt = Deadline::AfterMillis(policy_.attempt_budget_ms);
+  if (overall_.infinite() ||
+      attempt.RemainingMillis() <= overall_.RemainingMillis()) {
+    return attempt;
+  }
+  return overall_;
+}
+
+}  // namespace xia

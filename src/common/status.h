@@ -19,6 +19,7 @@ enum class StatusCode {
   kUnimplemented,
   kResourceExhausted,
   kCancelled,
+  kUnavailable,
 };
 
 /// Returns a stable human-readable name for a status code, e.g.
@@ -66,9 +67,18 @@ class Status {
   static Status Cancelled(std::string msg) {
     return Status(StatusCode::kCancelled, std::move(msg));
   }
+  /// Transient availability failure: the peer is overloaded, restarting,
+  /// or the connection dropped — the canonical "retry later" verdict, as
+  /// opposed to "this request can never succeed". Retry policies
+  /// (common/retry.h) treat kUnavailable and kResourceExhausted as
+  /// retryable and every other code as permanent.
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
+  }
 
   bool ok() const { return code_ == StatusCode::kOk; }
   bool IsCancelled() const { return code_ == StatusCode::kCancelled; }
+  bool IsUnavailable() const { return code_ == StatusCode::kUnavailable; }
   StatusCode code() const { return code_; }
   const std::string& message() const { return message_; }
 

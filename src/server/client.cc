@@ -9,6 +9,8 @@
 #include <cstring>
 #include <utility>
 
+#include "server/net_util.h"
+
 namespace xia {
 namespace server {
 
@@ -47,11 +49,11 @@ Result<BlockingClient> BlockingClient::ConnectUnix(const std::string& path) {
   if (fd < 0) {
     return Status::Internal(std::string("socket: ") + std::strerror(errno));
   }
-  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
-    Status status =
-        Status::Internal("connect " + path + ": " + std::strerror(errno));
+  Status connected = net::ConnectFd(fd, reinterpret_cast<sockaddr*>(&addr),
+                                    sizeof(addr), path);
+  if (!connected.ok()) {
     ::close(fd);
-    return status;
+    return connected;
   }
   return BlockingClient(fd);
 }
@@ -65,44 +67,54 @@ Result<BlockingClient> BlockingClient::ConnectTcp(int port) {
   addr.sin_family = AF_INET;
   addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
   addr.sin_port = htons(static_cast<uint16_t>(port));
-  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
-    Status status = Status::Internal("connect port " + std::to_string(port) +
-                                     ": " + std::strerror(errno));
+  Status connected =
+      net::ConnectFd(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr),
+                     "port " + std::to_string(port));
+  if (!connected.ok()) {
     ::close(fd);
-    return status;
+    return connected;
   }
   return BlockingClient(fd);
 }
 
-Status BlockingClient::Send(const std::string& command) {
+Status BlockingClient::SetIoTimeoutMillis(int64_t ms) {
   if (fd_ < 0) return Status::Internal("client not connected");
+  XIA_RETURN_IF_ERROR(net::SetRecvTimeoutMillis(fd_, ms));
+  return net::SetSendTimeoutMillis(fd_, ms);
+}
+
+Status BlockingClient::Send(const std::string& command) {
+  if (fd_ < 0) return Status::Unavailable("client not connected");
   std::string frame = EncodeFrame(command);
-  size_t sent = 0;
-  while (sent < frame.size()) {
-    ssize_t n =
-        ::send(fd_, frame.data() + sent, frame.size() - sent, MSG_NOSIGNAL);
-    if (n < 0) {
-      if (errno == EINTR) continue;
-      return Status::Internal(std::string("send: ") + std::strerror(errno));
-    }
-    sent += static_cast<size_t>(n);
-  }
-  return Status::Ok();
+  return net::WriteAll(fd_, frame.data(), frame.size());
+}
+
+Status BlockingClient::SendRaw(std::string_view bytes) {
+  if (fd_ < 0) return Status::Unavailable("client not connected");
+  return net::WriteAll(fd_, bytes.data(), bytes.size());
 }
 
 Result<std::string> BlockingClient::Receive() {
-  if (fd_ < 0) return Status::Internal("client not connected");
+  if (fd_ < 0) return Status::Unavailable("client not connected");
   char buf[4096];
   while (true) {
     std::optional<std::string> payload = decoder_.Next();
     if (payload.has_value()) return *payload;
-    ssize_t n = ::read(fd_, buf, sizeof(buf));
-    if (n == 0) {
-      return Status::Internal("connection closed by server");
-    }
-    if (n < 0) {
-      if (errno == EINTR) continue;
-      return Status::Internal(std::string("read: ") + std::strerror(errno));
+    ssize_t n = 0;
+    int err = 0;
+    switch (net::ReadSome(fd_, buf, sizeof(buf), &n, &err)) {
+      case net::ReadEvent::kData:
+        break;
+      case net::ReadEvent::kEof:
+        return Status::Unavailable("connection closed by server");
+      case net::ReadEvent::kTimeout:
+        return Status::Unavailable("receive timeout");
+      case net::ReadEvent::kError:
+        if (err == ECONNRESET) {
+          return Status::Unavailable(std::string("read: ") +
+                                     std::strerror(err));
+        }
+        return Status::Internal(std::string("read: ") + std::strerror(err));
     }
     Status fed = decoder_.Feed(buf, static_cast<size_t>(n));
     if (!fed.ok()) return fed;

@@ -12,8 +12,13 @@ namespace server {
 /// Minimal blocking client for the xia::server wire protocol — one
 /// connection, one outstanding request at a time. Shared by the
 /// `xia_server --connect` scripted-session mode, the load-generator
-/// bench, and the protocol tests, so all three agree with the server on
-/// framing byte-for-byte.
+/// bench, the retrying client, and the protocol tests, so all agree
+/// with the server on framing byte-for-byte.
+///
+/// Transport failures that a retry can plausibly cure — connection
+/// refused/reset, EOF before a complete response, a receive timeout
+/// armed via SetIoTimeoutMillis — come back as Status::Unavailable;
+/// RetryingClient (server/retrying_client.h) keys off exactly that.
 class BlockingClient {
  public:
   BlockingClient() = default;
@@ -30,13 +35,25 @@ class BlockingClient {
   /// Connects to loopback TCP.
   static Result<BlockingClient> ConnectTcp(int port);
 
+  /// Bounds every subsequent blocking read AND write on this
+  /// connection: after `ms` of no progress the call fails with
+  /// kUnavailable instead of parking forever (ms <= 0 restores
+  /// unbounded blocking). The per-attempt budget of a retry policy
+  /// maps onto this.
+  Status SetIoTimeoutMillis(int64_t ms);
+
   /// Sends one command and blocks for its response payload. An EOF
   /// before a complete response (e.g. the BUSY-then-close admission
-  /// path already consumed by Receive) is an error.
+  /// path already consumed by Receive) is kUnavailable.
   Result<std::string> Call(const std::string& command);
 
   /// Sends one request frame.
   Status Send(const std::string& command);
+
+  /// Sends raw bytes with no framing — the tool chaos tests use to
+  /// produce torn frames (header without payload, half a payload) and
+  /// observe the server's stall handling.
+  Status SendRaw(std::string_view bytes);
 
   /// Blocks for the next response payload.
   Result<std::string> Receive();

@@ -1,0 +1,126 @@
+#include "server/net_util.h"
+
+#include <poll.h>
+#include <sys/time.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace xia {
+namespace server {
+namespace net {
+
+namespace {
+
+Status SetTimeout(int fd, int option, int64_t ms, const char* what) {
+  timeval tv{};
+  if (ms > 0) {
+    tv.tv_sec = static_cast<time_t>(ms / 1000);
+    tv.tv_usec = static_cast<suseconds_t>((ms % 1000) * 1000);
+  }
+  if (::setsockopt(fd, SOL_SOCKET, option, &tv, sizeof(tv)) != 0) {
+    return Status::Internal(std::string(what) + ": " + std::strerror(errno));
+  }
+  return Status::Ok();
+}
+
+bool IsTransientSendErrno(int err) {
+  return err == EPIPE || err == ECONNRESET || err == ETIMEDOUT ||
+         err == EAGAIN || err == EWOULDBLOCK;
+}
+
+}  // namespace
+
+Status SetRecvTimeoutMillis(int fd, int64_t ms) {
+  return SetTimeout(fd, SO_RCVTIMEO, ms, "setsockopt(SO_RCVTIMEO)");
+}
+
+Status SetSendTimeoutMillis(int fd, int64_t ms) {
+  return SetTimeout(fd, SO_SNDTIMEO, ms, "setsockopt(SO_SNDTIMEO)");
+}
+
+ReadEvent ReadSome(int fd, char* buf, size_t cap, ssize_t* n, int* err) {
+  while (true) {
+    ssize_t got = ::read(fd, buf, cap);
+    if (got > 0) {
+      *n = got;
+      return ReadEvent::kData;
+    }
+    if (got == 0) return ReadEvent::kEof;
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) return ReadEvent::kTimeout;
+    *err = errno;
+    return ReadEvent::kError;
+  }
+}
+
+Status WriteAll(int fd, const char* data, size_t n, const Deadline& deadline,
+                bool* stalled) {
+  if (stalled != nullptr) *stalled = false;
+  size_t sent = 0;
+  while (sent < n) {
+    if (deadline.Expired()) {
+      if (stalled != nullptr) *stalled = true;
+      return Status::Unavailable("write deadline expired after " +
+                                 std::to_string(sent) + "/" +
+                                 std::to_string(n) + " bytes");
+    }
+    ssize_t wrote = ::send(fd, data + sent, n - sent, MSG_NOSIGNAL);
+    if (wrote < 0) {
+      if (errno == EINTR) continue;
+      if (IsTransientSendErrno(errno)) {
+        if (stalled != nullptr) {
+          *stalled = errno == EAGAIN || errno == EWOULDBLOCK ||
+                     errno == ETIMEDOUT;
+        }
+        return Status::Unavailable(std::string("send: ") +
+                                   std::strerror(errno));
+      }
+      return Status::Internal(std::string("send: ") + std::strerror(errno));
+    }
+    sent += static_cast<size_t>(wrote);
+  }
+  return Status::Ok();
+}
+
+Status ConnectFd(int fd, const sockaddr* addr, socklen_t len,
+                 const std::string& what) {
+  if (::connect(fd, addr, len) == 0) return Status::Ok();
+  if (errno == EINTR) {
+    // The connect continues asynchronously; completing it means waiting
+    // for writability and reading the final verdict from SO_ERROR.
+    while (true) {
+      pollfd pfd{};
+      pfd.fd = fd;
+      pfd.events = POLLOUT;
+      int ready = ::poll(&pfd, 1, -1);
+      if (ready < 0) {
+        if (errno == EINTR) continue;
+        return Status::Internal(std::string("poll: ") + std::strerror(errno));
+      }
+      break;
+    }
+    int so_error = 0;
+    socklen_t so_len = sizeof(so_error);
+    if (::getsockopt(fd, SOL_SOCKET, SO_ERROR, &so_error, &so_len) != 0) {
+      return Status::Internal(std::string("getsockopt(SO_ERROR): ") +
+                              std::strerror(errno));
+    }
+    if (so_error == 0) return Status::Ok();
+    errno = so_error;
+  }
+  std::string message = "connect " + what + ": " + std::strerror(errno);
+  // Refused, reset, timed out, or the unix socket path is not there
+  // (yet): the server may be down for seconds during a restart — let a
+  // retry policy decide how long to keep knocking.
+  if (errno == ECONNREFUSED || errno == ECONNRESET || errno == ETIMEDOUT ||
+      errno == ENOENT) {
+    return Status::Unavailable(std::move(message));
+  }
+  return Status::Internal(std::move(message));
+}
+
+}  // namespace net
+}  // namespace server
+}  // namespace xia

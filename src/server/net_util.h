@@ -1,0 +1,70 @@
+#ifndef XIA_SERVER_NET_UTIL_H_
+#define XIA_SERVER_NET_UTIL_H_
+
+#include <sys/socket.h>
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "common/deadline.h"
+#include "common/status.h"
+
+namespace xia {
+namespace server {
+namespace net {
+
+/// xia::server socket plumbing, shared by the server's connection
+/// workers and both clients so EVERY byte on the wire moves through the
+/// same EINTR-retrying, partial-write-completing, SIGPIPE-free code.
+/// The failure taxonomy is uniform too: transient transport faults
+/// (peer reset, refused, timed out, going away) come back as
+/// Status::Unavailable — the code RetryPolicy classifies as retryable —
+/// while programming errors stay kInternal.
+
+/// Sets SO_RCVTIMEO on `fd`. A blocking read then returns EAGAIN after
+/// `ms` of silence instead of parking the thread forever; ms <= 0
+/// clears the timeout. This is the primitive behind the server's
+/// --io-timeout-ms stall protection and the retrying client's
+/// per-attempt budget.
+Status SetRecvTimeoutMillis(int fd, int64_t ms);
+
+/// Sets SO_SNDTIMEO on `fd` (same semantics for blocking writes).
+Status SetSendTimeoutMillis(int fd, int64_t ms);
+
+/// What one blocking read produced. kTimeout only occurs with a
+/// receive timeout armed (SetRecvTimeoutMillis).
+enum class ReadEvent { kData, kEof, kTimeout, kError };
+
+/// One read(2) with EINTR retried. On kData, `*n` holds the byte
+/// count (> 0). On kError, `*err` holds errno.
+ReadEvent ReadSome(int fd, char* buf, size_t cap, ssize_t* n, int* err);
+
+/// Writes all `n` bytes: retries EINTR, resumes partial writes, sends
+/// with MSG_NOSIGNAL (a dead peer is a return value, not a SIGPIPE).
+/// A send timeout (SetSendTimeoutMillis) bounds each individual send;
+/// `deadline` bounds the WHOLE frame, so a trickling reader that
+/// accepts one byte per timeout window still cannot wedge the caller:
+/// once it expires the write fails with kUnavailable. An infinite
+/// deadline (the default) keeps pre-timeout semantics. When `stalled`
+/// is non-null it is set to whether the failure was the peer reading
+/// too slowly (deadline expired, send timeout) as opposed to the peer
+/// being gone (EPIPE/reset) — the server's timeout counter wants only
+/// the former.
+Status WriteAll(int fd, const char* data, size_t n,
+                const Deadline& deadline = Deadline::Infinite(),
+                bool* stalled = nullptr);
+
+/// connect(2) with EINTR handled correctly: an interrupted connect is
+/// completed by polling writability and reading SO_ERROR — retrying
+/// connect() raw yields EALREADY/EISCONN confusion. Refused/reset/
+/// missing-socket errors are kUnavailable (the server may simply be
+/// restarting); `what` labels the endpoint in error messages.
+Status ConnectFd(int fd, const sockaddr* addr, socklen_t len,
+                 const std::string& what);
+
+}  // namespace net
+}  // namespace server
+}  // namespace xia
+
+#endif  // XIA_SERVER_NET_UTIL_H_

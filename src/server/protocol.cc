@@ -79,12 +79,22 @@ std::string BusyResponse(std::string_view message) {
   return payload;
 }
 
+std::string GoawayResponse(std::string_view message) {
+  std::string payload = "GOAWAY ";
+  payload.append(message);
+  return payload;
+}
+
 ResponseKind ClassifyResponse(std::string_view payload) {
   std::string_view line = payload.substr(0, payload.find('\n'));
+  if (line.empty()) return ResponseKind::kMalformed;
   if (line == "OK" || line.substr(0, 3) == "OK ") return ResponseKind::kOk;
   if (line.substr(0, 4) == "ERR ") return ResponseKind::kErr;
   if (line.substr(0, 5) == "BUSY " || line == "BUSY") {
     return ResponseKind::kBusy;
+  }
+  if (line.substr(0, 7) == "GOAWAY " || line == "GOAWAY") {
+    return ResponseKind::kGoaway;
   }
   return ResponseKind::kMalformed;
 }

@@ -17,10 +17,11 @@ namespace server {
 /// A frame is a 4-byte big-endian payload length followed by that many
 /// payload bytes. Requests carry one command line (the advisor shell
 /// grammar; see docs/PROTOCOL.md); responses carry a status line ("OK",
-/// "ERR <message>", or "BUSY <message>") optionally followed by a
-/// newline and a free-form text body. Length-prefixing — rather than
-/// newline-delimiting — lets multi-line bodies (reports, EXPLAIN output,
-/// stats snapshots) travel as one response without escaping.
+/// "ERR <message>", "BUSY <message>", or "GOAWAY <message>") optionally
+/// followed by a newline and a free-form text body. Length-prefixing —
+/// rather than newline-delimiting — lets multi-line bodies (reports,
+/// EXPLAIN output, stats snapshots) travel as one response without
+/// escaping.
 
 /// Upper bound a decoder accepts for one payload. Large enough for any
 /// report the dispatcher produces, small enough that a malicious or
@@ -71,8 +72,15 @@ std::string OkResponse(std::string_view body);
 std::string ErrResponse(std::string_view message);
 std::string BusyResponse(std::string_view message);
 
-/// Classification of a response payload by its status line.
-enum class ResponseKind { kOk, kErr, kBusy, kMalformed };
+/// Sent when the server is draining: the request was refused (not
+/// executed) and the server will close this connection. Distinct from
+/// BUSY so clients know to reconnect later rather than hammer now.
+std::string GoawayResponse(std::string_view message);
+
+/// Classification of a response payload by its status line. An empty
+/// payload (or one whose status line matches no known keyword) is
+/// kMalformed — never a silent kOk.
+enum class ResponseKind { kOk, kErr, kBusy, kGoaway, kMalformed };
 
 /// Reads the status line of a response payload.
 ResponseKind ClassifyResponse(std::string_view payload);

@@ -13,6 +13,7 @@
 
 #include "common/failpoint.h"
 #include "common/string_util.h"
+#include "server/net_util.h"
 
 namespace xia {
 namespace server {
@@ -116,6 +117,11 @@ Status Server::Start() {
   return Status::Ok();
 }
 
+void Server::Drain() {
+  if (draining_.exchange(true)) return;
+  ready_.store(false, std::memory_order_relaxed);
+}
+
 void Server::RequestStop() {
   if (stopping_.exchange(true)) return;
   shutdown_token_.Cancel();
@@ -136,8 +142,7 @@ void Server::Wait() {
 }
 
 void Server::CloseListener() {
-  int fd = listen_fd_;
-  listen_fd_ = -1;
+  int fd = listen_fd_.exchange(-1);
   if (fd >= 0) {
     // shutdown() first: close() alone does not unblock a concurrent
     // accept() on all platforms.
@@ -163,6 +168,21 @@ void Server::AcceptLoop() {
     }
     accepted_count_.fetch_add(1);
     accepted_.Increment();
+    // Bound every one-shot reject send below AND all worker I/O on this
+    // fd: without SO_SNDTIMEO a zero-window client could park the
+    // acceptor thread inside send(), which stalls all admission.
+    if (options_.io_timeout_ms > 0) {
+      (void)net::SetSendTimeoutMillis(fd, options_.io_timeout_ms);
+    }
+    if (draining_.load(std::memory_order_relaxed)) {
+      // Lame duck: refuse with a status distinct from BUSY so clients
+      // reconnect elsewhere/later instead of hammering the drain.
+      goaway_.Increment();
+      std::string frame = EncodeFrame(GoawayResponse("server draining"));
+      (void)!::send(fd, frame.data(), frame.size(), MSG_NOSIGNAL);
+      ::close(fd);
+      continue;
+    }
     // Connection admission: beyond max_connections the client gets one
     // fast BUSY frame, not a silent queue slot. (A ThreadPool task queue
     // would otherwise grow unboundedly with waiting connections.)
@@ -198,17 +218,46 @@ void Server::HandleConnection(int fd, uint64_t connection_id) {
   // SIGTERM winds down in-flight advises (anytime best-so-far replies).
   session.options.cancel = shutdown_token_.Child();
 
+  // One SO_RCVTIMEO tick drives both timeout policies: waking with a
+  // partial frame pending means the client stalled mid-request (drop,
+  // server.timeouts); waking with nothing pending is mere idleness,
+  // tolerated until idle_timeout_ms (drop, server.reaped_idle). With
+  // only an idle bound configured, the tick IS the idle bound.
+  const int64_t tick_ms = options_.io_timeout_ms > 0
+                              ? options_.io_timeout_ms
+                              : options_.idle_timeout_ms;
+  if (tick_ms > 0) (void)net::SetRecvTimeoutMillis(fd, tick_ms);
+
   FrameDecoder decoder(options_.max_frame_bytes);
   char buf[4096];
   bool quit = false;
+  auto last_activity = std::chrono::steady_clock::now();
   while (!quit && !stopping_.load(std::memory_order_relaxed)) {
     Status injected = ReadFailpoint(static_cast<int64_t>(connection_id));
     if (!injected.ok()) break;  // Injected read fault: drop connection.
-    ssize_t n = ::read(fd, buf, sizeof(buf));
-    if (n <= 0) {
-      if (n < 0 && errno == EINTR) continue;
-      break;  // EOF or error.
+    ssize_t n = 0;
+    int read_errno = 0;
+    net::ReadEvent event = net::ReadSome(fd, buf, sizeof(buf), &n, &read_errno);
+    if (event == net::ReadEvent::kEof || event == net::ReadEvent::kError) {
+      break;
     }
+    if (event == net::ReadEvent::kTimeout) {
+      if (options_.io_timeout_ms > 0 && decoder.pending_bytes() > 0) {
+        timeouts_.Increment();  // Stalled mid-frame: free the worker.
+        break;
+      }
+      if (options_.idle_timeout_ms > 0) {
+        auto idle_ms = std::chrono::duration_cast<std::chrono::milliseconds>(
+                           std::chrono::steady_clock::now() - last_activity)
+                           .count();
+        if (idle_ms >= options_.idle_timeout_ms) {
+          reaped_idle_.Increment();
+          break;
+        }
+      }
+      continue;  // Tick expired but neither policy fired: keep waiting.
+    }
+    last_activity = std::chrono::steady_clock::now();
     Status fed = decoder.Feed(buf, static_cast<size_t>(n));
     if (!fed.ok()) {
       // Oversized frame: the stream cannot be resynchronized. Tell the
@@ -239,6 +288,45 @@ std::string Server::HandleRequest(const std::string& request,
                                   ClientSession* session, bool* quit) {
   requests_.Increment();
   std::string verb = VerbOf(request);
+  if (verb == "empty") {
+    // A zero-length (or all-whitespace) payload is a well-formed frame
+    // carrying no command: answer ERR, keep the connection.
+    protocol_errors_.Increment();
+    return ErrResponse("empty request");
+  }
+  // Liveness/readiness/drain are answered before the dispatcher and
+  // without touching SharedState locks: `health` must respond while
+  // recovery holds the state lock exclusively, and `drain` must land on
+  // a server whose workers are all wedged in long advises.
+  if (verb == "health") {
+    return OkResponse("alive");
+  }
+  if (verb == "ready") {
+    if (draining_.load(std::memory_order_relaxed)) {
+      return ErrResponse("not ready: draining");
+    }
+    if (!ready_.load(std::memory_order_relaxed)) {
+      return ErrResponse("not ready: recovering");
+    }
+    if (inflight_advises_.load(std::memory_order_relaxed) >=
+        options_.max_inflight_advises) {
+      return ErrResponse("not ready: at advise capacity");
+    }
+    return OkResponse("ready");
+  }
+  if (verb == "drain") {
+    Drain();
+    return OkResponse("draining");
+  }
+  if (draining_.load(std::memory_order_relaxed)) {
+    // Lame duck. Observation verbs still answer (an operator watching
+    // the drain needs them); everything else gets GOAWAY and a close.
+    if (verb != "stats" && verb != "quit" && verb != "exit") {
+      goaway_.Increment();
+      *quit = true;
+      return GoawayResponse("server draining");
+    }
+  }
   bool is_advise =
       CommandDispatcher::Classify(request) == VerbClass::kAdvise;
   if (is_advise) {
@@ -285,17 +373,18 @@ bool Server::SendFrame(int fd, uint64_t connection_id,
   Status injected = WriteFailpoint(static_cast<int64_t>(connection_id));
   if (!injected.ok()) return false;  // Injected write fault.
   std::string frame = EncodeFrame(payload);
-  size_t sent = 0;
-  while (sent < frame.size()) {
-    // MSG_NOSIGNAL: a mid-reply client disconnect is a return value to
-    // handle, not a process-killing SIGPIPE.
-    ssize_t n =
-        ::send(fd, frame.data() + sent, frame.size() - sent, MSG_NOSIGNAL);
-    if (n < 0) {
-      if (errno == EINTR) continue;
-      return false;
-    }
-    sent += static_cast<size_t>(n);
+  // SO_SNDTIMEO alone cannot stop a reader that accepts one byte per
+  // window from pinning this worker indefinitely — each tiny send
+  // "progresses". The whole-frame deadline (4 io-timeouts) does.
+  Deadline deadline = options_.io_timeout_ms > 0
+                          ? Deadline::AfterMillis(options_.io_timeout_ms * 4)
+                          : Deadline::Infinite();
+  bool stalled = false;
+  Status written =
+      net::WriteAll(fd, frame.data(), frame.size(), deadline, &stalled);
+  if (!written.ok()) {
+    if (stalled) timeouts_.Increment();
+    return false;
   }
   return true;
 }

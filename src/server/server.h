@@ -35,10 +35,24 @@ namespace server {
 ///     (advise / drift readvise) run at once; excess requests get an
 ///     immediate BUSY reply without touching the advisor.
 ///
+/// Connection governance (misbehaving clients cost a socket, never a
+/// worker):
+///   - io_timeout_ms bounds how long a client may stall mid-frame and
+///     (x4) how long one response write may take end to end.
+///   - idle_timeout_ms reaps connections that hold a slot without
+///     sending requests.
+///   - `health` answers whenever the process is alive; `ready` answers
+///     whether it should receive traffic (false while recovering,
+///     draining, or at advise capacity); `drain` flips the server into
+///     lame-duck mode where everything new gets GOAWAY. All three are
+///     handled before the dispatcher and take no locks, so they answer
+///     even while recovery holds the state lock exclusively.
+///
 /// Observability (xia::obs):
 ///   gauges   server.connections, server.advises_inflight
 ///   counters server.accepted, server.rejected_connections,
-///            server.requests, server.busy, server.protocol_errors
+///            server.requests, server.busy, server.protocol_errors,
+///            server.timeouts, server.reaped_idle, server.goaway
 ///   spans    server.verb.<verb> latency histograms (always recorded —
 ///            the server enables no other spans, so request latency does
 ///            not depend on the global span switch)
@@ -73,6 +87,17 @@ struct ServerOptions {
   int64_t default_budget_ms = 0;
   /// Per-frame payload ceiling.
   size_t max_frame_bytes = kMaxFrameBytes;
+  /// Per-connection I/O deadline (0 = unbounded): a client that stalls
+  /// mid-frame for this long is dropped (counter server.timeouts), and a
+  /// response write gets 4x this as its whole-frame budget so a slow
+  /// reader trickling one byte per window cannot pin a worker.
+  int64_t io_timeout_ms = 0;
+  /// Idle-connection reaping (0 = never): a connection with no pending
+  /// bytes and no request for this long is closed (server.reaped_idle).
+  /// Distinct from io_timeout_ms — idling between requests is polite,
+  /// stalling mid-frame is not, so the idle bound is typically much
+  /// larger.
+  int64_t idle_timeout_ms = 0;
 };
 
 class Server {
@@ -108,6 +133,22 @@ class Server {
     return active_connections_.load(std::memory_order_relaxed);
   }
 
+  /// Readiness gate behind the `ready` verb. Starts true; server_main
+  /// starts the server not-ready, recovers storage, then flips it — so
+  /// `health` answers during a long recovery while `ready` says wait.
+  void SetReady(bool ready) {
+    ready_.store(ready, std::memory_order_relaxed);
+  }
+  bool ready() const { return ready_.load(std::memory_order_relaxed); }
+
+  /// Enters draining: readiness goes false, in-flight requests finish,
+  /// and every new connection or subsequent request is answered with one
+  /// GOAWAY frame and a close (health/ready/stats/quit still answered).
+  /// The embedder decides when to RequestStop() — typically once
+  /// active_connections() reaches zero. Idempotent.
+  void Drain();
+  bool draining() const { return draining_.load(std::memory_order_relaxed); }
+
  private:
   /// Accept loop (dedicated thread).
   void AcceptLoop();
@@ -129,9 +170,13 @@ class Server {
   ServerOptions options_;
   CommandDispatcher dispatcher_;
 
-  int listen_fd_ = -1;
+  // Atomic: the acceptor reads it for accept() while RequestStop()'s
+  // thread swaps in -1 when closing the listener.
+  std::atomic<int> listen_fd_{-1};
   int port_ = 0;
   std::atomic<bool> stopping_{false};
+  std::atomic<bool> ready_{true};
+  std::atomic<bool> draining_{false};
   CancelToken shutdown_token_ = CancelToken::Cancellable();
 
   std::thread acceptor_;
@@ -152,6 +197,9 @@ class Server {
   obs::Counter requests_{"server.requests"};
   obs::Counter busy_{"server.busy"};
   obs::Counter protocol_errors_{"server.protocol_errors"};
+  obs::Counter timeouts_{"server.timeouts"};
+  obs::Counter reaped_idle_{"server.reaped_idle"};
+  obs::Counter goaway_{"server.goaway"};
 };
 
 }  // namespace server

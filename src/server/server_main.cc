@@ -20,6 +20,12 @@
 //   --workers N                 connection-handler threads (default 8)
 //   --max-connections N         connection admission bound (default 8)
 //   --max-inflight-advises N    advise admission bound (default 2)
+//   --io-timeout-ms N           per-connection I/O deadline: drop clients
+//                               stalled mid-frame for N ms, bound each
+//                               response write by 4N ms (default 30000;
+//                               0 disables)
+//   --idle-timeout-ms N         reap connections idle between requests
+//                               for N ms (default 0 = never)
 //   --time-limit-ms N           default advise budget (anytime search)
 //   --preload xmark[:docs]|tpox generate + analyze data before serving
 //                               (repeatable: one collection set each)
@@ -113,6 +119,9 @@ Status Preload(server::SharedState* shared, const std::string& spec) {
 
 int main(int argc, char** argv) {
   server::ServerOptions options;
+  // The binary (unlike the embeddable Server, whose timeouts default
+  // off) assumes real clients on real networks: stall protection on.
+  options.io_timeout_ms = 30000;
   std::vector<std::string> preloads;
   std::string data_dir;
   std::string stats_json;
@@ -147,6 +156,10 @@ int main(int argc, char** argv) {
     } else if (arg == "--max-inflight-advises") {
       options.max_inflight_advises =
           std::atoi(next("--max-inflight-advises"));
+    } else if (arg == "--io-timeout-ms") {
+      options.io_timeout_ms = std::atoll(next("--io-timeout-ms"));
+    } else if (arg == "--idle-timeout-ms") {
+      options.idle_timeout_ms = std::atoll(next("--idle-timeout-ms"));
     } else if (arg == "--time-limit-ms") {
       options.default_budget_ms = std::atoll(next("--time-limit-ms"));
     } else if (arg == "--preload") {
@@ -179,6 +192,10 @@ int main(int argc, char** argv) {
     }
   }
 
+  // Both modes write to sockets whose peer can vanish mid-write: a dead
+  // peer must be a return value, never a process-killing SIGPIPE.
+  std::signal(SIGPIPE, SIG_IGN);
+
   if (client_mode) return RunClient(connect_path, connect_port);
 
   if (options.unix_socket_path.empty() && options.tcp_port == 0) {
@@ -193,7 +210,6 @@ int main(int argc, char** argv) {
   sigaddset(&sigs, SIGTERM);
   sigaddset(&sigs, SIGINT);
   pthread_sigmask(SIG_BLOCK, &sigs, nullptr);
-  std::signal(SIGPIPE, SIG_IGN);
 
   server::SharedState shared;
   // RAII capture disarm: declared after `shared` so an exception (or the
@@ -204,58 +220,13 @@ int main(int argc, char** argv) {
     shared.capture_log = std::make_unique<wlm::QueryLog>(capture_capacity);
     wlm::SetCaptureLog(shared.capture_log.get());
   }
-  // Open persistence BEFORE preloads: recovery refuses a non-empty
-  // database, and when previous state exists it replaces --preload
-  // regeneration entirely.
-  if (!data_dir.empty()) {
-    Result<std::unique_ptr<storage::StorageEngine>> opened =
-        storage::StorageEngine::Open(data_dir, &shared.db, &shared.catalog,
-                                     &shared.buffer_pool,
-                                     shared.default_options.cost_model.storage);
-    if (!opened.ok()) {
-      std::cerr << "--data-dir " << data_dir << ": "
-                << opened.status().ToString() << "\n";
-      return 1;
-    }
-    shared.engine = std::move(*opened);
-    const storage::RecoveryStats& rec = shared.engine->recovery();
-    if (rec.opened_existing) {
-      std::cerr << "recovered " << data_dir << " (epoch " << rec.epoch
-                << ", " << rec.pages_read << " pages, "
-                << rec.wal_records_replayed << " WAL records replayed"
-                << (rec.wal_was_clean
-                        ? std::string()
-                        : ", torn tail of " +
-                              std::to_string(rec.wal_torn_bytes) +
-                              " bytes truncated")
-                << ")\n";
-      if (!preloads.empty()) {
-        std::cerr << "state recovered from disk — skipping --preload\n";
-        preloads.clear();
-      }
-    } else {
-      std::cerr << "created database at " << data_dir << "\n";
-    }
-  }
-  for (const std::string& preload : preloads) {
-    Status status = Preload(&shared, preload);
-    if (!status.ok()) {
-      std::cerr << status.ToString() << "\n";
-      return 1;
-    }
-    std::cerr << "preloaded " << preload << "\n";
-  }
-  if (shared.engine && !preloads.empty()) {
-    // Preload bulk-mutates the database without WAL records; checkpoint
-    // so the generated state is durable from the first client on.
-    Status status = shared.engine->Checkpoint();
-    if (!status.ok()) {
-      std::cerr << "checkpoint after preload: " << status.ToString() << "\n";
-      return 1;
-    }
-  }
-
+  // Start serving BEFORE recovery/preload, gated not-ready: `health`
+  // and `ready` answer immediately (they bypass the dispatcher and its
+  // locks) while real verbs block on the exclusive state lock held for
+  // the duration of recovery. Orchestrators see a live process whose
+  // readiness flips exactly when the data is consistent.
   server::Server srv(&shared, options);
+  srv.SetReady(false);
   Status started = srv.Start();
   if (!started.ok()) {
     std::cerr << started.ToString() << "\n";
@@ -268,9 +239,78 @@ int main(int argc, char** argv) {
     std::cerr << "xia_server listening on 127.0.0.1:" << srv.port() << "\n";
   }
 
-  int sig = 0;
-  sigwait(&sigs, &sig);
-  std::cerr << "signal " << sig << " — shutting down\n";
+  {
+    std::unique_lock<std::shared_mutex> state_lock(shared.mu);
+    // Open persistence BEFORE preloads: recovery refuses a non-empty
+    // database, and when previous state exists it replaces --preload
+    // regeneration entirely.
+    if (!data_dir.empty()) {
+      Result<std::unique_ptr<storage::StorageEngine>> opened =
+          storage::StorageEngine::Open(
+              data_dir, &shared.db, &shared.catalog, &shared.buffer_pool,
+              shared.default_options.cost_model.storage);
+      if (!opened.ok()) {
+        std::cerr << "--data-dir " << data_dir << ": "
+                  << opened.status().ToString() << "\n";
+        return 1;
+      }
+      shared.engine = std::move(*opened);
+      const storage::RecoveryStats& rec = shared.engine->recovery();
+      if (rec.opened_existing) {
+        std::cerr << "recovered " << data_dir << " (epoch " << rec.epoch
+                  << ", " << rec.pages_read << " pages, "
+                  << rec.wal_records_replayed << " WAL records replayed"
+                  << (rec.wal_was_clean
+                          ? std::string()
+                          : ", torn tail of " +
+                                std::to_string(rec.wal_torn_bytes) +
+                                " bytes truncated")
+                  << ")\n";
+        if (!preloads.empty()) {
+          std::cerr << "state recovered from disk — skipping --preload\n";
+          preloads.clear();
+        }
+      } else {
+        std::cerr << "created database at " << data_dir << "\n";
+      }
+    }
+    for (const std::string& preload : preloads) {
+      Status status = Preload(&shared, preload);
+      if (!status.ok()) {
+        std::cerr << status.ToString() << "\n";
+        return 1;
+      }
+      std::cerr << "preloaded " << preload << "\n";
+    }
+    if (shared.engine && !preloads.empty()) {
+      // Preload bulk-mutates the database without WAL records; checkpoint
+      // so the generated state is durable from the first client on.
+      Status status = shared.engine->Checkpoint();
+      if (!status.ok()) {
+        std::cerr << "checkpoint after preload: " << status.ToString()
+                  << "\n";
+        return 1;
+      }
+    }
+  }
+  srv.SetReady(true);
+  std::cerr << "ready\n";
+
+  // Exit on SIGTERM/SIGINT — or once a client-issued `drain` has let
+  // every connection finish, which is the zero-downtime handoff path.
+  timespec poll_interval{};
+  poll_interval.tv_nsec = 200 * 1000 * 1000;
+  while (true) {
+    int sig = sigtimedwait(&sigs, nullptr, &poll_interval);
+    if (sig > 0) {
+      std::cerr << "signal " << sig << " — shutting down\n";
+      break;
+    }
+    if (srv.draining() && srv.active_connections() == 0) {
+      std::cerr << "drained — shutting down\n";
+      break;
+    }
+  }
   srv.RequestStop();
   srv.Wait();
 

@@ -63,6 +63,7 @@ const char* HelpText() {
       "  drift check | readvise | threshold <t>\n"
       "  failpoint <name=mode[,mode...]>|<name=off>|list\n"
       "  db status | db checkpoint   (persistent storage, --data-dir)\n"
+      "  health | ready | drain      (serving state; see docs/PROTOCOL.md)\n"
       "  ddl | materialize | run <query...> | stats | ping | help | quit\n";
 }
 
@@ -107,6 +108,22 @@ CommandOutcome CommandDispatcher::Execute(const std::string& line,
   }
   if (command == "help") {
     out << HelpText();
+    return CommandOutcome::kHandled;
+  }
+  // Serving-state verbs are normally intercepted by the Server before
+  // the dispatcher (server.cc — they must answer without locks). These
+  // fallbacks keep the REPL and scripted sessions from seeing "unknown
+  // command": a live REPL is trivially alive and ready.
+  if (command == "health") {
+    out << "alive\n";
+    return CommandOutcome::kHandled;
+  }
+  if (command == "ready") {
+    out << "ready\n";
+    return CommandOutcome::kHandled;
+  }
+  if (command == "drain") {
+    out << "drain applies to a running server (start with --serve)\n";
     return CommandOutcome::kHandled;
   }
 

@@ -5,7 +5,9 @@
 // advises returning flagged best-so-far results, BUSY fast-rejection
 // under both admission bounds, and the server.accept / server.read
 // failpoint sweep (an injected fault drops one client, never the
-// server). The whole file runs under ASan+UBSan and TSan in CI.
+// server), plus connection governance: mid-frame stall timeouts, idle
+// reaping, health/ready probes, and the drain → GOAWAY → clean-exit
+// protocol. The whole file runs under ASan+UBSan and TSan in CI.
 
 #include <gtest/gtest.h>
 
@@ -17,6 +19,7 @@
 #include <vector>
 
 #include "common/failpoint.h"
+#include "common/metrics.h"
 #include "server/client.h"
 #include "server/protocol.h"
 #include "server/server.h"
@@ -103,15 +106,52 @@ TEST(FrameDecoderTest, HeaderAloneDoesNotComplete) {
   EXPECT_EQ(decoder.Next().value_or(""), "abc");
 }
 
+TEST(FrameDecoderTest, ZeroLengthFrameIsAValidEmptyPayload) {
+  // A zero-length frame is well-formed on the wire (the server answers
+  // it with "ERR empty request", it is not a protocol violation).
+  FrameDecoder decoder;
+  ASSERT_TRUE(decoder.Feed(EncodeFrame("")).ok());
+  std::optional<std::string> payload = decoder.Next();
+  ASSERT_TRUE(payload.has_value());
+  EXPECT_EQ(*payload, "");
+  EXPECT_FALSE(decoder.poisoned());
+  EXPECT_EQ(decoder.pending_bytes(), 0u);
+  // The connection keeps working afterwards.
+  ASSERT_TRUE(decoder.Feed(EncodeFrame("ping")).ok());
+  EXPECT_EQ(decoder.Next().value_or(""), "ping");
+}
+
+TEST(FrameDecoderTest, ExactMaxSizeFrameAcceptedOneByteOverPoisons) {
+  // The limit is inclusive: length == max_frame_bytes is the largest
+  // legal payload; length == max + 1 poisons.
+  FrameDecoder at_limit(/*max_frame_bytes=*/8);
+  ASSERT_TRUE(at_limit.Feed(EncodeFrame("12345678")).ok());
+  EXPECT_EQ(at_limit.Next().value_or(""), "12345678");
+  EXPECT_FALSE(at_limit.poisoned());
+
+  FrameDecoder over_limit(/*max_frame_bytes=*/8);
+  EXPECT_FALSE(over_limit.Feed(EncodeFrame("123456789")).ok());
+  EXPECT_TRUE(over_limit.poisoned());
+}
+
 TEST(ResponseTest, StatusLineClassification) {
   EXPECT_EQ(ClassifyResponse(OkResponse("")), ResponseKind::kOk);
   EXPECT_EQ(ClassifyResponse(OkResponse("body\nlines")), ResponseKind::kOk);
   EXPECT_EQ(ClassifyResponse(ErrResponse("bad verb")), ResponseKind::kErr);
   EXPECT_EQ(ClassifyResponse(BusyResponse("advise capacity")),
             ResponseKind::kBusy);
+  EXPECT_EQ(ClassifyResponse(GoawayResponse("server draining")),
+            ResponseKind::kGoaway);
+  EXPECT_EQ(ClassifyResponse("GOAWAY"), ResponseKind::kGoaway);
   EXPECT_EQ(ClassifyResponse("definitely not a status line"),
             ResponseKind::kMalformed);
+  // Empty payloads and empty status lines are malformed, never OK.
   EXPECT_EQ(ClassifyResponse(""), ResponseKind::kMalformed);
+  EXPECT_EQ(ClassifyResponse("\nbody after empty line"),
+            ResponseKind::kMalformed);
+  // Keyword must match exactly: prefixes of real keywords are not them.
+  EXPECT_EQ(ClassifyResponse("OKAY"), ResponseKind::kMalformed);
+  EXPECT_EQ(ClassifyResponse("ERR"), ResponseKind::kMalformed);
 }
 
 // ---------------------------------------------------------------------
@@ -388,6 +428,150 @@ TEST_F(ServerTest, StopCancelsInflightAdviseAndConnectionsDrain) {
   server_->Wait();
   EXPECT_TRUE(server_->shutdown_token().Cancelled());
   EXPECT_EQ(server_->active_connections(), 0);
+  server_.reset();
+}
+
+// ---------------------------------------------------------------------
+// Connection governance: timeouts, idle reaping, health/ready/drain.
+
+TEST_F(ServerTest, EmptyRequestGetsErrAndConnectionSurvives) {
+  StartServer();
+  BlockingClient client = Connect();
+  Result<std::string> reply = client.Call("");
+  ASSERT_TRUE(reply.ok());
+  EXPECT_EQ(ClassifyResponse(*reply), ResponseKind::kErr);
+  EXPECT_NE(reply->find("empty request"), std::string::npos);
+  // Whitespace-only is the same well-formed-but-empty case.
+  Result<std::string> blank = client.Call("   ");
+  ASSERT_TRUE(blank.ok());
+  EXPECT_EQ(ClassifyResponse(*blank), ResponseKind::kErr);
+  Result<std::string> pong = client.Call("ping");
+  ASSERT_TRUE(pong.ok());
+  EXPECT_EQ(*pong, OkResponse("pong\n"));
+}
+
+TEST_F(ServerTest, StalledMidFrameClientIsDroppedAndWorkerFreed) {
+  ServerOptions options;
+  options.workers = 1;  // A stalled client would pin the ONLY worker.
+  options.max_connections = 2;
+  options.io_timeout_ms = 100;
+  StartServer(options);
+  uint64_t timeouts_before =
+      obs::Registry().TakeSnapshot().counter("server.timeouts");
+
+  BlockingClient staller = Connect();
+  ASSERT_TRUE(staller.Call("ping").ok());  // Session is live.
+  // Stall mid-frame: deliver 6 bytes of a frame whose header announces
+  // 100, then go silent past --io-timeout-ms.
+  std::string torn = EncodeFrame(std::string(100, 'y'));
+  ASSERT_TRUE(staller.SendRaw(torn.substr(0, 6)).ok());
+  std::this_thread::sleep_for(std::chrono::milliseconds(300));
+  // The server dropped the stalled connection (read returns EOF) ...
+  EXPECT_FALSE(staller.Receive().ok());
+  // ... freed the single worker for other clients ...
+  BlockingClient next = Connect();
+  Result<std::string> pong = next.Call("ping");
+  ASSERT_TRUE(pong.ok()) << pong.status().ToString();
+  EXPECT_EQ(*pong, OkResponse("pong\n"));
+  // ... and accounted for it.
+  EXPECT_GE(obs::Registry().TakeSnapshot().counter("server.timeouts"),
+            timeouts_before + 1);
+}
+
+TEST_F(ServerTest, IdleConnectionIsReapedActiveOneIsNot) {
+  ServerOptions options;
+  options.io_timeout_ms = 50;
+  options.idle_timeout_ms = 150;
+  StartServer(options);
+  uint64_t reaped_before =
+      obs::Registry().TakeSnapshot().counter("server.reaped_idle");
+
+  BlockingClient idle = Connect();
+  ASSERT_TRUE(idle.Call("ping").ok());
+  BlockingClient active = Connect();
+  ASSERT_TRUE(active.Call("ping").ok());
+
+  // Stay under the idle bound on one connection, let the other rot.
+  for (int i = 0; i < 4; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+    Result<std::string> pong = active.Call("ping");
+    ASSERT_TRUE(pong.ok()) << "active connection must survive: "
+                           << pong.status().ToString();
+  }
+  // > 400ms idle >> 150ms bound: the idle connection is gone.
+  EXPECT_FALSE(idle.Receive().ok());
+  EXPECT_GE(obs::Registry().TakeSnapshot().counter("server.reaped_idle"),
+            reaped_before + 1);
+}
+
+TEST_F(ServerTest, HealthAndReadyAnswerAndTrackServerState) {
+  StartServer();
+  BlockingClient client = Connect();
+
+  Result<std::string> health = client.Call("health");
+  ASSERT_TRUE(health.ok());
+  EXPECT_EQ(*health, OkResponse("alive"));
+
+  Result<std::string> ready = client.Call("ready");
+  ASSERT_TRUE(ready.ok());
+  EXPECT_EQ(*ready, OkResponse("ready"));
+
+  // Not-ready (e.g. during recovery): health stays green, ready flips.
+  server_->SetReady(false);
+  Result<std::string> still_alive = client.Call("health");
+  ASSERT_TRUE(still_alive.ok());
+  EXPECT_EQ(*still_alive, OkResponse("alive"));
+  Result<std::string> not_ready = client.Call("ready");
+  ASSERT_TRUE(not_ready.ok());
+  EXPECT_EQ(ClassifyResponse(*not_ready), ResponseKind::kErr);
+  EXPECT_NE(not_ready->find("recovering"), std::string::npos);
+  server_->SetReady(true);
+  Result<std::string> again = client.Call("ready");
+  ASSERT_TRUE(again.ok());
+  EXPECT_EQ(*again, OkResponse("ready"));
+}
+
+TEST_F(ServerTest, DrainRefusesNewWorkWithGoawayThenExitsCleanly) {
+  StartServer();
+  uint64_t goaway_before =
+      obs::Registry().TakeSnapshot().counter("server.goaway");
+
+  BlockingClient operator_conn = Connect();
+  ASSERT_TRUE(operator_conn.Call("ping").ok());
+
+  Result<std::string> drained = operator_conn.Call("drain");
+  ASSERT_TRUE(drained.ok());
+  EXPECT_EQ(ClassifyResponse(*drained), ResponseKind::kOk);
+  EXPECT_TRUE(server_->draining());
+  EXPECT_FALSE(server_->ready());
+
+  // Observation verbs still answer on the existing connection...
+  Result<std::string> stats = operator_conn.Call("stats");
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(ClassifyResponse(*stats), ResponseKind::kOk);
+  // ... real work gets GOAWAY and the connection closes after it.
+  Result<std::string> refused = operator_conn.Call("ping");
+  ASSERT_TRUE(refused.ok());
+  EXPECT_EQ(ClassifyResponse(*refused), ResponseKind::kGoaway);
+  EXPECT_FALSE(operator_conn.Receive().ok());
+
+  // A brand-new connection gets one GOAWAY frame, then close.
+  BlockingClient late = Connect();
+  Result<std::string> turned_away = late.Receive();
+  ASSERT_TRUE(turned_away.ok()) << turned_away.status().ToString();
+  EXPECT_EQ(ClassifyResponse(*turned_away), ResponseKind::kGoaway);
+  EXPECT_FALSE(late.Receive().ok());
+
+  EXPECT_GE(obs::Registry().TakeSnapshot().counter("server.goaway"),
+            goaway_before + 2);
+
+  // Drain converged: no live connections; shutdown is clean.
+  for (int i = 0; i < 100 && server_->active_connections() > 0; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  EXPECT_EQ(server_->active_connections(), 0);
+  server_->RequestStop();
+  server_->Wait();
   server_.reset();
 }
 
