@@ -1,137 +1,159 @@
 // Maintenance validation: the advisor debits configurations by an
-// *estimated* per-update index-maintenance cost. This harness performs the
-// updates for real — inserting generated documents and deleting old ones
-// against physical indexes — and compares the estimated entries-touched
-// per operation with the measured ones.
+// *estimated* per-update index-maintenance cost. This harness performs
+// the updates for real through xia::dml — whole-document inserts,
+// deletes, and updates against physical indexes — and surfaces both the
+// synopsis-estimated entries touched and the measured ones as benchmark
+// counters, so CI's regression gate pins the estimate/measurement
+// agreement alongside the timings. Counters are deterministic (seeded
+// generator, Iterations(1)); timings are the informational part.
 
-#include <cstdio>
-#include <iostream>
+#include <benchmark/benchmark.h>
+
 #include <memory>
+#include <string>
+#include <vector>
 
-#include "common/string_util.h"
+#include "common/logging.h"
+#include "dml/dml.h"
 #include "index/index_builder.h"
-#include "index/maintenance.h"
-#include "workload/xmark_queries.h"
+#include "optimizer/cost_model.h"
+#include "xml/serializer.h"
 #include "xmldata/xmark_gen.h"
 #include "xpath/parser.h"
 
-using namespace xia;
+namespace xia {
+namespace {
 
-int main() {
-  std::cout << "== Update-cost model vs actual index maintenance ==\n\n";
+struct Spec {
+  const char* pattern;
+  ValueType type;
+};
 
+constexpr Spec kSpecs[] = {
+    {"/site/regions/*/item/quantity", ValueType::kDouble},
+    {"/site/regions/*/item", ValueType::kVarchar},
+    {"/site/open_auctions/open_auction/bidder/increase", ValueType::kDouble},
+    {"/site/people/person/profile/@income", ValueType::kDouble},
+    {"//date", ValueType::kVarchar},
+};
+
+/// A fresh xmark database with the index set under maintenance plus a
+/// batch of pre-serialized documents to insert. Rebuilt per benchmark
+/// run so counters never depend on a previous run's mutations.
+struct Fixture {
   Database db;
-  XMarkParams params;
-  if (!PopulateXMark(&db, "xmark", 10, params, 42).ok()) return 1;
-  const PathSynopsis* synopsis = db.synopsis("xmark");
-  StorageConstants constants;
   Catalog catalog;
+  CostModel cost_model;
+  std::vector<std::string> batch;
 
-  struct Spec {
-    const char* pattern;
-    ValueType type;
-  };
-  const Spec specs[] = {
-      {"/site/regions/*/item/quantity", ValueType::kDouble},
-      {"/site/regions/*/item", ValueType::kVarchar},
-      {"/site/open_auctions/open_auction/bidder/increase",
-       ValueType::kDouble},
-      {"/site/people/person/profile/@income", ValueType::kDouble},
-      {"//date", ValueType::kVarchar},
-  };
-  for (const Spec& spec : specs) {
-    IndexDefinition def;
-    def.collection = "xmark";
-    Result<PathPattern> pattern = ParsePathPattern(spec.pattern);
-    if (!pattern.ok()) return 1;
-    def.pattern = std::move(*pattern);
-    def.type = spec.type;
-    def.name = catalog.UniqueName(def.pattern);
-    Result<PathIndex> built = BuildIndex(db, def);
-    if (!built.ok()) return 1;
-    if (!catalog
-             .AddPhysical(std::make_shared<PathIndex>(std::move(*built)),
-                          constants)
-             .ok()) {
-      return 1;
+  explicit Fixture(int batch_size) {
+    XMarkParams params;
+    XIA_CHECK(PopulateXMark(&db, "xmark", 10, params, 42).ok());
+    for (const Spec& spec : kSpecs) {
+      IndexDefinition def;
+      def.collection = "xmark";
+      def.pattern = *ParsePathPattern(spec.pattern);
+      def.type = spec.type;
+      def.name = catalog.UniqueName(def.pattern);
+      Result<PathIndex> built = BuildIndex(db, def);
+      XIA_CHECK(built.ok());
+      XIA_CHECK(catalog
+                    .AddPhysical(std::make_shared<PathIndex>(std::move(*built)),
+                                 cost_model.storage)
+                    .ok());
+    }
+    Random rng(123);
+    for (int i = 0; i < batch_size; ++i) {
+      batch.push_back(SerializeDocument(
+          GenerateXMarkDocument(db.mutable_names(), params, &rng),
+          db.names()));
     }
   }
 
-  // The update op under study: inserting whole documents (the coarsest
-  // "insert one subtree instance" — target = the document root pattern).
-  Result<PathPattern> doc_target = ParsePathPattern("/site");
-  if (!doc_target.ok()) return 1;
-
-  std::printf("%-46s %-8s %14s %14s\n", "index pattern", "type",
-              "est/insert", "actual/insert");
-  // Estimated entries touched per inserted /site subtree.
-  double target_count = synopsis->EstimateCount(*doc_target);
-  for (const CatalogEntry* entry : catalog.AllIndexes()) {
-    double overlap = synopsis->EstimateSubtreeOverlap(*doc_target,
-                                                      entry->def.pattern);
-    double est_per_insert =
-        target_count > 0 ? overlap / target_count : overlap;
-    // Note: DOUBLE indexes reject non-numeric values, which the overlap
-    // estimate (node counts) does not know about; compare to VARCHAR
-    // semantics where they coincide.
-    std::printf("%-46s %-8s %14.1f %14s\n",
-                entry->def.pattern.ToString().c_str(),
-                ValueTypeName(entry->def.type), est_per_insert, "...");
-  }
-
-  // Now do it: insert 5 documents, measure per-index growth.
-  std::printf("\nperforming 5 real document inserts + maintenance...\n");
-  std::map<std::string, size_t> before;
-  for (const CatalogEntry* entry : catalog.AllIndexes()) {
-    before[entry->def.name] = entry->physical->num_entries();
-  }
-  Random rng(123);
-  Collection* coll = db.GetCollection("xmark");
-  size_t total_inserted = 0;
-  for (int i = 0; i < 5; ++i) {
-    DocId doc =
-        coll->Add(GenerateXMarkDocument(db.mutable_names(), params, &rng));
-    Result<MaintenanceStats> stats =
-        ApplyDocumentInsert(db, "xmark", doc, &catalog);
-    if (!stats.ok()) {
-      std::cerr << stats.status().ToString() << "\n";
-      return 1;
+  /// The advisor's estimate of index entries touched by inserting one
+  /// /site document: sum over indexes of subtree overlap / target count.
+  double EstimatedEntriesPerInsert() const {
+    const PathSynopsis* synopsis = db.synopsis("xmark");
+    PathPattern target = *ParsePathPattern("/site");
+    double target_count = synopsis->EstimateCount(target);
+    double est = 0;
+    for (const CatalogEntry* entry : catalog.AllIndexes()) {
+      double overlap =
+          synopsis->EstimateSubtreeOverlap(target, entry->def.pattern);
+      est += target_count > 0 ? overlap / target_count : overlap;
     }
-    total_inserted += stats->entries_inserted;
+    return est;
   }
-  std::printf("%-46s %-8s %14s %14s\n", "index pattern", "type",
-              "est/insert", "actual/insert");
-  for (const CatalogEntry* entry : catalog.AllIndexes()) {
-    double overlap = synopsis->EstimateSubtreeOverlap(*doc_target,
-                                                      entry->def.pattern);
-    double est_per_insert =
-        target_count > 0 ? overlap / target_count : overlap;
-    double actual_per_insert =
-        static_cast<double>(entry->physical->num_entries() -
-                            before[entry->def.name]) /
-        5.0;
-    std::printf("%-46s %-8s %14.1f %14.1f\n",
-                entry->def.pattern.ToString().c_str(),
-                ValueTypeName(entry->def.type), est_per_insert,
-                actual_per_insert);
-  }
-  std::printf("\ntotal entries inserted by maintenance: %zu\n",
-              total_inserted);
+};
 
-  // And deletion: purge the 5 new documents again.
-  size_t total_removed = 0;
-  for (DocId doc = 10; doc < 15; ++doc) {
-    Result<MaintenanceStats> stats =
-        ApplyDocumentDelete(db, "xmark", doc, &catalog);
-    if (!stats.ok()) return 1;
-    total_removed += stats->entries_removed;
+/// Whole-document inserts followed by deletes of the same documents —
+/// the full dml round trip (parse, index maintenance, synopsis deltas,
+/// tombstones). entries_inserted must equal entries_removed exactly.
+void BM_MaintenanceInsertDelete(benchmark::State& state) {
+  const int batch = static_cast<int>(state.range(0));
+  Fixture f(batch);
+  const double est_per_insert = f.EstimatedEntriesPerInsert();
+  size_t inserted = 0;
+  size_t removed = 0;
+  for (auto _ : state) {
+    std::vector<DocId> fresh;
+    for (const std::string& xml : f.batch) {
+      Result<dml::DmlResult> r =
+          dml::ApplyInsert(&f.db, &f.catalog, "xmark", xml);
+      XIA_CHECK(r.ok());
+      inserted += r->maintenance.entries_inserted;
+      fresh.push_back(r->doc);
+    }
+    for (DocId doc : fresh) {
+      Result<dml::DmlResult> r =
+          dml::ApplyDelete(&f.db, &f.catalog, "xmark", doc);
+      XIA_CHECK(r.ok());
+      removed += r->maintenance.entries_removed;
+    }
   }
-  std::printf("total entries removed by delete maintenance: %zu\n",
-              total_removed);
-  std::printf("insert/delete symmetry: %s\n",
-              total_inserted == total_removed ? "exact" : "MISMATCH");
-  std::cout << "\nExpected shape: estimated entries/insert match actual for "
-               "VARCHAR indexes\nexactly and overestimate DOUBLE indexes "
-               "only by their non-numeric share.\n";
-  return 0;
+  XIA_CHECK(inserted == removed);
+  state.counters["entries_inserted"] = static_cast<double>(inserted);
+  state.counters["entries_removed"] = static_cast<double>(removed);
+  state.counters["est_entries"] = est_per_insert * batch;
+  state.counters["docs"] = static_cast<double>(batch);
 }
+// Iterations(1) keeps the counters deterministic: adaptive iteration
+// counts would otherwise scale the totals (and trip the synopsis
+// staleness rebuild a data-dependent number of times).
+BENCHMARK(BM_MaintenanceInsertDelete)
+    ->ArgName("docs")
+    ->Arg(5)
+    ->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
+
+/// In-place document replacement: tombstone + reinsert under one verb.
+void BM_MaintenanceUpdate(benchmark::State& state) {
+  const int batch = static_cast<int>(state.range(0));
+  Fixture f(batch);
+  size_t inserted = 0;
+  size_t removed = 0;
+  for (auto _ : state) {
+    DocId target = 0;
+    for (const std::string& xml : f.batch) {
+      Result<dml::DmlResult> r =
+          dml::ApplyUpdate(&f.db, &f.catalog, "xmark", target, xml);
+      XIA_CHECK(r.ok());
+      inserted += r->maintenance.entries_inserted;
+      removed += r->maintenance.entries_removed;
+      target = r->doc;  // Chain: each update replaces the previous one.
+    }
+  }
+  state.counters["entries_inserted"] = static_cast<double>(inserted);
+  state.counters["entries_removed"] = static_cast<double>(removed);
+  state.counters["docs"] = static_cast<double>(batch);
+}
+BENCHMARK(BM_MaintenanceUpdate)
+    ->ArgName("docs")
+    ->Arg(5)
+    ->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace xia
+
+#include "bench_main.h"  // Custom main: BENCHMARK_MAIN + --stats-json.

@@ -2,9 +2,9 @@
 """Benchmark regression gate for CI.
 
 Compares the google-benchmark JSON produced by the perf benches
-(bench_fig3_evaluate, bench_fig4_search, and the BM_OpenFromDisk* rows
-of bench_micro) against a committed baseline and fails when a tracked
-metric regresses beyond tolerance.
+(bench_fig3_evaluate, bench_fig4_search, bench_maintenance, and the
+BM_OpenFromDisk* rows of bench_micro) against a committed baseline and
+fails when a tracked metric regresses beyond tolerance.
 
 Two metric classes, chosen for machine-portability:
 
@@ -15,6 +15,10 @@ Two metric classes, chosen for machine-portability:
         cost_hits, cost_misses, cost_bypasses, chosen.
       - BM_Evaluate* rows (fig3 shares a warm cache across iterations, so
         only its iteration-independent counter qualifies): cost_misses.
+      - BM_Maintenance* rows (seeded DML round trips at Iterations(1)):
+        entries_inserted, entries_removed, est_entries, docs — pins both
+        insert/delete maintenance symmetry and the agreement between the
+        advisor's estimated entries-touched and the measured count.
     Checked two-sided (default ±25%): more work is a regression, and a
     large silent drop usually means the benchmark stopped measuring what
     it used to — refresh the baseline if the change is intentional.
@@ -78,6 +82,14 @@ ADVISE_LOG_COUNTERS = ("advised_queries", "cost_requests", "benefit_priced",
 # on warm opens is the BufferPool accounting contract.
 OPEN_FROM_DISK_COUNTERS = ("pages", "wal_records", "pool_misses",
                            "pool_hits")
+# Index-maintenance rows (bench_maintenance): seeded whole-document DML
+# round trips, so every counter is exactly reproducible. entries_inserted
+# and entries_removed drifting apart means insert/delete maintenance lost
+# symmetry; est_entries drifting from entries_inserted means the
+# synopsis-based per-update estimate the advisor charges decoupled from
+# what maintenance actually touches.
+MAINTENANCE_COUNTERS = ("entries_inserted", "entries_removed",
+                        "est_entries", "docs")
 
 # Absolute floors for callcut ratios (see docstring) — enforced against
 # the current run directly, not the baseline. Keys name the paired row
@@ -98,6 +110,8 @@ def counter_names(bench_name):
         return ADVISE_LOG_COUNTERS
     if bench_name.startswith("BM_OpenFromDisk"):
         return OPEN_FROM_DISK_COUNTERS
+    if bench_name.startswith("BM_Maintenance"):
+        return MAINTENANCE_COUNTERS
     return ()
 
 

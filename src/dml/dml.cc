@@ -1,0 +1,152 @@
+#include "dml/dml.h"
+
+#include <utility>
+
+#include "common/metrics.h"
+#include "storage/path_synopsis.h"
+#include "xml/parser.h"
+
+namespace xia {
+namespace dml {
+
+namespace {
+
+obs::Counter& InsertCounter() {
+  static obs::Counter& counter = obs::Registry().GetCounter("dml.inserts");
+  return counter;
+}
+
+obs::Counter& DeleteCounter() {
+  static obs::Counter& counter = obs::Registry().GetCounter("dml.deletes");
+  return counter;
+}
+
+obs::Counter& UpdateCounter() {
+  static obs::Counter& counter = obs::Registry().GetCounter("dml.updates");
+  return counter;
+}
+
+obs::Counter& RebuildCounter() {
+  static obs::Counter& counter =
+      obs::Registry().GetCounter("dml.synopsis.rebuilds");
+  return counter;
+}
+
+/// "/<root element name>" of a document — the pattern-level UpdateOp
+/// target the capture stream hands the advisor.
+std::string RootPattern(const Database& db, const Document& doc) {
+  if (doc.empty()) return "/";
+  NameId name = doc.node(doc.root()).name;
+  return "/" + (name == kNoName ? std::string("?")
+                                : std::string(db.names().NameOf(name)));
+}
+
+/// The RUNSTATS fallback: a full rebuild once incremental deletes have
+/// made the sample-backed statistics stale past the bound. Deterministic
+/// in the collection's live contents, so live mutation and WAL replay
+/// rebuild at the same points with the same results.
+Status MaybeRebuildSynopsis(Database* db, const std::string& collection,
+                            DmlResult* out) {
+  const PathSynopsis* synopsis = db->synopsis(collection);
+  if (synopsis == nullptr ||
+      synopsis->StalenessFraction() <= kSynopsisStalenessBound) {
+    return Status::Ok();
+  }
+  XIA_RETURN_IF_ERROR(db->Analyze(collection));
+  out->synopsis_rebuilt = true;
+  RebuildCounter().Increment();
+  return Status::Ok();
+}
+
+}  // namespace
+
+Result<DmlResult> ApplyInsert(Database* db, Catalog* catalog,
+                              const std::string& collection,
+                              const std::string& xml) {
+  Collection* coll = db->GetCollection(collection);
+  if (coll == nullptr) {
+    return Status::NotFound("collection " + collection + " does not exist");
+  }
+  XmlParser parser(db->mutable_names());
+  XIA_ASSIGN_OR_RETURN(Document doc, parser.Parse(xml));
+  DmlResult out;
+  out.doc = coll->Add(std::move(doc));
+  out.root_pattern = RootPattern(*db, coll->doc(out.doc));
+  XIA_ASSIGN_OR_RETURN(
+      out.maintenance, ApplyDocumentInsert(*db, collection, out.doc, catalog));
+  if (PathSynopsis* synopsis = db->mutable_synopsis(collection)) {
+    uint64_t before = synopsis->TotalNodes();
+    synopsis->AddDocument(coll->doc(out.doc));
+    out.synopsis_nodes_added =
+        static_cast<size_t>(synopsis->TotalNodes() - before);
+  }
+  InsertCounter().Increment();
+  return out;
+}
+
+Result<DmlResult> ApplyDelete(Database* db, Catalog* catalog,
+                              const std::string& collection, DocId doc) {
+  Collection* coll = db->GetCollection(collection);
+  if (coll == nullptr) {
+    return Status::NotFound("collection " + collection + " does not exist");
+  }
+  if (!coll->IsLive(doc)) {
+    return Status::NotFound("document " + std::to_string(doc) +
+                            " of collection " + collection +
+                            " does not exist (or was deleted)");
+  }
+  DmlResult out;
+  out.doc = doc;
+  out.root_pattern = RootPattern(*db, coll->doc(doc));
+  // Order matters: the synopsis and the indexes consume the document's
+  // content, which Collection::Delete frees.
+  if (PathSynopsis* synopsis = db->mutable_synopsis(collection)) {
+    uint64_t before = synopsis->TotalNodes();
+    synopsis->RemoveDocument(coll->doc(doc));
+    out.synopsis_nodes_removed =
+        static_cast<size_t>(before - synopsis->TotalNodes());
+  }
+  XIA_ASSIGN_OR_RETURN(out.maintenance,
+                       ApplyDocumentDelete(*db, collection, doc, catalog));
+  XIA_RETURN_IF_ERROR(coll->Delete(doc));
+  XIA_RETURN_IF_ERROR(MaybeRebuildSynopsis(db, collection, &out));
+  DeleteCounter().Increment();
+  return out;
+}
+
+Result<DmlResult> ApplyUpdate(Database* db, Catalog* catalog,
+                              const std::string& collection, DocId doc,
+                              const std::string& xml) {
+  Collection* coll = db->GetCollection(collection);
+  if (coll == nullptr) {
+    return Status::NotFound("collection " + collection + " does not exist");
+  }
+  if (!coll->IsLive(doc)) {
+    return Status::NotFound("document " + std::to_string(doc) +
+                            " of collection " + collection +
+                            " does not exist (or was deleted)");
+  }
+  {
+    // Pre-validate the replacement content so the delete half can never
+    // succeed and leave the insert half unapplyable.
+    NameTable scratch;
+    XmlParser parser(&scratch);
+    Result<Document> parsed = parser.Parse(xml);
+    if (!parsed.ok()) return parsed.status();
+  }
+  XIA_ASSIGN_OR_RETURN(DmlResult removed,
+                       ApplyDelete(db, catalog, collection, doc));
+  XIA_ASSIGN_OR_RETURN(DmlResult inserted,
+                       ApplyInsert(db, catalog, collection, xml));
+  DmlResult out = std::move(inserted);
+  out.maintenance.indexes_touched = std::max(
+      removed.maintenance.indexes_touched, out.maintenance.indexes_touched);
+  out.maintenance.entries_removed += removed.maintenance.entries_removed;
+  out.synopsis_nodes_removed = removed.synopsis_nodes_removed;
+  out.synopsis_rebuilt = out.synopsis_rebuilt || removed.synopsis_rebuilt;
+  UpdateCounter().Increment();
+  return out;
+}
+
+}  // namespace dml
+}  // namespace xia

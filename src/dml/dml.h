@@ -1,0 +1,89 @@
+#ifndef XIA_DML_DML_H_
+#define XIA_DML_DML_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "index/catalog.h"
+#include "index/maintenance.h"
+#include "storage/database.h"
+
+namespace xia {
+namespace dml {
+
+/// xia::dml — the single document mutation path of the stack.
+///
+/// Every insert/delete/update of a document funnels through ApplyInsert /
+/// ApplyDelete / ApplyUpdate, whether it originates from a live server
+/// verb, the REPL, or WAL replay (StorageEngine calls the same functions
+/// from both its logged-mutation and its ReplayRecord paths, which is
+/// what makes a recovered database bit-identical to one that never
+/// crashed). Each apply performs, in a fixed order:
+///
+///   1. the Collection mutation (Add, or synopsis-decrement-then-Delete
+///      for tombstones — the synopsis and the indexes must consume the
+///      document's content before Collection::Delete frees it),
+///   2. incremental physical-index maintenance (index/maintenance.h),
+///   3. incremental path-synopsis and histogram maintenance
+///      (PathSynopsis::AddDocument / RemoveDocument) — estimates see the
+///      mutation immediately, no full re-Analyze per mutation,
+///   4. the RUNSTATS fallback: when incremental deletes have made the
+///      sample-backed statistics stale past kSynopsisStalenessBound,
+///      Database::Analyze rebuilds the synopsis from the live documents.
+///
+/// Callers must hold exclusive access to the database/catalog (the
+/// server's exclusive-verb lock; recovery is single-threaded).
+///
+/// Update semantics: an update tombstones the old document and inserts
+/// the new content under a fresh DocId (our region encoding makes
+/// in-place subtree edits a renumbering problem — see RadegastXDB,
+/// arXiv 1903.03761 — so document-granularity replace is the honest
+/// unit). DocIds are assigned in Collection::Add order, which is what
+/// makes WAL replay deterministic.
+
+/// Stale-sample bound: when the fraction of incrementally removed node
+/// instances exceeds this, the next mutation triggers a full Analyze.
+inline constexpr double kSynopsisStalenessBound = 0.3;
+
+/// What one DML apply did — surfaced by the server verbs, captured into
+/// the workload stream, and validated against the advisor's maintenance
+/// cost estimates (bench_maintenance).
+struct DmlResult {
+  /// Inserted document's id (insert/update); the tombstoned id for
+  /// deletes.
+  DocId doc = -1;
+  /// Index maintenance performed (entries inserted/removed).
+  MaintenanceStats maintenance;
+  /// Root element pattern of the affected document, e.g. "/site" — the
+  /// UpdateOp target the capture stream records for the advisor.
+  std::string root_pattern;
+  /// Node instances added to / removed from the path synopsis.
+  size_t synopsis_nodes_added = 0;
+  size_t synopsis_nodes_removed = 0;
+  /// True when the staleness bound tripped the RUNSTATS fallback.
+  bool synopsis_rebuilt = false;
+};
+
+/// Parses `xml` and appends it to `collection` as a new document,
+/// maintaining indexes and synopsis incrementally.
+Result<DmlResult> ApplyInsert(Database* db, Catalog* catalog,
+                              const std::string& collection,
+                              const std::string& xml);
+
+/// Tombstones document `doc` of `collection`: synopsis decrement, index
+/// entry removal, then Collection::Delete. Fails on dead or
+/// out-of-range ids.
+Result<DmlResult> ApplyDelete(Database* db, Catalog* catalog,
+                              const std::string& collection, DocId doc);
+
+/// Replaces document `doc` with `xml`: ApplyDelete(doc) then
+/// ApplyInsert(xml). The result's `doc` is the NEW document's id; the
+/// maintenance stats aggregate both halves.
+Result<DmlResult> ApplyUpdate(Database* db, Catalog* catalog,
+                              const std::string& collection, DocId doc,
+                              const std::string& xml);
+
+}  // namespace dml
+}  // namespace xia
+
+#endif  // XIA_DML_DML_H_

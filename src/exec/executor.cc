@@ -161,7 +161,9 @@ Result<ExecResult> Executor::ExecuteScan(const QueryPlan& plan,
   uint64_t hits_before = buffer_pool_ ? buffer_pool_->hits() : 0;
   uint64_t misses_before = buffer_pool_ ? buffer_pool_->misses() : 0;
   const NameTable& names = db_->names();
-  for (const Document& doc : coll.docs()) {
+  for (DocId id = 0; id < static_cast<DocId>(coll.num_docs()); ++id) {
+    if (!coll.IsLive(id)) continue;  // Tombstoned by dml::ApplyDelete.
+    const Document& doc = coll.doc(id);
     result.nodes_examined += doc.num_nodes();
     XIA_RETURN_IF_ERROR(TouchDocument(doc));
     bool qualifies = true;
@@ -297,6 +299,10 @@ Result<ExecResult> Executor::ExecuteIndex(const QueryPlan& plan,
   }
 
   for (DocId doc_id : candidate_docs) {
+    // Index maintenance removes a tombstoned document's entries before
+    // Collection::Delete, so a probe should never surface one; filter
+    // defensively anyway so a stale entry cannot resurrect deleted data.
+    if (!coll.IsLive(doc_id)) continue;
     const Document& doc = coll.doc(doc_id);
     // Residual evaluation and driving-node extraction navigate the whole
     // candidate document.

@@ -21,17 +21,18 @@ struct MaintenanceStats {
 /// Propagates a newly added document into every physical index of its
 /// collection: evaluates each index's XMLPATTERN over the document and
 /// inserts the resulting keys. Call after Collection::Add. Index
-/// statistics in the catalog are refreshed; the collection's path synopsis
-/// is NOT — re-run Database::Analyze when estimates should see the new
-/// data (DB2's RUNSTATS discipline).
+/// statistics in the catalog are refreshed here; the collection's path
+/// synopsis is maintained incrementally by the dml layer on the same
+/// mutation (PathSynopsis::AddDocument — see src/dml/dml.h), so estimates
+/// see post-insert data without a full Database::Analyze.
 Result<MaintenanceStats> ApplyDocumentInsert(const Database& db,
                                              const std::string& collection,
                                              DocId doc, Catalog* catalog);
 
-/// Removes a (logically deleted) document's entries from every physical
-/// index of its collection. The document itself stays in the collection
-/// (our store is append-only); this maintains the indexes as if it were
-/// gone, which is all the update-cost experiments need.
+/// Removes a document's entries from every physical index of its
+/// collection. Call BEFORE Collection::Delete frees the document's slot
+/// (the dml layer orders synopsis decrement, index maintenance, then the
+/// tombstone). Index statistics in the catalog are refreshed here.
 Result<MaintenanceStats> ApplyDocumentDelete(const Database& db,
                                              const std::string& collection,
                                              DocId doc, Catalog* catalog);

@@ -38,19 +38,25 @@ bool RetryingClient::IsIdempotentCommand(const std::string& line) {
   if (verb == "ping" || verb == "help" || verb == "health" ||
       verb == "ready" || verb == "stats" || verb == "show" ||
       verb == "run" || verb == "enumerate" || verb == "workload" ||
-      verb == "query" || verb == "update" || verb == "ddl" ||
-      verb == "advise" || verb == "whatif" || verb == "drain" ||
-      verb == "quit" || verb == "exit") {
+      verb == "query" || verb == "ddl" || verb == "advise" ||
+      verb == "whatif" || verb == "drain" || verb == "quit" ||
+      verb == "exit") {
     return true;
   }
-  // Mixed verbs: only their read-only subcommands are safe.
+  // Mixed verbs: only their read-only subcommands are safe. `update` is
+  // a session-workload edit only with an insert|delete sub-token; the
+  // DML form (`update <collection> <doc> <xml>`) tombstones the target
+  // and inserts a fresh document — re-sending after a lost reply would
+  // double-insert.
+  if (verb == "update") return sub == "insert" || sub == "delete";
   if (verb == "db") return sub == "status";
   if (verb == "log") return sub == "stats";
   if (verb == "drift") return sub == "check" || sub == "threshold";
   if (verb == "failpoint") return sub.empty() || sub == "list";
   // gen / load / loadcoll / savecoll / analyze / materialize / capture /
-  // db checkpoint / ...: the server may already have executed the lost
-  // request; re-sending could apply the mutation twice.
+  // insert / delete / db checkpoint / ...: the server may already have
+  // executed the lost request; re-sending could apply the mutation twice
+  // (a re-sent insert appends a second document under a new DocId).
   return false;
 }
 

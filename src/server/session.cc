@@ -8,6 +8,7 @@
 #include "common/failpoint.h"
 #include "common/metrics.h"
 #include "common/string_util.h"
+#include "dml/dml.h"
 #include "exec/executor.h"
 #include "optimizer/explain.h"
 #include "query/parser.h"
@@ -53,6 +54,8 @@ const char* HelpText() {
       "  workload xmark|tpox | workload file <path>\n"
       "  query <weight> <text...>\n"
       "  update <insert|delete> <collection> <weight> <pattern>\n"
+      "  insert <collection> <xml...> | delete <collection> <doc-id>\n"
+      "  update <collection> <doc-id> <xml...>   (replace document)\n"
       "  show workload|catalog|candidates|dag|stats <coll>\n"
       "  enumerate <query...>\n"
       "  advise [--from-log] [--compress] [--decompose|--exact]"
@@ -79,15 +82,28 @@ VerbClass CommandDispatcher::Classify(const std::string& line) {
 }
 
 bool CommandDispatcher::IsExclusiveVerb(const std::string& verb) {
+  return IsExclusiveVerb(verb, "");
+}
+
+bool CommandDispatcher::IsExclusiveVerb(const std::string& verb,
+                                        const std::string& sub) {
   // Verbs that mutate the shared database/catalog (gen, load, loadcoll,
-  // analyze, materialize), install/uninstall the process-wide capture
-  // sink (capture), drive the drift monitor's long mutating pipeline
-  // (drift), or run the persistence engine's checkpoint/WAL machinery
-  // (db). Everything else reads shared state through thread-safe caches
-  // and may run concurrently.
+  // analyze, materialize, and the DML verbs insert/delete/update),
+  // install/uninstall the process-wide capture sink (capture), drive the
+  // drift monitor's long mutating pipeline (drift), or run the
+  // persistence engine's checkpoint/WAL machinery (db). Everything else
+  // reads shared state through thread-safe caches and may run
+  // concurrently.
+  //
+  // `update` is two verbs: `update <insert|delete> ...` edits the
+  // per-session workload (read-only on shared state), while
+  // `update <collection> <doc> <xml>` is a DML document update and must
+  // serialize like every other mutation.
+  if (verb == "update") return sub != "insert" && sub != "delete";
   return verb == "gen" || verb == "load" || verb == "loadcoll" ||
          verb == "analyze" || verb == "materialize" || verb == "capture" ||
-         verb == "drift" || verb == "db";
+         verb == "drift" || verb == "db" || verb == "insert" ||
+         verb == "delete";
 }
 
 CommandOutcome CommandDispatcher::Execute(const std::string& line,
@@ -127,12 +143,19 @@ CommandOutcome CommandDispatcher::Execute(const std::string& line,
     return CommandOutcome::kHandled;
   }
 
-  // Reader/writer discipline: see IsExclusiveVerb.
+  // Reader/writer discipline: see IsExclusiveVerb. The sub-token matters
+  // only for `update` (session-workload edit vs DML document update).
+  std::string sub;
+  {
+    std::istringstream peek(rest);
+    peek >> sub;
+    sub = ToLower(sub);
+  }
   std::shared_lock<std::shared_mutex> read_lock(shared_->mu,
                                                 std::defer_lock);
   std::unique_lock<std::shared_mutex> write_lock(shared_->mu,
                                                  std::defer_lock);
-  if (IsExclusiveVerb(command)) {
+  if (IsExclusiveVerb(command, sub)) {
     write_lock.lock();
   } else {
     read_lock.lock();
@@ -151,7 +174,15 @@ CommandOutcome CommandDispatcher::Execute(const std::string& line,
   } else if (command == "query") {
     CmdQuery(session, rest, out);
   } else if (command == "update") {
-    CmdUpdate(session, rest, out);
+    if (sub == "insert" || sub == "delete") {
+      CmdUpdate(session, rest, out);
+    } else {
+      CmdDmlUpdate(rest, out);
+    }
+  } else if (command == "insert") {
+    CmdInsert(rest, out);
+  } else if (command == "delete") {
+    CmdDelete(params, out);
   } else if (command == "show") {
     CmdShow(session, params, out);
   } else if (command == "enumerate") {
@@ -322,6 +353,97 @@ void CommandDispatcher::CmdUpdate(ClientSession* session,
     session->workload.AddUpdate(parsed->updates()[0]);
     out << "added\n";
   }
+}
+
+namespace {
+
+/// Shared DML reply/capture tail: feeds the armed capture sink (the DML
+/// half of the workload stream maintenance-aware advising consumes) and
+/// renders the result line the shell and the server both emit.
+void ReportDml(wlm::CaptureKind kind, const std::string& collection,
+               const Result<dml::DmlResult>& result, std::ostream& out) {
+  if (!result.ok()) {
+    out << result.status().ToString() << "\n";
+    return;
+  }
+  const dml::DmlResult& r = *result;
+  if (wlm::CaptureEnabled()) {
+    wlm::MaybeCaptureDml(
+        kind, collection, r.root_pattern,
+        static_cast<double>(r.maintenance.entries_inserted +
+                            r.maintenance.entries_removed));
+  }
+  const char* what = kind == wlm::CaptureKind::kInsert   ? "inserted"
+                     : kind == wlm::CaptureKind::kDelete ? "deleted"
+                                                         : "updated";
+  out << what << " doc " << r.doc << " of " << collection << " ("
+      << r.maintenance.indexes_touched << " indexes, +"
+      << r.maintenance.entries_inserted << "/-"
+      << r.maintenance.entries_removed << " entries, synopsis +"
+      << r.synopsis_nodes_added << "/-" << r.synopsis_nodes_removed
+      << (r.synopsis_rebuilt ? " nodes, stats rebuilt)\n" : " nodes)\n");
+}
+
+}  // namespace
+
+void CommandDispatcher::CmdInsert(const std::string& rest,
+                                  std::ostream& out) {
+  std::istringstream params(rest);
+  std::string collection;
+  params >> collection;
+  std::string xml;
+  std::getline(params, xml);
+  std::string body(Trim(xml));
+  if (collection.empty() || body.empty()) {
+    out << "usage: insert <collection> <xml...>\n";
+    return;
+  }
+  Result<dml::DmlResult> result =
+      shared_->engine ? shared_->engine->InsertDocument(collection, body)
+                      : dml::ApplyInsert(&shared_->db, &shared_->catalog,
+                                         collection, body);
+  ReportDml(wlm::CaptureKind::kInsert, collection, result, out);
+}
+
+void CommandDispatcher::CmdDelete(std::istream& args, std::ostream& out) {
+  std::string collection;
+  int64_t doc = -1;
+  if (!(args >> collection >> doc) || doc < 0) {
+    out << "usage: delete <collection> <doc-id>\n";
+    return;
+  }
+  DocId id = static_cast<DocId>(doc);
+  Result<dml::DmlResult> result =
+      shared_->engine ? shared_->engine->DeleteDocument(collection, id)
+                      : dml::ApplyDelete(&shared_->db, &shared_->catalog,
+                                         collection, id);
+  ReportDml(wlm::CaptureKind::kDelete, collection, result, out);
+}
+
+void CommandDispatcher::CmdDmlUpdate(const std::string& rest,
+                                     std::ostream& out) {
+  std::istringstream params(rest);
+  std::string collection;
+  int64_t doc = -1;
+  if (!(params >> collection >> doc) || doc < 0) {
+    out << "usage: update <collection> <doc-id> <xml...> |"
+           " update <insert|delete> <collection> <weight> <pattern>\n";
+    return;
+  }
+  std::string xml;
+  std::getline(params, xml);
+  std::string body(Trim(xml));
+  if (body.empty()) {
+    out << "usage: update <collection> <doc-id> <xml...>\n";
+    return;
+  }
+  DocId id = static_cast<DocId>(doc);
+  Result<dml::DmlResult> result =
+      shared_->engine
+          ? shared_->engine->UpdateDocument(collection, id, body)
+          : dml::ApplyUpdate(&shared_->db, &shared_->catalog, collection, id,
+                             body);
+  ReportDml(wlm::CaptureKind::kUpdate, collection, result, out);
 }
 
 void CommandDispatcher::CmdShow(ClientSession* session, std::istream& args,

@@ -122,6 +122,12 @@ class CommandDispatcher {
   /// exclusively. Exposed for tests.
   static bool IsExclusiveVerb(const std::string& verb);
 
+  /// Sub-token-aware overload: `update` is a session-workload edit
+  /// (shared lock) when `sub` is insert|delete, and a DML document
+  /// update (exclusive) otherwise. All other verbs ignore `sub`.
+  static bool IsExclusiveVerb(const std::string& verb,
+                              const std::string& sub);
+
  private:
   void CmdGen(std::istream& args, std::ostream& out);
   void CmdLoad(std::istream& args, std::ostream& out);
@@ -134,6 +140,12 @@ class CommandDispatcher {
                 std::ostream& out);
   void CmdUpdate(ClientSession* session, const std::string& rest,
                  std::ostream& out);
+  // DML verbs (src/dml): insert <coll> <xml...>, delete <coll> <doc>,
+  // update <coll> <doc> <xml...>. All exclusive; WAL-logged when a
+  // persistence engine is attached.
+  void CmdInsert(const std::string& rest, std::ostream& out);
+  void CmdDelete(std::istream& args, std::ostream& out);
+  void CmdDmlUpdate(const std::string& rest, std::ostream& out);
   void CmdShow(ClientSession* session, std::istream& args, std::ostream& out);
   void CmdEnumerate(const std::string& rest, std::ostream& out);
   void CmdAdvise(ClientSession* session, std::istream& args,

@@ -4,14 +4,18 @@
 #include <string>
 #include <vector>
 
+#include "common/status.h"
 #include "xml/document.h"
 
 namespace xia {
 
 /// A named collection of XML documents — the analogue of a DB2 table with
-/// an XML column. Documents are immutable once added; updates in workloads
-/// are modeled by the cost layer (the advisor never needs physical updates,
-/// only their estimated index-maintenance cost).
+/// an XML column. Document slots are append-only (a DocId, once assigned,
+/// always refers to the same slot), but documents may be logically
+/// deleted: Delete() tombstones a slot, freeing its node content while
+/// keeping the slot so later DocIds stay stable. Scans, index probes, and
+/// serialization treat tombstoned slots as absent. The single mutation
+/// path is src/dml (WAL-logged via the storage engine).
 class Collection {
  public:
   explicit Collection(std::string name) : name_(std::move(name)) {}
@@ -26,21 +30,43 @@ class Collection {
   /// Adds a document, assigning its DocId. Returns the id.
   DocId Add(Document doc);
 
+  /// Tombstones a live document: its node content is freed (the slot
+  /// serializes as an empty dead document from now on) and it vanishes
+  /// from num_nodes()/ByteSize(). Fails on out-of-range or already-dead
+  /// ids. Callers that maintain indexes/synopses must consume the
+  /// document's content BEFORE deleting (src/dml does).
+  Status Delete(DocId id);
+
+  /// Number of document slots, live or dead. doc(id) is valid for any
+  /// id < num_docs(); dead slots hold an empty document.
   size_t num_docs() const { return docs_.size(); }
+
+  /// Live (non-tombstoned) documents.
+  size_t num_live_docs() const { return num_live_docs_; }
+
+  /// False for tombstoned or out-of-range ids.
+  bool IsLive(DocId id) const {
+    return id >= 0 && static_cast<size_t>(id) < live_.size() &&
+           live_[static_cast<size_t>(id)] != 0;
+  }
+
   const Document& doc(DocId id) const {
     return docs_[static_cast<size_t>(id)];
   }
   const std::vector<Document>& docs() const { return docs_; }
 
-  /// Total node count across all documents.
+  /// Total node count across live documents.
   size_t num_nodes() const { return num_nodes_; }
 
-  /// Approximate storage footprint, input to the cost model's page counts.
+  /// Approximate storage footprint of live documents, input to the cost
+  /// model's page counts.
   size_t ByteSize() const { return byte_size_; }
 
  private:
   std::string name_;
   std::vector<Document> docs_;
+  std::vector<uint8_t> live_;  // 1 = live, 0 = tombstoned.
+  size_t num_live_docs_ = 0;
   size_t num_nodes_ = 0;
   size_t byte_size_ = 0;
 };

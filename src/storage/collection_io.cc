@@ -28,7 +28,9 @@ Status SaveCollectionToDirectory(const Database& db,
     return Status::Internal("cannot create directory " + dir + ": " +
                             ec.message());
   }
-  for (const Document& doc : coll->docs()) {
+  for (DocId id = 0; id < static_cast<DocId>(coll->num_docs()); ++id) {
+    if (!coll->IsLive(id)) continue;  // Tombstones are not exported.
+    const Document& doc = coll->doc(id);
     char name[32];
     std::snprintf(name, sizeof(name), "doc_%05d.xml", doc.id());
     // Full atomic-replace discipline (common/io_util.h): temp + fsync +

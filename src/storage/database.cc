@@ -52,6 +52,11 @@ const PathSynopsis* Database::synopsis(const std::string& collection) const {
   return it == synopses_.end() ? nullptr : it->second.get();
 }
 
+PathSynopsis* Database::mutable_synopsis(const std::string& collection) {
+  auto it = synopses_.find(collection);
+  return it == synopses_.end() ? nullptr : it->second.get();
+}
+
 std::vector<std::string> Database::CollectionNames() const {
   std::vector<std::string> out;
   for (const auto& [name, coll] : collections_) out.push_back(name);

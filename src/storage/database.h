@@ -43,6 +43,11 @@ class Database {
   /// Synopsis for a collection, or nullptr if never analyzed.
   const PathSynopsis* synopsis(const std::string& collection) const;
 
+  /// Mutable synopsis access for incremental maintenance (src/dml).
+  /// Callers must hold exclusive access to the database — see the
+  /// mutation contract in storage/path_synopsis.h.
+  PathSynopsis* mutable_synopsis(const std::string& collection);
+
   std::vector<std::string> CollectionNames() const;
 
  private:

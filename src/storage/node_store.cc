@@ -8,7 +8,9 @@ std::vector<NodeRef> EvaluatePatternOverCollection(
     const Collection& coll, const NameTable& names,
     const PathPattern& pattern) {
   std::vector<NodeRef> out;
-  for (const Document& doc : coll.docs()) {
+  for (DocId id = 0; id < static_cast<DocId>(coll.num_docs()); ++id) {
+    if (!coll.IsLive(id)) continue;
+    const Document& doc = coll.doc(id);
     for (NodeIndex n : EvaluatePattern(doc, names, pattern)) {
       out.push_back(NodeRef{doc.id(), n});
     }
@@ -20,7 +22,9 @@ std::vector<NodeRef> EvaluateParsedPathOverCollection(const Collection& coll,
                                                       const NameTable& names,
                                                       const ParsedPath& path) {
   std::vector<NodeRef> out;
-  for (const Document& doc : coll.docs()) {
+  for (DocId id = 0; id < static_cast<DocId>(coll.num_docs()); ++id) {
+    if (!coll.IsLive(id)) continue;
+    const Document& doc = coll.doc(id);
     for (NodeIndex n : EvaluateParsedPath(doc, names, path)) {
       out.push_back(NodeRef{doc.id(), n});
     }

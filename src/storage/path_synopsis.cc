@@ -101,13 +101,78 @@ void PathSynopsis::AddNode(const Document& doc, NodeIndex idx,
   }
 }
 
+SynopsisNode* PathSynopsis::FindChild(SynopsisNode* parent, NameId name,
+                                      bool is_attr) const {
+  for (auto& c : parent->children) {
+    if (c->name == name && c->is_attr == is_attr) return c.get();
+  }
+  return nullptr;
+}
+
+void PathSynopsis::InvalidateMemos() {
+  std::lock_guard<std::mutex> lock(caches_->mu);
+  caches_->agg.clear();
+  caches_->sel.clear();
+}
+
 void PathSynopsis::AddDocument(const Document& doc) {
   if (doc.empty()) return;
   AddNode(doc, doc.root(), root_.get());
+  // A memoized estimate computed before this document must not survive
+  // it; cheap during a full build (the memos are empty until the first
+  // estimator call).
+  InvalidateMemos();
+}
+
+void PathSynopsis::RemoveNode(const Document& doc, NodeIndex idx,
+                              SynopsisNode* parent) {
+  const XmlNode& n = doc.node(idx);
+  if (n.kind == NodeKind::kText) return;  // Folded into parent's value.
+  SynopsisNode* sn =
+      FindChild(parent, n.name, n.kind == NodeKind::kAttribute);
+  if (sn == nullptr) return;  // Never recorded (built after a delete).
+  if (sn->count > 0) {
+    sn->count--;
+    total_nodes_--;
+    removed_nodes_++;
+  }
+  std::string value = doc.TextValue(idx);
+  if (!value.empty() && sn->value_count > 0) {
+    sn->value_count--;
+    sn->total_value_bytes = std::max(
+        0.0, sn->total_value_bytes - static_cast<double>(value.size()));
+    if (sn->numeric_count > 0 && ParseDouble(value).has_value()) {
+      // min/max and the reservoir cannot shrink incrementally; they go
+      // stale until the RUNSTATS fallback rebuilds them.
+      sn->numeric_count--;
+    }
+  }
+  if (n.kind == NodeKind::kElement) {
+    for (NodeIndex c = n.first_child; c != kNullNode;
+         c = doc.node(c).next_sibling) {
+      RemoveNode(doc, c, sn);
+    }
+  }
+}
+
+void PathSynopsis::RemoveDocument(const Document& doc) {
+  if (doc.empty()) return;
+  RemoveNode(doc, doc.root(), root_.get());
+  InvalidateMemos();
+}
+
+double PathSynopsis::StalenessFraction() const {
+  uint64_t ever = total_nodes_ + removed_nodes_;
+  return ever == 0 ? 0.0
+                   : static_cast<double>(removed_nodes_) /
+                         static_cast<double>(ever);
 }
 
 void PathSynopsis::AddCollection(const Collection& coll) {
-  for (const Document& doc : coll.docs()) AddDocument(doc);
+  for (DocId id = 0; id < static_cast<DocId>(coll.num_docs()); ++id) {
+    if (!coll.IsLive(id)) continue;
+    AddDocument(coll.doc(id));
+  }
 }
 
 std::vector<const SynopsisNode*> PathSynopsis::Match(

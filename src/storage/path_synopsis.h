@@ -53,11 +53,33 @@ class PathSynopsis {
   PathSynopsis(PathSynopsis&&) = default;
   PathSynopsis& operator=(PathSynopsis&&) = default;
 
-  /// Folds one document into the synopsis.
+  /// Folds one document into the synopsis. Also the incremental-insert
+  /// maintenance path (src/dml): counts, value statistics, reservoir
+  /// samples, and distinct probes all update exactly as during a full
+  /// build, and the estimator memos are invalidated, so post-insert
+  /// estimates see the new data without a full Analyze.
+  ///
+  /// Mutations require exclusive access (the server's exclusive-verb
+  /// lock): concurrent const estimator calls are only safe between
+  /// mutations, and AggregateValues references are invalidated by them.
   void AddDocument(const Document& doc);
 
-  /// Folds a whole collection.
+  /// Folds a whole collection (live documents only).
   void AddCollection(const Collection& coll);
+
+  /// Incremental-delete maintenance: subtracts the document's instance
+  /// counts, value counts, and value bytes from the trie and invalidates
+  /// the estimator memos. Reservoir samples, distinct probes, and
+  /// numeric min/max cannot shrink incrementally — they go stale, which
+  /// StalenessFraction() bounds; Database::Analyze is the RUNSTATS
+  /// fallback that rebuilds them (src/dml triggers it past the bound).
+  /// Call BEFORE Collection::Delete frees the document's content.
+  void RemoveDocument(const Document& doc);
+
+  /// Fraction of all node instances ever recorded that were removed
+  /// incrementally since the last full build — the staleness bound for
+  /// the sample-backed estimators (0 right after Analyze).
+  double StalenessFraction() const;
 
   /// All synopsis nodes whose path is matched by `pattern`.
   std::vector<const SynopsisNode*> Match(const PathPattern& pattern) const;
@@ -80,14 +102,15 @@ class PathSynopsis {
                                 const PathPattern& pattern) const;
 
   /// Aggregated value statistics over the pattern's matched nodes.
-  /// Memoized per pattern: the synopsis is immutable once built (Analyze
-  /// creates a fresh one), and the optimizer asks for the same index
-  /// patterns thousands of times during configuration search.
+  /// Memoized per pattern: the optimizer asks for the same index
+  /// patterns thousands of times during configuration search, and the
+  /// trie only changes under the exclusive mutation path (AddDocument /
+  /// RemoveDocument invalidate the memo).
   ///
-  /// Safe to call concurrently with the other const estimators: the
-  /// trie is never mutated after Analyze, and the memo maps live behind
-  /// a mutex. Returned references stay valid for the synopsis lifetime
-  /// (unordered_map never relocates mapped values).
+  /// Safe to call concurrently with the other const estimators between
+  /// mutations: the memo maps live behind a mutex. Returned references
+  /// stay valid until the next mutation or Analyze (unordered_map never
+  /// relocates mapped values, but invalidation clears the map).
   const AggValueStats& AggregateValues(const PathPattern& pattern) const;
 
   /// Memoized SelectivityFromStats over the pattern's aggregated values —
@@ -118,6 +141,7 @@ class PathSynopsis {
   const NameTable* names_;
   std::unique_ptr<SynopsisNode> root_;  // Virtual document node.
   uint64_t total_nodes_ = 0;
+  uint64_t removed_nodes_ = 0;  // Instances removed incrementally.
   Random rng_;  // Deterministic reservoir sampling.
   // Estimator memos, shared by concurrent what-if optimizations. Behind
   // a unique_ptr so the mutex does not cost PathSynopsis its movability.
@@ -132,8 +156,12 @@ class PathSynopsis {
   static constexpr size_t kDistinctCap = 256;
 
   SynopsisNode* ChildFor(SynopsisNode* parent, NameId name, bool is_attr);
+  SynopsisNode* FindChild(SynopsisNode* parent, NameId name,
+                          bool is_attr) const;
   void AddNode(const Document& doc, NodeIndex idx, SynopsisNode* parent);
+  void RemoveNode(const Document& doc, NodeIndex idx, SynopsisNode* parent);
   void ObserveValue(SynopsisNode* sn, const std::string& value);
+  void InvalidateMemos();
 };
 
 }  // namespace xia

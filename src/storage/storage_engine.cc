@@ -35,7 +35,13 @@ std::string SerializeCollection(const Database& db, const Collection& coll) {
   BinWriter w;
   w.U8(db.synopsis(coll.name()) != nullptr ? 1 : 0);  // Analyzed?
   w.U32(static_cast<uint32_t>(coll.num_docs()));
-  for (const Document& doc : coll.docs()) {
+  for (DocId id = 0; id < static_cast<DocId>(coll.num_docs()); ++id) {
+    const Document& doc = coll.doc(id);
+    // Tombstoned slots serialize as dead + empty: a delete's effect on
+    // the checkpoint bytes is identical whether it happened live, via
+    // WAL replay, or before a crash — which is what keeps
+    // StateFingerprint comparisons across recovery paths meaningful.
+    w.U8(coll.IsLive(id) ? 1 : 0);
     w.U32(static_cast<uint32_t>(doc.num_nodes()));
     for (const XmlNode& node : doc.nodes()) {
       w.U8(static_cast<uint8_t>(node.kind));
@@ -406,6 +412,7 @@ Status StorageEngine::LoadCheckpoint(const std::string& path) {
       XIA_ASSIGN_OR_RETURN(uint8_t analyzed, r.U8());
       XIA_ASSIGN_OR_RETURN(uint32_t doc_count, r.U32());
       for (uint32_t d = 0; d < doc_count; ++d) {
+        XIA_ASSIGN_OR_RETURN(uint8_t live, r.U8());
         XIA_ASSIGN_OR_RETURN(uint32_t node_count, r.U32());
         std::vector<XmlNode> nodes;
         nodes.reserve(node_count);
@@ -427,7 +434,11 @@ Status StorageEngine::LoadCheckpoint(const std::string& path) {
           XIA_ASSIGN_OR_RETURN(node.value, r.Str());
           nodes.push_back(std::move(node));
         }
-        coll->Add(Document::FromNodes(std::move(nodes)));
+        DocId id = coll->Add(Document::FromNodes(std::move(nodes)));
+        if (live == 0) {
+          // Reconstitute the tombstone (the slot was serialized empty).
+          XIA_RETURN_IF_ERROR(coll->Delete(id));
+        }
       }
       if (analyzed != 0) {
         // The synopsis is re-derived, not stored: Analyze is
@@ -524,6 +535,22 @@ Status StorageEngine::ReplayRecord(const WalRecord& record) {
       XIA_ASSIGN_OR_RETURN(std::string name, r.Str());
       return ApplyDropIndex(name);
     }
+    case WalRecordType::kInsertDocument: {
+      XIA_ASSIGN_OR_RETURN(std::string collection, r.Str());
+      XIA_ASSIGN_OR_RETURN(std::string xml, r.Str());
+      return ApplyInsertDocument(collection, xml).status();
+    }
+    case WalRecordType::kDeleteDocument: {
+      XIA_ASSIGN_OR_RETURN(std::string collection, r.Str());
+      XIA_ASSIGN_OR_RETURN(int32_t doc, r.I32());
+      return ApplyDeleteDocument(collection, doc).status();
+    }
+    case WalRecordType::kUpdateDocument: {
+      XIA_ASSIGN_OR_RETURN(std::string collection, r.Str());
+      XIA_ASSIGN_OR_RETURN(int32_t doc, r.I32());
+      XIA_ASSIGN_OR_RETURN(std::string xml, r.Str());
+      return ApplyUpdateDocument(collection, doc, xml).status();
+    }
   }
   return Status::Internal("unknown WAL record type");
 }
@@ -606,6 +633,72 @@ Status StorageEngine::DropIndex(const std::string& name) {
   return ApplyDropIndex(name);
 }
 
+Result<dml::DmlResult> StorageEngine::InsertDocument(
+    const std::string& collection, const std::string& xml) {
+  if (db_->GetCollection(collection) == nullptr) {
+    return Status::NotFound("collection " + collection +
+                            " does not exist");
+  }
+  {
+    // Same pre-validation as LoadXml: a record that cannot replay must
+    // never be logged.
+    NameTable scratch;
+    XmlParser parser(&scratch);
+    Result<Document> parsed = parser.Parse(xml);
+    if (!parsed.ok()) return parsed.status();
+  }
+  BinWriter w;
+  w.Str(collection);
+  w.Str(xml);
+  XIA_RETURN_IF_ERROR(AppendWal(WalRecordType::kInsertDocument, w.Take()));
+  return ApplyInsertDocument(collection, xml);
+}
+
+Result<dml::DmlResult> StorageEngine::DeleteDocument(
+    const std::string& collection, DocId doc) {
+  const Collection* coll = db_->GetCollection(collection);
+  if (coll == nullptr) {
+    return Status::NotFound("collection " + collection +
+                            " does not exist");
+  }
+  if (!coll->IsLive(doc)) {
+    return Status::NotFound("document " + std::to_string(doc) +
+                            " of collection " + collection +
+                            " does not exist (or was deleted)");
+  }
+  BinWriter w;
+  w.Str(collection);
+  w.I32(doc);
+  XIA_RETURN_IF_ERROR(AppendWal(WalRecordType::kDeleteDocument, w.Take()));
+  return ApplyDeleteDocument(collection, doc);
+}
+
+Result<dml::DmlResult> StorageEngine::UpdateDocument(
+    const std::string& collection, DocId doc, const std::string& xml) {
+  const Collection* coll = db_->GetCollection(collection);
+  if (coll == nullptr) {
+    return Status::NotFound("collection " + collection +
+                            " does not exist");
+  }
+  if (!coll->IsLive(doc)) {
+    return Status::NotFound("document " + std::to_string(doc) +
+                            " of collection " + collection +
+                            " does not exist (or was deleted)");
+  }
+  {
+    NameTable scratch;
+    XmlParser parser(&scratch);
+    Result<Document> parsed = parser.Parse(xml);
+    if (!parsed.ok()) return parsed.status();
+  }
+  BinWriter w;
+  w.Str(collection);
+  w.I32(doc);
+  w.Str(xml);
+  XIA_RETURN_IF_ERROR(AppendWal(WalRecordType::kUpdateDocument, w.Take()));
+  return ApplyUpdateDocument(collection, doc, xml);
+}
+
 Status StorageEngine::ApplyCreateCollection(const std::string& name) {
   Result<Collection*> coll = db_->CreateCollection(name);
   if (!coll.ok()) return coll.status();
@@ -632,6 +725,21 @@ Result<std::string> StorageEngine::ApplyCreateIndex(const std::string& ddl) {
 
 Status StorageEngine::ApplyDropIndex(const std::string& name) {
   return catalog_->Drop(name);
+}
+
+Result<dml::DmlResult> StorageEngine::ApplyInsertDocument(
+    const std::string& collection, const std::string& xml) {
+  return dml::ApplyInsert(db_, catalog_, collection, xml);
+}
+
+Result<dml::DmlResult> StorageEngine::ApplyDeleteDocument(
+    const std::string& collection, DocId doc) {
+  return dml::ApplyDelete(db_, catalog_, collection, doc);
+}
+
+Result<dml::DmlResult> StorageEngine::ApplyUpdateDocument(
+    const std::string& collection, DocId doc, const std::string& xml) {
+  return dml::ApplyUpdate(db_, catalog_, collection, doc, xml);
 }
 
 // ------------------------------------------------------------ Checkpoint.

@@ -7,6 +7,7 @@
 #include <string>
 
 #include "common/status.h"
+#include "dml/dml.h"
 #include "index/catalog.h"
 #include "storage/buffer_pool.h"
 #include "storage/database.h"
@@ -89,6 +90,16 @@ class StorageEngine {
   Result<std::string> CreateIndex(const std::string& ddl);
   Status DropIndex(const std::string& name);
 
+  // DML (src/dml): WAL-logged document mutations with incremental index
+  // and synopsis maintenance. Insert returns the new DocId; update
+  // returns the replacement's DocId (the old id is tombstoned).
+  Result<dml::DmlResult> InsertDocument(const std::string& collection,
+                                        const std::string& xml);
+  Result<dml::DmlResult> DeleteDocument(const std::string& collection,
+                                        DocId doc);
+  Result<dml::DmlResult> UpdateDocument(const std::string& collection,
+                                        DocId doc, const std::string& xml);
+
   // ------------------------------------------------------ Checkpoint.
 
   /// Writes the next epoch's page file, swaps MANIFEST, truncates the
@@ -140,6 +151,15 @@ class StorageEngine {
   Status ApplyAnalyze(const std::string& collection);
   Result<std::string> ApplyCreateIndex(const std::string& ddl);
   Status ApplyDropIndex(const std::string& name);
+  // DML applies delegate to dml::Apply* — the shared single mutation
+  // path live verbs and replay both run.
+  Result<dml::DmlResult> ApplyInsertDocument(const std::string& collection,
+                                             const std::string& xml);
+  Result<dml::DmlResult> ApplyDeleteDocument(const std::string& collection,
+                                             DocId doc);
+  Result<dml::DmlResult> ApplyUpdateDocument(const std::string& collection,
+                                             DocId doc,
+                                             const std::string& xml);
 
   Status AppendWal(WalRecordType type, std::string payload);
 

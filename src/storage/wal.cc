@@ -89,7 +89,7 @@ WalReadResult ScanWal(std::string_view data) {
     crc_region.append(payload.data(), payload.size());
     if (Crc32(crc_region) != stored_crc) break;
     if (type < static_cast<uint8_t>(WalRecordType::kCreateCollection) ||
-        type > static_cast<uint8_t>(WalRecordType::kDropIndex)) {
+        type > static_cast<uint8_t>(WalRecordType::kUpdateDocument)) {
       break;
     }
 

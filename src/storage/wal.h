@@ -34,6 +34,14 @@ enum class WalRecordType : uint8_t {
   kAnalyze = 3,           // payload: Str collection
   kCreateIndex = 4,       // payload: Str DDL statement
   kDropIndex = 5,         // payload: Str index name
+  // DML records (src/dml): the single logged write path. Insert assigns
+  // the next DocId of the collection (replay is deterministic because
+  // Collection::Add hands out ids in append order); delete tombstones;
+  // update tombstones the old document and inserts the new content
+  // under a fresh DocId.
+  kInsertDocument = 6,  // payload: Str collection, Str xml text
+  kDeleteDocument = 7,  // payload: Str collection, I32 doc id
+  kUpdateDocument = 8,  // payload: Str collection, I32 doc id, Str xml
 };
 
 struct WalRecord {

@@ -32,6 +32,28 @@ int64_t NowMicros() {
 
 }  // namespace
 
+std::string_view CaptureKindName(CaptureKind kind) {
+  switch (kind) {
+    case CaptureKind::kQuery:
+      return "query";
+    case CaptureKind::kInsert:
+      return "insert";
+    case CaptureKind::kDelete:
+      return "delete";
+    case CaptureKind::kUpdate:
+      return "update";
+  }
+  return "query";
+}
+
+std::optional<CaptureKind> CaptureKindFromName(std::string_view name) {
+  if (name == "query") return CaptureKind::kQuery;
+  if (name == "insert") return CaptureKind::kInsert;
+  if (name == "delete") return CaptureKind::kDelete;
+  if (name == "update") return CaptureKind::kUpdate;
+  return std::nullopt;
+}
+
 std::string QueryLogStats::ToString() const {
   return "captured " + std::to_string(captured) + ", dropped " +
          std::to_string(dropped) + ", holding " + std::to_string(size) +
@@ -141,6 +163,23 @@ void MaybeCapture(const Query& query, double est_cost) {
   record.est_cost = est_cost;
   record.text = query.text;
   record.fingerprint = TemplateFingerprint(query);
+  (void)log->Append(std::move(record));
+}
+
+void MaybeCaptureDml(CaptureKind kind, const std::string& collection,
+                     const std::string& pattern, double maintenance_work) {
+  QueryLog* log = CaptureLog();
+  if (log == nullptr) return;
+  if (kind == CaptureKind::kQuery) return;  // Misuse: drop, never fail.
+  if (collection.empty() || pattern.empty()) return;
+  CaptureRecord record;
+  record.timestamp_micros = NowMicros();
+  record.est_cost = maintenance_work;
+  record.kind = kind;
+  record.text = collection + " " + pattern;
+  record.fingerprint = std::string("dml:") +
+                       std::string(CaptureKindName(kind)) + ":" +
+                       collection + ":" + pattern;
   (void)log->Append(std::move(record));
 }
 

@@ -5,7 +5,9 @@
 #include <atomic>
 #include <cstdint>
 #include <mutex>
+#include <optional>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "common/metrics.h"
@@ -26,7 +28,23 @@ namespace wlm {
 /// atomic load, so it can sit in Executor::Execute and the interactive
 /// what-if path unconditionally (verified by a bench_micro entry).
 
-/// One captured query execution.
+/// What a capture record describes: a query execution or a DML statement
+/// (src/dml). The read/write mix of the captured stream is what makes
+/// maintenance-aware advising possible — compression turns DML records
+/// into UpdateOps that charge candidate indexes for their upkeep.
+enum class CaptureKind : uint8_t {
+  kQuery = 0,
+  kInsert = 1,
+  kDelete = 2,
+  kUpdate = 3,
+};
+
+/// Stable wire name ("query", "insert", "delete", "update") — the token
+/// the versioned capture-log format (wlm/wlm_io.h) writes and parses.
+std::string_view CaptureKindName(CaptureKind kind);
+std::optional<CaptureKind> CaptureKindFromName(std::string_view name);
+
+/// One captured query execution or DML statement.
 struct CaptureRecord {
   /// Global capture sequence number (assigned by QueryLog::Append);
   /// snapshots sort by it, so serial capture order is reproduced exactly.
@@ -35,12 +53,19 @@ struct CaptureRecord {
   /// Informational only: compression ignores it, so two logs with equal
   /// {text, cost} multisets compress byte-identically.
   int64_t timestamp_micros = 0;
-  /// Optimizer-estimated cost of the executed plan.
+  /// Optimizer-estimated cost of the executed plan; for DML records, the
+  /// index-maintenance work performed (entries inserted + removed).
   double est_cost = 0;
-  /// Raw query text, re-parseable by ParseQuery (what `advise --from-log`
-  /// feeds back into the advisor).
+  /// Query or DML statement (see `kind`).
+  CaptureKind kind = CaptureKind::kQuery;
+  /// For kQuery: raw query text, re-parseable by ParseQuery (what
+  /// `advise --from-log` feeds back into the advisor). For DML kinds:
+  /// "<collection> <root-pattern>" — the pattern-level summary the
+  /// compressor turns into an UpdateOp.
   std::string text;
-  /// Template fingerprint (wlm/fingerprint.h): literals stripped.
+  /// Template fingerprint (wlm/fingerprint.h): literals stripped. DML
+  /// records fingerprint as "dml:<kind>:<collection>:<pattern>", so all
+  /// mutations of the same shape cluster into one UpdateOp.
   std::string fingerprint;
 };
 
@@ -135,6 +160,14 @@ void MaybeCapture(const QueryPlan& plan);
 /// Capture hook for call sites holding the query itself plus an estimated
 /// cost (the interactive what-if path). Same no-fail contract.
 void MaybeCapture(const Query& query, double est_cost);
+
+/// Capture hook for the DML path (server insert/delete/update verbs):
+/// records the mutation at pattern granularity — `pattern` is the
+/// affected document's root pattern (DmlResult::root_pattern) and
+/// `maintenance_work` the index entries touched. Same no-fail contract
+/// as the query hooks; `kind` must not be kQuery.
+void MaybeCaptureDml(CaptureKind kind, const std::string& collection,
+                     const std::string& pattern, double maintenance_work);
 
 /// RAII guard for the process-wide capture sink: remembers the sink
 /// installed at construction (optionally installing `log` first) and

@@ -4,14 +4,62 @@
 #include <map>
 
 #include "common/string_util.h"
+#include "xpath/parser.h"
 
 namespace xia {
 namespace wlm {
 
+namespace {
+
+/// Expands one DML capture (text "<collection> <pattern>") into the
+/// UpdateOps it implies — insert and delete map to one op each, update to
+/// an insert op plus a delete op (its tombstone-then-reinsert halves) —
+/// and appends them to `workload` with the given per-op weight.
+Status AddUpdateOpsFromDml(CaptureKind kind, const std::string& text,
+                           double weight, Workload* workload) {
+  size_t space = text.find(' ');
+  if (space == std::string::npos || space == 0 || space + 1 >= text.size()) {
+    return Status::ParseError("dml record text '" + text +
+                              "' is not '<collection> <pattern>'");
+  }
+  std::string collection = text.substr(0, space);
+  XIA_ASSIGN_OR_RETURN(PathPattern target,
+                       ParsePathPattern(text.substr(space + 1)));
+  auto add = [&](UpdateOp::Kind op_kind) {
+    UpdateOp op;
+    op.kind = op_kind;
+    op.collection = collection;
+    op.target = target;
+    op.weight = weight;
+    workload->AddUpdate(std::move(op));
+  };
+  switch (kind) {
+    case CaptureKind::kInsert:
+      add(UpdateOp::Kind::kInsert);
+      break;
+    case CaptureKind::kDelete:
+      add(UpdateOp::Kind::kDelete);
+      break;
+    case CaptureKind::kUpdate:
+      add(UpdateOp::Kind::kInsert);
+      add(UpdateOp::Kind::kDelete);
+      break;
+    case CaptureKind::kQuery:
+      return Status::InvalidArgument("query record is not a dml record");
+  }
+  return Status::Ok();
+}
+
+}  // namespace
+
 std::string TemplateCluster::ToString() const {
-  return std::string(kept ? "kept" : "dropped") + " x" +
-         std::to_string(frequency) + " w=" + FormatDouble(weight) + " " +
-         representative_text;
+  std::string out = std::string(kept ? "kept" : "dropped") + " x" +
+                    std::to_string(frequency) + " w=" +
+                    FormatDouble(weight) + " ";
+  if (kind != CaptureKind::kQuery) {
+    out += "dml-" + std::string(CaptureKindName(kind)) + " ";
+  }
+  return out + representative_text;
 }
 
 std::string CompressionReport::ToString() const {
@@ -39,6 +87,7 @@ Result<CompressedWorkload> CompressLog(
     std::string representative;
     uint64_t frequency = 0;
     double total_cost = 0;
+    CaptureKind kind = CaptureKind::kQuery;
   };
   std::map<std::string, Agg> by_template;
   for (const CaptureRecord& r : records) {
@@ -48,6 +97,7 @@ Result<CompressedWorkload> CompressLog(
     }
     ++agg.frequency;
     agg.total_cost += r.est_cost;
+    agg.kind = r.kind;  // Uniform within a cluster: kind is in the key.
   }
 
   CompressionReport report;
@@ -58,6 +108,7 @@ Result<CompressedWorkload> CompressLog(
     cluster.fingerprint = fingerprint;
     cluster.representative_text = agg.representative;
     cluster.frequency = agg.frequency;
+    cluster.kind = agg.kind;
     cluster.mean_cost =
         agg.total_cost / static_cast<double>(agg.frequency);
     // Weight = frequency × mean cost = the cluster's total estimated
@@ -79,6 +130,7 @@ Result<CompressedWorkload> CompressLog(
   // weight reaches min_coverage of the total.
   CompressedWorkload out;
   size_t kept = 0;
+  size_t query_id = 0;
   for (TemplateCluster& cluster : report.clusters) {
     bool under_cap =
         options.max_templates == 0 || kept < options.max_templates;
@@ -90,13 +142,28 @@ Result<CompressedWorkload> CompressLog(
     cluster.kept = true;
     ++kept;
     report.weight_kept += cluster.weight;
-    Status added = out.workload.AddQueryText(cluster.representative_text,
-                                             cluster.weight,
-                                             "T" + std::to_string(kept));
-    if (!added.ok()) {
-      return Status::ParseError("compressed template T" +
-                                std::to_string(kept) + ": " +
-                                added.message());
+    if (cluster.kind == CaptureKind::kQuery) {
+      ++query_id;
+      Status added = out.workload.AddQueryText(
+          cluster.representative_text, cluster.weight,
+          "T" + std::to_string(query_id));
+      if (!added.ok()) {
+        return Status::ParseError("compressed template T" +
+                                  std::to_string(query_id) + ": " +
+                                  added.message());
+      }
+    } else {
+      // UpdateOp weight = FREQUENCY, not cost-scaled weight: the
+      // advisor's maintenance model charges per-mutation cost × weight,
+      // so weight must count mutation executions.
+      Status added = AddUpdateOpsFromDml(
+          cluster.kind, cluster.representative_text,
+          static_cast<double>(cluster.frequency), &out.workload);
+      if (!added.ok()) {
+        return Status::ParseError("compressed dml template '" +
+                                  cluster.fingerprint + "': " +
+                                  added.message());
+      }
     }
   }
   report.templates_kept = kept;
@@ -117,6 +184,14 @@ Result<Workload> WorkloadFromLog(
   size_t n = 0;
   for (const CaptureRecord& r : records) {
     ++n;
+    if (r.kind != CaptureKind::kQuery) {
+      Status added = AddUpdateOpsFromDml(r.kind, r.text, 1.0, &workload);
+      if (!added.ok()) {
+        return Status::ParseError("log record R" + std::to_string(n) +
+                                  ": " + added.message());
+      }
+      continue;
+    }
     Status added =
         workload.AddQueryText(r.text, 1.0, "R" + std::to_string(n));
     if (!added.ok()) {

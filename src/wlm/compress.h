@@ -30,6 +30,17 @@ namespace wlm {
 /// and output order is weight-descending with fingerprint tie-break — so
 /// the same records always compress to a byte-identical workload, no
 /// matter how capture threads interleaved.
+///
+/// DML records (CaptureKind insert/delete/update) cluster by their
+/// "dml:..." fingerprint like queries do, but a kept DML cluster becomes
+/// an UpdateOp (Workload::AddUpdate) rather than a query: the op's
+/// weight is the cluster's FREQUENCY (mutation executions — what the
+/// advisor's maintenance-cost model multiplies per-instance cost by), an
+/// update cluster contributes one insert op plus one delete op, and the
+/// advisor then debits every candidate index for the upkeep this
+/// read/write mix implies. A write-heavy capture window therefore
+/// recommends fewer (or different) indexes than a read-heavy one —
+/// wlm::DriftMonitor turns that shift into re-advising.
 
 struct CompressionOptions {
   /// Keep at most this many templates (0 = unlimited).
@@ -48,6 +59,8 @@ struct TemplateCluster {
   uint64_t frequency = 0;           // Captured executions.
   double mean_cost = 0;             // Mean estimated cost per execution.
   double weight = 0;                // frequency × mean_cost (see header).
+  /// kQuery clusters emit a workload query; DML kinds emit UpdateOps.
+  CaptureKind kind = CaptureKind::kQuery;
   bool kept = false;
 
   std::string ToString() const;

@@ -10,6 +10,7 @@
 #include "common/string_util.h"
 #include "query/parser.h"
 #include "wlm/fingerprint.h"
+#include "xpath/parser.h"
 
 namespace xia {
 namespace wlm {
@@ -57,9 +58,18 @@ std::string SerializeCaptureLog(
   std::string out =
       "# xia capture log: " + std::to_string(records.size()) + " records\n";
   for (const CaptureRecord& r : records) {
-    out += "rec " + std::to_string(r.seq) + " " +
-           std::to_string(r.timestamp_micros) + " " +
-           FormatExact(r.est_cost) + " " + r.text + "\n";
+    if (r.kind == CaptureKind::kQuery) {
+      out += "rec " + std::to_string(r.seq) + " " +
+             std::to_string(r.timestamp_micros) + " " +
+             FormatExact(r.est_cost) + " " + r.text + "\n";
+    } else {
+      // DML text is "<collection> <pattern>" (capture.h), both tokens
+      // whitespace-free, so the line re-tokenizes unambiguously.
+      out += "dml " + std::string(CaptureKindName(r.kind)) + " " +
+             std::to_string(r.seq) + " " +
+             std::to_string(r.timestamp_micros) + " " +
+             FormatExact(r.est_cost) + " " + r.text + "\n";
+    }
   }
   return out;
 }
@@ -76,29 +86,58 @@ Result<std::vector<CaptureRecord>> ParseCaptureLog(std::string_view text) {
                                 std::to_string(line_no) + ": " + what);
     };
     std::string_view directive = TakeToken(&line);
-    if (directive != "rec") {
+    if (directive != "rec" && directive != "dml") {
       return error("unknown directive '" + std::string(directive) + "'");
+    }
+    CaptureRecord record;
+    if (directive == "dml") {
+      std::string_view kind_name = TakeToken(&line);
+      std::optional<CaptureKind> kind = CaptureKindFromName(kind_name);
+      if (!kind.has_value() || *kind == CaptureKind::kQuery) {
+        return error("unknown dml kind '" + std::string(kind_name) + "'");
+      }
+      record.kind = *kind;
     }
     std::optional<uint64_t> seq = ParseU64(TakeToken(&line));
     std::string ts_text(TakeToken(&line));
     std::optional<double> timestamp = ParseDouble(ts_text);
     std::optional<double> cost = ParseDouble(std::string(TakeToken(&line)));
     if (!seq.has_value() || !timestamp.has_value() || !cost.has_value()) {
-      return error("expected 'rec <seq> <timestamp> <cost> <text>'");
+      return error(record.kind == CaptureKind::kQuery
+                       ? "expected 'rec <seq> <timestamp> <cost> <text>'"
+                       : "expected 'dml <kind> <seq> <timestamp> <cost> "
+                         "<collection> <pattern>'");
     }
-    if (line.empty()) return error("missing query text");
-    CaptureRecord record;
     record.seq = *seq;
     record.timestamp_micros = static_cast<int64_t>(*timestamp);
     record.est_cost = *cost;
-    record.text = std::string(line);
     // Fingerprints are recomputed from the canonical parse, never
     // trusted from the file.
-    Result<Query> parsed = ParseQuery(record.text);
-    if (!parsed.ok()) {
-      return error("unparseable query text: " + parsed.status().message());
+    if (record.kind == CaptureKind::kQuery) {
+      if (line.empty()) return error("missing query text");
+      record.text = std::string(line);
+      Result<Query> parsed = ParseQuery(record.text);
+      if (!parsed.ok()) {
+        return error("unparseable query text: " + parsed.status().message());
+      }
+      record.fingerprint = TemplateFingerprint(*parsed);
+    } else {
+      std::string collection(TakeToken(&line));
+      std::string pattern(TakeToken(&line));
+      if (collection.empty() || pattern.empty() || !line.empty()) {
+        return error("expected 'dml <kind> <seq> <timestamp> <cost> "
+                     "<collection> <pattern>'");
+      }
+      Result<PathPattern> parsed = ParsePathPattern(pattern);
+      if (!parsed.ok()) {
+        return error("unparseable dml pattern: " +
+                     parsed.status().message());
+      }
+      record.text = collection + " " + pattern;
+      record.fingerprint =
+          std::string("dml:") + std::string(CaptureKindName(record.kind)) +
+          ":" + collection + ":" + pattern;
     }
-    record.fingerprint = TemplateFingerprint(*parsed);
     records.push_back(std::move(record));
   }
   return records;

@@ -11,17 +11,22 @@
 namespace xia {
 namespace wlm {
 
-/// Line-oriented capture-log file format — the persistence side of the
-/// ring log, so a capture window survives restarts and can be advised
-/// offline:
+/// Line-oriented capture-log file format (version 2) — the persistence
+/// side of the ring log, so a capture window survives restarts and can be
+/// advised offline:
 ///
 ///   # comment
 ///   rec <seq> <timestamp_micros> <est_cost> <query text to end of line>
+///   dml <kind> <seq> <timestamp_micros> <est_cost> <collection> <pattern>
 ///
-/// Fingerprints are NOT serialized: the loader re-parses each record's
-/// text and recomputes them, so a log written by an older fingerprint
-/// scheme can never feed stale cluster keys into compression. Costs are
-/// written with round-trip precision (%.17g).
+/// `rec` lines are queries (format version 1 — logs holding only these
+/// still load unchanged); `dml` lines record insert/delete/update
+/// statements with <kind> one of insert|delete|update. Fingerprints are
+/// NOT serialized: the loader re-parses each query record's text (and
+/// rebuilds each DML record's canonical "dml:..." fingerprint), so a log
+/// written by an older fingerprint scheme can never feed stale cluster
+/// keys into compression. Costs are written with round-trip precision
+/// (%.17g).
 std::string SerializeCaptureLog(const std::vector<CaptureRecord>& records);
 
 /// Parses the file format; clean errors on malformed lines, records whose

@@ -184,6 +184,20 @@ TEST(FuzzTest, CaptureLogLoaderSurvivesMutatedFiles) {
              " return $i";
     records.push_back(std::move(r));
   }
+  // Version-2 format: DML records interleave with query records.
+  for (wlm::CaptureKind kind :
+       {wlm::CaptureKind::kInsert, wlm::CaptureKind::kDelete,
+        wlm::CaptureKind::kUpdate}) {
+    wlm::CaptureRecord r;
+    r.kind = kind;
+    r.seq = records.size();
+    r.timestamp_micros = 1700000000000000 + records.size();
+    r.est_cost = 7.5;
+    r.text = "docs /site";
+    r.fingerprint = "dml:" + std::string(wlm::CaptureKindName(kind)) +
+                    ":docs:/site";
+    records.push_back(std::move(r));
+  }
   const std::string path = (dir.path() / "log.wlm").string();
   ASSERT_TRUE(wlm::SaveCaptureLogFile(records, path).ok());
   std::string seed = wlm::SerializeCaptureLog(records);
@@ -207,7 +221,9 @@ TEST(FuzzTest, CaptureLogLoaderSurvivesMutatedFiles) {
       // Whatever survived mutation must carry recomputed fingerprints
       // that re-parse cleanly — the loader never trusts file bytes.
       for (const wlm::CaptureRecord& r : *loaded) {
-        EXPECT_TRUE(ParseQuery(r.text).ok());
+        if (r.kind == wlm::CaptureKind::kQuery) {
+          EXPECT_TRUE(ParseQuery(r.text).ok());
+        }
         EXPECT_FALSE(r.fingerprint.empty());
       }
     }
@@ -305,6 +321,76 @@ TEST(FuzzTest, WalScannerSurvivesBitFlips) {
     for (size_t i = 0; i < result.records.size(); ++i) {
       EXPECT_EQ(result.records[i].type,
                 storage::WalRecordType::kCreateCollection);
+    }
+  }
+}
+
+/// A WAL image exercising the DML record types (insert/delete/update),
+/// payload-encoded exactly as StorageEngine logs them.
+std::string SeedDmlWalImage() {
+  std::string image;
+  auto append = [&image](uint64_t lsn, storage::WalRecordType type,
+                         std::string payload) {
+    storage::WalRecord record;
+    record.lsn = lsn;
+    record.type = type;
+    record.payload = std::move(payload);
+    image += storage::EncodeWalRecord(record);
+  };
+  {
+    storage::BinWriter w;
+    w.Str("docs");
+    w.Str("<site><item><price>1</price></item></site>");
+    append(1, storage::WalRecordType::kInsertDocument, w.Take());
+  }
+  {
+    storage::BinWriter w;
+    w.Str("docs");
+    w.I32(0);
+    append(2, storage::WalRecordType::kDeleteDocument, w.Take());
+  }
+  {
+    storage::BinWriter w;
+    w.Str("docs");
+    w.I32(1);
+    w.Str("<site><item><price>2</price></item></site>");
+    append(3, storage::WalRecordType::kUpdateDocument, w.Take());
+  }
+  return image;
+}
+
+TEST(FuzzTest, WalScannerSurvivesDmlRecordTruncations) {
+  const std::string seed = SeedDmlWalImage();
+  for (size_t len = 0; len <= seed.size(); ++len) {
+    storage::WalReadResult result =
+        storage::ScanWal(std::string_view(seed.data(), len));
+    EXPECT_LE(result.valid_bytes, len);
+    for (size_t i = 0; i < result.records.size(); ++i) {
+      EXPECT_EQ(result.records[i].lsn, i + 1);
+    }
+    EXPECT_EQ(result.clean, result.valid_bytes == len);
+  }
+}
+
+TEST(FuzzTest, WalScannerSurvivesDmlRecordBitFlips) {
+  const std::string seed = SeedDmlWalImage();
+  Random rng(80442);
+  for (int round = 0; round < 300; ++round) {
+    std::string image = seed;
+    size_t pos = static_cast<size_t>(
+        rng.Uniform(0, static_cast<int64_t>(image.size()) - 1));
+    image[pos] = static_cast<char>(
+        image[pos] ^ static_cast<char>(1 << rng.Uniform(0, 7)));
+    storage::WalReadResult result = storage::ScanWal(image);
+    // A flip may only drop records from the damaged one on; whatever
+    // survives must still carry one of the three DML types it was
+    // written with (a flipped type byte fails the record checksum).
+    EXPECT_LE(result.records.size(), 3u);
+    for (const storage::WalRecord& record : result.records) {
+      EXPECT_TRUE(
+          record.type == storage::WalRecordType::kInsertDocument ||
+          record.type == storage::WalRecordType::kDeleteDocument ||
+          record.type == storage::WalRecordType::kUpdateDocument);
     }
   }
 }

@@ -8,6 +8,7 @@
 
 #include <filesystem>
 #include <fstream>
+#include <functional>
 #include <memory>
 #include <string>
 
@@ -408,6 +409,147 @@ TEST(PersistenceTest, TruncatedManifestFailsCleanly) {
   Status status = reopened.OpenIn(dir.db_dir());
   EXPECT_FALSE(status.ok());
   EXPECT_FALSE(status.message().empty());
+}
+
+// ---------------------------------------------------- DML write path.
+
+TEST(PersistenceTest, DmlMutationsReplayToIdenticalFingerprint) {
+  ScratchDir dir("xia_persist_dml_replay");
+  std::string fingerprint;
+  {
+    Instance inst;
+    ASSERT_TRUE(inst.OpenIn(dir.db_dir()).ok());
+    ApplyBaseline(&inst);
+    ASSERT_TRUE(inst.engine->InsertDocument("docs", kDocA).ok());
+    ASSERT_TRUE(inst.engine->DeleteDocument("docs", 0).ok());
+    Result<dml::DmlResult> updated =
+        inst.engine->UpdateDocument("docs", 1, kDocB);
+    ASSERT_TRUE(updated.ok()) << updated.status().ToString();
+    EXPECT_EQ(updated->doc, 3);  // Replacement under a fresh DocId.
+    fingerprint = inst.Fingerprint();
+    // Killed without Close(): the DML records live only in the WAL.
+  }
+  Instance reopened;
+  ASSERT_TRUE(reopened.OpenIn(dir.db_dir()).ok());
+  EXPECT_EQ(reopened.engine->recovery().wal_records_replayed, 8u);
+  EXPECT_EQ(reopened.Fingerprint(), fingerprint);
+  // Tombstones replay as tombstones: slots survive, liveness does not.
+  Collection* coll = reopened.db.GetCollection("docs");
+  ASSERT_NE(coll, nullptr);
+  EXPECT_EQ(coll->num_docs(), 4u);
+  EXPECT_EQ(coll->num_live_docs(), 2u);
+  EXPECT_FALSE(coll->IsLive(0));
+  EXPECT_FALSE(coll->IsLive(1));
+  // The maintained index replays live, consistent with the visible docs.
+  const CatalogEntry* entry = reopened.catalog.Find("price_idx");
+  ASSERT_NE(entry, nullptr);
+  EXPECT_EQ(entry->physical->num_entries(), 2u);
+}
+
+TEST(PersistenceTest, DmlMutationsSurviveCheckpointWithTombstones) {
+  ScratchDir dir("xia_persist_dml_ckpt");
+  constexpr const char* kQuery =
+      "for $i in doc(\"docs\")/site/item where $i/price > 0 return $i";
+  std::string fingerprint;
+  {
+    Instance inst;
+    ASSERT_TRUE(inst.OpenIn(dir.db_dir()).ok());
+    ApplyBaseline(&inst);
+    ASSERT_TRUE(inst.engine->DeleteDocument("docs", 0).ok());
+    ASSERT_TRUE(inst.engine->Close().ok());  // Checkpoint, empty WAL.
+    fingerprint = inst.Fingerprint();
+  }
+  Instance reopened;
+  ASSERT_TRUE(reopened.OpenIn(dir.db_dir()).ok());
+  EXPECT_EQ(reopened.engine->recovery().wal_records_replayed, 0u);
+  EXPECT_EQ(reopened.Fingerprint(), fingerprint);
+  Collection* coll = reopened.db.GetCollection("docs");
+  EXPECT_FALSE(coll->IsLive(0));
+  EXPECT_TRUE(coll->IsLive(1));
+  // The deleted document stays invisible to queries after recovery.
+  Result<Query> q = ParseQuery(kQuery);
+  ASSERT_TRUE(q.ok());
+  Optimizer opt(&reopened.db, reopened.cost_model);
+  ContainmentCache cache;
+  Result<QueryPlan> plan = opt.Optimize(*q, reopened.catalog, &cache);
+  ASSERT_TRUE(plan.ok());
+  Executor exec(&reopened.db, &reopened.catalog, reopened.cost_model,
+                &reopened.pool);
+  Result<ExecResult> result = exec.Execute(*plan);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->docs_matched, 1u);
+  for (const NodeRef& ref : result->nodes) {
+    EXPECT_EQ(ref.doc, 1);
+  }
+}
+
+TEST(PersistenceTest, KillMidDmlAppendRecoversCommittedPrefix) {
+  // One kill per DML verb: the record dies inside its WAL append, so the
+  // reopened state must equal the pre-mutation fingerprint exactly.
+  struct Case {
+    const char* name;
+    std::function<Status(Instance*)> mutate;
+  };
+  const Case cases[] = {
+      {"insert",
+       [](Instance* inst) {
+         return inst->engine->InsertDocument("docs", kDocB).status();
+       }},
+      {"delete",
+       [](Instance* inst) {
+         return inst->engine->DeleteDocument("docs", 0).status();
+       }},
+      {"update",
+       [](Instance* inst) {
+         return inst->engine->UpdateDocument("docs", 0, kDocB).status();
+       }},
+  };
+  for (const Case& c : cases) {
+    SCOPED_TRACE(c.name);
+    ScratchDir dir(std::string("xia_persist_dml_torn_") + c.name);
+    std::string committed_fingerprint;
+    {
+      Instance inst;
+      ASSERT_TRUE(inst.OpenIn(dir.db_dir()).ok());
+      ASSERT_TRUE(inst.engine->CreateCollection("docs").ok());
+      ASSERT_TRUE(inst.engine->LoadXml("docs", kDocA).ok());
+      committed_fingerprint = inst.Fingerprint();
+
+      fp::FailSpec spec;
+      spec.match_arg = inst.engine->next_lsn();
+      fp::ScopedFailpoint crash("storage.wal.append", spec);
+      EXPECT_FALSE(c.mutate(&inst).ok());
+      // Kill without Close(), leaving the torn record on disk.
+    }
+    Instance reopened;
+    ASSERT_TRUE(reopened.OpenIn(dir.db_dir()).ok());
+    EXPECT_FALSE(reopened.engine->recovery().wal_was_clean);
+    EXPECT_EQ(reopened.engine->recovery().wal_records_replayed, 2u);
+    EXPECT_EQ(reopened.Fingerprint(), committed_fingerprint);
+    // The mutation that died re-applies cleanly after recovery.
+    Result<dml::DmlResult> retried =
+        reopened.engine->InsertDocument("docs", kDocB);
+    EXPECT_TRUE(retried.ok()) << retried.status().ToString();
+  }
+}
+
+TEST(PersistenceTest, DmlAgainstMissingTargetsIsRejectedBeforeLogging) {
+  ScratchDir dir("xia_persist_dml_reject");
+  Instance inst;
+  ASSERT_TRUE(inst.OpenIn(dir.db_dir()).ok());
+  ASSERT_TRUE(inst.engine->CreateCollection("docs").ok());
+  ASSERT_TRUE(inst.engine->LoadXml("docs", kDocA).ok());
+  uint64_t lsn = inst.engine->next_lsn();
+  // Unknown collection, dead/missing DocId, malformed XML: each must be
+  // refused before a WAL record exists (an unreplayable record would
+  // poison every future recovery).
+  EXPECT_FALSE(inst.engine->InsertDocument("nope", kDocA).ok());
+  EXPECT_FALSE(inst.engine->InsertDocument("docs", "<broken").ok());
+  EXPECT_FALSE(inst.engine->DeleteDocument("docs", 7).ok());
+  EXPECT_FALSE(inst.engine->UpdateDocument("docs", 0, "<broken").ok());
+  EXPECT_FALSE(inst.engine->UpdateDocument("docs", 7, kDocB).ok());
+  EXPECT_EQ(inst.engine->next_lsn(), lsn);
+  ASSERT_TRUE(inst.engine->DeleteDocument("docs", 0).ok());  // Healthy.
 }
 
 }  // namespace

@@ -162,6 +162,26 @@ TEST(IdempotencyTest, SharedStateMutationsAreNotRetryable) {
   }
 }
 
+TEST(IdempotencyTest, DmlVerbsAreNotRetryableButWorkloadUpdateIs) {
+  using server::RetryingClient;
+  // The DML verbs mutate documents: a re-sent insert appends a second
+  // document under a new DocId, so an ambiguous transport failure must
+  // never be retried.
+  for (const char* line :
+       {"insert docs <site><item/></site>", "delete docs 3",
+        "update docs 3 <site><item/></site>", "INSERT docs <a/>",
+        "Update docs 0 <a/>"}) {
+    EXPECT_FALSE(RetryingClient::IsIdempotentCommand(line)) << line;
+  }
+  // The legacy session-workload editor shares the `update` verb but only
+  // touches per-connection state that is lost on reconnect anyway.
+  for (const char* line :
+       {"update insert 2.0 /site/item", "update delete 3",
+        "UPDATE INSERT 1.0 /a/b"}) {
+    EXPECT_TRUE(RetryingClient::IsIdempotentCommand(line)) << line;
+  }
+}
+
 // ---------------------------------------------------------------------
 // RetryingClient against a live server.
 
@@ -266,6 +286,29 @@ TEST(RetryingClientTest, NonIdempotentVerbFailsFastAfterSend) {
   srv.RequestStop();
   srv.Wait();
   Result<std::string> reply = client.Call("gen xmark 2");
+  EXPECT_FALSE(reply.ok());
+  EXPECT_NE(reply.status().message().find("not idempotent"),
+            std::string::npos)
+      << reply.status().ToString();
+  EXPECT_EQ(client.retries(), 0u);
+  EXPECT_EQ(client.giveups(), 1u);
+}
+
+TEST(RetryingClientTest, DmlVerbFailsFastAfterSend) {
+  server::SharedState shared;
+  server::ServerOptions options;
+  options.tcp_port = 0;
+  server::Server srv(&shared, options);
+  ASSERT_TRUE(srv.Start().ok());
+
+  server::RetryingClient client(srv.port(), FastPolicy());
+  ASSERT_TRUE(client.Call("ping").ok());
+  // A DML insert whose reply is lost may already have appended a
+  // document server-side; the client must give up, not re-send.
+  srv.RequestStop();
+  srv.Wait();
+  Result<std::string> reply =
+      client.Call("insert docs <site><item/></site>");
   EXPECT_FALSE(reply.ok());
   EXPECT_NE(reply.status().message().find("not idempotent"),
             std::string::npos)
